@@ -1,0 +1,69 @@
+// Ablation: the dummy positions (reservation thresholds) are the only
+// free parameters of the stable dispatch model -- the paper introduces
+// them ("dummy preference order entries are used if D(t,r.s) and
+// D(t,r.s) - αD(r.s,r.d) are larger than thresholds") without fixing
+// values. This bench sweeps both thresholds on the Boston workload and
+// shows the served/satisfaction trade-off they control:
+// tighter taxi thresholds -> better taxi dissatisfaction, more
+// cancellations; tighter passenger thresholds -> shorter pick-ups,
+// fewer served.
+#include <cstdio>
+#include <limits>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace o2o;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  trace::CityModel model = trace::CityModel::boston();
+  trace::GenerationOptions gen;
+  gen.duration_seconds = 4.0 * 3600.0;
+  gen.start_hour = 10.0;
+  gen.seed = 20120901;
+  const trace::Trace city = trace::generate(model, gen);
+
+  trace::FleetOptions fleet_options;
+  fleet_options.taxi_count = 200;
+  fleet_options.seed = 42;
+  const auto fleet = trace::make_fleet(model.region, fleet_options);
+
+  std::printf("# Threshold ablation -- NSTD-P on the Boston workload (%zu requests)\n",
+              city.size());
+
+  std::printf(
+      "\n## taxi reservation threshold sweep (passenger threshold = 10 km)\n"
+      "taxi_threshold,served,cancelled,mean_delay_min,mean_passenger_km,mean_taxi_km\n");
+  for (const double threshold : {-1.0, 0.0, 1.0, 2.0, 4.0, kInf}) {
+    bench::PaperParams params;
+    params.taxi_threshold_score = threshold;
+    core::StableDispatcherOptions options;
+    options.preference = bench::preference_params(params);
+    core::StableDispatcher dispatcher(options);
+    sim::Simulator simulator(city, fleet, bench::oracle(),
+                             bench::simulator_config(params));
+    const auto report = simulator.run(dispatcher);
+    std::printf("%g,%zu,%zu,%.3f,%.3f,%.3f\n", threshold, report.served,
+                report.cancelled, report.delay_stats.mean(),
+                report.passenger_stats.mean(), report.taxi_stats.mean());
+  }
+
+  std::printf(
+      "\n## passenger reservation threshold sweep (taxi threshold = 1 km)\n"
+      "passenger_threshold_km,served,cancelled,mean_delay_min,mean_passenger_km,"
+      "mean_taxi_km\n");
+  for (const double threshold : {2.0, 4.0, 6.0, 10.0, 14.0, kInf}) {
+    bench::PaperParams params;
+    params.passenger_threshold_km = threshold;
+    core::StableDispatcherOptions options;
+    options.preference = bench::preference_params(params);
+    core::StableDispatcher dispatcher(options);
+    sim::Simulator simulator(city, fleet, bench::oracle(),
+                             bench::simulator_config(params));
+    const auto report = simulator.run(dispatcher);
+    std::printf("%g,%zu,%zu,%.3f,%.3f,%.3f\n", threshold, report.served,
+                report.cancelled, report.delay_stats.mean(),
+                report.passenger_stats.mean(), report.taxi_stats.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "bench/common.h"
+
+#include <cstdio>
+
+#include "util/stopwatch.h"
+
+namespace o2o::bench {
+
+std::vector<sim::SimulationReport> run_roster(
+    const trace::Trace& trace, const std::vector<trace::Taxi>& fleet,
+    std::vector<std::unique_ptr<sim::Dispatcher>> roster, const PaperParams& params,
+    bool verbose) {
+  std::vector<sim::SimulationReport> reports;
+  reports.reserve(roster.size());
+  for (auto& dispatcher : roster) {
+    Stopwatch stopwatch;
+    sim::Simulator simulator(trace, fleet, oracle(), simulator_config(params));
+    reports.push_back(simulator.run(*dispatcher));
+    if (verbose) {
+      std::fprintf(stderr, "# %-8s simulated in %.1f s wall\n",
+                   reports.back().dispatcher_name.c_str(), stopwatch.elapsed_seconds());
+    }
+  }
+  return reports;
+}
+
+void print_cdf_table(const std::string& title, const std::string& x_label,
+                     const std::vector<sim::SimulationReport>& reports,
+                     const metrics::CdfBuilder sim::SimulationReport::* cdf, double lo,
+                     double hi, int points) {
+  std::printf("\n## %s\n", title.c_str());
+  std::printf("%s", x_label.c_str());
+  for (const auto& report : reports) std::printf(",%s", report.dispatcher_name.c_str());
+  std::printf("\n");
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+    std::printf("%.2f", x);
+    for (const auto& report : reports) {
+      const metrics::CdfBuilder& builder = report.*cdf;
+      std::printf(",%.4f", builder.empty() ? 0.0 : builder.cdf_at(x));
+    }
+    std::printf("\n");
+  }
+}
+
+void print_summary(const std::vector<sim::SimulationReport>& reports) {
+  std::printf(
+      "\n## summary\nalgorithm,served,cancelled,shared_rides,mean_delay_min,"
+      "mean_passenger_km,mean_taxi_km,total_distance_km\n");
+  for (const auto& report : reports) {
+    std::printf("%s,%zu,%zu,%zu,%.3f,%.3f,%.3f,%.1f\n",
+                report.dispatcher_name.c_str(), report.served, report.cancelled,
+                report.shared_rides, report.delay_stats.mean(),
+                report.passenger_stats.mean(), report.taxi_stats.mean(),
+                report.total_taxi_distance_km);
+  }
+}
+
+void print_hourly_table(const std::string& title,
+                        const std::vector<sim::SimulationReport>& reports,
+                        const metrics::HourlyBuckets sim::SimulationReport::* buckets) {
+  std::printf("\n## %s\nclock_hour", title.c_str());
+  for (const auto& report : reports) std::printf(",%s", report.dispatcher_name.c_str());
+  std::printf("\n");
+  if (reports.empty()) return;
+  const std::size_t bucket_count = (reports.front().*buckets).bucket_count();
+  for (std::size_t b = 0; b < bucket_count; ++b) {
+    std::printf("%d", (reports.front().*buckets).bucket_start_hour(b));
+    for (const auto& report : reports) {
+      const metrics::StreamingStats& stats = (report.*buckets).bucket(b);
+      std::printf(",%.3f", stats.count() == 0 ? 0.0 : stats.mean());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace o2o::bench

@@ -1,0 +1,138 @@
+// Shared harness for the figure-reproduction benches: builds the paper's
+// algorithm roster (Section VI-B), runs each over a trace, and prints the
+// CDF series / averages the figures plot. Output is CSV-like so the
+// tables can be piped straight into a plotting tool.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/ilp.h"
+#include "baselines/nonsharing.h"
+#include "baselines/raii.h"
+#include "baselines/sarp.h"
+#include "core/dispatchers.h"
+#include "sim/simulator.h"
+#include "trace/fleet.h"
+#include "trace/synthetic.h"
+
+namespace o2o::bench {
+
+/// Evaluation constants from Section VI: α = β = 1, θ = 5 km, 20 km/h,
+/// one-minute frames. The reservation thresholds (dummy positions) are
+/// not numerically specified in the paper; these values express "no taxi
+/// from the other side of town / no ride that loses money big" and are
+/// held fixed across every experiment.
+struct PaperParams {
+  double alpha = 1.0;
+  double beta = 1.0;
+  double theta_km = 5.0;
+  /// Passengers will not wait for a taxi farther than this.
+  double passenger_threshold_km = 10.0;
+  /// Drivers refuse rides whose approach distance exceeds the trip's
+  /// fare-weighted payoff by more than this slack (score <= threshold).
+  double taxi_threshold_score = 2.0;
+  double cancel_timeout_seconds = 3600.0;
+};
+
+inline core::PreferenceParams preference_params(const PaperParams& p) {
+  core::PreferenceParams params;
+  params.alpha = p.alpha;
+  params.beta = p.beta;
+  params.passenger_threshold_km = p.passenger_threshold_km;
+  params.taxi_threshold_score = p.taxi_threshold_score;
+  return params;
+}
+
+/// The non-sharing roster of Fig. 4-7: NSTD-P, NSTD-T, Greedy, MinCost,
+/// MinMax.
+inline std::vector<std::unique_ptr<sim::Dispatcher>> nonsharing_roster(
+    const PaperParams& p) {
+  std::vector<std::unique_ptr<sim::Dispatcher>> roster;
+  core::StableDispatcherOptions stable;
+  stable.preference = preference_params(p);
+  roster.push_back(std::make_unique<core::StableDispatcher>(stable));
+  stable.side = core::ProposalSide::kTaxis;
+  roster.push_back(std::make_unique<core::StableDispatcher>(stable));
+  roster.push_back(std::make_unique<baselines::NonSharingBaseline>(
+      baselines::NonSharingPolicy::kGreedy));
+  roster.push_back(std::make_unique<baselines::NonSharingBaseline>(
+      baselines::NonSharingPolicy::kMinCost));
+  roster.push_back(std::make_unique<baselines::NonSharingBaseline>(
+      baselines::NonSharingPolicy::kMinMax));
+  return roster;
+}
+
+/// The sharing roster of Fig. 8-9: STD-P, STD-T, RAII, SARP, ILP.
+inline std::vector<std::unique_ptr<sim::Dispatcher>> sharing_roster(const PaperParams& p) {
+  std::vector<std::unique_ptr<sim::Dispatcher>> roster;
+  core::SharingStableDispatcherOptions stable;
+  stable.params.preference = preference_params(p);
+  stable.params.grouping.detour_threshold_km = p.theta_km;
+  // City-scale performance knobs (documented in DESIGN.md): riders whose
+  // pick-ups are farther apart than 2θ are not considered for pooling,
+  // and each unit ranks only its 24 nearest taxis.
+  stable.params.grouping.pickup_radius_km = 2.0 * p.theta_km;
+  stable.params.candidate_taxis_per_unit = 24;
+  roster.push_back(std::make_unique<core::SharingStableDispatcher>(stable));
+  stable.params.side = core::ProposalSide::kTaxis;
+  roster.push_back(std::make_unique<core::SharingStableDispatcher>(stable));
+  baselines::RaiiOptions raii;
+  raii.search_radius_km = p.passenger_threshold_km;
+  raii.detour_threshold_km = p.theta_km;
+  raii.max_wait_km = p.passenger_threshold_km;
+  raii.use_busy_taxis = false;
+  roster.push_back(std::make_unique<baselines::RaiiDispatcher>(raii));
+  baselines::SarpOptions sarp;
+  sarp.detour_threshold_km = p.theta_km;
+  sarp.max_pickup_km = p.passenger_threshold_km;
+  roster.push_back(std::make_unique<baselines::SarpDispatcher>(sarp));
+  baselines::IlpOptions ilp;
+  ilp.grouping.detour_threshold_km = p.theta_km;
+  ilp.grouping.pickup_radius_km = 2.0 * p.theta_km;
+  ilp.max_pickup_km = p.passenger_threshold_km;
+  roster.push_back(std::make_unique<baselines::IlpDispatcher>(ilp));
+  return roster;
+}
+
+inline sim::SimulatorConfig simulator_config(const PaperParams& p) {
+  sim::SimulatorConfig config;
+  config.frame_seconds = 60.0;
+  config.speed_kmh = 20.0;
+  config.cancel_timeout_seconds = p.cancel_timeout_seconds;
+  config.alpha = p.alpha;
+  config.beta = p.beta;
+  return config;
+}
+
+/// The Euclidean-surface distance oracle used by all figure benches
+/// (matching the paper's city model).
+inline const geo::DistanceOracle& oracle() {
+  static const geo::EuclideanOracle instance;
+  return instance;
+}
+
+/// Runs every dispatcher in `roster` over the same trace and fleet.
+std::vector<sim::SimulationReport> run_roster(
+    const trace::Trace& trace, const std::vector<trace::Taxi>& fleet,
+    std::vector<std::unique_ptr<sim::Dispatcher>> roster, const PaperParams& params,
+    bool verbose = true);
+
+/// Prints one CDF table (Figs. 4, 5, 8, 9 panels): header row of
+/// algorithm names, then `points` rows "x, F_1(x), ..., F_n(x)".
+void print_cdf_table(const std::string& title, const std::string& x_label,
+                     const std::vector<sim::SimulationReport>& reports,
+                     const metrics::CdfBuilder sim::SimulationReport::* cdf, double lo,
+                     double hi, int points);
+
+/// Prints per-algorithm summary lines (served/cancelled counts, metric
+/// means) -- the quick-look version of each figure.
+void print_summary(const std::vector<sim::SimulationReport>& reports);
+
+/// Prints the hourly-bucket table (Fig. 7 panels).
+void print_hourly_table(const std::string& title,
+                        const std::vector<sim::SimulationReport>& reports,
+                        const metrics::HourlyBuckets sim::SimulationReport::* buckets);
+
+}  // namespace o2o::bench

@@ -1,0 +1,67 @@
+// Figure 6: average dispatch delay (a), passenger dissatisfaction (b)
+// and taxi dissatisfaction (c) on the Boston workload as the fleet size
+// varies. Expected shape: fewer taxis -> larger delay and passenger
+// dissatisfaction for everyone; the NSTD variants' taxi-dissatisfaction
+// advantage *widens* when taxis are scarce (taxis get to choose).
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace o2o;
+  bench::PaperParams params;
+
+  trace::CityModel model = trace::CityModel::boston();
+  trace::GenerationOptions gen;
+  gen.duration_seconds = 3.0 * 3600.0;
+  gen.start_hour = 7.0;
+  gen.seed = 612;
+  const trace::Trace city = trace::generate(model, gen);
+
+  const std::vector<int> fleet_sizes{100, 150, 200, 250, 300};
+  std::printf("# Fig. 6 -- non-sharing dispatch vs fleet size, Boston workload\n");
+  std::printf("# requests=%zu window=7am-10am fleets=", city.size());
+  for (int n : fleet_sizes) std::printf("%d ", n);
+  std::printf("\n");
+
+  // collected[metric] rows: fleet size x algorithms
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> delay_rows, passenger_rows, taxi_rows;
+  for (int taxis : fleet_sizes) {
+    trace::FleetOptions fleet_options;
+    fleet_options.taxi_count = taxis;
+    fleet_options.seed = 42;
+    const auto fleet = trace::make_fleet(model.region, fleet_options);
+    const auto reports =
+        bench::run_roster(city, fleet, bench::nonsharing_roster(params), params);
+    if (names.empty()) {
+      for (const auto& report : reports) names.push_back(report.dispatcher_name);
+    }
+    std::vector<double> delays, passengers, taxis_row;
+    for (const auto& report : reports) {
+      delays.push_back(report.delay_stats.mean());
+      passengers.push_back(report.passenger_stats.mean());
+      taxis_row.push_back(report.taxi_stats.mean());
+    }
+    delay_rows.push_back(delays);
+    passenger_rows.push_back(passengers);
+    taxi_rows.push_back(taxis_row);
+  }
+
+  const auto print_table = [&](const char* title,
+                               const std::vector<std::vector<double>>& rows) {
+    std::printf("\n## %s\ntaxis", title);
+    for (const auto& name : names) std::printf(",%s", name.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < fleet_sizes.size(); ++i) {
+      std::printf("%d", fleet_sizes[i]);
+      for (double value : rows[i]) std::printf(",%.3f", value);
+      std::printf("\n");
+    }
+  };
+  print_table("Fig. 6(a) average dispatch delay (min)", delay_rows);
+  print_table("Fig. 6(b) average passenger dissatisfaction (km)", passenger_rows);
+  print_table("Fig. 6(c) average taxi dissatisfaction (km)", taxi_rows);
+  return 0;
+}

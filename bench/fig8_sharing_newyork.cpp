@@ -1,0 +1,43 @@
+// Figure 8: sharing dispatch CDFs on the New York workload (700 taxis,
+// θ = 5 km). Expected shape: STD-P/T outperform RAII, SARP and ILP on
+// all three metrics (the paper's Section VI-D) -- RAII's index is lossy,
+// SARP's insertion is myopic, and ILP's heuristic fallback underpacks.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace o2o;
+  bench::PaperParams params;
+  // 30-minute patience keeps the per-frame batch (and the O(|R|^3) group
+  // enumeration) bounded on the state-scale workload.
+  params.cancel_timeout_seconds = 1800.0;
+
+  trace::CityModel model = trace::CityModel::new_york();
+  trace::GenerationOptions gen;
+  gen.duration_seconds = 1.5 * 3600.0;  // rush-hour window
+  gen.start_hour = 7.5;
+  gen.seed = 20160108;
+  const trace::Trace city = trace::generate(model, gen);
+
+  trace::FleetOptions fleet_options;
+  fleet_options.taxi_count = 700;
+  fleet_options.seed = 42;
+  const auto fleet = trace::make_fleet(model.region, fleet_options);
+
+  std::printf("# Fig. 8 -- sharing dispatch, New York workload\n");
+  std::printf("# requests=%zu taxis=%d theta=%.1f km\n", city.size(),
+              fleet_options.taxi_count, params.theta_km);
+
+  const auto reports =
+      bench::run_roster(city, fleet, bench::sharing_roster(params), params);
+
+  bench::print_cdf_table("Fig. 8(a) dispatch delay CDF", "delay_min", reports,
+                         &sim::SimulationReport::delay_cdf, 0.0, 30.0, 31);
+  bench::print_cdf_table("Fig. 8(b) passenger dissatisfaction CDF", "km", reports,
+                         &sim::SimulationReport::passenger_cdf, 0.0, 14.0, 29);
+  bench::print_cdf_table("Fig. 8(c) taxi dissatisfaction CDF", "km", reports,
+                         &sim::SimulationReport::taxi_cdf, -25.0, 10.0, 36);
+  bench::print_summary(reports);
+  return 0;
+}

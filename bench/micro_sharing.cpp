@@ -1,0 +1,153 @@
+// Micro-benchmarks for the sharing pipeline: shared-route optimization
+// (exhaustive vs Held-Karp DP), feasible-group enumeration (pair-pruned
+// vs exhaustive triples), and the three set-packing solvers.
+#include <benchmark/benchmark.h>
+
+#include "core/sharing.h"
+#include "packing/groups.h"
+#include "packing/set_packing.h"
+#include "routing/optimizer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace o2o;
+
+const geo::EuclideanOracle kOracle;
+
+std::vector<trace::Request> make_requests(std::size_t count, std::uint64_t seed,
+                                          double extent = 6.0) {
+  Rng rng(seed);
+  std::vector<trace::Request> requests;
+  for (std::size_t r = 0; r < count; ++r) {
+    trace::Request request;
+    request.id = static_cast<trace::RequestId>(r);
+    request.pickup = {rng.uniform(0, extent), rng.uniform(0, extent)};
+    request.dropoff = {rng.uniform(0, extent) + extent, rng.uniform(0, extent)};
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+void BM_RouteExhaustive(benchmark::State& state) {
+  const auto riders = make_requests(static_cast<std::size_t>(state.range(0)), 11);
+  const geo::Point start{0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::optimal_route_exhaustive(riders, kOracle, start));
+  }
+}
+BENCHMARK(BM_RouteExhaustive)->DenseRange(1, 4);
+
+void BM_RouteDp(benchmark::State& state) {
+  const auto riders = make_requests(static_cast<std::size_t>(state.range(0)), 12);
+  const geo::Point start{0, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::optimal_route_dp(riders, kOracle, start));
+  }
+}
+BENCHMARK(BM_RouteDp)->DenseRange(1, 7);
+
+void BM_AnchoredSolverReuse(benchmark::State& state) {
+  // The dispatcher's hot path: one group probed against many taxis.
+  const auto riders = make_requests(3, 13);
+  const routing::AnchoredRouteSolver solver(riders, kOracle);
+  Rng rng(14);
+  for (auto _ : state) {
+    const geo::Point start{rng.uniform(0, 12), rng.uniform(0, 12)};
+    benchmark::DoNotOptimize(solver.best_length(start));
+  }
+}
+BENCHMARK(BM_AnchoredSolverReuse);
+
+void BM_GroupEnumerationPruned(benchmark::State& state) {
+  const auto requests = make_requests(static_cast<std::size_t>(state.range(0)), 15);
+  packing::GroupOptions options;
+  options.detour_threshold_km = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        packing::enumerate_share_groups(requests, kOracle, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GroupEnumerationPruned)->Range(16, 128)->Complexity();
+
+void BM_GroupEnumerationExhaustive(benchmark::State& state) {
+  const auto requests = make_requests(static_cast<std::size_t>(state.range(0)), 15);
+  packing::GroupOptions options;
+  options.detour_threshold_km = 5.0;
+  options.grow_triples_from_pairs = false;  // the paper's plain O(R^3)
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        packing::enumerate_share_groups(requests, kOracle, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GroupEnumerationExhaustive)->Range(16, 64)->Complexity();
+
+packing::SetPackingProblem make_packing_problem(std::size_t requests,
+                                                std::uint64_t seed) {
+  const auto pool = make_requests(requests, seed);
+  packing::GroupOptions options;
+  options.detour_threshold_km = 5.0;
+  packing::SetPackingProblem problem;
+  problem.universe_size = requests;
+  for (const auto& group : packing::enumerate_share_groups(pool, kOracle, options)) {
+    auto members = group.member_indices;
+    std::sort(members.begin(), members.end());
+    problem.sets.push_back(std::move(members));
+  }
+  return problem;
+}
+
+void BM_SetPackingGreedy(benchmark::State& state) {
+  const auto problem = make_packing_problem(static_cast<std::size_t>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packing::solve_greedy(problem));
+  }
+  state.counters["sets"] = static_cast<double>(problem.sets.size());
+}
+BENCHMARK(BM_SetPackingGreedy)->Range(16, 128);
+
+void BM_SetPackingLocalSearch(benchmark::State& state) {
+  const auto problem = make_packing_problem(static_cast<std::size_t>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packing::solve_local_search(problem));
+  }
+  state.counters["sets"] = static_cast<double>(problem.sets.size());
+}
+BENCHMARK(BM_SetPackingLocalSearch)->Range(16, 128);
+
+void BM_SetPackingExact(benchmark::State& state) {
+  // Exact branch & bound only fits small pools.
+  auto problem = make_packing_problem(10, 17);
+  if (problem.sets.size() > 26) problem.sets.resize(26);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packing::solve_exact(problem));
+  }
+  state.counters["sets"] = static_cast<double>(problem.sets.size());
+}
+BENCHMARK(BM_SetPackingExact);
+
+void BM_DispatchSharingFrame(benchmark::State& state) {
+  // One full Algorithm-3 frame: grouping + packing + stable matching.
+  const auto requests = make_requests(static_cast<std::size_t>(state.range(0)), 18);
+  Rng rng(19);
+  std::vector<trace::Taxi> taxis;
+  for (int t = 0; t < state.range(1); ++t) {
+    trace::Taxi taxi;
+    taxi.id = t;
+    taxi.location = {rng.uniform(0, 12), rng.uniform(0, 12)};
+    taxis.push_back(taxi);
+  }
+  core::SharingParams params;
+  params.preference.passenger_threshold_km = 12.0;
+  params.preference.taxi_threshold_score = 8.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dispatch_sharing(taxis, requests, kOracle, params));
+  }
+}
+BENCHMARK(BM_DispatchSharingFrame)->Args({32, 64})->Args({64, 128})->Args({64, 256});
+
+}  // namespace
+
+BENCHMARK_MAIN();

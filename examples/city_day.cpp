@@ -1,0 +1,113 @@
+// city_day: simulate a full day of Boston-scale dispatching and compare
+// the stable dispatcher against a baseline, with the frame length and
+// cancellation-timeout ablations DESIGN.md calls out.
+//
+//   ./build/examples/city_day [taxis] [rate_scale] [seed]
+//
+// Prints a per-3-hour table (the Fig. 7 view) and an ablation of the
+// batching interval.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "baselines/nonsharing.h"
+#include "core/dispatchers.h"
+#include "sim/simulator.h"
+#include "trace/fleet.h"
+#include "trace/synthetic.h"
+
+using namespace o2o;
+
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+core::PreferenceParams tuned_preferences() {
+  core::PreferenceParams params;
+  params.passenger_threshold_km = 10.0;
+  params.taxi_threshold_score = 1.0;
+  return params;
+}
+
+sim::SimulationReport run_once(const trace::Trace& city,
+                               const std::vector<trace::Taxi>& fleet,
+                               sim::Dispatcher& dispatcher, double frame_seconds,
+                               double timeout_seconds) {
+  sim::SimulatorConfig config;
+  config.frame_seconds = frame_seconds;
+  config.cancel_timeout_seconds = timeout_seconds;
+  sim::Simulator simulator(city, fleet, kOracle, config);
+  return simulator.run(dispatcher);
+}
+
+void print_report_line(const sim::SimulationReport& report) {
+  std::printf("  %-8s served=%5zu cancelled=%4zu delay=%6.2f min  passenger=%5.2f km  "
+              "taxi=%6.2f km  driven=%8.1f km\n",
+              report.dispatcher_name.c_str(), report.served, report.cancelled,
+              report.delay_stats.mean(), report.passenger_stats.mean(),
+              report.taxi_stats.mean(), report.total_taxi_distance_km);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int taxis = argc > 1 ? std::atoi(argv[1]) : 200;
+  const double rate_scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1234;
+
+  trace::CityModel model = trace::CityModel::boston();
+  trace::GenerationOptions gen;
+  gen.duration_seconds = 24.0 * 3600.0;
+  gen.rate_scale = rate_scale;
+  gen.seed = seed;
+  const trace::Trace city = trace::generate(model, gen);
+
+  trace::FleetOptions fleet_options;
+  fleet_options.taxi_count = taxis;
+  const auto fleet = trace::make_fleet(model.region, fleet_options);
+
+  std::printf("city_day: %zu requests over 24 h, %d taxis (rate x%.2f, seed %llu)\n\n",
+              city.size(), taxis, rate_scale,
+              static_cast<unsigned long long>(seed));
+
+  core::StableDispatcherOptions stable_options;
+  stable_options.preference = tuned_preferences();
+  core::StableDispatcher stable(stable_options);
+  baselines::NonSharingBaseline greedy(baselines::NonSharingPolicy::kGreedy);
+  baselines::NonSharingBaseline min_cost(baselines::NonSharingPolicy::kMinCost);
+
+  std::printf("one-minute frames, 30-minute passenger patience:\n");
+  const auto stable_report = run_once(city, fleet, stable, 60.0, 1800.0);
+  const auto greedy_report = run_once(city, fleet, greedy, 60.0, 1800.0);
+  const auto mincost_report = run_once(city, fleet, min_cost, 60.0, 1800.0);
+  print_report_line(stable_report);
+  print_report_line(greedy_report);
+  print_report_line(mincost_report);
+
+  std::printf("\nby clock time (3 h buckets) -- mean taxi dissatisfaction (km):\n  hour ");
+  for (std::size_t b = 0; b < stable_report.hourly_taxi.bucket_count(); ++b) {
+    std::printf("%8d", stable_report.hourly_taxi.bucket_start_hour(b));
+  }
+  for (const auto* report : {&stable_report, &greedy_report, &mincost_report}) {
+    std::printf("\n  %-8s", report->dispatcher_name.c_str());
+    for (std::size_t b = 0; b < report->hourly_taxi.bucket_count(); ++b) {
+      const auto& stats = report->hourly_taxi.bucket(b);
+      std::printf("%8.2f", stats.count() == 0 ? 0.0 : stats.mean());
+    }
+  }
+
+  std::printf("\n\nablation -- batching interval (stable dispatch):\n");
+  for (const double frame : {30.0, 60.0, 120.0, 300.0}) {
+    const auto report = run_once(city, fleet, stable, frame, 1800.0);
+    std::printf("  frame=%5.0fs  served=%5zu  delay=%6.2f min  taxi=%6.2f km\n", frame,
+                report.served, report.delay_stats.mean(), report.taxi_stats.mean());
+  }
+
+  std::printf("\nablation -- passenger patience (stable dispatch):\n");
+  for (const double timeout : {600.0, 1800.0, 3600.0}) {
+    const auto report = run_once(city, fleet, stable, 60.0, timeout);
+    std::printf("  patience=%5.0fs  served=%5zu  cancelled=%5zu  delay=%6.2f min\n",
+                timeout, report.served, report.cancelled, report.delay_stats.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// trace_tools: workload-side utilities --
+//   generate   synthesize a calibrated city trace and write canonical CSV
+//   stats      load a canonical CSV and print its demand profile
+//   convert    parse a New York TLC / Boston lat-lon CSV into canonical km CSV
+//
+//   ./build/examples/trace_tools generate boston 6.0 42 > boston.csv
+//   ./build/examples/trace_tools stats < boston.csv
+//   ./build/examples/trace_tools convert nyc < yellow_tripdata.csv > ny.csv
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include <cmath>
+
+#include "geo/distance_oracle.h"
+#include "metrics/histogram.h"
+#include "metrics/summary.h"
+#include "trace/csv_trace.h"
+#include "trace/synthetic.h"
+#include "util/strings.h"
+
+using namespace o2o;
+
+namespace {
+
+int cmd_generate(int argc, char** argv) {
+  const std::string which = argc > 2 ? argv[2] : "boston";
+  const double hours = argc > 3 ? std::atof(argv[3]) : 24.0;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  const trace::CityModel model =
+      which == "newyork" ? trace::CityModel::new_york() : trace::CityModel::boston();
+  trace::GenerationOptions options;
+  options.duration_seconds = hours * 3600.0;
+  options.seed = seed;
+  const trace::Trace city = trace::generate(model, options);
+  std::fprintf(stderr, "generated %zu requests over %.1f h for %s (seed %llu)\n",
+               city.size(), hours, model.name.c_str(),
+               static_cast<unsigned long long>(seed));
+  trace::save_canonical_csv(std::cout, city);
+  return 0;
+}
+
+int cmd_stats(int, char**) {
+  const trace::Trace city = trace::load_canonical_csv(std::cin, "stdin");
+  if (city.empty()) {
+    std::fprintf(stderr, "no parseable requests on stdin\n");
+    return 1;
+  }
+  std::printf("requests: %zu\n", city.size());
+  std::printf("duration: %.2f h\n", city.duration_seconds() / 3600.0);
+  std::printf("mean rate: %.1f requests/hour\n", city.mean_rate_per_hour());
+  std::printf("region: [%.1f, %.1f] x [%.1f, %.1f] km\n", city.region().lo.x,
+              city.region().hi.x, city.region().lo.y, city.region().hi.y);
+
+  const geo::EuclideanOracle oracle;
+  metrics::StreamingStats trips;
+  for (const trace::Request& r : city.requests()) {
+    trips.add(oracle.distance(r.pickup, r.dropoff));
+  }
+  std::printf("trip length: mean %.2f km (min %.2f, max %.2f)\n", trips.mean(),
+              trips.min(), trips.max());
+
+  metrics::Histogram by_hour(0.0, 24.0, 24);
+  for (const trace::Request& r : city.requests()) {
+    by_hour.add(r.time_seconds / 3600.0 -
+                24.0 * std::floor(r.time_seconds / 86400.0));
+  }
+  std::printf("demand profile (requests per clock hour):\n");
+  for (std::size_t h = 0; h < 24; ++h) {
+    std::printf("  %02zu:00 %6zu  ", h, by_hour.count(h));
+    const int bars = static_cast<int>(60.0 * by_hour.fraction(h));
+    for (int b = 0; b < bars; ++b) std::printf("#");
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  const std::string which = argc > 2 ? argv[2] : "nyc";
+  const trace::CsvSchema schema =
+      which == "boston" ? trace::CsvSchema::boston() : trace::CsvSchema::nyc_tlc();
+  const trace::Trace city = trace::load_latlon_csv(std::cin, schema);
+  std::fprintf(stderr, "parsed %zu requests under the %s schema\n", city.size(),
+               schema.name.c_str());
+  trace::save_canonical_csv(std::cout, city);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  if (command == "generate") return cmd_generate(argc, argv);
+  if (command == "stats") return cmd_stats(argc, argv);
+  if (command == "convert") return cmd_convert(argc, argv);
+  std::fprintf(stderr,
+               "usage: trace_tools generate [boston|newyork] [hours] [seed]\n"
+               "       trace_tools stats    < canonical.csv\n"
+               "       trace_tools convert  [nyc|boston] < raw.csv\n");
+  return 2;
+}

@@ -1,0 +1,36 @@
+// ILP baseline -- emulates the integer-linear-programming dispatch of
+// Miao et al. [6]: per frame, jointly choose share groups and their
+// taxis to (primary) serve the most requests and (secondary) minimize
+// total travel distance. Solved exactly by branch & bound when the
+// option set is small -- the regime where [6] derived optimal solutions
+// -- and by the faster greedy heuristic (their large-scale fallback)
+// otherwise.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "packing/groups.h"
+#include "sim/dispatcher.h"
+
+namespace o2o::baselines {
+
+struct IlpOptions {
+  packing::GroupOptions grouping;       ///< θ and group-size limits
+  std::size_t exact_option_limit = 24;  ///< B&B above this many options -> greedy
+  std::size_t candidate_taxis_per_unit = 3;  ///< nearest taxis tried per unit
+  double max_pickup_km = std::numeric_limits<double>::infinity();
+};
+
+class IlpDispatcher final : public sim::Dispatcher {
+ public:
+  explicit IlpDispatcher(IlpOptions options = {});
+
+  std::string name() const override { return "ILP"; }
+  std::vector<sim::DispatchAssignment> dispatch(const sim::DispatchContext& context) override;
+
+ private:
+  IlpOptions options_;
+};
+
+}  // namespace o2o::baselines

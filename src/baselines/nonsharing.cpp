@@ -1,0 +1,77 @@
+#include "baselines/nonsharing.h"
+
+#include "matching/bottleneck.h"
+#include "matching/greedy.h"
+#include "matching/hungarian.h"
+#include "routing/route.h"
+#include "util/contracts.h"
+
+namespace o2o::baselines {
+
+matching::CostMatrix pickup_cost_matrix(const sim::DispatchContext& context,
+                                        double max_pickup_km) {
+  matching::CostMatrix costs(context.pending.size(), context.idle_taxis.size());
+  for (std::size_t r = 0; r < context.pending.size(); ++r) {
+    const trace::Request& request = context.pending[r];
+    for (std::size_t t = 0; t < context.idle_taxis.size(); ++t) {
+      const trace::Taxi& taxi = context.idle_taxis[t];
+      if (taxi.seats < request.seats) {
+        costs.at(r, t) = matching::kForbidden;
+        continue;
+      }
+      const double pickup = context.oracle->distance(taxi.location, request.pickup);
+      costs.at(r, t) = pickup <= max_pickup_km ? pickup : matching::kForbidden;
+    }
+  }
+  return costs;
+}
+
+NonSharingBaseline::NonSharingBaseline(NonSharingPolicy policy, NonSharingOptions options)
+    : policy_(policy), options_(options) {}
+
+std::string NonSharingBaseline::name() const {
+  switch (policy_) {
+    case NonSharingPolicy::kGreedy:
+      return "Greedy";
+    case NonSharingPolicy::kMinCost:
+      return "MinCost";
+    case NonSharingPolicy::kMinMax:
+      return "MinMax";
+  }
+  return "NonSharing";
+}
+
+std::vector<sim::DispatchAssignment> NonSharingBaseline::dispatch(
+    const sim::DispatchContext& context) {
+  O2O_EXPECTS(context.oracle != nullptr);
+  if (context.idle_taxis.empty() || context.pending.empty()) return {};
+
+  const matching::CostMatrix costs = pickup_cost_matrix(context, options_.max_pickup_km);
+  matching::Assignment assignment;
+  switch (policy_) {
+    case NonSharingPolicy::kGreedy:
+      assignment = matching::solve_greedy(costs);
+      break;
+    case NonSharingPolicy::kMinCost:
+      assignment = matching::solve_min_cost(costs);
+      break;
+    case NonSharingPolicy::kMinMax:
+      assignment = matching::solve_min_max(costs);
+      break;
+  }
+
+  std::vector<sim::DispatchAssignment> dispatched;
+  for (std::size_t r = 0; r < assignment.size(); ++r) {
+    const int t = assignment[r];
+    if (t < 0) continue;
+    const trace::Taxi& taxi = context.idle_taxis[static_cast<std::size_t>(t)];
+    sim::DispatchAssignment out;
+    out.taxi = taxi.id;
+    out.requests = {context.pending[r].id};
+    out.route = routing::single_rider_route(context.pending[r], taxi.location);
+    dispatched.push_back(std::move(out));
+  }
+  return dispatched;
+}
+
+}  // namespace o2o::baselines

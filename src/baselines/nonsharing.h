@@ -1,0 +1,46 @@
+// The paper's non-sharing comparison algorithms (Section VI-B):
+//
+//   Greedy  -- dispatch the geometrically nearest idle taxi to each
+//              request in arrival order [3,4];
+//   MinCost -- minimum-total-cost bipartite matching on pick-up
+//              distances (Hungarian) [3];
+//   MinMax  -- bipartite matching minimizing the maximum matched pick-up
+//              distance (bottleneck assignment) [3].
+//
+// All three consider only passenger-side cost, which is precisely what
+// the stable dispatchers improve on for taxi dissatisfaction.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "matching/cost_matrix.h"
+#include "sim/dispatcher.h"
+
+namespace o2o::baselines {
+
+struct NonSharingOptions {
+  /// Pairs beyond this pick-up distance are never matched (+inf = no cap).
+  double max_pickup_km = std::numeric_limits<double>::infinity();
+};
+
+enum class NonSharingPolicy { kGreedy, kMinCost, kMinMax };
+
+class NonSharingBaseline final : public sim::Dispatcher {
+ public:
+  NonSharingBaseline(NonSharingPolicy policy, NonSharingOptions options = {});
+
+  std::string name() const override;
+  std::vector<sim::DispatchAssignment> dispatch(const sim::DispatchContext& context) override;
+
+ private:
+  NonSharingPolicy policy_;
+  NonSharingOptions options_;
+};
+
+/// Builds the request x taxi pick-up cost matrix shared by the three
+/// policies (seat-infeasible or over-cap pairs are forbidden).
+matching::CostMatrix pickup_cost_matrix(const sim::DispatchContext& context,
+                                        double max_pickup_km);
+
+}  // namespace o2o::baselines

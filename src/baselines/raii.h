@@ -1,0 +1,45 @@
+// RAII baseline -- emulates the spatio-temporal-index dispatch of Ma et
+// al. [7] (T-Share lineage): requests are handled in arrival order; a
+// spatial index retrieves nearby taxis (idle or en-route); the request is
+// inserted into the candidate route that minimizes the *increase in
+// total taxi travel distance*, subject to seat capacity. Its indices are
+// "information-lossy" (the paper's words): the radius-limited candidate
+// set and the per-request greedy commit are what the stable dispatcher
+// beats.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "sim/dispatcher.h"
+
+namespace o2o::baselines {
+
+struct RaiiOptions {
+  double search_radius_km = 8.0;  ///< candidate retrieval radius
+  double cell_km = 1.0;           ///< index cell size
+  /// New rider's along-route pick-up distance cap (they would cancel
+  /// otherwise); +inf disables.
+  double max_wait_km = std::numeric_limits<double>::infinity();
+  /// Per-rider detour bound after each insertion (the time-window
+  /// constraint of [7]); +inf disables.
+  double detour_threshold_km = 5.0;
+  /// Consider en-route (busy) taxis as insertion candidates. The figure
+  /// benches disable this so that every sharing algorithm dispatches
+  /// complete groups on idle taxis and the paper's per-ride metrics are
+  /// directly comparable.
+  bool use_busy_taxis = true;
+};
+
+class RaiiDispatcher final : public sim::Dispatcher {
+ public:
+  explicit RaiiDispatcher(RaiiOptions options = {});
+
+  std::string name() const override { return "RAII"; }
+  std::vector<sim::DispatchAssignment> dispatch(const sim::DispatchContext& context) override;
+
+ private:
+  RaiiOptions options_;
+};
+
+}  // namespace o2o::baselines

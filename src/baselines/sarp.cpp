@@ -1,0 +1,88 @@
+#include "baselines/sarp.h"
+
+#include <limits>
+
+#include "baselines/working_fleet.h"
+#include "routing/insertion.h"
+#include "util/contracts.h"
+
+namespace o2o::baselines {
+
+namespace {
+
+/// Every rider's along-route ride distance must stay within `threshold`
+/// of their direct distance.
+bool detours_ok(const routing::Route& route, const geo::DistanceOracle& oracle,
+                const std::unordered_map<trace::RequestId, double>& direct,
+                double threshold) {
+  if (threshold == std::numeric_limits<double>::infinity()) return true;
+  for (const routing::Stop& stop : route.stops) {
+    if (!stop.is_pickup) continue;
+    const auto metrics = routing::rider_metrics(route, stop.request, oracle);
+    const auto it = direct.find(stop.request);
+    O2O_EXPECTS(it != direct.end());
+    if (metrics.ride_km - it->second > threshold) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SarpDispatcher::SarpDispatcher(SarpOptions options) : options_(options) {}
+
+std::vector<sim::DispatchAssignment> SarpDispatcher::dispatch(
+    const sim::DispatchContext& context) {
+  O2O_EXPECTS(context.oracle != nullptr);
+  if (context.pending.empty() || context.idle_taxis.empty()) return {};
+  const geo::DistanceOracle& oracle = *context.oracle;
+  std::vector<WorkingTaxi> fleet = build_working_fleet(context, /*include_busy=*/false);
+
+  std::unordered_map<trace::RequestId, double> direct;
+  for (const trace::Request& request : context.pending) {
+    direct.emplace(request.id, oracle.distance(request.pickup, request.dropoff));
+  }
+
+  for (const trace::Request& request : context.pending) {
+    double best_added = std::numeric_limits<double>::infinity();
+    std::size_t best_taxi = 0;
+    routing::Route best_route;
+
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      WorkingTaxi& taxi = fleet[i];
+      if (taxi.route.stops.empty()) {
+        // Stage 1: open a fresh route on this idle taxi.
+        const double pickup = oracle.distance(taxi.taxi.location, request.pickup);
+        if (pickup > options_.max_pickup_km) continue;
+        if (request.seats > taxi.taxi.seats) continue;
+        const double added = pickup + direct.at(request.id);
+        if (added < best_added) {
+          best_added = added;
+          best_taxi = i;
+          best_route = routing::single_rider_route(request, taxi.taxi.location);
+        }
+        continue;
+      }
+      // Stage 2: TSP insertion into a route opened this frame.
+      const auto insertion = routing::cheapest_insertion(taxi.route, request, oracle);
+      if (!insertion.has_value()) continue;
+      if (!capacity_ok(taxi, insertion->route, &request)) continue;
+      if (!detours_ok(insertion->route, oracle, direct, options_.detour_threshold_km)) {
+        continue;
+      }
+      if (insertion->added_km < best_added) {
+        best_added = insertion->added_km;
+        best_taxi = i;
+        best_route = insertion->route;
+      }
+    }
+
+    if (best_added == std::numeric_limits<double>::infinity()) continue;  // waits
+    WorkingTaxi& taxi = fleet[best_taxi];
+    taxi.route = std::move(best_route);
+    taxi.seats_of.emplace(request.id, request.seats);
+    taxi.new_requests.push_back(request.id);
+  }
+  return emit_assignments(fleet);
+}
+
+}  // namespace o2o::baselines

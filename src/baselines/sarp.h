@@ -1,0 +1,36 @@
+// SARP baseline -- emulates the two-stage TSP-insertion scheduling of Li
+// et al. [8]: within a frame, routes are planned on *idle* taxis only;
+// each request either opens a route on its nearest free idle taxi or is
+// inserted (TSP cheapest-insertion) into a route already opened this
+// frame, whichever adds less travel distance, subject to capacity and a
+// per-rider detour bound.
+#pragma once
+
+#include <limits>
+#include <string>
+
+#include "sim/dispatcher.h"
+
+namespace o2o::baselines {
+
+struct SarpOptions {
+  /// Per-rider detour bound for shared insertions (the carpool comfort
+  /// constraint); +inf disables.
+  double detour_threshold_km = 5.0;
+  /// Requests farther than this from every idle taxi wait for the next
+  /// frame; +inf disables.
+  double max_pickup_km = std::numeric_limits<double>::infinity();
+};
+
+class SarpDispatcher final : public sim::Dispatcher {
+ public:
+  explicit SarpDispatcher(SarpOptions options = {});
+
+  std::string name() const override { return "SARP"; }
+  std::vector<sim::DispatchAssignment> dispatch(const sim::DispatchContext& context) override;
+
+ private:
+  SarpOptions options_;
+};
+
+}  // namespace o2o::baselines

@@ -1,0 +1,67 @@
+#include "baselines/working_fleet.h"
+
+#include "util/contracts.h"
+
+namespace o2o::baselines {
+
+std::vector<WorkingTaxi> build_working_fleet(const sim::DispatchContext& context,
+                                             bool include_busy) {
+  std::vector<WorkingTaxi> fleet;
+  fleet.reserve(context.idle_taxis.size() +
+                (include_busy ? context.busy_taxis.size() : 0));
+  for (const trace::Taxi& taxi : context.idle_taxis) {
+    WorkingTaxi working;
+    working.taxi = taxi;
+    working.route.start = taxi.location;
+    fleet.push_back(std::move(working));
+  }
+  if (include_busy) {
+    for (const sim::BusyTaxiView& view : context.busy_taxis) {
+      WorkingTaxi working;
+      working.taxi = view.taxi;
+      working.route.start = view.taxi.location;
+      working.route.stops = view.remaining_stops;
+      working.seats_onboard = view.seats_in_use;
+      working.busy = true;
+      for (const auto& [id, seats] : view.route_request_seats) {
+        working.seats_of.emplace(id, seats);
+      }
+      fleet.push_back(std::move(working));
+    }
+  }
+  return fleet;
+}
+
+bool capacity_ok(const WorkingTaxi& taxi, const routing::Route& route,
+                 const trace::Request* extra) {
+  int seats = taxi.seats_onboard;
+  for (const routing::Stop& stop : route.stops) {
+    int demand = 0;
+    if (extra != nullptr && stop.request == extra->id) {
+      demand = extra->seats;
+    } else {
+      const auto it = taxi.seats_of.find(stop.request);
+      O2O_EXPECTS(it != taxi.seats_of.end());
+      demand = it->second;
+    }
+    seats += stop.is_pickup ? demand : -demand;
+    if (seats > taxi.taxi.seats) return false;
+  }
+  return true;
+}
+
+std::vector<sim::DispatchAssignment> emit_assignments(
+    const std::vector<WorkingTaxi>& fleet) {
+  std::vector<sim::DispatchAssignment> assignments;
+  for (const WorkingTaxi& taxi : fleet) {
+    if (taxi.new_requests.empty()) continue;
+    sim::DispatchAssignment assignment;
+    assignment.taxi = taxi.taxi.id;
+    assignment.requests = taxi.new_requests;
+    assignment.route = taxi.route;
+    assignments.push_back(std::move(assignment));
+  }
+  return assignments;
+}
+
+}  // namespace o2o::baselines

@@ -1,0 +1,38 @@
+// Shared scratch state for the insertion-based sharing baselines (RAII,
+// SARP, ILP-heuristic): a mutable per-frame copy of each taxi's route
+// that accumulates the frame's insertions before being emitted as
+// DispatchAssignments.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "routing/route.h"
+#include "sim/dispatcher.h"
+
+namespace o2o::baselines {
+
+struct WorkingTaxi {
+  trace::Taxi taxi;          ///< id, current position, capacity
+  routing::Route route;      ///< anchored at the taxi position
+  int seats_onboard = 0;     ///< seats occupied right now
+  bool busy = false;         ///< had a committed route at frame start
+  std::unordered_map<trace::RequestId, int> seats_of;  ///< ids on route
+  std::vector<trace::RequestId> new_requests;          ///< added this frame
+};
+
+/// Builds working copies for idle taxis and, when `include_busy`, busy
+/// taxis (seeded with their remaining stops).
+std::vector<WorkingTaxi> build_working_fleet(const sim::DispatchContext& context,
+                                             bool include_busy);
+
+/// True iff `route` never exceeds `taxi`'s capacity given its current
+/// onboard seats and the seat demands in `taxi.seats_of` (+ `extra`).
+bool capacity_ok(const WorkingTaxi& taxi, const routing::Route& route,
+                 const trace::Request* extra = nullptr);
+
+/// Emits one DispatchAssignment per working taxi that gained requests.
+std::vector<sim::DispatchAssignment> emit_assignments(
+    const std::vector<WorkingTaxi>& fleet);
+
+}  // namespace o2o::baselines

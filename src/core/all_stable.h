@@ -1,0 +1,53 @@
+// Algorithm 2 of the paper: enumerate all stable taxi dispatch schedules
+// by recursively breaking the passenger-optimal matching.
+//
+// BreakDispatch(S, r_j) detaches r_j from its taxi t* = S(r_j) and lets
+// r_j propose onward down its list, cascading refusals, under:
+//   Rule 1 (correctness)  -- success only if t* ends up dispatched to a
+//     request it strictly prefers over r_j (Theorem 3);
+//   Rule 2 (no redundancy) -- the cascade may only involve requests with
+//     index >= j; touching a smaller index aborts (Theorem 4);
+//   Rule 3 (pruning)      -- never break an unserved request (Theorem 2:
+//     a request unserved in the passenger-optimal schedule is unserved in
+//     every stable schedule).
+//
+// `enumerate_all_stable` also exposes the raw success count so tests can
+// validate Theorem 4's "each schedule obtained exactly once".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/stable_matching.h"
+
+namespace o2o::core {
+
+/// One BreakDispatch step (exposed for unit tests and worked examples).
+/// Returns the schedule obtained by breaking r_j's match in `schedule`,
+/// or nullopt when BreakDispatch is unsuccessful under Rules 1-3.
+std::optional<Matching> break_dispatch(const PreferenceProfile& profile,
+                                       const Matching& schedule, std::size_t request);
+
+struct AllStableOptions {
+  /// Safety valve: stop after this many schedules (the lattice can be
+  /// exponential). 0 = unlimited.
+  std::size_t max_matchings = 0;
+};
+
+struct AllStableResult {
+  std::vector<Matching> matchings;   ///< passenger-optimal first
+  std::size_t break_successes = 0;   ///< successful BreakDispatch calls
+  bool truncated = false;            ///< hit max_matchings
+};
+
+/// Algorithm 2: all stable schedules, starting from Algorithm 1's
+/// passenger-optimal one.
+AllStableResult enumerate_all_stable(const PreferenceProfile& profile,
+                                     const AllStableOptions& options = {});
+
+/// Exhaustive reference: every injective (partial) assignment filtered by
+/// Definition 1. Exponential; requires request_count <= 7.
+std::vector<Matching> brute_force_all_stable(const PreferenceProfile& profile);
+
+}  // namespace o2o::core

@@ -1,0 +1,218 @@
+#include "core/dispatchers.h"
+
+#include <limits>
+#include <unordered_map>
+
+#include "core/all_stable.h"
+#include "routing/insertion.h"
+#include "util/contracts.h"
+
+namespace o2o::core {
+
+namespace {
+
+/// Working state of one busy taxi while the en-route extension inserts
+/// pending requests into its remaining route.
+struct EnrouteTaxi {
+  trace::Taxi taxi;
+  routing::Route route;
+  int seats_onboard = 0;
+  std::unordered_map<trace::RequestId, int> seats_of;
+  std::vector<trace::RequestId> new_requests;
+};
+
+bool enroute_capacity_ok(const EnrouteTaxi& taxi, const routing::Route& route,
+                         const trace::Request& incoming) {
+  int seats = taxi.seats_onboard;
+  for (const routing::Stop& stop : route.stops) {
+    int demand = 0;
+    if (stop.request == incoming.id) {
+      demand = incoming.seats;
+    } else {
+      const auto it = taxi.seats_of.find(stop.request);
+      O2O_EXPECTS(it != taxi.seats_of.end());
+      demand = it->second;
+    }
+    seats += stop.is_pickup ? demand : -demand;
+    if (seats > taxi.taxi.seats) return false;
+  }
+  return true;
+}
+
+/// Detour check for every rider whose pick-up is still ahead: along-route
+/// ride distance within θ of their direct trip. Direct distances come
+/// from `direct` for this frame's pending requests and from the route's
+/// own stops for riders committed in earlier frames.
+bool enroute_detours_ok(const routing::Route& route, const geo::DistanceOracle& oracle,
+                        const std::unordered_map<trace::RequestId, double>& direct,
+                        double theta) {
+  for (const routing::Stop& stop : route.stops) {
+    if (!stop.is_pickup) continue;
+    double direct_km = 0.0;
+    const auto it = direct.find(stop.request);
+    if (it != direct.end()) {
+      direct_km = it->second;
+    } else {
+      const geo::Point* dropoff = nullptr;
+      for (const routing::Stop& other : route.stops) {
+        if (other.request == stop.request && !other.is_pickup) dropoff = &other.point;
+      }
+      if (dropoff == nullptr) continue;
+      direct_km = oracle.distance(stop.point, *dropoff);
+    }
+    const auto metrics = routing::rider_metrics(route, stop.request, oracle);
+    if (metrics.ride_km - direct_km > theta) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StableDispatcher::StableDispatcher(StableDispatcherOptions options)
+    : options_(std::move(options)) {}
+
+std::string StableDispatcher::name() const {
+  return options_.side == ProposalSide::kPassengers ? "NSTD-P" : "NSTD-T";
+}
+
+std::vector<sim::DispatchAssignment> StableDispatcher::dispatch(
+    const sim::DispatchContext& context) {
+  O2O_EXPECTS(context.oracle != nullptr);
+  if (context.idle_taxis.empty() || context.pending.empty()) return {};
+
+  const PreferenceProfile profile = build_nonsharing_profile(
+      context.idle_taxis, context.pending, *context.oracle, options_.preference);
+
+  Matching matching;
+  if (options_.side == ProposalSide::kPassengers) {
+    matching = gale_shapley_requests(profile);
+  } else if (options_.taxi_side_via_enumeration) {
+    AllStableOptions enum_options;
+    enum_options.max_matchings = options_.enumeration_cap;
+    const AllStableResult all = enumerate_all_stable(profile, enum_options);
+    matching = all.truncated ? gale_shapley_taxis(profile)
+                             : select_taxi_optimal(all.matchings, profile);
+  } else {
+    matching = gale_shapley_taxis(profile);
+  }
+
+  std::vector<sim::DispatchAssignment> assignments;
+  for (std::size_t r = 0; r < context.pending.size(); ++r) {
+    const int t = matching.request_to_taxi[r];
+    if (t == kDummy) continue;
+    const trace::Taxi& taxi = context.idle_taxis[static_cast<std::size_t>(t)];
+    sim::DispatchAssignment assignment;
+    assignment.taxi = taxi.id;
+    assignment.requests = {context.pending[r].id};
+    assignment.route = routing::single_rider_route(context.pending[r], taxi.location);
+    assignments.push_back(std::move(assignment));
+  }
+  return assignments;
+}
+
+SharingStableDispatcher::SharingStableDispatcher(SharingStableDispatcherOptions options)
+    : options_(std::move(options)) {}
+
+std::string SharingStableDispatcher::name() const {
+  std::string base = options_.params.side == ProposalSide::kPassengers ? "STD-P" : "STD-T";
+  if (options_.enroute_extension) base += "+";
+  return base;
+}
+
+std::vector<sim::DispatchAssignment> SharingStableDispatcher::dispatch(
+    const sim::DispatchContext& context) {
+  O2O_EXPECTS(context.oracle != nullptr);
+  if (context.pending.empty()) return {};
+  if (context.idle_taxis.empty() && !options_.enroute_extension) return {};
+
+  SharingOutcome outcome;
+  if (context.idle_taxis.empty()) {
+    // No idle taxis: everything is a candidate for en-route insertion.
+    for (std::size_t i = 0; i < context.pending.size(); ++i) {
+      outcome.unserved_request_indices.push_back(i);
+    }
+  } else {
+    outcome = dispatch_sharing(context.idle_taxis, context.pending, *context.oracle,
+                               options_.params);
+  }
+
+  std::vector<sim::DispatchAssignment> assignments;
+  assignments.reserve(outcome.assignments.size());
+  for (const SharedAssignment& shared : outcome.assignments) {
+    sim::DispatchAssignment assignment;
+    assignment.taxi = context.idle_taxis[shared.taxi_index].id;
+    assignment.requests.reserve(shared.request_indices.size());
+    for (std::size_t index : shared.request_indices) {
+      assignment.requests.push_back(context.pending[index].id);
+    }
+    assignment.route = shared.route;
+    assignments.push_back(std::move(assignment));
+  }
+
+  if (options_.enroute_extension && !outcome.unserved_request_indices.empty() &&
+      !context.busy_taxis.empty()) {
+    const geo::DistanceOracle& oracle = *context.oracle;
+    const PreferenceParams& prefs = options_.params.preference;
+    const double theta = options_.params.grouping.detour_threshold_km;
+
+    std::vector<EnrouteTaxi> fleet;
+    fleet.reserve(context.busy_taxis.size());
+    for (const sim::BusyTaxiView& view : context.busy_taxis) {
+      EnrouteTaxi taxi;
+      taxi.taxi = view.taxi;
+      taxi.route.start = view.taxi.location;
+      taxi.route.stops = view.remaining_stops;
+      taxi.seats_onboard = view.seats_in_use;
+      for (const auto& [id, seats] : view.route_request_seats) taxi.seats_of.emplace(id, seats);
+      fleet.push_back(std::move(taxi));
+    }
+
+    std::unordered_map<trace::RequestId, double> direct;
+    for (const trace::Request& request : context.pending) {
+      direct.emplace(request.id, oracle.distance(request.pickup, request.dropoff));
+    }
+
+    for (std::size_t index : outcome.unserved_request_indices) {
+      const trace::Request& request = context.pending[index];
+      double best_added = std::numeric_limits<double>::infinity();
+      std::size_t best_taxi = 0;
+      routing::Route best_route;
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        EnrouteTaxi& taxi = fleet[i];
+        const auto insertion = routing::cheapest_insertion(taxi.route, request, oracle);
+        if (!insertion.has_value()) continue;
+        if (!enroute_capacity_ok(taxi, insertion->route, request)) continue;
+        if (!enroute_detours_ok(insertion->route, oracle, direct, theta)) continue;
+        // Both sides must agree: the rider's wait within their threshold,
+        // the driver's marginal score within theirs.
+        const auto metrics = routing::rider_metrics(insertion->route, request.id, oracle);
+        if (metrics.wait_km > prefs.passenger_threshold_km) continue;
+        const double marginal =
+            insertion->added_km - (prefs.alpha + 1.0) * direct.at(request.id);
+        if (marginal > prefs.taxi_threshold_score) continue;
+        if (insertion->added_km < best_added) {
+          best_added = insertion->added_km;
+          best_taxi = i;
+          best_route = insertion->route;
+        }
+      }
+      if (best_added == std::numeric_limits<double>::infinity()) continue;
+      EnrouteTaxi& taxi = fleet[best_taxi];
+      taxi.route = std::move(best_route);
+      taxi.seats_of.emplace(request.id, request.seats);
+      taxi.new_requests.push_back(request.id);
+    }
+
+    for (const EnrouteTaxi& taxi : fleet) {
+      if (taxi.new_requests.empty()) continue;
+      sim::DispatchAssignment assignment;
+      assignment.taxi = taxi.taxi.id;
+      assignment.requests = taxi.new_requests;
+      assignment.route = taxi.route;
+      assignments.push_back(std::move(assignment));
+    }
+  }
+  return assignments;
+}
+
+}  // namespace o2o::core

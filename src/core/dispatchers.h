@@ -1,0 +1,68 @@
+// Simulator adapters for the paper's algorithms:
+//
+//   StableDispatcher          -- NSTD-P / NSTD-T (Section IV)
+//   SharingStableDispatcher   -- STD-P / STD-T   (Section V)
+//
+// Both dispatch only idle taxis within the current frame, exactly as the
+// paper's batched model prescribes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/selectors.h"
+#include "core/sharing.h"
+#include "core/stable_matching.h"
+#include "sim/dispatcher.h"
+
+namespace o2o::core {
+
+struct StableDispatcherOptions {
+  PreferenceParams preference;
+  ProposalSide side = ProposalSide::kPassengers;
+  /// When true, NSTD-T is computed the paper's way -- enumerate all
+  /// stable schedules with Algorithm 2 and select the taxi-best -- rather
+  /// than by taxi-proposing deferred acceptance (the two agree; tests
+  /// check it, and micro_algorithms measures the cost gap). Enumeration
+  /// is capped at `enumeration_cap` schedules per frame.
+  bool taxi_side_via_enumeration = false;
+  std::size_t enumeration_cap = 512;
+};
+
+/// Non-sharing stable dispatch (Algorithms 1 and 2).
+class StableDispatcher final : public sim::Dispatcher {
+ public:
+  explicit StableDispatcher(StableDispatcherOptions options);
+
+  std::string name() const override;
+  std::vector<sim::DispatchAssignment> dispatch(const sim::DispatchContext& context) override;
+
+ private:
+  StableDispatcherOptions options_;
+};
+
+struct SharingStableDispatcherOptions {
+  SharingParams params;
+  /// Extension beyond the paper (UberPool-style): after the stable
+  /// matching over idle taxis, offer still-unserved requests to *busy*
+  /// taxis by cheapest en-route insertion, accepting only insertions
+  /// both sides would agree to -- the rider's along-route wait stays
+  /// within the passenger threshold and every affected rider's detour
+  /// within θ, and the driver's *marginal* score (added distance minus
+  /// (α+1)× the new fare) stays within the taxi threshold.
+  bool enroute_extension = false;
+};
+
+/// Sharing stable dispatch (Algorithm 3).
+class SharingStableDispatcher final : public sim::Dispatcher {
+ public:
+  explicit SharingStableDispatcher(SharingStableDispatcherOptions options);
+
+  std::string name() const override;
+  std::vector<sim::DispatchAssignment> dispatch(const sim::DispatchContext& context) override;
+
+ private:
+  SharingStableDispatcherOptions options_;
+};
+
+}  // namespace o2o::core

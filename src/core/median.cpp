@@ -1,0 +1,44 @@
+#include "core/median.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace o2o::core {
+
+Matching generalized_median(const std::vector<Matching>& matchings,
+                            const PreferenceProfile& profile, std::size_t k) {
+  O2O_EXPECTS(!matchings.empty());
+  O2O_EXPECTS(k < matchings.size());
+  const std::size_t requests = profile.request_count();
+
+  std::vector<int> assignment(requests, kDummy);
+  for (std::size_t r = 0; r < requests; ++r) {
+    // Collect r's partners across all stable schedules, best first. By
+    // the rural-hospitals property a request is either matched in every
+    // schedule or in none, so the multiset is either all taxis or all
+    // dummies.
+    std::vector<int> partners;
+    partners.reserve(matchings.size());
+    for (const Matching& matching : matchings) {
+      O2O_EXPECTS(matching.request_to_taxi.size() == requests);
+      partners.push_back(matching.request_to_taxi[r]);
+    }
+    std::sort(partners.begin(), partners.end(), [&](int a, int b) {
+      return profile.request_prefers(r, a, b);
+    });
+    assignment[r] = partners[k];
+  }
+
+  Matching median = make_matching(std::move(assignment), profile.taxi_count());
+  O2O_ENSURES(is_stable(profile, median));
+  return median;
+}
+
+Matching median_stable_matching(const std::vector<Matching>& matchings,
+                                const PreferenceProfile& profile) {
+  O2O_EXPECTS(!matchings.empty());
+  return generalized_median(matchings, profile, (matchings.size() - 1) / 2);
+}
+
+}  // namespace o2o::core

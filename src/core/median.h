@@ -1,0 +1,27 @@
+// Generalized median stable matchings (Teo & Sethuraman; surveyed as
+// [13] in the paper's related work): given all N stable schedules, let
+// every request sort its N partners from most to least preferred; taking
+// each request's k-th entry *simultaneously* yields a stable schedule,
+// for every k. k = 0 recovers the passenger-optimal schedule, k = N-1
+// the taxi-optimal one, and the middle k is the "median" schedule --
+// a principled fairness compromise the company can adopt between
+// NSTD-P and NSTD-T.
+#pragma once
+
+#include <vector>
+
+#include "core/stable_matching.h"
+
+namespace o2o::core {
+
+/// The k-th generalized median of `matchings` (all stable schedules of
+/// `profile`, e.g. from enumerate_all_stable). Requires 0 <= k < N.
+/// The returned schedule is verified stable.
+Matching generalized_median(const std::vector<Matching>& matchings,
+                            const PreferenceProfile& profile, std::size_t k);
+
+/// The middle generalized median (k = (N-1)/2): the fairness compromise.
+Matching median_stable_matching(const std::vector<Matching>& matchings,
+                                const PreferenceProfile& profile);
+
+}  // namespace o2o::core

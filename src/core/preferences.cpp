@@ -1,0 +1,158 @@
+#include "core/preferences.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.h"
+
+namespace o2o::core {
+
+namespace {
+
+/// Sorts candidate indices by (score, index) and truncates at the dummy
+/// (kUnacceptable) and at the optional list cap.
+std::vector<int> build_list(const std::vector<double>& scores, std::size_t list_cap) {
+  std::vector<int> order;
+  order.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] != kUnacceptable) order.push_back(static_cast<int>(i));
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double sa = scores[static_cast<std::size_t>(a)];
+    const double sb = scores[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  if (list_cap > 0 && order.size() > list_cap) order.resize(list_cap);
+  return order;
+}
+
+std::vector<std::size_t> build_ranks(const std::vector<int>& list, std::size_t n) {
+  std::vector<std::size_t> ranks(n, PreferenceProfile::kNoRank);
+  for (std::size_t pos = 0; pos < list.size(); ++pos) {
+    ranks[static_cast<std::size_t>(list[pos])] = pos;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+PreferenceProfile PreferenceProfile::from_scores(
+    std::vector<std::vector<double>> passenger_scores,
+    std::vector<std::vector<double>> taxi_scores, std::size_t list_cap) {
+  const std::size_t requests = passenger_scores.size();
+  O2O_EXPECTS(taxi_scores.size() == requests);
+  const std::size_t taxis = requests == 0 ? 0 : passenger_scores.front().size();
+  for (std::size_t r = 0; r < requests; ++r) {
+    O2O_EXPECTS(passenger_scores[r].size() == taxis);
+    O2O_EXPECTS(taxi_scores[r].size() == taxis);
+  }
+
+  PreferenceProfile profile;
+  profile.passenger_scores_ = std::move(passenger_scores);
+  profile.taxi_scores_ = std::move(taxi_scores);
+
+  profile.request_prefs_.resize(requests);
+  profile.request_ranks_.resize(requests);
+  for (std::size_t r = 0; r < requests; ++r) {
+    profile.request_prefs_[r] = build_list(profile.passenger_scores_[r], list_cap);
+    profile.request_ranks_[r] = build_ranks(profile.request_prefs_[r], taxis);
+  }
+
+  profile.taxi_prefs_.resize(taxis);
+  profile.taxi_ranks_.resize(taxis);
+  std::vector<double> column(requests);
+  for (std::size_t t = 0; t < taxis; ++t) {
+    for (std::size_t r = 0; r < requests; ++r) column[r] = profile.taxi_scores_[r][t];
+    profile.taxi_prefs_[t] = build_list(column, list_cap);
+    profile.taxi_ranks_[t] = build_ranks(profile.taxi_prefs_[t], requests);
+  }
+  return profile;
+}
+
+const std::vector<int>& PreferenceProfile::request_list(std::size_t r) const {
+  O2O_EXPECTS(r < request_prefs_.size());
+  return request_prefs_[r];
+}
+
+const std::vector<int>& PreferenceProfile::taxi_list(std::size_t t) const {
+  O2O_EXPECTS(t < taxi_prefs_.size());
+  return taxi_prefs_[t];
+}
+
+std::size_t PreferenceProfile::request_rank(std::size_t r, std::size_t t) const {
+  O2O_EXPECTS(r < request_ranks_.size());
+  O2O_EXPECTS(t < request_ranks_[r].size());
+  return request_ranks_[r][t];
+}
+
+std::size_t PreferenceProfile::taxi_rank(std::size_t t, std::size_t r) const {
+  O2O_EXPECTS(t < taxi_ranks_.size());
+  O2O_EXPECTS(r < taxi_ranks_[t].size());
+  return taxi_ranks_[t][r];
+}
+
+bool PreferenceProfile::acceptable(std::size_t r, std::size_t t) const {
+  return request_rank(r, t) != kNoRank && taxi_rank(t, r) != kNoRank;
+}
+
+bool PreferenceProfile::request_prefers(std::size_t r, int a, int b) const {
+  const std::size_t rank_a =
+      a == kDummy ? kNoRank : request_rank(r, static_cast<std::size_t>(a));
+  const std::size_t rank_b =
+      b == kDummy ? kNoRank : request_rank(r, static_cast<std::size_t>(b));
+  return rank_a < rank_b;
+}
+
+bool PreferenceProfile::taxi_prefers(std::size_t t, int a, int b) const {
+  const std::size_t rank_a = a == kDummy ? kNoRank : taxi_rank(t, static_cast<std::size_t>(a));
+  const std::size_t rank_b = b == kDummy ? kNoRank : taxi_rank(t, static_cast<std::size_t>(b));
+  return rank_a < rank_b;
+}
+
+double PreferenceProfile::passenger_score(std::size_t r, std::size_t t) const {
+  O2O_EXPECTS(r < passenger_scores_.size());
+  O2O_EXPECTS(t < passenger_scores_[r].size());
+  return passenger_scores_[r][t];
+}
+
+double PreferenceProfile::taxi_score(std::size_t t, std::size_t r) const {
+  O2O_EXPECTS(r < taxi_scores_.size());
+  O2O_EXPECTS(t < taxi_scores_[r].size());
+  return taxi_scores_[r][t];
+}
+
+PreferenceProfile build_nonsharing_profile(std::span<const trace::Taxi> taxis,
+                                           std::span<const trace::Request> requests,
+                                           const geo::DistanceOracle& oracle,
+                                           const PreferenceParams& params) {
+  const std::size_t n_requests = requests.size();
+  const std::size_t n_taxis = taxis.size();
+  std::vector<std::vector<double>> passenger_scores(n_requests,
+                                                    std::vector<double>(n_taxis));
+  std::vector<std::vector<double>> taxi_scores(n_requests, std::vector<double>(n_taxis));
+  for (std::size_t r = 0; r < n_requests; ++r) {
+    const trace::Request& request = requests[r];
+    const double trip = oracle.distance(request.pickup, request.dropoff);
+    for (std::size_t t = 0; t < n_taxis; ++t) {
+      const trace::Taxi& taxi = taxis[t];
+      if (taxi.seats < request.seats) {
+        // Not enough seats: the paper places the pair past the dummy on
+        // both sides (the request "will put t_i to the end of its
+        // preference order"), i.e. it is never matched.
+        passenger_scores[r][t] = kUnacceptable;
+        taxi_scores[r][t] = kUnacceptable;
+        continue;
+      }
+      const double pickup = oracle.distance(taxi.location, request.pickup);
+      const double driver = pickup - params.alpha * trip;
+      passenger_scores[r][t] =
+          pickup <= params.passenger_threshold_km ? pickup : kUnacceptable;
+      taxi_scores[r][t] = driver <= params.taxi_threshold_score ? driver : kUnacceptable;
+    }
+  }
+  return PreferenceProfile::from_scores(std::move(passenger_scores), std::move(taxi_scores),
+                                        params.list_cap);
+}
+
+}  // namespace o2o::core

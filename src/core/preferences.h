@@ -1,0 +1,102 @@
+// Preference construction (Section IV-A of the paper).
+//
+// Passenger side: request r_j ranks taxis by the pick-up distance
+// D(t_i, r_j^s) -- nearer is better. Taxi side: driver t_i ranks requests
+// by D(t_i, r_j^s) - α · D(r_j^s, r_j^d) -- the approach expense net of
+// the (fare-proportional) trip pay-off. Each side's list carries exactly
+// one *dummy entry* (Theorem 1): scores beyond a reservation threshold
+// fall past the dummy and are unacceptable, which is how the model
+// expresses "no dispatch" / "no service" and handles |R| != |T|.
+//
+// PreferenceProfile is deliberately agnostic of geometry: it is built
+// from score matrices, so the sharing dispatcher reuses it for packed
+// super-requests with the D_ck(...) score definitions.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geo/distance_oracle.h"
+#include "trace/fleet.h"
+#include "trace/request.h"
+
+namespace o2o::core {
+
+inline constexpr double kUnacceptable = std::numeric_limits<double>::infinity();
+inline constexpr int kDummy = -1;  ///< partner index meaning "no dispatch"
+
+/// Model coefficients and reservation thresholds.
+struct PreferenceParams {
+  double alpha = 1.0;  ///< taxi expense/pay-off trade-off (α)
+  double beta = 1.0;   ///< sharing wait/detour trade-off (β)
+  /// Dummy position on the passenger side: taxis with pick-up distance
+  /// beyond this are worse than no dispatch.
+  double passenger_threshold_km = std::numeric_limits<double>::infinity();
+  /// Dummy position on the taxi side: requests with score
+  /// D(t, r.s) - α D(r.s, r.d) above this are worse than no service.
+  double taxi_threshold_score = std::numeric_limits<double>::infinity();
+  /// Optional ablation knob: keep only the best `list_cap` entries of
+  /// every preference list (0 = full lists).
+  std::size_t list_cap = 0;
+};
+
+/// Strict, truncated preference lists plus O(1) rank lookup. Row r /
+/// column t of the score matrices corresponds to request r and taxi t
+/// (or packed super-request r in the sharing case).
+class PreferenceProfile {
+ public:
+  /// Builds lists from score matrices (lower score = more preferred;
+  /// kUnacceptable = past the dummy). Ties break toward the lower index,
+  /// making all orders strict and runs deterministic.
+  static PreferenceProfile from_scores(std::vector<std::vector<double>> passenger_scores,
+                                       std::vector<std::vector<double>> taxi_scores,
+                                       std::size_t list_cap = 0);
+
+  std::size_t request_count() const noexcept { return request_prefs_.size(); }
+  std::size_t taxi_count() const noexcept { return taxi_prefs_.size(); }
+
+  /// Request r's taxi list, most preferred first, truncated at the dummy.
+  const std::vector<int>& request_list(std::size_t r) const;
+  /// Taxi t's request list, most preferred first, truncated at the dummy.
+  const std::vector<int>& taxi_list(std::size_t t) const;
+
+  /// Rank of taxi t in r's list (0 = best); SIZE_MAX when unacceptable.
+  std::size_t request_rank(std::size_t r, std::size_t t) const;
+  /// Rank of request r in t's list; SIZE_MAX when unacceptable.
+  std::size_t taxi_rank(std::size_t t, std::size_t r) const;
+
+  /// Mutual acceptability (both sides prefer each other over the dummy).
+  bool acceptable(std::size_t r, std::size_t t) const;
+
+  /// True iff r strictly prefers taxi a over taxi b (kDummy allowed on
+  /// either side; any acceptable taxi beats the dummy).
+  bool request_prefers(std::size_t r, int a, int b) const;
+  /// True iff t strictly prefers request a over request b.
+  bool taxi_prefers(std::size_t t, int a, int b) const;
+
+  /// Raw scores (kUnacceptable past the dummy), for schedule evaluation.
+  double passenger_score(std::size_t r, std::size_t t) const;
+  double taxi_score(std::size_t t, std::size_t r) const;
+
+  static constexpr std::size_t kNoRank = std::numeric_limits<std::size_t>::max();
+
+ private:
+  std::vector<std::vector<int>> request_prefs_;
+  std::vector<std::vector<int>> taxi_prefs_;
+  std::vector<std::vector<std::size_t>> request_ranks_;  // [r][t]
+  std::vector<std::vector<std::size_t>> taxi_ranks_;     // [t][r]
+  std::vector<std::vector<double>> passenger_scores_;    // [r][t]
+  std::vector<std::vector<double>> taxi_scores_;         // [r][t]
+};
+
+/// Non-sharing profile straight from geometry (Section IV-A): passenger
+/// score D(t, r.s), taxi score D(t, r.s) - α D(r.s, r.d); seat-infeasible
+/// pairs are unacceptable on both sides (the paper pushes them past the
+/// dummy).
+PreferenceProfile build_nonsharing_profile(std::span<const trace::Taxi> taxis,
+                                           std::span<const trace::Request> requests,
+                                           const geo::DistanceOracle& oracle,
+                                           const PreferenceParams& params);
+
+}  // namespace o2o::core

@@ -1,0 +1,38 @@
+#include "core/revenue.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace o2o::core {
+
+double total_fare(std::span<const trace::Request> requests, const Matching& matching,
+                  const geo::DistanceOracle& oracle, const FareModel& model) {
+  O2O_EXPECTS(matching.request_to_taxi.size() == requests.size());
+  double total = 0.0;
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    if (matching.request_to_taxi[r] == kDummy) continue;
+    total += model.fare(oracle.distance(requests[r].pickup, requests[r].dropoff));
+  }
+  return total;
+}
+
+double company_revenue(std::span<const trace::Request> requests, const Matching& matching,
+                       const geo::DistanceOracle& oracle, const FareModel& model) {
+  return model.company_cut * total_fare(requests, matching, oracle, model);
+}
+
+bool revenue_invariant_across(std::span<const trace::Request> requests,
+                              const std::vector<Matching>& matchings,
+                              const geo::DistanceOracle& oracle, const FareModel& model) {
+  if (matchings.empty()) return true;
+  const double reference = total_fare(requests, matchings.front(), oracle, model);
+  for (const Matching& matching : matchings) {
+    if (std::abs(total_fare(requests, matching, oracle, model) - reference) > 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace o2o::core

@@ -1,0 +1,44 @@
+// The company's interest (Section III-B): the platform takes a fixed cut
+// of every fare, so its revenue is the total fare of served rides. A
+// consequence of the rural-hospitals property is that *every* stable
+// schedule serves the same requests -- fare revenue is invariant across
+// the whole lattice, so the company can pick NSTD-T (or the median) for
+// driver retention at zero revenue cost. `revenue_invariant_across`
+// checks the invariance; the selector breaks the tie by a secondary
+// objective.
+#pragma once
+
+#include <span>
+
+#include "core/stable_matching.h"
+#include "geo/distance_oracle.h"
+#include "trace/request.h"
+
+namespace o2o::core {
+
+/// Distance-based taxi fare: flag fall plus a per-km rate on the trip.
+struct FareModel {
+  double base_fare = 2.5;     ///< flag fall per ride
+  double per_km = 1.75;       ///< metered rate on D(r.s, r.d)
+  double company_cut = 0.25;  ///< the platform's share of each fare
+
+  double fare(double trip_km) const noexcept { return base_fare + per_km * trip_km; }
+};
+
+/// Total fares of the requests served by `matching` (requests indexed as
+/// in the profile the matching was computed from).
+double total_fare(std::span<const trace::Request> requests, const Matching& matching,
+                  const geo::DistanceOracle& oracle, const FareModel& model = {});
+
+/// The platform's revenue under its cut.
+double company_revenue(std::span<const trace::Request> requests, const Matching& matching,
+                       const geo::DistanceOracle& oracle, const FareModel& model = {});
+
+/// True iff all candidate schedules serve the same requests (and hence
+/// earn identical fare revenue) -- the rural-hospitals consequence.
+bool revenue_invariant_across(std::span<const trace::Request> requests,
+                              const std::vector<Matching>& matchings,
+                              const geo::DistanceOracle& oracle,
+                              const FareModel& model = {});
+
+}  // namespace o2o::core

@@ -1,0 +1,54 @@
+#include "core/selectors.h"
+
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace o2o::core {
+
+ScheduleEvaluation evaluate(const PreferenceProfile& profile, const Matching& matching) {
+  O2O_EXPECTS(matching.request_to_taxi.size() == profile.request_count());
+  ScheduleEvaluation eval;
+  for (std::size_t r = 0; r < matching.request_to_taxi.size(); ++r) {
+    const int t = matching.request_to_taxi[r];
+    if (t == kDummy) continue;
+    ++eval.matched;
+    eval.passenger_total += profile.passenger_score(r, static_cast<std::size_t>(t));
+    eval.taxi_total += profile.taxi_score(static_cast<std::size_t>(t), r);
+  }
+  return eval;
+}
+
+const Matching& select_by(const std::vector<Matching>& candidates,
+                          const PreferenceProfile& profile,
+                          const CompanyObjective& objective) {
+  O2O_EXPECTS(!candidates.empty());
+  const Matching* best = &candidates.front();
+  double best_value = objective(profile, *best);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double value = objective(profile, candidates[i]);
+    if (value < best_value) {
+      best_value = value;
+      best = &candidates[i];
+    }
+  }
+  return *best;
+}
+
+const Matching& select_taxi_optimal(const std::vector<Matching>& candidates,
+                                    const PreferenceProfile& profile) {
+  return select_by(candidates, profile,
+                   [](const PreferenceProfile& p, const Matching& m) {
+                     return evaluate(p, m).taxi_total;
+                   });
+}
+
+const Matching& select_passenger_optimal(const std::vector<Matching>& candidates,
+                                         const PreferenceProfile& profile) {
+  return select_by(candidates, profile,
+                   [](const PreferenceProfile& p, const Matching& m) {
+                     return evaluate(p, m).passenger_total;
+                   });
+}
+
+}  // namespace o2o::core

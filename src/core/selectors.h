@@ -1,0 +1,49 @@
+// Schedule evaluation and selection. Property 2 / Section IV-D: Algorithm
+// 1 is passenger-optimal; among all stable schedules (Algorithm 2) the
+// company may pick by its own objective -- the evaluation picks NSTD-T
+// (taxi-optimal) for the paper's experiments, and exposes a generic
+// objective hook for company policies.
+#pragma once
+
+#include <functional>
+
+#include "core/all_stable.h"
+#include "core/stable_matching.h"
+
+namespace o2o::core {
+
+/// Aggregate scores of one schedule under a profile's score matrices.
+struct ScheduleEvaluation {
+  std::size_t matched = 0;
+  double passenger_total = 0.0;  ///< Σ matched passenger scores (km)
+  double taxi_total = 0.0;       ///< Σ matched taxi scores (km)
+
+  double passenger_mean() const noexcept {
+    return matched == 0 ? 0.0 : passenger_total / static_cast<double>(matched);
+  }
+  double taxi_mean() const noexcept {
+    return matched == 0 ? 0.0 : taxi_total / static_cast<double>(matched);
+  }
+};
+
+ScheduleEvaluation evaluate(const PreferenceProfile& profile, const Matching& matching);
+
+/// Smaller is better; used to order candidate schedules.
+using CompanyObjective = std::function<double(const PreferenceProfile&, const Matching&)>;
+
+/// The schedule minimizing `objective` (first wins ties). Requires a
+/// non-empty candidate list.
+const Matching& select_by(const std::vector<Matching>& candidates,
+                          const PreferenceProfile& profile,
+                          const CompanyObjective& objective);
+
+/// Taxi-optimal pick: minimizes total taxi dissatisfaction. (Verified in
+/// tests to coincide with taxi-proposing deferred acceptance.)
+const Matching& select_taxi_optimal(const std::vector<Matching>& candidates,
+                                    const PreferenceProfile& profile);
+
+/// Passenger-optimal pick: minimizes total passenger dissatisfaction.
+const Matching& select_passenger_optimal(const std::vector<Matching>& candidates,
+                                         const PreferenceProfile& profile);
+
+}  // namespace o2o::core

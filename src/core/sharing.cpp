@@ -1,0 +1,191 @@
+#include "core/sharing.h"
+
+#include <algorithm>
+
+#include "routing/optimizer.h"
+#include "util/contracts.h"
+
+namespace o2o::core {
+
+SharingUnits pack_requests(std::span<const trace::Request> requests,
+                           const geo::DistanceOracle& oracle, const SharingParams& params) {
+  SharingUnits result;
+  const std::vector<packing::ShareGroup> groups =
+      packing::enumerate_share_groups(requests, oracle, params.grouping, params.taxi_seats);
+  result.feasible_groups = groups.size();
+
+  packing::SetPackingProblem problem;
+  problem.universe_size = requests.size();
+  problem.sets.reserve(groups.size());
+  for (const packing::ShareGroup& group : groups) {
+    std::vector<std::size_t> members = group.member_indices;
+    std::sort(members.begin(), members.end());
+    problem.sets.push_back(std::move(members));
+    switch (params.objective) {
+      case PackingObjective::kCount:
+        break;  // unit weights, Eq. 1 as written
+      case PackingObjective::kRiders:
+        problem.weights.push_back(static_cast<double>(group.member_indices.size()));
+        break;
+      case PackingObjective::kSavings:
+        problem.weights.push_back(
+            std::max(1e-6, group.direct_sum_km - group.pooled_length_km));
+        break;
+    }
+  }
+
+  packing::Packing packed;
+  switch (params.packing) {
+    case PackingSolver::kLocalSearch:
+      packed = packing::solve_local_search(problem);
+      break;
+    case PackingSolver::kGreedy:
+      packed = packing::solve_greedy(problem);
+      break;
+    case PackingSolver::kExact:
+      packed = packing::solve_exact(problem, /*max_sets=*/30);
+      break;
+  }
+  result.packed_groups = packed.size();
+
+  std::vector<bool> covered(requests.size(), false);
+  for (std::size_t set_index : packed) {
+    result.units.push_back(problem.sets[set_index]);
+    for (std::size_t member : problem.sets[set_index]) covered[member] = true;
+  }
+  // R' of Algorithm 3: requests outside every packed subset ride alone.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!covered[i]) result.units.push_back({i});
+  }
+  return result;
+}
+
+SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
+                                std::span<const trace::Request> requests,
+                                const geo::DistanceOracle& oracle,
+                                const SharingParams& params) {
+  SharingOutcome outcome;
+  SharingUnits units = pack_requests(requests, oracle, params);
+  outcome.packed_groups = units.packed_groups;
+  outcome.feasible_groups = units.feasible_groups;
+  const std::size_t n_units = units.units.size();
+  const std::size_t n_taxis = taxis.size();
+
+  // Per-unit anchored-route solvers plus direct-trip sums (reused across
+  // all candidate taxis).
+  std::vector<routing::AnchoredRouteSolver> solvers;
+  std::vector<double> direct_sum(n_units, 0.0);
+  std::vector<std::vector<double>> direct(n_units);
+  std::vector<int> unit_seats(n_units, 0);
+  solvers.reserve(n_units);
+  for (std::size_t u = 0; u < n_units; ++u) {
+    std::vector<trace::Request> riders;
+    riders.reserve(units.units[u].size());
+    for (std::size_t index : units.units[u]) {
+      riders.push_back(requests[index]);
+      unit_seats[u] += requests[index].seats;
+    }
+    for (const trace::Request& rider : riders) {
+      const double d = oracle.distance(rider.pickup, rider.dropoff);
+      direct[u].push_back(d);
+      direct_sum[u] += d;
+    }
+    solvers.emplace_back(std::move(riders), oracle);
+  }
+
+  // Score matrices over (unit, taxi).
+  std::vector<std::vector<double>> passenger_scores(n_units, std::vector<double>(n_taxis));
+  std::vector<std::vector<double>> taxi_scores(n_units, std::vector<double>(n_taxis));
+  std::vector<std::vector<routing::Route>> routes(n_units);
+  for (auto& row : routes) row.resize(n_taxis);
+
+  for (std::size_t u = 0; u < n_units; ++u) {
+    const auto& member_indices = units.units[u];
+
+    // Mean direct pick-up distance per taxi: it lower-bounds the unit's
+    // passenger score (along-route waits dominate direct distances and
+    // detours are non-negative), so it both implements the threshold
+    // prefilter and ranks taxis for the candidate cap.
+    std::vector<double> bound(n_taxis, kUnacceptable);
+    for (std::size_t t = 0; t < n_taxis; ++t) {
+      if (taxis[t].seats < unit_seats[u]) continue;
+      double total = 0.0;
+      for (std::size_t index : member_indices) {
+        total += oracle.distance(taxis[t].location, requests[index].pickup);
+      }
+      bound[t] = total / static_cast<double>(member_indices.size());
+    }
+    double cap_bound = kUnacceptable;
+    if (params.candidate_taxis_per_unit > 0 &&
+        params.candidate_taxis_per_unit < n_taxis) {
+      std::vector<double> sorted_bounds = bound;
+      std::nth_element(sorted_bounds.begin(),
+                       sorted_bounds.begin() +
+                           static_cast<std::ptrdiff_t>(params.candidate_taxis_per_unit - 1),
+                       sorted_bounds.end());
+      cap_bound = sorted_bounds[params.candidate_taxis_per_unit - 1];
+    }
+
+    for (std::size_t t = 0; t < n_taxis; ++t) {
+      if (bound[t] == kUnacceptable ||
+          bound[t] > params.preference.passenger_threshold_km || bound[t] > cap_bound) {
+        passenger_scores[u][t] = kUnacceptable;
+        taxi_scores[u][t] = kUnacceptable;
+        continue;
+      }
+      routing::Route route = solvers[u].best_route(taxis[t].location);
+      const double total_length = routing::route_length(route, oracle);
+
+      // Passenger side: average over members of
+      //   D_ck(t, r.s) + β [D_ck(r.s, r.d) - D(r.s, r.d)].
+      double passenger_sum = 0.0;
+      for (std::size_t m = 0; m < member_indices.size(); ++m) {
+        const auto metrics =
+            routing::rider_metrics(route, requests[member_indices[m]].id, oracle);
+        passenger_sum +=
+            metrics.wait_km + params.preference.beta * (metrics.ride_km - direct[u][m]);
+      }
+      const double passenger_avg =
+          passenger_sum / static_cast<double>(member_indices.size());
+
+      // Taxi side: D_ck(t) - (α + 1) Σ D(r.s, r.d).
+      const double taxi_value =
+          total_length - (params.preference.alpha + 1.0) * direct_sum[u];
+
+      passenger_scores[u][t] = passenger_avg <= params.preference.passenger_threshold_km
+                                   ? passenger_avg
+                                   : kUnacceptable;
+      taxi_scores[u][t] =
+          taxi_value <= params.preference.taxi_threshold_score ? taxi_value : kUnacceptable;
+      routes[u][t] = std::move(route);
+    }
+  }
+
+  const PreferenceProfile profile = PreferenceProfile::from_scores(
+      passenger_scores, taxi_scores, params.preference.list_cap);
+  const Matching matching = params.side == ProposalSide::kPassengers
+                                ? gale_shapley_requests(profile)
+                                : gale_shapley_taxis(profile);
+
+  for (std::size_t u = 0; u < n_units; ++u) {
+    const int t = matching.request_to_taxi[u];
+    if (t == kDummy) {
+      for (std::size_t index : units.units[u]) {
+        outcome.unserved_request_indices.push_back(index);
+      }
+      continue;
+    }
+    SharedAssignment assignment;
+    assignment.taxi_index = static_cast<std::size_t>(t);
+    assignment.request_indices = units.units[u];
+    assignment.route = routes[u][static_cast<std::size_t>(t)];
+    assignment.passenger_score = passenger_scores[u][static_cast<std::size_t>(t)];
+    assignment.taxi_score = taxi_scores[u][static_cast<std::size_t>(t)];
+    outcome.assignments.push_back(std::move(assignment));
+  }
+  std::sort(outcome.unserved_request_indices.begin(),
+            outcome.unserved_request_indices.end());
+  return outcome;
+}
+
+}  // namespace o2o::core

@@ -1,0 +1,98 @@
+// Algorithm 3 of the paper: sharing taxi dispatch.
+//
+//   1. Enumerate all feasible share groups c_k (detour <= θ, |c_k| <= 3).
+//   2. Solve the Maximum Set Packing Problem (Eqs. 1-3) over them with
+//      the local-search approximation (ratio (max|c_k|+2)/3, [21]).
+//   3. Treat each packed group -- and each leftover single request -- as
+//      one unit and run Algorithm 1 (or its taxi-proposing mirror for
+//      STD-T) under the sharing preference model (Section V-A):
+//        passenger side (averaged over the group's members):
+//          D_ck(t, r.s) + β [D_ck(r.s, r.d) - D(r.s, r.d)]
+//        taxi side:
+//          D_ck(t) - (α + 1) Σ_{r in ck} D(r.s, r.d)
+//      Both reduce to the non-sharing scores for singleton units.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/preferences.h"
+#include "core/stable_matching.h"
+#include "geo/distance_oracle.h"
+#include "packing/groups.h"
+#include "packing/set_packing.h"
+#include "routing/route.h"
+#include "trace/fleet.h"
+#include "trace/request.h"
+
+namespace o2o::core {
+
+enum class ProposalSide {
+  kPassengers,  ///< passenger-optimal schedule (NSTD-P / STD-P)
+  kTaxis,       ///< taxi-optimal schedule (NSTD-T / STD-T)
+};
+
+enum class PackingSolver {
+  kLocalSearch,  ///< the paper's approximation (default)
+  kGreedy,       ///< ablation: plain maximal packing
+  kExact,        ///< ablation: branch & bound (small inputs only)
+};
+
+/// What Eq. 1 maximizes. The paper counts packed subsets (kCount); the
+/// alternatives are natural company objectives the same machinery
+/// supports (ablated in bench/ablation_packing).
+enum class PackingObjective {
+  kCount,    ///< Σ x_k -- the paper's objective
+  kRiders,   ///< Σ |c_k| x_k -- pooled passengers
+  kSavings,  ///< Σ (Σ_direct - pooled) x_k -- driven-km saved
+};
+
+struct SharingParams {
+  PreferenceParams preference;       ///< α, β, thresholds, list cap
+  packing::GroupOptions grouping;    ///< θ, group size, pruning
+  PackingSolver packing = PackingSolver::kLocalSearch;
+  PackingObjective objective = PackingObjective::kCount;
+  ProposalSide side = ProposalSide::kPassengers;
+  int taxi_seats = 4;                ///< capacity assumed when grouping
+  /// Performance cap: evaluate each unit's anchored route against only
+  /// its K nearest taxis (by mean direct pick-up distance); 0 = all.
+  /// Equivalent to capping preference lists -- the matching stays stable
+  /// with respect to the truncated profile (ablated in micro benches).
+  std::size_t candidate_taxis_per_unit = 0;
+};
+
+/// One dispatched unit: a taxi serving one request or one packed group.
+struct SharedAssignment {
+  std::size_t taxi_index = 0;                ///< index into the taxi span
+  std::vector<std::size_t> request_indices;  ///< indices into the request span
+  routing::Route route;                      ///< taxi-anchored service route
+  double passenger_score = 0.0;              ///< unit's (averaged) passenger score
+  double taxi_score = 0.0;                   ///< unit's taxi score
+};
+
+struct SharingOutcome {
+  std::vector<SharedAssignment> assignments;
+  std::vector<std::size_t> unserved_request_indices;
+  std::size_t packed_groups = 0;   ///< groups selected by set packing
+  std::size_t feasible_groups = 0; ///< |C| before packing
+};
+
+/// The packed units handed to Algorithm 1 (exposed for tests/benches).
+struct SharingUnits {
+  /// Each unit lists request indices; packed groups first, singletons after.
+  std::vector<std::vector<std::size_t>> units;
+  std::size_t packed_groups = 0;
+  std::size_t feasible_groups = 0;
+};
+
+/// Stages 1-2 of Algorithm 3: grouping + set packing.
+SharingUnits pack_requests(std::span<const trace::Request> requests,
+                           const geo::DistanceOracle& oracle, const SharingParams& params);
+
+/// Full Algorithm 3.
+SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
+                                std::span<const trace::Request> requests,
+                                const geo::DistanceOracle& oracle,
+                                const SharingParams& params);
+
+}  // namespace o2o::core

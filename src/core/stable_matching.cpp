@@ -1,0 +1,157 @@
+#include "core/stable_matching.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace o2o::core {
+
+std::size_t Matching::matched_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(request_to_taxi.begin(), request_to_taxi.end(),
+                    [](int t) { return t != kDummy; }));
+}
+
+Matching make_matching(std::vector<int> request_to_taxi, std::size_t taxi_count) {
+  Matching matching;
+  matching.taxi_to_request.assign(taxi_count, kDummy);
+  for (std::size_t r = 0; r < request_to_taxi.size(); ++r) {
+    const int t = request_to_taxi[r];
+    if (t == kDummy) continue;
+    O2O_EXPECTS(t >= 0 && static_cast<std::size_t>(t) < taxi_count);
+    O2O_EXPECTS(matching.taxi_to_request[static_cast<std::size_t>(t)] == kDummy);
+    matching.taxi_to_request[static_cast<std::size_t>(t)] = static_cast<int>(r);
+  }
+  matching.request_to_taxi = std::move(request_to_taxi);
+  return matching;
+}
+
+bool is_valid(const PreferenceProfile& profile, const Matching& matching) {
+  if (matching.request_to_taxi.size() != profile.request_count()) return false;
+  if (matching.taxi_to_request.size() != profile.taxi_count()) return false;
+  std::vector<bool> taxi_used(profile.taxi_count(), false);
+  for (std::size_t r = 0; r < matching.request_to_taxi.size(); ++r) {
+    const int t = matching.request_to_taxi[r];
+    if (t == kDummy) continue;
+    if (t < 0 || static_cast<std::size_t>(t) >= profile.taxi_count()) return false;
+    if (taxi_used[static_cast<std::size_t>(t)]) return false;
+    taxi_used[static_cast<std::size_t>(t)] = true;
+    if (matching.taxi_to_request[static_cast<std::size_t>(t)] != static_cast<int>(r)) {
+      return false;
+    }
+    if (!profile.acceptable(r, static_cast<std::size_t>(t))) return false;
+  }
+  for (std::size_t t = 0; t < matching.taxi_to_request.size(); ++t) {
+    const int r = matching.taxi_to_request[t];
+    if (r == kDummy) continue;
+    if (r < 0 || static_cast<std::size_t>(r) >= profile.request_count()) return false;
+    if (matching.request_to_taxi[static_cast<std::size_t>(r)] != static_cast<int>(t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> blocking_pairs(
+    const PreferenceProfile& profile, const Matching& matching) {
+  std::vector<std::pair<std::size_t, std::size_t>> blocking;
+  for (std::size_t r = 0; r < profile.request_count(); ++r) {
+    for (std::size_t t = 0; t < profile.taxi_count(); ++t) {
+      if (!profile.acceptable(r, t)) continue;
+      // Both the request and the taxi would leave their current partner
+      // (possibly the dummy, which any acceptable partner beats) for each
+      // other: Definition 1 is violated.
+      const bool request_wants =
+          profile.request_prefers(r, static_cast<int>(t), matching.request_to_taxi[r]);
+      const bool taxi_wants =
+          profile.taxi_prefers(t, static_cast<int>(r), matching.taxi_to_request[t]);
+      if (request_wants && taxi_wants) blocking.emplace_back(r, t);
+    }
+  }
+  return blocking;
+}
+
+bool is_stable(const PreferenceProfile& profile, const Matching& matching) {
+  return is_valid(profile, matching) && blocking_pairs(profile, matching).empty();
+}
+
+namespace {
+
+/// Deferred acceptance with proposers on one side. `proposer_list` /
+/// `receiver_rank` abstract which side proposes so both directions share
+/// one implementation.
+template <typename ListFn, typename PrefersFn>
+std::vector<int> deferred_acceptance(std::size_t proposers, std::size_t receivers,
+                                     ListFn&& list_of, PrefersFn&& receiver_prefers) {
+  std::vector<int> proposer_match(proposers, kDummy);
+  std::vector<int> receiver_match(receivers, kDummy);
+  std::vector<std::size_t> next_choice(proposers, 0);
+
+  std::vector<std::size_t> free_stack;
+  free_stack.reserve(proposers);
+  // Reverse order so proposals happen in index order (matching the
+  // paper's "each passenger request proposes in turn").
+  for (std::size_t p = proposers; p-- > 0;) free_stack.push_back(p);
+
+  while (!free_stack.empty()) {
+    const std::size_t proposer = free_stack.back();
+    const auto& list = list_of(proposer);
+    if (next_choice[proposer] >= list.size()) {
+      // Preference list exhausted: the next entry is the dummy; the
+      // proposer stays unserved (sub-algorithm Proposal, lines 6-7).
+      free_stack.pop_back();
+      continue;
+    }
+    const auto receiver = static_cast<std::size_t>(list[next_choice[proposer]]);
+    ++next_choice[proposer];
+    // Sub-algorithm Refusal: the receiver keeps the preferred proposer.
+    // An unacceptable proposer is never in `list` on the proposer side,
+    // but the receiver may still find the proposer unacceptable when the
+    // receiver's own threshold is tighter -- receiver_prefers handles
+    // that by ranking unacceptable proposers below the dummy.
+    const int incumbent = receiver_match[receiver];
+    if (receiver_prefers(receiver, static_cast<int>(proposer), incumbent)) {
+      receiver_match[receiver] = static_cast<int>(proposer);
+      proposer_match[proposer] = static_cast<int>(receiver);
+      free_stack.pop_back();
+      if (incumbent != kDummy) {
+        proposer_match[static_cast<std::size_t>(incumbent)] = kDummy;
+        free_stack.push_back(static_cast<std::size_t>(incumbent));
+      }
+    }
+  }
+  return proposer_match;
+}
+
+}  // namespace
+
+Matching gale_shapley_requests(const PreferenceProfile& profile) {
+  std::vector<int> request_to_taxi = deferred_acceptance(
+      profile.request_count(), profile.taxi_count(),
+      [&](std::size_t r) -> const std::vector<int>& { return profile.request_list(r); },
+      [&](std::size_t t, int candidate, int incumbent) {
+        return profile.taxi_prefers(t, candidate, incumbent);
+      });
+  Matching matching = make_matching(std::move(request_to_taxi), profile.taxi_count());
+  O2O_ENSURES(is_stable(profile, matching));
+  return matching;
+}
+
+Matching gale_shapley_taxis(const PreferenceProfile& profile) {
+  const std::vector<int> taxi_to_request = deferred_acceptance(
+      profile.taxi_count(), profile.request_count(),
+      [&](std::size_t t) -> const std::vector<int>& { return profile.taxi_list(t); },
+      [&](std::size_t r, int candidate, int incumbent) {
+        return profile.request_prefers(r, candidate, incumbent);
+      });
+  std::vector<int> request_to_taxi(profile.request_count(), kDummy);
+  for (std::size_t t = 0; t < taxi_to_request.size(); ++t) {
+    const int r = taxi_to_request[t];
+    if (r != kDummy) request_to_taxi[static_cast<std::size_t>(r)] = static_cast<int>(t);
+  }
+  Matching matching = make_matching(std::move(request_to_taxi), profile.taxi_count());
+  O2O_ENSURES(is_stable(profile, matching));
+  return matching;
+}
+
+}  // namespace o2o::core

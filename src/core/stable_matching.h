@@ -1,0 +1,48 @@
+// Algorithm 1 of the paper: passenger-proposing deferred acceptance with
+// dummy partners (NSTD-P), its taxi-proposing mirror (the direct route to
+// the taxi-optimal schedule, cross-checked against Algorithm 2 in tests),
+// and the Definition-1 stability verifier.
+#pragma once
+
+#include <vector>
+
+#include "core/preferences.h"
+
+namespace o2o::core {
+
+/// A taxi dispatch schedule S. request_to_taxi[r] is the matched taxi
+/// index, or kDummy (unserved); taxi_to_request mirrors it.
+struct Matching {
+  std::vector<int> request_to_taxi;
+  std::vector<int> taxi_to_request;
+
+  std::size_t matched_count() const noexcept;
+
+  friend bool operator==(const Matching& a, const Matching& b) {
+    return a.request_to_taxi == b.request_to_taxi;  // the mirror is derived
+  }
+};
+
+/// Builds the taxi_to_request mirror from request_to_taxi.
+Matching make_matching(std::vector<int> request_to_taxi, std::size_t taxi_count);
+
+/// Structural validity: indices in range, mirror consistent, every
+/// matched pair mutually acceptable (a matched-but-unacceptable pair
+/// violates Definition 1 against the dummy).
+bool is_valid(const PreferenceProfile& profile, const Matching& matching);
+
+/// Definition 1 stability check: valid and no blocking pair.
+bool is_stable(const PreferenceProfile& profile, const Matching& matching);
+
+/// All blocking pairs (r, t): mutually acceptable pairs where both sides
+/// prefer each other over their current partners (dummies included).
+std::vector<std::pair<std::size_t, std::size_t>> blocking_pairs(
+    const PreferenceProfile& profile, const Matching& matching);
+
+/// Algorithm 1 (NSTD-P): the passenger-optimal stable schedule.
+Matching gale_shapley_requests(const PreferenceProfile& profile);
+
+/// Taxi-proposing deferred acceptance: the taxi-optimal stable schedule.
+Matching gale_shapley_taxis(const PreferenceProfile& profile);
+
+}  // namespace o2o::core

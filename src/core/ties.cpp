@@ -1,0 +1,112 @@
+#include "core/ties.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::core {
+
+namespace {
+
+void validate_scores(const TiedScores& scores) {
+  O2O_EXPECTS(scores.taxi.size() == scores.passenger.size());
+  for (std::size_t r = 0; r < scores.passenger.size(); ++r) {
+    O2O_EXPECTS(scores.passenger[r].size() == scores.taxi_count());
+    O2O_EXPECTS(scores.taxi[r].size() == scores.taxi_count());
+  }
+}
+
+bool acceptable(const TiedScores& scores, std::size_t r, std::size_t t) {
+  return scores.passenger[r][t] != kUnacceptable && scores.taxi[r][t] != kUnacceptable;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>> strict_blocking_pairs(
+    const TiedScores& scores, const Matching& matching) {
+  validate_scores(scores);
+  std::vector<std::pair<std::size_t, std::size_t>> blocking;
+  for (std::size_t r = 0; r < scores.request_count(); ++r) {
+    for (std::size_t t = 0; t < scores.taxi_count(); ++t) {
+      if (!acceptable(scores, r, t)) continue;
+      const int current_taxi = matching.request_to_taxi[r];
+      const int current_request = matching.taxi_to_request[t];
+      // Strict preference for the request: t's score beats the current
+      // partner's score (any acceptable partner beats the dummy).
+      const bool request_strict =
+          current_taxi == kDummy ||
+          scores.passenger[r][t] <
+              scores.passenger[r][static_cast<std::size_t>(current_taxi)];
+      const bool taxi_strict =
+          current_request == kDummy ||
+          scores.taxi[r][t] <
+              scores.taxi[static_cast<std::size_t>(current_request)][t];
+      if (request_strict && taxi_strict) blocking.emplace_back(r, t);
+    }
+  }
+  return blocking;
+}
+
+bool is_weakly_stable(const TiedScores& scores, const Matching& matching) {
+  validate_scores(scores);
+  if (matching.request_to_taxi.size() != scores.request_count()) return false;
+  if (matching.taxi_to_request.size() != scores.taxi_count()) return false;
+  // Validity: mirror consistency and mutual acceptability.
+  for (std::size_t r = 0; r < scores.request_count(); ++r) {
+    const int t = matching.request_to_taxi[r];
+    if (t == kDummy) continue;
+    if (t < 0 || static_cast<std::size_t>(t) >= scores.taxi_count()) return false;
+    if (matching.taxi_to_request[static_cast<std::size_t>(t)] != static_cast<int>(r)) {
+      return false;
+    }
+    if (!acceptable(scores, r, static_cast<std::size_t>(t))) return false;
+  }
+  return strict_blocking_pairs(scores, matching).empty();
+}
+
+PreferenceProfile break_ties(const TiedScores& scores, std::uint64_t seed) {
+  validate_scores(scores);
+  Rng rng(seed);
+  // Perturb every finite score by a tiny jitter that cannot reorder
+  // distinct values but randomizes runs of equal ones. Scores come from
+  // kilometre-scale distances, so distinct values differ by far more
+  // than the jitter span.
+  const double jitter = 1e-9;
+  TiedScores perturbed = scores;
+  for (auto* matrix : {&perturbed.passenger, &perturbed.taxi}) {
+    for (auto& row : *matrix) {
+      for (double& value : row) {
+        if (value != kUnacceptable) value += rng.uniform(0.0, jitter);
+      }
+    }
+  }
+  return PreferenceProfile::from_scores(std::move(perturbed.passenger),
+                                        std::move(perturbed.taxi));
+}
+
+TieBreakResult max_cardinality_weakly_stable(const TiedScores& scores,
+                                             std::size_t restarts, std::uint64_t seed) {
+  validate_scores(scores);
+  TieBreakResult best;
+  bool first = true;
+  for (std::size_t attempt = 0; attempt <= restarts; ++attempt) {
+    // Attempt 0 is the deterministic lowest-index tie-break (no jitter).
+    const PreferenceProfile profile =
+        attempt == 0
+            ? PreferenceProfile::from_scores(scores.passenger, scores.taxi)
+            : break_ties(scores, seed + attempt);
+    Matching matching = gale_shapley_requests(profile);
+    const std::size_t matched = matching.matched_count();
+    O2O_ENSURES(is_weakly_stable(scores, matching));
+    if (first || matched > best.matched) {
+      best.matching = std::move(matching);
+      best.matched = matched;
+      best.seed = attempt == 0 ? 0 : seed + attempt;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace o2o::core

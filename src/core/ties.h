@@ -1,0 +1,64 @@
+// Preference ties and weak stability -- the SMP relaxation the paper's
+// related-work section discusses (Iwama et al. [14]): with ties and
+// incomplete lists, *weakly* stable matchings (no pair strictly prefers
+// each other) always exist and are found by breaking ties arbitrarily
+// and running deferred acceptance, but different tie-breaks can match
+// different numbers of agents and maximizing the matched count is
+// NP-hard. This module provides:
+//
+//   * tie-aware weak-stability checking straight on score matrices
+//     (equal scores = indifference; distances tie in practice whenever
+//     several taxis wait at the same stand);
+//   * randomized tie-breaking into a strict PreferenceProfile;
+//   * a multi-restart heuristic for maximum-cardinality weakly stable
+//     matching (the local-approximation idea of Király [15]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/preferences.h"
+#include "core/stable_matching.h"
+
+namespace o2o::core {
+
+/// Score matrices with ties: rows = requests, cols = taxis, lower is
+/// better, kUnacceptable marks entries past the dummy.
+struct TiedScores {
+  std::vector<std::vector<double>> passenger;  ///< [r][t]
+  std::vector<std::vector<double>> taxi;       ///< [r][t]
+
+  std::size_t request_count() const noexcept { return passenger.size(); }
+  std::size_t taxi_count() const noexcept {
+    return passenger.empty() ? 0 : passenger.front().size();
+  }
+};
+
+/// Weak stability under ties: valid (mutually acceptable pairs only) and
+/// no pair (r, t) where *both* sides strictly prefer each other over
+/// their current partners.
+bool is_weakly_stable(const TiedScores& scores, const Matching& matching);
+
+/// All strictly-blocking pairs (empty iff weakly stable, given validity).
+std::vector<std::pair<std::size_t, std::size_t>> strict_blocking_pairs(
+    const TiedScores& scores, const Matching& matching);
+
+/// Breaks ties by a seeded random perturbation of equal-score runs and
+/// builds a strict profile. Every deferred-acceptance run on the result
+/// is weakly stable with respect to the original tied scores.
+PreferenceProfile break_ties(const TiedScores& scores, std::uint64_t seed);
+
+struct TieBreakResult {
+  Matching matching;
+  std::size_t matched = 0;
+  std::uint64_t seed = 0;  ///< tie-break seed that produced it
+};
+
+/// Multi-restart maximum-cardinality heuristic: run `restarts` random
+/// tie-breaks (plus the deterministic lowest-index one), keep the
+/// weakly stable matching serving the most requests.
+TieBreakResult max_cardinality_weakly_stable(const TiedScores& scores,
+                                             std::size_t restarts = 16,
+                                             std::uint64_t seed = 1);
+
+}  // namespace o2o::core

@@ -1,0 +1,56 @@
+// The paper's distance function D(.,.) as an abstract oracle, so every
+// algorithm (preferences, routing, baselines) is written once and runs
+// against straight-line, rectilinear, circuity-scaled, or road-network
+// shortest-path distances.
+#pragma once
+
+#include <memory>
+
+#include "geo/point.h"
+#include "util/contracts.h"
+
+namespace o2o::geo {
+
+/// Abstract shortest-path distance D(a, b) in km. Implementations must be
+/// non-negative, symmetric up to the network's one-way streets, and satisfy
+/// D(a, a) == 0.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+  virtual double distance(const Point& a, const Point& b) const = 0;
+};
+
+/// Straight-line distance (the paper's Euclidean surface).
+class EuclideanOracle final : public DistanceOracle {
+ public:
+  double distance(const Point& a, const Point& b) const override {
+    return euclidean_distance(a, b);
+  }
+};
+
+/// Rectilinear (grid street) distance.
+class ManhattanOracle final : public DistanceOracle {
+ public:
+  double distance(const Point& a, const Point& b) const override {
+    return manhattan_distance(a, b);
+  }
+};
+
+/// Euclidean distance inflated by a circuity factor >= 1 -- the standard
+/// approximation of road distance from straight-line distance (factor
+/// ~1.3 for US cities).
+class CircuityOracle final : public DistanceOracle {
+ public:
+  explicit CircuityOracle(double factor) : factor_(factor) {
+    O2O_EXPECTS(factor >= 1.0);
+  }
+  double distance(const Point& a, const Point& b) const override {
+    return factor_ * euclidean_distance(a, b);
+  }
+  double factor() const noexcept { return factor_; }
+
+ private:
+  double factor_;
+};
+
+}  // namespace o2o::geo

@@ -1,0 +1,82 @@
+// Planar geometry primitives. The city is modelled as a plane with
+// kilometre coordinates (the paper's "Euclidean surface"); latitude and
+// longitude from real traces are projected into this plane (projection.h).
+#pragma once
+
+#include <cmath>
+
+namespace o2o::geo {
+
+/// A location in the city plane, in kilometres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point& a, const Point& b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(const Point& a, const Point& b) noexcept {
+    return !(a == b);
+  }
+  friend constexpr Point operator+(const Point& a, const Point& b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(const Point& a, const Point& b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(const Point& p, double s) noexcept {
+    return {p.x * s, p.y * s};
+  }
+  friend constexpr Point operator*(double s, const Point& p) noexcept { return p * s; }
+};
+
+inline double euclidean_distance(const Point& a, const Point& b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+constexpr double manhattan_distance(const Point& a, const Point& b) noexcept {
+  const double dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const double dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+constexpr double squared_distance(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Linear interpolation from `a` toward `b`: t=0 -> a, t=1 -> b.
+constexpr Point lerp(const Point& a, const Point& b, double t) noexcept {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Moves from `from` toward `to` by at most `step` km. Returns `to` when
+/// the remaining distance is within `step`.
+inline Point advance_toward(const Point& from, const Point& to, double step) noexcept {
+  const double dist = euclidean_distance(from, to);
+  if (dist <= step || dist == 0.0) return to;
+  return lerp(from, to, step / dist);
+}
+
+/// Axis-aligned rectangle, used to describe a city's service region.
+struct Rect {
+  Point lo;  ///< min-x / min-y corner
+  Point hi;  ///< max-x / max-y corner
+
+  constexpr double width() const noexcept { return hi.x - lo.x; }
+  constexpr double height() const noexcept { return hi.y - lo.y; }
+  constexpr Point center() const noexcept {
+    return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0};
+  }
+  constexpr bool contains(const Point& p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  /// Clamps `p` into the rectangle (component-wise).
+  constexpr Point clamp(const Point& p) const noexcept {
+    return {p.x < lo.x ? lo.x : (p.x > hi.x ? hi.x : p.x),
+            p.y < lo.y ? lo.y : (p.y > hi.y ? hi.y : p.y)};
+  }
+};
+
+}  // namespace o2o::geo

@@ -1,0 +1,27 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+namespace o2o::geo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double degrees_to_radians(double degrees) noexcept { return degrees * kPi / 180.0; }
+}  // namespace
+
+Projection::Projection(LatLon reference) noexcept : reference_(reference) {
+  km_per_degree_lat_ = kEarthRadiusKm * kPi / 180.0;
+  km_per_degree_lon_ = km_per_degree_lat_ * std::cos(degrees_to_radians(reference.lat));
+}
+
+Point Projection::to_plane(LatLon coordinate) const noexcept {
+  return {(coordinate.lon - reference_.lon) * km_per_degree_lon_,
+          (coordinate.lat - reference_.lat) * km_per_degree_lat_};
+}
+
+LatLon Projection::to_latlon(Point p) const noexcept {
+  return {reference_.lat + p.y / km_per_degree_lat_,
+          reference_.lon + p.x / km_per_degree_lon_};
+}
+
+}  // namespace o2o::geo

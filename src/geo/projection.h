@@ -1,0 +1,38 @@
+// Equirectangular projection between WGS-84 latitude/longitude and the
+// kilometre plane used by the simulator. Accurate to well under 1% over
+// city-scale extents, which is all the dispatch model needs.
+#pragma once
+
+#include "geo/point.h"
+
+namespace o2o::geo {
+
+/// A WGS-84 coordinate in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Projects lat/lon to km offsets from a fixed reference coordinate.
+class Projection {
+ public:
+  explicit Projection(LatLon reference) noexcept;
+
+  /// Forward projection: lat/lon -> km plane (x east, y north).
+  Point to_plane(LatLon coordinate) const noexcept;
+
+  /// Inverse projection: km plane -> lat/lon.
+  LatLon to_latlon(Point p) const noexcept;
+
+  LatLon reference() const noexcept { return reference_; }
+
+  /// Mean Earth radius in km (spherical model).
+  static constexpr double kEarthRadiusKm = 6371.0088;
+
+ private:
+  LatLon reference_;
+  double km_per_degree_lat_;
+  double km_per_degree_lon_;
+};
+
+}  // namespace o2o::geo

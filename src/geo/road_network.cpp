@@ -1,0 +1,262 @@
+#include "geo/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/rng.h"
+
+namespace o2o::geo {
+
+NodeId RoadNetwork::add_node(Point position) {
+  nodes_.push_back(position);
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void RoadNetwork::add_edge(NodeId from, NodeId to, double length_km) {
+  O2O_EXPECTS(from >= 0 && static_cast<std::size_t>(from) < nodes_.size());
+  O2O_EXPECTS(to >= 0 && static_cast<std::size_t>(to) < nodes_.size());
+  if (length_km < 0.0) {
+    length_km = euclidean_distance(nodes_[static_cast<std::size_t>(from)],
+                                   nodes_[static_cast<std::size_t>(to)]);
+  }
+  adjacency_[static_cast<std::size_t>(from)].push_back(Edge{to, length_km});
+  ++edge_count_;
+}
+
+void RoadNetwork::add_bidirectional_edge(NodeId a, NodeId b, double length_km) {
+  add_edge(a, b, length_km);
+  add_edge(b, a, length_km);
+}
+
+const Point& RoadNetwork::node_position(NodeId id) const {
+  O2O_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<RoadNetwork::Edge>& RoadNetwork::edges_from(NodeId id) const {
+  O2O_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return adjacency_[static_cast<std::size_t>(id)];
+}
+
+NodeId RoadNetwork::nearest_node(const Point& p) const {
+  O2O_EXPECTS(!nodes_.empty());
+  if (snap_cols_ > 0) {
+    // Search outward ring by ring from p's cell until a candidate is found
+    // and the ring distance exceeds the best candidate distance.
+    const auto cell_of = [&](double v, double lo) {
+      return static_cast<int>(std::floor((v - lo) / snap_cell_km_));
+    };
+    int cx = std::clamp(cell_of(p.x, snap_bounds_.lo.x), 0, snap_cols_ - 1);
+    int cy = std::clamp(cell_of(p.y, snap_bounds_.lo.y), 0, snap_rows_ - 1);
+    NodeId best = kInvalidNode;
+    double best_sq = kInfiniteDistance;
+    const int max_ring = std::max(snap_cols_, snap_rows_);
+    for (int ring = 0; ring <= max_ring; ++ring) {
+      if (best != kInvalidNode) {
+        const double safe = (static_cast<double>(ring) - 1.0) * snap_cell_km_;
+        if (safe > 0.0 && safe * safe >= best_sq) break;
+      }
+      for (int dy = -ring; dy <= ring; ++dy) {
+        for (int dx = -ring; dx <= ring; ++dx) {
+          if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+          const int x = cx + dx;
+          const int y = cy + dy;
+          if (x < 0 || x >= snap_cols_ || y < 0 || y >= snap_rows_) continue;
+          for (NodeId id : snap_cells_[static_cast<std::size_t>(y * snap_cols_ + x)]) {
+            const double d = squared_distance(p, nodes_[static_cast<std::size_t>(id)]);
+            if (d < best_sq) {
+              best_sq = d;
+              best = id;
+            }
+          }
+        }
+      }
+    }
+    if (best != kInvalidNode) return best;
+  }
+  NodeId best = 0;
+  double best_sq = squared_distance(p, nodes_[0]);
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const double d = squared_distance(p, nodes_[i]);
+    if (d < best_sq) {
+      best_sq = d;
+      best = static_cast<NodeId>(i);
+    }
+  }
+  return best;
+}
+
+void RoadNetwork::build_snap_index(double cell_km) {
+  O2O_EXPECTS(cell_km > 0.0);
+  O2O_EXPECTS(!nodes_.empty());
+  snap_cell_km_ = cell_km;
+  snap_bounds_ = Rect{nodes_[0], nodes_[0]};
+  for (const Point& p : nodes_) {
+    snap_bounds_.lo.x = std::min(snap_bounds_.lo.x, p.x);
+    snap_bounds_.lo.y = std::min(snap_bounds_.lo.y, p.y);
+    snap_bounds_.hi.x = std::max(snap_bounds_.hi.x, p.x);
+    snap_bounds_.hi.y = std::max(snap_bounds_.hi.y, p.y);
+  }
+  snap_cols_ = std::max(1, static_cast<int>(std::ceil(snap_bounds_.width() / cell_km)));
+  snap_rows_ = std::max(1, static_cast<int>(std::ceil(snap_bounds_.height() / cell_km)));
+  snap_cells_.assign(static_cast<std::size_t>(snap_cols_) * static_cast<std::size_t>(snap_rows_),
+                     {});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Point& p = nodes_[i];
+    const int x = std::clamp(static_cast<int>((p.x - snap_bounds_.lo.x) / cell_km), 0,
+                             snap_cols_ - 1);
+    const int y = std::clamp(static_cast<int>((p.y - snap_bounds_.lo.y) / cell_km), 0,
+                             snap_rows_ - 1);
+    snap_cells_[static_cast<std::size_t>(y * snap_cols_ + x)].push_back(
+        static_cast<NodeId>(i));
+  }
+}
+
+std::vector<double> RoadNetwork::shortest_paths_from(NodeId source) const {
+  O2O_EXPECTS(source >= 0 && static_cast<std::size_t>(source) < nodes_.size());
+  std::vector<double> dist(nodes_.size(), kInfiniteDistance);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  frontier.emplace(0.0, source);
+  while (!frontier.empty()) {
+    const auto [d, node] = frontier.top();
+    frontier.pop();
+    if (d > dist[static_cast<std::size_t>(node)]) continue;
+    for (const Edge& edge : adjacency_[static_cast<std::size_t>(node)]) {
+      const double candidate = d + edge.length_km;
+      if (candidate < dist[static_cast<std::size_t>(edge.to)]) {
+        dist[static_cast<std::size_t>(edge.to)] = candidate;
+        frontier.emplace(candidate, edge.to);
+      }
+    }
+  }
+  return dist;
+}
+
+double RoadNetwork::shortest_path(NodeId source, NodeId target) const {
+  O2O_EXPECTS(target >= 0 && static_cast<std::size_t>(target) < nodes_.size());
+  return shortest_paths_from(source)[static_cast<std::size_t>(target)];
+}
+
+std::vector<NodeId> RoadNetwork::shortest_path_nodes(NodeId source, NodeId target) const {
+  O2O_EXPECTS(source >= 0 && static_cast<std::size_t>(source) < nodes_.size());
+  O2O_EXPECTS(target >= 0 && static_cast<std::size_t>(target) < nodes_.size());
+  std::vector<double> dist(nodes_.size(), kInfiniteDistance);
+  std::vector<NodeId> parent(nodes_.size(), kInvalidNode);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  frontier.emplace(0.0, source);
+  while (!frontier.empty()) {
+    const auto [d, node] = frontier.top();
+    frontier.pop();
+    if (node == target) break;
+    if (d > dist[static_cast<std::size_t>(node)]) continue;
+    for (const Edge& edge : adjacency_[static_cast<std::size_t>(node)]) {
+      const double candidate = d + edge.length_km;
+      if (candidate < dist[static_cast<std::size_t>(edge.to)]) {
+        dist[static_cast<std::size_t>(edge.to)] = candidate;
+        parent[static_cast<std::size_t>(edge.to)] = node;
+        frontier.emplace(candidate, edge.to);
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(target)] == kInfiniteDistance) return {};
+  std::vector<NodeId> path;
+  for (NodeId at = target; at != kInvalidNode; at = parent[static_cast<std::size_t>(at)]) {
+    path.push_back(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<Point> RoadNetwork::drive_path(const Point& from, const Point& to) const {
+  std::vector<Point> path;
+  path.push_back(from);
+  const NodeId source = nearest_node(from);
+  const NodeId target = nearest_node(to);
+  if (source != target) {
+    const std::vector<NodeId> nodes = shortest_path_nodes(source, target);
+    for (NodeId node : nodes) {
+      path.push_back(node_position(node));
+    }
+    // Unreachable: `nodes` is empty and the path degenerates to the
+    // direct segment below.
+  }
+  path.push_back(to);
+  return path;
+}
+
+RoadNetwork RoadNetwork::make_grid_city(int cols, int rows, double spacing_km,
+                                        double jitter_km, double closure_fraction,
+                                        std::uint64_t seed, Point origin) {
+  O2O_EXPECTS(cols >= 2 && rows >= 2);
+  O2O_EXPECTS(spacing_km > 0.0);
+  O2O_EXPECTS(jitter_km >= 0.0 && jitter_km < spacing_km / 2.0);
+  O2O_EXPECTS(closure_fraction >= 0.0 && closure_fraction < 1.0);
+  Rng rng(seed);
+  RoadNetwork network;
+  const auto node_at = [cols](int x, int y) { return static_cast<NodeId>(y * cols + x); };
+  for (int y = 0; y < rows; ++y) {
+    for (int x = 0; x < cols; ++x) {
+      const double jx = jitter_km > 0.0 ? rng.uniform(-jitter_km, jitter_km) : 0.0;
+      const double jy = jitter_km > 0.0 ? rng.uniform(-jitter_km, jitter_km) : 0.0;
+      network.add_node(Point{origin.x + x * spacing_km + jx,
+                             origin.y + y * spacing_km + jy});
+    }
+  }
+  for (int y = 0; y < rows; ++y) {
+    for (int x = 0; x < cols; ++x) {
+      // Always keep the "spanning comb" (all vertical streets plus the
+      // bottom row) so the city stays strongly connected; closures only
+      // remove the remaining redundant segments.
+      if (x + 1 < cols) {
+        const bool essential = (y == 0);
+        if (essential || !rng.bernoulli(closure_fraction)) {
+          network.add_bidirectional_edge(node_at(x, y), node_at(x + 1, y));
+        }
+      }
+      if (y + 1 < rows) {
+        network.add_bidirectional_edge(node_at(x, y), node_at(x, y + 1));
+      }
+    }
+  }
+  network.build_snap_index(std::max(0.25, spacing_km));
+  return network;
+}
+
+NetworkOracle::NetworkOracle(const RoadNetwork& network, std::size_t cache_capacity)
+    : network_(network), cache_capacity_(cache_capacity) {
+  O2O_EXPECTS(network.node_count() > 0);
+  O2O_EXPECTS(cache_capacity > 0);
+}
+
+const std::vector<double>& NetworkOracle::tree_for(NodeId source) const {
+  const auto it = cache_.find(source);
+  if (it != cache_.end()) return it->second;
+  if (cache_.size() >= cache_capacity_) {
+    // Evict the oldest half. Coarse, but keeps amortized cost low and the
+    // map bounded without per-query bookkeeping.
+    const std::size_t keep_from = cache_order_.size() / 2;
+    for (std::size_t i = 0; i < keep_from; ++i) cache_.erase(cache_order_[i]);
+    cache_order_.erase(cache_order_.begin(),
+                       cache_order_.begin() + static_cast<std::ptrdiff_t>(keep_from));
+  }
+  cache_order_.push_back(source);
+  return cache_.emplace(source, network_.shortest_paths_from(source)).first->second;
+}
+
+double NetworkOracle::distance(const Point& a, const Point& b) const {
+  const NodeId from = network_.nearest_node(a);
+  const NodeId to = network_.nearest_node(b);
+  const double snap_a = euclidean_distance(a, network_.node_position(from));
+  const double snap_b = euclidean_distance(b, network_.node_position(to));
+  if (from == to) return euclidean_distance(a, b);
+  const double network_leg = tree_for(from)[static_cast<std::size_t>(to)];
+  return snap_a + network_leg + snap_b;
+}
+
+}  // namespace o2o::geo

@@ -1,0 +1,137 @@
+#include "index/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace o2o::index {
+
+SpatialGrid::SpatialGrid(geo::Rect bounds, double cell_km)
+    : bounds_(bounds), cell_km_(cell_km) {
+  O2O_EXPECTS(cell_km > 0.0);
+  O2O_EXPECTS(bounds.width() > 0.0 && bounds.height() > 0.0);
+  cols_ = std::max(1, static_cast<int>(std::ceil(bounds.width() / cell_km)));
+  rows_ = std::max(1, static_cast<int>(std::ceil(bounds.height() / cell_km)));
+  cells_.resize(static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_));
+}
+
+std::size_t SpatialGrid::cell_index(const geo::Point& p) const noexcept {
+  const int cx = std::clamp(static_cast<int>((p.x - bounds_.lo.x) / cell_km_), 0, cols_ - 1);
+  const int cy = std::clamp(static_cast<int>((p.y - bounds_.lo.y) / cell_km_), 0, rows_ - 1);
+  return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(cx);
+}
+
+void SpatialGrid::erase_from_cell(std::int32_t id, std::size_t cell) {
+  auto& bucket = cells_[cell];
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+}
+
+void SpatialGrid::upsert(std::int32_t id, geo::Point position) {
+  const auto it = positions_.find(id);
+  const std::size_t new_cell = cell_index(position);
+  if (it != positions_.end()) {
+    const std::size_t old_cell = cell_index(it->second);
+    if (old_cell != new_cell) {
+      erase_from_cell(id, old_cell);
+      cells_[new_cell].push_back(id);
+    }
+    it->second = position;
+    return;
+  }
+  positions_.emplace(id, position);
+  cells_[new_cell].push_back(id);
+}
+
+void SpatialGrid::remove(std::int32_t id) {
+  const auto it = positions_.find(id);
+  if (it == positions_.end()) return;
+  erase_from_cell(id, cell_index(it->second));
+  positions_.erase(it);
+}
+
+bool SpatialGrid::contains(std::int32_t id) const noexcept {
+  return positions_.find(id) != positions_.end();
+}
+
+std::optional<geo::Point> SpatialGrid::position(std::int32_t id) const {
+  const auto it = positions_.find(id);
+  if (it == positions_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int32_t> SpatialGrid::nearest(
+    const geo::Point& p, const std::function<bool(std::int32_t)>& accept) const {
+  const auto best = k_nearest(p, 1, accept);
+  if (best.empty()) return std::nullopt;
+  return best.front();
+}
+
+std::vector<std::int32_t> SpatialGrid::k_nearest(
+    const geo::Point& p, std::size_t k,
+    const std::function<bool(std::int32_t)>& accept) const {
+  std::vector<std::pair<double, std::int32_t>> found;  // (squared distance, id)
+  if (k == 0 || positions_.empty()) return {};
+  const int cx = std::clamp(static_cast<int>((p.x - bounds_.lo.x) / cell_km_), 0, cols_ - 1);
+  const int cy = std::clamp(static_cast<int>((p.y - bounds_.lo.y) / cell_km_), 0, rows_ - 1);
+  const int max_ring = std::max(cols_, rows_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Once we hold k candidates, a further ring can only help if its
+    // guaranteed minimum distance beats our current k-th best.
+    if (found.size() >= k) {
+      std::nth_element(found.begin(), found.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                       found.end());
+      const double kth_sq = found[k - 1].first;
+      const double safe = (static_cast<double>(ring) - 1.0) * cell_km_;
+      if (safe > 0.0 && safe * safe >= kth_sq) break;
+    }
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const int x = cx + dx;
+        const int y = cy + dy;
+        if (x < 0 || x >= cols_ || y < 0 || y >= rows_) continue;
+        for (std::int32_t id :
+             cells_[static_cast<std::size_t>(y) * static_cast<std::size_t>(cols_) +
+                    static_cast<std::size_t>(x)]) {
+          if (accept && !accept(id)) continue;
+          found.emplace_back(geo::squared_distance(p, positions_.at(id)), id);
+        }
+      }
+    }
+  }
+  std::sort(found.begin(), found.end());
+  if (found.size() > k) found.resize(k);
+  std::vector<std::int32_t> ids;
+  ids.reserve(found.size());
+  for (const auto& [d, id] : found) ids.push_back(id);
+  return ids;
+}
+
+std::vector<std::int32_t> SpatialGrid::within_radius(const geo::Point& p,
+                                                     double radius_km) const {
+  O2O_EXPECTS(radius_km >= 0.0);
+  std::vector<std::int32_t> ids;
+  const double r_sq = radius_km * radius_km;
+  const int lo_x = std::clamp(
+      static_cast<int>((p.x - radius_km - bounds_.lo.x) / cell_km_), 0, cols_ - 1);
+  const int hi_x = std::clamp(
+      static_cast<int>((p.x + radius_km - bounds_.lo.x) / cell_km_), 0, cols_ - 1);
+  const int lo_y = std::clamp(
+      static_cast<int>((p.y - radius_km - bounds_.lo.y) / cell_km_), 0, rows_ - 1);
+  const int hi_y = std::clamp(
+      static_cast<int>((p.y + radius_km - bounds_.lo.y) / cell_km_), 0, rows_ - 1);
+  for (int y = lo_y; y <= hi_y; ++y) {
+    for (int x = lo_x; x <= hi_x; ++x) {
+      for (std::int32_t id :
+           cells_[static_cast<std::size_t>(y) * static_cast<std::size_t>(cols_) +
+                  static_cast<std::size_t>(x)]) {
+        if (geo::squared_distance(p, positions_.at(id)) <= r_sq) ids.push_back(id);
+      }
+    }
+  }
+  return ids;
+}
+
+}  // namespace o2o::index

@@ -1,0 +1,57 @@
+// Uniform spatial grid over integer-keyed moving objects (taxis). Backs
+// the Greedy baseline's nearest-idle-taxi query, preference-list capping,
+// and the RAII baseline's spatio-temporal retrieval.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace o2o::index {
+
+class SpatialGrid {
+ public:
+  /// `bounds` is advisory (objects outside are clamped to edge cells).
+  SpatialGrid(geo::Rect bounds, double cell_km);
+
+  /// Inserts or moves object `id` to `position`.
+  void upsert(std::int32_t id, geo::Point position);
+
+  /// Removes `id`; no-op when absent.
+  void remove(std::int32_t id);
+
+  bool contains(std::int32_t id) const noexcept;
+  std::size_t size() const noexcept { return positions_.size(); }
+  std::optional<geo::Point> position(std::int32_t id) const;
+
+  /// Nearest object to `p` accepted by `accept` (straight-line metric,
+  /// ring search). Returns nullopt when no accepted object exists.
+  std::optional<std::int32_t> nearest(
+      const geo::Point& p,
+      const std::function<bool(std::int32_t)>& accept = nullptr) const;
+
+  /// Up to `k` nearest accepted objects, sorted by distance.
+  std::vector<std::int32_t> k_nearest(
+      const geo::Point& p, std::size_t k,
+      const std::function<bool(std::int32_t)>& accept = nullptr) const;
+
+  /// All objects within `radius_km` of `p` (unsorted).
+  std::vector<std::int32_t> within_radius(const geo::Point& p, double radius_km) const;
+
+ private:
+  geo::Rect bounds_;
+  double cell_km_;
+  int cols_;
+  int rows_;
+  std::vector<std::vector<std::int32_t>> cells_;
+  std::unordered_map<std::int32_t, geo::Point> positions_;
+
+  std::size_t cell_index(const geo::Point& p) const noexcept;
+  void erase_from_cell(std::int32_t id, std::size_t cell);
+};
+
+}  // namespace o2o::index

@@ -1,0 +1,72 @@
+#include "index/spatio_temporal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace o2o::index {
+
+SpatioTemporalIndex::SpatioTemporalIndex(geo::Rect bounds, double cell_km,
+                                         double slot_seconds, std::size_t horizon_slots)
+    : bounds_(bounds), cell_km_(cell_km), slot_seconds_(slot_seconds) {
+  O2O_EXPECTS(slot_seconds > 0.0);
+  O2O_EXPECTS(horizon_slots > 0);
+  slots_.reserve(horizon_slots);
+  for (std::size_t i = 0; i < horizon_slots; ++i) slots_.emplace_back(bounds, cell_km);
+}
+
+std::int64_t SpatioTemporalIndex::slot_of(double at_seconds) const noexcept {
+  return static_cast<std::int64_t>(std::floor(at_seconds / slot_seconds_));
+}
+
+std::size_t SpatioTemporalIndex::ring_index(std::int64_t slot) const noexcept {
+  const auto n = static_cast<std::int64_t>(slots_.size());
+  return static_cast<std::size_t>(((slot % n) + n) % n);
+}
+
+void SpatioTemporalIndex::insert(std::int32_t id, geo::Point position, double at_seconds) {
+  const std::int64_t slot = slot_of(at_seconds);
+  if (slot < window_start_slot_ ||
+      slot >= window_start_slot_ + static_cast<std::int64_t>(slots_.size())) {
+    return;  // outside the indexable horizon
+  }
+  slots_[ring_index(slot)].upsert(id, position);
+}
+
+void SpatioTemporalIndex::remove(std::int32_t id) {
+  for (auto& grid : slots_) grid.remove(id);
+}
+
+void SpatioTemporalIndex::advance(double now_seconds) {
+  const std::int64_t new_start = slot_of(now_seconds);
+  if (new_start <= window_start_slot_) return;
+  const std::int64_t steps =
+      std::min<std::int64_t>(new_start - window_start_slot_,
+                             static_cast<std::int64_t>(slots_.size()));
+  for (std::int64_t i = 0; i < steps; ++i) {
+    // Reset the recycled slot by replacing it with an empty grid.
+    slots_[ring_index(window_start_slot_ + i)] = SpatialGrid(bounds_, cell_km_);
+  }
+  window_start_slot_ = new_start;
+}
+
+std::vector<std::int32_t> SpatioTemporalIndex::query(const geo::Point& p, double radius_km,
+                                                     double from_seconds,
+                                                     double to_seconds) const {
+  O2O_EXPECTS(from_seconds <= to_seconds);
+  std::unordered_set<std::int32_t> seen;
+  std::vector<std::int32_t> ids;
+  const std::int64_t lo =
+      std::max(slot_of(from_seconds), window_start_slot_);
+  const std::int64_t hi =
+      std::min(slot_of(to_seconds),
+               window_start_slot_ + static_cast<std::int64_t>(slots_.size()) - 1);
+  for (std::int64_t slot = lo; slot <= hi; ++slot) {
+    for (std::int32_t id : slots_[ring_index(slot)].within_radius(p, radius_km)) {
+      if (seen.insert(id).second) ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+}  // namespace o2o::index

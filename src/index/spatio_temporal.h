@@ -1,0 +1,54 @@
+// Spatio-temporal index: a spatial grid per time slot over a sliding
+// horizon. This is the substrate behind the RAII sharing baseline
+// (emulating the spatio-temporal indices of Ma et al.): a taxi is
+// registered under the time slots at which its current route will place
+// it near each grid cell, so a request probes only the taxis that can
+// plausibly reach it soon.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/spatial_grid.h"
+#include "util/contracts.h"
+
+namespace o2o::index {
+
+class SpatioTemporalIndex {
+ public:
+  /// `slot_seconds` is the temporal resolution; `horizon_slots` bounds how
+  /// far into the future taxis project their positions.
+  SpatioTemporalIndex(geo::Rect bounds, double cell_km, double slot_seconds,
+                      std::size_t horizon_slots);
+
+  /// Registers (or re-registers) taxi `id` as being at `position` at
+  /// absolute time `at_seconds`. Entries older than the horizon are
+  /// dropped lazily when the window advances.
+  void insert(std::int32_t id, geo::Point position, double at_seconds);
+
+  /// Removes every registration of `id`.
+  void remove(std::int32_t id);
+
+  /// Advances the window so slots before `now_seconds` are recycled.
+  void advance(double now_seconds);
+
+  /// Taxis registered within `radius_km` of `p` over time slots
+  /// [from_seconds, to_seconds]. Duplicates removed.
+  std::vector<std::int32_t> query(const geo::Point& p, double radius_km,
+                                  double from_seconds, double to_seconds) const;
+
+  double slot_seconds() const noexcept { return slot_seconds_; }
+  std::size_t horizon_slots() const noexcept { return slots_.size(); }
+
+ private:
+  geo::Rect bounds_;
+  double cell_km_;
+  double slot_seconds_;
+  std::int64_t window_start_slot_ = 0;
+  std::vector<SpatialGrid> slots_;  // ring buffer keyed by slot index
+
+  std::int64_t slot_of(double at_seconds) const noexcept;
+  std::size_t ring_index(std::int64_t slot) const noexcept;
+};
+
+}  // namespace o2o::index

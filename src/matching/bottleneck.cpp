@@ -1,0 +1,68 @@
+#include "matching/bottleneck.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "matching/hopcroft_karp.h"
+
+namespace o2o::matching {
+
+namespace {
+
+/// Max matching size using only edges with cost <= threshold; fills
+/// `matching_out` with the left->right assignment found.
+std::size_t matching_under_threshold(const CostMatrix& costs, double threshold,
+                                     std::vector<int>& matching_out) {
+  BipartiteGraph graph(costs.rows(), costs.cols());
+  for (std::size_t r = 0; r < costs.rows(); ++r) {
+    for (std::size_t c = 0; c < costs.cols(); ++c) {
+      const double cost = costs.at(r, c);
+      if (cost != kForbidden && cost <= threshold) graph.add_edge(r, c);
+    }
+  }
+  MatchingResult result = hopcroft_karp(graph);
+  matching_out = std::move(result.left_to_right);
+  return result.size;
+}
+
+}  // namespace
+
+Assignment solve_min_max(const CostMatrix& costs) {
+  if (costs.rows() == 0 || costs.cols() == 0) return Assignment(costs.rows(), -1);
+
+  std::vector<double> distinct;
+  distinct.reserve(costs.rows() * costs.cols());
+  for (std::size_t r = 0; r < costs.rows(); ++r) {
+    for (std::size_t c = 0; c < costs.cols(); ++c) {
+      const double cost = costs.at(r, c);
+      if (cost != kForbidden) distinct.push_back(cost);
+    }
+  }
+  if (distinct.empty()) return Assignment(costs.rows(), -1);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+
+  std::vector<int> matching;
+  const std::size_t target = matching_under_threshold(costs, distinct.back(), matching);
+  if (target == 0) return Assignment(costs.rows(), -1);
+
+  // Binary search the smallest threshold that still admits `target`
+  // matched pairs.
+  std::size_t lo = 0;
+  std::size_t hi = distinct.size() - 1;  // known feasible
+  Assignment best = matching;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::vector<int> candidate;
+    if (matching_under_threshold(costs, distinct[mid], candidate) == target) {
+      best = std::move(candidate);
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  O2O_ENSURES(is_valid_assignment(costs, best));
+  return best;
+}
+
+}  // namespace o2o::matching

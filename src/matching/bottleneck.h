@@ -1,0 +1,18 @@
+// Bottleneck assignment: among all maximum-cardinality matchings, find
+// one minimizing the largest matched-pair cost. This is the paper's
+// "MinMax" baseline (Hanna et al. [3]): minimize the worst pick-up
+// distance over all matched request-taxi pairs.
+//
+// Solved by binary search over the sorted distinct finite costs, using
+// Hopcroft-Karp to test whether a threshold still admits a
+// maximum-cardinality matching.
+#pragma once
+
+#include "matching/cost_matrix.h"
+
+namespace o2o::matching {
+
+/// Max-cardinality matching minimizing the maximum matched cost.
+Assignment solve_min_max(const CostMatrix& costs);
+
+}  // namespace o2o::matching

@@ -1,0 +1,52 @@
+#include "matching/cost_matrix.h"
+
+#include <limits>
+
+namespace o2o::matching {
+
+double assignment_cost(const CostMatrix& costs, const Assignment& assignment) {
+  O2O_EXPECTS(assignment.size() == costs.rows());
+  double total = 0.0;
+  for (std::size_t r = 0; r < assignment.size(); ++r) {
+    const int c = assignment[r];
+    if (c < 0) continue;
+    total += costs.at(r, static_cast<std::size_t>(c));
+  }
+  return total;
+}
+
+double assignment_bottleneck(const CostMatrix& costs, const Assignment& assignment) {
+  O2O_EXPECTS(assignment.size() == costs.rows());
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < assignment.size(); ++r) {
+    const int c = assignment[r];
+    if (c < 0) continue;
+    const double cost = costs.at(r, static_cast<std::size_t>(c));
+    if (cost > worst) worst = cost;
+  }
+  return worst;
+}
+
+std::size_t assignment_size(const Assignment& assignment) {
+  std::size_t matched = 0;
+  for (int c : assignment) {
+    if (c >= 0) ++matched;
+  }
+  return matched;
+}
+
+bool is_valid_assignment(const CostMatrix& costs, const Assignment& assignment) {
+  if (assignment.size() != costs.rows()) return false;
+  std::vector<bool> used(costs.cols(), false);
+  for (std::size_t r = 0; r < assignment.size(); ++r) {
+    const int c = assignment[r];
+    if (c < 0) continue;
+    if (static_cast<std::size_t>(c) >= costs.cols()) return false;
+    if (used[static_cast<std::size_t>(c)]) return false;
+    used[static_cast<std::size_t>(c)] = true;
+    if (costs.forbidden(r, static_cast<std::size_t>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace o2o::matching

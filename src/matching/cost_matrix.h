@@ -1,0 +1,59 @@
+// Dense row-major cost matrix for assignment problems. Rows are requests,
+// columns are taxis in all dispatch uses. `kForbidden` marks pairs that
+// must never be matched (e.g. beyond a feasibility threshold).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace o2o::matching {
+
+inline constexpr double kForbidden = std::numeric_limits<double>::infinity();
+
+class CostMatrix {
+ public:
+  CostMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), cells_(rows * cols, fill) {
+    O2O_EXPECTS(rows > 0 || cols > 0);
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) {
+    O2O_EXPECTS(r < rows_ && c < cols_);
+    return cells_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    O2O_EXPECTS(r < rows_ && c < cols_);
+    return cells_[r * cols_ + c];
+  }
+
+  bool forbidden(std::size_t r, std::size_t c) const { return at(r, c) == kForbidden; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> cells_;
+};
+
+/// An assignment: row r is matched to column assignment[r], or -1 when
+/// unmatched. Always respects forbidden cells.
+using Assignment = std::vector<int>;
+
+/// Total cost of an assignment (forbidden / unmatched rows contribute 0).
+double assignment_cost(const CostMatrix& costs, const Assignment& assignment);
+
+/// Largest single matched-pair cost (-inf when nothing is matched).
+double assignment_bottleneck(const CostMatrix& costs, const Assignment& assignment);
+
+/// Number of matched rows.
+std::size_t assignment_size(const Assignment& assignment);
+
+/// Checks structural validity: indices in range, no column used twice,
+/// no forbidden pair used.
+bool is_valid_assignment(const CostMatrix& costs, const Assignment& assignment);
+
+}  // namespace o2o::matching

@@ -1,0 +1,30 @@
+#include "matching/greedy.h"
+
+#include <vector>
+
+namespace o2o::matching {
+
+Assignment solve_greedy(const CostMatrix& costs) {
+  Assignment assignment(costs.rows(), -1);
+  std::vector<bool> used(costs.cols(), false);
+  for (std::size_t r = 0; r < costs.rows(); ++r) {
+    int best = -1;
+    double best_cost = kForbidden;
+    for (std::size_t c = 0; c < costs.cols(); ++c) {
+      if (used[c]) continue;
+      const double cost = costs.at(r, c);
+      if (cost != kForbidden && cost < best_cost) {
+        best_cost = cost;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best >= 0) {
+      assignment[r] = best;
+      used[static_cast<std::size_t>(best)] = true;
+    }
+  }
+  O2O_ENSURES(is_valid_assignment(costs, assignment));
+  return assignment;
+}
+
+}  // namespace o2o::matching

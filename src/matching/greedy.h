@@ -1,0 +1,14 @@
+// Greedy sequential assignment: each row, in index order, takes the
+// cheapest still-unused feasible column. This is the paper's "Greedy"
+// baseline (nearest idle taxi per request, in request-arrival order),
+// noted in [3,4] to have excellent average behaviour despite an
+// exponential competitive ratio.
+#pragma once
+
+#include "matching/cost_matrix.h"
+
+namespace o2o::matching {
+
+Assignment solve_greedy(const CostMatrix& costs);
+
+}  // namespace o2o::matching

@@ -1,0 +1,90 @@
+#include "matching/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/contracts.h"
+
+namespace o2o::matching {
+
+BipartiteGraph::BipartiteGraph(std::size_t left_count, std::size_t right_count)
+    : right_count_(right_count), adjacency_(left_count) {}
+
+void BipartiteGraph::add_edge(std::size_t left, std::size_t right) {
+  O2O_EXPECTS(left < adjacency_.size());
+  O2O_EXPECTS(right < right_count_);
+  adjacency_[left].push_back(right);
+}
+
+const std::vector<std::size_t>& BipartiteGraph::neighbors(std::size_t left) const {
+  O2O_EXPECTS(left < adjacency_.size());
+  return adjacency_[left];
+}
+
+namespace {
+
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+
+struct HkState {
+  const BipartiteGraph& graph;
+  std::vector<int>& left_to_right;
+  std::vector<int>& right_to_left;
+  std::vector<std::size_t> level;
+
+  bool bfs() {
+    std::queue<std::size_t> frontier;
+    level.assign(graph.left_count(), kInf);
+    for (std::size_t u = 0; u < graph.left_count(); ++u) {
+      if (left_to_right[u] < 0) {
+        level[u] = 0;
+        frontier.push(u);
+      }
+    }
+    bool found_augmenting = false;
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop();
+      for (std::size_t v : graph.neighbors(u)) {
+        const int w = right_to_left[v];
+        if (w < 0) {
+          found_augmenting = true;
+        } else if (level[static_cast<std::size_t>(w)] == kInf) {
+          level[static_cast<std::size_t>(w)] = level[u] + 1;
+          frontier.push(static_cast<std::size_t>(w));
+        }
+      }
+    }
+    return found_augmenting;
+  }
+
+  bool dfs(std::size_t u) {
+    for (std::size_t v : graph.neighbors(u)) {
+      const int w = right_to_left[v];
+      if (w < 0 || (level[static_cast<std::size_t>(w)] == level[u] + 1 &&
+                    dfs(static_cast<std::size_t>(w)))) {
+        left_to_right[u] = static_cast<int>(v);
+        right_to_left[v] = static_cast<int>(u);
+        return true;
+      }
+    }
+    level[u] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+MatchingResult hopcroft_karp(const BipartiteGraph& graph) {
+  MatchingResult result;
+  result.left_to_right.assign(graph.left_count(), -1);
+  result.right_to_left.assign(graph.right_count(), -1);
+  HkState state{graph, result.left_to_right, result.right_to_left, {}};
+  while (state.bfs()) {
+    for (std::size_t u = 0; u < graph.left_count(); ++u) {
+      if (result.left_to_right[u] < 0 && state.dfs(u)) ++result.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace o2o::matching

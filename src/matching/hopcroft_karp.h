@@ -1,0 +1,35 @@
+// Hopcroft-Karp maximum-cardinality bipartite matching in O(E sqrt(V)).
+// Substrate for the bottleneck ("MinMax") assignment solver and for
+// feasibility checks in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace o2o::matching {
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t left_count, std::size_t right_count);
+
+  void add_edge(std::size_t left, std::size_t right);
+
+  std::size_t left_count() const noexcept { return adjacency_.size(); }
+  std::size_t right_count() const noexcept { return right_count_; }
+  const std::vector<std::size_t>& neighbors(std::size_t left) const;
+
+ private:
+  std::size_t right_count_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+struct MatchingResult {
+  std::vector<int> left_to_right;  ///< -1 when unmatched
+  std::vector<int> right_to_left;  ///< -1 when unmatched
+  std::size_t size = 0;
+};
+
+/// Maximum-cardinality matching via Hopcroft-Karp.
+MatchingResult hopcroft_karp(const BipartiteGraph& graph);
+
+}  // namespace o2o::matching

@@ -1,0 +1,113 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace o2o::matching {
+
+namespace {
+
+/// Core solver for rows <= cols with finite surrogate costs. Returns, for
+/// each row, the matched column (all rows matched; cols >= rows).
+/// Classic potentials formulation: u/v are dual potentials, p[j] is the
+/// row matched to column j (0 = none; 1-based internally).
+std::vector<int> hungarian_rows_le_cols(std::size_t n, std::size_t m,
+                                        const std::vector<double>& a) {
+  // a is (n+1) x (m+1), 1-based.
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<std::size_t> p(m + 1, 0), way(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, kForbidden);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kForbidden;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = a[i0 * (m + 1) + j] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int> row_to_col(n, -1);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (p[j] != 0) row_to_col[p[j] - 1] = static_cast<int>(j - 1);
+  }
+  return row_to_col;
+}
+
+}  // namespace
+
+Assignment solve_min_cost(const CostMatrix& costs) {
+  const std::size_t rows = costs.rows();
+  const std::size_t cols = costs.cols();
+  if (rows == 0 || cols == 0) return Assignment(rows, -1);
+
+  // Surrogate cost for forbidden pairs: large enough that the solver
+  // prefers any set of finite-cost matches over one forbidden match, which
+  // yields the max-cardinality / min-cost behaviour after stripping.
+  double max_finite = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double cost = costs.at(r, c);
+      if (cost != kForbidden) max_finite = std::max(max_finite, std::abs(cost));
+    }
+  }
+  // `2 *` because costs may be negative (taxi-dissatisfaction scores):
+  // the spread between any two all-finite assignments is at most
+  // 2 * n * max_finite, and one forbidden edge must exceed that spread.
+  const double big =
+      2.0 * (max_finite + 1.0) * (static_cast<double>(std::min(rows, cols)) + 1.0);
+
+  const bool transposed = rows > cols;
+  const std::size_t n = transposed ? cols : rows;
+  const std::size_t m = transposed ? rows : cols;
+  std::vector<double> a((n + 1) * (m + 1), 0.0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double cost = transposed ? costs.at(j - 1, i - 1) : costs.at(i - 1, j - 1);
+      a[i * (m + 1) + j] = (cost == kForbidden) ? big : cost;
+    }
+  }
+
+  const std::vector<int> row_to_col = hungarian_rows_le_cols(n, m, a);
+
+  Assignment assignment(rows, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int j = row_to_col[i];
+    if (j < 0) continue;
+    const std::size_t r = transposed ? static_cast<std::size_t>(j) : i;
+    const std::size_t c = transposed ? i : static_cast<std::size_t>(j);
+    if (!costs.forbidden(r, c)) assignment[r] = static_cast<int>(c);
+  }
+  O2O_ENSURES(is_valid_assignment(costs, assignment));
+  return assignment;
+}
+
+}  // namespace o2o::matching

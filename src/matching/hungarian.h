@@ -1,0 +1,19 @@
+// Hungarian algorithm (Kuhn-Munkres with potentials, the O(n^2 m)
+// shortest-augmenting-path formulation) for rectangular min-cost
+// assignment. This is the substrate of the paper's "MinCost" baseline
+// [3,4]: a minimum-cost bipartite matching between passenger requests
+// (rows) and taxis (columns) using pick-up distances as costs.
+//
+// Forbidden pairs (cost == kForbidden) are never matched; among all
+// assignments that avoid them, the solver first maximizes cardinality and
+// then minimizes total cost.
+#pragma once
+
+#include "matching/cost_matrix.h"
+
+namespace o2o::matching {
+
+/// Max-cardinality, then min-total-cost assignment.
+Assignment solve_min_cost(const CostMatrix& costs);
+
+}  // namespace o2o::matching

@@ -1,0 +1,43 @@
+#include "metrics/bootstrap.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::metrics {
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     double confidence, std::size_t resamples,
+                                     std::uint64_t seed) {
+  O2O_EXPECTS(!samples.empty());
+  O2O_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  O2O_EXPECTS(resamples >= 10);
+  Rng rng(seed);
+
+  ConfidenceInterval ci;
+  ci.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+            static_cast<double>(samples.size());
+
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t b = 0; b < resamples; ++b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      sum += samples[rng.uniform_index(samples.size())];
+    }
+    means.push_back(sum / static_cast<double>(samples.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto index_of = [&](double p) {
+    const double rank = p * static_cast<double>(means.size() - 1);
+    return means[static_cast<std::size_t>(rank + 0.5)];
+  };
+  ci.lo = index_of(alpha);
+  ci.hi = index_of(1.0 - alpha);
+  return ci;
+}
+
+}  // namespace o2o::metrics

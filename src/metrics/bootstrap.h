@@ -1,0 +1,30 @@
+// Percentile-bootstrap confidence intervals for the benchmark means --
+// the figure benches report means over served requests; the CI makes
+// "A beats B" claims in EXPERIMENTS.md checkable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace o2o::metrics {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lo = 0.0;   ///< lower percentile bound
+  double hi = 0.0;   ///< upper percentile bound
+
+  bool contains(double value) const noexcept { return value >= lo && value <= hi; }
+  /// Two intervals that do not overlap support a difference claim.
+  bool overlaps(const ConfidenceInterval& other) const noexcept {
+    return lo <= other.hi && other.lo <= hi;
+  }
+};
+
+/// Percentile bootstrap CI of the mean: `resamples` draws with
+/// replacement; confidence in (0, 1), e.g. 0.95.
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     double confidence = 0.95,
+                                     std::size_t resamples = 1000,
+                                     std::uint64_t seed = 1);
+
+}  // namespace o2o::metrics

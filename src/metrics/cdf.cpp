@@ -1,0 +1,79 @@
+#include "metrics/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contracts.h"
+
+namespace o2o::metrics {
+
+void CdfBuilder::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+void CdfBuilder::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double CdfBuilder::cdf_at(double x) const {
+  O2O_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double CdfBuilder::quantile(double p) const {
+  O2O_EXPECTS(!samples_.empty());
+  O2O_EXPECTS(p >= 0.0 && p <= 1.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = p * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double fraction = rank - static_cast<double>(lo);
+  return samples_[lo] + (samples_[hi] - samples_[lo]) * fraction;
+}
+
+double CdfBuilder::min() const {
+  O2O_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double CdfBuilder::max() const {
+  O2O_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double CdfBuilder::mean() const {
+  O2O_EXPECTS(!samples_.empty());
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<CdfBuilder::SeriesPoint> CdfBuilder::series(double lo, double hi,
+                                                        int points) const {
+  O2O_EXPECTS(points >= 2);
+  O2O_EXPECTS(lo <= hi);
+  O2O_EXPECTS(!samples_.empty());
+  std::vector<SeriesPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+    out.push_back(SeriesPoint{x, cdf_at(x)});
+  }
+  return out;
+}
+
+const std::vector<double>& CdfBuilder::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+}  // namespace o2o::metrics

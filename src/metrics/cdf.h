@@ -1,0 +1,48 @@
+// Empirical CDF construction -- the paper reports its headline results
+// (Figs. 4, 5, 8, 9) as CDFs of dispatch delay and of passenger/taxi
+// dissatisfaction. CdfBuilder collects raw samples and answers quantile
+// and F(x) queries, and emits evenly-spaced series for plotting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace o2o::metrics {
+
+class CdfBuilder {
+ public:
+  void add(double sample) { samples_.push_back(sample); sorted_ = false; }
+  void add_all(const std::vector<double>& samples);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Empirical CDF value F(x) = P[X <= x]. Requires at least one sample.
+  double cdf_at(double x) const;
+
+  /// Empirical quantile for p in [0, 1] (nearest-rank with interpolation).
+  double quantile(double p) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// (x, F(x)) series over `points` evenly spaced x-values covering
+  /// [lo, hi]; used by the figure benches to print plottable rows.
+  struct SeriesPoint {
+    double x;
+    double f;
+  };
+  std::vector<SeriesPoint> series(double lo, double hi, int points) const;
+
+  /// Access to sorted samples (finalizes lazily).
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+
+  void ensure_sorted() const;
+};
+
+}  // namespace o2o::metrics

@@ -1,0 +1,61 @@
+// Fixed-width histogram; used for diagnostics and for the hourly demand
+// profile checks in the synthetic-trace tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace o2o::metrics {
+
+class Histogram {
+ public:
+  /// Buckets cover [lo, hi); samples outside are clamped into the first /
+  /// last bucket so nothing is silently dropped.
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {
+    O2O_EXPECTS(buckets > 0);
+    O2O_EXPECTS(lo < hi);
+  }
+
+  void add(double sample) noexcept {
+    ++counts_[bucket_of(sample)];
+    ++total_;
+  }
+
+  std::size_t bucket_of(double sample) const noexcept {
+    if (sample < lo_) return 0;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    const auto raw = static_cast<std::size_t>((sample - lo_) / width);
+    return raw >= counts_.size() ? counts_.size() - 1 : raw;
+  }
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const {
+    O2O_EXPECTS(bucket < counts_.size());
+    return counts_[bucket];
+  }
+  std::size_t total() const noexcept { return total_; }
+
+  double bucket_low(std::size_t bucket) const {
+    O2O_EXPECTS(bucket < counts_.size());
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(bucket);
+  }
+
+  /// Fraction of all samples in `bucket` (0 when empty).
+  double fraction(std::size_t bucket) const {
+    O2O_EXPECTS(bucket < counts_.size());
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(counts_[bucket]) / static_cast<double>(total_);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace o2o::metrics

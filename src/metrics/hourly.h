@@ -1,0 +1,53 @@
+// Time-of-day bucketed accumulators -- Fig. 7 reports average dispatch
+// delay and dissatisfaction against clock time (3-hour buckets over a
+// day). HourlyBuckets maps a timestamp in seconds-since-midnight (values
+// beyond one day wrap) into its bucket's StreamingStats.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "metrics/summary.h"
+#include "util/contracts.h"
+
+namespace o2o::metrics {
+
+class HourlyBuckets {
+ public:
+  /// `bucket_hours` must divide 24.
+  explicit HourlyBuckets(int bucket_hours = 3) : bucket_hours_(bucket_hours) {
+    O2O_EXPECTS(bucket_hours > 0 && 24 % bucket_hours == 0);
+    stats_.resize(static_cast<std::size_t>(24 / bucket_hours));
+  }
+
+  void add(double time_seconds, double sample) {
+    stats_[bucket_of(time_seconds)].add(sample);
+  }
+
+  std::size_t bucket_of(double time_seconds) const noexcept {
+    double day_seconds = time_seconds - 86400.0 * std::floor(time_seconds / 86400.0);
+    const auto hour = static_cast<int>(day_seconds / 3600.0) % 24;
+    return static_cast<std::size_t>(hour / bucket_hours_);
+  }
+
+  std::size_t bucket_count() const noexcept { return stats_.size(); }
+  int bucket_hours() const noexcept { return bucket_hours_; }
+
+  /// Clock hour at which bucket `i` starts (0, 3, 6, ... for 3h buckets).
+  int bucket_start_hour(std::size_t i) const {
+    O2O_EXPECTS(i < stats_.size());
+    return static_cast<int>(i) * bucket_hours_;
+  }
+
+  const StreamingStats& bucket(std::size_t i) const {
+    O2O_EXPECTS(i < stats_.size());
+    return stats_[i];
+  }
+
+ private:
+  int bucket_hours_;
+  std::vector<StreamingStats> stats_;
+};
+
+}  // namespace o2o::metrics

@@ -1,0 +1,73 @@
+// Streaming summary statistics (Welford) used throughout the simulator
+// and the benchmark harnesses.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace o2o::metrics {
+
+/// Single-pass count/mean/variance/min/max accumulator.
+class StreamingStats {
+ public:
+  void add(double sample) noexcept {
+    ++count_;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    if (sample < min_) min_ = sample;
+    if (sample > max_) max_ = sample;
+    sum_ += sample;
+  }
+
+  /// Pools another accumulator into this one (parallel Welford merge).
+  void merge(const StreamingStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  double min() const {
+    O2O_EXPECTS(count_ > 0);
+    return min_;
+  }
+  double max() const {
+    O2O_EXPECTS(count_ > 0);
+    return max_;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace o2o::metrics

@@ -1,0 +1,103 @@
+#include "packing/groups.h"
+
+#include <algorithm>
+
+#include "routing/optimizer.h"
+#include "util/contracts.h"
+
+namespace o2o::packing {
+
+ShareGroup evaluate_group(std::span<const trace::Request> requests,
+                          const std::vector<std::size_t>& member_indices,
+                          const geo::DistanceOracle& oracle, const GroupOptions& options,
+                          int taxi_seats, bool& feasible) {
+  O2O_EXPECTS(member_indices.size() >= 2);
+  ShareGroup group;
+  group.member_indices = member_indices;
+  feasible = true;
+
+  int seats_needed = 0;
+  std::vector<trace::Request> riders;
+  riders.reserve(member_indices.size());
+  for (std::size_t index : member_indices) {
+    O2O_EXPECTS(index < requests.size());
+    riders.push_back(requests[index]);
+    seats_needed += requests[index].seats;
+  }
+  if (seats_needed > taxi_seats) {
+    feasible = false;
+    return group;
+  }
+
+  group.pooled_route = routing::optimal_route(riders, oracle);
+  group.pooled_length_km = routing::route_length(group.pooled_route, oracle);
+  for (const trace::Request& rider : riders) {
+    const double direct = oracle.distance(rider.pickup, rider.dropoff);
+    const auto metrics = routing::rider_metrics(group.pooled_route, rider.id, oracle);
+    const double detour = metrics.ride_km - direct;
+    group.direct_sum_km += direct;
+    group.max_detour_km = std::max(group.max_detour_km, detour);
+    if (detour > options.detour_threshold_km) feasible = false;
+  }
+  if (options.require_saving && group.pooled_length_km >= group.direct_sum_km - 1e-9) {
+    feasible = false;
+  }
+  return group;
+}
+
+std::vector<ShareGroup> enumerate_share_groups(std::span<const trace::Request> requests,
+                                               const geo::DistanceOracle& oracle,
+                                               const GroupOptions& options,
+                                               int taxi_seats) {
+  O2O_EXPECTS(options.max_group_size >= 2 && options.max_group_size <= 4);
+  O2O_EXPECTS(options.detour_threshold_km >= 0.0);
+  std::vector<ShareGroup> groups;
+  const std::size_t n = requests.size();
+
+  const auto pickups_close = [&](std::size_t i, std::size_t j) {
+    if (options.pickup_radius_km == std::numeric_limits<double>::infinity()) return true;
+    return geo::euclidean_distance(requests[i].pickup, requests[j].pickup) <=
+           options.pickup_radius_km;
+  };
+
+  // Pairs. Remember feasibility for the triple-growing prune.
+  std::vector<std::vector<bool>> pair_feasible;
+  if (options.grow_triples_from_pairs) {
+    pair_feasible.assign(n, std::vector<bool>(n, false));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!pickups_close(i, j)) continue;
+      bool feasible = false;
+      ShareGroup group = evaluate_group(requests, {i, j}, oracle, options, taxi_seats,
+                                        feasible);
+      if (!feasible) continue;
+      if (options.grow_triples_from_pairs) {
+        pair_feasible[i][j] = pair_feasible[j][i] = true;
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+
+  if (options.max_group_size < 3) return groups;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (options.grow_triples_from_pairs && !pair_feasible[i][j]) continue;
+      for (std::size_t k = j + 1; k < n; ++k) {
+        if (options.grow_triples_from_pairs &&
+            (!pair_feasible[i][k] || !pair_feasible[j][k])) {
+          continue;
+        }
+        if (!pickups_close(i, k) || !pickups_close(j, k)) continue;
+        bool feasible = false;
+        ShareGroup group = evaluate_group(requests, {i, j, k}, oracle, options, taxi_seats,
+                                          feasible);
+        if (feasible) groups.push_back(std::move(group));
+      }
+    }
+  }
+  return groups;
+}
+
+}  // namespace o2o::packing

@@ -1,0 +1,59 @@
+// Feasible share-group enumeration (line 1 of the paper's Algorithm 3):
+// the set C of all subsets c_k of passenger requests (2 <= |c_k| <= 3)
+// that can share one taxi, i.e. whose optimal pooled route keeps every
+// member's detour D_ck(r.s, r.d) - D(r.s, r.d) within the threshold θ.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geo/distance_oracle.h"
+#include "routing/route.h"
+#include "trace/request.h"
+
+namespace o2o::packing {
+
+/// One feasible shared ride over concrete requests.
+struct ShareGroup {
+  std::vector<std::size_t> member_indices;  ///< indices into the request span
+  routing::Route pooled_route;              ///< optimal route, no taxi anchor
+  double pooled_length_km = 0.0;            ///< length of pooled_route
+  double direct_sum_km = 0.0;               ///< Σ_j D(r_j.s, r_j.d)
+  double max_detour_km = 0.0;               ///< worst member detour
+};
+
+struct GroupOptions {
+  double detour_threshold_km = 5.0;  ///< θ
+  int max_group_size = 3;            ///< the paper's practical |c_k| <= 3
+  /// When true (default), triples are grown from feasible pairs only --
+  /// the standard pruning. Exhaustive enumeration (false) is exponential
+  /// but exact; tests compare both on small inputs.
+  bool grow_triples_from_pairs = true;
+  /// Requests whose pick-ups are farther apart than this can never ride
+  /// together (cheap pre-filter; +inf disables).
+  double pickup_radius_km = std::numeric_limits<double>::infinity();
+  /// Require the pooled route to be strictly shorter than the sum of the
+  /// members' direct trips. Without this, two back-to-back trips served
+  /// *sequentially* satisfy the detour constraint with zero detour while
+  /// sharing saves nothing -- the paper's model implicitly assumes rides
+  /// overlap, and this constraint makes that explicit.
+  bool require_saving = true;
+};
+
+/// Enumerates all feasible groups of size in [2, max_group_size] over
+/// `requests`. Seat demands are honoured against `taxi_seats`.
+std::vector<ShareGroup> enumerate_share_groups(std::span<const trace::Request> requests,
+                                               const geo::DistanceOracle& oracle,
+                                               const GroupOptions& options,
+                                               int taxi_seats = 4);
+
+/// Builds the ShareGroup record (route + detours) for one candidate
+/// member set; `feasible` is set false when any detour exceeds θ or the
+/// seat demand exceeds `taxi_seats`.
+ShareGroup evaluate_group(std::span<const trace::Request> requests,
+                          const std::vector<std::size_t>& member_indices,
+                          const geo::DistanceOracle& oracle, const GroupOptions& options,
+                          int taxi_seats, bool& feasible);
+
+}  // namespace o2o::packing

@@ -1,0 +1,44 @@
+#include "routing/insertion.h"
+
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace o2o::routing {
+
+std::optional<InsertionResult> cheapest_insertion(const Route& route,
+                                                  const trace::Request& request,
+                                                  const geo::DistanceOracle& oracle) {
+  for (const Stop& stop : route.stops) {
+    if (stop.request == request.id) return std::nullopt;
+  }
+  const double base_length = route_length(route, oracle);
+  InsertionResult best;
+  best.added_km = std::numeric_limits<double>::infinity();
+  // Insert pick-up at position i and drop-off at position j (after the
+  // pick-up): positions index into the stop sequence, i <= j.
+  const std::size_t n = route.stops.size();
+  for (std::size_t i = 0; i <= n; ++i) {
+    for (std::size_t j = i; j <= n; ++j) {
+      Route candidate = route;
+      candidate.stops.insert(candidate.stops.begin() + static_cast<std::ptrdiff_t>(i),
+                             Stop{request.id, true, request.pickup});
+      candidate.stops.insert(candidate.stops.begin() + static_cast<std::ptrdiff_t>(j + 1),
+                             Stop{request.id, false, request.dropoff});
+      const double added = route_length(candidate, oracle) - base_length;
+      if (added < best.added_km) {
+        best.route = std::move(candidate);
+        best.added_km = added;
+        best.pickup_index = i;
+        best.dropoff_index = j + 1;
+      }
+    }
+  }
+  // The input route may be a busy taxi's remainder (drop-off-only stops
+  // for onboard riders), so full precedence cannot be asserted here; the
+  // inserted pair's ordering is guaranteed by construction.
+  O2O_ENSURES(best.pickup_index < best.dropoff_index);
+  return best;
+}
+
+}  // namespace o2o::routing

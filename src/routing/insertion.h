@@ -1,0 +1,28 @@
+// Cheapest-insertion of one request into an existing route: the primitive
+// behind the SARP baseline [8] (TSP-style insertion with minimum extra
+// travel distance) and the RAII baseline's candidate evaluation [7].
+#pragma once
+
+#include <optional>
+
+#include "geo/distance_oracle.h"
+#include "routing/route.h"
+#include "trace/request.h"
+
+namespace o2o::routing {
+
+struct InsertionResult {
+  Route route;            ///< route with the request inserted
+  double added_km = 0.0;  ///< length increase over the input route
+  std::size_t pickup_index = 0;   ///< position of the new pick-up stop
+  std::size_t dropoff_index = 0;  ///< position of the new drop-off stop
+};
+
+/// Tries every (pickup, dropoff) position pair with pickup before dropoff
+/// and returns the cheapest. Nullopt only when the request id already
+/// appears on the route.
+std::optional<InsertionResult> cheapest_insertion(const Route& route,
+                                                  const trace::Request& request,
+                                                  const geo::DistanceOracle& oracle);
+
+}  // namespace o2o::routing

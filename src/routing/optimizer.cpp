@@ -1,0 +1,228 @@
+#include "routing/optimizer.h"
+
+#include <limits>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace o2o::routing {
+
+namespace {
+
+std::vector<Stop> stops_of(std::span<const trace::Request> riders) {
+  std::vector<Stop> stops;
+  stops.reserve(riders.size() * 2);
+  for (const trace::Request& r : riders) {
+    stops.push_back(Stop{r.id, true, r.pickup});    // index 2i
+    stops.push_back(Stop{r.id, false, r.dropoff});  // index 2i + 1
+  }
+  return stops;
+}
+
+/// Pairwise distances among stops (and from the start when present).
+struct DistanceTable {
+  std::vector<double> stop_to_stop;  // n x n
+  std::vector<double> start_to_stop; // n (empty when no start)
+  std::size_t n = 0;
+
+  DistanceTable(const std::vector<Stop>& stops, const geo::DistanceOracle& oracle,
+                const std::optional<geo::Point>& start)
+      : n(stops.size()) {
+    stop_to_stop.resize(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j) stop_to_stop[i * n + j] = oracle.distance(stops[i].point, stops[j].point);
+      }
+    }
+    if (start.has_value()) {
+      start_to_stop.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        start_to_stop[i] = oracle.distance(*start, stops[i].point);
+      }
+    }
+  }
+
+  double leading(std::size_t first_stop) const {
+    return start_to_stop.empty() ? 0.0 : start_to_stop[first_stop];
+  }
+};
+
+struct ExhaustiveSearch {
+  const std::vector<Stop>& stops;
+  const DistanceTable& distances;
+  std::vector<std::size_t> order;
+  std::vector<bool> used;
+  std::vector<std::size_t> best_order;
+  double best_length = std::numeric_limits<double>::infinity();
+
+  void recurse(double length_so_far) {
+    if (length_so_far >= best_length) return;  // prune
+    if (order.size() == stops.size()) {
+      best_length = length_so_far;
+      best_order = order;
+      return;
+    }
+    for (std::size_t s = 0; s < stops.size(); ++s) {
+      if (used[s]) continue;
+      // Drop-off (odd index) requires its pick-up (s - 1) already placed.
+      if (s % 2 == 1 && !used[s - 1]) continue;
+      const double leg = order.empty() ? distances.leading(s)
+                                       : distances.stop_to_stop[order.back() * distances.n + s];
+      used[s] = true;
+      order.push_back(s);
+      recurse(length_so_far + leg);
+      order.pop_back();
+      used[s] = false;
+    }
+  }
+};
+
+Route route_from_order(const std::vector<Stop>& stops, const std::vector<std::size_t>& order,
+                       const std::optional<geo::Point>& start) {
+  Route route;
+  route.start = start;
+  route.stops.reserve(order.size());
+  for (std::size_t s : order) route.stops.push_back(stops[s]);
+  return route;
+}
+
+}  // namespace
+
+Route optimal_route_exhaustive(std::span<const trace::Request> riders,
+                               const geo::DistanceOracle& oracle,
+                               std::optional<geo::Point> start) {
+  O2O_EXPECTS(riders.size() >= 1 && riders.size() <= 4);
+  const std::vector<Stop> stops = stops_of(riders);
+  const DistanceTable distances(stops, oracle, start);
+  ExhaustiveSearch search{stops, distances, {}, std::vector<bool>(stops.size(), false), {},
+                          std::numeric_limits<double>::infinity()};
+  search.order.reserve(stops.size());
+  search.recurse(0.0);
+  Route route = route_from_order(stops, search.best_order, start);
+  O2O_ENSURES(respects_precedence(route));
+  return route;
+}
+
+Route optimal_route_dp(std::span<const trace::Request> riders,
+                       const geo::DistanceOracle& oracle, std::optional<geo::Point> start) {
+  O2O_EXPECTS(riders.size() >= 1 && riders.size() <= 8);
+  const std::vector<Stop> stops = stops_of(riders);
+  const DistanceTable distances(stops, oracle, start);
+  const std::size_t n = stops.size();
+  const std::size_t masks = std::size_t{1} << n;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // dp[mask][last]: min length of a precedence-feasible partial route
+  // visiting exactly `mask`, ending at stop `last`.
+  std::vector<double> dp(masks * n, kInf);
+  std::vector<int> parent(masks * n, -1);
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (s % 2 == 1) continue;  // cannot start with a drop-off
+    dp[(std::size_t{1} << s) * n + s] = distances.leading(s);
+  }
+  for (std::size_t mask = 1; mask < masks; ++mask) {
+    for (std::size_t last = 0; last < n; ++last) {
+      const double length = dp[mask * n + last];
+      if (length == kInf) continue;
+      for (std::size_t next = 0; next < n; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        if (next % 2 == 1 && !(mask & (std::size_t{1} << (next - 1)))) continue;
+        const std::size_t new_mask = mask | (std::size_t{1} << next);
+        const double candidate = length + distances.stop_to_stop[last * n + next];
+        if (candidate < dp[new_mask * n + next]) {
+          dp[new_mask * n + next] = candidate;
+          parent[new_mask * n + next] = static_cast<int>(last);
+        }
+      }
+    }
+  }
+
+  const std::size_t full = masks - 1;
+  std::size_t best_last = 0;
+  double best_length = kInf;
+  for (std::size_t last = 0; last < n; ++last) {
+    if (dp[full * n + last] < best_length) {
+      best_length = dp[full * n + last];
+      best_last = last;
+    }
+  }
+  O2O_ENSURES(best_length < kInf);
+
+  std::vector<std::size_t> order(n);
+  std::size_t mask = full;
+  std::size_t at = best_last;
+  for (std::size_t i = n; i-- > 0;) {
+    order[i] = at;
+    const int prev = parent[mask * n + at];
+    mask ^= (std::size_t{1} << at);
+    if (prev < 0) break;
+    at = static_cast<std::size_t>(prev);
+  }
+  Route route = route_from_order(stops, order, start);
+  O2O_ENSURES(respects_precedence(route));
+  return route;
+}
+
+Route optimal_route(std::span<const trace::Request> riders, const geo::DistanceOracle& oracle,
+                    std::optional<geo::Point> start) {
+  O2O_EXPECTS(!riders.empty());
+  if (riders.size() <= 3) return optimal_route_exhaustive(riders, oracle, start);
+  return optimal_route_dp(riders, oracle, start);
+}
+
+AnchoredRouteSolver::AnchoredRouteSolver(std::vector<trace::Request> riders,
+                                         const geo::DistanceOracle& oracle)
+    : riders_(std::move(riders)), oracle_(oracle) {
+  O2O_EXPECTS(!riders_.empty() && riders_.size() <= 4);
+  stops_ = stops_of(riders_);
+  const std::size_t n = stops_.size();
+  stop_table_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) stop_table_[i * n + j] = oracle.distance(stops_[i].point, stops_[j].point);
+    }
+  }
+}
+
+std::vector<std::size_t> AnchoredRouteSolver::solve(const geo::Point& start,
+                                                    double& length_out) const {
+  const std::size_t n = stops_.size();
+  DistanceTable distances({}, oracle_, std::nullopt);  // filled manually below
+  distances.n = n;
+  distances.stop_to_stop = stop_table_;
+  distances.start_to_stop.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    distances.start_to_stop[i] = oracle_.distance(start, stops_[i].point);
+  }
+  ExhaustiveSearch search{stops_, distances, {}, std::vector<bool>(n, false), {},
+                          std::numeric_limits<double>::infinity()};
+  search.order.reserve(n);
+  search.recurse(0.0);
+  length_out = search.best_length;
+  return search.best_order;
+}
+
+Route AnchoredRouteSolver::best_route(const geo::Point& start) const {
+  double length = 0.0;
+  const std::vector<std::size_t> order = solve(start, length);
+  Route route = route_from_order(stops_, order, start);
+  O2O_ENSURES(respects_precedence(route));
+  return route;
+}
+
+double AnchoredRouteSolver::best_length(const geo::Point& start) const {
+  double length = 0.0;
+  (void)solve(start, length);
+  return length;
+}
+
+long long feasible_order_count(int riders) {
+  O2O_EXPECTS(riders >= 0 && riders <= 10);
+  long long count = 1;
+  for (int i = 1; i <= 2 * riders; ++i) count *= i;
+  for (int i = 0; i < riders; ++i) count /= 2;
+  return count;
+}
+
+}  // namespace o2o::routing

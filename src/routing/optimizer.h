@@ -1,0 +1,68 @@
+// Optimal shared-route construction. Theorem 5 shows the general problem
+// is NP-hard (reduction from shortest Hamiltonian path); the paper's
+// practical regime is |c_k| <= 3 riders, where the at most
+// 6!/(2!2!2!) = 90 precedence-feasible stop orders are searched
+// exhaustively. We implement that exhaustive search for small groups and
+// a Held-Karp dynamic program over (visited-set, last-stop) states --
+// exact for any size, practical to ~8 riders -- used as the reference in
+// tests and for the extension benchmarks.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geo/distance_oracle.h"
+#include "routing/route.h"
+#include "trace/request.h"
+
+namespace o2o::routing {
+
+/// Exact minimum-length route over `riders` (pick-up before drop-off per
+/// rider), optionally anchored at a taxi position. Uses brute-force
+/// permutation search; requires riders.size() <= 4 (90 orders at 3,
+/// 2520 at 4).
+Route optimal_route_exhaustive(std::span<const trace::Request> riders,
+                               const geo::DistanceOracle& oracle,
+                               std::optional<geo::Point> start = std::nullopt);
+
+/// Exact minimum-length route via Held-Karp DP with precedence masks;
+/// requires riders.size() <= 8 (2^16 x 16 states).
+Route optimal_route_dp(std::span<const trace::Request> riders,
+                       const geo::DistanceOracle& oracle,
+                       std::optional<geo::Point> start = std::nullopt);
+
+/// Dispatches to the exhaustive search for <= 3 riders (the paper's
+/// regime) and to the DP above that.
+Route optimal_route(std::span<const trace::Request> riders,
+                    const geo::DistanceOracle& oracle,
+                    std::optional<geo::Point> start = std::nullopt);
+
+/// Number of precedence-feasible stop orders for k riders: (2k)! / 2^k.
+/// (The paper's "90" for k = 3.)
+long long feasible_order_count(int riders);
+
+/// Repeated-anchor optimal routing: the sharing dispatcher evaluates the
+/// same rider group against every candidate taxi, so the stop-to-stop
+/// distance table is computed once here and only the anchor legs vary
+/// per query. Exact (exhaustive) for <= 4 riders.
+class AnchoredRouteSolver {
+ public:
+  AnchoredRouteSolver(std::vector<trace::Request> riders, const geo::DistanceOracle& oracle);
+
+  /// Minimum-length route starting from `start`.
+  Route best_route(const geo::Point& start) const;
+  /// Length of best_route(start) without materializing the route.
+  double best_length(const geo::Point& start) const;
+
+  std::size_t rider_count() const noexcept { return riders_.size(); }
+
+ private:
+  std::vector<trace::Request> riders_;
+  std::vector<Stop> stops_;
+  std::vector<double> stop_table_;  // stop-to-stop, n x n
+  const geo::DistanceOracle& oracle_;
+
+  std::vector<std::size_t> solve(const geo::Point& start, double& length_out) const;
+};
+
+}  // namespace o2o::routing

@@ -1,0 +1,89 @@
+#include "routing/route.h"
+
+#include <unordered_map>
+
+#include "util/contracts.h"
+
+namespace o2o::routing {
+
+bool respects_precedence(const Route& route) {
+  return respects_precedence(route, {});
+}
+
+bool respects_precedence(const Route& route,
+                         const std::vector<trace::RequestId>& onboard) {
+  std::unordered_map<trace::RequestId, int> state;  // 0 none, 1 picked, 2 dropped
+  for (trace::RequestId id : onboard) state[id] = 1;
+  for (const Stop& stop : route.stops) {
+    int& s = state[stop.request];
+    if (stop.is_pickup) {
+      if (s != 0) return false;
+      s = 1;
+    } else {
+      if (s != 1) return false;
+      s = 2;
+    }
+  }
+  return true;
+}
+
+double route_length(const Route& route, const geo::DistanceOracle& oracle) {
+  if (route.stops.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t first = 0;
+  geo::Point previous;
+  if (route.start.has_value()) {
+    previous = *route.start;
+  } else {
+    previous = route.stops.front().point;
+    first = 1;
+  }
+  for (std::size_t i = first; i < route.stops.size(); ++i) {
+    total += oracle.distance(previous, route.stops[i].point);
+    previous = route.stops[i].point;
+  }
+  return total;
+}
+
+RiderMetrics rider_metrics(const Route& route, trace::RequestId request,
+                           const geo::DistanceOracle& oracle) {
+  RiderMetrics metrics;
+  double travelled = 0.0;
+  bool seen_pickup = false;
+  bool seen_dropoff = false;
+  double pickup_at = 0.0;
+  geo::Point previous;
+  bool have_previous = false;
+  if (route.start.has_value()) {
+    previous = *route.start;
+    have_previous = true;
+  }
+  for (const Stop& stop : route.stops) {
+    if (have_previous) travelled += oracle.distance(previous, stop.point);
+    previous = stop.point;
+    have_previous = true;
+    if (stop.request == request) {
+      if (stop.is_pickup) {
+        seen_pickup = true;
+        pickup_at = travelled;
+      } else {
+        O2O_EXPECTS(seen_pickup);
+        seen_dropoff = true;
+        metrics.ride_km = travelled - pickup_at;
+      }
+    }
+  }
+  O2O_EXPECTS(seen_pickup && seen_dropoff);
+  metrics.wait_km = pickup_at;
+  return metrics;
+}
+
+Route single_rider_route(const trace::Request& request, std::optional<geo::Point> start) {
+  Route route;
+  route.start = start;
+  route.stops = {Stop{request.id, true, request.pickup},
+                 Stop{request.id, false, request.dropoff}};
+  return route;
+}
+
+}  // namespace o2o::routing

@@ -1,0 +1,66 @@
+// Shared-ride routes: ordered pick-up / drop-off stop sequences with the
+// pickup-before-dropoff precedence the paper's Theorem 5 is about. The
+// per-rider distances extracted here are exactly the D_ck(...) terms of
+// the sharing preference model:
+//
+//   D_ck(t, r.s)   -- along-route distance from the taxi to r's pick-up,
+//   D_ck(r.s, r.d) -- along-route distance from r's pick-up to drop-off,
+//   D_ck(t)        -- total route length driven by the taxi.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/distance_oracle.h"
+#include "geo/point.h"
+#include "trace/request.h"
+
+namespace o2o::routing {
+
+struct Stop {
+  trace::RequestId request = trace::kInvalidRequest;
+  bool is_pickup = true;
+  geo::Point point;
+
+  friend bool operator==(const Stop& a, const Stop& b) noexcept {
+    return a.request == b.request && a.is_pickup == b.is_pickup && a.point == b.point;
+  }
+};
+
+/// An ordered stop sequence, optionally anchored at a taxi start point.
+struct Route {
+  std::optional<geo::Point> start;
+  std::vector<Stop> stops;
+
+  bool empty() const noexcept { return stops.empty(); }
+  std::size_t stop_count() const noexcept { return stops.size(); }
+};
+
+/// Per-rider along-route distances.
+struct RiderMetrics {
+  double wait_km = 0.0;  ///< D_ck(t, r.s): start (or first stop) -> pick-up
+  double ride_km = 0.0;  ///< D_ck(r.s, r.d): pick-up -> drop-off along route
+};
+
+/// True iff every request's pick-up precedes its drop-off and each stop
+/// appears at most once per (request, kind).
+bool respects_precedence(const Route& route);
+
+/// Like respects_precedence, but requests in `onboard` are already picked
+/// up (their drop-off may appear with no pick-up). This is the correct
+/// check for the *remaining* route of a busy taxi.
+bool respects_precedence(const Route& route,
+                         const std::vector<trace::RequestId>& onboard);
+
+/// Total driven length: start -> stop1 -> ... -> stopN.
+double route_length(const Route& route, const geo::DistanceOracle& oracle);
+
+/// Along-route distances for `request`; both stops must be on the route.
+RiderMetrics rider_metrics(const Route& route, trace::RequestId request,
+                           const geo::DistanceOracle& oracle);
+
+/// Builds the trivial one-rider route (pickup then dropoff).
+Route single_rider_route(const trace::Request& request,
+                         std::optional<geo::Point> start = std::nullopt);
+
+}  // namespace o2o::routing

@@ -1,0 +1,58 @@
+// Simulation output: per-request records plus the aggregates the paper
+// reports -- CDFs of dispatch delay / passenger dissatisfaction / taxi
+// dissatisfaction (Figs. 4, 5, 8, 9), their means (Fig. 6), and
+// clock-time bucketed means (Fig. 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/cdf.h"
+#include "metrics/hourly.h"
+#include "metrics/summary.h"
+#include "trace/request.h"
+
+namespace o2o::sim {
+
+struct RequestRecord {
+  trace::RequestId id = trace::kInvalidRequest;
+  double request_time = 0.0;
+  double dispatch_time = -1.0;  ///< < 0 when never dispatched
+  double pickup_time = -1.0;
+  double dropoff_time = -1.0;
+  double dispatch_delay_minutes = -1.0;
+  double passenger_dissatisfaction_km = 0.0;
+  bool shared = false;
+  bool cancelled = false;
+
+  bool served() const noexcept { return dispatch_time >= 0.0; }
+};
+
+struct SimulationReport {
+  std::string dispatcher_name;
+  std::vector<RequestRecord> requests;
+
+  // Sample sets for the paper's three metrics (served requests /
+  // dispatched rides only, as in the paper).
+  metrics::CdfBuilder delay_cdf;       ///< minutes
+  metrics::CdfBuilder passenger_cdf;   ///< km
+  metrics::CdfBuilder taxi_cdf;        ///< km (one sample per dispatched ride)
+
+  metrics::HourlyBuckets hourly_delay{3};
+  metrics::HourlyBuckets hourly_passenger{3};
+  metrics::HourlyBuckets hourly_taxi{3};
+
+  std::size_t served = 0;
+  std::size_t cancelled = 0;
+  std::size_t pending_at_end = 0;
+  std::size_t shared_rides = 0;     ///< rides with >= 2 requests
+  std::size_t dispatched_rides = 0; ///< assignments issued
+  double total_taxi_distance_km = 0.0;
+  double simulated_seconds = 0.0;
+
+  metrics::StreamingStats delay_stats;      ///< minutes
+  metrics::StreamingStats passenger_stats;  ///< km
+  metrics::StreamingStats taxi_stats;       ///< km
+};
+
+}  // namespace o2o::sim

@@ -1,0 +1,96 @@
+#include "sim/report_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/contracts.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace o2o::sim {
+
+void write_request_records_csv(std::ostream& out, const SimulationReport& report) {
+  CsvWriter writer(out);
+  writer.write_row({"id", "request_time", "dispatch_time", "pickup_time", "dropoff_time",
+                    "dispatch_delay_minutes", "passenger_dissatisfaction_km", "shared",
+                    "cancelled"});
+  for (const RequestRecord& record : report.requests) {
+    writer.write_row({std::to_string(record.id), format_fixed(record.request_time, 3),
+                      format_fixed(record.dispatch_time, 3),
+                      format_fixed(record.pickup_time, 3),
+                      format_fixed(record.dropoff_time, 3),
+                      format_fixed(record.dispatch_delay_minutes, 4),
+                      format_fixed(record.passenger_dissatisfaction_km, 4),
+                      record.shared ? "1" : "0", record.cancelled ? "1" : "0"});
+  }
+}
+
+SimulationReport read_request_records_csv(std::istream& in, const std::string& name) {
+  const CsvTable table = CsvTable::read(in, /*has_header=*/true);
+  const int id = table.column("id");
+  const int request_time = table.column("request_time");
+  const int dispatch_time = table.column("dispatch_time");
+  const int pickup_time = table.column("pickup_time");
+  const int dropoff_time = table.column("dropoff_time");
+  const int delay = table.column("dispatch_delay_minutes");
+  const int dissatisfaction = table.column("passenger_dissatisfaction_km");
+  const int shared = table.column("shared");
+  const int cancelled = table.column("cancelled");
+  O2O_EXPECTS(id >= 0 && request_time >= 0 && dispatch_time >= 0 && delay >= 0 &&
+              dissatisfaction >= 0 && shared >= 0 && cancelled >= 0);
+
+  SimulationReport report;
+  report.dispatcher_name = name;
+  for (std::size_t row = 0; row < table.row_count(); ++row) {
+    RequestRecord record;
+    const auto parsed_id = parse_int(table.field(row, id));
+    if (!parsed_id) continue;
+    record.id = static_cast<trace::RequestId>(*parsed_id);
+    record.request_time = parse_double(table.field(row, request_time)).value_or(0.0);
+    record.dispatch_time = parse_double(table.field(row, dispatch_time)).value_or(-1.0);
+    record.pickup_time =
+        pickup_time >= 0 ? parse_double(table.field(row, pickup_time)).value_or(-1.0)
+                         : -1.0;
+    record.dropoff_time =
+        dropoff_time >= 0 ? parse_double(table.field(row, dropoff_time)).value_or(-1.0)
+                          : -1.0;
+    record.dispatch_delay_minutes = parse_double(table.field(row, delay)).value_or(-1.0);
+    record.passenger_dissatisfaction_km =
+        parse_double(table.field(row, dissatisfaction)).value_or(0.0);
+    record.shared = table.field(row, shared) == "1";
+    record.cancelled = table.field(row, cancelled) == "1";
+    if (record.served()) {
+      ++report.served;
+      report.delay_cdf.add(record.dispatch_delay_minutes);
+      report.passenger_cdf.add(record.passenger_dissatisfaction_km);
+      report.delay_stats.add(record.dispatch_delay_minutes);
+      report.passenger_stats.add(record.passenger_dissatisfaction_km);
+      report.hourly_delay.add(record.request_time, record.dispatch_delay_minutes);
+      report.hourly_passenger.add(record.request_time,
+                                  record.passenger_dissatisfaction_km);
+    } else if (record.cancelled) {
+      ++report.cancelled;
+    }
+    report.requests.push_back(record);
+  }
+  return report;
+}
+
+void write_cdfs_csv(std::ostream& out, const SimulationReport& report) {
+  CsvWriter writer(out);
+  writer.write_row({"delay_minutes", "passenger_km", "taxi_km"});
+  const auto& delays = report.delay_cdf.sorted_samples();
+  const auto& passengers = report.passenger_cdf.sorted_samples();
+  const auto& taxis = report.taxi_cdf.sorted_samples();
+  const std::size_t rows =
+      std::max(delays.size(), std::max(passengers.size(), taxis.size()));
+  for (std::size_t i = 0; i < rows; ++i) {
+    CsvRow row(3);
+    if (i < delays.size()) row[0] = format_fixed(delays[i], 4);
+    if (i < passengers.size()) row[1] = format_fixed(passengers[i], 4);
+    if (i < taxis.size()) row[2] = format_fixed(taxis[i], 4);
+    writer.write_row(row);
+  }
+}
+
+}  // namespace o2o::sim

@@ -1,0 +1,22 @@
+// Report persistence: per-request records and metric CDFs as CSV, so any
+// simulation run can be archived and plotted without re-running.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/report.h"
+
+namespace o2o::sim {
+
+/// One row per request: id, timeline, delay, dissatisfaction, flags.
+void write_request_records_csv(std::ostream& out, const SimulationReport& report);
+
+/// Reads records written by write_request_records_csv back into a bare
+/// report (aggregates and CDFs are rebuilt from the rows).
+SimulationReport read_request_records_csv(std::istream& in, const std::string& name);
+
+/// The three metric CDFs as sorted-sample columns (ragged rows padded
+/// with empty fields).
+void write_cdfs_csv(std::ostream& out, const SimulationReport& report);
+
+}  // namespace o2o::sim

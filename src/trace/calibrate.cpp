@@ -1,0 +1,192 @@
+#include "trace/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::trace {
+
+namespace {
+
+/// Plain k-means over pick-up locations with k-means++-style seeding.
+struct Cluster {
+  geo::Point center;
+  double sigma_km = 1.0;
+  double weight = 1.0;
+};
+
+std::vector<Cluster> kmeans(const std::vector<geo::Point>& points, std::size_t k,
+                            std::size_t iterations, Rng& rng) {
+  O2O_EXPECTS(!points.empty());
+  k = std::min(k, points.size());
+  std::vector<geo::Point> centers;
+  centers.reserve(k);
+  // Seeding: first center uniform, then farthest-biased.
+  centers.push_back(points[rng.uniform_index(points.size())]);
+  while (centers.size() < k) {
+    double total = 0.0;
+    std::vector<double> d2(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = geo::squared_distance(points[i], centers[0]);
+      for (std::size_t c = 1; c < centers.size(); ++c) {
+        best = std::min(best, geo::squared_distance(points[i], centers[c]));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    double pick = rng.uniform(0.0, total > 0.0 ? total : 1.0);
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+
+  std::vector<std::size_t> assignment(points.size(), 0);
+  for (std::size_t iteration = 0; iteration < iterations; ++iteration) {
+    bool moved = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t best = 0;
+      double best_d2 = geo::squared_distance(points[i], centers[0]);
+      for (std::size_t c = 1; c < centers.size(); ++c) {
+        const double d2 = geo::squared_distance(points[i], centers[c]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        moved = true;
+      }
+    }
+    std::vector<geo::Point> sums(centers.size(), geo::Point{0, 0});
+    std::vector<std::size_t> counts(centers.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[assignment[i]] = sums[assignment[i]] + points[i];
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] > 0) {
+        centers[c] = sums[c] * (1.0 / static_cast<double>(counts[c]));
+      }
+    }
+    if (!moved) break;
+  }
+
+  std::vector<Cluster> clusters(centers.size());
+  std::vector<double> spread(centers.size(), 0.0);
+  std::vector<std::size_t> counts(centers.size(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    spread[assignment[i]] += geo::squared_distance(points[i], centers[assignment[i]]);
+    ++counts[assignment[i]];
+  }
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    clusters[c].center = centers[c];
+    clusters[c].weight = static_cast<double>(counts[c]);
+    // Isotropic Gaussian: E[|x - mu|^2] = 2 sigma^2.
+    clusters[c].sigma_km =
+        counts[c] > 1 ? std::sqrt(spread[c] / (2.0 * static_cast<double>(counts[c])))
+                      : 0.5;
+    clusters[c].sigma_km = std::max(clusters[c].sigma_km, 0.05);
+  }
+  return clusters;
+}
+
+}  // namespace
+
+CalibrationResult calibrate(const Trace& trace, const CalibrationOptions& options) {
+  O2O_EXPECTS(!trace.empty());
+  O2O_EXPECTS(trace.duration_seconds() >= 3600.0);
+  O2O_EXPECTS(options.hotspots >= 1);
+  Rng rng(options.seed);
+
+  CalibrationResult result;
+  CityModel& model = result.model;
+  model.name = trace.name() + "-calibrated";
+
+  // Region: bounding box of all endpoints, padded.
+  geo::Rect region = trace.region();
+  const double margin_x = region.width() * options.region_margin;
+  const double margin_y = region.height() * options.region_margin;
+  region.lo.x -= margin_x;
+  region.lo.y -= margin_y;
+  region.hi.x += margin_x;
+  region.hi.y += margin_y;
+  model.region = region;
+
+  // Volume.
+  model.base_rate_per_hour =
+      static_cast<double>(trace.size()) / trace.duration_seconds() * 3600.0;
+
+  // Hotspots from pick-up locations.
+  std::vector<geo::Point> pickups;
+  pickups.reserve(trace.size());
+  for (const Request& request : trace.requests()) pickups.push_back(request.pickup);
+  for (const Cluster& cluster :
+       kmeans(pickups, options.hotspots, options.kmeans_iterations, rng)) {
+    if (cluster.weight <= 0.0) continue;
+    model.hotspots.push_back(Hotspot{cluster.center, cluster.sigma_km, cluster.weight});
+  }
+  O2O_ENSURES(!model.hotspots.empty());
+
+  // Trip lengths: log-normal moments of direct distances.
+  double log_sum = 0.0, log_sq_sum = 0.0;
+  double min_trip = std::numeric_limits<double>::infinity();
+  std::size_t counted = 0;
+  for (const Request& request : trace.requests()) {
+    const double trip = geo::euclidean_distance(request.pickup, request.dropoff);
+    if (trip <= 0.0) continue;
+    const double log_trip = std::log(trip);
+    log_sum += log_trip;
+    log_sq_sum += log_trip * log_trip;
+    min_trip = std::min(min_trip, trip);
+    ++counted;
+  }
+  if (counted > 1) {
+    model.trip_km_log_mean = log_sum / static_cast<double>(counted);
+    const double variance = std::max(
+        0.0, log_sq_sum / static_cast<double>(counted) -
+                 model.trip_km_log_mean * model.trip_km_log_mean);
+    model.trip_km_log_sigma = std::max(0.05, std::sqrt(variance));
+    model.min_trip_km = std::max(0.05, min_trip);
+  }
+
+  // Diurnal profile: requests per clock hour, normalized to mean 1 over
+  // the hours the trace covers.
+  std::vector<double> hour_counts(24, 0.0);
+  std::vector<double> hour_exposure(24, 0.0);  // how often each hour occurs
+  for (const Request& request : trace.requests()) {
+    const double day_seconds =
+        request.time_seconds - 86400.0 * std::floor(request.time_seconds / 86400.0);
+    hour_counts[static_cast<std::size_t>(day_seconds / 3600.0) % 24] += 1.0;
+  }
+  for (double t = 0.0; t < trace.duration_seconds(); t += 3600.0) {
+    const double day_seconds = t - 86400.0 * std::floor(t / 86400.0);
+    hour_exposure[static_cast<std::size_t>(day_seconds / 3600.0) % 24] +=
+        std::min(3600.0, trace.duration_seconds() - t) / 3600.0;
+  }
+  result.hourly_multiplier.assign(24, 0.0);
+  double covered_mean = 0.0;
+  std::size_t covered_hours = 0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    if (hour_exposure[h] > 0.0) {
+      result.hourly_multiplier[h] = hour_counts[h] / hour_exposure[h];
+      covered_mean += result.hourly_multiplier[h];
+      ++covered_hours;
+    }
+  }
+  if (covered_hours > 0 && covered_mean > 0.0) {
+    covered_mean /= static_cast<double>(covered_hours);
+    for (double& multiplier : result.hourly_multiplier) multiplier /= covered_mean;
+  }
+  return result;
+}
+
+}  // namespace o2o::trace

@@ -1,0 +1,38 @@
+// Calibration: fit a CityModel to an observed trace, closing the loop of
+// DESIGN.md §3 -- drop a real New York TLC / Boston CSV in, calibrate,
+// and the synthetic generator reproduces its volume, spatial spread,
+// trip-length distribution and diurnal profile. Also used by tests as a
+// generate -> calibrate -> compare round trip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+
+namespace o2o::trace {
+
+struct CalibrationOptions {
+  /// Number of demand hotspots to extract (k-means over pick-ups).
+  std::size_t hotspots = 4;
+  std::size_t kmeans_iterations = 24;
+  std::uint64_t seed = 1;
+  /// Pad the fitted region by this fraction of its extent on each side.
+  double region_margin = 0.02;
+};
+
+struct CalibrationResult {
+  CityModel model;
+  /// Mean demand multiplier observed per clock hour (24 entries,
+  /// normalized to mean 1); diagnostic alongside the fitted model.
+  std::vector<double> hourly_multiplier;
+};
+
+/// Fits volume (base rate), region, hotspot mixture (k-means, weights
+/// from cluster mass, sigma from within-cluster spread), and a
+/// log-normal trip length distribution. Requires a non-empty trace
+/// covering at least one hour.
+CalibrationResult calibrate(const Trace& trace, const CalibrationOptions& options = {});
+
+}  // namespace o2o::trace

@@ -1,0 +1,182 @@
+#include "trace/csv_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "util/contracts.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace o2o::trace {
+
+CsvSchema CsvSchema::nyc_tlc() {
+  return CsvSchema{"new-york-tlc",
+                   "tpep_pickup_datetime",
+                   "pickup_latitude",
+                   "pickup_longitude",
+                   "dropoff_latitude",
+                   "dropoff_longitude",
+                   "passenger_count"};
+}
+
+CsvSchema CsvSchema::boston() {
+  return CsvSchema{"boston-taxi", "TRIP_START", "START_LAT", "START_LON",
+                   "END_LAT",     "END_LON",    ""};
+}
+
+std::optional<double> parse_datetime_utc(const std::string& text) {
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  const std::string trimmed{trim(text)};
+  const int matched = std::sscanf(trimmed.c_str(), "%d-%d-%d%*1[ T]%d:%d:%d", &year, &month,
+                                  &day, &hour, &minute, &second);
+  if (matched != 6) return std::nullopt;
+  if (month < 1 || month > 12 || day < 1 || day > 31) return std::nullopt;
+  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 || second > 60) {
+    return std::nullopt;
+  }
+  // Days since the civil epoch (Howard Hinnant's algorithm).
+  const int y = year - (month <= 2 ? 1 : 0);
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  const long long days = static_cast<long long>(era) * 146097 +
+                         static_cast<long long>(doe) - 719468;
+  return static_cast<double>(days) * 86400.0 + hour * 3600.0 + minute * 60.0 + second;
+}
+
+Trace load_latlon_csv(std::istream& in, const CsvSchema& schema) {
+  const CsvTable table = CsvTable::read(in, /*has_header=*/true);
+  const int time_col = table.column(schema.time_column);
+  const int plat = table.column(schema.pickup_lat_column);
+  const int plon = table.column(schema.pickup_lon_column);
+  const int dlat = table.column(schema.dropoff_lat_column);
+  const int dlon = table.column(schema.dropoff_lon_column);
+  const int seats_col =
+      schema.seats_column.empty() ? -1 : table.column(schema.seats_column);
+  O2O_EXPECTS(time_col >= 0 && plat >= 0 && plon >= 0 && dlat >= 0 && dlon >= 0);
+
+  struct RawRow {
+    double epoch;
+    geo::LatLon pickup;
+    geo::LatLon dropoff;
+    int seats;
+  };
+  std::vector<RawRow> raw;
+  raw.reserve(table.row_count());
+  double lat_sum = 0.0, lon_sum = 0.0;
+  for (std::size_t i = 0; i < table.row_count(); ++i) {
+    const auto epoch = parse_datetime_utc(table.field(i, time_col));
+    const auto p_lat = parse_double(table.field(i, plat));
+    const auto p_lon = parse_double(table.field(i, plon));
+    const auto d_lat = parse_double(table.field(i, dlat));
+    const auto d_lon = parse_double(table.field(i, dlon));
+    if (!epoch || !p_lat || !p_lon || !d_lat || !d_lon) continue;
+    // The public TLC files contain (0, 0) placeholders for GPS dropouts.
+    if (*p_lat == 0.0 || *p_lon == 0.0 || *d_lat == 0.0 || *d_lon == 0.0) continue;
+    int seats = 1;
+    if (seats_col >= 0) {
+      const auto parsed = parse_int(table.field(i, seats_col));
+      if (parsed && *parsed >= 1 && *parsed <= 8) seats = static_cast<int>(*parsed);
+    }
+    raw.push_back(RawRow{*epoch, {*p_lat, *p_lon}, {*d_lat, *d_lon}, seats});
+    lat_sum += *p_lat;
+    lon_sum += *p_lon;
+  }
+  if (raw.empty()) return Trace(schema.name, geo::Rect{{0, 0}, {1, 1}}, {});
+
+  const geo::Projection projection(
+      geo::LatLon{lat_sum / static_cast<double>(raw.size()),
+                  lon_sum / static_cast<double>(raw.size())});
+  double t0 = std::numeric_limits<double>::infinity();
+  for (const RawRow& row : raw) t0 = std::min(t0, row.epoch);
+
+  std::vector<Request> requests;
+  requests.reserve(raw.size());
+  geo::Rect region{{std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity()},
+                   {-std::numeric_limits<double>::infinity(),
+                    -std::numeric_limits<double>::infinity()}};
+  for (const RawRow& row : raw) {
+    Request request;
+    request.time_seconds = row.epoch - t0;
+    request.pickup = projection.to_plane(row.pickup);
+    request.dropoff = projection.to_plane(row.dropoff);
+    request.seats = row.seats;
+    requests.push_back(request);
+    for (const geo::Point& p : {request.pickup, request.dropoff}) {
+      region.lo.x = std::min(region.lo.x, p.x);
+      region.lo.y = std::min(region.lo.y, p.y);
+      region.hi.x = std::max(region.hi.x, p.x);
+      region.hi.y = std::max(region.hi.y, p.y);
+    }
+  }
+  return Trace(schema.name, region, std::move(requests));
+}
+
+Trace load_latlon_csv_file(const std::string& path, const CsvSchema& schema) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return load_latlon_csv(in, schema);
+}
+
+void save_canonical_csv(std::ostream& out, const Trace& trace) {
+  CsvWriter writer(out);
+  writer.write_row({"time_seconds", "pickup_x_km", "pickup_y_km", "dropoff_x_km",
+                    "dropoff_y_km", "seats"});
+  for (const Request& r : trace.requests()) {
+    writer.write_row({format_fixed(r.time_seconds, 3), format_fixed(r.pickup.x, 6),
+                      format_fixed(r.pickup.y, 6), format_fixed(r.dropoff.x, 6),
+                      format_fixed(r.dropoff.y, 6), std::to_string(r.seats)});
+  }
+}
+
+Trace load_canonical_csv(std::istream& in, const std::string& name) {
+  const CsvTable table = CsvTable::read(in, /*has_header=*/true);
+  const int time_col = table.column("time_seconds");
+  const int px = table.column("pickup_x_km");
+  const int py = table.column("pickup_y_km");
+  const int dx = table.column("dropoff_x_km");
+  const int dy = table.column("dropoff_y_km");
+  const int seats_col = table.column("seats");
+  O2O_EXPECTS(time_col >= 0 && px >= 0 && py >= 0 && dx >= 0 && dy >= 0);
+
+  std::vector<Request> requests;
+  geo::Rect region{{std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity()},
+                   {-std::numeric_limits<double>::infinity(),
+                    -std::numeric_limits<double>::infinity()}};
+  for (std::size_t i = 0; i < table.row_count(); ++i) {
+    const auto time = parse_double(table.field(i, time_col));
+    const auto pickup_x = parse_double(table.field(i, px));
+    const auto pickup_y = parse_double(table.field(i, py));
+    const auto dropoff_x = parse_double(table.field(i, dx));
+    const auto dropoff_y = parse_double(table.field(i, dy));
+    if (!time || !pickup_x || !pickup_y || !dropoff_x || !dropoff_y) continue;
+    Request request;
+    request.time_seconds = *time;
+    request.pickup = {*pickup_x, *pickup_y};
+    request.dropoff = {*dropoff_x, *dropoff_y};
+    if (seats_col >= 0) {
+      const auto seats = parse_int(table.field(i, seats_col));
+      if (seats && *seats >= 1) request.seats = static_cast<int>(*seats);
+    }
+    requests.push_back(request);
+    for (const geo::Point& p : {request.pickup, request.dropoff}) {
+      region.lo.x = std::min(region.lo.x, p.x);
+      region.lo.y = std::min(region.lo.y, p.y);
+      region.hi.x = std::max(region.hi.x, p.x);
+      region.hi.y = std::max(region.hi.y, p.y);
+    }
+  }
+  if (requests.empty()) region = geo::Rect{{0, 0}, {1, 1}};
+  return Trace(name, region, std::move(requests));
+}
+
+}  // namespace o2o::trace

@@ -1,0 +1,54 @@
+// Parsers for the public trip-record schemas the paper evaluates on:
+//
+//  * New York TLC yellow-cab records [22]: `tpep_pickup_datetime`,
+//    `pickup_longitude/latitude`, `dropoff_longitude/latitude`,
+//    `passenger_count`.
+//  * Boston taxi records [23]: comparable columns under different names.
+//
+// Real files can be dropped in unchanged; the synthetic generators in
+// synthetic.h are used when they are not available (see DESIGN.md §3).
+// A canonical plain schema (time_seconds, pickup_x/y_km, dropoff_x/y_km,
+// seats) round-trips traces produced by this library.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "geo/projection.h"
+#include "trace/trace.h"
+
+namespace o2o::trace {
+
+/// Column mapping for a lat/lon CSV schema.
+struct CsvSchema {
+  std::string name;            ///< trace label
+  std::string time_column;     ///< "YYYY-MM-DD HH:MM:SS" wall-clock column
+  std::string pickup_lat_column;
+  std::string pickup_lon_column;
+  std::string dropoff_lat_column;
+  std::string dropoff_lon_column;
+  std::string seats_column;    ///< optional; empty -> 1 seat per request
+
+  /// New York TLC yellow-cab schema (2015/2016 files).
+  static CsvSchema nyc_tlc();
+  /// Boston taxi-trip schema (2012 data-challenge files).
+  static CsvSchema boston();
+};
+
+/// Parses "YYYY-MM-DD HH:MM:SS" (also accepts 'T' separator) into seconds
+/// since 1970-01-01 00:00:00 UTC; nullopt on malformed input.
+std::optional<double> parse_datetime_utc(const std::string& text);
+
+/// Loads a lat/lon CSV under `schema`. Rows with unparsable fields or
+/// zero/degenerate coordinates (a known artifact of the public TLC data)
+/// are skipped. Coordinates are projected around the trace's mean pick-up
+/// location; request times are re-based to the earliest request.
+Trace load_latlon_csv(std::istream& in, const CsvSchema& schema);
+Trace load_latlon_csv_file(const std::string& path, const CsvSchema& schema);
+
+/// Canonical plain-km schema emitted by this library.
+void save_canonical_csv(std::ostream& out, const Trace& trace);
+Trace load_canonical_csv(std::istream& in, const std::string& name);
+
+}  // namespace o2o::trace

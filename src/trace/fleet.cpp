@@ -1,0 +1,29 @@
+#include "trace/fleet.h"
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::trace {
+
+std::vector<Taxi> make_fleet(const geo::Rect& region, const FleetOptions& options) {
+  O2O_EXPECTS(options.taxi_count >= 0);
+  O2O_EXPECTS(options.sigma_fraction > 0.0);
+  O2O_EXPECTS(options.seats >= 1);
+  Rng rng(options.seed);
+  const geo::Point center = region.center();
+  const double sigma_x = region.width() / 2.0 * options.sigma_fraction;
+  const double sigma_y = region.height() / 2.0 * options.sigma_fraction;
+  std::vector<Taxi> fleet;
+  fleet.reserve(static_cast<std::size_t>(options.taxi_count));
+  for (int i = 0; i < options.taxi_count; ++i) {
+    Taxi taxi;
+    taxi.id = static_cast<TaxiId>(i);
+    taxi.location = region.clamp(geo::Point{rng.normal(center.x, sigma_x),
+                                            rng.normal(center.y, sigma_y)});
+    taxi.seats = options.seats;
+    fleet.push_back(taxi);
+  }
+  return fleet;
+}
+
+}  // namespace o2o::trace

@@ -1,0 +1,33 @@
+// Taxi fleet description and initial placement. The paper simulates 700
+// (New York) / 200 (Boston) taxis whose initial locations follow a
+// two-dimensional normal distribution around the city centre.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace o2o::trace {
+
+using TaxiId = std::int32_t;
+inline constexpr TaxiId kInvalidTaxi = -1;
+
+struct Taxi {
+  TaxiId id = kInvalidTaxi;
+  geo::Point location;
+  int seats = 4;  ///< passenger capacity
+};
+
+struct FleetOptions {
+  int taxi_count = 200;
+  double sigma_fraction = 0.25;  ///< stddev as a fraction of the region half-extent
+  int seats = 4;
+  std::uint64_t seed = 7;
+};
+
+/// Places taxis by a 2-D normal around the region centre, clamped into
+/// the region.
+std::vector<Taxi> make_fleet(const geo::Rect& region, const FleetOptions& options);
+
+}  // namespace o2o::trace

@@ -1,0 +1,25 @@
+// Passenger requests: the r_j = (r_j^s, r_j^d) objects of the paper,
+// stamped with their arrival time and seat demand.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/point.h"
+
+namespace o2o::trace {
+
+using RequestId = std::int32_t;
+inline constexpr RequestId kInvalidRequest = -1;
+
+struct Request {
+  RequestId id = kInvalidRequest;
+  double time_seconds = 0.0;  ///< arrival time, seconds from trace start
+  geo::Point pickup;          ///< r^s
+  geo::Point dropoff;         ///< r^d
+  int seats = 1;              ///< passengers travelling together
+
+  /// Trip length under a given metric is intentionally *not* stored: all
+  /// algorithms evaluate D(r^s, r^d) through their DistanceOracle.
+};
+
+}  // namespace o2o::trace

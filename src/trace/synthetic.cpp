@@ -1,0 +1,130 @@
+#include "trace/synthetic.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::trace {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+double gaussian_bump(double hour, double peak_hour, double width_hours) {
+  const double d = hour - peak_hour;
+  return std::exp(-d * d / (2.0 * width_hours * width_hours));
+}
+}  // namespace
+
+double diurnal_multiplier(double hour) {
+  hour = hour - 24.0 * std::floor(hour / 24.0);
+  // Baseline with a deep night trough plus morning/evening commute peaks.
+  // Weights chosen so the 24h mean is ~1.0 (checked in synthetic_test).
+  const double night_trough = 0.54 + 0.25 * std::cos((hour - 15.0) / 24.0 * 2.0 * kPi);
+  const double morning = 1.25 * gaussian_bump(hour, 9.0, 1.4);
+  const double evening = 1.40 * gaussian_bump(hour, 18.0, 1.9);
+  return night_trough + morning + evening;
+}
+
+CityModel CityModel::new_york() {
+  CityModel model;
+  model.name = "new-york";
+  // State-scale service region (the paper notes the NY trace covers far
+  // more than Manhattan), with demand concentrated in a dense core plus
+  // satellite hotspots (boroughs / suburbs).
+  model.region = geo::Rect{{-40.0, -40.0}, {40.0, 40.0}};
+  model.hotspots = {
+      Hotspot{{0.0, 0.0}, 4.0, 10.0},     // Manhattan-like core
+      Hotspot{{8.0, -6.0}, 3.0, 3.0},     // inner borough
+      Hotspot{{-7.0, 5.0}, 3.0, 3.0},     // inner borough
+      Hotspot{{18.0, 10.0}, 5.0, 1.5},    // airport / suburb
+      Hotspot{{-22.0, -15.0}, 6.0, 1.0},  // far suburb
+      Hotspot{{25.0, -25.0}, 8.0, 0.5},   // exurb
+  };
+  model.trip_km_log_mean = std::log(4.0);
+  model.trip_km_log_sigma = 0.75;
+  model.min_trip_km = 0.4;
+  model.base_rate_per_hour = 1950.0;  // 1.445M requests / 31 days
+  return model;
+}
+
+CityModel CityModel::boston() {
+  CityModel model;
+  model.name = "boston";
+  model.region = geo::Rect{{-10.0, -10.0}, {10.0, 10.0}};
+  model.hotspots = {
+      Hotspot{{0.0, 0.0}, 2.2, 8.0},    // downtown
+      Hotspot{{3.5, 2.0}, 1.5, 2.5},    // university cluster
+      Hotspot{{-4.0, -2.5}, 2.0, 2.0},  // residential
+      Hotspot{{5.0, -5.0}, 2.5, 1.0},   // airport side
+  };
+  model.trip_km_log_mean = std::log(2.8);
+  model.trip_km_log_sigma = 0.6;
+  model.min_trip_km = 0.3;
+  model.base_rate_per_hour = 560.0;  // 406k requests / 30 days
+  return model;
+}
+
+Trace generate(const CityModel& model, const GenerationOptions& options) {
+  O2O_EXPECTS(!model.hotspots.empty());
+  O2O_EXPECTS(model.base_rate_per_hour >= 0.0);
+  O2O_EXPECTS(options.duration_seconds > 0.0);
+  O2O_EXPECTS(options.rate_scale >= 0.0);
+  O2O_EXPECTS(options.max_seats >= 1);
+  Rng rng(options.seed);
+
+  double total_weight = 0.0;
+  for (const Hotspot& h : model.hotspots) {
+    O2O_EXPECTS(h.weight > 0.0 && h.sigma_km > 0.0);
+    total_weight += h.weight;
+  }
+
+  const auto draw_hotspot = [&]() -> const Hotspot& {
+    double pick = rng.uniform(0.0, total_weight);
+    for (const Hotspot& h : model.hotspots) {
+      pick -= h.weight;
+      if (pick <= 0.0) return h;
+    }
+    return model.hotspots.back();
+  };
+
+  std::vector<Request> requests;
+  // Arrivals: per-minute Poisson thinning of the diurnal curve. A minute
+  // is much finer than any demand feature, so this matches a true
+  // non-homogeneous process for our purposes.
+  const double step = 60.0;
+  for (double t = 0.0; t < options.duration_seconds; t += step) {
+    const double slice = std::min(step, options.duration_seconds - t);
+    const double hour = options.start_hour + t / 3600.0;
+    const double multiplier = options.diurnal ? diurnal_multiplier(hour) : 1.0;
+    const double mean =
+        model.base_rate_per_hour * options.rate_scale * multiplier * slice / 3600.0;
+    const std::uint64_t arrivals = rng.poisson(mean);
+    for (std::uint64_t i = 0; i < arrivals; ++i) {
+      Request request;
+      request.time_seconds = t + rng.uniform(0.0, slice);
+
+      const Hotspot& hotspot = draw_hotspot();
+      request.pickup = model.region.clamp(
+          geo::Point{rng.normal(hotspot.center.x, hotspot.sigma_km),
+                     rng.normal(hotspot.center.y, hotspot.sigma_km)});
+
+      const double trip_km = std::max(
+          model.min_trip_km,
+          std::exp(rng.normal(model.trip_km_log_mean, model.trip_km_log_sigma)));
+      const double heading = rng.uniform(0.0, 2.0 * kPi);
+      request.dropoff = model.region.clamp(
+          request.pickup +
+          geo::Point{trip_km * std::cos(heading), trip_km * std::sin(heading)});
+
+      request.seats = 1;
+      if (options.max_seats > 1 && rng.bernoulli(options.multi_seat_fraction)) {
+        request.seats = static_cast<int>(rng.uniform_int(2, options.max_seats));
+      }
+      requests.push_back(request);
+    }
+  }
+  return Trace(model.name, model.region, std::move(requests));
+}
+
+}  // namespace o2o::trace

@@ -1,0 +1,61 @@
+// Synthetic workload generation calibrated to the paper's two traces
+// (DESIGN.md §3 documents the substitution). A CityModel describes the
+// service region, demand hotspots, trip-length distribution and diurnal
+// demand curve; `generate` draws a Trace via a non-homogeneous Poisson
+// process thinned by that curve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "trace/trace.h"
+
+namespace o2o::trace {
+
+/// One Gaussian demand hotspot.
+struct Hotspot {
+  geo::Point center;
+  double sigma_km = 1.0;
+  double weight = 1.0;  ///< relative share of demand
+};
+
+/// City demand model.
+struct CityModel {
+  std::string name;
+  geo::Rect region;
+  std::vector<Hotspot> hotspots;      ///< pick-up location mixture
+  double trip_km_log_mean = 1.0;      ///< log-normal trip length: mean of log
+  double trip_km_log_sigma = 0.5;     ///< log-normal trip length: sigma of log
+  double min_trip_km = 0.3;
+  double base_rate_per_hour = 600.0;  ///< day-average request arrival rate
+
+  /// The paper's New York trace spans a state-scale region served by 700
+  /// taxis (1.44M requests over January 2016 ~ 1950/hour).
+  static CityModel new_york();
+  /// The Boston trace is compact: 200 taxis, 406k requests over September
+  /// 2012 ~ 560/hour.
+  static CityModel boston();
+};
+
+/// Demand multiplier at clock hour `h` in [0, 24): commute peaks at 9 am
+/// and 6 pm over a night-dipping baseline, normalized to a day-average of
+/// (approximately) 1 so `base_rate_per_hour` keeps its meaning.
+double diurnal_multiplier(double hour);
+
+/// Generation knobs independent of the city model.
+struct GenerationOptions {
+  double duration_seconds = 24.0 * 3600.0;
+  double start_hour = 0.0;       ///< clock hour at trace time zero
+  double rate_scale = 1.0;       ///< scales base_rate_per_hour
+  std::uint64_t seed = 1;
+  bool diurnal = true;           ///< apply the commute-peak curve
+  int max_seats = 3;             ///< request seat demand drawn in [1, max]
+  double multi_seat_fraction = 0.25;  ///< fraction of requests with > 1 seat
+};
+
+/// Draws a synthetic trace from `model` under `options`.
+Trace generate(const CityModel& model, const GenerationOptions& options);
+
+}  // namespace o2o::trace

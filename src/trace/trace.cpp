@@ -1,0 +1,55 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace o2o::trace {
+
+Trace::Trace(std::string name, geo::Rect region, std::vector<Request> requests)
+    : name_(std::move(name)), region_(region), requests_(std::move(requests)) {
+  sort_and_reindex();
+}
+
+void Trace::sort_and_reindex() {
+  std::stable_sort(requests_.begin(), requests_.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.time_seconds < b.time_seconds;
+                   });
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    requests_[i].id = static_cast<RequestId>(i);
+  }
+}
+
+double Trace::duration_seconds() const noexcept {
+  return requests_.empty() ? 0.0 : requests_.back().time_seconds;
+}
+
+Trace Trace::slice(double from_seconds, double to_seconds) const {
+  O2O_EXPECTS(from_seconds <= to_seconds);
+  std::vector<Request> kept;
+  for (const Request& r : requests_) {
+    if (r.time_seconds >= from_seconds && r.time_seconds < to_seconds) {
+      Request rebased = r;
+      rebased.time_seconds -= from_seconds;
+      kept.push_back(rebased);
+    }
+  }
+  return Trace(name_, region_, std::move(kept));
+}
+
+Trace Trace::sample_every(std::size_t k) const {
+  O2O_EXPECTS(k >= 1);
+  std::vector<Request> kept;
+  kept.reserve(requests_.size() / k + 1);
+  for (std::size_t i = 0; i < requests_.size(); i += k) kept.push_back(requests_[i]);
+  return Trace(name_, region_, std::move(kept));
+}
+
+double Trace::mean_rate_per_hour() const noexcept {
+  const double duration = duration_seconds();
+  if (duration <= 0.0) return 0.0;
+  return static_cast<double>(requests_.size()) / duration * 3600.0;
+}
+
+}  // namespace o2o::trace

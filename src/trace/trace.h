@@ -1,0 +1,46 @@
+// A trace is a time-ordered sequence of passenger requests plus the
+// metadata the simulator needs (service region, human-readable name).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "trace/request.h"
+
+namespace o2o::trace {
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, geo::Rect region, std::vector<Request> requests);
+
+  const std::string& name() const noexcept { return name_; }
+  const geo::Rect& region() const noexcept { return region_; }
+  const std::vector<Request>& requests() const noexcept { return requests_; }
+  std::size_t size() const noexcept { return requests_.size(); }
+  bool empty() const noexcept { return requests_.empty(); }
+
+  /// Duration covered: time of the last request (0 when empty).
+  double duration_seconds() const noexcept;
+
+  /// Requests with time in [from_seconds, to_seconds), times re-based so
+  /// the slice starts at 0.
+  Trace slice(double from_seconds, double to_seconds) const;
+
+  /// Keeps every k-th request (deterministic thinning; used to scale a
+  /// heavy trace down while preserving its temporal/spatial shape).
+  Trace sample_every(std::size_t k) const;
+
+  /// Mean request rate over the covered duration, in requests per hour.
+  double mean_rate_per_hour() const noexcept;
+
+ private:
+  std::string name_;
+  geo::Rect region_{};
+  std::vector<Request> requests_;
+
+  void sort_and_reindex();
+};
+
+}  // namespace o2o::trace

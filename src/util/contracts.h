@@ -1,0 +1,47 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.5/I.6: state and check preconditions; I.7/I.8: postconditions).
+//
+// O2O_EXPECTS(cond)  -- precondition; throws o2o::ContractViolation on failure.
+// O2O_ENSURES(cond)  -- postcondition; same failure behaviour.
+//
+// Contracts are always on: the library is used for research-grade
+// simulation where silent corruption is worse than the (tiny) cost of
+// the checks on the hot paths we actually have.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace o2o {
+
+/// Thrown when a precondition or postcondition stated by the library is
+/// violated by the caller (or, for ENSURES, by the library itself).
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file, int line)
+      : std::logic_error(std::string(kind) + " failed: `" + expr + "` at " + file + ":" +
+                         std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line) {
+  throw ContractViolation(kind, expr, file, line);
+}
+}  // namespace detail
+
+}  // namespace o2o
+
+#define O2O_EXPECTS(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::o2o::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+    }                                                                     \
+  } while (false)
+
+#define O2O_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::o2o::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,122 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace o2o {
+
+CsvRow parse_csv_line(std::string_view line, char sep) {
+  CsvRow fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string format_csv_line(const CsvRow& row, char sep) {
+  std::string line;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) line += sep;
+    const std::string& field = row[i];
+    const bool needs_quotes = field.find(sep) != std::string::npos ||
+                              field.find('"') != std::string::npos ||
+                              field.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      line += field;
+      continue;
+    }
+    line += '"';
+    for (char c : field) {
+      if (c == '"') line += '"';
+      line += c;
+    }
+    line += '"';
+  }
+  return line;
+}
+
+CsvTable CsvTable::read(std::istream& in, bool has_header, char sep) {
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    CsvRow row = parse_csv_line(line, sep);
+    if (first && has_header) {
+      table.header_ = std::move(row);
+      first = false;
+      continue;
+    }
+    first = false;
+    table.rows_.push_back(std::move(row));
+  }
+  table.build_index();
+  return table;
+}
+
+CsvTable CsvTable::read_file(const std::string& path, bool has_header, char sep) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  return read(in, has_header, sep);
+}
+
+CsvTable CsvTable::parse(std::string_view text, bool has_header, char sep) {
+  std::istringstream in{std::string(text)};
+  return read(in, has_header, sep);
+}
+
+int CsvTable::column(std::string_view name) const noexcept {
+  const auto it = column_index_.find(std::string(trim(name)));
+  return it == column_index_.end() ? -1 : it->second;
+}
+
+const std::string& CsvTable::field(std::size_t row, int col) const {
+  O2O_EXPECTS(row < rows_.size());
+  O2O_EXPECTS(col >= 0);
+  static const std::string kEmpty;
+  const CsvRow& record = rows_[row];
+  if (static_cast<std::size_t>(col) >= record.size()) return kEmpty;
+  return record[static_cast<std::size_t>(col)];
+}
+
+void CsvTable::build_index() {
+  column_index_.clear();
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    column_index_.emplace(std::string(trim(header_[i])), static_cast<int>(i));
+  }
+}
+
+void CsvWriter::write_row(const CsvRow& row) {
+  out_ << format_csv_line(row, sep_) << '\n';
+}
+
+}  // namespace o2o

@@ -1,0 +1,66 @@
+// Minimal RFC-4180-ish CSV support: quoted fields, embedded separators and
+// quotes, header-indexed row access. Enough to ingest the public New York
+// TLC and Boston taxi trace schemas and to emit report tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace o2o {
+
+/// One parsed CSV record.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a single CSV line. Handles double-quoted fields with embedded
+/// separators, newlines already stripped, and doubled quotes ("") escapes.
+CsvRow parse_csv_line(std::string_view line, char sep = ',');
+
+/// Escapes and joins one record (quotes only when needed).
+std::string format_csv_line(const CsvRow& row, char sep = ',');
+
+/// A fully parsed CSV table with optional header-based column lookup.
+class CsvTable {
+ public:
+  CsvTable() = default;
+
+  /// Reads from a stream. If `has_header`, the first record names columns.
+  static CsvTable read(std::istream& in, bool has_header = true, char sep = ',');
+  /// Reads from a file path; throws std::runtime_error if unreadable.
+  static CsvTable read_file(const std::string& path, bool has_header = true, char sep = ',');
+  /// Parses an in-memory document (convenient for tests).
+  static CsvTable parse(std::string_view text, bool has_header = true, char sep = ',');
+
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<CsvRow>& rows() const noexcept { return rows_; }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Column index for `name`, or -1 when absent (lookup is exact-match,
+  /// after trimming whitespace in the header).
+  int column(std::string_view name) const noexcept;
+
+  /// Field accessor; empty string when the row is ragged-short.
+  const std::string& field(std::size_t row, int col) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<CsvRow> rows_;
+  std::unordered_map<std::string, int> column_index_;
+
+  void build_index();
+};
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+  void write_row(const CsvRow& row);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+}  // namespace o2o

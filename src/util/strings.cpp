@@ -1,0 +1,81 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "util/contracts.h"
+
+namespace o2o {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(text.substr(start));
+      return fields;
+    }
+    fields.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string joined;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) joined += sep;
+    joined += parts[i];
+  }
+  return joined;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string lowered(text);
+  for (char& c : lowered) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return lowered;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<long long> parse_int(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::string format_fixed(double value, int decimals) {
+  O2O_EXPECTS(decimals >= 0 && decimals <= 12);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace o2o

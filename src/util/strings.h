@@ -1,0 +1,34 @@
+// Small string utilities shared across the library (CSV parsing, trace
+// ingestion, report formatting). Header declares; strings.cpp defines.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace o2o {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (locale-independent).
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Locale-independent numeric parsing; nullopt on any trailing garbage.
+std::optional<double> parse_double(std::string_view text) noexcept;
+std::optional<long long> parse_int(std::string_view text) noexcept;
+
+/// printf-style double formatting with fixed decimals (for report tables).
+std::string format_fixed(double value, int decimals);
+
+}  // namespace o2o

@@ -1,0 +1,149 @@
+#include "baselines/nonsharing.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/cost_matrix.h"
+#include "sim/dispatcher.h"
+
+namespace o2o::baselines {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Taxi make_taxi(trace::TaxiId id, geo::Point location, int seats = 4) {
+  trace::Taxi taxi;
+  taxi.id = id;
+  taxi.location = location;
+  taxi.seats = seats;
+  return taxi;
+}
+
+trace::Request make_request(trace::RequestId id, geo::Point pickup, geo::Point dropoff,
+                            int seats = 1) {
+  trace::Request request;
+  request.id = id;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  request.seats = seats;
+  return request;
+}
+
+struct Scenario {
+  std::vector<trace::Taxi> taxis;
+  std::vector<trace::Request> requests;
+
+  sim::DispatchContext context() const {
+    sim::DispatchContext ctx;
+    ctx.idle_taxis = taxis;
+    ctx.pending = requests;
+    ctx.oracle = &kOracle;
+    return ctx;
+  }
+};
+
+TEST(CostMatrixBuilder, DistancesAndSeatFeasibility) {
+  Scenario s;
+  s.taxis = {make_taxi(0, {3, 4}), make_taxi(1, {0, 0}, /*seats=*/1)};
+  s.requests = {make_request(0, {0, 0}, {5, 5}, /*seats=*/2)};
+  const auto costs = pickup_cost_matrix(s.context(), 100.0);
+  EXPECT_DOUBLE_EQ(costs.at(0, 0), 5.0);
+  EXPECT_TRUE(costs.forbidden(0, 1));  // seat shortage
+}
+
+TEST(CostMatrixBuilder, PickupCapForbidsFarTaxis) {
+  Scenario s;
+  s.taxis = {make_taxi(0, {10, 0})};
+  s.requests = {make_request(0, {0, 0}, {1, 1})};
+  const auto costs = pickup_cost_matrix(s.context(), 5.0);
+  EXPECT_TRUE(costs.forbidden(0, 0));
+}
+
+TEST(Greedy, NamesAndNearestChoice) {
+  NonSharingBaseline greedy(NonSharingPolicy::kGreedy);
+  EXPECT_EQ(greedy.name(), "Greedy");
+  Scenario s;
+  s.taxis = {make_taxi(0, {5, 0}), make_taxi(1, {1, 0})};
+  s.requests = {make_request(0, {0, 0}, {2, 2})};
+  const auto assignments = greedy.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].taxi, 1);
+  EXPECT_EQ(assignments[0].requests, (std::vector<trace::RequestId>{0}));
+  ASSERT_EQ(assignments[0].route.stop_count(), 2u);
+  EXPECT_TRUE(assignments[0].route.start.has_value());
+}
+
+TEST(MinCost, BeatsGreedyOnTheFig1Instance) {
+  Scenario s;
+  // Fig. 1 distances: D(t0,r0)=2, D(t1,r0)=3, D(t0,r1)=5, D(t1,r1)=10.
+  // Greedy serves r0 first with t0 and pays 2 + 10 = 12; min-cost pays 8.
+  s.taxis = {make_taxi(0, {2, 0}), make_taxi(1, {-3, 0})};
+  s.requests = {make_request(0, {0, 0}, {1, 1}),
+                make_request(1, {7, 0}, {8, 1})};
+  NonSharingBaseline greedy(NonSharingPolicy::kGreedy);
+  NonSharingBaseline min_cost(NonSharingPolicy::kMinCost);
+  const auto greedy_out = greedy.dispatch(s.context());
+  const auto optimal_out = min_cost.dispatch(s.context());
+  const auto total = [&](const std::vector<sim::DispatchAssignment>& assignments) {
+    double sum = 0.0;
+    for (const auto& a : assignments) {
+      sum += kOracle.distance(*a.route.start, a.route.stops[0].point);
+    }
+    return sum;
+  };
+  EXPECT_LE(total(optimal_out), total(greedy_out));
+  EXPECT_LT(total(optimal_out), total(greedy_out));  // strictly better here
+}
+
+TEST(MinMax, MinimizesTheWorstPickup) {
+  Scenario s;
+  s.taxis = {make_taxi(0, {1, 0}), make_taxi(1, {5, 0})};
+  s.requests = {make_request(0, {0, 0}, {1, 1}), make_request(1, {6, 0}, {7, 1})};
+  NonSharingBaseline min_max(NonSharingPolicy::kMinMax);
+  const auto assignments = min_max.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 2u);
+  double worst = 0.0;
+  for (const auto& a : assignments) {
+    worst = std::max(worst, kOracle.distance(*a.route.start, a.route.stops[0].point));
+  }
+  EXPECT_NEAR(worst, 1.0, 1e-9);
+}
+
+TEST(AllPolicies, EmptyInputsProduceNothing) {
+  for (const auto policy : {NonSharingPolicy::kGreedy, NonSharingPolicy::kMinCost,
+                            NonSharingPolicy::kMinMax}) {
+    NonSharingBaseline baseline(policy);
+    Scenario s;
+    EXPECT_TRUE(baseline.dispatch(s.context()).empty());
+    s.taxis = {make_taxi(0, {0, 0})};
+    EXPECT_TRUE(baseline.dispatch(s.context()).empty());
+  }
+}
+
+TEST(AllPolicies, CapLeavesRequestsUndispatched) {
+  NonSharingOptions options;
+  options.max_pickup_km = 2.0;
+  for (const auto policy : {NonSharingPolicy::kGreedy, NonSharingPolicy::kMinCost,
+                            NonSharingPolicy::kMinMax}) {
+    NonSharingBaseline baseline(policy, options);
+    Scenario s;
+    s.taxis = {make_taxi(0, {10, 10})};
+    s.requests = {make_request(0, {0, 0}, {1, 1})};
+    EXPECT_TRUE(baseline.dispatch(s.context()).empty());
+  }
+}
+
+TEST(AllPolicies, OneTaxiServesAtMostOneRequestPerFrame) {
+  for (const auto policy : {NonSharingPolicy::kGreedy, NonSharingPolicy::kMinCost,
+                            NonSharingPolicy::kMinMax}) {
+    NonSharingBaseline baseline(policy);
+    Scenario s;
+    s.taxis = {make_taxi(0, {0, 0})};
+    s.requests = {make_request(0, {1, 0}, {2, 0}), make_request(1, {0, 1}, {0, 2})};
+    const auto assignments = baseline.dispatch(s.context());
+    ASSERT_EQ(assignments.size(), 1u);
+    EXPECT_EQ(assignments[0].requests.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace o2o::baselines

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/ilp.h"
+#include "baselines/raii.h"
+#include "baselines/sarp.h"
+#include "baselines/working_fleet.h"
+#include "routing/route.h"
+
+namespace o2o::baselines {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Taxi make_taxi(trace::TaxiId id, geo::Point location, int seats = 4) {
+  trace::Taxi taxi;
+  taxi.id = id;
+  taxi.location = location;
+  taxi.seats = seats;
+  return taxi;
+}
+
+trace::Request make_request(trace::RequestId id, geo::Point pickup, geo::Point dropoff,
+                            int seats = 1) {
+  trace::Request request;
+  request.id = id;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  request.seats = seats;
+  return request;
+}
+
+struct Scenario {
+  std::vector<trace::Taxi> idle;
+  std::vector<sim::BusyTaxiView> busy;
+  std::vector<trace::Request> pending;
+
+  sim::DispatchContext context() const {
+    sim::DispatchContext ctx;
+    ctx.idle_taxis = idle;
+    ctx.busy_taxis = busy;
+    ctx.pending = pending;
+    ctx.oracle = &kOracle;
+    return ctx;
+  }
+};
+
+void expect_assignments_sane(const std::vector<sim::DispatchAssignment>& assignments) {
+  for (const auto& a : assignments) {
+    EXPECT_FALSE(a.requests.empty());
+    EXPECT_TRUE(a.route.start.has_value());
+    EXPECT_TRUE(routing::respects_precedence(a.route));
+  }
+}
+
+// ------------------------------------------------------------ working fleet
+
+TEST(WorkingFleet, BuildsIdleAndBusyEntries) {
+  Scenario s;
+  s.idle = {make_taxi(0, {0, 0})};
+  sim::BusyTaxiView busy;
+  busy.taxi = make_taxi(1, {5, 5});
+  busy.remaining_stops = {routing::Stop{7, false, {6, 6}}};
+  busy.onboard = {7};
+  busy.seats_in_use = 2;
+  busy.route_request_seats = {{7, 2}};
+  s.busy = {busy};
+
+  const auto fleet = build_working_fleet(s.context(), /*include_busy=*/true);
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_FALSE(fleet[0].busy);
+  EXPECT_TRUE(fleet[1].busy);
+  EXPECT_EQ(fleet[1].seats_onboard, 2);
+  EXPECT_EQ(fleet[1].route.stops.size(), 1u);
+
+  const auto idle_only = build_working_fleet(s.context(), /*include_busy=*/false);
+  EXPECT_EQ(idle_only.size(), 1u);
+}
+
+TEST(WorkingFleet, CapacityCheckWalksTheRoute) {
+  WorkingTaxi taxi;
+  taxi.taxi = make_taxi(0, {0, 0}, /*seats=*/2);
+  taxi.seats_onboard = 1;
+  taxi.seats_of = {{1, 1}};
+  routing::Route route;
+  route.start = geo::Point{0, 0};
+  route.stops = {routing::Stop{2, true, {1, 0}},
+                 routing::Stop{1, false, {2, 0}},
+                 routing::Stop{2, false, {3, 0}}};
+  const auto extra = make_request(2, {1, 0}, {3, 0}, /*seats=*/1);
+  EXPECT_TRUE(capacity_ok(taxi, route, &extra));
+  const auto too_big = make_request(2, {1, 0}, {3, 0}, /*seats=*/2);
+  EXPECT_FALSE(capacity_ok(taxi, route, &too_big));
+}
+
+// ----------------------------------------------------------------- RAII
+
+TEST(Raii, AssignsNearbyIdleTaxi) {
+  RaiiDispatcher dispatcher;
+  Scenario s;
+  s.idle = {make_taxi(0, {1, 0})};
+  s.pending = {make_request(0, {0, 0}, {3, 0})};
+  const auto assignments = dispatcher.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].taxi, 0);
+  expect_assignments_sane(assignments);
+}
+
+TEST(Raii, InsertsIntoABusyTaxiRoute) {
+  RaiiDispatcher dispatcher;
+  Scenario s;
+  sim::BusyTaxiView busy;
+  busy.taxi = make_taxi(3, {0, 0});
+  busy.remaining_stops = {routing::Stop{9, false, {10, 0}}};
+  busy.onboard = {9};
+  busy.seats_in_use = 1;
+  busy.route_request_seats = {{9, 1}};
+  s.busy = {busy};
+  s.pending = {make_request(0, {2, 0}, {6, 0})};  // on the way
+  const auto assignments = dispatcher.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].taxi, 3);
+  // The emitted route must still drop off the onboard rider.
+  bool drops_onboard = false;
+  for (const auto& stop : assignments[0].route.stops) {
+    drops_onboard |= (stop.request == 9 && !stop.is_pickup);
+  }
+  EXPECT_TRUE(drops_onboard);
+  // Rider 9 is already onboard, so precedence holds modulo that.
+  EXPECT_TRUE(routing::respects_precedence(assignments[0].route, {9}));
+}
+
+TEST(Raii, SearchRadiusLimitsCandidates) {
+  RaiiOptions options;
+  options.search_radius_km = 2.0;
+  RaiiDispatcher dispatcher(options);
+  Scenario s;
+  s.idle = {make_taxi(0, {50, 50})};
+  s.pending = {make_request(0, {0, 0}, {1, 0})};
+  EXPECT_TRUE(dispatcher.dispatch(s.context()).empty());
+}
+
+TEST(Raii, RespectsCapacityWhenPacking) {
+  RaiiDispatcher dispatcher;
+  Scenario s;
+  s.idle = {make_taxi(0, {0, 0}, /*seats=*/1)};
+  s.pending = {make_request(0, {1, 0}, {5, 0}), make_request(1, {1.2, 0}, {5.2, 0})};
+  const auto assignments = dispatcher.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].requests.size(), 1u);  // second rider didn't fit
+}
+
+TEST(Raii, PacksCompatibleRequestsOntoOneTaxi) {
+  RaiiDispatcher dispatcher;
+  Scenario s;
+  s.idle = {make_taxi(0, {0, 0})};
+  s.pending = {make_request(0, {1, 0}, {8, 0}), make_request(1, {2, 0}, {7, 0})};
+  const auto assignments = dispatcher.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].requests.size(), 2u);
+  expect_assignments_sane(assignments);
+}
+
+// ----------------------------------------------------------------- SARP
+
+TEST(Sarp, OpensRouteOnNearestIdleTaxi) {
+  SarpDispatcher dispatcher;
+  Scenario s;
+  s.idle = {make_taxi(0, {9, 0}), make_taxi(1, {1, 0})};
+  s.pending = {make_request(0, {0, 0}, {4, 0})};
+  const auto assignments = dispatcher.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].taxi, 1);
+}
+
+TEST(Sarp, InsertsSecondRequestWhenCheaper) {
+  SarpDispatcher dispatcher;
+  Scenario s;
+  s.idle = {make_taxi(0, {0, 0}), make_taxi(1, {40, 40})};
+  s.pending = {make_request(0, {1, 0}, {10, 0}), make_request(1, {2, 0}, {9, 0})};
+  const auto assignments = dispatcher.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 1u);  // both on taxi 0
+  EXPECT_EQ(assignments[0].requests.size(), 2u);
+  expect_assignments_sane(assignments);
+}
+
+TEST(Sarp, DetourBoundBlocksBadPairings) {
+  SarpOptions options;
+  options.detour_threshold_km = 0.1;
+  SarpDispatcher dispatcher(options);
+  Scenario s;
+  // Second request would force a big detour for the first.
+  s.idle = {make_taxi(0, {0, 0})};
+  s.pending = {make_request(0, {1, 0}, {10, 0}), make_request(1, {5, 8}, {5, -8})};
+  const auto assignments = dispatcher.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].requests.size(), 1u);
+}
+
+TEST(Sarp, IgnoresBusyTaxis) {
+  SarpDispatcher dispatcher;
+  Scenario s;
+  sim::BusyTaxiView busy;
+  busy.taxi = make_taxi(0, {0, 0});
+  busy.remaining_stops = {routing::Stop{9, false, {1, 0}}};
+  busy.onboard = {9};
+  busy.seats_in_use = 1;
+  busy.route_request_seats = {{9, 1}};
+  s.busy = {busy};
+  s.pending = {make_request(0, {0.5, 0}, {2, 0})};
+  EXPECT_TRUE(dispatcher.dispatch(s.context()).empty());
+}
+
+// ------------------------------------------------------------------ ILP
+
+TEST(Ilp, ExactSolvesTheTinyJointProblem) {
+  IlpDispatcher dispatcher;
+  Scenario s;
+  s.idle = {make_taxi(0, {0, 0}), make_taxi(1, {10, 0})};
+  s.pending = {make_request(0, {1, 0}, {3, 0}), make_request(1, {11, 0}, {13, 0})};
+  const auto assignments = dispatcher.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 2u);
+  // Each request should get its local taxi.
+  for (const auto& a : assignments) {
+    const double approach = kOracle.distance(*a.route.start, a.route.stops[0].point);
+    EXPECT_NEAR(approach, 1.0, 1e-9);
+  }
+  expect_assignments_sane(assignments);
+}
+
+TEST(Ilp, PrefersSharingWhenItCoversMoreRequests) {
+  IlpDispatcher dispatcher;
+  Scenario s;
+  s.idle = {make_taxi(0, {0, 0})};  // a single taxi for two parallel trips
+  s.pending = {make_request(0, {1, 0}, {8, 0}), make_request(1, {1.5, 0}, {8.5, 0})};
+  const auto assignments = dispatcher.dispatch(s.context());
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].requests.size(), 2u);
+}
+
+TEST(Ilp, GreedyFallbackStillCoversLargeFrames) {
+  IlpOptions options;
+  options.exact_option_limit = 4;  // force the heuristic path
+  IlpDispatcher dispatcher(options);
+  Scenario s;
+  for (int t = 0; t < 6; ++t) {
+    s.idle.push_back(make_taxi(t, {2.0 * t, 0}));
+  }
+  for (int r = 0; r < 8; ++r) {
+    s.pending.push_back(
+        make_request(r, {2.0 * (r % 6), 1.0}, {2.0 * (r % 6), 6.0}));
+  }
+  const auto assignments = dispatcher.dispatch(s.context());
+  EXPECT_GE(assignments.size(), 4u);
+  expect_assignments_sane(assignments);
+  // No taxi or request reuse.
+  std::vector<trace::TaxiId> taxis_used;
+  std::vector<trace::RequestId> requests_used;
+  for (const auto& a : assignments) {
+    taxis_used.push_back(a.taxi);
+    for (auto id : a.requests) requests_used.push_back(id);
+  }
+  std::sort(taxis_used.begin(), taxis_used.end());
+  EXPECT_EQ(std::adjacent_find(taxis_used.begin(), taxis_used.end()), taxis_used.end());
+  std::sort(requests_used.begin(), requests_used.end());
+  EXPECT_EQ(std::adjacent_find(requests_used.begin(), requests_used.end()),
+            requests_used.end());
+}
+
+TEST(Ilp, MaxPickupCapLeavesFarRequestsPending) {
+  IlpOptions options;
+  options.max_pickup_km = 2.0;
+  IlpDispatcher dispatcher(options);
+  Scenario s;
+  s.idle = {make_taxi(0, {50, 50})};
+  s.pending = {make_request(0, {0, 0}, {1, 0})};
+  EXPECT_TRUE(dispatcher.dispatch(s.context()).empty());
+}
+
+}  // namespace
+}  // namespace o2o::baselines

@@ -1,0 +1,166 @@
+#include "core/all_stable.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "tests/core/test_helpers.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::core {
+namespace {
+
+using testing::random_profile;
+
+std::set<std::vector<int>> as_set(const std::vector<Matching>& matchings) {
+  std::set<std::vector<int>> keys;
+  for (const Matching& m : matchings) keys.insert(m.request_to_taxi);
+  return keys;
+}
+
+/// The classic 3x3 Latin-square instance with exactly three stable
+/// matchings (request-optimal, median, taxi-optimal).
+PreferenceProfile latin_square_3x3() {
+  // Request r's score for taxi t encodes the preference ranks:
+  //   r0: t0 > t1 > t2 ; r1: t1 > t2 > t0 ; r2: t2 > t0 > t1
+  //   t0: r1 > r2 > r0 ; t1: r2 > r0 > r1 ; t2: r0 > r1 > r2
+  std::vector<std::vector<double>> passenger{{1, 2, 3}, {3, 1, 2}, {2, 3, 1}};
+  std::vector<std::vector<double>> taxi{{3, 2, 1}, {1, 3, 2}, {2, 1, 3}};
+  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi));
+}
+
+TEST(BreakDispatch, Rule3RefusesUnservedRequests) {
+  // Two requests, one taxi: one request is unserved; breaking it fails.
+  const auto profile = PreferenceProfile::from_scores({{1.0}, {2.0}}, {{1.0}, {2.0}});
+  const Matching schedule = gale_shapley_requests(profile);
+  ASSERT_EQ(schedule.request_to_taxi[1], kDummy);
+  EXPECT_FALSE(break_dispatch(profile, schedule, 1).has_value());
+}
+
+TEST(BreakDispatch, SucceedsOnTheLatinSquare) {
+  const auto profile = latin_square_3x3();
+  const Matching passenger_optimal = gale_shapley_requests(profile);
+  EXPECT_EQ(passenger_optimal.request_to_taxi, (std::vector<int>{0, 1, 2}));
+  const auto next = break_dispatch(profile, passenger_optimal, 0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_TRUE(is_stable(profile, *next));
+  EXPECT_EQ(next->request_to_taxi, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(BreakDispatch, ResultIsAlwaysStableOrNull) {
+  Rng rng(81);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto profile = random_profile(rng, 5, 5, 0.2);
+    const Matching schedule = gale_shapley_requests(profile);
+    for (std::size_t j = 0; j < profile.request_count(); ++j) {
+      const auto next = break_dispatch(profile, schedule, j);
+      if (next.has_value()) {
+        EXPECT_TRUE(is_stable(profile, *next));
+        EXPECT_NE(next->request_to_taxi, schedule.request_to_taxi);
+      }
+    }
+  }
+}
+
+TEST(BreakDispatch, BrokenRequestGetsAStrictlyWorsePartner) {
+  Rng rng(82);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto profile = random_profile(rng, 5, 5, 0.2);
+    const Matching schedule = gale_shapley_requests(profile);
+    for (std::size_t j = 0; j < profile.request_count(); ++j) {
+      const auto next = break_dispatch(profile, schedule, j);
+      if (!next.has_value()) continue;
+      EXPECT_TRUE(profile.request_prefers(j, schedule.request_to_taxi[j],
+                                          next->request_to_taxi[j]));
+    }
+  }
+}
+
+TEST(AllStable, LatinSquareHasExactlyThreeMatchings) {
+  const auto profile = latin_square_3x3();
+  const AllStableResult result = enumerate_all_stable(profile);
+  EXPECT_EQ(result.matchings.size(), 3u);
+  EXPECT_FALSE(result.truncated);
+  const auto keys = as_set(result.matchings);
+  EXPECT_TRUE(keys.count({0, 1, 2}));  // passenger-optimal
+  EXPECT_TRUE(keys.count({1, 2, 0}));  // median
+  EXPECT_TRUE(keys.count({2, 0, 1}));  // taxi-optimal
+}
+
+TEST(AllStable, FirstMatchingIsThePassengerOptimalOne) {
+  const auto profile = latin_square_3x3();
+  const AllStableResult result = enumerate_all_stable(profile);
+  EXPECT_EQ(result.matchings.front().request_to_taxi,
+            gale_shapley_requests(profile).request_to_taxi);
+}
+
+struct EnumShape {
+  std::uint64_t seed;
+  std::size_t requests;
+  std::size_t taxis;
+  double unacceptable;
+};
+
+class AllStableVsBruteForce : public ::testing::TestWithParam<EnumShape> {};
+
+TEST_P(AllStableVsBruteForce, EnumerationIsExactlyTheStableSet) {
+  const EnumShape shape = GetParam();
+  Rng rng(shape.seed);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto profile =
+        random_profile(rng, shape.requests, shape.taxis, shape.unacceptable);
+    const AllStableResult result = enumerate_all_stable(profile);
+    const auto expected = as_set(brute_force_all_stable(profile));
+    EXPECT_EQ(as_set(result.matchings), expected) << "trial " << trial;
+  }
+}
+
+TEST_P(AllStableVsBruteForce, Theorem4EachMatchingObtainedExactlyOnce) {
+  const EnumShape shape = GetParam();
+  Rng rng(shape.seed + 500);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto profile =
+        random_profile(rng, shape.requests, shape.taxis, shape.unacceptable);
+    const AllStableResult result = enumerate_all_stable(profile);
+    // Every successful BreakDispatch yields a matching not seen before
+    // (Theorem 4); the passenger-optimal one is found without a break.
+    EXPECT_EQ(result.break_successes, result.matchings.size() - 1) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AllStableVsBruteForce,
+    ::testing::Values(EnumShape{301, 3, 3, 0.0}, EnumShape{302, 4, 4, 0.0},
+                      EnumShape{303, 5, 5, 0.0}, EnumShape{304, 5, 5, 0.3},
+                      EnumShape{305, 6, 4, 0.2}, EnumShape{306, 4, 6, 0.2},
+                      EnumShape{307, 6, 6, 0.5}));
+
+TEST(AllStable, TruncationCapIsHonoured) {
+  const auto profile = latin_square_3x3();
+  AllStableOptions options;
+  options.max_matchings = 2;
+  const AllStableResult result = enumerate_all_stable(profile, options);
+  EXPECT_EQ(result.matchings.size(), 2u);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(AllStable, SingleStableMatchingInstances) {
+  // Aligned preferences: a unique stable matching; enumeration finds
+  // nothing else.
+  const auto profile = PreferenceProfile::from_scores(
+      {{1.0, 2.0}, {2.0, 1.0}}, {{1.0, 2.0}, {2.0, 1.0}});
+  const AllStableResult result = enumerate_all_stable(profile);
+  EXPECT_EQ(result.matchings.size(), 1u);
+  EXPECT_EQ(result.break_successes, 0u);
+}
+
+TEST(BruteForce, GuardsAgainstLargeInstances) {
+  Rng rng(83);
+  const auto profile = random_profile(rng, 8, 3, 0.0);
+  EXPECT_THROW(brute_force_all_stable(profile), ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::core

@@ -1,0 +1,146 @@
+// The STD+ en-route extension: unserved requests may join busy taxis
+// when both sides would agree to the insertion.
+#include <gtest/gtest.h>
+
+#include "core/dispatchers.h"
+#include "sim/simulator.h"
+
+namespace o2o::core {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Request make_request(trace::RequestId id, double time, geo::Point pickup,
+                            geo::Point dropoff) {
+  trace::Request request;
+  request.id = id;
+  request.time_seconds = time;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  return request;
+}
+
+sim::BusyTaxiView busy_taxi_on_corridor() {
+  sim::BusyTaxiView view;
+  view.taxi = {0, {3.0, 0.0}, 4};
+  view.remaining_stops = {routing::Stop{90, false, {12.0, 0.0}}};  // rider 90 onboard
+  view.onboard = {90};
+  view.seats_in_use = 1;
+  view.route_request_seats = {{90, 1}};
+  return view;
+}
+
+SharingStableDispatcherOptions extended_options() {
+  SharingStableDispatcherOptions options;
+  options.params.preference.passenger_threshold_km = 10.0;
+  options.params.preference.taxi_threshold_score = 2.0;
+  options.params.grouping.detour_threshold_km = 5.0;
+  options.enroute_extension = true;
+  return options;
+}
+
+TEST(EnrouteExtension, NameGainsAPlus) {
+  EXPECT_EQ(SharingStableDispatcher(extended_options()).name(), "STD-P+");
+  SharingStableDispatcherOptions options = extended_options();
+  options.enroute_extension = false;
+  EXPECT_EQ(SharingStableDispatcher(options).name(), "STD-P");
+}
+
+TEST(EnrouteExtension, UnservedRequestJoinsABusyTaxi) {
+  // No idle taxis at all: the plain dispatcher serves nothing; the
+  // extension inserts the corridor-aligned request into the busy taxi.
+  const std::vector<sim::BusyTaxiView> busy{busy_taxi_on_corridor()};
+  const std::vector<trace::Request> pending{
+      make_request(1, 0.0, {5.0, 0.0}, {9.0, 0.0})};
+
+  sim::DispatchContext context;
+  context.busy_taxis = busy;
+  context.pending = pending;
+  context.oracle = &kOracle;
+
+  SharingStableDispatcherOptions plain = extended_options();
+  plain.enroute_extension = false;
+  EXPECT_TRUE(SharingStableDispatcher(plain).dispatch(context).empty());
+
+  SharingStableDispatcher extended(extended_options());
+  const auto assignments = extended.dispatch(context);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].taxi, 0);
+  EXPECT_EQ(assignments[0].requests, (std::vector<trace::RequestId>{1}));
+  // The onboard rider's drop-off survives on the emitted route.
+  bool drops_onboard = false;
+  for (const auto& stop : assignments[0].route.stops) {
+    drops_onboard |= (stop.request == 90 && !stop.is_pickup);
+  }
+  EXPECT_TRUE(drops_onboard);
+  EXPECT_TRUE(routing::respects_precedence(assignments[0].route, {90}));
+}
+
+TEST(EnrouteExtension, DriverRefusesAMoneyLosingInsertion) {
+  // The request is perpendicular to the corridor: big added distance,
+  // small fare -> marginal score above the driver threshold.
+  const std::vector<sim::BusyTaxiView> busy{busy_taxi_on_corridor()};
+  const std::vector<trace::Request> pending{
+      make_request(1, 0.0, {7.0, 6.0}, {7.0, 7.0})};
+
+  sim::DispatchContext context;
+  context.busy_taxis = busy;
+  context.pending = pending;
+  context.oracle = &kOracle;
+
+  SharingStableDispatcher extended(extended_options());
+  EXPECT_TRUE(extended.dispatch(context).empty());
+}
+
+TEST(EnrouteExtension, OnboardRiderDetourBoundBlocksInsertion) {
+  // Corridor-crossing request with a juicy fare: the driver would take
+  // it, but it would detour the onboard rider beyond θ.
+  const std::vector<sim::BusyTaxiView> busy{busy_taxi_on_corridor()};
+  const std::vector<trace::Request> pending{
+      make_request(1, 0.0, {7.0, 8.0}, {7.0, 28.0})};
+
+  sim::DispatchContext context;
+  context.busy_taxis = busy;
+  context.pending = pending;
+  context.oracle = &kOracle;
+
+  SharingStableDispatcherOptions options = extended_options();
+  options.params.grouping.detour_threshold_km = 5.0;
+  SharingStableDispatcher extended(options);
+  // Detour for onboard rider 90: route must pass (7,8)->(7,28) before
+  // (12,0): ride inflates far beyond 5 km.
+  EXPECT_TRUE(extended.dispatch(context).empty());
+}
+
+TEST(EnrouteExtension, RunsInsideTheSimulator) {
+  // End to end: one taxi, two corridor rides arriving while the first is
+  // in progress -- only the extended dispatcher serves the second.
+  std::vector<trace::Request> requests{make_request(0, 0.0, {1, 0}, {12, 0}),
+                                       make_request(1, 240.0, {6, 0}, {10, 0})};
+  const trace::Trace city("t", {{-20, -20}, {20, 20}}, std::move(requests));
+  const std::vector<trace::Taxi> fleet{{0, {0, 0}, 4}};
+
+  sim::SimulatorConfig config;
+  config.speed_kmh = 60.0;
+  // Short patience: the first ride ends at t = 720 s, so the second rider
+  // (arriving at 240 s) cancels before any idle taxi appears unless the
+  // extension inserts them en route.
+  config.cancel_timeout_seconds = 300.0;
+
+  SharingStableDispatcherOptions plain = extended_options();
+  plain.enroute_extension = false;
+  SharingStableDispatcher plain_dispatcher(plain);
+  sim::Simulator plain_sim(city, fleet, kOracle, config);
+  const auto plain_report = plain_sim.run(plain_dispatcher);
+
+  SharingStableDispatcher extended_dispatcher(extended_options());
+  sim::Simulator extended_sim(city, fleet, kOracle, config);
+  const auto extended_report = extended_sim.run(extended_dispatcher);
+
+  EXPECT_EQ(plain_report.served, 1u);     // second rider cancels
+  EXPECT_EQ(extended_report.served, 2u);  // second rider joins en route
+  EXPECT_EQ(extended_report.shared_rides, 1u);
+}
+
+}  // namespace
+}  // namespace o2o::core

@@ -1,0 +1,112 @@
+#include "core/median.h"
+
+#include <gtest/gtest.h>
+
+#include "core/all_stable.h"
+#include "core/selectors.h"
+#include "tests/core/test_helpers.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::core {
+namespace {
+
+using testing::random_profile;
+
+/// 3x3 Latin square with three stable matchings (see all_stable_test).
+PreferenceProfile latin_square_3x3() {
+  return PreferenceProfile::from_scores({{1, 2, 3}, {3, 1, 2}, {2, 3, 1}},
+                                        {{3, 2, 1}, {1, 3, 2}, {2, 1, 3}});
+}
+
+TEST(Median, LatinSquareMedianIsTheMiddleMatching) {
+  const auto profile = latin_square_3x3();
+  const AllStableResult all = enumerate_all_stable(profile);
+  ASSERT_EQ(all.matchings.size(), 3u);
+  const Matching median = median_stable_matching(all.matchings, profile);
+  EXPECT_EQ(median.request_to_taxi, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(Median, EndpointsAreTheOptimalMatchings) {
+  const auto profile = latin_square_3x3();
+  const AllStableResult all = enumerate_all_stable(profile);
+  const Matching best = generalized_median(all.matchings, profile, 0);
+  const Matching worst = generalized_median(all.matchings, profile, 2);
+  EXPECT_EQ(best.request_to_taxi, gale_shapley_requests(profile).request_to_taxi);
+  EXPECT_EQ(worst.request_to_taxi, gale_shapley_taxis(profile).request_to_taxi);
+}
+
+TEST(Median, EveryGeneralizedMedianIsStable) {
+  Rng rng(94);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto profile = random_profile(rng, 5, 5, 0.2);
+    const AllStableResult all = enumerate_all_stable(profile);
+    for (std::size_t k = 0; k < all.matchings.size(); ++k) {
+      // generalized_median has a stability postcondition; reaching here
+      // without a throw plus an explicit re-check covers both paths.
+      const Matching median = generalized_median(all.matchings, profile, k);
+      EXPECT_TRUE(is_stable(profile, median)) << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(Median, MonotoneForEachRequestAsKGrows) {
+  Rng rng(95);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto profile = random_profile(rng, 5, 5, 0.1);
+    const AllStableResult all = enumerate_all_stable(profile);
+    if (all.matchings.size() < 2) continue;
+    for (std::size_t k = 1; k < all.matchings.size(); ++k) {
+      const Matching previous = generalized_median(all.matchings, profile, k - 1);
+      const Matching current = generalized_median(all.matchings, profile, k);
+      for (std::size_t r = 0; r < profile.request_count(); ++r) {
+        // Larger k is weakly worse for every request.
+        EXPECT_FALSE(profile.request_prefers(r, current.request_to_taxi[r],
+                                             previous.request_to_taxi[r]));
+      }
+    }
+  }
+}
+
+TEST(Median, MedianBalancesTheTwoSides) {
+  Rng rng(96);
+  int median_between = 0, comparisons = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto profile = random_profile(rng, 6, 6, 0.0);
+    const AllStableResult all = enumerate_all_stable(profile);
+    if (all.matchings.size() < 3) continue;
+    const auto p = evaluate(profile, all.matchings.front());
+    const auto t =
+        evaluate(profile, select_taxi_optimal(all.matchings, profile));
+    const auto m = evaluate(profile, median_stable_matching(all.matchings, profile));
+    ++comparisons;
+    if (m.passenger_total >= p.passenger_total - 1e-9 &&
+        m.taxi_total >= t.taxi_total - 1e-9) {
+      ++median_between;
+    }
+  }
+  ASSERT_GT(comparisons, 5);
+  // The median never beats the optima of either side.
+  EXPECT_EQ(median_between, comparisons);
+}
+
+TEST(Median, UnservedRequestsStayUnserved) {
+  // Figure-3-style instance: r2 unserved in every stable schedule.
+  const auto profile = PreferenceProfile::from_scores(
+      {{1.0, 2.0}, {2.0, 1.0}, {1.0, 2.0}}, {{2.0, 1.0}, {1.0, 2.0}, {3.0, 3.0}});
+  const AllStableResult all = enumerate_all_stable(profile);
+  for (std::size_t k = 0; k < all.matchings.size(); ++k) {
+    EXPECT_EQ(generalized_median(all.matchings, profile, k).request_to_taxi[2], kDummy);
+  }
+}
+
+TEST(Median, PreconditionsEnforced) {
+  const auto profile = latin_square_3x3();
+  const AllStableResult all = enumerate_all_stable(profile);
+  EXPECT_THROW(generalized_median(all.matchings, profile, all.matchings.size()),
+               ContractViolation);
+  EXPECT_THROW(generalized_median({}, profile, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::core

@@ -1,0 +1,166 @@
+#include "core/preferences.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::core {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Taxi make_taxi(trace::TaxiId id, geo::Point location, int seats = 4) {
+  trace::Taxi taxi;
+  taxi.id = id;
+  taxi.location = location;
+  taxi.seats = seats;
+  return taxi;
+}
+
+trace::Request make_request(trace::RequestId id, geo::Point pickup, geo::Point dropoff,
+                            int seats = 1) {
+  trace::Request request;
+  request.id = id;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  request.seats = seats;
+  return request;
+}
+
+TEST(FromScores, ListsAreSortedByScore) {
+  const auto profile = PreferenceProfile::from_scores({{3.0, 1.0, 2.0}},
+                                                      {{0.0, 0.0, 0.0}});
+  EXPECT_EQ(profile.request_list(0), (std::vector<int>{1, 2, 0}));
+}
+
+TEST(FromScores, TiesBreakTowardLowerIndex) {
+  const auto profile = PreferenceProfile::from_scores({{5.0, 5.0, 1.0}},
+                                                      {{0.0, 0.0, 0.0}});
+  EXPECT_EQ(profile.request_list(0), (std::vector<int>{2, 0, 1}));
+}
+
+TEST(FromScores, UnacceptableEntriesAreTruncated) {
+  const auto profile = PreferenceProfile::from_scores({{2.0, kUnacceptable, 1.0}},
+                                                      {{0.0, 0.0, kUnacceptable}});
+  EXPECT_EQ(profile.request_list(0), (std::vector<int>{2, 0}));
+  EXPECT_EQ(profile.request_rank(0, 1), PreferenceProfile::kNoRank);
+  EXPECT_FALSE(profile.acceptable(0, 1));  // request side truncated
+  EXPECT_FALSE(profile.acceptable(0, 2));  // taxi side truncated
+  EXPECT_TRUE(profile.acceptable(0, 0));
+}
+
+TEST(FromScores, TaxiListsAreColumnsOfTheScoreMatrix) {
+  const auto profile = PreferenceProfile::from_scores(
+      {{0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}}, {{5.0, 1.0}, {2.0, 2.0}, {9.0, 3.0}});
+  EXPECT_EQ(profile.taxi_list(0), (std::vector<int>{1, 0, 2}));
+  EXPECT_EQ(profile.taxi_list(1), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(profile.taxi_rank(0, 2), 2u);
+}
+
+TEST(FromScores, ListCapKeepsOnlyBestEntries) {
+  const auto profile = PreferenceProfile::from_scores({{4.0, 3.0, 2.0, 1.0}},
+                                                      {{0, 0, 0, 0}},
+                                                      /*list_cap=*/2);
+  EXPECT_EQ(profile.request_list(0), (std::vector<int>{3, 2}));
+  EXPECT_EQ(profile.request_rank(0, 0), PreferenceProfile::kNoRank);
+}
+
+TEST(FromScores, MismatchedShapesThrow) {
+  EXPECT_THROW(PreferenceProfile::from_scores({{1.0}}, {{1.0, 2.0}}),
+               ContractViolation);
+  EXPECT_THROW(PreferenceProfile::from_scores({{1.0}, {1.0, 2.0}}, {{1.0}, {1.0, 2.0}}),
+               ContractViolation);
+}
+
+TEST(Prefers, DummySemantics) {
+  const auto profile = PreferenceProfile::from_scores({{1.0, kUnacceptable}},
+                                                      {{0.0, 0.0}});
+  // Any acceptable partner beats the dummy.
+  EXPECT_TRUE(profile.request_prefers(0, 0, kDummy));
+  EXPECT_FALSE(profile.request_prefers(0, kDummy, 0));
+  // The dummy beats an unacceptable partner.
+  EXPECT_TRUE(profile.request_prefers(0, kDummy, 1) ==
+              false);  // both rank kNoRank: no strict preference
+  EXPECT_FALSE(profile.request_prefers(0, 1, kDummy));
+  EXPECT_FALSE(profile.request_prefers(0, kDummy, kDummy));
+}
+
+TEST(NonSharingProfile, PassengerScoreIsPickupDistance) {
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {3, 4})};
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {0, 5})};
+  const auto profile =
+      build_nonsharing_profile(taxis, requests, kOracle, PreferenceParams{});
+  EXPECT_DOUBLE_EQ(profile.passenger_score(0, 0), 5.0);
+}
+
+TEST(NonSharingProfile, TaxiScoreSubtractsAlphaTrip) {
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {3, 4})};
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {0, 5})};
+  PreferenceParams params;
+  params.alpha = 2.0;
+  const auto profile = build_nonsharing_profile(taxis, requests, kOracle, params);
+  EXPECT_DOUBLE_EQ(profile.taxi_score(0, 0), 5.0 - 2.0 * 5.0);
+}
+
+TEST(NonSharingProfile, NearestTaxiRanksFirst) {
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {10, 0}), make_taxi(1, {1, 0}),
+                                       make_taxi(2, {4, 0})};
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {0, 9})};
+  const auto profile =
+      build_nonsharing_profile(taxis, requests, kOracle, PreferenceParams{});
+  EXPECT_EQ(profile.request_list(0), (std::vector<int>{1, 2, 0}));
+}
+
+TEST(NonSharingProfile, TaxiPrefersLongTripsNearby) {
+  // Same pickup distance; the longer trip pays more, so the taxi prefers it.
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {0, 0})};
+  const std::vector<trace::Request> requests{
+      make_request(0, {1, 0}, {2, 0}),    // trip 1 km
+      make_request(1, {0, 1}, {0, 10})};  // trip 9 km
+  const auto profile =
+      build_nonsharing_profile(taxis, requests, kOracle, PreferenceParams{});
+  EXPECT_EQ(profile.taxi_list(0), (std::vector<int>{1, 0}));
+}
+
+TEST(NonSharingProfile, PassengerThresholdCreatesDummy) {
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {1, 0}), make_taxi(1, {9, 0})};
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {0, 5})};
+  PreferenceParams params;
+  params.passenger_threshold_km = 5.0;
+  const auto profile = build_nonsharing_profile(taxis, requests, kOracle, params);
+  EXPECT_EQ(profile.request_list(0), (std::vector<int>{0}));  // taxi 1 beyond the dummy
+}
+
+TEST(NonSharingProfile, TaxiThresholdCreatesDummy) {
+  // Taxi score = pickup - alpha * trip; with a tight threshold the
+  // low-payoff request falls past the dummy.
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {5, 0})};
+  const std::vector<trace::Request> requests{
+      make_request(0, {0, 0}, {0, 1}),   // score 5 - 1 = 4
+      make_request(1, {0, 0}, {0, 8})};  // score 5 - 8 = -3
+  PreferenceParams params;
+  params.taxi_threshold_score = 0.0;
+  const auto profile = build_nonsharing_profile(taxis, requests, kOracle, params);
+  EXPECT_EQ(profile.taxi_list(0), (std::vector<int>{1}));
+  EXPECT_FALSE(profile.acceptable(0, 0));
+}
+
+TEST(NonSharingProfile, SeatShortageIsMutuallyUnacceptable) {
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {1, 0}, /*seats=*/2)};
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {5, 0}, /*seats=*/3)};
+  const auto profile =
+      build_nonsharing_profile(taxis, requests, kOracle, PreferenceParams{});
+  EXPECT_TRUE(profile.request_list(0).empty());
+  EXPECT_TRUE(profile.taxi_list(0).empty());
+}
+
+TEST(NonSharingProfile, EmptyInputsYieldEmptyProfile) {
+  const auto profile =
+      build_nonsharing_profile({}, {}, kOracle, PreferenceParams{});
+  EXPECT_EQ(profile.request_count(), 0u);
+  EXPECT_EQ(profile.taxi_count(), 0u);
+}
+
+}  // namespace
+}  // namespace o2o::core

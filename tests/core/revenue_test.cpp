@@ -1,0 +1,66 @@
+#include "core/revenue.h"
+
+#include <gtest/gtest.h>
+
+#include "core/all_stable.h"
+#include "tests/core/test_helpers.h"
+#include "util/rng.h"
+
+namespace o2o::core {
+namespace {
+
+using testing::random_instance;
+
+const geo::EuclideanOracle kOracle;
+
+TEST(Fare, FlagFallPlusMetered) {
+  const FareModel model{2.5, 1.75, 0.25};
+  EXPECT_DOUBLE_EQ(model.fare(0.0), 2.5);
+  EXPECT_DOUBLE_EQ(model.fare(4.0), 2.5 + 7.0);
+}
+
+TEST(Fare, TotalCountsOnlyServedRequests) {
+  std::vector<trace::Request> requests(2);
+  requests[0] = {0, 0.0, {0, 0}, {4, 0}, 1};  // 4 km trip
+  requests[1] = {1, 0.0, {0, 0}, {2, 0}, 1};  // 2 km trip
+  const Matching matching = make_matching({0, kDummy}, 1);
+  const FareModel model{2.0, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(total_fare(requests, matching, kOracle, model), 6.0);
+  EXPECT_DOUBLE_EQ(company_revenue(requests, matching, kOracle, model), 3.0);
+}
+
+TEST(Fare, RevenueInvariantAcrossTheStableLattice) {
+  // The rural-hospitals consequence the module documents: every stable
+  // schedule serves the same requests, so fare revenue is constant.
+  Rng rng(71);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto instance = random_instance(rng, 6, 5);
+    PreferenceParams params;
+    params.passenger_threshold_km = 7.0;
+    params.taxi_threshold_score = 2.0;
+    const auto profile =
+        build_nonsharing_profile(instance.taxis, instance.requests, kOracle, params);
+    const AllStableResult all = enumerate_all_stable(profile);
+    EXPECT_TRUE(revenue_invariant_across(instance.requests, all.matchings, kOracle))
+        << "trial " << trial;
+  }
+}
+
+TEST(Fare, InvarianceDetectsDifferingServedSets) {
+  std::vector<trace::Request> requests(1);
+  requests[0] = {0, 0.0, {0, 0}, {4, 0}, 1};
+  const Matching served = make_matching({0}, 1);
+  const Matching unserved = make_matching({kDummy}, 1);
+  EXPECT_FALSE(revenue_invariant_across(requests, {served, unserved}, kOracle));
+  EXPECT_TRUE(revenue_invariant_across(requests, {served, served}, kOracle));
+  EXPECT_TRUE(revenue_invariant_across(requests, {}, kOracle));
+}
+
+TEST(Fare, MismatchedSizesThrow) {
+  std::vector<trace::Request> requests(2);
+  const Matching matching = make_matching({0}, 1);
+  EXPECT_THROW(total_fare(requests, matching, kOracle), ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::core

@@ -1,0 +1,93 @@
+#include "core/selectors.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::core {
+namespace {
+
+using testing::random_profile;
+
+TEST(Evaluate, SumsMatchedScoresOnly) {
+  const auto profile = PreferenceProfile::from_scores(
+      {{2.0, 7.0}, {4.0, 1.0}}, {{-1.0, 3.0}, {0.5, -2.0}});
+  const Matching matching = make_matching({0, kDummy}, 2);
+  const ScheduleEvaluation eval = evaluate(profile, matching);
+  EXPECT_EQ(eval.matched, 1u);
+  EXPECT_DOUBLE_EQ(eval.passenger_total, 2.0);
+  EXPECT_DOUBLE_EQ(eval.taxi_total, -1.0);
+  EXPECT_DOUBLE_EQ(eval.passenger_mean(), 2.0);
+}
+
+TEST(Evaluate, EmptyMatchingHasZeroMeans) {
+  const auto profile = PreferenceProfile::from_scores({{1.0}}, {{1.0}});
+  const ScheduleEvaluation eval = evaluate(profile, make_matching({kDummy}, 1));
+  EXPECT_EQ(eval.matched, 0u);
+  EXPECT_DOUBLE_EQ(eval.passenger_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(eval.taxi_mean(), 0.0);
+}
+
+TEST(SelectBy, PicksTheMinimizerAndBreaksTiesFirst) {
+  const auto profile = PreferenceProfile::from_scores({{1.0, 2.0}}, {{5.0, 3.0}});
+  const std::vector<Matching> candidates{make_matching({0}, 2), make_matching({1}, 2)};
+  const Matching& by_passenger = select_by(
+      candidates, profile, [](const PreferenceProfile& p, const Matching& m) {
+        return evaluate(p, m).passenger_total;
+      });
+  EXPECT_EQ(by_passenger.request_to_taxi[0], 0);
+  const Matching& by_taxi = select_taxi_optimal(candidates, profile);
+  EXPECT_EQ(by_taxi.request_to_taxi[0], 1);
+}
+
+TEST(SelectBy, EmptyCandidateListThrows) {
+  const auto profile = PreferenceProfile::from_scores({{1.0}}, {{1.0}});
+  EXPECT_THROW(
+      select_by({}, profile,
+                [](const PreferenceProfile&, const Matching&) { return 0.0; }),
+      ContractViolation);
+}
+
+TEST(Selectors, PassengerPickEqualsAlgorithm1OverTheFullLattice) {
+  Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto profile = random_profile(rng, 5, 5, 0.25);
+    const AllStableResult all = enumerate_all_stable(profile);
+    const Matching& pick = select_passenger_optimal(all.matchings, profile);
+    EXPECT_EQ(pick.request_to_taxi, gale_shapley_requests(profile).request_to_taxi);
+  }
+}
+
+TEST(Selectors, TaxiPickEqualsTaxiProposingGaleShapley) {
+  // NSTD-T two ways: Algorithm 2 + taxi-total selector vs taxi-proposing
+  // deferred acceptance. They must agree (the taxi-optimal matching
+  // minimizes every taxi's score simultaneously).
+  Rng rng(92);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto profile = random_profile(rng, 5, 5, 0.25);
+    const AllStableResult all = enumerate_all_stable(profile);
+    const Matching& pick = select_taxi_optimal(all.matchings, profile);
+    EXPECT_EQ(pick.request_to_taxi, gale_shapley_taxis(profile).request_to_taxi)
+        << "trial " << trial;
+  }
+}
+
+TEST(Selectors, CompanyObjectiveCanMaximizeServedRequests) {
+  Rng rng(93);
+  const auto profile = random_profile(rng, 5, 5, 0.3);
+  const AllStableResult all = enumerate_all_stable(profile);
+  const Matching& pick = select_by(
+      all.matchings, profile, [](const PreferenceProfile& p, const Matching& m) {
+        return -static_cast<double>(evaluate(p, m).matched);
+      });
+  // Rural hospitals: every stable matching serves the same requests, so
+  // the count is constant across the lattice.
+  for (const Matching& other : all.matchings) {
+    EXPECT_EQ(evaluate(profile, other).matched, evaluate(profile, pick).matched);
+  }
+}
+
+}  // namespace
+}  // namespace o2o::core

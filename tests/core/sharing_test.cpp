@@ -1,0 +1,263 @@
+#include "core/sharing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/preferences.h"
+#include "core/stable_matching.h"
+#include "tests/core/test_helpers.h"
+#include "util/rng.h"
+
+namespace o2o::core {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Taxi make_taxi(trace::TaxiId id, geo::Point location, int seats = 4) {
+  trace::Taxi taxi;
+  taxi.id = id;
+  taxi.location = location;
+  taxi.seats = seats;
+  return taxi;
+}
+
+trace::Request make_request(trace::RequestId id, geo::Point pickup, geo::Point dropoff,
+                            int seats = 1) {
+  trace::Request request;
+  request.id = id;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  request.seats = seats;
+  return request;
+}
+
+SharingParams default_params() {
+  SharingParams params;
+  params.grouping.detour_threshold_km = 5.0;
+  return params;
+}
+
+TEST(PackRequests, ParallelTripsGetPacked) {
+  const std::vector<trace::Request> requests{
+      make_request(0, {0, 0}, {10, 0}), make_request(1, {0.3, 0}, {10.3, 0}),
+      make_request(2, {50, 50}, {55, 50})};
+  const SharingUnits units = pack_requests(requests, kOracle, default_params());
+  EXPECT_EQ(units.packed_groups, 1u);
+  EXPECT_GE(units.feasible_groups, 1u);
+  ASSERT_EQ(units.units.size(), 2u);  // the pair + the loner
+  EXPECT_EQ(units.units[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(units.units[1], (std::vector<std::size_t>{2}));
+}
+
+TEST(PackRequests, NoSharingWhenThetaIsZeroAndTripsDiverge) {
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {10, 0}),
+                                             make_request(1, {0, 1}, {-10, 5})};
+  SharingParams params = default_params();
+  params.grouping.detour_threshold_km = 0.0;
+  const SharingUnits units = pack_requests(requests, kOracle, params);
+  EXPECT_EQ(units.packed_groups, 0u);
+  EXPECT_EQ(units.units.size(), 2u);
+}
+
+TEST(PackRequests, EveryRequestAppearsExactlyOnce) {
+  Rng rng(55);
+  std::vector<trace::Request> requests;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(make_request(i, {rng.uniform(0, 4), rng.uniform(0, 4)},
+                                    {rng.uniform(6, 10), rng.uniform(6, 10)}));
+  }
+  const SharingUnits units = pack_requests(requests, kOracle, default_params());
+  std::vector<int> seen(requests.size(), 0);
+  for (const auto& unit : units.units) {
+    for (std::size_t index : unit) ++seen[index];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(PackRequests, SolverChoicesAllProduceValidPackings) {
+  Rng rng(56);
+  std::vector<trace::Request> requests;
+  for (int i = 0; i < 10; ++i) {
+    requests.push_back(make_request(i, {rng.uniform(0, 3), rng.uniform(0, 3)},
+                                    {rng.uniform(6, 9), rng.uniform(6, 9)}));
+  }
+  SharingParams params = default_params();
+  std::size_t local_packed = 0, greedy_packed = 0, exact_packed = 0;
+  params.packing = PackingSolver::kLocalSearch;
+  local_packed = pack_requests(requests, kOracle, params).packed_groups;
+  params.packing = PackingSolver::kGreedy;
+  greedy_packed = pack_requests(requests, kOracle, params).packed_groups;
+  params.packing = PackingSolver::kExact;
+  // Exact may exceed its B&B budget on dense inputs; only run when small.
+  const auto feasible =
+      packing::enumerate_share_groups(requests, kOracle, params.grouping, 4);
+  if (feasible.size() <= 30) {
+    exact_packed = pack_requests(requests, kOracle, params).packed_groups;
+    EXPECT_GE(exact_packed, local_packed);
+  }
+  EXPECT_GE(local_packed, greedy_packed);
+}
+
+TEST(PackRequests, RiderObjectivePrefersTheTripleOverAPair) {
+  // Three compatible riders: under kCount the pair {0,1} (smaller set,
+  // same unit weight) blocks the triple; under kRiders the triple's
+  // weight 3 wins and everyone pools.
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {10, 0}),
+                                             make_request(1, {0.2, 0}, {10.2, 0}),
+                                             make_request(2, {0.4, 0}, {10.4, 0})};
+  SharingParams params = default_params();
+  params.objective = PackingObjective::kCount;
+  const SharingUnits by_count = pack_requests(requests, kOracle, params);
+  EXPECT_EQ(by_count.units.front().size(), 2u);
+  params.objective = PackingObjective::kRiders;
+  const SharingUnits by_riders = pack_requests(requests, kOracle, params);
+  EXPECT_EQ(by_riders.packed_groups, 1u);
+  EXPECT_EQ(by_riders.units.front().size(), 3u);
+}
+
+TEST(PackRequests, SavingsObjectivePrefersTheHighSavingsPair) {
+  // {0,1} are long parallel trips (big savings); {2,3} short ones. Only
+  // one of each family can be served... make them overlap via a shared
+  // rider so the objectives disagree: {0,1} saves ~10 km, {1,2} saves
+  // ~2 km. Count ties (both single groups); savings must pick {0,1}.
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {12, 0}),
+                                             make_request(1, {0.2, 0}, {12.2, 0}),
+                                             make_request(2, {0.4, 0}, {2.4, 0})};
+  SharingParams params = default_params();
+  params.grouping.max_group_size = 2;
+  params.objective = PackingObjective::kSavings;
+  const SharingUnits units = pack_requests(requests, kOracle, params);
+  ASSERT_GE(units.packed_groups, 1u);
+  EXPECT_EQ(units.units.front(), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(DispatchSharing, PairSharesOneTaxi) {
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {-1, 0})};
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {10, 0}),
+                                             make_request(1, {0.5, 0}, {9.5, 0})};
+  const SharingOutcome outcome =
+      dispatch_sharing(taxis, requests, kOracle, default_params());
+  ASSERT_EQ(outcome.assignments.size(), 1u);
+  const SharedAssignment& assignment = outcome.assignments[0];
+  EXPECT_EQ(assignment.taxi_index, 0u);
+  EXPECT_EQ(assignment.request_indices.size(), 2u);
+  EXPECT_EQ(assignment.route.stop_count(), 4u);
+  EXPECT_TRUE(routing::respects_precedence(assignment.route));
+  EXPECT_TRUE(outcome.unserved_request_indices.empty());
+}
+
+TEST(DispatchSharing, SingletonScoresReduceToNonSharingModel) {
+  // One far-apart request per taxi: no sharing is feasible, so the unit
+  // scores must equal D(t, r.s) and D(t, r.s) - alpha D(r.s, r.d).
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {0, 1})};
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {4, 0})};
+  SharingParams params = default_params();
+  params.preference.alpha = 1.0;
+  params.preference.beta = 1.0;
+  const SharingOutcome outcome = dispatch_sharing(taxis, requests, kOracle, params);
+  ASSERT_EQ(outcome.assignments.size(), 1u);
+  EXPECT_NEAR(outcome.assignments[0].passenger_score, 1.0, 1e-9);
+  // D_ck(t) - 2 * D = (1 + 4) - 2 * 4 = -3 == D(t,r.s) - alpha*D = 1 - 4.
+  EXPECT_NEAR(outcome.assignments[0].taxi_score, -3.0, 1e-9);
+}
+
+TEST(DispatchSharing, UnservedWhenTaxiLacksSeats) {
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {0, 0}, /*seats=*/1)};
+  const std::vector<trace::Request> requests{make_request(0, {1, 0}, {2, 0}, /*seats=*/3)};
+  const SharingOutcome outcome =
+      dispatch_sharing(taxis, requests, kOracle, default_params());
+  EXPECT_TRUE(outcome.assignments.empty());
+  EXPECT_EQ(outcome.unserved_request_indices, (std::vector<std::size_t>{0}));
+}
+
+TEST(DispatchSharing, PassengerThresholdLeavesFarRequestsUnserved) {
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {100, 100})};
+  const std::vector<trace::Request> requests{make_request(0, {0, 0}, {5, 0})};
+  SharingParams params = default_params();
+  params.preference.passenger_threshold_km = 10.0;
+  const SharingOutcome outcome = dispatch_sharing(taxis, requests, kOracle, params);
+  EXPECT_TRUE(outcome.assignments.empty());
+  EXPECT_EQ(outcome.unserved_request_indices.size(), 1u);
+}
+
+TEST(DispatchSharing, MoreRequestsThanTaxis_SharingServesMore) {
+  // 4 near-identical trips, 1 taxi: Eq. 1 maximizes the number of packed
+  // subsets, so the pool splits into two pairs; the lone taxi then serves
+  // one pair (2 requests) instead of 1 under non-sharing dispatch.
+  std::vector<trace::Request> requests;
+  for (int i = 0; i < 4; ++i) {
+    requests.push_back(
+        make_request(i, {0.1 * i, 0}, {10 + 0.1 * i, 0}));
+  }
+  const std::vector<trace::Taxi> taxis{make_taxi(0, {-1, 0})};
+  const SharingOutcome outcome =
+      dispatch_sharing(taxis, requests, kOracle, default_params());
+  EXPECT_EQ(outcome.packed_groups, 2u);
+  ASSERT_EQ(outcome.assignments.size(), 1u);
+  EXPECT_EQ(outcome.assignments[0].request_indices.size(), 2u);
+  EXPECT_EQ(outcome.unserved_request_indices.size(), 2u);
+}
+
+TEST(DispatchSharing, TaxiSideAndPassengerSideBothStable) {
+  Rng rng(58);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<trace::Taxi> taxis;
+    for (int t = 0; t < 4; ++t) {
+      taxis.push_back(make_taxi(t, {rng.uniform(0, 10), rng.uniform(0, 10)}));
+    }
+    std::vector<trace::Request> requests;
+    for (int r = 0; r < 7; ++r) {
+      requests.push_back(make_request(r, {rng.uniform(0, 10), rng.uniform(0, 10)},
+                                      {rng.uniform(0, 10), rng.uniform(0, 10)}));
+    }
+    for (const ProposalSide side : {ProposalSide::kPassengers, ProposalSide::kTaxis}) {
+      SharingParams params = default_params();
+      params.side = side;
+      const SharingOutcome outcome = dispatch_sharing(taxis, requests, kOracle, params);
+      // Each taxi serves at most one unit; each request appears once.
+      std::vector<int> taxi_used(taxis.size(), 0);
+      std::vector<int> request_used(requests.size(), 0);
+      for (const SharedAssignment& assignment : outcome.assignments) {
+        EXPECT_EQ(taxi_used[assignment.taxi_index]++, 0);
+        for (std::size_t index : assignment.request_indices) {
+          EXPECT_EQ(request_used[index]++, 0);
+        }
+        EXPECT_TRUE(routing::respects_precedence(assignment.route));
+      }
+      for (std::size_t index : outcome.unserved_request_indices) {
+        EXPECT_EQ(request_used[index]++, 0);
+      }
+      for (int used : request_used) EXPECT_EQ(used, 1);
+    }
+  }
+}
+
+TEST(DispatchSharing, PrefilterDoesNotChangeTheOutcome) {
+  // The threshold prefilter is a pure optimization: results with and
+  // without a finite threshold-bound must coincide when the threshold is
+  // loose enough to never bind.
+  Rng rng(59);
+  std::vector<trace::Taxi> taxis;
+  for (int t = 0; t < 3; ++t) {
+    taxis.push_back(make_taxi(t, {rng.uniform(0, 5), rng.uniform(0, 5)}));
+  }
+  std::vector<trace::Request> requests;
+  for (int r = 0; r < 5; ++r) {
+    requests.push_back(make_request(r, {rng.uniform(0, 5), rng.uniform(0, 5)},
+                                    {rng.uniform(0, 5), rng.uniform(0, 5)}));
+  }
+  SharingParams infinite = default_params();
+  SharingParams loose = default_params();
+  loose.preference.passenger_threshold_km = 1e6;
+  const SharingOutcome a = dispatch_sharing(taxis, requests, kOracle, infinite);
+  const SharingOutcome b = dispatch_sharing(taxis, requests, kOracle, loose);
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    EXPECT_EQ(a.assignments[i].taxi_index, b.assignments[i].taxi_index);
+    EXPECT_EQ(a.assignments[i].request_indices, b.assignments[i].request_indices);
+  }
+}
+
+}  // namespace
+}  // namespace o2o::core

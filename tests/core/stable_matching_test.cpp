@@ -1,0 +1,218 @@
+#include "core/stable_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "core/all_stable.h"
+#include "tests/core/test_helpers.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::core {
+namespace {
+
+using testing::random_instance;
+using testing::random_profile;
+
+const geo::EuclideanOracle kOracle;
+
+// ------------------------------------------------------------- plumbing
+
+TEST(MakeMatching, BuildsTheMirror) {
+  const Matching matching = make_matching({1, kDummy, 0}, 3);
+  EXPECT_EQ(matching.taxi_to_request, (std::vector<int>{2, 0, kDummy}));
+  EXPECT_EQ(matching.matched_count(), 2u);
+}
+
+TEST(MakeMatching, RejectsDuplicateTaxi) {
+  EXPECT_THROW(make_matching({0, 0}, 2), ContractViolation);
+}
+
+TEST(Validity, DetectsUnacceptablePair) {
+  const auto profile = PreferenceProfile::from_scores({{kUnacceptable}}, {{1.0}});
+  EXPECT_FALSE(is_valid(profile, make_matching({0}, 1)));
+  EXPECT_TRUE(is_valid(profile, make_matching({kDummy}, 1)));
+}
+
+TEST(BlockingPairs, FindsTheClassicBlock) {
+  // r0 and t0 prefer each other but are matched elsewhere.
+  const auto profile = PreferenceProfile::from_scores(
+      {{1.0, 2.0}, {1.0, 2.0}},   // both requests prefer taxi 0
+      {{1.0, 1.0}, {2.0, 2.0}});  // both taxis prefer request 0
+  const Matching bad = make_matching({1, 0}, 2);
+  const auto blocks = blocking_pairs(profile, bad);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_FALSE(is_stable(profile, bad));
+  EXPECT_TRUE(is_stable(profile, make_matching({0, 1}, 2)));
+}
+
+TEST(BlockingPairs, UnmatchedAgentsCanBlock) {
+  // One request, one taxi, mutually acceptable, both unmatched: blocking.
+  const auto profile = PreferenceProfile::from_scores({{1.0}}, {{1.0}});
+  EXPECT_FALSE(is_stable(profile, make_matching({kDummy}, 1)));
+  EXPECT_TRUE(is_stable(profile, make_matching({0}, 1)));
+}
+
+TEST(BlockingPairs, MutuallyUnacceptablePairNeverBlocks) {
+  const auto profile =
+      PreferenceProfile::from_scores({{kUnacceptable}}, {{kUnacceptable}});
+  EXPECT_TRUE(is_stable(profile, make_matching({kDummy}, 1)));
+}
+
+// -------------------------------------------------------- Algorithm 1
+
+TEST(GaleShapley, TwoByTwoMatchesTheObviousPairs) {
+  // Each request's nearest taxi is distinct: everyone gets their first
+  // choice.
+  const auto profile = PreferenceProfile::from_scores(
+      {{1.0, 9.0}, {9.0, 1.0}}, {{1.0, 9.0}, {9.0, 1.0}});
+  const Matching matching = gale_shapley_requests(profile);
+  EXPECT_EQ(matching.request_to_taxi, (std::vector<int>{0, 1}));
+}
+
+TEST(GaleShapley, RefusalCascadeSettles) {
+  // Both requests want taxi 0; taxi 0 prefers request 1 -> request 0 is
+  // bumped to taxi 1.
+  const auto profile = PreferenceProfile::from_scores(
+      {{1.0, 2.0}, {1.0, 2.0}}, {{2.0, 1.0}, {1.0, 2.0}});
+  const Matching matching = gale_shapley_requests(profile);
+  EXPECT_EQ(matching.request_to_taxi, (std::vector<int>{1, 0}));
+}
+
+TEST(GaleShapley, UnequalSidesLeaveDummies) {
+  const auto profile = PreferenceProfile::from_scores(
+      {{1.0}, {2.0}, {3.0}}, {{1.0}, {2.0}, {3.0}});
+  const Matching matching = gale_shapley_requests(profile);
+  EXPECT_EQ(matching.matched_count(), 1u);
+  EXPECT_EQ(matching.request_to_taxi[0], 0);  // taxi 0 prefers request 0
+}
+
+TEST(GaleShapley, Property1TaxiPreferringNoDispatchStaysIdle) {
+  // The taxi finds every request unacceptable -> never dispatched.
+  const auto profile = PreferenceProfile::from_scores(
+      {{1.0}, {1.5}}, {{kUnacceptable}, {kUnacceptable}});
+  const Matching matching = gale_shapley_requests(profile);
+  EXPECT_EQ(matching.taxi_to_request[0], kDummy);
+  EXPECT_TRUE(is_stable(profile, matching));
+}
+
+TEST(GaleShapley, Property1RequestPreferringNoServiceStaysUnserved) {
+  const auto profile = PreferenceProfile::from_scores(
+      {{kUnacceptable, kUnacceptable}}, {{1.0, 1.0}});
+  const Matching matching = gale_shapley_requests(profile);
+  EXPECT_EQ(matching.request_to_taxi[0], kDummy);
+  EXPECT_TRUE(is_stable(profile, matching));
+}
+
+TEST(GaleShapley, EmptyProfile) {
+  const auto profile = PreferenceProfile::from_scores({}, {});
+  const Matching matching = gale_shapley_requests(profile);
+  EXPECT_TRUE(matching.request_to_taxi.empty());
+}
+
+struct RandomShape {
+  std::uint64_t seed;
+  std::size_t requests;
+  std::size_t taxis;
+  double unacceptable;
+};
+
+class GaleShapleyRandom : public ::testing::TestWithParam<RandomShape> {};
+
+TEST_P(GaleShapleyRandom, OutputIsAlwaysStableBothSides) {
+  const RandomShape shape = GetParam();
+  Rng rng(shape.seed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto profile =
+        random_profile(rng, shape.requests, shape.taxis, shape.unacceptable);
+    const Matching passenger_side = gale_shapley_requests(profile);
+    EXPECT_TRUE(is_stable(profile, passenger_side)) << "trial " << trial;
+    const Matching taxi_side = gale_shapley_taxis(profile);
+    EXPECT_TRUE(is_stable(profile, taxi_side)) << "trial " << trial;
+  }
+}
+
+TEST_P(GaleShapleyRandom, PassengerOptimalityAgainstBruteForce) {
+  const RandomShape shape = GetParam();
+  if (shape.requests > 6) GTEST_SKIP() << "brute force bound";
+  Rng rng(shape.seed + 1000);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto profile =
+        random_profile(rng, shape.requests, shape.taxis, shape.unacceptable);
+    const Matching mine = gale_shapley_requests(profile);
+    const auto all = brute_force_all_stable(profile);
+    ASSERT_FALSE(all.empty());
+    // Property 2: every request weakly prefers its partner in `mine` to
+    // its partner in any stable matching.
+    for (const Matching& other : all) {
+      for (std::size_t r = 0; r < profile.request_count(); ++r) {
+        EXPECT_FALSE(profile.request_prefers(r, other.request_to_taxi[r],
+                                             mine.request_to_taxi[r]))
+            << "request " << r << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST_P(GaleShapleyRandom, RuralHospitals_SameAgentsMatchedEverywhere) {
+  const RandomShape shape = GetParam();
+  if (shape.requests > 6) GTEST_SKIP() << "brute force bound";
+  Rng rng(shape.seed + 2000);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto profile =
+        random_profile(rng, shape.requests, shape.taxis, shape.unacceptable);
+    const auto all = brute_force_all_stable(profile);
+    ASSERT_FALSE(all.empty());
+    // Theorem 2 (and its taxi-side dual): the set of unserved requests /
+    // undispatched taxis is identical across all stable matchings.
+    for (const Matching& other : all) {
+      for (std::size_t r = 0; r < profile.request_count(); ++r) {
+        EXPECT_EQ(other.request_to_taxi[r] == kDummy,
+                  all.front().request_to_taxi[r] == kDummy);
+      }
+      for (std::size_t t = 0; t < profile.taxi_count(); ++t) {
+        EXPECT_EQ(other.taxi_to_request[t] == kDummy,
+                  all.front().taxi_to_request[t] == kDummy);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GaleShapleyRandom,
+    ::testing::Values(RandomShape{1, 4, 4, 0.0}, RandomShape{2, 5, 3, 0.0},
+                      RandomShape{3, 3, 5, 0.0}, RandomShape{4, 5, 5, 0.3},
+                      RandomShape{5, 6, 4, 0.5}, RandomShape{6, 4, 6, 0.4},
+                      RandomShape{7, 30, 30, 0.2}, RandomShape{8, 50, 20, 0.1},
+                      RandomShape{9, 20, 50, 0.6}));
+
+TEST(GaleShapley, GeometricInstanceIsStable) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = random_instance(rng, 12, 9);
+    PreferenceParams params;
+    params.passenger_threshold_km = 8.0;
+    params.taxi_threshold_score = 4.0;
+    const auto profile =
+        build_nonsharing_profile(instance.taxis, instance.requests, kOracle, params);
+    EXPECT_TRUE(is_stable(profile, gale_shapley_requests(profile)));
+    EXPECT_TRUE(is_stable(profile, gale_shapley_taxis(profile)));
+  }
+}
+
+TEST(GaleShapley, TaxiProposingIsTaxiOptimal) {
+  Rng rng(78);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto profile = random_profile(rng, 5, 5, 0.3);
+    const Matching taxi_side = gale_shapley_taxis(profile);
+    for (const Matching& other : brute_force_all_stable(profile)) {
+      for (std::size_t t = 0; t < profile.taxi_count(); ++t) {
+        EXPECT_FALSE(profile.taxi_prefers(t, other.taxi_to_request[t],
+                                          taxi_side.taxi_to_request[t]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace o2o::core

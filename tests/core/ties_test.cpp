@@ -1,0 +1,150 @@
+#include "core/ties.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace o2o::core {
+namespace {
+
+TiedScores all_tied(std::size_t requests, std::size_t taxis) {
+  TiedScores scores;
+  scores.passenger.assign(requests, std::vector<double>(taxis, 1.0));
+  scores.taxi.assign(requests, std::vector<double>(taxis, 1.0));
+  return scores;
+}
+
+TEST(WeakStability, FullyTiedAnyPerfectMatchingIsWeaklyStable) {
+  const TiedScores scores = all_tied(2, 2);
+  // With everyone indifferent, no strictly-blocking pair can exist.
+  EXPECT_TRUE(is_weakly_stable(scores, make_matching({0, 1}, 2)));
+  EXPECT_TRUE(is_weakly_stable(scores, make_matching({1, 0}, 2)));
+}
+
+TEST(WeakStability, UnmatchedAcceptablePairStillBlocks) {
+  const TiedScores scores = all_tied(1, 1);
+  // Both unmatched and mutually acceptable: strictly better than dummies.
+  EXPECT_FALSE(is_weakly_stable(scores, make_matching({kDummy}, 1)));
+}
+
+TEST(WeakStability, StrictBlockRequiresBothSidesStrict) {
+  TiedScores scores = all_tied(2, 2);
+  // r0 strictly prefers t0, but t0 is indifferent: not a strict block.
+  scores.passenger[0][0] = 0.5;
+  const Matching swapped = make_matching({1, 0}, 2);
+  EXPECT_TRUE(is_weakly_stable(scores, swapped));
+  // Now make t0 strictly prefer r0 as well -> strict block appears.
+  scores.taxi[0][0] = 0.5;
+  EXPECT_FALSE(is_weakly_stable(scores, swapped));
+  const auto blocks = strict_blocking_pairs(scores, swapped);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+}
+
+TEST(WeakStability, InvalidMatchingIsNotWeaklyStable) {
+  TiedScores scores = all_tied(1, 2);
+  scores.passenger[0][1] = kUnacceptable;
+  EXPECT_FALSE(is_weakly_stable(scores, make_matching({1}, 2)));
+}
+
+TEST(BreakTies, ProducesAStrictProfileOfTheSameShape) {
+  const TiedScores scores = all_tied(3, 4);
+  const PreferenceProfile profile = break_ties(scores, 7);
+  EXPECT_EQ(profile.request_count(), 3u);
+  EXPECT_EQ(profile.taxi_count(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(profile.request_list(r).size(), 4u);  // nothing truncated
+  }
+}
+
+TEST(BreakTies, PreservesUnacceptability) {
+  TiedScores scores = all_tied(2, 2);
+  scores.passenger[0][1] = kUnacceptable;
+  scores.taxi[1][0] = kUnacceptable;
+  const PreferenceProfile profile = break_ties(scores, 3);
+  EXPECT_FALSE(profile.acceptable(0, 1));
+  EXPECT_FALSE(profile.acceptable(1, 0));
+  EXPECT_TRUE(profile.acceptable(0, 0));
+}
+
+TEST(BreakTies, DoesNotReorderStrictPreferences) {
+  TiedScores scores = all_tied(1, 3);
+  scores.passenger[0] = {3.0, 1.0, 2.0};
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const PreferenceProfile profile = break_ties(scores, seed);
+    EXPECT_EQ(profile.request_list(0), (std::vector<int>{1, 2, 0})) << "seed " << seed;
+  }
+}
+
+TEST(BreakTies, DifferentSeedsExploreDifferentTieBreaks) {
+  const TiedScores scores = all_tied(1, 4);
+  std::set<std::vector<int>> orders;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    orders.insert(break_ties(scores, seed).request_list(0));
+  }
+  EXPECT_GT(orders.size(), 3u);  // 4! = 24 possible; expect real variety
+}
+
+TEST(TieBreakGs, EveryRandomTieBreakIsWeaklyStable) {
+  Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    TiedScores scores;
+    const std::size_t requests = 2 + rng.uniform_index(5);
+    const std::size_t taxis = 2 + rng.uniform_index(5);
+    scores.passenger.assign(requests, std::vector<double>(taxis));
+    scores.taxi.assign(requests, std::vector<double>(taxis));
+    for (std::size_t r = 0; r < requests; ++r) {
+      for (std::size_t t = 0; t < taxis; ++t) {
+        // Coarse integer scores force plenty of ties.
+        scores.passenger[r][t] =
+            rng.bernoulli(0.2) ? kUnacceptable : static_cast<double>(rng.uniform_index(3));
+        scores.taxi[r][t] =
+            rng.bernoulli(0.2) ? kUnacceptable : static_cast<double>(rng.uniform_index(3));
+      }
+    }
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const Matching matching = gale_shapley_requests(break_ties(scores, seed));
+      EXPECT_TRUE(is_weakly_stable(scores, matching)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MaxCardinality, TieBreaksCanChangeTheMatchedCount) {
+  // The classic size-variance instance: r0 is indifferent between t0 and
+  // t1; r1 only accepts t0. Tie-break r0 -> t0 leaves r1 unmatched
+  // (size 1); tie-break r0 -> t1 serves both (size 2).
+  TiedScores scores;
+  scores.passenger = {{1.0, 1.0}, {1.0, kUnacceptable}};
+  scores.taxi = {{1.0, 1.0}, {1.0, kUnacceptable}};
+  const TieBreakResult best = max_cardinality_weakly_stable(scores, 32, 5);
+  EXPECT_EQ(best.matched, 2u);
+  EXPECT_EQ(best.matching.request_to_taxi, (std::vector<int>{1, 0}));
+  EXPECT_TRUE(is_weakly_stable(scores, best.matching));
+}
+
+TEST(MaxCardinality, NeverWorseThanTheDeterministicTieBreak) {
+  Rng rng(92);
+  for (int trial = 0; trial < 15; ++trial) {
+    TiedScores scores;
+    const std::size_t n = 4 + rng.uniform_index(4);
+    scores.passenger.assign(n, std::vector<double>(n));
+    scores.taxi.assign(n, std::vector<double>(n));
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t t = 0; t < n; ++t) {
+        scores.passenger[r][t] =
+            rng.bernoulli(0.3) ? kUnacceptable : static_cast<double>(rng.uniform_index(2));
+        scores.taxi[r][t] =
+            rng.bernoulli(0.3) ? kUnacceptable : static_cast<double>(rng.uniform_index(2));
+      }
+    }
+    const Matching deterministic = gale_shapley_requests(
+        PreferenceProfile::from_scores(scores.passenger, scores.taxi));
+    const TieBreakResult best = max_cardinality_weakly_stable(scores, 8, 3);
+    EXPECT_GE(best.matched, deterministic.matched_count()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace o2o::core

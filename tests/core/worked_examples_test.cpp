@@ -1,0 +1,138 @@
+// Concrete instances reconstructing the paper's worked examples:
+// Fig. 1 (the S1-vs-S2 dispatch trade-off), Fig. 2 (Algorithm 1's
+// proposal/refusal walk with a dummy entry), and Fig. 3 (Algorithm 2's
+// BreakDispatch rules), plus the Theorem 2 narrative.
+#include <gtest/gtest.h>
+
+#include "core/all_stable.h"
+#include "core/selectors.h"
+#include "core/stable_matching.h"
+#include "matching/hungarian.h"
+
+namespace o2o::core {
+namespace {
+
+// ----------------------------------------------------------- Figure 1
+//
+// Two requests, two taxis. Pick-up distances:
+//   D(t0, r0) = 2   D(t1, r0) = 3
+//   D(t0, r1) = 5   D(t1, r1) = 10
+// Schedule S1 = {r0-t0, r1-t1} has total pick-up distance 12; schedule
+// S2 = {r0-t1, r1-t0} has total 8. The company's min-cost pick is S2,
+// but S2 is *blocked* by (r0, t0) -- exactly the fairness tension the
+// introduction describes. (Trip lengths are equal so taxi preferences
+// reduce to pick-up distances too.)
+
+PreferenceProfile figure1_profile() {
+  return PreferenceProfile::from_scores({{2.0, 3.0}, {5.0, 10.0}},
+                                        {{2.0, 3.0}, {5.0, 10.0}});
+}
+
+TEST(Figure1, MinCostPrefersS2) {
+  matching::CostMatrix costs(2, 2);
+  costs.at(0, 0) = 2.0;
+  costs.at(0, 1) = 3.0;
+  costs.at(1, 0) = 5.0;
+  costs.at(1, 1) = 10.0;
+  const matching::Assignment min_cost = matching::solve_min_cost(costs);
+  EXPECT_EQ(min_cost, (matching::Assignment{1, 0}));  // S2, total 8
+}
+
+TEST(Figure1, S2IsNotStable) {
+  const auto profile = figure1_profile();
+  const Matching s2 = make_matching({1, 0}, 2);
+  const auto blocks = blocking_pairs(profile, s2);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (std::pair<std::size_t, std::size_t>{0, 0}));
+}
+
+TEST(Figure1, StableDispatchPicksS1DespiteLargerTotal) {
+  const auto profile = figure1_profile();
+  const Matching schedule = gale_shapley_requests(profile);
+  EXPECT_EQ(schedule.request_to_taxi, (std::vector<int>{0, 1}));  // S1
+  EXPECT_TRUE(is_stable(profile, schedule));
+  // S1 is the *unique* stable schedule here.
+  EXPECT_EQ(enumerate_all_stable(profile).matchings.size(), 1u);
+}
+
+// ----------------------------------------------------------- Figure 2
+//
+// Three requests, two taxis, with dummy entries:
+//   r0: tA > tB          r1: tA > dummy      r2: tA only
+//   tA: r2 > r0 > r1     tB: r0 only
+// Algorithm 1's walk: r0 takes tA; r1 proposes tA, is refused (tA holds
+// r0), hits its dummy -> unserved; r2 proposes tA, displaces r0; r0
+// re-proposes tB and is accepted.
+
+PreferenceProfile figure2_profile() {
+  const double kNo = kUnacceptable;
+  // passenger scores (rows = r0..r2, cols = tA, tB)
+  std::vector<std::vector<double>> passenger{{1.0, 2.0}, {1.0, kNo}, {1.0, kNo}};
+  // taxi scores: tA ranks r2 < r0 < r1; tB accepts only r0
+  std::vector<std::vector<double>> taxi{{2.0, 1.0}, {3.0, kNo}, {1.0, kNo}};
+  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi));
+}
+
+TEST(Figure2, Algorithm1WalksToTheNarratedSchedule) {
+  const auto profile = figure2_profile();
+  const Matching schedule = gale_shapley_requests(profile);
+  EXPECT_EQ(schedule.request_to_taxi, (std::vector<int>{1, kDummy, 0}));
+  EXPECT_TRUE(is_stable(profile, schedule));
+}
+
+TEST(Figure2, UnservedRequestIsUnservedInAllStableSchedules) {
+  // Theorem 2 on the worked example.
+  const auto profile = figure2_profile();
+  for (const Matching& schedule : brute_force_all_stable(profile)) {
+    EXPECT_EQ(schedule.request_to_taxi[1], kDummy);
+  }
+}
+
+// ----------------------------------------------------------- Figure 3
+//
+// An instance with one unserved request and exactly two stable
+// schedules, exercising all three BreakDispatch rules:
+//   r0: tA > tB    r1: tB > tA    r2: tA > tB (always refused)
+//   tA: r1 > r0 > r2    tB: r0 > r1 > r2
+
+PreferenceProfile figure3_profile() {
+  std::vector<std::vector<double>> passenger{{1.0, 2.0}, {2.0, 1.0}, {1.0, 2.0}};
+  std::vector<std::vector<double>> taxi{{2.0, 1.0}, {1.0, 2.0}, {3.0, 3.0}};
+  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi));
+}
+
+TEST(Figure3, TwoStableSchedulesAndOnePermanentlyUnserved) {
+  const auto profile = figure3_profile();
+  const AllStableResult all = enumerate_all_stable(profile);
+  ASSERT_EQ(all.matchings.size(), 2u);
+  EXPECT_EQ(all.matchings[0].request_to_taxi, (std::vector<int>{0, 1, kDummy}));
+  EXPECT_EQ(all.matchings[1].request_to_taxi, (std::vector<int>{1, 0, kDummy}));
+}
+
+TEST(Figure3, Rule3MakesBreakingTheUnservedRequestFail) {
+  const auto profile = figure3_profile();
+  const Matching schedule = gale_shapley_requests(profile);
+  EXPECT_FALSE(break_dispatch(profile, schedule, 2).has_value());
+}
+
+TEST(Figure3, BreakingR0ReachesTheTaxiOptimalSchedule) {
+  const auto profile = figure3_profile();
+  const Matching schedule = gale_shapley_requests(profile);
+  const auto broken = break_dispatch(profile, schedule, 0);
+  ASSERT_TRUE(broken.has_value());
+  EXPECT_EQ(broken->request_to_taxi, (std::vector<int>{1, 0, kDummy}));
+  EXPECT_EQ(broken->request_to_taxi, gale_shapley_taxis(profile).request_to_taxi);
+}
+
+TEST(Figure3, TaxiOptimalPickImprovesTaxiTotals) {
+  const auto profile = figure3_profile();
+  const AllStableResult all = enumerate_all_stable(profile);
+  const ScheduleEvaluation passenger_side = evaluate(profile, all.matchings[0]);
+  const ScheduleEvaluation taxi_side =
+      evaluate(profile, select_taxi_optimal(all.matchings, profile));
+  EXPECT_LT(taxi_side.taxi_total, passenger_side.taxi_total);
+  EXPECT_LE(passenger_side.passenger_total, taxi_side.passenger_total);
+}
+
+}  // namespace
+}  // namespace o2o::core

@@ -1,0 +1,66 @@
+#include "geo/distance_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::geo {
+namespace {
+
+TEST(EuclideanOracle, MatchesFreeFunction) {
+  const EuclideanOracle oracle;
+  EXPECT_DOUBLE_EQ(oracle.distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(ManhattanOracle, MatchesFreeFunction) {
+  const ManhattanOracle oracle;
+  EXPECT_DOUBLE_EQ(oracle.distance({0, 0}, {3, 4}), 7.0);
+}
+
+TEST(CircuityOracle, ScalesEuclidean) {
+  const CircuityOracle oracle(1.3);
+  EXPECT_DOUBLE_EQ(oracle.distance({0, 0}, {3, 4}), 6.5);
+  EXPECT_DOUBLE_EQ(oracle.factor(), 1.3);
+}
+
+TEST(CircuityOracle, RejectsFactorBelowOne) {
+  EXPECT_THROW(CircuityOracle(0.9), ContractViolation);
+}
+
+/// Metric axioms that every oracle in the library must satisfy.
+class OracleAxioms : public ::testing::TestWithParam<int> {
+ protected:
+  const DistanceOracle& oracle() const {
+    static const EuclideanOracle euclidean;
+    static const ManhattanOracle manhattan;
+    static const CircuityOracle circuity{1.4};
+    switch (GetParam()) {
+      case 0:
+        return euclidean;
+      case 1:
+        return manhattan;
+      default:
+        return circuity;
+    }
+  }
+};
+
+TEST_P(OracleAxioms, IdentityNonNegativitySymmetryTriangle) {
+  Rng rng(99 + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    const Point a{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    const Point b{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    const Point c{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    EXPECT_DOUBLE_EQ(oracle().distance(a, a), 0.0);
+    EXPECT_GE(oracle().distance(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(oracle().distance(a, b), oracle().distance(b, a));
+    EXPECT_LE(oracle().distance(a, c),
+              oracle().distance(a, b) + oracle().distance(b, c) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOracles, OracleAxioms, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace o2o::geo

@@ -1,0 +1,90 @@
+#include "geo/point.h"
+
+#include <gtest/gtest.h>
+
+namespace o2o::geo {
+namespace {
+
+TEST(Point, ArithmeticOperators) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Point{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Point{2.0, 4.0}));
+  EXPECT_NE(a, b);
+}
+
+TEST(Distance, EuclideanPythagoreanTriple) {
+  EXPECT_DOUBLE_EQ(euclidean_distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Distance, EuclideanIsSymmetricAndZeroOnSelf) {
+  const Point a{1.5, -2.5};
+  const Point b{-4.0, 7.0};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), euclidean_distance(b, a));
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, a), 0.0);
+}
+
+TEST(Distance, ManhattanSumsAxes) {
+  EXPECT_DOUBLE_EQ(manhattan_distance({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan_distance({2, 2}, {-1, 5}), 6.0);
+}
+
+TEST(Distance, ManhattanDominatesEuclidean) {
+  const Point a{1, 1}, b{4, 5};
+  EXPECT_GE(manhattan_distance(a, b), euclidean_distance(a, b));
+}
+
+TEST(Distance, SquaredMatchesSquare) {
+  const Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+TEST(Lerp, EndpointsAndMidpoint) {
+  const Point a{0, 0}, b{10, -20};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Point{5, -10}));
+}
+
+TEST(AdvanceToward, PartialStepMovesAlongTheSegment) {
+  const Point from{0, 0}, to{10, 0};
+  const Point moved = advance_toward(from, to, 4.0);
+  EXPECT_DOUBLE_EQ(moved.x, 4.0);
+  EXPECT_DOUBLE_EQ(moved.y, 0.0);
+}
+
+TEST(AdvanceToward, OvershootSnapsToTarget) {
+  EXPECT_EQ(advance_toward({0, 0}, {1, 1}, 100.0), (Point{1, 1}));
+}
+
+TEST(AdvanceToward, ZeroDistanceStaysPut) {
+  EXPECT_EQ(advance_toward({2, 2}, {2, 2}, 1.0), (Point{2, 2}));
+}
+
+TEST(Rect, DimensionsAndCenter) {
+  const Rect r{{-2, -4}, {6, 8}};
+  EXPECT_DOUBLE_EQ(r.width(), 8.0);
+  EXPECT_DOUBLE_EQ(r.height(), 12.0);
+  EXPECT_EQ(r.center(), (Point{2, 2}));
+}
+
+TEST(Rect, ContainsIsInclusiveOfEdges) {
+  const Rect r{{0, 0}, {1, 1}};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({1, 1}));
+  EXPECT_TRUE(r.contains({0.5, 0.5}));
+  EXPECT_FALSE(r.contains({1.0001, 0.5}));
+  EXPECT_FALSE(r.contains({0.5, -0.0001}));
+}
+
+TEST(Rect, ClampProjectsOntoTheRectangle) {
+  const Rect r{{0, 0}, {10, 10}};
+  EXPECT_EQ(r.clamp({-5, 5}), (Point{0, 5}));
+  EXPECT_EQ(r.clamp({12, 15}), (Point{10, 10}));
+  EXPECT_EQ(r.clamp({3, 4}), (Point{3, 4}));
+}
+
+}  // namespace
+}  // namespace o2o::geo

@@ -1,0 +1,63 @@
+#include "geo/projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace o2o::geo {
+namespace {
+
+constexpr LatLon kNewYork{40.75, -73.98};
+
+TEST(Projection, ReferenceMapsToOrigin) {
+  const Projection projection(kNewYork);
+  const Point origin = projection.to_plane(kNewYork);
+  EXPECT_NEAR(origin.x, 0.0, 1e-12);
+  EXPECT_NEAR(origin.y, 0.0, 1e-12);
+}
+
+TEST(Projection, OneDegreeLatitudeIsAbout111Km) {
+  const Projection projection(kNewYork);
+  const Point p = projection.to_plane({kNewYork.lat + 1.0, kNewYork.lon});
+  EXPECT_NEAR(p.y, 111.19, 0.1);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+}
+
+TEST(Projection, LongitudeShrinksWithLatitude) {
+  const Projection at_equator(LatLon{0.0, 0.0});
+  const Projection at_60n(LatLon{60.0, 0.0});
+  const double equator_km = at_equator.to_plane({0.0, 1.0}).x;
+  const double north_km = at_60n.to_plane({60.0, 1.0}).x;
+  EXPECT_NEAR(north_km / equator_km, std::cos(60.0 * 3.14159265358979 / 180.0), 1e-6);
+}
+
+TEST(Projection, RoundTripIsExact) {
+  const Projection projection(kNewYork);
+  const LatLon original{40.7, -74.1};
+  const LatLon back = projection.to_latlon(projection.to_plane(original));
+  EXPECT_NEAR(back.lat, original.lat, 1e-12);
+  EXPECT_NEAR(back.lon, original.lon, 1e-12);
+}
+
+TEST(Projection, NorthAndEastArePositive) {
+  const Projection projection(kNewYork);
+  const Point ne = projection.to_plane({kNewYork.lat + 0.1, kNewYork.lon + 0.1});
+  EXPECT_GT(ne.x, 0.0);
+  EXPECT_GT(ne.y, 0.0);
+  const Point sw = projection.to_plane({kNewYork.lat - 0.1, kNewYork.lon - 0.1});
+  EXPECT_LT(sw.x, 0.0);
+  EXPECT_LT(sw.y, 0.0);
+}
+
+TEST(Projection, ManhattanToJfkIsRoughly20Km) {
+  // Times Square (40.758, -73.985) to JFK (40.641, -73.778).
+  const Projection projection(kNewYork);
+  const Point a = projection.to_plane({40.758, -73.985});
+  const Point b = projection.to_plane({40.641, -73.778});
+  const double km = euclidean_distance(a, b);
+  EXPECT_GT(km, 18.0);
+  EXPECT_LT(km, 25.0);
+}
+
+}  // namespace
+}  // namespace o2o::geo

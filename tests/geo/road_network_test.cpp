@@ -1,0 +1,186 @@
+#include "geo/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::geo {
+namespace {
+
+/// A 2x2 square city:   2 -- 3
+///                      |    |
+///                      0 -- 1
+RoadNetwork square_city() {
+  RoadNetwork network;
+  network.add_node({0, 0});
+  network.add_node({1, 0});
+  network.add_node({0, 1});
+  network.add_node({1, 1});
+  network.add_bidirectional_edge(0, 1);
+  network.add_bidirectional_edge(0, 2);
+  network.add_bidirectional_edge(1, 3);
+  network.add_bidirectional_edge(2, 3);
+  return network;
+}
+
+TEST(RoadNetwork, CountsNodesAndEdges) {
+  const RoadNetwork network = square_city();
+  EXPECT_EQ(network.node_count(), 4u);
+  EXPECT_EQ(network.edge_count(), 8u);  // 4 streets, both directions
+}
+
+TEST(RoadNetwork, DefaultEdgeLengthIsEuclidean) {
+  RoadNetwork network;
+  network.add_node({0, 0});
+  network.add_node({3, 4});
+  network.add_edge(0, 1);
+  EXPECT_DOUBLE_EQ(network.edges_from(0)[0].length_km, 5.0);
+}
+
+TEST(RoadNetwork, ExplicitEdgeLengthIsKept) {
+  RoadNetwork network;
+  network.add_node({0, 0});
+  network.add_node({1, 0});
+  network.add_edge(0, 1, 2.5);
+  EXPECT_DOUBLE_EQ(network.edges_from(0)[0].length_km, 2.5);
+}
+
+TEST(RoadNetwork, DijkstraOnTheSquare) {
+  const RoadNetwork network = square_city();
+  const auto dist = network.shortest_paths_from(0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 1.0);
+  EXPECT_DOUBLE_EQ(dist[3], 2.0);  // around the corner
+}
+
+TEST(RoadNetwork, UnreachableNodeIsInfinity) {
+  RoadNetwork network;
+  network.add_node({0, 0});
+  network.add_node({5, 5});
+  EXPECT_EQ(network.shortest_path(0, 1), kInfiniteDistance);
+}
+
+TEST(RoadNetwork, OneWayEdgesAreDirected) {
+  RoadNetwork network;
+  network.add_node({0, 0});
+  network.add_node({1, 0});
+  network.add_edge(0, 1);
+  EXPECT_DOUBLE_EQ(network.shortest_path(0, 1), 1.0);
+  EXPECT_EQ(network.shortest_path(1, 0), kInfiniteDistance);
+}
+
+TEST(RoadNetwork, ShortestPathNodesTracesAValidPath) {
+  const RoadNetwork network = square_city();
+  const auto path = network.shortest_path_nodes(0, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 3);
+  // Consecutive nodes must be connected.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    bool connected = false;
+    for (const auto& edge : network.edges_from(path[i])) {
+      connected |= (edge.to == path[i + 1]);
+    }
+    EXPECT_TRUE(connected);
+  }
+}
+
+TEST(RoadNetwork, ShortestPathNodesEmptyWhenUnreachable) {
+  RoadNetwork network;
+  network.add_node({0, 0});
+  network.add_node({9, 9});
+  EXPECT_TRUE(network.shortest_path_nodes(0, 1).empty());
+}
+
+TEST(RoadNetwork, NearestNodeMatchesLinearScan) {
+  RoadNetwork network = RoadNetwork::make_grid_city(8, 6, 1.0, 0.2, 0.0, 3);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.uniform(-1.0, 8.0), rng.uniform(-1.0, 6.0)};
+    const NodeId fast = network.nearest_node(p);
+    NodeId slow = 0;
+    double best = squared_distance(p, network.node_position(0));
+    for (NodeId id = 1; id < static_cast<NodeId>(network.node_count()); ++id) {
+      const double d = squared_distance(p, network.node_position(id));
+      if (d < best) {
+        best = d;
+        slow = id;
+      }
+    }
+    EXPECT_DOUBLE_EQ(squared_distance(p, network.node_position(fast)), best) << "point " << i;
+    (void)slow;
+  }
+}
+
+TEST(GridCity, HasExpectedShape) {
+  const RoadNetwork city = RoadNetwork::make_grid_city(5, 4, 0.5);
+  EXPECT_EQ(city.node_count(), 20u);
+  // Full grid: 4*4 horizontal + 5*3 vertical streets, two directions each.
+  EXPECT_EQ(city.edge_count(), 2u * (4 * 4 + 5 * 3));
+}
+
+TEST(GridCity, StaysConnectedUnderClosures) {
+  const RoadNetwork city = RoadNetwork::make_grid_city(6, 6, 1.0, 0.0, 0.4, 11);
+  const auto dist = city.shortest_paths_from(0);
+  for (double d : dist) EXPECT_LT(d, kInfiniteDistance);
+}
+
+TEST(GridCity, JitterKeepsNodesNearLattice) {
+  const RoadNetwork city = RoadNetwork::make_grid_city(4, 4, 2.0, 0.3, 0.0, 5);
+  for (NodeId id = 0; id < static_cast<NodeId>(city.node_count()); ++id) {
+    const Point p = city.node_position(id);
+    const double lattice_x = 2.0 * (id % 4);
+    const double lattice_y = 2.0 * (id / 4);
+    EXPECT_LE(std::abs(p.x - lattice_x), 0.3 + 1e-12);
+    EXPECT_LE(std::abs(p.y - lattice_y), 0.3 + 1e-12);
+  }
+}
+
+TEST(NetworkOracle, GridDistanceIsRectilinear) {
+  const RoadNetwork city = RoadNetwork::make_grid_city(10, 10, 1.0);
+  const NetworkOracle oracle(city);
+  // Node-aligned queries: the shortest path follows the grid.
+  EXPECT_NEAR(oracle.distance({0, 0}, {3, 4}), 7.0, 1e-9);
+  EXPECT_NEAR(oracle.distance({2, 2}, {2, 2}), 0.0, 1e-9);
+}
+
+TEST(NetworkOracle, AtLeastEuclidean) {
+  const RoadNetwork city = RoadNetwork::make_grid_city(10, 10, 1.0, 0.0, 0.2, 7);
+  const NetworkOracle oracle(city);
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const Point a{rng.uniform(0, 9), rng.uniform(0, 9)};
+    const Point b{rng.uniform(0, 9), rng.uniform(0, 9)};
+    EXPECT_GE(oracle.distance(a, b) + 1e-9, euclidean_distance(a, b));
+  }
+}
+
+TEST(NetworkOracle, SymmetricOnBidirectionalStreets) {
+  const RoadNetwork city = RoadNetwork::make_grid_city(6, 6, 1.0, 0.1, 0.0, 9);
+  const NetworkOracle oracle(city);
+  Rng rng(29);
+  for (int i = 0; i < 50; ++i) {
+    const Point a{rng.uniform(0, 5), rng.uniform(0, 5)};
+    const Point b{rng.uniform(0, 5), rng.uniform(0, 5)};
+    EXPECT_NEAR(oracle.distance(a, b), oracle.distance(b, a), 1e-9);
+  }
+}
+
+TEST(NetworkOracle, CacheIsBounded) {
+  const RoadNetwork city = RoadNetwork::make_grid_city(12, 12, 1.0);
+  const NetworkOracle oracle(city, /*cache_capacity=*/16);
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const Point a{rng.uniform(0, 11), rng.uniform(0, 11)};
+    const Point b{rng.uniform(0, 11), rng.uniform(0, 11)};
+    (void)oracle.distance(a, b);
+  }
+  EXPECT_LE(oracle.cache_size(), 16u);
+}
+
+}  // namespace
+}  // namespace o2o::geo

@@ -1,0 +1,140 @@
+#include "index/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace o2o::index {
+namespace {
+
+geo::Rect bounds() { return geo::Rect{{0, 0}, {20, 20}}; }
+
+TEST(SpatialGrid, InsertLookupRemove) {
+  SpatialGrid grid(bounds(), 1.0);
+  grid.upsert(1, {5, 5});
+  EXPECT_TRUE(grid.contains(1));
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid.position(1)->x, 5.0);
+  grid.remove(1);
+  EXPECT_FALSE(grid.contains(1));
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_FALSE(grid.position(1).has_value());
+}
+
+TEST(SpatialGrid, RemoveMissingIsNoOp) {
+  SpatialGrid grid(bounds(), 1.0);
+  grid.remove(42);
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+TEST(SpatialGrid, UpsertMovesAcrossCells) {
+  SpatialGrid grid(bounds(), 1.0);
+  grid.upsert(7, {1, 1});
+  grid.upsert(7, {18, 18});
+  EXPECT_EQ(grid.size(), 1u);
+  const auto found = grid.nearest({19, 19});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 7);
+  EXPECT_TRUE(grid.within_radius({1, 1}, 2.0).empty());
+}
+
+TEST(SpatialGrid, NearestOnEmptyIsNull) {
+  SpatialGrid grid(bounds(), 1.0);
+  EXPECT_FALSE(grid.nearest({3, 3}).has_value());
+}
+
+TEST(SpatialGrid, NearestHonoursAcceptFilter) {
+  SpatialGrid grid(bounds(), 1.0);
+  grid.upsert(1, {5, 5});
+  grid.upsert(2, {10, 10});
+  const auto found =
+      grid.nearest({5, 5}, [](std::int32_t id) { return id != 1; });
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 2);
+}
+
+TEST(SpatialGrid, ObjectsOutsideBoundsAreStillFindable) {
+  SpatialGrid grid(bounds(), 1.0);
+  grid.upsert(9, {-50, -50});  // clamped into an edge cell
+  const auto found = grid.nearest({0, 0});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 9);
+}
+
+TEST(SpatialGrid, KNearestIsSortedByDistance) {
+  SpatialGrid grid(bounds(), 1.0);
+  grid.upsert(1, {1, 0});
+  grid.upsert(2, {4, 0});
+  grid.upsert(3, {2, 0});
+  const auto three = grid.k_nearest({0, 0}, 3);
+  EXPECT_EQ(three, (std::vector<std::int32_t>{1, 3, 2}));
+  const auto two = grid.k_nearest({0, 0}, 2);
+  EXPECT_EQ(two, (std::vector<std::int32_t>{1, 3}));
+}
+
+TEST(SpatialGrid, WithinRadiusBoundary) {
+  SpatialGrid grid(bounds(), 1.0);
+  grid.upsert(1, {3, 0});
+  grid.upsert(2, {3.1, 0});
+  auto hits = grid.within_radius({0, 0}, 3.0);
+  EXPECT_EQ(hits, (std::vector<std::int32_t>{1}));
+}
+
+class SpatialGridRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpatialGridRandom, MatchesBruteForceQueries) {
+  Rng rng(GetParam());
+  SpatialGrid grid(bounds(), 0.8);
+  std::vector<std::pair<std::int32_t, geo::Point>> objects;
+  for (std::int32_t id = 0; id < 60; ++id) {
+    const geo::Point p{rng.uniform(0, 20), rng.uniform(0, 20)};
+    grid.upsert(id, p);
+    objects.emplace_back(id, p);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const geo::Point p{rng.uniform(-2, 22), rng.uniform(-2, 22)};
+
+    // nearest
+    const auto fast = grid.nearest(p);
+    auto slow = std::min_element(objects.begin(), objects.end(),
+                                 [&](const auto& a, const auto& b) {
+                                   return geo::squared_distance(p, a.second) <
+                                          geo::squared_distance(p, b.second);
+                                 });
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_DOUBLE_EQ(geo::squared_distance(p, grid.position(*fast).value()),
+                     geo::squared_distance(p, slow->second));
+
+    // k-nearest distances
+    const std::size_t k = 1 + q % 7;
+    const auto k_fast = grid.k_nearest(p, k);
+    std::vector<double> expected;
+    for (const auto& [id, pos] : objects) {
+      expected.push_back(geo::squared_distance(p, pos));
+    }
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(k_fast.size(), std::min(k, objects.size()));
+    for (std::size_t i = 0; i < k_fast.size(); ++i) {
+      EXPECT_NEAR(geo::squared_distance(p, grid.position(k_fast[i]).value()),
+                  expected[i], 1e-9);
+    }
+
+    // radius
+    const double radius = rng.uniform(0.5, 8.0);
+    auto in_radius = grid.within_radius(p, radius);
+    std::sort(in_radius.begin(), in_radius.end());
+    std::vector<std::int32_t> expected_ids;
+    for (const auto& [id, pos] : objects) {
+      if (geo::euclidean_distance(p, pos) <= radius) expected_ids.push_back(id);
+    }
+    EXPECT_EQ(in_radius, expected_ids);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialGridRandom, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace o2o::index

@@ -1,0 +1,83 @@
+#include "index/spatio_temporal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace o2o::index {
+namespace {
+
+geo::Rect bounds() { return geo::Rect{{0, 0}, {10, 10}}; }
+
+TEST(SpatioTemporal, InsertAndQuerySameSlot) {
+  SpatioTemporalIndex index(bounds(), 1.0, 60.0, 10);
+  index.insert(1, {5, 5}, 30.0);
+  const auto hits = index.query({5, 5}, 1.0, 0.0, 59.0);
+  EXPECT_EQ(hits, (std::vector<std::int32_t>{1}));
+}
+
+TEST(SpatioTemporal, QueryOutsideTimeWindowMisses) {
+  SpatioTemporalIndex index(bounds(), 1.0, 60.0, 10);
+  index.insert(1, {5, 5}, 30.0);
+  EXPECT_TRUE(index.query({5, 5}, 1.0, 60.0, 119.0).empty());
+}
+
+TEST(SpatioTemporal, QueryOutsideRadiusMisses) {
+  SpatioTemporalIndex index(bounds(), 1.0, 60.0, 10);
+  index.insert(1, {5, 5}, 30.0);
+  EXPECT_TRUE(index.query({9, 9}, 1.0, 0.0, 59.0).empty());
+}
+
+TEST(SpatioTemporal, InsertBeyondHorizonIsDropped) {
+  SpatioTemporalIndex index(bounds(), 1.0, 60.0, 5);
+  index.insert(1, {5, 5}, 60.0 * 20);  // far future
+  EXPECT_TRUE(index.query({5, 5}, 1.0, 0.0, 60.0 * 30).empty());
+}
+
+TEST(SpatioTemporal, DuplicateIdsAcrossSlotsAreDeduplicated) {
+  SpatioTemporalIndex index(bounds(), 1.0, 60.0, 10);
+  index.insert(1, {5, 5}, 30.0);
+  index.insert(1, {5, 6}, 90.0);
+  const auto hits = index.query({5, 5}, 3.0, 0.0, 119.0);
+  EXPECT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits.front(), 1);
+}
+
+TEST(SpatioTemporal, AdvanceRecyclesOldSlots) {
+  SpatioTemporalIndex index(bounds(), 1.0, 60.0, 4);
+  index.insert(1, {5, 5}, 30.0);
+  index.advance(60.0 * 6);  // window moves past the insertion
+  EXPECT_TRUE(index.query({5, 5}, 1.0, 0.0, 60.0 * 10).empty());
+  // New insertions at the new window work.
+  index.insert(2, {3, 3}, 60.0 * 6 + 10.0);
+  const auto hits = index.query({3, 3}, 1.0, 60.0 * 6, 60.0 * 7);
+  EXPECT_EQ(hits, (std::vector<std::int32_t>{2}));
+}
+
+TEST(SpatioTemporal, RemoveErasesAllRegistrations) {
+  SpatioTemporalIndex index(bounds(), 1.0, 60.0, 10);
+  index.insert(1, {5, 5}, 30.0);
+  index.insert(1, {6, 5}, 90.0);
+  index.remove(1);
+  EXPECT_TRUE(index.query({5, 5}, 3.0, 0.0, 120.0).empty());
+}
+
+TEST(SpatioTemporal, MultipleTaxisInWindow) {
+  SpatioTemporalIndex index(bounds(), 1.0, 60.0, 10);
+  index.insert(1, {2, 2}, 10.0);
+  index.insert(2, {2.5, 2.0}, 70.0);
+  index.insert(3, {9, 9}, 10.0);
+  auto hits = index.query({2, 2}, 1.0, 0.0, 119.0);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::int32_t>{1, 2}));
+}
+
+TEST(SpatioTemporal, InvalidQueryWindowThrows) {
+  SpatioTemporalIndex index(bounds(), 1.0, 60.0, 10);
+  EXPECT_THROW(index.query({0, 0}, 1.0, 100.0, 50.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::index

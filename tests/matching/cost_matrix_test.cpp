@@ -1,0 +1,79 @@
+#include "matching/cost_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace o2o::matching {
+namespace {
+
+TEST(CostMatrix, StoresAndRetrieves) {
+  CostMatrix costs(2, 3, 1.5);
+  EXPECT_EQ(costs.rows(), 2u);
+  EXPECT_EQ(costs.cols(), 3u);
+  EXPECT_DOUBLE_EQ(costs.at(1, 2), 1.5);
+  costs.at(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(costs.at(0, 1), 7.0);
+}
+
+TEST(CostMatrix, OutOfRangeThrows) {
+  CostMatrix costs(2, 2);
+  EXPECT_THROW(costs.at(2, 0), ContractViolation);
+  EXPECT_THROW(costs.at(0, 2), ContractViolation);
+}
+
+TEST(CostMatrix, ForbiddenFlag) {
+  CostMatrix costs(1, 2, 0.0);
+  costs.at(0, 1) = kForbidden;
+  EXPECT_FALSE(costs.forbidden(0, 0));
+  EXPECT_TRUE(costs.forbidden(0, 1));
+}
+
+TEST(AssignmentHelpers, CostSizeBottleneck) {
+  CostMatrix costs(3, 3, 0.0);
+  costs.at(0, 0) = 1.0;
+  costs.at(1, 2) = 5.0;
+  const Assignment assignment{0, 2, -1};
+  EXPECT_DOUBLE_EQ(assignment_cost(costs, assignment), 6.0);
+  EXPECT_DOUBLE_EQ(assignment_bottleneck(costs, assignment), 5.0);
+  EXPECT_EQ(assignment_size(assignment), 2u);
+}
+
+TEST(AssignmentHelpers, EmptyAssignmentBottleneckIsMinusInfinity) {
+  CostMatrix costs(2, 2, 1.0);
+  const Assignment none{-1, -1};
+  EXPECT_EQ(assignment_bottleneck(costs, none),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(assignment_size(none), 0u);
+}
+
+TEST(Validity, AcceptsProperAssignment) {
+  CostMatrix costs(2, 3, 1.0);
+  EXPECT_TRUE(is_valid_assignment(costs, {0, 2}));
+  EXPECT_TRUE(is_valid_assignment(costs, {-1, 1}));
+}
+
+TEST(Validity, RejectsDuplicateColumn) {
+  CostMatrix costs(2, 3, 1.0);
+  EXPECT_FALSE(is_valid_assignment(costs, {1, 1}));
+}
+
+TEST(Validity, RejectsOutOfRangeColumn) {
+  CostMatrix costs(2, 3, 1.0);
+  EXPECT_FALSE(is_valid_assignment(costs, {3, 0}));
+}
+
+TEST(Validity, RejectsForbiddenPair) {
+  CostMatrix costs(1, 2, 1.0);
+  costs.at(0, 0) = kForbidden;
+  EXPECT_FALSE(is_valid_assignment(costs, {0}));
+  EXPECT_TRUE(is_valid_assignment(costs, {1}));
+}
+
+TEST(Validity, RejectsWrongLength) {
+  CostMatrix costs(2, 2, 1.0);
+  EXPECT_FALSE(is_valid_assignment(costs, {0}));
+}
+
+}  // namespace
+}  // namespace o2o::matching

@@ -1,0 +1,75 @@
+#include "matching/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/hungarian.h"
+#include "util/rng.h"
+
+namespace o2o::matching {
+namespace {
+
+TEST(Greedy, EachRowTakesItsNearestAvailableColumn) {
+  CostMatrix costs(2, 2);
+  costs.at(0, 0) = 1.0;
+  costs.at(0, 1) = 2.0;
+  costs.at(1, 0) = 1.5;  // row 1 wanted column 0, but row 0 took it
+  costs.at(1, 1) = 9.0;
+  EXPECT_EQ(solve_greedy(costs), (Assignment{0, 1}));
+}
+
+TEST(Greedy, RowOrderMatters) {
+  // The paper's Fig. 1 scenario: greedy is sensitive to arrival order and
+  // can be globally suboptimal.
+  CostMatrix costs(2, 2);
+  costs.at(0, 0) = 2.0;
+  costs.at(0, 1) = 3.0;
+  costs.at(1, 0) = 1.0;
+  costs.at(1, 1) = 10.0;
+  const Assignment greedy = solve_greedy(costs);
+  EXPECT_EQ(greedy, (Assignment{0, 1}));  // total 12
+  const Assignment optimal = solve_min_cost(costs);
+  EXPECT_LT(assignment_cost(costs, optimal), assignment_cost(costs, greedy));
+}
+
+TEST(Greedy, SkipsForbiddenEntries) {
+  CostMatrix costs(1, 2);
+  costs.at(0, 0) = kForbidden;
+  costs.at(0, 1) = 5.0;
+  EXPECT_EQ(solve_greedy(costs), (Assignment{1}));
+}
+
+TEST(Greedy, UnmatchableRowStaysUnmatched) {
+  CostMatrix costs(2, 1);
+  costs.at(0, 0) = 1.0;
+  costs.at(1, 0) = 0.5;
+  EXPECT_EQ(solve_greedy(costs), (Assignment{0, -1}));
+}
+
+TEST(Greedy, AlwaysValidAndMaximalOnFeasiblePairs) {
+  Rng rng(404);
+  for (int trial = 0; trial < 30; ++trial) {
+    CostMatrix costs(6, 5);
+    for (std::size_t r = 0; r < 6; ++r) {
+      for (std::size_t c = 0; c < 5; ++c) {
+        costs.at(r, c) = rng.bernoulli(0.3) ? kForbidden : rng.uniform(0.0, 10.0);
+      }
+    }
+    const Assignment assignment = solve_greedy(costs);
+    EXPECT_TRUE(is_valid_assignment(costs, assignment));
+    // Maximality: no unmatched row has a feasible unused column.
+    std::vector<bool> used(costs.cols(), false);
+    for (int c : assignment) {
+      if (c >= 0) used[static_cast<std::size_t>(c)] = true;
+    }
+    for (std::size_t r = 0; r < costs.rows(); ++r) {
+      if (assignment[r] >= 0) continue;
+      for (std::size_t c = 0; c < costs.cols(); ++c) {
+        EXPECT_TRUE(used[c] || costs.forbidden(r, c))
+            << "row " << r << " could still take column " << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace o2o::matching

@@ -1,0 +1,120 @@
+#include "matching/hopcroft_karp.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::matching {
+namespace {
+
+/// Exhaustive maximum-matching size for small graphs (reference).
+std::size_t brute_force_matching_size(std::size_t left, std::size_t right,
+                                      const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  std::vector<int> right_used(right, 0);
+  std::function<std::size_t(std::size_t)> recurse = [&](std::size_t u) -> std::size_t {
+    if (u == left) return 0;
+    std::size_t best = recurse(u + 1);  // leave u unmatched
+    for (const auto& [a, b] : edges) {
+      if (a != u || right_used[b]) continue;
+      right_used[b] = 1;
+      best = std::max(best, 1 + recurse(u + 1));
+      right_used[b] = 0;
+    }
+    return best;
+  };
+  return recurse(0);
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnCycle) {
+  BipartiteGraph graph(3, 3);
+  graph.add_edge(0, 0);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 1);
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 2);
+  graph.add_edge(2, 0);
+  const MatchingResult result = hopcroft_karp(graph);
+  EXPECT_EQ(result.size, 3u);
+}
+
+TEST(HopcroftKarp, EmptyGraphMatchesNothing) {
+  BipartiteGraph graph(4, 4);
+  const MatchingResult result = hopcroft_karp(graph);
+  EXPECT_EQ(result.size, 0u);
+  for (int m : result.left_to_right) EXPECT_EQ(m, -1);
+}
+
+TEST(HopcroftKarp, StarGraphMatchesOne) {
+  BipartiteGraph graph(4, 1);
+  for (std::size_t u = 0; u < 4; ++u) graph.add_edge(u, 0);
+  EXPECT_EQ(hopcroft_karp(graph).size, 1u);
+}
+
+TEST(HopcroftKarp, AugmentingPathIsFound) {
+  // Greedy left-to-right would match 0-0 and strand 1; HK augments.
+  BipartiteGraph graph(2, 2);
+  graph.add_edge(0, 0);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 0);
+  const MatchingResult result = hopcroft_karp(graph);
+  EXPECT_EQ(result.size, 2u);
+  EXPECT_EQ(result.left_to_right[0], 1);
+  EXPECT_EQ(result.left_to_right[1], 0);
+}
+
+TEST(HopcroftKarp, MirrorsAreConsistent) {
+  BipartiteGraph graph(3, 4);
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 1);
+  graph.add_edge(1, 2);
+  graph.add_edge(2, 3);
+  const MatchingResult result = hopcroft_karp(graph);
+  for (std::size_t u = 0; u < 3; ++u) {
+    if (result.left_to_right[u] >= 0) {
+      EXPECT_EQ(result.right_to_left[static_cast<std::size_t>(result.left_to_right[u])],
+                static_cast<int>(u));
+    }
+  }
+  std::size_t matched_right = 0;
+  for (int m : result.right_to_left) {
+    if (m >= 0) ++matched_right;
+  }
+  EXPECT_EQ(matched_right, result.size);
+}
+
+TEST(HopcroftKarp, EdgeValidationThrows) {
+  BipartiteGraph graph(2, 2);
+  EXPECT_THROW(graph.add_edge(2, 0), o2o::ContractViolation);
+  EXPECT_THROW(graph.add_edge(0, 2), o2o::ContractViolation);
+}
+
+class HopcroftKarpRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HopcroftKarpRandom, SizeMatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t left = 1 + rng.uniform_index(6);
+    const std::size_t right = 1 + rng.uniform_index(6);
+    BipartiteGraph graph(left, right);
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t u = 0; u < left; ++u) {
+      for (std::size_t v = 0; v < right; ++v) {
+        if (rng.bernoulli(0.4)) {
+          graph.add_edge(u, v);
+          edges.emplace_back(u, v);
+        }
+      }
+    }
+    EXPECT_EQ(hopcroft_karp(graph).size, brute_force_matching_size(left, right, edges))
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HopcroftKarpRandom, ::testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace o2o::matching

@@ -1,0 +1,75 @@
+#include "metrics/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::metrics {
+namespace {
+
+TEST(Bootstrap, MeanMatchesSampleMean) {
+  const std::vector<double> samples{1.0, 2.0, 3.0, 4.0};
+  const ConfidenceInterval ci = bootstrap_mean_ci(samples);
+  EXPECT_DOUBLE_EQ(ci.mean, 2.5);
+}
+
+TEST(Bootstrap, IntervalBracketsTheMean) {
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(rng.normal(10.0, 2.0));
+  const ConfidenceInterval ci = bootstrap_mean_ci(samples, 0.95, 800, 7);
+  EXPECT_LE(ci.lo, ci.mean);
+  EXPECT_GE(ci.hi, ci.mean);
+  EXPECT_TRUE(ci.contains(ci.mean));
+  // ~95% CI half-width for n=400, sigma=2 is ~0.2; allow slack.
+  EXPECT_LT(ci.hi - ci.lo, 0.8);
+  EXPECT_GT(ci.hi - ci.lo, 0.1);
+}
+
+TEST(Bootstrap, CoversTheTrueMeanMostOfTheTime) {
+  Rng rng(17);
+  int covered = 0;
+  const int runs = 60;
+  for (int run = 0; run < runs; ++run) {
+    std::vector<double> samples;
+    for (int i = 0; i < 80; ++i) samples.push_back(rng.exponential(0.5));  // mean 2
+    const ConfidenceInterval ci =
+        bootstrap_mean_ci(samples, 0.95, 400, 100 + static_cast<std::uint64_t>(run));
+    if (ci.contains(2.0)) ++covered;
+  }
+  EXPECT_GE(covered, runs * 80 / 100);  // nominal 95%, allow slack
+}
+
+TEST(Bootstrap, DegenerateConstantSample) {
+  const std::vector<double> samples(20, 7.0);
+  const ConfidenceInterval ci = bootstrap_mean_ci(samples);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+TEST(Bootstrap, OverlapSemantics) {
+  const ConfidenceInterval a{1.0, 0.5, 1.5};
+  const ConfidenceInterval b{2.0, 1.4, 2.6};
+  const ConfidenceInterval c{3.0, 2.7, 3.3};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Bootstrap, DeterministicBySeed) {
+  const std::vector<double> samples{1, 5, 2, 8, 3};
+  const ConfidenceInterval a = bootstrap_mean_ci(samples, 0.9, 200, 3);
+  const ConfidenceInterval b = bootstrap_mean_ci(samples, 0.9, 200, 3);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, PreconditionsEnforced) {
+  EXPECT_THROW(bootstrap_mean_ci({}), o2o::ContractViolation);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 1.5), o2o::ContractViolation);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 0.9, 5), o2o::ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::metrics

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "metrics/cdf.h"
+#include "metrics/histogram.h"
+#include "metrics/hourly.h"
+#include "metrics/summary.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::metrics {
+namespace {
+
+// ---------------------------------------------------------------- stats
+
+TEST(StreamingStats, MatchesDirectComputation) {
+  const std::vector<double> data{1.0, 2.0, 2.0, 3.0, 10.0, -4.0};
+  StreamingStats stats;
+  for (double x : data) stats.add(x);
+  const double mean = std::accumulate(data.begin(), data.end(), 0.0) / data.size();
+  double var = 0.0;
+  for (double x : data) var += (x - mean) * (x - mean);
+  var /= data.size();
+  EXPECT_EQ(stats.count(), data.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -4.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 10.0);
+  EXPECT_NEAR(stats.sum(), 14.0, 1e-12);
+}
+
+TEST(StreamingStats, EmptyHasZeroMeanAndVariance) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_THROW(stats.min(), ContractViolation);
+}
+
+TEST(StreamingStats, SingleSample) {
+  StreamingStats stats;
+  stats.add(7.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 7.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.5);
+}
+
+TEST(StreamingStats, MergeEqualsPooledStream) {
+  Rng rng(3);
+  StreamingStats left, right, pooled;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    pooled.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), pooled.count());
+  EXPECT_NEAR(left.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(left.max(), pooled.max());
+}
+
+TEST(StreamingStats, MergeWithEmptyIsIdentity) {
+  StreamingStats stats, empty;
+  stats.add(1.0);
+  stats.add(3.0);
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+// ------------------------------------------------------------------ cdf
+
+TEST(Cdf, CdfAtKnownPoints) {
+  CdfBuilder cdf;
+  cdf.add_all({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(100.0), 1.0);
+}
+
+TEST(Cdf, CdfIsMonotone) {
+  Rng rng(4);
+  CdfBuilder cdf;
+  for (int i = 0; i < 300; ++i) cdf.add(rng.normal(0, 5));
+  double previous = -1.0;
+  for (double x = -20.0; x <= 20.0; x += 0.5) {
+    const double f = cdf.cdf_at(x);
+    EXPECT_GE(f, previous);
+    previous = f;
+  }
+}
+
+TEST(Cdf, QuantileEndpointsAndMedian) {
+  CdfBuilder cdf;
+  cdf.add_all({10, 20, 30, 40, 50});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 20.0);
+}
+
+TEST(Cdf, QuantileInterpolatesBetweenSamples) {
+  CdfBuilder cdf;
+  cdf.add_all({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.3), 3.0);
+}
+
+TEST(Cdf, SingleSampleQuantiles) {
+  CdfBuilder cdf;
+  cdf.add(42.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.7), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 42.0);
+}
+
+TEST(Cdf, MeanMinMax) {
+  CdfBuilder cdf;
+  cdf.add_all({2, 4, 9});
+  EXPECT_DOUBLE_EQ(cdf.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 9.0);
+}
+
+TEST(Cdf, SeriesCoversRangeAndEndsAtOne) {
+  CdfBuilder cdf;
+  cdf.add_all({1, 2, 3, 4, 5});
+  const auto series = cdf.series(0.0, 5.0, 11);
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_DOUBLE_EQ(series.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(series.front().f, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().x, 5.0);
+  EXPECT_DOUBLE_EQ(series.back().f, 1.0);
+}
+
+TEST(Cdf, EmptyThrowsOnQueries) {
+  CdfBuilder cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_THROW(cdf.cdf_at(0.0), ContractViolation);
+  EXPECT_THROW(cdf.quantile(0.5), ContractViolation);
+}
+
+TEST(Cdf, AddAfterQueryStillSorts) {
+  CdfBuilder cdf;
+  cdf.add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(5.0), 1.0);
+  cdf.add(1.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf_at(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.sorted_samples().front(), 1.0);
+}
+
+// ------------------------------------------------------------ histogram
+
+TEST(Histogram, BucketsAndFractions) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.add(0.5);   // bucket 0
+  histogram.add(3.0);   // bucket 1
+  histogram.add(9.99);  // bucket 4
+  EXPECT_EQ(histogram.count(0), 1u);
+  EXPECT_EQ(histogram.count(1), 1u);
+  EXPECT_EQ(histogram.count(4), 1u);
+  EXPECT_EQ(histogram.total(), 3u);
+  EXPECT_NEAR(histogram.fraction(0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeSamplesClampToEdges) {
+  Histogram histogram(0.0, 1.0, 4);
+  histogram.add(-5.0);
+  histogram.add(99.0);
+  EXPECT_EQ(histogram.count(0), 1u);
+  EXPECT_EQ(histogram.count(3), 1u);
+}
+
+TEST(Histogram, BucketLowBoundaries) {
+  Histogram histogram(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(histogram.bucket_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.bucket_low(3), 6.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+// --------------------------------------------------------------- hourly
+
+TEST(Hourly, BucketOfMapsClockTime) {
+  HourlyBuckets buckets(3);
+  EXPECT_EQ(buckets.bucket_count(), 8u);
+  EXPECT_EQ(buckets.bucket_of(0.0), 0u);                // midnight
+  EXPECT_EQ(buckets.bucket_of(9.0 * 3600.0), 3u);       // 9 am
+  EXPECT_EQ(buckets.bucket_of(18.0 * 3600.0), 6u);      // 6 pm
+  EXPECT_EQ(buckets.bucket_of(23.99 * 3600.0), 7u);     // just before midnight
+}
+
+TEST(Hourly, TimesBeyondOneDayWrap) {
+  HourlyBuckets buckets(3);
+  EXPECT_EQ(buckets.bucket_of(24.0 * 3600.0 + 9.0 * 3600.0), 3u);
+  EXPECT_EQ(buckets.bucket_of(3.0 * 86400.0), 0u);
+}
+
+TEST(Hourly, AddAccumulatesIntoTheRightBucket) {
+  HourlyBuckets buckets(6);
+  buckets.add(7.0 * 3600.0, 2.0);
+  buckets.add(8.0 * 3600.0, 4.0);
+  buckets.add(20.0 * 3600.0, 10.0);
+  EXPECT_EQ(buckets.bucket(1).count(), 2u);
+  EXPECT_DOUBLE_EQ(buckets.bucket(1).mean(), 3.0);
+  EXPECT_EQ(buckets.bucket(3).count(), 1u);
+  EXPECT_EQ(buckets.bucket(0).count(), 0u);
+}
+
+TEST(Hourly, StartHours) {
+  HourlyBuckets buckets(3);
+  EXPECT_EQ(buckets.bucket_start_hour(0), 0);
+  EXPECT_EQ(buckets.bucket_start_hour(3), 9);
+  EXPECT_EQ(buckets.bucket_start_hour(7), 21);
+}
+
+TEST(Hourly, RejectsNonDivisorBucketWidth) {
+  EXPECT_THROW(HourlyBuckets(5), ContractViolation);
+  EXPECT_THROW(HourlyBuckets(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::metrics

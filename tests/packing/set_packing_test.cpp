@@ -1,0 +1,186 @@
+#include "packing/set_packing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::packing {
+namespace {
+
+SetPackingProblem make_problem(std::size_t universe,
+                               std::vector<std::vector<std::size_t>> sets,
+                               std::vector<double> weights = {}) {
+  SetPackingProblem problem;
+  problem.universe_size = universe;
+  problem.sets = std::move(sets);
+  problem.weights = std::move(weights);
+  return problem;
+}
+
+/// Exhaustive optimum over all subsets of sets (reference, <= 20 sets).
+double exhaustive_optimum(const SetPackingProblem& problem) {
+  const std::size_t n = problem.sets.size();
+  double best = 0.0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    Packing packing;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) packing.push_back(i);
+    }
+    if (is_valid_packing(problem, packing)) {
+      best = std::max(best, packing_weight(problem, packing));
+    }
+  }
+  return best;
+}
+
+TEST(Validity, DisjointSetsAreValid) {
+  const auto problem = make_problem(6, {{0, 1}, {2, 3}, {4, 5}});
+  EXPECT_TRUE(is_valid_packing(problem, {0, 1, 2}));
+}
+
+TEST(Validity, OverlapIsRejected) {
+  const auto problem = make_problem(4, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(is_valid_packing(problem, {0, 1}));
+}
+
+TEST(Validity, BadIndicesAreRejected) {
+  const auto problem = make_problem(4, {{0, 1}});
+  EXPECT_FALSE(is_valid_packing(problem, {5}));
+}
+
+TEST(Weight, UnitAndExplicitWeights) {
+  const auto unit = make_problem(4, {{0}, {1}, {2}});
+  EXPECT_DOUBLE_EQ(packing_weight(unit, {0, 2}), 2.0);
+  const auto weighted = make_problem(4, {{0}, {1}}, {2.5, 4.0});
+  EXPECT_DOUBLE_EQ(packing_weight(weighted, {0, 1}), 6.5);
+}
+
+TEST(Exact, ClassicTriangleInstance) {
+  // Sets {0,1}, {1,2}, {2,0}: any two overlap, optimum is 1.
+  const auto problem = make_problem(3, {{0, 1}, {1, 2}, {0, 2}});
+  const Packing packing = solve_exact(problem);
+  EXPECT_EQ(packing.size(), 1u);
+}
+
+TEST(Exact, PicksWeightOverCount) {
+  // One big set worth 10 vs two disjoint sets worth 4 each.
+  const auto problem = make_problem(4, {{0, 1, 2, 3}, {0, 1}, {2, 3}}, {10.0, 4.0, 4.0});
+  const Packing packing = solve_exact(problem);
+  EXPECT_DOUBLE_EQ(packing_weight(problem, packing), 10.0);
+}
+
+TEST(Exact, EmptyProblem) {
+  const auto problem = make_problem(0, {});
+  EXPECT_TRUE(solve_exact(problem).empty());
+}
+
+TEST(Exact, SizeGuard) {
+  SetPackingProblem problem = make_problem(2, {});
+  for (int i = 0; i < 40; ++i) problem.sets.push_back({0});
+  EXPECT_THROW(solve_exact(problem, 26), o2o::ContractViolation);
+}
+
+TEST(Greedy, ProducesMaximalPacking) {
+  const auto problem = make_problem(6, {{0, 1}, {1, 2}, {2, 3}, {4, 5}});
+  const Packing packing = solve_greedy(problem);
+  EXPECT_TRUE(is_valid_packing(problem, packing));
+  // Maximal: every unchosen set conflicts with the packing.
+  std::vector<bool> used(problem.universe_size, false);
+  for (std::size_t s : packing) {
+    for (std::size_t e : problem.sets[s]) used[e] = true;
+  }
+  for (std::size_t s = 0; s < problem.sets.size(); ++s) {
+    if (std::find(packing.begin(), packing.end(), s) != packing.end()) continue;
+    bool conflicts = false;
+    for (std::size_t e : problem.sets[s]) conflicts |= used[e];
+    EXPECT_TRUE(conflicts);
+  }
+}
+
+TEST(Greedy, CanBeSuboptimal_LocalSearchFixesIt) {
+  // Weighted trap: greedy takes the heavy middle set {1,2} (weight 3) and
+  // blocks {0,1} + {2,3} (weight 2 + 2 = 4). Local search swaps 2-for-1.
+  const auto problem = make_problem(4, {{1, 2}, {0, 1}, {2, 3}}, {3.0, 2.0, 2.0});
+  const Packing greedy = solve_greedy(problem);
+  EXPECT_DOUBLE_EQ(packing_weight(problem, greedy), 3.0);
+  const Packing improved = solve_local_search(problem);
+  EXPECT_DOUBLE_EQ(packing_weight(problem, improved), 4.0);
+}
+
+TEST(LocalSearch, NeverWorseThanGreedy) {
+  Rng rng(61);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t universe = 6 + rng.uniform_index(8);
+    SetPackingProblem problem;
+    problem.universe_size = universe;
+    const std::size_t set_count = 3 + rng.uniform_index(12);
+    for (std::size_t s = 0; s < set_count; ++s) {
+      std::vector<std::size_t> members;
+      const std::size_t size = 2 + rng.uniform_index(2);  // 2 or 3, the paper's regime
+      while (members.size() < size) {
+        const std::size_t e = rng.uniform_index(universe);
+        if (std::find(members.begin(), members.end(), e) == members.end()) {
+          members.push_back(e);
+        }
+      }
+      std::sort(members.begin(), members.end());
+      problem.sets.push_back(std::move(members));
+    }
+    const double greedy = packing_weight(problem, solve_greedy(problem));
+    const double local = packing_weight(problem, solve_local_search(problem));
+    EXPECT_GE(local + 1e-9, greedy) << "trial " << trial;
+  }
+}
+
+class PackingVsExhaustive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackingVsExhaustive, ExactIsOptimalAndLocalSearchWithinRatio) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t universe = 5 + rng.uniform_index(6);
+    SetPackingProblem problem;
+    problem.universe_size = universe;
+    const std::size_t set_count = 2 + rng.uniform_index(10);
+    for (std::size_t s = 0; s < set_count; ++s) {
+      std::vector<std::size_t> members;
+      const std::size_t size = 2 + rng.uniform_index(2);
+      while (members.size() < size) {
+        const std::size_t e = rng.uniform_index(universe);
+        if (std::find(members.begin(), members.end(), e) == members.end()) {
+          members.push_back(e);
+        }
+      }
+      std::sort(members.begin(), members.end());
+      problem.sets.push_back(std::move(members));
+    }
+    const double optimum = exhaustive_optimum(problem);
+    const Packing exact = solve_exact(problem);
+    EXPECT_TRUE(is_valid_packing(problem, exact));
+    EXPECT_DOUBLE_EQ(packing_weight(problem, exact), optimum) << "trial " << trial;
+
+    // The paper's approximation guarantee: ratio (max|c_k|+2)/3 = 5/3 for
+    // |c_k| <= 3 -- i.e. local >= 3/5 * optimum (unit weights here).
+    const Packing local = solve_local_search(problem);
+    EXPECT_TRUE(is_valid_packing(problem, local));
+    EXPECT_GE(packing_weight(problem, local) + 1e-9, optimum * 3.0 / 5.0)
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackingVsExhaustive, ::testing::Values(71, 72, 73, 74, 75));
+
+TEST(Problem, ValidationCatchesUnsortedSets) {
+  auto problem = make_problem(4, {{2, 0}});
+  EXPECT_THROW(solve_greedy(problem), o2o::ContractViolation);
+}
+
+TEST(Problem, ValidationCatchesOutOfUniverseElements) {
+  auto problem = make_problem(2, {{0, 5}});
+  EXPECT_THROW(solve_greedy(problem), o2o::ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::packing

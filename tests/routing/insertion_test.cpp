@@ -1,0 +1,138 @@
+#include "routing/insertion.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/optimizer.h"
+#include "util/rng.h"
+
+namespace o2o::routing {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Request make_request(trace::RequestId id, geo::Point pickup, geo::Point dropoff) {
+  trace::Request request;
+  request.id = id;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  return request;
+}
+
+TEST(Insertion, IntoEmptyRouteIsTheSoloRoute) {
+  Route route;
+  route.start = geo::Point{0, 0};
+  const auto request = make_request(1, {1, 0}, {2, 0});
+  const auto result = cheapest_insertion(route, request, kOracle);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->route.stop_count(), 2u);
+  EXPECT_DOUBLE_EQ(result->added_km, 2.0);
+  EXPECT_TRUE(respects_precedence(result->route));
+}
+
+TEST(Insertion, OnRouteRiderYieldsZeroDetour) {
+  // Existing ride goes (0,0)->(10,0); a rider along that segment adds 0.
+  Route route;
+  route.start = geo::Point{0, 0};
+  route.stops = {Stop{1, true, {0, 0}}, Stop{1, false, {10, 0}}};
+  const auto request = make_request(2, {3, 0}, {6, 0});
+  const auto result = cheapest_insertion(route, request, kOracle);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->added_km, 0.0, 1e-9);
+  EXPECT_TRUE(respects_precedence(result->route));
+}
+
+TEST(Insertion, KeepsPickupBeforeDropoff) {
+  Route route;
+  route.start = geo::Point{0, 0};
+  route.stops = {Stop{1, true, {1, 1}}, Stop{1, false, {2, 2}}};
+  const auto request = make_request(2, {5, 0}, {-5, 0});
+  const auto result = cheapest_insertion(route, request, kOracle);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(respects_precedence(result->route));
+  EXPECT_LT(result->pickup_index, result->dropoff_index);
+}
+
+TEST(Insertion, DuplicateRiderIsRejected) {
+  Route route;
+  route.start = geo::Point{0, 0};
+  route.stops = {Stop{7, true, {1, 0}}, Stop{7, false, {2, 0}}};
+  EXPECT_FALSE(cheapest_insertion(route, make_request(7, {0, 0}, {1, 1}), kOracle)
+                   .has_value());
+}
+
+TEST(Insertion, AddedDistanceIsNonNegativeUnderEuclidean) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    Route route;
+    route.start = geo::Point{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const auto a = make_request(1, {rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                                {rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    route.stops = {Stop{1, true, a.pickup}, Stop{1, false, a.dropoff}};
+    const auto b = make_request(2, {rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                                {rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    const auto result = cheapest_insertion(route, b, kOracle);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_GE(result->added_km, -1e-9);
+  }
+}
+
+TEST(Insertion, MatchesBruteForceOverPositions) {
+  Rng rng(32);
+  for (int trial = 0; trial < 20; ++trial) {
+    // A 2-rider route plus one new rider: cheapest_insertion must agree
+    // with trying every (i, j) by hand.
+    Route route;
+    route.start = geo::Point{0, 0};
+    std::vector<trace::Request> riders;
+    for (int i = 0; i < 2; ++i) {
+      riders.push_back(make_request(i, {rng.uniform(-8, 8), rng.uniform(-8, 8)},
+                                    {rng.uniform(-8, 8), rng.uniform(-8, 8)}));
+    }
+    route.stops = {Stop{0, true, riders[0].pickup},
+                   Stop{1, true, riders[1].pickup},
+                   Stop{0, false, riders[0].dropoff},
+                   Stop{1, false, riders[1].dropoff}};
+    const auto incoming = make_request(9, {rng.uniform(-8, 8), rng.uniform(-8, 8)},
+                                       {rng.uniform(-8, 8), rng.uniform(-8, 8)});
+    const auto fast = cheapest_insertion(route, incoming, kOracle);
+    ASSERT_TRUE(fast.has_value());
+
+    const double base = route_length(route, kOracle);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i <= route.stops.size(); ++i) {
+      for (std::size_t j = i; j <= route.stops.size(); ++j) {
+        Route candidate = route;
+        candidate.stops.insert(candidate.stops.begin() + static_cast<std::ptrdiff_t>(i),
+                               Stop{9, true, incoming.pickup});
+        candidate.stops.insert(
+            candidate.stops.begin() + static_cast<std::ptrdiff_t>(j + 1),
+            Stop{9, false, incoming.dropoff});
+        best = std::min(best, route_length(candidate, kOracle) - base);
+      }
+    }
+    EXPECT_NEAR(fast->added_km, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Insertion, NeverBeatsJointReoptimization) {
+  // Insertion is a restricted move, so the full optimizer is at least as
+  // good -- the gap is exactly what STD exploits over SARP.
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = make_request(0, {rng.uniform(-8, 8), rng.uniform(-8, 8)},
+                                {rng.uniform(-8, 8), rng.uniform(-8, 8)});
+    const auto b = make_request(1, {rng.uniform(-8, 8), rng.uniform(-8, 8)},
+                                {rng.uniform(-8, 8), rng.uniform(-8, 8)});
+    const geo::Point start{rng.uniform(-8, 8), rng.uniform(-8, 8)};
+    const Route solo = single_rider_route(a, start);
+    const auto inserted = cheapest_insertion(solo, b, kOracle);
+    ASSERT_TRUE(inserted.has_value());
+    const std::vector<trace::Request> both{a, b};
+    const Route joint = optimal_route(both, kOracle, start);
+    EXPECT_LE(route_length(joint, kOracle),
+              route_length(inserted->route, kOracle) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace o2o::routing

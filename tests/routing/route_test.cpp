@@ -1,0 +1,114 @@
+#include "routing/route.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace o2o::routing {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Request make_request(trace::RequestId id, geo::Point pickup, geo::Point dropoff) {
+  trace::Request request;
+  request.id = id;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  return request;
+}
+
+TEST(Precedence, SingleRiderOrderMatters) {
+  Route good;
+  good.stops = {Stop{1, true, {0, 0}}, Stop{1, false, {1, 0}}};
+  EXPECT_TRUE(respects_precedence(good));
+
+  Route bad;
+  bad.stops = {Stop{1, false, {1, 0}}, Stop{1, true, {0, 0}}};
+  EXPECT_FALSE(respects_precedence(bad));
+}
+
+TEST(Precedence, InterleavedRidersAreFine) {
+  Route route;
+  route.stops = {Stop{1, true, {0, 0}}, Stop{2, true, {1, 0}}, Stop{1, false, {2, 0}},
+                 Stop{2, false, {3, 0}}};
+  EXPECT_TRUE(respects_precedence(route));
+}
+
+TEST(Precedence, DuplicatePickupRejected) {
+  Route route;
+  route.stops = {Stop{1, true, {0, 0}}, Stop{1, true, {1, 0}}, Stop{1, false, {2, 0}}};
+  EXPECT_FALSE(respects_precedence(route));
+}
+
+TEST(Precedence, DropoffOnlyIsRejected) {
+  Route route;
+  route.stops = {Stop{1, false, {0, 0}}};
+  EXPECT_FALSE(respects_precedence(route));
+}
+
+TEST(Precedence, EmptyRouteIsTriviallyValid) {
+  EXPECT_TRUE(respects_precedence(Route{}));
+}
+
+TEST(RouteLength, AnchoredAndUnanchored) {
+  Route route;
+  route.stops = {Stop{1, true, {0, 0}}, Stop{1, false, {3, 4}}};
+  EXPECT_DOUBLE_EQ(route_length(route, kOracle), 5.0);  // no anchor: from first stop
+  route.start = geo::Point{0, -1};
+  EXPECT_DOUBLE_EQ(route_length(route, kOracle), 6.0);  // 1 + 5
+}
+
+TEST(RouteLength, EmptyRouteIsZero) {
+  Route route;
+  route.start = geo::Point{5, 5};
+  EXPECT_DOUBLE_EQ(route_length(route, kOracle), 0.0);
+}
+
+TEST(RiderMetrics, SoloRideMatchesDirectDistances) {
+  const auto request = make_request(3, {0, 0}, {0, 7});
+  const Route route = single_rider_route(request, geo::Point{-2, 0});
+  const RiderMetrics metrics = rider_metrics(route, 3, kOracle);
+  EXPECT_DOUBLE_EQ(metrics.wait_km, 2.0);
+  EXPECT_DOUBLE_EQ(metrics.ride_km, 7.0);
+}
+
+TEST(RiderMetrics, SharedRouteAccumulatesLegs) {
+  // taxi at (0,0); pickup A (1,0); pickup B (2,0); drop A (3,0); drop B (4,0)
+  Route route;
+  route.start = geo::Point{0, 0};
+  route.stops = {Stop{1, true, {1, 0}}, Stop{2, true, {2, 0}}, Stop{1, false, {3, 0}},
+                 Stop{2, false, {4, 0}}};
+  const RiderMetrics a = rider_metrics(route, 1, kOracle);
+  EXPECT_DOUBLE_EQ(a.wait_km, 1.0);
+  EXPECT_DOUBLE_EQ(a.ride_km, 2.0);  // detour through B's pickup
+  const RiderMetrics b = rider_metrics(route, 2, kOracle);
+  EXPECT_DOUBLE_EQ(b.wait_km, 2.0);
+  EXPECT_DOUBLE_EQ(b.ride_km, 2.0);
+}
+
+TEST(RiderMetrics, UnanchoredRouteStartsAtFirstStop) {
+  Route route;
+  route.stops = {Stop{1, true, {5, 5}}, Stop{1, false, {5, 9}}};
+  const RiderMetrics metrics = rider_metrics(route, 1, kOracle);
+  EXPECT_DOUBLE_EQ(metrics.wait_km, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.ride_km, 4.0);
+}
+
+TEST(RiderMetrics, MissingRiderThrows) {
+  Route route;
+  route.stops = {Stop{1, true, {0, 0}}, Stop{1, false, {1, 0}}};
+  EXPECT_THROW(rider_metrics(route, 99, kOracle), o2o::ContractViolation);
+}
+
+TEST(SingleRiderRoute, BuildsPickupThenDropoff) {
+  const auto request = make_request(5, {1, 2}, {3, 4});
+  const Route route = single_rider_route(request);
+  ASSERT_EQ(route.stop_count(), 2u);
+  EXPECT_TRUE(route.stops[0].is_pickup);
+  EXPECT_EQ(route.stops[0].request, 5);
+  EXPECT_FALSE(route.stops[1].is_pickup);
+  EXPECT_FALSE(route.start.has_value());
+}
+
+}  // namespace
+}  // namespace o2o::routing

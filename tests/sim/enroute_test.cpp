@@ -1,0 +1,169 @@
+// En-route insertion lifecycle: a dispatcher that adds a second rider to
+// a busy taxi mid-ride, exercising the simulator's busy-taxi views,
+// onboard-aware validation, and marginal taxi metrics.
+#include <gtest/gtest.h>
+
+#include "routing/insertion.h"
+#include "sim/simulator.h"
+
+namespace o2o::sim {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Request make_request(double time, geo::Point pickup, geo::Point dropoff) {
+  trace::Request request;
+  request.time_seconds = time;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  return request;
+}
+
+/// Dispatches the first request to the idle taxi; any later request is
+/// inserted into the busy taxi's remaining route.
+class InsertingDispatcher final : public Dispatcher {
+ public:
+  std::string name() const override { return "test-inserting"; }
+
+  std::vector<DispatchAssignment> dispatch(const DispatchContext& context) override {
+    std::vector<DispatchAssignment> assignments;
+    if (context.pending.empty()) return assignments;
+    const trace::Request& request = context.pending.front();
+    if (!context.idle_taxis.empty()) {
+      DispatchAssignment assignment;
+      assignment.taxi = context.idle_taxis.front().id;
+      assignment.requests = {request.id};
+      assignment.route =
+          routing::single_rider_route(request, context.idle_taxis.front().location);
+      assignments.push_back(std::move(assignment));
+      return assignments;
+    }
+    if (!context.busy_taxis.empty()) {
+      const BusyTaxiView& busy = context.busy_taxis.front();
+      routing::Route current;
+      current.start = busy.taxi.location;
+      current.stops = busy.remaining_stops;
+      const auto inserted = routing::cheapest_insertion(current, request, *context.oracle);
+      if (!inserted.has_value()) return assignments;
+      DispatchAssignment assignment;
+      assignment.taxi = busy.taxi.id;
+      assignment.requests = {request.id};
+      assignment.route = inserted->route;
+      assignments.push_back(std::move(assignment));
+    }
+    return assignments;
+  }
+};
+
+TEST(EnRoute, SecondRiderJoinsAMovingTaxi) {
+  // Taxi starts at 0 and carries rider A (1,0)->(10,0) at 1 km/min.
+  // Rider B appears at t=3 min along the same corridor.
+  std::vector<trace::Request> requests{make_request(0.0, {1, 0}, {10, 0}),
+                                       make_request(180.0, {4, 0}, {8, 0})};
+  const trace::Trace city("t", {{-20, -20}, {20, 20}}, std::move(requests));
+  trace::Taxi taxi;
+  taxi.id = 0;
+  taxi.location = {0, 0};
+  taxi.seats = 4;
+
+  SimulatorConfig config;
+  config.speed_kmh = 60.0;
+  InsertingDispatcher dispatcher;
+  Simulator simulator(city, {taxi}, kOracle, config);
+  const SimulationReport report = simulator.run(dispatcher);
+
+  EXPECT_EQ(report.served, 2u);
+  EXPECT_EQ(report.cancelled, 0u);
+  EXPECT_EQ(report.dispatched_rides, 2u);
+  EXPECT_EQ(report.shared_rides, 1u);  // the insertion ride sees 2 ids
+
+  const RequestRecord& a = report.requests[0];
+  const RequestRecord& b = report.requests[1];
+  EXPECT_TRUE(a.served());
+  EXPECT_TRUE(b.served());
+  EXPECT_TRUE(b.shared);
+  // A was picked up before B was even requested.
+  EXPECT_LT(a.pickup_time, 180.0);
+  // B's pickup happens after its dispatch, B is dropped before A (B's
+  // drop-off at 8 km precedes A's at 10 km along the corridor).
+  EXPECT_GT(b.pickup_time, b.dispatch_time);
+  EXPECT_LT(b.dropoff_time, a.dropoff_time);
+  // The corridor is straight: zero-detour insertion, total distance 10.
+  EXPECT_NEAR(report.total_taxi_distance_km, 10.0, 1e-6);
+  // Marginal taxi score of the insertion dispatch:
+  // added length 0 - 2 * direct(B) = -8.
+  EXPECT_NEAR(report.taxi_cdf.min(), -8.0, 1e-6);
+}
+
+TEST(EnRoute, CapacityBlocksOverfullInsertion) {
+  std::vector<trace::Request> requests{make_request(0.0, {1, 0}, {10, 0}),
+                                       make_request(180.0, {4, 0}, {8, 0})};
+  const trace::Trace city("t", {{-20, -20}, {20, 20}}, std::move(requests));
+  trace::Taxi taxi;
+  taxi.id = 0;
+  taxi.location = {0, 0};
+  taxi.seats = 1;  // no room for B while A is onboard
+
+  SimulatorConfig config;
+  config.speed_kmh = 60.0;
+  config.cancel_timeout_seconds = 600.0;
+  InsertingDispatcher dispatcher;
+  Simulator simulator(city, {taxi}, kOracle, config);
+  // The dispatcher blindly inserts; the simulator must reject it.
+  EXPECT_THROW(simulator.run(dispatcher), o2o::ContractViolation);
+}
+
+TEST(EnRoute, BusyViewExposesConsistentSeatBookkeeping) {
+  // Probe the context the simulator hands out mid-ride.
+  class ProbingDispatcher final : public Dispatcher {
+   public:
+    std::string name() const override { return "test-probing"; }
+    bool probed = false;
+
+    std::vector<DispatchAssignment> dispatch(const DispatchContext& context) override {
+      if (!assigned_ && !context.idle_taxis.empty() && !context.pending.empty()) {
+        assigned_ = true;
+        DispatchAssignment assignment;
+        assignment.taxi = context.idle_taxis.front().id;
+        assignment.requests = {context.pending.front().id};
+        assignment.route = routing::single_rider_route(
+            context.pending.front(), context.idle_taxis.front().location);
+        return {assignment};
+      }
+      if (!context.busy_taxis.empty()) {
+        const BusyTaxiView& view = context.busy_taxis.front();
+        EXPECT_FALSE(view.remaining_stops.empty());
+        EXPECT_EQ(view.route_request_seats.size(), 1u);
+        if (!view.onboard.empty()) {
+          EXPECT_EQ(view.seats_in_use, 2);  // the rider asked for 2 seats
+          probed = true;
+        }
+      }
+      return {};
+    }
+
+   private:
+    bool assigned_ = false;
+  };
+
+  trace::Request request = make_request(0.0, {1, 0}, {10, 0});
+  request.seats = 2;
+  // A decoy request keeps the pending queue non-empty so the dispatcher
+  // is invoked (and can probe the busy view) while the first ride runs.
+  const trace::Request decoy = make_request(60.0, {-15, -15}, {-16, -16});
+  const trace::Trace city("t", {{-20, -20}, {20, 20}}, {request, decoy});
+  trace::Taxi taxi;
+  taxi.id = 0;
+  taxi.location = {0, 0};
+  taxi.seats = 4;
+
+  SimulatorConfig config;
+  config.speed_kmh = 60.0;
+  ProbingDispatcher dispatcher;
+  Simulator simulator(city, {taxi}, kOracle, config);
+  (void)simulator.run(dispatcher);
+  EXPECT_TRUE(dispatcher.probed);
+}
+
+}  // namespace
+}  // namespace o2o::sim

@@ -1,0 +1,157 @@
+// End-to-end runs: every dispatcher (the paper's four stable variants and
+// the five baselines) over a small synthetic city, checking global
+// invariants and the paper's headline qualitative result -- the stable
+// dispatchers' taxi dissatisfaction beats the passenger-only baselines'.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/ilp.h"
+#include "baselines/nonsharing.h"
+#include "baselines/raii.h"
+#include "baselines/sarp.h"
+#include "core/dispatchers.h"
+#include "sim/simulator.h"
+#include "trace/fleet.h"
+#include "trace/synthetic.h"
+
+namespace o2o::sim {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Trace small_city_trace() {
+  trace::CityModel model = trace::CityModel::boston();
+  model.base_rate_per_hour = 120.0;
+  trace::GenerationOptions options;
+  options.duration_seconds = 2.0 * 3600.0;
+  options.start_hour = 8.0;
+  options.seed = 424242;
+  options.max_seats = 2;
+  return trace::generate(model, options);
+}
+
+std::vector<trace::Taxi> small_fleet(int count) {
+  trace::FleetOptions options;
+  options.taxi_count = count;
+  options.seed = 11;
+  return trace::make_fleet(geo::Rect{{-10, -10}, {10, 10}}, options);
+}
+
+SimulatorConfig config() {
+  SimulatorConfig c;
+  c.cancel_timeout_seconds = 1800.0;
+  return c;
+}
+
+core::PreferenceParams tuned_preferences() {
+  core::PreferenceParams params;
+  params.passenger_threshold_km = 8.0;
+  params.taxi_threshold_score = 6.0;
+  return params;
+}
+
+std::vector<std::unique_ptr<Dispatcher>> all_dispatchers() {
+  std::vector<std::unique_ptr<Dispatcher>> dispatchers;
+
+  core::StableDispatcherOptions nstd;
+  nstd.preference = tuned_preferences();
+  dispatchers.push_back(std::make_unique<core::StableDispatcher>(nstd));
+  nstd.side = core::ProposalSide::kTaxis;
+  dispatchers.push_back(std::make_unique<core::StableDispatcher>(nstd));
+
+  core::SharingStableDispatcherOptions std_options;
+  std_options.params.preference = tuned_preferences();
+  dispatchers.push_back(std::make_unique<core::SharingStableDispatcher>(std_options));
+  std_options.params.side = core::ProposalSide::kTaxis;
+  dispatchers.push_back(std::make_unique<core::SharingStableDispatcher>(std_options));
+
+  dispatchers.push_back(std::make_unique<baselines::NonSharingBaseline>(
+      baselines::NonSharingPolicy::kGreedy));
+  dispatchers.push_back(std::make_unique<baselines::NonSharingBaseline>(
+      baselines::NonSharingPolicy::kMinCost));
+  dispatchers.push_back(std::make_unique<baselines::NonSharingBaseline>(
+      baselines::NonSharingPolicy::kMinMax));
+  dispatchers.push_back(std::make_unique<baselines::RaiiDispatcher>());
+  dispatchers.push_back(std::make_unique<baselines::SarpDispatcher>());
+  dispatchers.push_back(std::make_unique<baselines::IlpDispatcher>());
+  return dispatchers;
+}
+
+TEST(Integration, EveryDispatcherSatisfiesGlobalInvariants) {
+  const trace::Trace city = small_city_trace();
+  ASSERT_GT(city.size(), 100u);
+  for (auto& dispatcher : all_dispatchers()) {
+    Simulator simulator(city, small_fleet(60), kOracle, config());
+    const SimulationReport report = simulator.run(*dispatcher);
+    SCOPED_TRACE(report.dispatcher_name);
+
+    EXPECT_EQ(report.served + report.cancelled + report.pending_at_end, city.size());
+    EXPECT_GT(report.served, city.size() / 2);  // the city is serviceable
+    EXPECT_EQ(report.delay_cdf.count(), report.served);
+    EXPECT_EQ(report.passenger_cdf.count(), report.served);
+    EXPECT_GE(report.dispatched_rides, 1u);
+    EXPECT_GT(report.total_taxi_distance_km, 0.0);
+    if (report.served > 0) {
+      EXPECT_GE(report.delay_cdf.min(), 0.0);
+      EXPECT_GE(report.passenger_cdf.min(), -1e-9);
+    }
+    // Every served request has a consistent timeline.
+    for (const RequestRecord& record : report.requests) {
+      if (!record.served()) continue;
+      EXPECT_GE(record.dispatch_time, record.request_time - 1e-9);
+      if (record.dropoff_time >= 0.0) {
+        EXPECT_GE(record.pickup_time, record.dispatch_time - 1e-9);
+        EXPECT_GE(record.dropoff_time, record.pickup_time - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Integration, StableDispatchImprovesTaxiDissatisfaction) {
+  // The paper's central claim (Figs. 4c/5c): NSTD-P/T significantly beat
+  // the passenger-only baselines on taxi dissatisfaction.
+  const trace::Trace city = small_city_trace();
+  const auto fleet = small_fleet(25);
+
+  core::StableDispatcherOptions nstd;
+  nstd.preference = tuned_preferences();
+  core::StableDispatcher stable(nstd);
+  baselines::NonSharingBaseline greedy(baselines::NonSharingPolicy::kGreedy);
+
+  Simulator sim_a(city, fleet, kOracle, config());
+  Simulator sim_b(city, fleet, kOracle, config());
+  const SimulationReport stable_report = sim_a.run(stable);
+  const SimulationReport greedy_report = sim_b.run(greedy);
+
+  ASSERT_GT(stable_report.taxi_stats.count(), 0u);
+  ASSERT_GT(greedy_report.taxi_stats.count(), 0u);
+  EXPECT_LT(stable_report.taxi_stats.mean(), greedy_report.taxi_stats.mean());
+}
+
+TEST(Integration, SharingDispatchersActuallyShare) {
+  const trace::Trace city = small_city_trace();
+  core::SharingStableDispatcherOptions options;
+  options.params.preference = tuned_preferences();
+  core::SharingStableDispatcher dispatcher(options);
+  Simulator simulator(city, small_fleet(15), kOracle, config());
+  const SimulationReport report = simulator.run(dispatcher);
+  EXPECT_GT(report.shared_rides, 0u);
+}
+
+TEST(Integration, MoreTaxisReduceDispatchDelay) {
+  // Fig. 6a's qualitative shape.
+  const trace::Trace city = small_city_trace();
+  core::StableDispatcherOptions nstd;
+  nstd.preference = tuned_preferences();
+  core::StableDispatcher dispatcher(nstd);
+
+  Simulator scarce(city, small_fleet(8), kOracle, config());
+  Simulator plentiful(city, small_fleet(60), kOracle, config());
+  const SimulationReport scarce_report = scarce.run(dispatcher);
+  const SimulationReport plentiful_report = plentiful.run(dispatcher);
+  EXPECT_GT(scarce_report.delay_stats.mean(), plentiful_report.delay_stats.mean());
+}
+
+}  // namespace
+}  // namespace o2o::sim

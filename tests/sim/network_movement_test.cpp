@@ -1,0 +1,118 @@
+// Road-network kinematics: with SimulatorConfig::road_network set, taxis
+// drive along network shortest paths, so travel times and driven
+// distance reflect road lengths rather than straight lines.
+#include <gtest/gtest.h>
+
+#include "geo/road_network.h"
+#include "sim/simulator.h"
+
+namespace o2o::sim {
+namespace {
+
+trace::Request make_request(double time, geo::Point pickup, geo::Point dropoff) {
+  trace::Request request;
+  request.time_seconds = time;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  return request;
+}
+
+/// Assigns everything pending to the single taxi when idle.
+class SoloDispatcher final : public Dispatcher {
+ public:
+  std::string name() const override { return "test-solo"; }
+  std::vector<DispatchAssignment> dispatch(const DispatchContext& context) override {
+    if (context.idle_taxis.empty() || context.pending.empty()) return {};
+    DispatchAssignment assignment;
+    assignment.taxi = context.idle_taxis.front().id;
+    assignment.requests = {context.pending.front().id};
+    assignment.route = routing::single_rider_route(context.pending.front(),
+                                                   context.idle_taxis.front().location);
+    return {assignment};
+  }
+};
+
+TEST(DrivePath, FollowsTheGrid) {
+  const geo::RoadNetwork grid = geo::RoadNetwork::make_grid_city(6, 6, 1.0);
+  const auto path = grid.drive_path({0, 0}, {3, 4});
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), (geo::Point{0, 0}));
+  EXPECT_EQ(path.back(), (geo::Point{3, 4}));
+  double length = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    length += geo::euclidean_distance(path[i - 1], path[i]);
+  }
+  EXPECT_NEAR(length, 7.0, 1e-9);  // rectilinear, not the 5 km diagonal
+}
+
+TEST(DrivePath, SameSnapNodeDegeneratesToTheSegment) {
+  const geo::RoadNetwork grid = geo::RoadNetwork::make_grid_city(3, 3, 10.0);
+  const auto path = grid.drive_path({1.0, 1.0}, {2.0, 1.5});
+  EXPECT_EQ(path.size(), 2u);
+}
+
+TEST(NetworkMovement, TravelTimesReflectRoadDistances) {
+  // Grid city, taxi at (0,0), ride from (2,0) to (2,3): road distance is
+  // 2 + 3 = 5 km. At 60 km/h the drop-off lands at t = 300 s, vs
+  // ~2 + 3 = 5 straight-line here too -- so use a diagonal ride where the
+  // metrics differ: (2,0) -> (5,4): road 3+4=7 km, straight 5 km.
+  const geo::RoadNetwork grid = geo::RoadNetwork::make_grid_city(8, 8, 1.0);
+  const trace::Trace city("t", {{0, 0}, {7, 7}}, {make_request(0.0, {2, 0}, {5, 4})});
+  trace::Taxi taxi;
+  taxi.id = 0;
+  taxi.location = {0, 0};
+  taxi.seats = 4;
+
+  SimulatorConfig config;
+  config.speed_kmh = 60.0;  // 1 km/min
+  config.road_network = &grid;
+  SoloDispatcher dispatcher;
+  Simulator simulator(city, {taxi}, geo::EuclideanOracle{}, config);
+  const SimulationReport report = simulator.run(dispatcher);
+
+  ASSERT_EQ(report.served, 1u);
+  const RequestRecord& record = report.requests[0];
+  // Pick-up leg (0,0)->(2,0): 2 km of road -> 120 s.
+  EXPECT_NEAR(record.pickup_time, 120.0, 1e-6);
+  // Ride leg (2,0)->(5,4): 7 km of road -> +420 s.
+  EXPECT_NEAR(record.dropoff_time, 540.0, 1e-6);
+  EXPECT_NEAR(report.total_taxi_distance_km, 9.0, 1e-6);
+}
+
+TEST(NetworkMovement, StraightLineModeIsUnchanged) {
+  const trace::Trace city("t", {{0, 0}, {7, 7}}, {make_request(0.0, {2, 0}, {5, 4})});
+  trace::Taxi taxi;
+  taxi.id = 0;
+  taxi.location = {0, 0};
+  taxi.seats = 4;
+  SimulatorConfig config;
+  config.speed_kmh = 60.0;
+  SoloDispatcher dispatcher;
+  Simulator simulator(city, {taxi}, geo::EuclideanOracle{}, config);
+  const SimulationReport report = simulator.run(dispatcher);
+  EXPECT_NEAR(report.requests[0].dropoff_time, (2.0 + 5.0) * 60.0, 1e-6);
+  EXPECT_NEAR(report.total_taxi_distance_km, 7.0, 1e-6);
+}
+
+TEST(NetworkMovement, MidLegFramesResumeOnThePolyline) {
+  // 20 km/h (1/3 km per minute): the 9 km road journey spans many frames;
+  // the taxi must stay on the grid and still finish with exact totals.
+  const geo::RoadNetwork grid = geo::RoadNetwork::make_grid_city(8, 8, 1.0);
+  const trace::Trace city("t", {{0, 0}, {7, 7}}, {make_request(0.0, {2, 0}, {5, 4})});
+  trace::Taxi taxi;
+  taxi.id = 0;
+  taxi.location = {0, 0};
+  taxi.seats = 4;
+  SimulatorConfig config;
+  config.speed_kmh = 20.0;
+  config.road_network = &grid;
+  SoloDispatcher dispatcher;
+  Simulator simulator(city, {taxi}, geo::EuclideanOracle{}, config);
+  const SimulationReport report = simulator.run(dispatcher);
+  ASSERT_EQ(report.served, 1u);
+  EXPECT_NEAR(report.total_taxi_distance_km, 9.0, 1e-6);
+  EXPECT_NEAR(report.requests[0].dropoff_time, 9.0 / 20.0 * 3600.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace o2o::sim

@@ -1,0 +1,111 @@
+#include "sim/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace o2o::sim {
+namespace {
+
+SimulationReport sample_report() {
+  SimulationReport report;
+  report.dispatcher_name = "sample";
+  RequestRecord served;
+  served.id = 0;
+  served.request_time = 100.0;
+  served.dispatch_time = 160.0;
+  served.pickup_time = 300.0;
+  served.dropoff_time = 700.0;
+  served.dispatch_delay_minutes = 1.0;
+  served.passenger_dissatisfaction_km = 2.5;
+  served.shared = true;
+
+  RequestRecord cancelled;
+  cancelled.id = 1;
+  cancelled.request_time = 9.0 * 3600.0;
+  cancelled.cancelled = true;
+
+  report.requests = {served, cancelled};
+  report.served = 1;
+  report.cancelled = 1;
+  report.delay_cdf.add(1.0);
+  report.passenger_cdf.add(2.5);
+  report.taxi_cdf.add(-3.0);
+  report.delay_stats.add(1.0);
+  report.passenger_stats.add(2.5);
+  report.taxi_stats.add(-3.0);
+  report.hourly_delay.add(100.0, 1.0);
+  report.hourly_passenger.add(100.0, 2.5);
+  return report;
+}
+
+TEST(ReportIo, RecordsRoundTrip) {
+  const SimulationReport original = sample_report();
+  std::ostringstream out;
+  write_request_records_csv(out, original);
+  std::istringstream in(out.str());
+  const SimulationReport loaded = read_request_records_csv(in, "sample");
+
+  EXPECT_EQ(loaded.dispatcher_name, "sample");
+  ASSERT_EQ(loaded.requests.size(), 2u);
+  EXPECT_EQ(loaded.served, 1u);
+  EXPECT_EQ(loaded.cancelled, 1u);
+  const RequestRecord& served = loaded.requests[0];
+  EXPECT_EQ(served.id, 0);
+  EXPECT_TRUE(served.served());
+  EXPECT_TRUE(served.shared);
+  EXPECT_NEAR(served.dispatch_delay_minutes, 1.0, 1e-3);
+  EXPECT_NEAR(served.passenger_dissatisfaction_km, 2.5, 1e-3);
+  EXPECT_NEAR(served.pickup_time, 300.0, 1e-3);
+  const RequestRecord& cancelled = loaded.requests[1];
+  EXPECT_TRUE(cancelled.cancelled);
+  EXPECT_FALSE(cancelled.served());
+}
+
+TEST(ReportIo, RebuildsAggregatesFromRows) {
+  const SimulationReport original = sample_report();
+  std::ostringstream out;
+  write_request_records_csv(out, original);
+  std::istringstream in(out.str());
+  const SimulationReport loaded = read_request_records_csv(in, "sample");
+  EXPECT_EQ(loaded.delay_cdf.count(), 1u);
+  EXPECT_NEAR(loaded.delay_stats.mean(), 1.0, 1e-3);
+  EXPECT_NEAR(loaded.passenger_stats.mean(), 2.5, 1e-3);
+  EXPECT_EQ(loaded.hourly_delay.bucket(0).count(), 1u);  // request at 100 s
+}
+
+TEST(ReportIo, CdfColumnsAreSortedAndPadded) {
+  SimulationReport report;
+  report.delay_cdf.add(3.0);
+  report.delay_cdf.add(1.0);
+  report.passenger_cdf.add(2.0);
+  std::ostringstream out;
+  write_cdfs_csv(out, report);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "delay_minutes,passenger_km,taxi_km");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.0000,2.0000,");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3.0000,,");
+}
+
+TEST(ReportIo, MissingColumnsThrow) {
+  std::istringstream in("id,request_time\n1,0\n");
+  EXPECT_THROW(read_request_records_csv(in, "x"), o2o::ContractViolation);
+}
+
+TEST(ReportIo, EmptyInputYieldsEmptyReport) {
+  std::istringstream in(
+      "id,request_time,dispatch_time,pickup_time,dropoff_time,"
+      "dispatch_delay_minutes,passenger_dissatisfaction_km,shared,cancelled\n");
+  const SimulationReport loaded = read_request_records_csv(in, "empty");
+  EXPECT_TRUE(loaded.requests.empty());
+  EXPECT_EQ(loaded.served, 0u);
+}
+
+}  // namespace
+}  // namespace o2o::sim

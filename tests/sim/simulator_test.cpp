@@ -1,0 +1,284 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/route.h"
+#include "util/contracts.h"
+
+namespace o2o::sim {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Request make_request(double time, geo::Point pickup, geo::Point dropoff) {
+  trace::Request request;
+  request.time_seconds = time;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  return request;
+}
+
+std::vector<trace::Taxi> one_taxi_at(geo::Point p, int seats = 4) {
+  trace::Taxi taxi;
+  taxi.id = 0;
+  taxi.location = p;
+  taxi.seats = seats;
+  return {taxi};
+}
+
+/// Dispatches every pending request to the nearest idle taxi, one per
+/// frame -- the simplest correct dispatcher, used to drive the engine.
+class NearestIdleDispatcher final : public Dispatcher {
+ public:
+  std::string name() const override { return "test-nearest"; }
+
+  std::vector<DispatchAssignment> dispatch(const DispatchContext& context) override {
+    std::vector<DispatchAssignment> assignments;
+    std::vector<bool> used(context.idle_taxis.size(), false);
+    for (const trace::Request& request : context.pending) {
+      int best = -1;
+      double best_distance = 0.0;
+      for (std::size_t t = 0; t < context.idle_taxis.size(); ++t) {
+        if (used[t]) continue;
+        const double d =
+            context.oracle->distance(context.idle_taxis[t].location, request.pickup);
+        if (best < 0 || d < best_distance) {
+          best = static_cast<int>(t);
+          best_distance = d;
+        }
+      }
+      if (best < 0) continue;
+      used[static_cast<std::size_t>(best)] = true;
+      DispatchAssignment assignment;
+      assignment.taxi = context.idle_taxis[static_cast<std::size_t>(best)].id;
+      assignment.requests = {request.id};
+      assignment.route = routing::single_rider_route(
+          request, context.idle_taxis[static_cast<std::size_t>(best)].location);
+      assignments.push_back(std::move(assignment));
+    }
+    return assignments;
+  }
+};
+
+/// Never dispatches anything.
+class NullDispatcher final : public Dispatcher {
+ public:
+  std::string name() const override { return "test-null"; }
+  std::vector<DispatchAssignment> dispatch(const DispatchContext&) override { return {}; }
+};
+
+SimulatorConfig fast_config() {
+  SimulatorConfig config;
+  config.frame_seconds = 60.0;
+  config.speed_kmh = 60.0;  // 1 km per minute: easy arithmetic
+  config.cancel_timeout_seconds = 1800.0;
+  config.drain_seconds = 3600.0;
+  return config;
+}
+
+TEST(Simulator, SingleRideLifecycle) {
+  // Taxi at origin; request at t=0 from (1,0) to (3,0). Speed 1 km/min.
+  const trace::Trace city("t", {{-10, -10}, {10, 10}},
+                          {make_request(0.0, {1, 0}, {3, 0})});
+  Simulator simulator(city, one_taxi_at({0, 0}), kOracle, fast_config());
+  NearestIdleDispatcher dispatcher;
+  const SimulationReport report = simulator.run(dispatcher);
+
+  EXPECT_EQ(report.dispatcher_name, "test-nearest");
+  ASSERT_EQ(report.requests.size(), 1u);
+  const RequestRecord& record = report.requests[0];
+  EXPECT_TRUE(record.served());
+  EXPECT_DOUBLE_EQ(record.dispatch_time, 0.0);
+  EXPECT_DOUBLE_EQ(record.dispatch_delay_minutes, 0.0);
+  EXPECT_NEAR(record.pickup_time, 60.0, 1e-6);    // 1 km at 1 km/min
+  EXPECT_NEAR(record.dropoff_time, 180.0, 1e-6);  // + 2 km ride
+  EXPECT_NEAR(record.passenger_dissatisfaction_km, 1.0, 1e-9);
+  EXPECT_FALSE(record.shared);
+  EXPECT_EQ(report.served, 1u);
+  EXPECT_EQ(report.cancelled, 0u);
+  EXPECT_NEAR(report.total_taxi_distance_km, 3.0, 1e-9);
+  // Taxi dissatisfaction: D(t, r.s) - alpha * D(r.s, r.d) = 1 - 2 = -1.
+  ASSERT_EQ(report.taxi_cdf.count(), 1u);
+  EXPECT_NEAR(report.taxi_cdf.min(), -1.0, 1e-9);
+}
+
+TEST(Simulator, BatchingDelaysLateArrivals) {
+  // A request arriving mid-frame is seen at the next frame boundary.
+  const trace::Trace city("t", {{-10, -10}, {10, 10}},
+                          {make_request(30.0, {1, 0}, {2, 0})});
+  Simulator simulator(city, one_taxi_at({0, 0}), kOracle, fast_config());
+  NearestIdleDispatcher dispatcher;
+  const SimulationReport report = simulator.run(dispatcher);
+  EXPECT_NEAR(report.requests[0].dispatch_delay_minutes, 0.5, 1e-9);
+}
+
+TEST(Simulator, ConservationServedPlusCancelled) {
+  std::vector<trace::Request> requests;
+  for (int i = 0; i < 20; ++i) {
+    requests.push_back(make_request(i * 30.0, {i % 5 - 2.0, i % 3 - 1.0},
+                                    {i % 4 - 1.5, i % 5 - 2.0}));
+  }
+  const trace::Trace city("t", {{-10, -10}, {10, 10}}, std::move(requests));
+  Simulator simulator(city, one_taxi_at({0, 0}), kOracle, fast_config());
+  NearestIdleDispatcher dispatcher;
+  const SimulationReport report = simulator.run(dispatcher);
+  EXPECT_EQ(report.served + report.cancelled + report.pending_at_end, 20u);
+  EXPECT_EQ(report.delay_cdf.count(), report.served);
+}
+
+TEST(Simulator, NullDispatcherCancelsEverything) {
+  std::vector<trace::Request> requests{make_request(0.0, {1, 0}, {2, 0}),
+                                       make_request(60.0, {2, 0}, {3, 0})};
+  const trace::Trace city("t", {{-10, -10}, {10, 10}}, std::move(requests));
+  Simulator simulator(city, one_taxi_at({0, 0}), kOracle, fast_config());
+  NullDispatcher dispatcher;
+  const SimulationReport report = simulator.run(dispatcher);
+  EXPECT_EQ(report.served, 0u);
+  EXPECT_EQ(report.cancelled, 2u);
+  for (const RequestRecord& record : report.requests) {
+    EXPECT_TRUE(record.cancelled);
+    EXPECT_FALSE(record.served());
+  }
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  std::vector<trace::Request> requests;
+  for (int i = 0; i < 15; ++i) {
+    requests.push_back(
+        make_request(i * 45.0, {i % 7 - 3.0, i % 5 - 2.0}, {i % 3 - 1.0, i % 7 - 3.0}));
+  }
+  const trace::Trace city("t", {{-10, -10}, {10, 10}}, std::move(requests));
+  std::vector<trace::Taxi> fleet = one_taxi_at({0, 0});
+  trace::Taxi second;
+  second.id = 1;
+  second.location = {2, 2};
+  fleet.push_back(second);
+
+  NearestIdleDispatcher dispatcher;
+  Simulator sim_a(city, fleet, kOracle, fast_config());
+  Simulator sim_b(city, fleet, kOracle, fast_config());
+  const SimulationReport a = sim_a.run(dispatcher);
+  const SimulationReport b = sim_b.run(dispatcher);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.requests[i].dispatch_time, b.requests[i].dispatch_time);
+    EXPECT_DOUBLE_EQ(a.requests[i].dropoff_time, b.requests[i].dropoff_time);
+  }
+  EXPECT_DOUBLE_EQ(a.total_taxi_distance_km, b.total_taxi_distance_km);
+}
+
+// ------------------------------------------------- assignment policing
+
+class MisbehavingDispatcher final : public Dispatcher {
+ public:
+  enum class Mode { kUnknownTaxi, kWrongStart, kBadPrecedence, kDoubleDispatch };
+  explicit MisbehavingDispatcher(Mode mode) : mode_(mode) {}
+  std::string name() const override { return "test-misbehaving"; }
+
+  std::vector<DispatchAssignment> dispatch(const DispatchContext& context) override {
+    if (context.pending.empty() || context.idle_taxis.empty()) return {};
+    const trace::Request& request = context.pending.front();
+    const trace::Taxi& taxi = context.idle_taxis.front();
+    DispatchAssignment assignment;
+    assignment.taxi = taxi.id;
+    assignment.requests = {request.id};
+    assignment.route = routing::single_rider_route(request, taxi.location);
+    switch (mode_) {
+      case Mode::kUnknownTaxi:
+        assignment.taxi = 999;
+        break;
+      case Mode::kWrongStart:
+        assignment.route.start = geo::Point{99, 99};
+        break;
+      case Mode::kBadPrecedence:
+        std::swap(assignment.route.stops[0], assignment.route.stops[1]);
+        break;
+      case Mode::kDoubleDispatch:
+        return {assignment, assignment};
+    }
+    return {assignment};
+  }
+
+ private:
+  Mode mode_;
+};
+
+class SimulatorRejects
+    : public ::testing::TestWithParam<MisbehavingDispatcher::Mode> {};
+
+TEST_P(SimulatorRejects, InvalidAssignmentsThrow) {
+  const trace::Trace city("t", {{-10, -10}, {10, 10}},
+                          {make_request(0.0, {1, 0}, {2, 0})});
+  Simulator simulator(city, one_taxi_at({0, 0}), kOracle, fast_config());
+  MisbehavingDispatcher dispatcher(GetParam());
+  EXPECT_THROW(simulator.run(dispatcher), o2o::ContractViolation);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SimulatorRejects,
+    ::testing::Values(MisbehavingDispatcher::Mode::kUnknownTaxi,
+                      MisbehavingDispatcher::Mode::kWrongStart,
+                      MisbehavingDispatcher::Mode::kBadPrecedence,
+                      MisbehavingDispatcher::Mode::kDoubleDispatch));
+
+// ------------------------------------------------------ shared dispatch
+
+/// Packs the first two pending requests onto one taxi.
+class PairDispatcher final : public Dispatcher {
+ public:
+  std::string name() const override { return "test-pair"; }
+
+  std::vector<DispatchAssignment> dispatch(const DispatchContext& context) override {
+    if (context.pending.size() < 2 || context.idle_taxis.empty()) return {};
+    const trace::Request& a = context.pending[0];
+    const trace::Request& b = context.pending[1];
+    const trace::Taxi& taxi = context.idle_taxis.front();
+    DispatchAssignment assignment;
+    assignment.taxi = taxi.id;
+    assignment.requests = {a.id, b.id};
+    assignment.route.start = taxi.location;
+    assignment.route.stops = {routing::Stop{a.id, true, a.pickup},
+                              routing::Stop{b.id, true, b.pickup},
+                              routing::Stop{a.id, false, a.dropoff},
+                              routing::Stop{b.id, false, b.dropoff}};
+    return {assignment};
+  }
+};
+
+TEST(Simulator, SharedRideMetrics) {
+  // Taxi at 0; A: (1,0)->(3,0); B: (2,0)->(4,0). Route length 4.
+  std::vector<trace::Request> requests{make_request(0.0, {1, 0}, {3, 0}),
+                                       make_request(0.0, {2, 0}, {4, 0})};
+  const trace::Trace city("t", {{-10, -10}, {10, 10}}, std::move(requests));
+  Simulator simulator(city, one_taxi_at({0, 0}), kOracle, fast_config());
+  PairDispatcher dispatcher;
+  const SimulationReport report = simulator.run(dispatcher);
+
+  EXPECT_EQ(report.served, 2u);
+  EXPECT_EQ(report.shared_rides, 1u);
+  EXPECT_EQ(report.dispatched_rides, 1u);
+  ASSERT_EQ(report.requests.size(), 2u);
+  EXPECT_TRUE(report.requests[0].shared);
+  // A waits 1 km, rides 2 km (direct 2): dissatisfaction 1 + 0 = 1.
+  EXPECT_NEAR(report.requests[0].passenger_dissatisfaction_km, 1.0, 1e-9);
+  // B waits 2 km, rides 2 km (direct 2): dissatisfaction 2.
+  EXPECT_NEAR(report.requests[1].passenger_dissatisfaction_km, 2.0, 1e-9);
+  // Taxi: D_ck(t) - 2 * (2 + 2) = 4 - 8 = -4.
+  EXPECT_NEAR(report.taxi_cdf.min(), -4.0, 1e-9);
+  EXPECT_NEAR(report.total_taxi_distance_km, 4.0, 1e-9);
+  // Pickup/dropoff ordering along the route.
+  EXPECT_LT(report.requests[0].pickup_time, report.requests[1].pickup_time);
+  EXPECT_LT(report.requests[0].dropoff_time, report.requests[1].dropoff_time);
+}
+
+TEST(Simulator, CapacityViolationIsRejected) {
+  std::vector<trace::Request> requests{make_request(0.0, {1, 0}, {3, 0}),
+                                       make_request(0.0, {2, 0}, {4, 0})};
+  const trace::Trace city("t", {{-10, -10}, {10, 10}}, std::move(requests));
+  Simulator simulator(city, one_taxi_at({0, 0}, /*seats=*/1), kOracle, fast_config());
+  PairDispatcher dispatcher;
+  EXPECT_THROW(simulator.run(dispatcher), o2o::ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::sim

@@ -1,0 +1,114 @@
+#include "trace/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/distance_oracle.h"
+#include "util/contracts.h"
+
+namespace o2o::trace {
+namespace {
+
+Trace generated_boston(std::uint64_t seed, double hours = 24.0) {
+  GenerationOptions options;
+  options.duration_seconds = hours * 3600.0;
+  options.seed = seed;
+  return generate(CityModel::boston(), options);
+}
+
+TEST(Calibrate, RecoversTheBaseRate) {
+  const Trace trace = generated_boston(5);
+  const CalibrationResult result = calibrate(trace);
+  EXPECT_NEAR(result.model.base_rate_per_hour, CityModel::boston().base_rate_per_hour,
+              CityModel::boston().base_rate_per_hour * 0.15);
+}
+
+TEST(Calibrate, RegionCoversTheTrace) {
+  const Trace trace = generated_boston(6);
+  const CalibrationResult result = calibrate(trace);
+  for (const Request& request : trace.requests()) {
+    EXPECT_TRUE(result.model.region.contains(request.pickup));
+    EXPECT_TRUE(result.model.region.contains(request.dropoff));
+  }
+}
+
+TEST(Calibrate, RecoversTripLengthDistribution) {
+  const Trace trace = generated_boston(7);
+  const CalibrationResult result = calibrate(trace);
+  // Clamping to the region slightly shortens trips; allow tolerance.
+  EXPECT_NEAR(result.model.trip_km_log_mean, CityModel::boston().trip_km_log_mean, 0.15);
+  EXPECT_NEAR(result.model.trip_km_log_sigma, CityModel::boston().trip_km_log_sigma,
+              0.15);
+}
+
+TEST(Calibrate, FindsTheDowntownHotspot) {
+  const Trace trace = generated_boston(8);
+  CalibrationOptions options;
+  options.hotspots = 4;
+  const CalibrationResult result = calibrate(trace, options);
+  ASSERT_GE(result.model.hotspots.size(), 1u);
+  // The heaviest cluster should sit near downtown (0, 0), where 8/13.5 of
+  // the demand mass lives.
+  const auto heaviest = std::max_element(
+      result.model.hotspots.begin(), result.model.hotspots.end(),
+      [](const Hotspot& a, const Hotspot& b) { return a.weight < b.weight; });
+  EXPECT_LT(geo::euclidean_distance(heaviest->center, {0, 0}), 2.5);
+}
+
+TEST(Calibrate, HourlyProfileShowsCommutePeaks) {
+  const Trace trace = generated_boston(9);
+  const CalibrationResult result = calibrate(trace);
+  ASSERT_EQ(result.hourly_multiplier.size(), 24u);
+  EXPECT_GT(result.hourly_multiplier[9], 1.5 * result.hourly_multiplier[3]);
+  EXPECT_GT(result.hourly_multiplier[18], 1.5 * result.hourly_multiplier[3]);
+  // Normalized to mean ~1 over covered hours.
+  double mean = 0.0;
+  for (double m : result.hourly_multiplier) mean += m;
+  EXPECT_NEAR(mean / 24.0, 1.0, 0.1);
+}
+
+TEST(Calibrate, RoundTripPreservesDispatchRelevantStatistics) {
+  // generate -> calibrate -> re-generate: the re-generated trace should
+  // look statistically like the original.
+  const Trace original = generated_boston(10);
+  const CalibrationResult calibrated = calibrate(original);
+  GenerationOptions regen;
+  regen.duration_seconds = 24.0 * 3600.0;
+  regen.seed = 99;
+  const Trace regenerated = generate(calibrated.model, regen);
+
+  EXPECT_NEAR(static_cast<double>(regenerated.size()),
+              static_cast<double>(original.size()), original.size() * 0.2);
+  const geo::EuclideanOracle oracle;
+  const auto mean_trip = [&](const Trace& t) {
+    double sum = 0.0;
+    for (const Request& r : t.requests()) sum += oracle.distance(r.pickup, r.dropoff);
+    return sum / static_cast<double>(t.size());
+  };
+  EXPECT_NEAR(mean_trip(regenerated), mean_trip(original), mean_trip(original) * 0.2);
+}
+
+TEST(Calibrate, SingleHotspotDegenerate) {
+  const Trace trace = generated_boston(11, 2.0);
+  CalibrationOptions options;
+  options.hotspots = 1;
+  const CalibrationResult result = calibrate(trace, options);
+  EXPECT_EQ(result.model.hotspots.size(), 1u);
+  EXPECT_GT(result.model.hotspots[0].sigma_km, 0.05);
+}
+
+TEST(Calibrate, PreconditionsEnforced) {
+  EXPECT_THROW(calibrate(Trace{}), o2o::ContractViolation);
+  // Too-short trace.
+  std::vector<Request> one;
+  Request r;
+  r.time_seconds = 60.0;
+  one.push_back(r);
+  const Trace tiny("tiny", geo::Rect{{0, 0}, {1, 1}}, one);
+  EXPECT_THROW(calibrate(tiny), o2o::ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::trace

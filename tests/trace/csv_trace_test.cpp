@@ -1,0 +1,120 @@
+#include "trace/csv_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace o2o::trace {
+namespace {
+
+TEST(ParseDatetime, EpochAndKnownTimestamps) {
+  EXPECT_DOUBLE_EQ(parse_datetime_utc("1970-01-01 00:00:00").value(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_datetime_utc("1970-01-02 00:00:00").value(), 86400.0);
+  // 2016-01-01T00:00:00Z == 1451606400 (the paper's NY trace month).
+  EXPECT_DOUBLE_EQ(parse_datetime_utc("2016-01-01 00:00:00").value(), 1451606400.0);
+  // Leap-year day.
+  EXPECT_DOUBLE_EQ(parse_datetime_utc("2016-03-01 00:00:00").value(),
+                   1451606400.0 + 60.0 * 86400.0);
+}
+
+TEST(ParseDatetime, AcceptsTSeparatorAndWhitespace) {
+  EXPECT_TRUE(parse_datetime_utc("2016-01-01T12:30:45").has_value());
+  EXPECT_DOUBLE_EQ(parse_datetime_utc(" 2016-01-01 12:30:45 ").value(),
+                   1451606400.0 + 12 * 3600 + 30 * 60 + 45);
+}
+
+TEST(ParseDatetime, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_datetime_utc("").has_value());
+  EXPECT_FALSE(parse_datetime_utc("not a date").has_value());
+  EXPECT_FALSE(parse_datetime_utc("2016-13-01 00:00:00").has_value());
+  EXPECT_FALSE(parse_datetime_utc("2016-01-40 00:00:00").has_value());
+  EXPECT_FALSE(parse_datetime_utc("2016-01-01 25:00:00").has_value());
+  EXPECT_FALSE(parse_datetime_utc("2016-01-01").has_value());
+}
+
+constexpr const char* kTlcCsv =
+    "tpep_pickup_datetime,pickup_longitude,pickup_latitude,"
+    "dropoff_longitude,dropoff_latitude,passenger_count\n"
+    "2016-01-01 00:05:00,-73.98,40.75,-73.95,40.78,1\n"
+    "2016-01-01 00:00:00,-73.99,40.74,-73.97,40.76,2\n"
+    "2016-01-01 00:10:00,0,0,-73.95,40.78,1\n"  // GPS dropout: skipped
+    "2016-01-01 00:15:00,bad,40.75,-73.95,40.78,1\n";  // malformed: skipped
+
+TEST(LoadLatLonCsv, ParsesTheTlcSchema) {
+  std::istringstream in(kTlcCsv);
+  const Trace trace = load_latlon_csv(in, CsvSchema::nyc_tlc());
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.name(), "new-york-tlc");
+  // Times re-based to the earliest request and sorted.
+  EXPECT_DOUBLE_EQ(trace.requests()[0].time_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(trace.requests()[1].time_seconds, 300.0);
+  EXPECT_EQ(trace.requests()[0].seats, 2);
+  EXPECT_EQ(trace.requests()[1].seats, 1);
+}
+
+TEST(LoadLatLonCsv, ProjectsToPlausibleKilometreScale) {
+  std::istringstream in(kTlcCsv);
+  const Trace trace = load_latlon_csv(in, CsvSchema::nyc_tlc());
+  // ~0.01 degrees lat ~ 1.1 km; all coordinates within a few km of the
+  // mean pick-up.
+  for (const Request& r : trace.requests()) {
+    EXPECT_LT(std::abs(r.pickup.x), 10.0);
+    EXPECT_LT(std::abs(r.pickup.y), 10.0);
+    EXPECT_GT(geo::euclidean_distance(r.pickup, r.dropoff), 1.0);
+  }
+}
+
+TEST(LoadLatLonCsv, EmptyFileYieldsEmptyTrace) {
+  std::istringstream in(
+      "tpep_pickup_datetime,pickup_longitude,pickup_latitude,"
+      "dropoff_longitude,dropoff_latitude,passenger_count\n");
+  EXPECT_TRUE(load_latlon_csv(in, CsvSchema::nyc_tlc()).empty());
+}
+
+TEST(LoadLatLonCsv, BostonSchemaHasNoSeatsColumn) {
+  std::istringstream in(
+      "TRIP_START,START_LAT,START_LON,END_LAT,END_LON\n"
+      "2012-09-01 08:00:00,42.36,-71.06,42.37,-71.10\n");
+  const Trace trace = load_latlon_csv(in, CsvSchema::boston());
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.requests()[0].seats, 1);
+}
+
+TEST(CanonicalCsv, RoundTripsATrace) {
+  std::vector<Request> requests;
+  for (int i = 0; i < 5; ++i) {
+    Request r;
+    r.time_seconds = i * 60.0;
+    r.pickup = {1.25 * i, -0.5 * i};
+    r.dropoff = {1.25 * i + 2.0, -0.5 * i + 1.0};
+    r.seats = 1 + i % 3;
+    requests.push_back(r);
+  }
+  const Trace original("round-trip", geo::Rect{{-10, -10}, {10, 10}}, requests);
+
+  std::ostringstream out;
+  save_canonical_csv(out, original);
+  std::istringstream in(out.str());
+  const Trace loaded = load_canonical_csv(in, "round-trip");
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_NEAR(loaded.requests()[i].time_seconds, original.requests()[i].time_seconds,
+                1e-3);
+    EXPECT_NEAR(loaded.requests()[i].pickup.x, original.requests()[i].pickup.x, 1e-6);
+    EXPECT_NEAR(loaded.requests()[i].dropoff.y, original.requests()[i].dropoff.y, 1e-6);
+    EXPECT_EQ(loaded.requests()[i].seats, original.requests()[i].seats);
+  }
+}
+
+TEST(CanonicalCsv, RegionIsRecomputedFromData) {
+  std::istringstream in(
+      "time_seconds,pickup_x_km,pickup_y_km,dropoff_x_km,dropoff_y_km,seats\n"
+      "0,-3,-4,5,6,1\n");
+  const Trace trace = load_canonical_csv(in, "r");
+  EXPECT_DOUBLE_EQ(trace.region().lo.x, -3.0);
+  EXPECT_DOUBLE_EQ(trace.region().hi.y, 6.0);
+}
+
+}  // namespace
+}  // namespace o2o::trace

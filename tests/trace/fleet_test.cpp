@@ -1,0 +1,77 @@
+#include "trace/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace o2o::trace {
+namespace {
+
+const geo::Rect kRegion{{-10, -10}, {10, 10}};
+
+TEST(Fleet, CountSeatsAndIds) {
+  FleetOptions options;
+  options.taxi_count = 25;
+  options.seats = 6;
+  const auto fleet = make_fleet(kRegion, options);
+  ASSERT_EQ(fleet.size(), 25u);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet[i].id, static_cast<TaxiId>(i));
+    EXPECT_EQ(fleet[i].seats, 6);
+  }
+}
+
+TEST(Fleet, AllTaxisInsideTheRegion) {
+  FleetOptions options;
+  options.taxi_count = 200;
+  options.sigma_fraction = 2.0;  // wide spread forces clamping
+  for (const Taxi& taxi : make_fleet(kRegion, options)) {
+    EXPECT_TRUE(kRegion.contains(taxi.location));
+  }
+}
+
+TEST(Fleet, DeterministicBySeed) {
+  FleetOptions options;
+  options.taxi_count = 30;
+  const auto a = make_fleet(kRegion, options);
+  const auto b = make_fleet(kRegion, options);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].location, b[i].location);
+  options.seed = 99;
+  const auto c = make_fleet(kRegion, options);
+  EXPECT_NE(a[0].location, c[0].location);
+}
+
+TEST(Fleet, ConcentratedAroundTheCenter) {
+  FleetOptions options;
+  options.taxi_count = 500;
+  options.sigma_fraction = 0.25;  // sigma = 2.5 km on a 10 km half-extent
+  std::size_t inside_one_sigma_box = 0;
+  for (const Taxi& taxi : make_fleet(kRegion, options)) {
+    if (std::abs(taxi.location.x) <= 2.5 && std::abs(taxi.location.y) <= 2.5) {
+      ++inside_one_sigma_box;
+    }
+  }
+  // P(|X|<sigma)^2 ~ 0.466; allow generous slack.
+  EXPECT_GT(inside_one_sigma_box, 150u);
+  EXPECT_LT(inside_one_sigma_box, 350u);
+}
+
+TEST(Fleet, ZeroTaxisIsFine) {
+  FleetOptions options;
+  options.taxi_count = 0;
+  EXPECT_TRUE(make_fleet(kRegion, options).empty());
+}
+
+TEST(Fleet, InvalidOptionsThrow) {
+  FleetOptions options;
+  options.taxi_count = -1;
+  EXPECT_THROW(make_fleet(kRegion, options), o2o::ContractViolation);
+  options.taxi_count = 1;
+  options.seats = 0;
+  EXPECT_THROW(make_fleet(kRegion, options), o2o::ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::trace

@@ -1,0 +1,159 @@
+#include "trace/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/histogram.h"
+#include "util/contracts.h"
+
+namespace o2o::trace {
+namespace {
+
+GenerationOptions quick(std::uint64_t seed, double hours = 4.0) {
+  GenerationOptions options;
+  options.duration_seconds = hours * 3600.0;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Diurnal, DayAverageIsAboutOne) {
+  double sum = 0.0;
+  const int samples = 24 * 60;
+  for (int i = 0; i < samples; ++i) sum += diurnal_multiplier(24.0 * i / samples);
+  EXPECT_NEAR(sum / samples, 1.0, 0.1);
+}
+
+TEST(Diurnal, CommutePeaksDominateTheNightTrough) {
+  EXPECT_GT(diurnal_multiplier(9.0), 2.0 * diurnal_multiplier(3.0));
+  EXPECT_GT(diurnal_multiplier(18.0), 2.0 * diurnal_multiplier(3.0));
+  EXPECT_GT(diurnal_multiplier(18.0), diurnal_multiplier(13.0));
+}
+
+TEST(Diurnal, WrapsAroundMidnight) {
+  EXPECT_NEAR(diurnal_multiplier(25.0), diurnal_multiplier(1.0), 1e-12);
+  EXPECT_NEAR(diurnal_multiplier(-1.0), diurnal_multiplier(23.0), 1e-12);
+}
+
+TEST(Generate, DeterministicForAFixedSeed) {
+  const CityModel model = CityModel::boston();
+  const Trace a = generate(model, quick(5));
+  const Trace b = generate(model, quick(5));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.requests()[i].time_seconds, b.requests()[i].time_seconds);
+    EXPECT_EQ(a.requests()[i].pickup, b.requests()[i].pickup);
+  }
+}
+
+TEST(Generate, DifferentSeedsDiffer) {
+  const CityModel model = CityModel::boston();
+  const Trace a = generate(model, quick(5));
+  const Trace b = generate(model, quick(6));
+  EXPECT_NE(a.size(), 0u);
+  // Sizes may coincide; first arrival almost surely differs.
+  EXPECT_NE(a.requests()[0].pickup.x, b.requests()[0].pickup.x);
+}
+
+TEST(Generate, VolumeTracksTheBaseRate) {
+  CityModel model = CityModel::boston();  // 560 / hour average
+  GenerationOptions options = quick(7, 24.0);
+  const Trace trace = generate(model, options);
+  const double expected = model.base_rate_per_hour * 24.0;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, expected * 0.1);
+}
+
+TEST(Generate, RateScaleScalesVolume) {
+  const CityModel model = CityModel::boston();
+  GenerationOptions options = quick(8, 12.0);
+  const std::size_t full = generate(model, options).size();
+  options.rate_scale = 0.25;
+  const std::size_t quarter = generate(model, options).size();
+  EXPECT_NEAR(static_cast<double>(quarter), full * 0.25, full * 0.05);
+}
+
+TEST(Generate, AllPointsInsideTheRegion) {
+  const CityModel model = CityModel::new_york();
+  const Trace trace = generate(model, quick(9, 1.0));
+  for (const Request& r : trace.requests()) {
+    EXPECT_TRUE(model.region.contains(r.pickup));
+    EXPECT_TRUE(model.region.contains(r.dropoff));
+    EXPECT_GE(r.seats, 1);
+  }
+}
+
+TEST(Generate, ArrivalsAreSortedAndIdsDense) {
+  const Trace trace = generate(CityModel::boston(), quick(10, 2.0));
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace.requests()[i - 1].time_seconds, trace.requests()[i].time_seconds);
+    EXPECT_EQ(trace.requests()[i].id, static_cast<RequestId>(i));
+  }
+}
+
+TEST(Generate, DiurnalShapeShowsRushHours) {
+  CityModel model = CityModel::boston();
+  GenerationOptions options = quick(11, 24.0);
+  const Trace trace = generate(model, options);
+  metrics::Histogram by_hour(0.0, 24.0, 24);
+  for (const Request& r : trace.requests()) by_hour.add(r.time_seconds / 3600.0);
+  // 9 am and 6 pm buckets each busier than 3 am by a wide margin.
+  EXPECT_GT(by_hour.count(9), 2 * by_hour.count(3));
+  EXPECT_GT(by_hour.count(18), 2 * by_hour.count(3));
+}
+
+TEST(Generate, DiurnalOffFlattensTheProfile) {
+  CityModel model = CityModel::boston();
+  GenerationOptions options = quick(12, 24.0);
+  options.diurnal = false;
+  const Trace trace = generate(model, options);
+  metrics::Histogram by_hour(0.0, 24.0, 24);
+  for (const Request& r : trace.requests()) by_hour.add(r.time_seconds / 3600.0);
+  EXPECT_LT(by_hour.count(9), 2 * by_hour.count(3));
+}
+
+TEST(Generate, StartHourShiftsThePeaks) {
+  CityModel model = CityModel::boston();
+  GenerationOptions options = quick(13, 6.0);
+  options.start_hour = 7.0;  // window covers the 9 am peak at t = 2 h
+  const Trace trace = generate(model, options);
+  metrics::Histogram by_hour(0.0, 6.0, 6);
+  for (const Request& r : trace.requests()) by_hour.add(r.time_seconds / 3600.0);
+  EXPECT_GT(by_hour.count(2), by_hour.count(5));
+}
+
+TEST(Generate, SeatMixRespectsMaxSeats) {
+  CityModel model = CityModel::boston();
+  GenerationOptions options = quick(14, 6.0);
+  options.max_seats = 2;
+  options.multi_seat_fraction = 0.5;
+  const Trace trace = generate(model, options);
+  std::size_t multi = 0;
+  for (const Request& r : trace.requests()) {
+    EXPECT_GE(r.seats, 1);
+    EXPECT_LE(r.seats, 2);
+    if (r.seats == 2) ++multi;
+  }
+  const double fraction = static_cast<double>(multi) / trace.size();
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+TEST(Generate, NewYorkIsBusierAndBiggerThanBoston) {
+  const CityModel ny = CityModel::new_york();
+  const CityModel boston = CityModel::boston();
+  EXPECT_GT(ny.base_rate_per_hour, boston.base_rate_per_hour);
+  EXPECT_GT(ny.region.width() * ny.region.height(),
+            4.0 * boston.region.width() * boston.region.height());
+}
+
+TEST(Generate, InvalidOptionsThrow) {
+  const CityModel model = CityModel::boston();
+  GenerationOptions bad = quick(15);
+  bad.duration_seconds = 0.0;
+  EXPECT_THROW(generate(model, bad), o2o::ContractViolation);
+  CityModel empty = model;
+  empty.hotspots.clear();
+  EXPECT_THROW(generate(empty, quick(15)), o2o::ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::trace

@@ -1,0 +1,81 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace o2o::trace {
+namespace {
+
+Request at(double t, geo::Point pickup = {0, 0}, geo::Point dropoff = {1, 1}) {
+  Request request;
+  request.time_seconds = t;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  return request;
+}
+
+const geo::Rect kRegion{{0, 0}, {10, 10}};
+
+TEST(Trace, SortsByTimeAndReindexes) {
+  const Trace trace("test", kRegion, {at(30), at(10), at(20)});
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.requests()[0].time_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(trace.requests()[2].time_seconds, 30.0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.requests()[i].id, static_cast<RequestId>(i));
+  }
+}
+
+TEST(Trace, SortIsStableForEqualTimes) {
+  Request a = at(5, {1, 0});
+  Request b = at(5, {2, 0});
+  const Trace trace("test", kRegion, {a, b});
+  EXPECT_DOUBLE_EQ(trace.requests()[0].pickup.x, 1.0);
+  EXPECT_DOUBLE_EQ(trace.requests()[1].pickup.x, 2.0);
+}
+
+TEST(Trace, DurationIsLastRequestTime) {
+  const Trace trace("test", kRegion, {at(10), at(250)});
+  EXPECT_DOUBLE_EQ(trace.duration_seconds(), 250.0);
+  EXPECT_DOUBLE_EQ(Trace().duration_seconds(), 0.0);
+}
+
+TEST(Trace, SliceRebasesTimes) {
+  const Trace trace("test", kRegion, {at(10), at(110), at(210), at(310)});
+  const Trace slice = trace.slice(100.0, 300.0);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_DOUBLE_EQ(slice.requests()[0].time_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(slice.requests()[1].time_seconds, 110.0);
+  EXPECT_EQ(slice.name(), "test");
+}
+
+TEST(Trace, SliceBoundsAreHalfOpen) {
+  const Trace trace("test", kRegion, {at(100), at(200)});
+  EXPECT_EQ(trace.slice(100.0, 200.0).size(), 1u);
+  EXPECT_EQ(trace.slice(0.0, 100.0).size(), 0u);
+}
+
+TEST(Trace, SampleEveryKeepsEveryKth) {
+  const Trace trace("test", kRegion, {at(0), at(1), at(2), at(3), at(4)});
+  const Trace thinned = trace.sample_every(2);
+  ASSERT_EQ(thinned.size(), 3u);
+  EXPECT_DOUBLE_EQ(thinned.requests()[1].time_seconds, 2.0);
+  EXPECT_EQ(trace.sample_every(1).size(), trace.size());
+}
+
+TEST(Trace, MeanRatePerHour) {
+  // 10 requests over 3600 seconds -> ~10/hour (duration = last arrival).
+  std::vector<Request> requests;
+  for (int i = 1; i <= 10; ++i) requests.push_back(at(i * 360.0));
+  const Trace trace("test", kRegion, std::move(requests));
+  EXPECT_NEAR(trace.mean_rate_per_hour(), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Trace().mean_rate_per_hour(), 0.0);
+}
+
+TEST(Trace, EmptyBehaviour) {
+  const Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.slice(0, 100).size(), 0u);
+}
+
+}  // namespace
+}  // namespace o2o::trace

@@ -1,0 +1,67 @@
+#include "util/contracts.h"
+
+#include <gtest/gtest.h>
+
+namespace o2o {
+namespace {
+
+int checked_divide(int a, int b) {
+  O2O_EXPECTS(b != 0);
+  return a / b;
+}
+
+int checked_abs(int a) {
+  const int result = a < 0 ? -a : a;
+  O2O_ENSURES(result >= 0);
+  return result;
+}
+
+TEST(Contracts, SatisfiedPreconditionIsSilent) {
+  EXPECT_EQ(checked_divide(10, 2), 5);
+}
+
+TEST(Contracts, ViolatedPreconditionThrows) {
+  EXPECT_THROW(checked_divide(1, 0), ContractViolation);
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  EXPECT_THROW(checked_divide(1, 0), std::logic_error);
+}
+
+TEST(Contracts, MessageNamesTheExpressionAndKind) {
+  try {
+    checked_divide(1, 0);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& violation) {
+    const std::string message = violation.what();
+    EXPECT_NE(message.find("precondition"), std::string::npos);
+    EXPECT_NE(message.find("b != 0"), std::string::npos);
+    EXPECT_NE(message.find("contracts_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, SatisfiedPostconditionIsSilent) {
+  EXPECT_EQ(checked_abs(-3), 3);
+  EXPECT_EQ(checked_abs(4), 4);
+}
+
+TEST(Contracts, PostconditionMessageSaysPostcondition) {
+  try {
+    O2O_ENSURES(1 == 2);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  O2O_EXPECTS([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace o2o

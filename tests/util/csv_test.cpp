@@ -1,0 +1,105 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include <sstream>
+
+namespace o2o {
+namespace {
+
+TEST(ParseCsvLine, PlainFields) {
+  EXPECT_EQ(parse_csv_line("a,b,c"), (CsvRow{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLine, QuotedFieldWithSeparator) {
+  EXPECT_EQ(parse_csv_line(R"(x,"a,b",y)"), (CsvRow{"x", "a,b", "y"}));
+}
+
+TEST(ParseCsvLine, EscapedQuotes) {
+  EXPECT_EQ(parse_csv_line(R"("say ""hi""",2)"), (CsvRow{R"(say "hi")", "2"}));
+}
+
+TEST(ParseCsvLine, TrailingEmptyField) {
+  EXPECT_EQ(parse_csv_line("a,"), (CsvRow{"a", ""}));
+}
+
+TEST(FormatCsvLine, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(format_csv_line({"a", "b c", "d,e"}), R"(a,b c,"d,e")");
+  EXPECT_EQ(format_csv_line({R"(q"q)"}), R"("q""q")");
+}
+
+TEST(FormatParse, RoundTripsArbitraryFields) {
+  const CsvRow original{"plain", "with,comma", R"(with "quote")", "", "tail"};
+  EXPECT_EQ(parse_csv_line(format_csv_line(original)), original);
+}
+
+TEST(CsvTable, ParsesHeaderAndRows) {
+  const auto table = CsvTable::parse("id,name\n1,alpha\n2,beta\n");
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column("id"), 0);
+  EXPECT_EQ(table.column("name"), 1);
+  EXPECT_EQ(table.column("missing"), -1);
+  EXPECT_EQ(table.field(0, 1), "alpha");
+  EXPECT_EQ(table.field(1, 0), "2");
+}
+
+TEST(CsvTable, HeaderLookupTrimsWhitespace) {
+  const auto table = CsvTable::parse(" id , name \n1,a\n");
+  EXPECT_EQ(table.column("id"), 0);
+  EXPECT_EQ(table.column("name"), 1);
+}
+
+TEST(CsvTable, SkipsBlankLinesAndCarriageReturns) {
+  const auto table = CsvTable::parse("a,b\r\n\r\n1,2\r\n");
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.field(0, 1), "2");
+}
+
+TEST(CsvTable, RaggedShortRowYieldsEmptyField) {
+  const auto table = CsvTable::parse("a,b,c\n1,2\n");
+  EXPECT_EQ(table.field(0, 2), "");
+}
+
+TEST(CsvTable, NoHeaderMode) {
+  const auto table = CsvTable::parse("1,2\n3,4\n", /*has_header=*/false);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_TRUE(table.header().empty());
+}
+
+TEST(CsvTable, ReadFileThrowsOnMissingPath) {
+  EXPECT_THROW(CsvTable::read_file("/nonexistent/definitely/missing.csv"),
+               std::runtime_error);
+}
+
+TEST(CsvTable, FieldOutOfRangeRowThrows) {
+  const auto table = CsvTable::parse("a\n1\n");
+  EXPECT_THROW(table.field(5, 0), ContractViolation);
+}
+
+TEST(CsvWriter, WritesRowsWithNewlines) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"h1", "h2"});
+  writer.write_row({"v,1", "v2"});
+  EXPECT_EQ(out.str(), "h1,h2\n\"v,1\",v2\n");
+}
+
+TEST(CsvWriter, RoundTripsThroughTable) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"x", "y"});
+  writer.write_row({"1.5", "quoted \"text\""});
+  const auto table = CsvTable::parse(out.str());
+  EXPECT_EQ(table.field(0, 0), "1.5");
+  EXPECT_EQ(table.field(0, 1), "quoted \"text\"");
+}
+
+TEST(CsvTable, AlternativeSeparator) {
+  const auto table = CsvTable::parse("a;b\n1;2\n", true, ';');
+  EXPECT_EQ(table.field(0, 1), "2");
+}
+
+}  // namespace
+}  // namespace o2o

@@ -1,0 +1,86 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace o2o {
+namespace {
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,,c,", ','), (std::vector<std::string>{"a", "", "c", ""}));
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  EXPECT_EQ(split("plain", ','), (std::vector<std::string>{"plain"}));
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("no-op"), "no-op");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Trim, KeepsInteriorWhitespace) { EXPECT_EQ(trim(" a b "), "a b"); }
+
+TEST(Join, ConcatenatesWithSeparator) {
+  EXPECT_EQ(join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(join({"only"}, ","), "only");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD 123 Case"), "mixed 123 case");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("taxi_dispatch", "taxi"));
+  EXPECT_FALSE(starts_with("taxi", "taxi_dispatch"));
+  EXPECT_TRUE(ends_with("report.csv", ".csv"));
+  EXPECT_FALSE(ends_with("csv", "report.csv"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(ParseDouble, AcceptsPlainNumbers) {
+  EXPECT_EQ(parse_double("3.25"), 3.25);
+  EXPECT_EQ(parse_double("-40.74"), -40.74);
+  EXPECT_EQ(parse_double("  7 "), 7.0);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("--3").has_value());
+}
+
+TEST(ParseInt, AcceptsIntegers) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int(" 0 "), 0);
+}
+
+TEST(ParseInt, RejectsNonIntegers) {
+  EXPECT_FALSE(parse_int("3.5").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12abc").has_value());
+}
+
+TEST(FormatFixed, RoundsToRequestedDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.5, 0), "2");  // banker's-free snprintf rounding
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+  EXPECT_EQ(format_fixed(0.0, 3), "0.000");
+}
+
+}  // namespace
+}  // namespace o2o
