@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_enroute.dir/ablation_enroute.cpp.o"
+  "CMakeFiles/ablation_enroute.dir/ablation_enroute.cpp.o.d"
+  "ablation_enroute"
+  "ablation_enroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

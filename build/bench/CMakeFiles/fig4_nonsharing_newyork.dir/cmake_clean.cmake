@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nonsharing_newyork.dir/fig4_nonsharing_newyork.cpp.o"
+  "CMakeFiles/fig4_nonsharing_newyork.dir/fig4_nonsharing_newyork.cpp.o.d"
+  "fig4_nonsharing_newyork"
+  "fig4_nonsharing_newyork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nonsharing_newyork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_nonsharing_newyork.
+# This may be replaced when dependencies are built.

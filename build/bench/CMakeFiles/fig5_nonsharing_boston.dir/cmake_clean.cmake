@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_nonsharing_boston.dir/fig5_nonsharing_boston.cpp.o"
+  "CMakeFiles/fig5_nonsharing_boston.dir/fig5_nonsharing_boston.cpp.o.d"
+  "fig5_nonsharing_boston"
+  "fig5_nonsharing_boston.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nonsharing_boston.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_nonsharing_boston.
+# This may be replaced when dependencies are built.

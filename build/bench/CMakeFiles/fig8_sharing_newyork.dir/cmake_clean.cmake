@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sharing_newyork.dir/fig8_sharing_newyork.cpp.o"
+  "CMakeFiles/fig8_sharing_newyork.dir/fig8_sharing_newyork.cpp.o.d"
+  "fig8_sharing_newyork"
+  "fig8_sharing_newyork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sharing_newyork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sharing_boston.dir/fig9_sharing_boston.cpp.o"
+  "CMakeFiles/fig9_sharing_boston.dir/fig9_sharing_boston.cpp.o.d"
+  "fig9_sharing_boston"
+  "fig9_sharing_boston.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sharing_boston.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sharing.dir/micro_sharing.cpp.o"
+  "CMakeFiles/micro_sharing.dir/micro_sharing.cpp.o.d"
+  "micro_sharing"
+  "micro_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_bench_common.dir/common.cpp.o"
+  "CMakeFiles/o2o_bench_common.dir/common.cpp.o.d"
+  "libo2o_bench_common.a"
+  "libo2o_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_day.dir/city_day.cpp.o"
+  "CMakeFiles/city_day.dir/city_day.cpp.o.d"
+  "city_day"
+  "city_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_lab.dir/stability_lab.cpp.o"
+  "CMakeFiles/stability_lab.dir/stability_lab.cpp.o.d"
+  "stability_lab"
+  "stability_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

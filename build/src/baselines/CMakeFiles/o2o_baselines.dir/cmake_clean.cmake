@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_baselines.dir/ilp.cpp.o"
+  "CMakeFiles/o2o_baselines.dir/ilp.cpp.o.d"
+  "CMakeFiles/o2o_baselines.dir/nonsharing.cpp.o"
+  "CMakeFiles/o2o_baselines.dir/nonsharing.cpp.o.d"
+  "CMakeFiles/o2o_baselines.dir/raii.cpp.o"
+  "CMakeFiles/o2o_baselines.dir/raii.cpp.o.d"
+  "CMakeFiles/o2o_baselines.dir/sarp.cpp.o"
+  "CMakeFiles/o2o_baselines.dir/sarp.cpp.o.d"
+  "CMakeFiles/o2o_baselines.dir/working_fleet.cpp.o"
+  "CMakeFiles/o2o_baselines.dir/working_fleet.cpp.o.d"
+  "libo2o_baselines.a"
+  "libo2o_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

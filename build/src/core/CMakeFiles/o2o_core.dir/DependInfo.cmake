@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/all_stable.cpp" "src/core/CMakeFiles/o2o_core.dir/all_stable.cpp.o" "gcc" "src/core/CMakeFiles/o2o_core.dir/all_stable.cpp.o.d"
+  "/root/repo/src/core/dispatchers.cpp" "src/core/CMakeFiles/o2o_core.dir/dispatchers.cpp.o" "gcc" "src/core/CMakeFiles/o2o_core.dir/dispatchers.cpp.o.d"
+  "/root/repo/src/core/median.cpp" "src/core/CMakeFiles/o2o_core.dir/median.cpp.o" "gcc" "src/core/CMakeFiles/o2o_core.dir/median.cpp.o.d"
+  "/root/repo/src/core/preferences.cpp" "src/core/CMakeFiles/o2o_core.dir/preferences.cpp.o" "gcc" "src/core/CMakeFiles/o2o_core.dir/preferences.cpp.o.d"
+  "/root/repo/src/core/revenue.cpp" "src/core/CMakeFiles/o2o_core.dir/revenue.cpp.o" "gcc" "src/core/CMakeFiles/o2o_core.dir/revenue.cpp.o.d"
+  "/root/repo/src/core/selectors.cpp" "src/core/CMakeFiles/o2o_core.dir/selectors.cpp.o" "gcc" "src/core/CMakeFiles/o2o_core.dir/selectors.cpp.o.d"
+  "/root/repo/src/core/sharing.cpp" "src/core/CMakeFiles/o2o_core.dir/sharing.cpp.o" "gcc" "src/core/CMakeFiles/o2o_core.dir/sharing.cpp.o.d"
+  "/root/repo/src/core/stable_matching.cpp" "src/core/CMakeFiles/o2o_core.dir/stable_matching.cpp.o" "gcc" "src/core/CMakeFiles/o2o_core.dir/stable_matching.cpp.o.d"
+  "/root/repo/src/core/ties.cpp" "src/core/CMakeFiles/o2o_core.dir/ties.cpp.o" "gcc" "src/core/CMakeFiles/o2o_core.dir/ties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/o2o_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packing/CMakeFiles/o2o_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/o2o_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/o2o_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/o2o_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/o2o_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/o2o_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

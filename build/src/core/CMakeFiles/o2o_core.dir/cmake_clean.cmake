@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_core.dir/all_stable.cpp.o"
+  "CMakeFiles/o2o_core.dir/all_stable.cpp.o.d"
+  "CMakeFiles/o2o_core.dir/dispatchers.cpp.o"
+  "CMakeFiles/o2o_core.dir/dispatchers.cpp.o.d"
+  "CMakeFiles/o2o_core.dir/median.cpp.o"
+  "CMakeFiles/o2o_core.dir/median.cpp.o.d"
+  "CMakeFiles/o2o_core.dir/preferences.cpp.o"
+  "CMakeFiles/o2o_core.dir/preferences.cpp.o.d"
+  "CMakeFiles/o2o_core.dir/revenue.cpp.o"
+  "CMakeFiles/o2o_core.dir/revenue.cpp.o.d"
+  "CMakeFiles/o2o_core.dir/selectors.cpp.o"
+  "CMakeFiles/o2o_core.dir/selectors.cpp.o.d"
+  "CMakeFiles/o2o_core.dir/sharing.cpp.o"
+  "CMakeFiles/o2o_core.dir/sharing.cpp.o.d"
+  "CMakeFiles/o2o_core.dir/stable_matching.cpp.o"
+  "CMakeFiles/o2o_core.dir/stable_matching.cpp.o.d"
+  "CMakeFiles/o2o_core.dir/ties.cpp.o"
+  "CMakeFiles/o2o_core.dir/ties.cpp.o.d"
+  "libo2o_core.a"
+  "libo2o_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_geo.dir/projection.cpp.o"
+  "CMakeFiles/o2o_geo.dir/projection.cpp.o.d"
+  "CMakeFiles/o2o_geo.dir/road_network.cpp.o"
+  "CMakeFiles/o2o_geo.dir/road_network.cpp.o.d"
+  "libo2o_geo.a"
+  "libo2o_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

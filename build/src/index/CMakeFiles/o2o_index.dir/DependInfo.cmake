@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/spatial_grid.cpp" "src/index/CMakeFiles/o2o_index.dir/spatial_grid.cpp.o" "gcc" "src/index/CMakeFiles/o2o_index.dir/spatial_grid.cpp.o.d"
+  "/root/repo/src/index/spatio_temporal.cpp" "src/index/CMakeFiles/o2o_index.dir/spatio_temporal.cpp.o" "gcc" "src/index/CMakeFiles/o2o_index.dir/spatio_temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/o2o_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/o2o_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

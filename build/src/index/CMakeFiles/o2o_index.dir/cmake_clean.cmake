@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_index.dir/spatial_grid.cpp.o"
+  "CMakeFiles/o2o_index.dir/spatial_grid.cpp.o.d"
+  "CMakeFiles/o2o_index.dir/spatio_temporal.cpp.o"
+  "CMakeFiles/o2o_index.dir/spatio_temporal.cpp.o.d"
+  "libo2o_index.a"
+  "libo2o_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/bottleneck.cpp" "src/matching/CMakeFiles/o2o_matching.dir/bottleneck.cpp.o" "gcc" "src/matching/CMakeFiles/o2o_matching.dir/bottleneck.cpp.o.d"
+  "/root/repo/src/matching/brute_force.cpp" "src/matching/CMakeFiles/o2o_matching.dir/brute_force.cpp.o" "gcc" "src/matching/CMakeFiles/o2o_matching.dir/brute_force.cpp.o.d"
+  "/root/repo/src/matching/cost_matrix.cpp" "src/matching/CMakeFiles/o2o_matching.dir/cost_matrix.cpp.o" "gcc" "src/matching/CMakeFiles/o2o_matching.dir/cost_matrix.cpp.o.d"
+  "/root/repo/src/matching/greedy.cpp" "src/matching/CMakeFiles/o2o_matching.dir/greedy.cpp.o" "gcc" "src/matching/CMakeFiles/o2o_matching.dir/greedy.cpp.o.d"
+  "/root/repo/src/matching/hopcroft_karp.cpp" "src/matching/CMakeFiles/o2o_matching.dir/hopcroft_karp.cpp.o" "gcc" "src/matching/CMakeFiles/o2o_matching.dir/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/matching/hungarian.cpp" "src/matching/CMakeFiles/o2o_matching.dir/hungarian.cpp.o" "gcc" "src/matching/CMakeFiles/o2o_matching.dir/hungarian.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/o2o_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

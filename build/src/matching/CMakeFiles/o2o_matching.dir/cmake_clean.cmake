@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_matching.dir/bottleneck.cpp.o"
+  "CMakeFiles/o2o_matching.dir/bottleneck.cpp.o.d"
+  "CMakeFiles/o2o_matching.dir/brute_force.cpp.o"
+  "CMakeFiles/o2o_matching.dir/brute_force.cpp.o.d"
+  "CMakeFiles/o2o_matching.dir/cost_matrix.cpp.o"
+  "CMakeFiles/o2o_matching.dir/cost_matrix.cpp.o.d"
+  "CMakeFiles/o2o_matching.dir/greedy.cpp.o"
+  "CMakeFiles/o2o_matching.dir/greedy.cpp.o.d"
+  "CMakeFiles/o2o_matching.dir/hopcroft_karp.cpp.o"
+  "CMakeFiles/o2o_matching.dir/hopcroft_karp.cpp.o.d"
+  "CMakeFiles/o2o_matching.dir/hungarian.cpp.o"
+  "CMakeFiles/o2o_matching.dir/hungarian.cpp.o.d"
+  "libo2o_matching.a"
+  "libo2o_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_metrics.dir/bootstrap.cpp.o"
+  "CMakeFiles/o2o_metrics.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/o2o_metrics.dir/cdf.cpp.o"
+  "CMakeFiles/o2o_metrics.dir/cdf.cpp.o.d"
+  "libo2o_metrics.a"
+  "libo2o_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

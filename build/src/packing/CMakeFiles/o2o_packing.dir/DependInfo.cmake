@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packing/groups.cpp" "src/packing/CMakeFiles/o2o_packing.dir/groups.cpp.o" "gcc" "src/packing/CMakeFiles/o2o_packing.dir/groups.cpp.o.d"
+  "/root/repo/src/packing/set_packing.cpp" "src/packing/CMakeFiles/o2o_packing.dir/set_packing.cpp.o" "gcc" "src/packing/CMakeFiles/o2o_packing.dir/set_packing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/o2o_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/o2o_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/o2o_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/o2o_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

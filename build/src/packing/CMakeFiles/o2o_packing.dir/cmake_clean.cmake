@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_packing.dir/groups.cpp.o"
+  "CMakeFiles/o2o_packing.dir/groups.cpp.o.d"
+  "CMakeFiles/o2o_packing.dir/set_packing.cpp.o"
+  "CMakeFiles/o2o_packing.dir/set_packing.cpp.o.d"
+  "libo2o_packing.a"
+  "libo2o_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for o2o_packing.
+# This may be replaced when dependencies are built.

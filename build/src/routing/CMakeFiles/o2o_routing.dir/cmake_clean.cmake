@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_routing.dir/insertion.cpp.o"
+  "CMakeFiles/o2o_routing.dir/insertion.cpp.o.d"
+  "CMakeFiles/o2o_routing.dir/optimizer.cpp.o"
+  "CMakeFiles/o2o_routing.dir/optimizer.cpp.o.d"
+  "CMakeFiles/o2o_routing.dir/route.cpp.o"
+  "CMakeFiles/o2o_routing.dir/route.cpp.o.d"
+  "libo2o_routing.a"
+  "libo2o_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/report_io.cpp" "src/sim/CMakeFiles/o2o_sim.dir/report_io.cpp.o" "gcc" "src/sim/CMakeFiles/o2o_sim.dir/report_io.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/o2o_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/o2o_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/o2o_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/o2o_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/o2o_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/o2o_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/o2o_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

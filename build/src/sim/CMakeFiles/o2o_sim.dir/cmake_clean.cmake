@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_sim.dir/report_io.cpp.o"
+  "CMakeFiles/o2o_sim.dir/report_io.cpp.o.d"
+  "CMakeFiles/o2o_sim.dir/simulator.cpp.o"
+  "CMakeFiles/o2o_sim.dir/simulator.cpp.o.d"
+  "libo2o_sim.a"
+  "libo2o_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

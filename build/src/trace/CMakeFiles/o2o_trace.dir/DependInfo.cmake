@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/calibrate.cpp" "src/trace/CMakeFiles/o2o_trace.dir/calibrate.cpp.o" "gcc" "src/trace/CMakeFiles/o2o_trace.dir/calibrate.cpp.o.d"
+  "/root/repo/src/trace/csv_trace.cpp" "src/trace/CMakeFiles/o2o_trace.dir/csv_trace.cpp.o" "gcc" "src/trace/CMakeFiles/o2o_trace.dir/csv_trace.cpp.o.d"
+  "/root/repo/src/trace/fleet.cpp" "src/trace/CMakeFiles/o2o_trace.dir/fleet.cpp.o" "gcc" "src/trace/CMakeFiles/o2o_trace.dir/fleet.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/o2o_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/o2o_trace.dir/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/o2o_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/o2o_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/o2o_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/o2o_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_trace.dir/calibrate.cpp.o"
+  "CMakeFiles/o2o_trace.dir/calibrate.cpp.o.d"
+  "CMakeFiles/o2o_trace.dir/csv_trace.cpp.o"
+  "CMakeFiles/o2o_trace.dir/csv_trace.cpp.o.d"
+  "CMakeFiles/o2o_trace.dir/fleet.cpp.o"
+  "CMakeFiles/o2o_trace.dir/fleet.cpp.o.d"
+  "CMakeFiles/o2o_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/o2o_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/o2o_trace.dir/trace.cpp.o"
+  "CMakeFiles/o2o_trace.dir/trace.cpp.o.d"
+  "libo2o_trace.a"
+  "libo2o_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o2o_util.dir/csv.cpp.o"
+  "CMakeFiles/o2o_util.dir/csv.cpp.o.d"
+  "CMakeFiles/o2o_util.dir/strings.cpp.o"
+  "CMakeFiles/o2o_util.dir/strings.cpp.o.d"
+  "libo2o_util.a"
+  "libo2o_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o2o_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_nonsharing_test.dir/baselines/nonsharing_test.cpp.o"
+  "CMakeFiles/baselines_nonsharing_test.dir/baselines/nonsharing_test.cpp.o.d"
+  "baselines_nonsharing_test"
+  "baselines_nonsharing_test.pdb"
+  "baselines_nonsharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_nonsharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

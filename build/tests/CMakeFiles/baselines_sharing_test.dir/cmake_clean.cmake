@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_sharing_test.dir/baselines/sharing_test.cpp.o"
+  "CMakeFiles/baselines_sharing_test.dir/baselines/sharing_test.cpp.o.d"
+  "baselines_sharing_test"
+  "baselines_sharing_test.pdb"
+  "baselines_sharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_all_stable_test.dir/core/all_stable_test.cpp.o"
+  "CMakeFiles/core_all_stable_test.dir/core/all_stable_test.cpp.o.d"
+  "core_all_stable_test"
+  "core_all_stable_test.pdb"
+  "core_all_stable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_all_stable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dispatchers_test.dir/core/dispatchers_test.cpp.o"
+  "CMakeFiles/core_dispatchers_test.dir/core/dispatchers_test.cpp.o.d"
+  "core_dispatchers_test"
+  "core_dispatchers_test.pdb"
+  "core_dispatchers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dispatchers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_median_test.dir/core/median_test.cpp.o"
+  "CMakeFiles/core_median_test.dir/core/median_test.cpp.o.d"
+  "core_median_test"
+  "core_median_test.pdb"
+  "core_median_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_median_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

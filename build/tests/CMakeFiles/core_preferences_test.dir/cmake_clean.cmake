@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_preferences_test.dir/core/preferences_test.cpp.o"
+  "CMakeFiles/core_preferences_test.dir/core/preferences_test.cpp.o.d"
+  "core_preferences_test"
+  "core_preferences_test.pdb"
+  "core_preferences_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_preferences_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

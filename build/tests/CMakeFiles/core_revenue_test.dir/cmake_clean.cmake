@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_revenue_test.dir/core/revenue_test.cpp.o"
+  "CMakeFiles/core_revenue_test.dir/core/revenue_test.cpp.o.d"
+  "core_revenue_test"
+  "core_revenue_test.pdb"
+  "core_revenue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_revenue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

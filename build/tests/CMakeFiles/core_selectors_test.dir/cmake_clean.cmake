@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_selectors_test.dir/core/selectors_test.cpp.o"
+  "CMakeFiles/core_selectors_test.dir/core/selectors_test.cpp.o.d"
+  "core_selectors_test"
+  "core_selectors_test.pdb"
+  "core_selectors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_selectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sharing_test.dir/core/sharing_test.cpp.o"
+  "CMakeFiles/core_sharing_test.dir/core/sharing_test.cpp.o.d"
+  "core_sharing_test"
+  "core_sharing_test.pdb"
+  "core_sharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stable_matching_test.dir/core/stable_matching_test.cpp.o"
+  "CMakeFiles/core_stable_matching_test.dir/core/stable_matching_test.cpp.o.d"
+  "core_stable_matching_test"
+  "core_stable_matching_test.pdb"
+  "core_stable_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stable_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

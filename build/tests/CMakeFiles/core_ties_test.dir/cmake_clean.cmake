@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ties_test.dir/core/ties_test.cpp.o"
+  "CMakeFiles/core_ties_test.dir/core/ties_test.cpp.o.d"
+  "core_ties_test"
+  "core_ties_test.pdb"
+  "core_ties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_oracle_test.dir/geo/oracle_test.cpp.o"
+  "CMakeFiles/geo_oracle_test.dir/geo/oracle_test.cpp.o.d"
+  "geo_oracle_test"
+  "geo_oracle_test.pdb"
+  "geo_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_point_test.dir/geo/point_test.cpp.o"
+  "CMakeFiles/geo_point_test.dir/geo/point_test.cpp.o.d"
+  "geo_point_test"
+  "geo_point_test.pdb"
+  "geo_point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_projection_test.dir/geo/projection_test.cpp.o"
+  "CMakeFiles/geo_projection_test.dir/geo/projection_test.cpp.o.d"
+  "geo_projection_test"
+  "geo_projection_test.pdb"
+  "geo_projection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

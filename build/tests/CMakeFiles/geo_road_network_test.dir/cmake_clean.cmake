@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_road_network_test.dir/geo/road_network_test.cpp.o"
+  "CMakeFiles/geo_road_network_test.dir/geo/road_network_test.cpp.o.d"
+  "geo_road_network_test"
+  "geo_road_network_test.pdb"
+  "geo_road_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_road_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_spatial_grid_test.dir/index/spatial_grid_test.cpp.o"
+  "CMakeFiles/index_spatial_grid_test.dir/index/spatial_grid_test.cpp.o.d"
+  "index_spatial_grid_test"
+  "index_spatial_grid_test.pdb"
+  "index_spatial_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_spatial_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

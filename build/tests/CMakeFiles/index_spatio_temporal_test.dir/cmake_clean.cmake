@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_spatio_temporal_test.dir/index/spatio_temporal_test.cpp.o"
+  "CMakeFiles/index_spatio_temporal_test.dir/index/spatio_temporal_test.cpp.o.d"
+  "index_spatio_temporal_test"
+  "index_spatio_temporal_test.pdb"
+  "index_spatio_temporal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_spatio_temporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_bottleneck_test.dir/matching/bottleneck_test.cpp.o"
+  "CMakeFiles/matching_bottleneck_test.dir/matching/bottleneck_test.cpp.o.d"
+  "matching_bottleneck_test"
+  "matching_bottleneck_test.pdb"
+  "matching_bottleneck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_bottleneck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

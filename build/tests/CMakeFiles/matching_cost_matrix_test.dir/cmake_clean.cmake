@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_cost_matrix_test.dir/matching/cost_matrix_test.cpp.o"
+  "CMakeFiles/matching_cost_matrix_test.dir/matching/cost_matrix_test.cpp.o.d"
+  "matching_cost_matrix_test"
+  "matching_cost_matrix_test.pdb"
+  "matching_cost_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_cost_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_greedy_test.dir/matching/greedy_test.cpp.o"
+  "CMakeFiles/matching_greedy_test.dir/matching/greedy_test.cpp.o.d"
+  "matching_greedy_test"
+  "matching_greedy_test.pdb"
+  "matching_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_hopcroft_karp_test.dir/matching/hopcroft_karp_test.cpp.o"
+  "CMakeFiles/matching_hopcroft_karp_test.dir/matching/hopcroft_karp_test.cpp.o.d"
+  "matching_hopcroft_karp_test"
+  "matching_hopcroft_karp_test.pdb"
+  "matching_hopcroft_karp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_hopcroft_karp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_hungarian_test.dir/matching/hungarian_test.cpp.o"
+  "CMakeFiles/matching_hungarian_test.dir/matching/hungarian_test.cpp.o.d"
+  "matching_hungarian_test"
+  "matching_hungarian_test.pdb"
+  "matching_hungarian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_hungarian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

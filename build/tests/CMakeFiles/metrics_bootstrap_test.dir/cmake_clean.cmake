@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_bootstrap_test.dir/metrics/bootstrap_test.cpp.o"
+  "CMakeFiles/metrics_bootstrap_test.dir/metrics/bootstrap_test.cpp.o.d"
+  "metrics_bootstrap_test"
+  "metrics_bootstrap_test.pdb"
+  "metrics_bootstrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

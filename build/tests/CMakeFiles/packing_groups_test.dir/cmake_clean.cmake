@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packing_groups_test.dir/packing/groups_test.cpp.o"
+  "CMakeFiles/packing_groups_test.dir/packing/groups_test.cpp.o.d"
+  "packing_groups_test"
+  "packing_groups_test.pdb"
+  "packing_groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packing_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_insertion_test.dir/routing/insertion_test.cpp.o"
+  "CMakeFiles/routing_insertion_test.dir/routing/insertion_test.cpp.o.d"
+  "routing_insertion_test"
+  "routing_insertion_test.pdb"
+  "routing_insertion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_insertion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_optimizer_test.dir/routing/optimizer_test.cpp.o"
+  "CMakeFiles/routing_optimizer_test.dir/routing/optimizer_test.cpp.o.d"
+  "routing_optimizer_test"
+  "routing_optimizer_test.pdb"
+  "routing_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

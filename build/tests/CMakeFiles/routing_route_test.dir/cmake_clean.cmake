@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_route_test.dir/routing/route_test.cpp.o"
+  "CMakeFiles/routing_route_test.dir/routing/route_test.cpp.o.d"
+  "routing_route_test"
+  "routing_route_test.pdb"
+  "routing_route_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_enroute_test.dir/sim/enroute_test.cpp.o"
+  "CMakeFiles/sim_enroute_test.dir/sim/enroute_test.cpp.o.d"
+  "sim_enroute_test"
+  "sim_enroute_test.pdb"
+  "sim_enroute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_enroute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_network_movement_test.dir/sim/network_movement_test.cpp.o"
+  "CMakeFiles/sim_network_movement_test.dir/sim/network_movement_test.cpp.o.d"
+  "sim_network_movement_test"
+  "sim_network_movement_test.pdb"
+  "sim_network_movement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_network_movement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_report_io_test.dir/sim/report_io_test.cpp.o"
+  "CMakeFiles/sim_report_io_test.dir/sim/report_io_test.cpp.o.d"
+  "sim_report_io_test"
+  "sim_report_io_test.pdb"
+  "sim_report_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_report_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_calibrate_test.dir/trace/calibrate_test.cpp.o"
+  "CMakeFiles/trace_calibrate_test.dir/trace/calibrate_test.cpp.o.d"
+  "trace_calibrate_test"
+  "trace_calibrate_test.pdb"
+  "trace_calibrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_calibrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

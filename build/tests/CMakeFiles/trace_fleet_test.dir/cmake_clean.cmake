@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_fleet_test.dir/trace/fleet_test.cpp.o"
+  "CMakeFiles/trace_fleet_test.dir/trace/fleet_test.cpp.o.d"
+  "trace_fleet_test"
+  "trace_fleet_test.pdb"
+  "trace_fleet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_synthetic_test.dir/trace/synthetic_test.cpp.o"
+  "CMakeFiles/trace_synthetic_test.dir/trace/synthetic_test.cpp.o.d"
+  "trace_synthetic_test"
+  "trace_synthetic_test.pdb"
+  "trace_synthetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
