@@ -9,6 +9,7 @@
 #include "core/all_stable.h"
 #include "core/dispatchers.h"
 #include "core/selectors.h"
+#include "index/spatial_grid.h"
 #include "matching/bottleneck.h"
 #include "matching/greedy.h"
 #include "matching/hungarian.h"
@@ -77,6 +78,62 @@ void BM_BuildCappedPreferenceProfile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildCappedPreferenceProfile)->Range(32, 512);
+
+// The sparse-vs-dense head-to-head at city scale: a 20x20 km region, a
+// 2 km passenger threshold, and far more taxis than requests. The dense
+// path scores every (request, taxi) pair; the pruned path only touches
+// taxis the grid returns within the threshold.
+void BM_BuildProfileDenseAtScale(benchmark::State& state) {
+  const Instance instance =
+      make_instance(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)), 5);
+  core::PreferenceParams params;
+  params.passenger_threshold_km = 2.0;
+  params.spatial_prune = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_nonsharing_profile(instance.taxis, instance.requests, kOracle, params));
+  }
+}
+BENCHMARK(BM_BuildProfileDenseAtScale)
+    ->Args({200, 2000})
+    ->Args({1000, 10000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildProfileSparseAtScale(benchmark::State& state) {
+  const Instance instance =
+      make_instance(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)), 5);
+  core::PreferenceParams params;
+  params.passenger_threshold_km = 2.0;  // spatial_prune defaults to true
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_nonsharing_profile(instance.taxis, instance.requests, kOracle, params));
+  }
+}
+BENCHMARK(BM_BuildProfileSparseAtScale)
+    ->Args({200, 2000})
+    ->Args({1000, 10000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildProfileSparsePrebuiltGrid(benchmark::State& state) {
+  // The simulator's situation: the idle-taxi grid already exists when the
+  // dispatch frame fires, so construction amortises to pure queries.
+  const Instance instance =
+      make_instance(static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::size_t>(state.range(1)), 5);
+  const index::SpatialGrid grid(std::span<const trace::Taxi>(instance.taxis), 1.0);
+  core::PreferenceParams params;
+  params.passenger_threshold_km = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_nonsharing_profile(instance.taxis, instance.requests,
+                                                      kOracle, params, &grid));
+  }
+}
+BENCHMARK(BM_BuildProfileSparsePrebuiltGrid)
+    ->Args({200, 2000})
+    ->Args({1000, 10000})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GaleShapleyRequests(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

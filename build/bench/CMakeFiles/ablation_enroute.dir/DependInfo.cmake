@@ -18,8 +18,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/baselines/CMakeFiles/o2o_baselines.dir/DependInfo.cmake"
   "/root/repo/build/src/packing/CMakeFiles/o2o_packing.dir/DependInfo.cmake"
   "/root/repo/build/src/matching/CMakeFiles/o2o_matching.dir/DependInfo.cmake"
-  "/root/repo/build/src/index/CMakeFiles/o2o_index.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/o2o_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/o2o_index.dir/DependInfo.cmake"
   "/root/repo/build/src/routing/CMakeFiles/o2o_routing.dir/DependInfo.cmake"
   "/root/repo/build/src/metrics/CMakeFiles/o2o_metrics.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/o2o_trace.dir/DependInfo.cmake"

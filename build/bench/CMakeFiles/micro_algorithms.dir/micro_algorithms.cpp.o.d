@@ -186,8 +186,12 @@ bench/CMakeFiles/micro_algorithms.dir/micro_algorithms.cpp.o: \
  /root/repo/src/core/all_stable.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/core/stable_matching.h /root/repo/src/core/preferences.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/geo/distance_oracle.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/span /root/repo/src/geo/distance_oracle.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -240,12 +244,9 @@ bench/CMakeFiles/micro_algorithms.dir/micro_algorithms.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/contracts.h \
  /root/repo/src/trace/fleet.h /root/repo/src/trace/request.h \
  /root/repo/src/core/dispatchers.h /root/repo/src/core/selectors.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/core/sharing.h \
- /root/repo/src/packing/groups.h /root/repo/src/routing/route.h \
- /root/repo/src/packing/set_packing.h /root/repo/src/sim/dispatcher.h \
+ /root/repo/src/core/sharing.h /root/repo/src/packing/groups.h \
+ /root/repo/src/routing/route.h /root/repo/src/packing/set_packing.h \
+ /root/repo/src/sim/dispatcher.h /root/repo/src/index/spatial_grid.h \
  /root/repo/src/matching/bottleneck.h \
  /root/repo/src/matching/cost_matrix.h /root/repo/src/matching/greedy.h \
  /root/repo/src/matching/hungarian.h /root/repo/src/util/rng.h

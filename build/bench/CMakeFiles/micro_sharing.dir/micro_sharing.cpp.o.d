@@ -185,6 +185,11 @@ bench/CMakeFiles/micro_sharing.dir/micro_sharing.cpp.o: \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/core/sharing.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/core/preferences.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/geo/distance_oracle.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -239,6 +244,5 @@ bench/CMakeFiles/micro_sharing.dir/micro_sharing.cpp.o: \
  /root/repo/src/trace/fleet.h /root/repo/src/trace/request.h \
  /root/repo/src/core/stable_matching.h /root/repo/src/packing/groups.h \
  /root/repo/src/routing/route.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/packing/set_packing.h /root/repo/src/routing/optimizer.h \
  /root/repo/src/util/rng.h

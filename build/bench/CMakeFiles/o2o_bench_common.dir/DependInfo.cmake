@@ -18,11 +18,11 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/o2o_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/o2o_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/metrics/CMakeFiles/o2o_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/o2o_index.dir/DependInfo.cmake"
   "/root/repo/build/src/packing/CMakeFiles/o2o_packing.dir/DependInfo.cmake"
   "/root/repo/build/src/routing/CMakeFiles/o2o_routing.dir/DependInfo.cmake"
-  "/root/repo/build/src/matching/CMakeFiles/o2o_matching.dir/DependInfo.cmake"
-  "/root/repo/build/src/index/CMakeFiles/o2o_index.dir/DependInfo.cmake"
   "/root/repo/build/src/geo/CMakeFiles/o2o_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/o2o_matching.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/o2o_util.dir/DependInfo.cmake"
   )
 

@@ -226,5 +226,14 @@ examples/CMakeFiles/ride_sharing.dir/ride_sharing.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/trace/request.h /root/repo/src/trace/fleet.h \
  /root/repo/src/core/sharing.h /root/repo/src/core/preferences.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/core/stable_matching.h /root/repo/src/packing/groups.h \
  /root/repo/src/packing/set_packing.h

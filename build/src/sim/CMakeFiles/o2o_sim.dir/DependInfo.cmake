@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/o2o_index.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/o2o_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/routing/CMakeFiles/o2o_routing.dir/DependInfo.cmake"
   "/root/repo/build/src/metrics/CMakeFiles/o2o_metrics.dir/DependInfo.cmake"

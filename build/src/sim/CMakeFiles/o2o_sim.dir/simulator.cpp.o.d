@@ -243,4 +243,6 @@ src/sim/CMakeFiles/o2o_sim.dir/simulator.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/index/spatial_grid.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/o2o_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/o2o_util.dir/csv.cpp.o.d"
   "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/o2o_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/o2o_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/o2o_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/o2o_util.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/o2o_util.dir/csv.cpp.o.d"
   "CMakeFiles/o2o_util.dir/strings.cpp.o"
   "CMakeFiles/o2o_util.dir/strings.cpp.o.d"
+  "CMakeFiles/o2o_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/o2o_util.dir/thread_pool.cpp.o.d"
   "libo2o_util.a"
   "libo2o_util.pdb"
 )

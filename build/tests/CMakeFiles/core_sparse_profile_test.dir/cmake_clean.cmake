@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sparse_profile_test.dir/core/sparse_profile_test.cpp.o"
+  "CMakeFiles/core_sparse_profile_test.dir/core/sparse_profile_test.cpp.o.d"
+  "core_sparse_profile_test"
+  "core_sparse_profile_test.pdb"
+  "core_sparse_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sparse_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_empty_frame_test.dir/sim/empty_frame_test.cpp.o"
+  "CMakeFiles/sim_empty_frame_test.dir/sim/empty_frame_test.cpp.o.d"
+  "sim_empty_frame_test"
+  "sim_empty_frame_test.pdb"
+  "sim_empty_frame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_empty_frame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

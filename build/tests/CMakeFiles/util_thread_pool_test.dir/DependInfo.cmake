@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/util_thread_pool_test.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/util_thread_pool_test.dir/util/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/o2o_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/o2o_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/o2o_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packing/CMakeFiles/o2o_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/o2o_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/o2o_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/o2o_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/o2o_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/o2o_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/o2o_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/o2o_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -38,7 +38,7 @@ core::PreferenceProfile rotational_latin_square(std::size_t n) {
       taxi[r][t] = static_cast<double>((r + n - t - 1) % n);
     }
   }
-  return core::PreferenceProfile::from_scores(std::move(passenger), std::move(taxi));
+  return core::PreferenceProfile::from_scores(std::move(passenger), std::move(taxi), n);
 }
 
 void lattice_census() {
@@ -90,7 +90,7 @@ void lattice_census() {
         for (double& v : row) v = rng.uniform(0, 1);
       }
     }
-    return core::PreferenceProfile::from_scores(passenger, taxi);
+    return core::PreferenceProfile::from_scores(passenger, taxi, 8);
   });
 
   census("adversarial latin squares", [&] {

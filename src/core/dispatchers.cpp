@@ -42,10 +42,16 @@ bool enroute_capacity_ok(const EnrouteTaxi& taxi, const routing::Route& route,
 /// Detour check for every rider whose pick-up is still ahead: along-route
 /// ride distance within θ of their direct trip. Direct distances come
 /// from `direct` for this frame's pending requests and from the route's
-/// own stops for riders committed in earlier frames.
+/// own stops for riders committed in earlier frames. The request→dropoff
+/// map is built once per route, keeping the check linear in the stops.
 bool enroute_detours_ok(const routing::Route& route, const geo::DistanceOracle& oracle,
                         const std::unordered_map<trace::RequestId, double>& direct,
                         double theta) {
+  std::unordered_map<trace::RequestId, const geo::Point*> dropoff_of;
+  dropoff_of.reserve(route.stops.size() / 2);
+  for (const routing::Stop& stop : route.stops) {
+    if (!stop.is_pickup) dropoff_of[stop.request] = &stop.point;  // last one wins
+  }
   for (const routing::Stop& stop : route.stops) {
     if (!stop.is_pickup) continue;
     double direct_km = 0.0;
@@ -53,12 +59,9 @@ bool enroute_detours_ok(const routing::Route& route, const geo::DistanceOracle& 
     if (it != direct.end()) {
       direct_km = it->second;
     } else {
-      const geo::Point* dropoff = nullptr;
-      for (const routing::Stop& other : route.stops) {
-        if (other.request == stop.request && !other.is_pickup) dropoff = &other.point;
-      }
-      if (dropoff == nullptr) continue;
-      direct_km = oracle.distance(stop.point, *dropoff);
+      const auto dropoff_it = dropoff_of.find(stop.request);
+      if (dropoff_it == dropoff_of.end()) continue;
+      direct_km = oracle.distance(stop.point, *dropoff_it->second);
     }
     const auto metrics = routing::rider_metrics(route, stop.request, oracle);
     if (metrics.ride_km - direct_km > theta) return false;
@@ -80,8 +83,9 @@ std::vector<sim::DispatchAssignment> StableDispatcher::dispatch(
   O2O_EXPECTS(context.oracle != nullptr);
   if (context.idle_taxis.empty() || context.pending.empty()) return {};
 
-  const PreferenceProfile profile = build_nonsharing_profile(
-      context.idle_taxis, context.pending, *context.oracle, options_.preference);
+  const PreferenceProfile profile =
+      build_nonsharing_profile(context.idle_taxis, context.pending, *context.oracle,
+                               options_.preference, context.idle_grid);
 
   Matching matching;
   if (options_.side == ProposalSide::kPassengers) {
@@ -133,7 +137,7 @@ std::vector<sim::DispatchAssignment> SharingStableDispatcher::dispatch(
     }
   } else {
     outcome = dispatch_sharing(context.idle_taxis, context.pending, *context.oracle,
-                               options_.params);
+                               options_.params, context.idle_grid);
   }
 
   std::vector<sim::DispatchAssignment> assignments;

@@ -1,9 +1,14 @@
 #include "core/preferences.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <optional>
+#include <utility>
 
+#include "index/spatial_grid.h"
 #include "util/contracts.h"
+#include "util/thread_pool.h"
 
 namespace o2o::core {
 
@@ -37,18 +42,32 @@ std::vector<std::size_t> build_ranks(const std::vector<int>& list, std::size_t n
 
 }  // namespace
 
+void for_each_row(std::size_t count, const geo::DistanceOracle& oracle,
+                  const std::function<void(std::size_t)>& body) {
+  // Below this, fan-out overhead dominates the oracle calls saved.
+  constexpr std::size_t kSerialCutoff = 16;
+  ThreadPool& pool = ThreadPool::shared();
+  if (count < kSerialCutoff || pool.worker_count() == 0 || !oracle.concurrent_queries_safe()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  pool.parallel_for(0, count, /*grain=*/8, body);
+}
+
 PreferenceProfile PreferenceProfile::from_scores(
     std::vector<std::vector<double>> passenger_scores,
-    std::vector<std::vector<double>> taxi_scores, std::size_t list_cap) {
+    std::vector<std::vector<double>> taxi_scores, std::size_t taxi_count,
+    std::size_t list_cap) {
   const std::size_t requests = passenger_scores.size();
   O2O_EXPECTS(taxi_scores.size() == requests);
-  const std::size_t taxis = requests == 0 ? 0 : passenger_scores.front().size();
   for (std::size_t r = 0; r < requests; ++r) {
-    O2O_EXPECTS(passenger_scores[r].size() == taxis);
-    O2O_EXPECTS(taxi_scores[r].size() == taxis);
+    O2O_EXPECTS(passenger_scores[r].size() == taxi_count);
+    O2O_EXPECTS(taxi_scores[r].size() == taxi_count);
   }
 
   PreferenceProfile profile;
+  profile.request_count_ = requests;
+  profile.taxi_count_ = taxi_count;
   profile.passenger_scores_ = std::move(passenger_scores);
   profile.taxi_scores_ = std::move(taxi_scores);
 
@@ -56,18 +75,92 @@ PreferenceProfile PreferenceProfile::from_scores(
   profile.request_ranks_.resize(requests);
   for (std::size_t r = 0; r < requests; ++r) {
     profile.request_prefs_[r] = build_list(profile.passenger_scores_[r], list_cap);
-    profile.request_ranks_[r] = build_ranks(profile.request_prefs_[r], taxis);
+    profile.request_ranks_[r] = build_ranks(profile.request_prefs_[r], taxi_count);
   }
 
-  profile.taxi_prefs_.resize(taxis);
-  profile.taxi_ranks_.resize(taxis);
+  profile.taxi_prefs_.resize(taxi_count);
+  profile.taxi_ranks_.resize(taxi_count);
   std::vector<double> column(requests);
-  for (std::size_t t = 0; t < taxis; ++t) {
+  for (std::size_t t = 0; t < taxi_count; ++t) {
     for (std::size_t r = 0; r < requests; ++r) column[r] = profile.taxi_scores_[r][t];
     profile.taxi_prefs_[t] = build_list(column, list_cap);
     profile.taxi_ranks_[t] = build_ranks(profile.taxi_prefs_[t], requests);
   }
   return profile;
+}
+
+PreferenceProfile PreferenceProfile::from_candidates(
+    std::vector<std::vector<Candidate>> candidates, std::size_t taxi_count,
+    std::size_t list_cap) {
+  const std::size_t requests = candidates.size();
+  O2O_EXPECTS(requests <= (std::uint64_t{1} << 32));
+
+  PreferenceProfile profile;
+  profile.sparse_ = true;
+  profile.request_count_ = requests;
+  profile.taxi_count_ = taxi_count;
+  profile.request_prefs_.resize(requests);
+  profile.taxi_prefs_.resize(taxi_count);
+
+  std::size_t total_pairs = 0;
+  for (const auto& row : candidates) total_pairs += row.size();
+  profile.pairs_.reserve(total_pairs);
+
+  // Request lists + the pair table. Sorting by (passenger score, taxi)
+  // floats acceptable entries to the front, so the cap keeps the best.
+  for (std::size_t r = 0; r < requests; ++r) {
+    auto& row = candidates[r];
+    std::sort(row.begin(), row.end(), [](const Candidate& a, const Candidate& b) {
+      if (a.passenger_score != b.passenger_score) return a.passenger_score < b.passenger_score;
+      return a.taxi < b.taxi;
+    });
+    auto& list = profile.request_prefs_[r];
+    for (const Candidate& candidate : row) {
+      O2O_EXPECTS(candidate.taxi >= 0 &&
+                  static_cast<std::size_t>(candidate.taxi) < taxi_count);
+      const auto [it, inserted] = profile.pairs_.emplace(
+          pair_key(r, static_cast<std::size_t>(candidate.taxi)),
+          PairEntry{candidate.passenger_score, candidate.taxi_score, kNoRank, kNoRank});
+      O2O_EXPECTS(inserted);  // each (request, taxi) pair scored at most once
+      if (candidate.passenger_score != kUnacceptable &&
+          (list_cap == 0 || list.size() < list_cap)) {
+        it->second.request_rank = list.size();
+        list.push_back(candidate.taxi);
+      }
+    }
+  }
+
+  // Taxi lists: bucket acceptable candidates per taxi, then order each
+  // bucket by (taxi score, request index) — the same strict order the
+  // dense path produces.
+  std::vector<std::vector<std::pair<double, int>>> buckets(taxi_count);
+  for (std::size_t r = 0; r < requests; ++r) {
+    for (const Candidate& candidate : candidates[r]) {
+      if (candidate.taxi_score != kUnacceptable) {
+        buckets[static_cast<std::size_t>(candidate.taxi)].emplace_back(candidate.taxi_score,
+                                                                       static_cast<int>(r));
+      }
+    }
+  }
+  for (std::size_t t = 0; t < taxi_count; ++t) {
+    auto& bucket = buckets[t];
+    std::sort(bucket.begin(), bucket.end());
+    if (list_cap > 0 && bucket.size() > list_cap) bucket.resize(list_cap);
+    auto& list = profile.taxi_prefs_[t];
+    list.reserve(bucket.size());
+    for (std::size_t pos = 0; pos < bucket.size(); ++pos) {
+      const int r = bucket[pos].second;
+      list.push_back(r);
+      profile.pairs_[pair_key(static_cast<std::size_t>(r), t)].taxi_rank = pos;
+    }
+  }
+  return profile;
+}
+
+const PreferenceProfile::PairEntry* PreferenceProfile::find_pair(std::size_t r,
+                                                                 std::size_t t) const {
+  const auto it = pairs_.find(pair_key(r, t));
+  return it == pairs_.end() ? nullptr : &it->second;
 }
 
 const std::vector<int>& PreferenceProfile::request_list(std::size_t r) const {
@@ -81,18 +174,28 @@ const std::vector<int>& PreferenceProfile::taxi_list(std::size_t t) const {
 }
 
 std::size_t PreferenceProfile::request_rank(std::size_t r, std::size_t t) const {
-  O2O_EXPECTS(r < request_ranks_.size());
-  O2O_EXPECTS(t < request_ranks_[r].size());
-  return request_ranks_[r][t];
+  O2O_EXPECTS(r < request_count_);
+  O2O_EXPECTS(t < taxi_count_);
+  if (!sparse_) return request_ranks_[r][t];
+  const PairEntry* entry = find_pair(r, t);
+  return entry == nullptr ? kNoRank : entry->request_rank;
 }
 
 std::size_t PreferenceProfile::taxi_rank(std::size_t t, std::size_t r) const {
-  O2O_EXPECTS(t < taxi_ranks_.size());
-  O2O_EXPECTS(r < taxi_ranks_[t].size());
-  return taxi_ranks_[t][r];
+  O2O_EXPECTS(t < taxi_count_);
+  O2O_EXPECTS(r < request_count_);
+  if (!sparse_) return taxi_ranks_[t][r];
+  const PairEntry* entry = find_pair(r, t);
+  return entry == nullptr ? kNoRank : entry->taxi_rank;
 }
 
 bool PreferenceProfile::acceptable(std::size_t r, std::size_t t) const {
+  if (sparse_) {
+    O2O_EXPECTS(r < request_count_);
+    O2O_EXPECTS(t < taxi_count_);
+    const PairEntry* entry = find_pair(r, t);
+    return entry != nullptr && entry->request_rank != kNoRank && entry->taxi_rank != kNoRank;
+  }
   return request_rank(r, t) != kNoRank && taxi_rank(t, r) != kNoRank;
 }
 
@@ -111,48 +214,96 @@ bool PreferenceProfile::taxi_prefers(std::size_t t, int a, int b) const {
 }
 
 double PreferenceProfile::passenger_score(std::size_t r, std::size_t t) const {
-  O2O_EXPECTS(r < passenger_scores_.size());
-  O2O_EXPECTS(t < passenger_scores_[r].size());
-  return passenger_scores_[r][t];
+  O2O_EXPECTS(r < request_count_);
+  O2O_EXPECTS(t < taxi_count_);
+  if (!sparse_) return passenger_scores_[r][t];
+  const PairEntry* entry = find_pair(r, t);
+  return entry == nullptr ? kUnacceptable : entry->passenger_score;
 }
 
 double PreferenceProfile::taxi_score(std::size_t t, std::size_t r) const {
-  O2O_EXPECTS(r < taxi_scores_.size());
-  O2O_EXPECTS(t < taxi_scores_[r].size());
-  return taxi_scores_[r][t];
+  O2O_EXPECTS(t < taxi_count_);
+  O2O_EXPECTS(r < request_count_);
+  if (!sparse_) return taxi_scores_[r][t];
+  const PairEntry* entry = find_pair(r, t);
+  return entry == nullptr ? kUnacceptable : entry->taxi_score;
 }
 
 PreferenceProfile build_nonsharing_profile(std::span<const trace::Taxi> taxis,
                                            std::span<const trace::Request> requests,
                                            const geo::DistanceOracle& oracle,
-                                           const PreferenceParams& params) {
+                                           const PreferenceParams& params,
+                                           const index::SpatialGrid* taxi_grid) {
   const std::size_t n_requests = requests.size();
   const std::size_t n_taxis = taxis.size();
-  std::vector<std::vector<double>> passenger_scores(n_requests,
-                                                    std::vector<double>(n_taxis));
-  std::vector<std::vector<double>> taxi_scores(n_requests, std::vector<double>(n_taxis));
-  for (std::size_t r = 0; r < n_requests; ++r) {
+
+  const bool prune = params.spatial_prune &&
+                     std::isfinite(params.passenger_threshold_km) && n_taxis > 0;
+  if (!prune) {
+    std::vector<std::vector<double>> passenger_scores(n_requests,
+                                                      std::vector<double>(n_taxis));
+    std::vector<std::vector<double>> taxi_scores(n_requests, std::vector<double>(n_taxis));
+    for_each_row(n_requests, oracle, [&](std::size_t r) {
+      const trace::Request& request = requests[r];
+      const double trip = oracle.distance(request.pickup, request.dropoff);
+      for (std::size_t t = 0; t < n_taxis; ++t) {
+        const trace::Taxi& taxi = taxis[t];
+        if (taxi.seats < request.seats) {
+          // Not enough seats: the paper places the pair past the dummy on
+          // both sides (the request "will put t_i to the end of its
+          // preference order"), i.e. it is never matched.
+          passenger_scores[r][t] = kUnacceptable;
+          taxi_scores[r][t] = kUnacceptable;
+          continue;
+        }
+        const double pickup = oracle.distance(taxi.location, request.pickup);
+        const double driver = pickup - params.alpha * trip;
+        passenger_scores[r][t] =
+            pickup <= params.passenger_threshold_km ? pickup : kUnacceptable;
+        taxi_scores[r][t] = driver <= params.taxi_threshold_score ? driver : kUnacceptable;
+      }
+    });
+    return PreferenceProfile::from_scores(std::move(passenger_scores),
+                                          std::move(taxi_scores), n_taxis, params.list_cap);
+  }
+
+  // Sparse path: only taxis inside the passenger-threshold radius can be
+  // acceptable to the passenger (every oracle's distance dominates the
+  // straight-line distance the grid filters on), and pairs acceptable
+  // only to the taxi can never match, so candidate rows from the radius
+  // query reproduce the dense matchings exactly.
+  std::optional<index::SpatialGrid> local_grid;
+  if (taxi_grid == nullptr) {
+    const double cell_km = std::clamp(params.passenger_threshold_km / 2.0, 0.25, 8.0);
+    local_grid.emplace(taxis, cell_km);
+    taxi_grid = &*local_grid;
+  }
+  O2O_EXPECTS(taxi_grid->size() == n_taxis);
+
+  std::vector<std::vector<PreferenceProfile::Candidate>> rows(n_requests);
+  for_each_row(n_requests, oracle, [&](std::size_t r) {
     const trace::Request& request = requests[r];
     const double trip = oracle.distance(request.pickup, request.dropoff);
-    for (std::size_t t = 0; t < n_taxis; ++t) {
+    std::vector<std::int32_t> nearby =
+        taxi_grid->within_radius(request.pickup, params.passenger_threshold_km);
+    std::sort(nearby.begin(), nearby.end());
+    auto& row = rows[r];
+    row.reserve(nearby.size());
+    for (const std::int32_t id : nearby) {
+      const auto t = static_cast<std::size_t>(id);
       const trace::Taxi& taxi = taxis[t];
-      if (taxi.seats < request.seats) {
-        // Not enough seats: the paper places the pair past the dummy on
-        // both sides (the request "will put t_i to the end of its
-        // preference order"), i.e. it is never matched.
-        passenger_scores[r][t] = kUnacceptable;
-        taxi_scores[r][t] = kUnacceptable;
-        continue;
-      }
+      if (taxi.seats < request.seats) continue;
       const double pickup = oracle.distance(taxi.location, request.pickup);
       const double driver = pickup - params.alpha * trip;
-      passenger_scores[r][t] =
+      const double passenger_score =
           pickup <= params.passenger_threshold_km ? pickup : kUnacceptable;
-      taxi_scores[r][t] = driver <= params.taxi_threshold_score ? driver : kUnacceptable;
+      const double taxi_score =
+          driver <= params.taxi_threshold_score ? driver : kUnacceptable;
+      if (passenger_score == kUnacceptable && taxi_score == kUnacceptable) continue;
+      row.push_back({static_cast<int>(t), passenger_score, taxi_score});
     }
-  }
-  return PreferenceProfile::from_scores(std::move(passenger_scores), std::move(taxi_scores),
-                                        params.list_cap);
+  });
+  return PreferenceProfile::from_candidates(std::move(rows), n_taxis, params.list_cap);
 }
 
 }  // namespace o2o::core

@@ -1,7 +1,12 @@
 #include "core/sharing.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+#include <utility>
 
+#include "index/spatial_grid.h"
 #include "routing/optimizer.h"
 #include "util/contracts.h"
 
@@ -63,7 +68,8 @@ SharingUnits pack_requests(std::span<const trace::Request> requests,
 SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
                                 std::span<const trace::Request> requests,
                                 const geo::DistanceOracle& oracle,
-                                const SharingParams& params) {
+                                const SharingParams& params,
+                                const index::SpatialGrid* taxi_grid) {
   SharingOutcome outcome;
   SharingUnits units = pack_requests(requests, oracle, params);
   outcome.packed_groups = units.packed_groups;
@@ -93,46 +99,81 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
     solvers.emplace_back(std::move(riders), oracle);
   }
 
-  // Score matrices over (unit, taxi).
-  std::vector<std::vector<double>> passenger_scores(n_units, std::vector<double>(n_taxis));
-  std::vector<std::vector<double>> taxi_scores(n_units, std::vector<double>(n_taxis));
-  std::vector<std::vector<routing::Route>> routes(n_units);
-  for (auto& row : routes) row.resize(n_taxis);
+  // Sparse candidate rows over (unit, taxi), plus the per-unit routes for
+  // kept candidates, aligned with the rows (ascending taxi index).
+  const double passenger_threshold = params.preference.passenger_threshold_km;
+  const bool prune = params.preference.spatial_prune &&
+                     std::isfinite(passenger_threshold) && n_taxis > 0;
+  std::optional<index::SpatialGrid> local_grid;
+  if (prune && taxi_grid == nullptr) {
+    const double cell_km = std::clamp(passenger_threshold / 2.0, 0.25, 8.0);
+    local_grid.emplace(taxis, cell_km);
+    taxi_grid = &*local_grid;
+  }
+  if (!prune) taxi_grid = nullptr;
+  if (taxi_grid != nullptr) O2O_EXPECTS(taxi_grid->size() == n_taxis);
 
-  for (std::size_t u = 0; u < n_units; ++u) {
+  std::vector<std::vector<PreferenceProfile::Candidate>> rows(n_units);
+  std::vector<std::vector<std::pair<int, routing::Route>>> unit_routes(n_units);
+
+  for_each_row(n_units, oracle, [&](std::size_t u) {
     const auto& member_indices = units.units[u];
 
-    // Mean direct pick-up distance per taxi: it lower-bounds the unit's
-    // passenger score (along-route waits dominate direct distances and
-    // detours are non-negative), so it both implements the threshold
+    // Candidate taxis. A taxi passes the mean-pick-up bound below only if
+    // some member's oracle pick-up distance is within the passenger
+    // threshold, and oracle distances dominate the straight-line metric
+    // the grid filters on — so the union of the members' radius queries
+    // covers every taxi the dense scan would keep.
+    std::vector<int> candidate_ids;
+    if (taxi_grid != nullptr) {
+      for (std::size_t index : member_indices) {
+        const std::vector<std::int32_t> nearby =
+            taxi_grid->within_radius(requests[index].pickup, passenger_threshold);
+        candidate_ids.insert(candidate_ids.end(), nearby.begin(), nearby.end());
+      }
+      std::sort(candidate_ids.begin(), candidate_ids.end());
+      candidate_ids.erase(std::unique(candidate_ids.begin(), candidate_ids.end()),
+                          candidate_ids.end());
+    } else {
+      candidate_ids.resize(n_taxis);
+      std::iota(candidate_ids.begin(), candidate_ids.end(), 0);
+    }
+
+    // Mean direct pick-up distance per candidate: it lower-bounds the
+    // unit's passenger score (along-route waits dominate direct distances
+    // and detours are non-negative), so it both implements the threshold
     // prefilter and ranks taxis for the candidate cap.
-    std::vector<double> bound(n_taxis, kUnacceptable);
-    for (std::size_t t = 0; t < n_taxis; ++t) {
+    std::vector<std::pair<double, int>> passing;  // (bound, taxi)
+    passing.reserve(candidate_ids.size());
+    for (const int candidate : candidate_ids) {
+      const auto t = static_cast<std::size_t>(candidate);
       if (taxis[t].seats < unit_seats[u]) continue;
       double total = 0.0;
       for (std::size_t index : member_indices) {
         total += oracle.distance(taxis[t].location, requests[index].pickup);
       }
-      bound[t] = total / static_cast<double>(member_indices.size());
-    }
-    double cap_bound = kUnacceptable;
-    if (params.candidate_taxis_per_unit > 0 &&
-        params.candidate_taxis_per_unit < n_taxis) {
-      std::vector<double> sorted_bounds = bound;
-      std::nth_element(sorted_bounds.begin(),
-                       sorted_bounds.begin() +
-                           static_cast<std::ptrdiff_t>(params.candidate_taxis_per_unit - 1),
-                       sorted_bounds.end());
-      cap_bound = sorted_bounds[params.candidate_taxis_per_unit - 1];
+      const double bound = total / static_cast<double>(member_indices.size());
+      if (bound > passenger_threshold) continue;
+      passing.emplace_back(bound, candidate);
     }
 
-    for (std::size_t t = 0; t < n_taxis; ++t) {
-      if (bound[t] == kUnacceptable ||
-          bound[t] > params.preference.passenger_threshold_km || bound[t] > cap_bound) {
-        passenger_scores[u][t] = kUnacceptable;
-        taxi_scores[u][t] = kUnacceptable;
-        continue;
-      }
+    // Hard candidate cap: keep exactly the K best by (bound, taxi index).
+    // The pair comparator breaks bound ties deterministically instead of
+    // admitting every taxi tied at the K-th bound.
+    if (params.candidate_taxis_per_unit > 0 &&
+        passing.size() > params.candidate_taxis_per_unit) {
+      const auto kth =
+          passing.begin() + static_cast<std::ptrdiff_t>(params.candidate_taxis_per_unit);
+      std::nth_element(passing.begin(), kth - 1, passing.end());
+      passing.resize(params.candidate_taxis_per_unit);
+    }
+    std::sort(passing.begin(), passing.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+
+    rows[u].reserve(passing.size());
+    unit_routes[u].reserve(passing.size());
+    for (const auto& [bound, candidate] : passing) {
+      const auto t = static_cast<std::size_t>(candidate);
       routing::Route route = solvers[u].best_route(taxis[t].location);
       const double total_length = routing::route_length(route, oracle);
 
@@ -152,17 +193,18 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
       const double taxi_value =
           total_length - (params.preference.alpha + 1.0) * direct_sum[u];
 
-      passenger_scores[u][t] = passenger_avg <= params.preference.passenger_threshold_km
-                                   ? passenger_avg
-                                   : kUnacceptable;
-      taxi_scores[u][t] =
+      const double passenger_score =
+          passenger_avg <= passenger_threshold ? passenger_avg : kUnacceptable;
+      const double taxi_score =
           taxi_value <= params.preference.taxi_threshold_score ? taxi_value : kUnacceptable;
-      routes[u][t] = std::move(route);
+      if (passenger_score == kUnacceptable && taxi_score == kUnacceptable) continue;
+      rows[u].push_back({candidate, passenger_score, taxi_score});
+      unit_routes[u].emplace_back(candidate, std::move(route));
     }
-  }
+  });
 
-  const PreferenceProfile profile = PreferenceProfile::from_scores(
-      passenger_scores, taxi_scores, params.preference.list_cap);
+  const PreferenceProfile profile = PreferenceProfile::from_candidates(
+      std::move(rows), n_taxis, params.preference.list_cap);
   const Matching matching = params.side == ProposalSide::kPassengers
                                 ? gale_shapley_requests(profile)
                                 : gale_shapley_taxis(profile);
@@ -178,9 +220,16 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
     SharedAssignment assignment;
     assignment.taxi_index = static_cast<std::size_t>(t);
     assignment.request_indices = units.units[u];
-    assignment.route = routes[u][static_cast<std::size_t>(t)];
-    assignment.passenger_score = passenger_scores[u][static_cast<std::size_t>(t)];
-    assignment.taxi_score = taxi_scores[u][static_cast<std::size_t>(t)];
+    auto& row_routes = unit_routes[u];
+    const auto route_it = std::lower_bound(
+        row_routes.begin(), row_routes.end(), t,
+        [](const std::pair<int, routing::Route>& entry, int value) {
+          return entry.first < value;
+        });
+    O2O_EXPECTS(route_it != row_routes.end() && route_it->first == t);
+    assignment.route = std::move(route_it->second);
+    assignment.passenger_score = profile.passenger_score(u, static_cast<std::size_t>(t));
+    assignment.taxi_score = profile.taxi_score(static_cast<std::size_t>(t), u);
     outcome.assignments.push_back(std::move(assignment));
   }
   std::sort(outcome.unserved_request_indices.begin(),

@@ -25,6 +25,10 @@
 #include "trace/fleet.h"
 #include "trace/request.h"
 
+namespace o2o::index {
+class SpatialGrid;
+}  // namespace o2o::index
+
 namespace o2o::core {
 
 enum class ProposalSide {
@@ -89,10 +93,14 @@ struct SharingUnits {
 SharingUnits pack_requests(std::span<const trace::Request> requests,
                            const geo::DistanceOracle& oracle, const SharingParams& params);
 
-/// Full Algorithm 3.
+/// Full Algorithm 3. With spatial pruning enabled and a finite passenger
+/// threshold, each unit's candidate taxis come from grid radius queries
+/// around its members' pick-ups; `taxi_grid`, when given, must be keyed
+/// by position in `taxis` (see the SpatialGrid span constructor).
 SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
                                 std::span<const trace::Request> requests,
                                 const geo::DistanceOracle& oracle,
-                                const SharingParams& params);
+                                const SharingParams& params,
+                                const index::SpatialGrid* taxi_grid = nullptr);
 
 }  // namespace o2o::core

@@ -81,8 +81,9 @@ PreferenceProfile break_ties(const TiedScores& scores, std::uint64_t seed) {
       }
     }
   }
+  const std::size_t taxis = scores.taxi_count();
   return PreferenceProfile::from_scores(std::move(perturbed.passenger),
-                                        std::move(perturbed.taxi));
+                                        std::move(perturbed.taxi), taxis);
 }
 
 TieBreakResult max_cardinality_weakly_stable(const TiedScores& scores,
@@ -94,7 +95,8 @@ TieBreakResult max_cardinality_weakly_stable(const TiedScores& scores,
     // Attempt 0 is the deterministic lowest-index tie-break (no jitter).
     const PreferenceProfile profile =
         attempt == 0
-            ? PreferenceProfile::from_scores(scores.passenger, scores.taxi)
+            ? PreferenceProfile::from_scores(scores.passenger, scores.taxi,
+                                             scores.taxi_count())
             : break_ties(scores, seed + attempt);
     Matching matching = gale_shapley_requests(profile);
     const std::size_t matched = matching.matched_count();

@@ -18,6 +18,10 @@ class DistanceOracle {
  public:
   virtual ~DistanceOracle() = default;
   virtual double distance(const Point& a, const Point& b) const = 0;
+
+  /// Whether distance() may be called from several threads at once.
+  /// Oracles with unsynchronized internal caches must return false.
+  virtual bool concurrent_queries_safe() const noexcept { return true; }
 };
 
 /// Straight-line distance (the paper's Euclidean surface).

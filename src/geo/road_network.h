@@ -97,6 +97,9 @@ class NetworkOracle final : public DistanceOracle {
 
   double distance(const Point& a, const Point& b) const override;
 
+  /// The Dijkstra-tree cache is mutated without synchronization.
+  bool concurrent_queries_safe() const noexcept override { return false; }
+
   std::size_t cache_size() const noexcept { return cache_.size(); }
 
  private:

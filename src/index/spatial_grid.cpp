@@ -16,6 +16,36 @@ SpatialGrid::SpatialGrid(geo::Rect bounds, double cell_km)
   cells_.resize(static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_));
 }
 
+namespace {
+
+geo::Rect padded_taxi_bounds(std::span<const trace::Taxi> taxis, double pad_km) {
+  if (taxis.empty()) return geo::Rect{{0.0, 0.0}, {1.0, 1.0}};
+  geo::Rect box{taxis.front().location, taxis.front().location};
+  for (const trace::Taxi& taxi : taxis) {
+    box.lo.x = std::min(box.lo.x, taxi.location.x);
+    box.lo.y = std::min(box.lo.y, taxi.location.y);
+    box.hi.x = std::max(box.hi.x, taxi.location.x);
+    box.hi.y = std::max(box.hi.y, taxi.location.y);
+  }
+  box.lo.x -= pad_km;
+  box.lo.y -= pad_km;
+  box.hi.x += pad_km;
+  box.hi.y += pad_km;
+  return box;
+}
+
+}  // namespace
+
+SpatialGrid::SpatialGrid(std::span<const trace::Taxi> taxis, double cell_km)
+    : SpatialGrid(padded_taxi_bounds(taxis, cell_km), cell_km) {
+  positions_.reserve(taxis.size());
+  for (std::size_t i = 0; i < taxis.size(); ++i) {
+    const auto key = static_cast<std::int32_t>(i);
+    positions_.emplace(key, taxis[i].location);
+    cells_[cell_index(taxis[i].location)].push_back(key);
+  }
+}
+
 std::size_t SpatialGrid::cell_index(const geo::Point& p) const noexcept {
   const int cx = std::clamp(static_cast<int>((p.x - bounds_.lo.x) / cell_km_), 0, cols_ - 1);
   const int cy = std::clamp(static_cast<int>((p.y - bounds_.lo.y) / cell_km_), 0, rows_ - 1);

@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "geo/point.h"
+#include "trace/fleet.h"
 
 namespace o2o::index {
 
@@ -17,6 +19,12 @@ class SpatialGrid {
  public:
   /// `bounds` is advisory (objects outside are clamped to edge cells).
   SpatialGrid(geo::Rect bounds, double cell_km);
+
+  /// Bulk-builds a grid over a taxi snapshot, keyed by **span index**
+  /// (not `Taxi::id`), so `within_radius` results index straight back
+  /// into the span. Bounds are the padded bounding box of the taxi
+  /// locations; an empty or degenerate span gets a unit box.
+  SpatialGrid(std::span<const trace::Taxi> taxis, double cell_km);
 
   /// Inserts or moves object `id` to `position`.
   void upsert(std::int32_t id, geo::Point position);

@@ -14,6 +14,10 @@
 #include "trace/fleet.h"
 #include "trace/request.h"
 
+namespace o2o::index {
+class SpatialGrid;
+}  // namespace o2o::index
+
 namespace o2o::sim {
 
 /// Snapshot of a busy taxi for dispatchers that support en-route
@@ -34,6 +38,9 @@ struct DispatchContext {
   std::span<const BusyTaxiView> busy_taxis;
   std::span<const trace::Request> pending;        ///< undispatched requests
   const geo::DistanceOracle* oracle = nullptr;
+  /// Spatial index over `idle_taxis`, keyed by span index (may be null).
+  /// Dispatchers use it to prune candidate taxis per request.
+  const index::SpatialGrid* idle_grid = nullptr;
 };
 
 /// One dispatch decision. For an idle taxi the route serves exactly

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_set>
 
+#include "index/spatial_grid.h"
 #include "util/contracts.h"
 
 namespace o2o::sim {
@@ -95,12 +97,19 @@ std::vector<DispatchAssignment> Simulator::invoke_dispatcher(Dispatcher& dispatc
   }
   std::vector<trace::Request> pending(pending_.begin(), pending_.end());
 
+  // Index the idle snapshot so dispatchers can prune candidate taxis by
+  // radius instead of scanning the whole fleet.
+  std::optional<index::SpatialGrid> idle_grid;
+  if (!idle.empty()) idle_grid.emplace(std::span<const trace::Taxi>(idle),
+                                       config_.idle_grid_cell_km);
+
   DispatchContext context;
   context.now_seconds = now;
   context.idle_taxis = idle;
   context.busy_taxis = busy;
   context.pending = pending;
   context.oracle = &oracle_;
+  context.idle_grid = idle_grid ? &*idle_grid : nullptr;
   return dispatcher.dispatch(context);
 }
 

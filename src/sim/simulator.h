@@ -37,6 +37,9 @@ struct SimulatorConfig {
   /// road-consistent experiment). The network must be laid out in the
   /// same coordinate frame as the trace.
   const geo::RoadNetwork* road_network = nullptr;
+  /// Cell size of the per-frame spatial index over idle taxis handed to
+  /// dispatchers via DispatchContext::idle_grid.
+  double idle_grid_cell_km = 1.0;
 };
 
 /// Runtime state of one taxi.

@@ -1,0 +1,121 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace o2o {
+
+namespace {
+
+std::size_t default_worker_count() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware <= 1) return 0;
+  // Cap the shared pool: the hot loops are memory-bound well before 16
+  // lanes, and the calling thread is always the extra lane.
+  return std::min<std::size_t>(hardware - 1, 15);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_worker_count());
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+  const std::size_t helpers = std::min(worker_count(), chunks - 1);
+
+  struct SharedState {
+    std::atomic<std::size_t> cursor;
+    std::atomic<std::size_t> active_helpers;
+    std::mutex done_mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->cursor.store(begin, std::memory_order_relaxed);
+  state->active_helpers.store(helpers, std::memory_order_relaxed);
+
+  // The body reference stays valid: the caller blocks below until every
+  // helper has finished.
+  const auto drain_range = [state, end, grain, &body] {
+    try {
+      for (;;) {
+        const std::size_t chunk = state->cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (chunk >= end) return;
+        const std::size_t stop = std::min(end, chunk + grain);
+        for (std::size_t i = chunk; i < stop; ++i) body(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->error_mutex);
+      if (!state->error) state->error = std::current_exception();
+      // Abandon the rest of the range so sibling chunks stop promptly.
+      state->cursor.store(end, std::memory_order_relaxed);
+    }
+  };
+
+  for (std::size_t i = 0; i < helpers; ++i) {
+    enqueue([state, drain_range] {
+      drain_range();
+      if (state->active_helpers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state->done_mutex);
+        state->done.notify_all();
+      }
+    });
+  }
+
+  drain_range();
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done.wait(lock, [&] {
+      return state->active_helpers.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace o2o

@@ -1,0 +1,57 @@
+// A small reusable worker pool for data-parallel loops on the dispatch
+// hot path (per-request preference rows, per-unit sharing scores). The
+// pool is deliberately minimal: persistent workers, a FIFO task queue,
+// and a blocking parallel_for in which the calling thread participates,
+// so a pool of zero workers degrades to the serial loop.
+//
+// parallel_for distributes indices dynamically (atomic cursor), so the
+// caller must make iterations independent; determinism is the caller's
+// job and is achieved by writing to disjoint, preallocated slots.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace o2o {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `workers` threads (0 is valid: every parallel_for
+  /// then runs inline on the calling thread).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Process-wide pool sized to the hardware (cores - 1 workers, capped,
+  /// so the calling thread is the remaining lane). Built on first use.
+  static ThreadPool& shared();
+
+  /// Calls body(i) for every i in [begin, end), spreading chunks of
+  /// `grain` consecutive indices over the workers plus the calling
+  /// thread. Blocks until the whole range is done. The first exception
+  /// thrown by any iteration is rethrown on the caller after the range
+  /// is abandoned.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+}  // namespace o2o

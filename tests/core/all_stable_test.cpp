@@ -28,12 +28,12 @@ PreferenceProfile latin_square_3x3() {
   //   t0: r1 > r2 > r0 ; t1: r2 > r0 > r1 ; t2: r0 > r1 > r2
   std::vector<std::vector<double>> passenger{{1, 2, 3}, {3, 1, 2}, {2, 3, 1}};
   std::vector<std::vector<double>> taxi{{3, 2, 1}, {1, 3, 2}, {2, 1, 3}};
-  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi));
+  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi), 3);
 }
 
 TEST(BreakDispatch, Rule3RefusesUnservedRequests) {
   // Two requests, one taxi: one request is unserved; breaking it fails.
-  const auto profile = PreferenceProfile::from_scores({{1.0}, {2.0}}, {{1.0}, {2.0}});
+  const auto profile = PreferenceProfile::from_scores({{1.0}, {2.0}}, {{1.0}, {2.0}}, 1);
   const Matching schedule = gale_shapley_requests(profile);
   ASSERT_EQ(schedule.request_to_taxi[1], kDummy);
   EXPECT_FALSE(break_dispatch(profile, schedule, 1).has_value());
@@ -150,7 +150,7 @@ TEST(AllStable, SingleStableMatchingInstances) {
   // Aligned preferences: a unique stable matching; enumeration finds
   // nothing else.
   const auto profile = PreferenceProfile::from_scores(
-      {{1.0, 2.0}, {2.0, 1.0}}, {{1.0, 2.0}, {2.0, 1.0}});
+      {{1.0, 2.0}, {2.0, 1.0}}, {{1.0, 2.0}, {2.0, 1.0}}, 2);
   const AllStableResult result = enumerate_all_stable(profile);
   EXPECT_EQ(result.matchings.size(), 1u);
   EXPECT_EQ(result.break_successes, 0u);

@@ -118,5 +118,83 @@ TEST(CappedLists, CandidateCapZeroMeansAllTaxis) {
   }
 }
 
+/// Two opposite-direction requests (never poolable under a tight detour
+/// threshold) and three taxis: t0 and t1 sit at the *same* pickup bound
+/// from both units, t2 strictly farther. The old soft cap kept every
+/// taxi tied with the K-th best, so candidate_taxis_per_unit = 1 silently
+/// admitted both t0 and t1; the hard cap must keep exactly K candidates
+/// with (score, index) tie-breaking.
+struct CapInstance {
+  std::vector<trace::Taxi> taxis;
+  std::vector<trace::Request> requests;
+};
+
+CapInstance tied_candidates_instance() {
+  CapInstance instance;
+  instance.taxis = {{0, {0.1, 1.0}, 4}, {1, {0.1, -1.0}, 4}, {2, {0.1, 2.0}, 4}};
+  trace::Request a;
+  a.id = 0;
+  a.pickup = {0.0, 0.0};
+  a.dropoff = {-5.0, 0.0};
+  trace::Request b;
+  b.id = 1;
+  b.pickup = {0.2, 0.0};
+  b.dropoff = {5.2, 0.0};
+  instance.requests = {a, b};
+  return instance;
+}
+
+TEST(CappedLists, CandidateCapIsAHardCapWithDeterministicTies) {
+  const CapInstance instance = tied_candidates_instance();
+  SharingParams params;
+  params.grouping.detour_threshold_km = 0.1;  // forbid pooling
+  params.candidate_taxis_per_unit = 1;
+  const SharingOutcome outcome =
+      dispatch_sharing(instance.taxis, instance.requests, kEuclidean, params);
+  // Both units tie on t0/t1 but may keep only one candidate; the
+  // deterministic (score, index) rule selects t0 for both, so the two
+  // units compete for a single taxi and one request goes unserved.
+  ASSERT_EQ(outcome.assignments.size(), 1u);
+  EXPECT_EQ(outcome.assignments[0].taxi_index, 0);
+  EXPECT_EQ(outcome.assignments[0].request_indices, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(outcome.unserved_request_indices, (std::vector<std::size_t>{1}));
+}
+
+TEST(CappedLists, WideningTheHardCapRestoresFullService) {
+  const CapInstance instance = tied_candidates_instance();
+  SharingParams params;
+  params.grouping.detour_threshold_km = 0.1;
+  params.candidate_taxis_per_unit = 2;
+  const SharingOutcome outcome =
+      dispatch_sharing(instance.taxis, instance.requests, kEuclidean, params);
+  EXPECT_EQ(outcome.assignments.size(), 2u);
+  EXPECT_TRUE(outcome.unserved_request_indices.empty());
+}
+
+TEST(CappedLists, HardCapComposesWithSpatialPruning) {
+  // A finite passenger threshold routes candidate collection through the
+  // grid-union path; t2 at distance ~2.0025 km falls outside tau_p = 2.0
+  // and the hard cap then picks among {t0, t1} deterministically.
+  const CapInstance instance = tied_candidates_instance();
+  SharingParams pruned;
+  pruned.grouping.detour_threshold_km = 0.1;
+  pruned.candidate_taxis_per_unit = 2;
+  pruned.preference.passenger_threshold_km = 2.0;
+  SharingParams dense = pruned;
+  dense.preference.spatial_prune = false;
+  const SharingOutcome a =
+      dispatch_sharing(instance.taxis, instance.requests, kEuclidean, pruned);
+  const SharingOutcome b =
+      dispatch_sharing(instance.taxis, instance.requests, kEuclidean, dense);
+  ASSERT_EQ(a.assignments.size(), 2u);
+  EXPECT_TRUE(a.unserved_request_indices.empty());
+  ASSERT_EQ(b.assignments.size(), a.assignments.size());
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    EXPECT_NE(a.assignments[i].taxi_index, 2);
+    EXPECT_EQ(a.assignments[i].taxi_index, b.assignments[i].taxi_index);
+    EXPECT_EQ(a.assignments[i].request_indices, b.assignments[i].request_indices);
+  }
+}
+
 }  // namespace
 }  // namespace o2o::core

@@ -16,7 +16,7 @@ using testing::random_profile;
 /// 3x3 Latin square with three stable matchings (see all_stable_test).
 PreferenceProfile latin_square_3x3() {
   return PreferenceProfile::from_scores({{1, 2, 3}, {3, 1, 2}, {2, 3, 1}},
-                                        {{3, 2, 1}, {1, 3, 2}, {2, 1, 3}});
+                                        {{3, 2, 1}, {1, 3, 2}, {2, 1, 3}}, 3);
 }
 
 TEST(Median, LatinSquareMedianIsTheMiddleMatching) {
@@ -93,7 +93,7 @@ TEST(Median, MedianBalancesTheTwoSides) {
 TEST(Median, UnservedRequestsStayUnserved) {
   // Figure-3-style instance: r2 unserved in every stable schedule.
   const auto profile = PreferenceProfile::from_scores(
-      {{1.0, 2.0}, {2.0, 1.0}, {1.0, 2.0}}, {{2.0, 1.0}, {1.0, 2.0}, {3.0, 3.0}});
+      {{1.0, 2.0}, {2.0, 1.0}, {1.0, 2.0}}, {{2.0, 1.0}, {1.0, 2.0}, {3.0, 3.0}}, 2);
   const AllStableResult all = enumerate_all_stable(profile);
   for (std::size_t k = 0; k < all.matchings.size(); ++k) {
     EXPECT_EQ(generalized_median(all.matchings, profile, k).request_to_taxi[2], kDummy);

@@ -30,19 +30,19 @@ trace::Request make_request(trace::RequestId id, geo::Point pickup, geo::Point d
 
 TEST(FromScores, ListsAreSortedByScore) {
   const auto profile = PreferenceProfile::from_scores({{3.0, 1.0, 2.0}},
-                                                      {{0.0, 0.0, 0.0}});
+                                                      {{0.0, 0.0, 0.0}}, 3);
   EXPECT_EQ(profile.request_list(0), (std::vector<int>{1, 2, 0}));
 }
 
 TEST(FromScores, TiesBreakTowardLowerIndex) {
   const auto profile = PreferenceProfile::from_scores({{5.0, 5.0, 1.0}},
-                                                      {{0.0, 0.0, 0.0}});
+                                                      {{0.0, 0.0, 0.0}}, 3);
   EXPECT_EQ(profile.request_list(0), (std::vector<int>{2, 0, 1}));
 }
 
 TEST(FromScores, UnacceptableEntriesAreTruncated) {
   const auto profile = PreferenceProfile::from_scores({{2.0, kUnacceptable, 1.0}},
-                                                      {{0.0, 0.0, kUnacceptable}});
+                                                      {{0.0, 0.0, kUnacceptable}}, 3);
   EXPECT_EQ(profile.request_list(0), (std::vector<int>{2, 0}));
   EXPECT_EQ(profile.request_rank(0, 1), PreferenceProfile::kNoRank);
   EXPECT_FALSE(profile.acceptable(0, 1));  // request side truncated
@@ -52,7 +52,7 @@ TEST(FromScores, UnacceptableEntriesAreTruncated) {
 
 TEST(FromScores, TaxiListsAreColumnsOfTheScoreMatrix) {
   const auto profile = PreferenceProfile::from_scores(
-      {{0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}}, {{5.0, 1.0}, {2.0, 2.0}, {9.0, 3.0}});
+      {{0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}}, {{5.0, 1.0}, {2.0, 2.0}, {9.0, 3.0}}, 2);
   EXPECT_EQ(profile.taxi_list(0), (std::vector<int>{1, 0, 2}));
   EXPECT_EQ(profile.taxi_list(1), (std::vector<int>{0, 1, 2}));
   EXPECT_EQ(profile.taxi_rank(0, 2), 2u);
@@ -60,22 +60,30 @@ TEST(FromScores, TaxiListsAreColumnsOfTheScoreMatrix) {
 
 TEST(FromScores, ListCapKeepsOnlyBestEntries) {
   const auto profile = PreferenceProfile::from_scores({{4.0, 3.0, 2.0, 1.0}},
-                                                      {{0, 0, 0, 0}},
+                                                      {{0, 0, 0, 0}}, 4,
                                                       /*list_cap=*/2);
   EXPECT_EQ(profile.request_list(0), (std::vector<int>{3, 2}));
   EXPECT_EQ(profile.request_rank(0, 0), PreferenceProfile::kNoRank);
 }
 
 TEST(FromScores, MismatchedShapesThrow) {
-  EXPECT_THROW(PreferenceProfile::from_scores({{1.0}}, {{1.0, 2.0}}),
+  EXPECT_THROW(PreferenceProfile::from_scores({{1.0}}, {{1.0, 2.0}}, 1),
                ContractViolation);
-  EXPECT_THROW(PreferenceProfile::from_scores({{1.0}, {1.0, 2.0}}, {{1.0}, {1.0, 2.0}}),
-               ContractViolation);
+  EXPECT_THROW(
+      PreferenceProfile::from_scores({{1.0}, {1.0, 2.0}}, {{1.0}, {1.0, 2.0}}, 2),
+      ContractViolation);
+}
+
+TEST(FromScores, ZeroRequestsKeepExplicitTaxiCount) {
+  const auto profile = PreferenceProfile::from_scores({}, {}, 5);
+  EXPECT_EQ(profile.request_count(), 0u);
+  EXPECT_EQ(profile.taxi_count(), 5u);
+  EXPECT_TRUE(profile.taxi_list(4).empty());
 }
 
 TEST(Prefers, DummySemantics) {
   const auto profile = PreferenceProfile::from_scores({{1.0, kUnacceptable}},
-                                                      {{0.0, 0.0}});
+                                                      {{0.0, 0.0}}, 2);
   // Any acceptable partner beats the dummy.
   EXPECT_TRUE(profile.request_prefers(0, 0, kDummy));
   EXPECT_FALSE(profile.request_prefers(0, kDummy, 0));

@@ -13,7 +13,7 @@ using testing::random_profile;
 
 TEST(Evaluate, SumsMatchedScoresOnly) {
   const auto profile = PreferenceProfile::from_scores(
-      {{2.0, 7.0}, {4.0, 1.0}}, {{-1.0, 3.0}, {0.5, -2.0}});
+      {{2.0, 7.0}, {4.0, 1.0}}, {{-1.0, 3.0}, {0.5, -2.0}}, 2);
   const Matching matching = make_matching({0, kDummy}, 2);
   const ScheduleEvaluation eval = evaluate(profile, matching);
   EXPECT_EQ(eval.matched, 1u);
@@ -23,7 +23,7 @@ TEST(Evaluate, SumsMatchedScoresOnly) {
 }
 
 TEST(Evaluate, EmptyMatchingHasZeroMeans) {
-  const auto profile = PreferenceProfile::from_scores({{1.0}}, {{1.0}});
+  const auto profile = PreferenceProfile::from_scores({{1.0}}, {{1.0}}, 1);
   const ScheduleEvaluation eval = evaluate(profile, make_matching({kDummy}, 1));
   EXPECT_EQ(eval.matched, 0u);
   EXPECT_DOUBLE_EQ(eval.passenger_mean(), 0.0);
@@ -31,7 +31,7 @@ TEST(Evaluate, EmptyMatchingHasZeroMeans) {
 }
 
 TEST(SelectBy, PicksTheMinimizerAndBreaksTiesFirst) {
-  const auto profile = PreferenceProfile::from_scores({{1.0, 2.0}}, {{5.0, 3.0}});
+  const auto profile = PreferenceProfile::from_scores({{1.0, 2.0}}, {{5.0, 3.0}}, 2);
   const std::vector<Matching> candidates{make_matching({0}, 2), make_matching({1}, 2)};
   const Matching& by_passenger = select_by(
       candidates, profile, [](const PreferenceProfile& p, const Matching& m) {
@@ -43,7 +43,7 @@ TEST(SelectBy, PicksTheMinimizerAndBreaksTiesFirst) {
 }
 
 TEST(SelectBy, EmptyCandidateListThrows) {
-  const auto profile = PreferenceProfile::from_scores({{1.0}}, {{1.0}});
+  const auto profile = PreferenceProfile::from_scores({{1.0}}, {{1.0}}, 1);
   EXPECT_THROW(
       select_by({}, profile,
                 [](const PreferenceProfile&, const Matching&) { return 0.0; }),

@@ -1,0 +1,218 @@
+// Differential tests for the sparse, grid-pruned preference profile: on
+// the same instance, the sparse path (spatial_prune with a finite
+// passenger threshold) must reproduce the dense path's matchings exactly
+// — pairs beyond the passenger threshold can never match, and dropping
+// them preserves the relative order of every preference list.
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/all_stable.h"
+#include "core/sharing.h"
+#include "core/stable_matching.h"
+#include "geo/road_network.h"
+#include "index/spatial_grid.h"
+#include "tests/core/test_helpers.h"
+#include "util/rng.h"
+
+namespace o2o::core {
+namespace {
+
+using testing::random_instance;
+
+const geo::EuclideanOracle kEuclidean;
+const geo::ManhattanOracle kManhattan;
+
+PreferenceParams pruned_params() {
+  PreferenceParams params;
+  params.passenger_threshold_km = 3.0;
+  return params;
+}
+
+PreferenceParams dense_params() {
+  PreferenceParams params = pruned_params();
+  params.spatial_prune = false;
+  return params;
+}
+
+/// Sorted set of matchings for order-insensitive comparison.
+std::vector<std::vector<int>> matching_set(const std::vector<Matching>& matchings) {
+  std::vector<std::vector<int>> keys;
+  keys.reserve(matchings.size());
+  for (const Matching& matching : matchings) keys.push_back(matching.request_to_taxi);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void expect_equivalent_profiles(const PreferenceProfile& dense,
+                                const PreferenceProfile& sparse) {
+  ASSERT_FALSE(dense.sparse());
+  ASSERT_TRUE(sparse.sparse());
+  ASSERT_EQ(dense.request_count(), sparse.request_count());
+  ASSERT_EQ(dense.taxi_count(), sparse.taxi_count());
+  for (std::size_t r = 0; r < dense.request_count(); ++r) {
+    // Passenger-acceptable pairs are always within the grid radius, so
+    // request lists — and with them acceptability and passenger scores —
+    // must agree pair for pair.
+    EXPECT_EQ(dense.request_list(r), sparse.request_list(r)) << "request " << r;
+    for (std::size_t t = 0; t < dense.taxi_count(); ++t) {
+      EXPECT_EQ(dense.request_rank(r, t), sparse.request_rank(r, t));
+      EXPECT_EQ(dense.acceptable(r, t), sparse.acceptable(r, t));
+      EXPECT_EQ(dense.passenger_score(r, t), sparse.passenger_score(r, t));
+      // Taxi ranks/scores may legitimately differ for pairs beyond the
+      // passenger radius (the sparse profile drops them); within the
+      // sparse taxi list they must agree with the dense scores.
+      if (sparse.taxi_rank(t, r) != PreferenceProfile::kNoRank) {
+        EXPECT_EQ(dense.taxi_score(t, r), sparse.taxi_score(t, r));
+      }
+    }
+  }
+}
+
+TEST(SparseProfile, MatchesDenseMatchingsOnRandomInstances) {
+  Rng rng(211);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto instance = random_instance(rng, 12, 15);
+    for (const geo::DistanceOracle* oracle :
+         {static_cast<const geo::DistanceOracle*>(&kEuclidean),
+          static_cast<const geo::DistanceOracle*>(&kManhattan)}) {
+      const auto dense = build_nonsharing_profile(instance.taxis, instance.requests,
+                                                  *oracle, dense_params());
+      const auto sparse = build_nonsharing_profile(instance.taxis, instance.requests,
+                                                   *oracle, pruned_params());
+      expect_equivalent_profiles(dense, sparse);
+      EXPECT_EQ(gale_shapley_requests(dense).request_to_taxi,
+                gale_shapley_requests(sparse).request_to_taxi)
+          << "trial " << trial;
+      EXPECT_EQ(gale_shapley_taxis(dense).request_to_taxi,
+                gale_shapley_taxis(sparse).request_to_taxi)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(SparseProfile, ExplicitBulkGridMatchesLocalGrid) {
+  Rng rng(212);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto instance = random_instance(rng, 10, 20);
+    const index::SpatialGrid grid(std::span<const trace::Taxi>(instance.taxis),
+                                  /*cell_km=*/1.0);
+    const auto with_grid = build_nonsharing_profile(instance.taxis, instance.requests,
+                                                    kEuclidean, pruned_params(), &grid);
+    const auto without = build_nonsharing_profile(instance.taxis, instance.requests,
+                                                  kEuclidean, pruned_params());
+    const auto dense = build_nonsharing_profile(instance.taxis, instance.requests,
+                                                kEuclidean, dense_params());
+    expect_equivalent_profiles(dense, with_grid);
+    for (std::size_t r = 0; r < with_grid.request_count(); ++r) {
+      EXPECT_EQ(with_grid.request_list(r), without.request_list(r));
+    }
+    EXPECT_EQ(gale_shapley_requests(with_grid).request_to_taxi,
+              gale_shapley_requests(dense).request_to_taxi);
+  }
+}
+
+TEST(SparseProfile, EnumerationAgreesOnSmallInstances) {
+  // The acceptance bar: identical *sets* of stable schedules, not just
+  // the two extremes, on brute-forceable instances.
+  Rng rng(213);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto instance = random_instance(rng, 7, 5);
+    const auto dense = build_nonsharing_profile(instance.taxis, instance.requests,
+                                                kEuclidean, dense_params());
+    const auto sparse = build_nonsharing_profile(instance.taxis, instance.requests,
+                                                 kEuclidean, pruned_params());
+    const AllStableResult dense_all = enumerate_all_stable(dense);
+    const AllStableResult sparse_all = enumerate_all_stable(sparse);
+    ASSERT_FALSE(dense_all.truncated);
+    ASSERT_FALSE(sparse_all.truncated);
+    EXPECT_EQ(matching_set(dense_all.matchings), matching_set(sparse_all.matchings))
+        << "trial " << trial;
+    EXPECT_EQ(matching_set(sparse_all.matchings),
+              matching_set(brute_force_all_stable(sparse)))
+        << "trial " << trial;
+  }
+}
+
+TEST(SparseProfile, NetworkOracleStillPrunesExactly) {
+  // Road distances dominate the straight-line metric the grid filters on
+  // (snap gaps plus a path no shorter than the chord), so pruning stays
+  // exact under the network oracle too. This oracle also forbids
+  // concurrent queries, exercising the serial construction path.
+  const geo::RoadNetwork network =
+      geo::RoadNetwork::make_grid_city(6, 6, 2.0, /*jitter_km=*/0.2,
+                                       /*closure_fraction=*/0.1, /*seed=*/5);
+  const geo::NetworkOracle oracle(network);
+  ASSERT_FALSE(oracle.concurrent_queries_safe());
+  Rng rng(214);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto instance = random_instance(rng, 8, 12);
+    PreferenceParams pruned = pruned_params();
+    pruned.passenger_threshold_km = 5.0;
+    PreferenceParams dense_p = pruned;
+    dense_p.spatial_prune = false;
+    const auto dense =
+        build_nonsharing_profile(instance.taxis, instance.requests, oracle, dense_p);
+    const auto sparse =
+        build_nonsharing_profile(instance.taxis, instance.requests, oracle, pruned);
+    expect_equivalent_profiles(dense, sparse);
+    EXPECT_EQ(gale_shapley_requests(dense).request_to_taxi,
+              gale_shapley_requests(sparse).request_to_taxi);
+  }
+}
+
+TEST(SparseProfile, SharingDispatchAgreesWithDensePath) {
+  Rng rng(215);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<trace::Taxi> taxis;
+    for (int t = 0; t < 12; ++t) {
+      taxis.push_back({t, {rng.uniform(0, 10), rng.uniform(0, 10)}, 4});
+    }
+    std::vector<trace::Request> requests;
+    for (int r = 0; r < 10; ++r) {
+      trace::Request request;
+      request.id = r;
+      request.pickup = {rng.uniform(0, 10), rng.uniform(0, 10)};
+      request.dropoff = {rng.uniform(0, 10), rng.uniform(0, 10)};
+      requests.push_back(request);
+    }
+    SharingParams pruned;
+    pruned.preference.passenger_threshold_km = 4.0;
+    pruned.grouping.detour_threshold_km = 3.0;
+    SharingParams dense = pruned;
+    dense.preference.spatial_prune = false;
+    for (const ProposalSide side : {ProposalSide::kPassengers, ProposalSide::kTaxis}) {
+      pruned.side = side;
+      dense.side = side;
+      const auto a = dispatch_sharing(taxis, requests, kEuclidean, pruned);
+      const auto b = dispatch_sharing(taxis, requests, kEuclidean, dense);
+      EXPECT_EQ(a.unserved_request_indices, b.unserved_request_indices);
+      ASSERT_EQ(a.assignments.size(), b.assignments.size());
+      for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+        EXPECT_EQ(a.assignments[i].taxi_index, b.assignments[i].taxi_index);
+        EXPECT_EQ(a.assignments[i].request_indices, b.assignments[i].request_indices);
+        EXPECT_DOUBLE_EQ(a.assignments[i].passenger_score, b.assignments[i].passenger_score);
+        EXPECT_DOUBLE_EQ(a.assignments[i].taxi_score, b.assignments[i].taxi_score);
+      }
+    }
+  }
+}
+
+TEST(SparseProfile, ParallelConstructionIsDeterministic) {
+  Rng rng(216);
+  // Large enough to clear the serial cutoff in for_each_row.
+  const auto instance = random_instance(rng, 64, 64);
+  const auto first = build_nonsharing_profile(instance.taxis, instance.requests,
+                                              kEuclidean, pruned_params());
+  const auto second = build_nonsharing_profile(instance.taxis, instance.requests,
+                                               kEuclidean, pruned_params());
+  ASSERT_EQ(first.request_count(), second.request_count());
+  for (std::size_t r = 0; r < first.request_count(); ++r) {
+    EXPECT_EQ(first.request_list(r), second.request_list(r));
+  }
+  for (std::size_t t = 0; t < first.taxi_count(); ++t) {
+    EXPECT_EQ(first.taxi_list(t), second.taxi_list(t));
+  }
+}
+
+}  // namespace
+}  // namespace o2o::core

@@ -28,7 +28,7 @@ TEST(MakeMatching, RejectsDuplicateTaxi) {
 }
 
 TEST(Validity, DetectsUnacceptablePair) {
-  const auto profile = PreferenceProfile::from_scores({{kUnacceptable}}, {{1.0}});
+  const auto profile = PreferenceProfile::from_scores({{kUnacceptable}}, {{1.0}}, 1);
   EXPECT_FALSE(is_valid(profile, make_matching({0}, 1)));
   EXPECT_TRUE(is_valid(profile, make_matching({kDummy}, 1)));
 }
@@ -37,7 +37,7 @@ TEST(BlockingPairs, FindsTheClassicBlock) {
   // r0 and t0 prefer each other but are matched elsewhere.
   const auto profile = PreferenceProfile::from_scores(
       {{1.0, 2.0}, {1.0, 2.0}},   // both requests prefer taxi 0
-      {{1.0, 1.0}, {2.0, 2.0}});  // both taxis prefer request 0
+      {{1.0, 1.0}, {2.0, 2.0}}, 2);  // both taxis prefer request 0
   const Matching bad = make_matching({1, 0}, 2);
   const auto blocks = blocking_pairs(profile, bad);
   ASSERT_EQ(blocks.size(), 1u);
@@ -48,14 +48,14 @@ TEST(BlockingPairs, FindsTheClassicBlock) {
 
 TEST(BlockingPairs, UnmatchedAgentsCanBlock) {
   // One request, one taxi, mutually acceptable, both unmatched: blocking.
-  const auto profile = PreferenceProfile::from_scores({{1.0}}, {{1.0}});
+  const auto profile = PreferenceProfile::from_scores({{1.0}}, {{1.0}}, 1);
   EXPECT_FALSE(is_stable(profile, make_matching({kDummy}, 1)));
   EXPECT_TRUE(is_stable(profile, make_matching({0}, 1)));
 }
 
 TEST(BlockingPairs, MutuallyUnacceptablePairNeverBlocks) {
   const auto profile =
-      PreferenceProfile::from_scores({{kUnacceptable}}, {{kUnacceptable}});
+      PreferenceProfile::from_scores({{kUnacceptable}}, {{kUnacceptable}}, 1);
   EXPECT_TRUE(is_stable(profile, make_matching({kDummy}, 1)));
 }
 
@@ -65,7 +65,7 @@ TEST(GaleShapley, TwoByTwoMatchesTheObviousPairs) {
   // Each request's nearest taxi is distinct: everyone gets their first
   // choice.
   const auto profile = PreferenceProfile::from_scores(
-      {{1.0, 9.0}, {9.0, 1.0}}, {{1.0, 9.0}, {9.0, 1.0}});
+      {{1.0, 9.0}, {9.0, 1.0}}, {{1.0, 9.0}, {9.0, 1.0}}, 2);
   const Matching matching = gale_shapley_requests(profile);
   EXPECT_EQ(matching.request_to_taxi, (std::vector<int>{0, 1}));
 }
@@ -74,14 +74,14 @@ TEST(GaleShapley, RefusalCascadeSettles) {
   // Both requests want taxi 0; taxi 0 prefers request 1 -> request 0 is
   // bumped to taxi 1.
   const auto profile = PreferenceProfile::from_scores(
-      {{1.0, 2.0}, {1.0, 2.0}}, {{2.0, 1.0}, {1.0, 2.0}});
+      {{1.0, 2.0}, {1.0, 2.0}}, {{2.0, 1.0}, {1.0, 2.0}}, 2);
   const Matching matching = gale_shapley_requests(profile);
   EXPECT_EQ(matching.request_to_taxi, (std::vector<int>{1, 0}));
 }
 
 TEST(GaleShapley, UnequalSidesLeaveDummies) {
   const auto profile = PreferenceProfile::from_scores(
-      {{1.0}, {2.0}, {3.0}}, {{1.0}, {2.0}, {3.0}});
+      {{1.0}, {2.0}, {3.0}}, {{1.0}, {2.0}, {3.0}}, 1);
   const Matching matching = gale_shapley_requests(profile);
   EXPECT_EQ(matching.matched_count(), 1u);
   EXPECT_EQ(matching.request_to_taxi[0], 0);  // taxi 0 prefers request 0
@@ -90,7 +90,7 @@ TEST(GaleShapley, UnequalSidesLeaveDummies) {
 TEST(GaleShapley, Property1TaxiPreferringNoDispatchStaysIdle) {
   // The taxi finds every request unacceptable -> never dispatched.
   const auto profile = PreferenceProfile::from_scores(
-      {{1.0}, {1.5}}, {{kUnacceptable}, {kUnacceptable}});
+      {{1.0}, {1.5}}, {{kUnacceptable}, {kUnacceptable}}, 1);
   const Matching matching = gale_shapley_requests(profile);
   EXPECT_EQ(matching.taxi_to_request[0], kDummy);
   EXPECT_TRUE(is_stable(profile, matching));
@@ -98,14 +98,14 @@ TEST(GaleShapley, Property1TaxiPreferringNoDispatchStaysIdle) {
 
 TEST(GaleShapley, Property1RequestPreferringNoServiceStaysUnserved) {
   const auto profile = PreferenceProfile::from_scores(
-      {{kUnacceptable, kUnacceptable}}, {{1.0, 1.0}});
+      {{kUnacceptable, kUnacceptable}}, {{1.0, 1.0}}, 2);
   const Matching matching = gale_shapley_requests(profile);
   EXPECT_EQ(matching.request_to_taxi[0], kDummy);
   EXPECT_TRUE(is_stable(profile, matching));
 }
 
 TEST(GaleShapley, EmptyProfile) {
-  const auto profile = PreferenceProfile::from_scores({}, {});
+  const auto profile = PreferenceProfile::from_scores({}, {}, 0);
   const Matching matching = gale_shapley_requests(profile);
   EXPECT_TRUE(matching.request_to_taxi.empty());
 }

@@ -51,7 +51,7 @@ inline PreferenceProfile random_profile(Rng& rng, std::size_t requests, std::siz
           rng.bernoulli(unacceptable_fraction) ? kUnacceptable : rng.uniform(-50, 50);
     }
   }
-  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi));
+  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi), taxis);
 }
 
 }  // namespace o2o::core::testing

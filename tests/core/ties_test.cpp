@@ -140,7 +140,7 @@ TEST(MaxCardinality, NeverWorseThanTheDeterministicTieBreak) {
       }
     }
     const Matching deterministic = gale_shapley_requests(
-        PreferenceProfile::from_scores(scores.passenger, scores.taxi));
+        PreferenceProfile::from_scores(scores.passenger, scores.taxi, scores.taxi_count()));
     const TieBreakResult best = max_cardinality_weakly_stable(scores, 8, 3);
     EXPECT_GE(best.matched, deterministic.matched_count()) << "trial " << trial;
   }

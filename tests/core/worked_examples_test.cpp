@@ -25,7 +25,7 @@ namespace {
 
 PreferenceProfile figure1_profile() {
   return PreferenceProfile::from_scores({{2.0, 3.0}, {5.0, 10.0}},
-                                        {{2.0, 3.0}, {5.0, 10.0}});
+                                        {{2.0, 3.0}, {5.0, 10.0}}, 2);
 }
 
 TEST(Figure1, MinCostPrefersS2) {
@@ -70,7 +70,7 @@ PreferenceProfile figure2_profile() {
   std::vector<std::vector<double>> passenger{{1.0, 2.0}, {1.0, kNo}, {1.0, kNo}};
   // taxi scores: tA ranks r2 < r0 < r1; tB accepts only r0
   std::vector<std::vector<double>> taxi{{2.0, 1.0}, {3.0, kNo}, {1.0, kNo}};
-  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi));
+  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi), 2);
 }
 
 TEST(Figure2, Algorithm1WalksToTheNarratedSchedule) {
@@ -98,7 +98,7 @@ TEST(Figure2, UnservedRequestIsUnservedInAllStableSchedules) {
 PreferenceProfile figure3_profile() {
   std::vector<std::vector<double>> passenger{{1.0, 2.0}, {2.0, 1.0}, {1.0, 2.0}};
   std::vector<std::vector<double>> taxi{{2.0, 1.0}, {1.0, 2.0}, {3.0, 3.0}};
-  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi));
+  return PreferenceProfile::from_scores(std::move(passenger), std::move(taxi), 2);
 }
 
 TEST(Figure3, TwoStableSchedulesAndOnePermanentlyUnserved) {

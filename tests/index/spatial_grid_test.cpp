@@ -136,5 +136,68 @@ TEST_P(SpatialGridRandom, MatchesBruteForceQueries) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpatialGridRandom, ::testing::Values(1, 2, 3, 4, 5));
 
+TEST(SpatialGridBulk, KeysBySpanIndexNotTaxiId) {
+  // Taxi ids are deliberately non-contiguous; the bulk constructor keys
+  // entries by position in the span so dispatch code can index straight
+  // back into its frame-local vectors.
+  std::vector<trace::Taxi> taxis{{100, {2.0, 3.0}, 4},
+                                 {7, {15.0, 15.0}, 4},
+                                 {42, {2.5, 3.5}, 2}};
+  const SpatialGrid grid(std::span<const trace::Taxi>(taxis), 1.0);
+  EXPECT_EQ(grid.size(), taxis.size());
+  for (std::size_t i = 0; i < taxis.size(); ++i) {
+    const auto pos = grid.position(static_cast<std::int32_t>(i));
+    ASSERT_TRUE(pos.has_value()) << "span index " << i;
+    EXPECT_EQ(pos->x, taxis[i].location.x);
+    EXPECT_EQ(pos->y, taxis[i].location.y);
+  }
+  EXPECT_FALSE(grid.contains(100));
+
+  auto near_origin = grid.within_radius({2.0, 3.0}, 1.0);
+  std::sort(near_origin.begin(), near_origin.end());
+  EXPECT_EQ(near_origin, (std::vector<std::int32_t>{0, 2}));
+}
+
+TEST(SpatialGridBulk, MatchesIncrementalConstructionOnRandomFleets) {
+  Rng rng(99);
+  std::vector<trace::Taxi> taxis;
+  for (int t = 0; t < 60; ++t) {
+    taxis.push_back({t, {rng.uniform(-5, 25), rng.uniform(-5, 25)}, 4});
+  }
+  const SpatialGrid bulk(std::span<const trace::Taxi>(taxis), 1.5);
+  SpatialGrid incremental(bounds(), 1.5);
+  for (std::size_t i = 0; i < taxis.size(); ++i) {
+    incremental.upsert(static_cast<std::int32_t>(i), taxis[i].location);
+  }
+  for (int probe = 0; probe < 40; ++probe) {
+    const geo::Point p{rng.uniform(-8, 28), rng.uniform(-8, 28)};
+    const double radius = rng.uniform(0.5, 10.0);
+    auto a = bulk.within_radius(p, radius);
+    auto b = incremental.within_radius(p, radius);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "probe " << probe;
+  }
+}
+
+TEST(SpatialGridBulk, EmptySpanYieldsAValidEmptyGrid) {
+  const std::vector<trace::Taxi> none;
+  const SpatialGrid grid(std::span<const trace::Taxi>(none), 2.0);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_FALSE(grid.nearest({0.5, 0.5}).has_value());
+  EXPECT_TRUE(grid.within_radius({0.5, 0.5}, 100.0).empty());
+}
+
+TEST(SpatialGridBulk, QueriesFarOutsideThePaddedBoundsStillWork) {
+  std::vector<trace::Taxi> taxis{{0, {0.0, 0.0}, 4}, {1, {1.0, 0.0}, 4}};
+  const SpatialGrid grid(std::span<const trace::Taxi>(taxis), 1.0);
+  // A query point hundreds of km outside the fleet's bounding box must
+  // clamp, not crash, and still honour the radius test exactly.
+  EXPECT_TRUE(grid.within_radius({500.0, 500.0}, 10.0).empty());
+  auto all = grid.within_radius({500.0, 500.0}, 1000.0);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<std::int32_t>{0, 1}));
+}
+
 }  // namespace
 }  // namespace o2o::index

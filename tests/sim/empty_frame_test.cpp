@@ -1,0 +1,114 @@
+// Degenerate dispatch frames: zero pending requests, zero idle taxis, or
+// both. These lock in the from_scores taxi-count fix — a zero-request
+// frame must still report the live fleet size — and prove the whole
+// Simulator::run loop survives empty traces and empty fleets under both
+// stable dispatchers.
+#include <gtest/gtest.h>
+
+#include "core/dispatchers.h"
+#include "core/sharing.h"
+#include "core/stable_matching.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace o2o {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+const geo::Rect kRegion{{0.0, 0.0}, {10.0, 10.0}};
+
+std::vector<trace::Taxi> small_fleet(int count) {
+  std::vector<trace::Taxi> fleet;
+  for (int t = 0; t < count; ++t) {
+    fleet.push_back({t, {1.0 + t, 2.0}, 4});
+  }
+  return fleet;
+}
+
+std::vector<trace::Request> few_requests(int count) {
+  std::vector<trace::Request> requests;
+  for (int r = 0; r < count; ++r) {
+    trace::Request request;
+    request.id = r;
+    request.time_seconds = 30.0 * r;
+    request.pickup = {2.0, 2.0 + r};
+    request.dropoff = {6.0, 2.0 + r};
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+TEST(EmptyFrame, ZeroRequestProfileKeepsFleetSize) {
+  const auto profile = core::PreferenceProfile::from_scores({}, {}, 5);
+  EXPECT_EQ(profile.request_count(), 0u);
+  EXPECT_EQ(profile.taxi_count(), 5u);
+  const core::Matching matching = core::gale_shapley_taxis(profile);
+  EXPECT_TRUE(matching.request_to_taxi.empty());
+  EXPECT_EQ(matching.taxi_to_request.size(), 5u);
+}
+
+TEST(EmptyFrame, StableDispatchersSurviveEmptyTraceThroughSimulatorRun) {
+  const trace::Trace empty_trace("empty", kRegion, {});
+  for (const core::ProposalSide side :
+       {core::ProposalSide::kPassengers, core::ProposalSide::kTaxis}) {
+    core::StableDispatcherOptions options;
+    options.side = side;
+    core::StableDispatcher dispatcher(options);
+    sim::Simulator simulator(empty_trace, small_fleet(4), kOracle);
+    const sim::SimulationReport report = simulator.run(dispatcher);
+    EXPECT_EQ(report.served, 0u);
+    EXPECT_EQ(report.cancelled, 0u);
+    EXPECT_EQ(report.dispatched_rides, 0u);
+    EXPECT_TRUE(report.requests.empty());
+  }
+}
+
+TEST(EmptyFrame, SharingDispatcherSurvivesEmptyTraceThroughSimulatorRun) {
+  const trace::Trace empty_trace("empty", kRegion, {});
+  core::SharingStableDispatcherOptions options;
+  core::SharingStableDispatcher dispatcher(options);
+  sim::Simulator simulator(empty_trace, small_fleet(3), kOracle);
+  const sim::SimulationReport report = simulator.run(dispatcher);
+  EXPECT_EQ(report.served, 0u);
+  EXPECT_EQ(report.dispatched_rides, 0u);
+}
+
+TEST(EmptyFrame, EmptyFleetLeavesEveryRequestUnserved) {
+  const trace::Trace trace("no-fleet", kRegion, few_requests(3));
+  sim::SimulatorConfig config;
+  config.cancel_timeout_seconds = 120.0;
+  config.drain_seconds = 300.0;
+  for (const core::ProposalSide side :
+       {core::ProposalSide::kPassengers, core::ProposalSide::kTaxis}) {
+    core::StableDispatcherOptions options;
+    options.side = side;
+    core::StableDispatcher dispatcher(options);
+    sim::Simulator simulator(trace, {}, kOracle, config);
+    const sim::SimulationReport report = simulator.run(dispatcher);
+    EXPECT_EQ(report.served, 0u);
+    EXPECT_EQ(report.cancelled, 3u);
+  }
+  core::SharingStableDispatcherOptions sharing_options;
+  core::SharingStableDispatcher sharing(sharing_options);
+  sim::Simulator simulator(trace, {}, kOracle, config);
+  const sim::SimulationReport report = simulator.run(sharing);
+  EXPECT_EQ(report.served, 0u);
+  EXPECT_EQ(report.cancelled, 3u);
+}
+
+TEST(EmptyFrame, DispatchSharingHandlesZeroRequestsOnBothSides) {
+  const std::vector<trace::Taxi> taxis = small_fleet(4);
+  for (const core::ProposalSide side :
+       {core::ProposalSide::kPassengers, core::ProposalSide::kTaxis}) {
+    core::SharingParams params;
+    params.side = side;
+    const core::SharingOutcome outcome =
+        core::dispatch_sharing(taxis, {}, kOracle, params);
+    EXPECT_TRUE(outcome.assignments.empty());
+    EXPECT_TRUE(outcome.unserved_request_indices.empty());
+    EXPECT_EQ(outcome.packed_groups, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace o2o

@@ -1,0 +1,62 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <stdexcept>
+#include <vector>
+
+namespace o2o {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), /*grain=*/7, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersRunInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  int sum = 0;
+  // With no workers, the body runs on the caller, so unsynchronized
+  // state is safe.
+  pool.parallel_for(5, 10, 2, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 5 + 6 + 7 + 8 + 9);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(4, 4, 1, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToTheCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100, 1,
+                                 [](std::size_t i) {
+                                   if (i == 42) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 50, 4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SharedPoolIsReusableAcrossCalls) {
+  ThreadPool& pool = ThreadPool::shared();
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 200, 16, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 200);
+  }
+}
+
+}  // namespace
+}  // namespace o2o
