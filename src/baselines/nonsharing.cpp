@@ -11,6 +11,11 @@ namespace o2o::baselines {
 matching::CostMatrix pickup_cost_matrix(const sim::DispatchContext& context,
                                         double max_pickup_km) {
   matching::CostMatrix costs(context.pending.size(), context.idle_taxis.size());
+  // Pointwise on purpose: the assignment solvers tie-break on exact cost
+  // bits, and bulk distances_to rows differ from distance() at summation-
+  // order ulp — enough to flip Hungarian ties and drift the closed-loop
+  // baselines. distance() rides the same warm tree cache, so rows price
+  // one O(1) lookup per pair anyway.
   for (std::size_t r = 0; r < context.pending.size(); ++r) {
     const trace::Request& request = context.pending[r];
     for (std::size_t t = 0; t < context.idle_taxis.size(); ++t) {

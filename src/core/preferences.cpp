@@ -240,12 +240,18 @@ PreferenceProfile build_nonsharing_profile(std::span<const trace::Taxi> taxis,
   const bool prune = params.spatial_prune &&
                      std::isfinite(params.passenger_threshold_km) && n_taxis > 0;
   if (!prune) {
+    std::vector<geo::Point> taxi_locations(n_taxis);
+    for (std::size_t t = 0; t < n_taxis; ++t) taxi_locations[t] = taxis[t].location;
     std::vector<std::vector<double>> passenger_scores(n_requests,
                                                       std::vector<double>(n_taxis));
     std::vector<std::vector<double>> taxi_scores(n_requests, std::vector<double>(n_taxis));
     for_each_row(n_requests, oracle, [&](std::size_t r) {
       const trace::Request& request = requests[r];
       const double trip = oracle.distance(request.pickup, request.dropoff);
+      // One bulk call per row: D(taxi -> pickup) for every taxi. The
+      // network oracle serves the whole row from a single reverse tree
+      // rooted at the pickup instead of one forward tree per taxi.
+      const std::vector<double> pickups = oracle.distances_to(taxi_locations, request.pickup);
       for (std::size_t t = 0; t < n_taxis; ++t) {
         const trace::Taxi& taxi = taxis[t];
         if (taxi.seats < request.seats) {
@@ -256,7 +262,7 @@ PreferenceProfile build_nonsharing_profile(std::span<const trace::Taxi> taxis,
           taxi_scores[r][t] = kUnacceptable;
           continue;
         }
-        const double pickup = oracle.distance(taxi.location, request.pickup);
+        const double pickup = pickups[t];
         const double driver = pickup - params.alpha * trip;
         passenger_scores[r][t] =
             pickup <= params.passenger_threshold_km ? pickup : kUnacceptable;
@@ -287,13 +293,23 @@ PreferenceProfile build_nonsharing_profile(std::span<const trace::Taxi> taxis,
     std::vector<std::int32_t> nearby =
         taxi_grid->within_radius(request.pickup, params.passenger_threshold_km);
     std::sort(nearby.begin(), nearby.end());
-    auto& row = rows[r];
-    row.reserve(nearby.size());
+    // Seat-feasible candidates first, then one bulk distance call for the
+    // whole row (one reverse tree on the network oracle).
+    std::vector<std::int32_t> feasible;
+    std::vector<geo::Point> locations;
+    feasible.reserve(nearby.size());
+    locations.reserve(nearby.size());
     for (const std::int32_t id : nearby) {
-      const auto t = static_cast<std::size_t>(id);
-      const trace::Taxi& taxi = taxis[t];
-      if (taxi.seats < request.seats) continue;
-      const double pickup = oracle.distance(taxi.location, request.pickup);
+      if (taxis[static_cast<std::size_t>(id)].seats < request.seats) continue;
+      feasible.push_back(id);
+      locations.push_back(taxis[static_cast<std::size_t>(id)].location);
+    }
+    const std::vector<double> pickups = oracle.distances_to(locations, request.pickup);
+    auto& row = rows[r];
+    row.reserve(feasible.size());
+    for (std::size_t k = 0; k < feasible.size(); ++k) {
+      const auto t = static_cast<std::size_t>(feasible[k]);
+      const double pickup = pickups[k];
       const double driver = pickup - params.alpha * trip;
       const double passenger_score =
           pickup <= params.passenger_threshold_km ? pickup : kUnacceptable;

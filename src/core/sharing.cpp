@@ -142,19 +142,33 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
     // Mean direct pick-up distance per candidate: it lower-bounds the
     // unit's passenger score (along-route waits dominate direct distances
     // and detours are non-negative), so it both implements the threshold
-    // prefilter and ranks taxis for the candidate cap.
-    std::vector<std::pair<double, int>> passing;  // (bound, taxi)
-    passing.reserve(candidate_ids.size());
+    // prefilter and ranks taxis for the candidate cap. Seat-feasible
+    // candidates are gathered first, then priced with one bulk distance
+    // call per member (one reverse tree per pick-up on the network
+    // oracle); the per-candidate accumulation order over members is
+    // unchanged.
+    std::vector<int> feasible;
+    std::vector<geo::Point> locations;
+    feasible.reserve(candidate_ids.size());
+    locations.reserve(candidate_ids.size());
     for (const int candidate : candidate_ids) {
       const auto t = static_cast<std::size_t>(candidate);
       if (taxis[t].seats < unit_seats[u]) continue;
-      double total = 0.0;
-      for (std::size_t index : member_indices) {
-        total += oracle.distance(taxis[t].location, requests[index].pickup);
-      }
-      const double bound = total / static_cast<double>(member_indices.size());
+      feasible.push_back(candidate);
+      locations.push_back(taxis[t].location);
+    }
+    std::vector<double> totals(feasible.size(), 0.0);
+    for (std::size_t index : member_indices) {
+      const std::vector<double> pickups =
+          oracle.distances_to(locations, requests[index].pickup);
+      for (std::size_t k = 0; k < feasible.size(); ++k) totals[k] += pickups[k];
+    }
+    std::vector<std::pair<double, int>> passing;  // (bound, taxi)
+    passing.reserve(feasible.size());
+    for (std::size_t k = 0; k < feasible.size(); ++k) {
+      const double bound = totals[k] / static_cast<double>(member_indices.size());
       if (bound > passenger_threshold) continue;
-      passing.emplace_back(bound, candidate);
+      passing.emplace_back(bound, feasible[k]);
     }
 
     // Hard candidate cap: keep exactly the K best by (bound, taxi index).

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "geo/point.h"
 #include "util/contracts.h"
@@ -18,6 +20,39 @@ class DistanceOracle {
  public:
   virtual ~DistanceOracle() = default;
   virtual double distance(const Point& a, const Point& b) const = 0;
+
+  /// Bulk query: D(source, targets[i]) for every target. The default
+  /// loops over distance(); oracles with per-source state (the network
+  /// oracle's Dijkstra trees) override it to resolve the source once and
+  /// serve the whole batch from one cached tree.
+  virtual std::vector<double> distances_from(const Point& source,
+                                             std::span<const Point> targets) const {
+    std::vector<double> result(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      result[i] = distance(source, targets[i]);
+    }
+    return result;
+  }
+
+  /// Bulk query in the other direction: D(sources[i], target) for every
+  /// source — the shape of the dispatch hot path, where one request's
+  /// pick-up is scored against many candidate taxis. The default loops
+  /// over distance(); the network oracle serves the batch from one cached
+  /// *reverse* Dijkstra tree rooted at the target.
+  virtual std::vector<double> distances_to(std::span<const Point> sources,
+                                           const Point& target) const {
+    std::vector<double> result(sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      result[i] = distance(sources[i], target);
+    }
+    return result;
+  }
+
+  /// Frame-level hint: the given points (typically the frame's idle-taxi
+  /// snapshot) are about to appear as endpoints of many queries. Default
+  /// no-op; the network oracle warms its snap memo so per-query endpoint
+  /// resolution becomes a hash hit for the rest of the frame.
+  virtual void prepare_frame(std::span<const Point> points) const { (void)points; }
 
   /// Whether distance() may be called from several threads at once.
   /// Oracles with unsynchronized internal caches must return false.

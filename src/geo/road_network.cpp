@@ -1,16 +1,94 @@
 #include "geo/road_network.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <queue>
+#include <utility>
 
 #include "util/rng.h"
 
 namespace o2o::geo {
 
+namespace {
+
+/// splitmix64 finisher. Tree keys are `(node << 1) | reverse`, so without
+/// mixing every forward key is even and `key % shards` would leave half
+/// the shards idle.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-shard bound on the exact-key snap memo. Generous (a frame snapshot
+/// is thousands of points, spread over all shards); on overflow the shard
+/// clears and re-fills — simpler than LRU for entries this cheap.
+constexpr std::size_t kSnapMemoPerShardCap = 1 << 14;
+
+}  // namespace
+
+RoadNetwork::RoadNetwork(const RoadNetwork& other) { copy_from(other); }
+
+RoadNetwork& RoadNetwork::operator=(const RoadNetwork& other) {
+  if (this != &other) copy_from(other);
+  return *this;
+}
+
+RoadNetwork::RoadNetwork(RoadNetwork&& other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      adjacency_(std::move(other.adjacency_)),
+      reverse_adjacency_(std::move(other.reverse_adjacency_)),
+      edge_count_(other.edge_count_),
+      snap_ready_(other.snap_ready_.load(std::memory_order_relaxed)),
+      snap_cell_km_(other.snap_cell_km_),
+      snap_bounds_(other.snap_bounds_),
+      snap_cols_(other.snap_cols_),
+      snap_rows_(other.snap_rows_),
+      snap_cells_(std::move(other.snap_cells_)) {}
+
+RoadNetwork& RoadNetwork::operator=(RoadNetwork&& other) noexcept {
+  if (this != &other) {
+    nodes_ = std::move(other.nodes_);
+    adjacency_ = std::move(other.adjacency_);
+    reverse_adjacency_ = std::move(other.reverse_adjacency_);
+    edge_count_ = other.edge_count_;
+    snap_ready_.store(other.snap_ready_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    snap_cell_km_ = other.snap_cell_km_;
+    snap_bounds_ = other.snap_bounds_;
+    snap_cols_ = other.snap_cols_;
+    snap_rows_ = other.snap_rows_;
+    snap_cells_ = std::move(other.snap_cells_);
+  }
+  return *this;
+}
+
+void RoadNetwork::copy_from(const RoadNetwork& other) {
+  nodes_ = other.nodes_;
+  adjacency_ = other.adjacency_;
+  reverse_adjacency_ = other.reverse_adjacency_;
+  edge_count_ = other.edge_count_;
+  // Hold the source's build mutex so a concurrent lazy build on `other`
+  // cannot be observed half-written.
+  std::lock_guard lock(other.snap_build_mutex_);
+  snap_cell_km_ = other.snap_cell_km_;
+  snap_bounds_ = other.snap_bounds_;
+  snap_cols_ = other.snap_cols_;
+  snap_rows_ = other.snap_rows_;
+  snap_cells_ = other.snap_cells_;
+  snap_ready_.store(other.snap_ready_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+}
+
 NodeId RoadNetwork::add_node(Point position) {
   nodes_.push_back(position);
   adjacency_.emplace_back();
+  reverse_adjacency_.emplace_back();
+  // A new node falls outside the built cell grid; force a rebuild on the
+  // next snap.
+  snap_ready_.store(false, std::memory_order_release);
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -22,6 +100,7 @@ void RoadNetwork::add_edge(NodeId from, NodeId to, double length_km) {
                                    nodes_[static_cast<std::size_t>(to)]);
   }
   adjacency_[static_cast<std::size_t>(from)].push_back(Edge{to, length_km});
+  reverse_adjacency_[static_cast<std::size_t>(to)].push_back(Edge{from, length_km});
   ++edge_count_;
 }
 
@@ -40,8 +119,64 @@ const std::vector<RoadNetwork::Edge>& RoadNetwork::edges_from(NodeId id) const {
   return adjacency_[static_cast<std::size_t>(id)];
 }
 
+double RoadNetwork::default_snap_cell_km() const {
+  Rect bounds{nodes_[0], nodes_[0]};
+  for (const Point& p : nodes_) {
+    bounds.lo.x = std::min(bounds.lo.x, p.x);
+    bounds.lo.y = std::min(bounds.lo.y, p.y);
+    bounds.hi.x = std::max(bounds.hi.x, p.x);
+    bounds.hi.y = std::max(bounds.hi.y, p.y);
+  }
+  const double extent = std::max(bounds.width(), bounds.height());
+  if (extent <= 0.0) return 0.5;
+  // Aim for ~one node per cell on average: extent / sqrt(n) cells per side.
+  const double per_side = std::sqrt(static_cast<double>(nodes_.size()));
+  return std::max(0.05, extent / std::max(1.0, per_side));
+}
+
+void RoadNetwork::ensure_snap_index() const {
+  if (snap_ready_.load(std::memory_order_acquire)) return;
+  std::lock_guard lock(snap_build_mutex_);
+  if (snap_ready_.load(std::memory_order_relaxed)) return;
+  build_snap_cells(default_snap_cell_km());
+  snap_ready_.store(true, std::memory_order_release);
+}
+
+void RoadNetwork::build_snap_index(double cell_km) {
+  O2O_EXPECTS(cell_km > 0.0);
+  O2O_EXPECTS(!nodes_.empty());
+  std::lock_guard lock(snap_build_mutex_);
+  build_snap_cells(cell_km);
+  snap_ready_.store(true, std::memory_order_release);
+}
+
+void RoadNetwork::build_snap_cells(double cell_km) const {
+  snap_cell_km_ = cell_km;
+  snap_bounds_ = Rect{nodes_[0], nodes_[0]};
+  for (const Point& p : nodes_) {
+    snap_bounds_.lo.x = std::min(snap_bounds_.lo.x, p.x);
+    snap_bounds_.lo.y = std::min(snap_bounds_.lo.y, p.y);
+    snap_bounds_.hi.x = std::max(snap_bounds_.hi.x, p.x);
+    snap_bounds_.hi.y = std::max(snap_bounds_.hi.y, p.y);
+  }
+  snap_cols_ = std::max(1, static_cast<int>(std::ceil(snap_bounds_.width() / cell_km)));
+  snap_rows_ = std::max(1, static_cast<int>(std::ceil(snap_bounds_.height() / cell_km)));
+  snap_cells_.assign(static_cast<std::size_t>(snap_cols_) * static_cast<std::size_t>(snap_rows_),
+                     {});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Point& p = nodes_[i];
+    const int x = std::clamp(static_cast<int>((p.x - snap_bounds_.lo.x) / cell_km), 0,
+                             snap_cols_ - 1);
+    const int y = std::clamp(static_cast<int>((p.y - snap_bounds_.lo.y) / cell_km), 0,
+                             snap_rows_ - 1);
+    snap_cells_[static_cast<std::size_t>(y * snap_cols_ + x)].push_back(
+        static_cast<NodeId>(i));
+  }
+}
+
 NodeId RoadNetwork::nearest_node(const Point& p) const {
   O2O_EXPECTS(!nodes_.empty());
+  ensure_snap_index();
   if (snap_cols_ > 0) {
     // Search outward ring by ring from p's cell until a candidate is found
     // and the ring distance exceeds the best candidate distance.
@@ -88,35 +223,21 @@ NodeId RoadNetwork::nearest_node(const Point& p) const {
   return best;
 }
 
-void RoadNetwork::build_snap_index(double cell_km) {
-  O2O_EXPECTS(cell_km > 0.0);
-  O2O_EXPECTS(!nodes_.empty());
-  snap_cell_km_ = cell_km;
-  snap_bounds_ = Rect{nodes_[0], nodes_[0]};
-  for (const Point& p : nodes_) {
-    snap_bounds_.lo.x = std::min(snap_bounds_.lo.x, p.x);
-    snap_bounds_.lo.y = std::min(snap_bounds_.lo.y, p.y);
-    snap_bounds_.hi.x = std::max(snap_bounds_.hi.x, p.x);
-    snap_bounds_.hi.y = std::max(snap_bounds_.hi.y, p.y);
+std::vector<NodeId> RoadNetwork::snap_many(std::span<const Point> points) const {
+  std::vector<NodeId> result(points.size());
+  if (points.empty()) return result;
+  ensure_snap_index();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result[i] = nearest_node(points[i]);
   }
-  snap_cols_ = std::max(1, static_cast<int>(std::ceil(snap_bounds_.width() / cell_km)));
-  snap_rows_ = std::max(1, static_cast<int>(std::ceil(snap_bounds_.height() / cell_km)));
-  snap_cells_.assign(static_cast<std::size_t>(snap_cols_) * static_cast<std::size_t>(snap_rows_),
-                     {});
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    const Point& p = nodes_[i];
-    const int x = std::clamp(static_cast<int>((p.x - snap_bounds_.lo.x) / cell_km), 0,
-                             snap_cols_ - 1);
-    const int y = std::clamp(static_cast<int>((p.y - snap_bounds_.lo.y) / cell_km), 0,
-                             snap_rows_ - 1);
-    snap_cells_[static_cast<std::size_t>(y * snap_cols_ + x)].push_back(
-        static_cast<NodeId>(i));
-  }
+  return result;
 }
 
-std::vector<double> RoadNetwork::shortest_paths_from(NodeId source) const {
-  O2O_EXPECTS(source >= 0 && static_cast<std::size_t>(source) < nodes_.size());
-  std::vector<double> dist(nodes_.size(), kInfiniteDistance);
+namespace {
+
+std::vector<double> dijkstra_tree(const std::vector<std::vector<RoadNetwork::Edge>>& graph,
+                                  NodeId source) {
+  std::vector<double> dist(graph.size(), kInfiniteDistance);
   using Item = std::pair<double, NodeId>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
   dist[static_cast<std::size_t>(source)] = 0.0;
@@ -125,7 +246,7 @@ std::vector<double> RoadNetwork::shortest_paths_from(NodeId source) const {
     const auto [d, node] = frontier.top();
     frontier.pop();
     if (d > dist[static_cast<std::size_t>(node)]) continue;
-    for (const Edge& edge : adjacency_[static_cast<std::size_t>(node)]) {
+    for (const RoadNetwork::Edge& edge : graph[static_cast<std::size_t>(node)]) {
       const double candidate = d + edge.length_km;
       if (candidate < dist[static_cast<std::size_t>(edge.to)]) {
         dist[static_cast<std::size_t>(edge.to)] = candidate;
@@ -136,9 +257,68 @@ std::vector<double> RoadNetwork::shortest_paths_from(NodeId source) const {
   return dist;
 }
 
-double RoadNetwork::shortest_path(NodeId source, NodeId target) const {
+}  // namespace
+
+std::vector<double> RoadNetwork::shortest_paths_from(NodeId source) const {
+  O2O_EXPECTS(source >= 0 && static_cast<std::size_t>(source) < nodes_.size());
+  return dijkstra_tree(adjacency_, source);
+}
+
+std::vector<double> RoadNetwork::shortest_paths_to(NodeId target) const {
   O2O_EXPECTS(target >= 0 && static_cast<std::size_t>(target) < nodes_.size());
-  return shortest_paths_from(source)[static_cast<std::size_t>(target)];
+  return dijkstra_tree(reverse_adjacency_, target);
+}
+
+double RoadNetwork::shortest_path(NodeId source, NodeId target) const {
+  O2O_EXPECTS(source >= 0 && static_cast<std::size_t>(source) < nodes_.size());
+  O2O_EXPECTS(target >= 0 && static_cast<std::size_t>(target) < nodes_.size());
+  if (source == target) return 0.0;
+  // Bidirectional Dijkstra. `best` is updated on every successful
+  // relaxation by adding the opposite search's current label, so by the
+  // time min-key(forward) + min-key(backward) >= best — or either search
+  // is exhausted — `best` is the exact s-t distance (the optimal path's
+  // meeting node has had both labels finalized, and the later of the two
+  // finalizations saw the earlier one).
+  using Item = std::pair<double, NodeId>;
+  using Queue = std::priority_queue<Item, std::vector<Item>, std::greater<>>;
+  std::vector<double> dist_f(nodes_.size(), kInfiniteDistance);
+  std::vector<double> dist_b(nodes_.size(), kInfiniteDistance);
+  Queue frontier_f;
+  Queue frontier_b;
+  dist_f[static_cast<std::size_t>(source)] = 0.0;
+  dist_b[static_cast<std::size_t>(target)] = 0.0;
+  frontier_f.emplace(0.0, source);
+  frontier_b.emplace(0.0, target);
+  double best = kInfiniteDistance;
+
+  const auto expand = [&](Queue& frontier, std::vector<double>& dist,
+                          const std::vector<double>& other_dist,
+                          const std::vector<std::vector<Edge>>& graph) {
+    const auto [d, node] = frontier.top();
+    frontier.pop();
+    if (d > dist[static_cast<std::size_t>(node)]) return;
+    for (const Edge& edge : graph[static_cast<std::size_t>(node)]) {
+      const double candidate = d + edge.length_km;
+      if (candidate < dist[static_cast<std::size_t>(edge.to)]) {
+        dist[static_cast<std::size_t>(edge.to)] = candidate;
+        frontier.emplace(candidate, edge.to);
+        const double through = candidate + other_dist[static_cast<std::size_t>(edge.to)];
+        if (through < best) best = through;
+      }
+    }
+  };
+
+  while (!frontier_f.empty() || !frontier_b.empty()) {
+    const double top_f = frontier_f.empty() ? kInfiniteDistance : frontier_f.top().first;
+    const double top_b = frontier_b.empty() ? kInfiniteDistance : frontier_b.top().first;
+    if (top_f + top_b >= best) break;
+    if (top_f <= top_b) {
+      expand(frontier_f, dist_f, dist_b, adjacency_);
+    } else {
+      expand(frontier_b, dist_b, dist_f, reverse_adjacency_);
+    }
+  }
+  return best;
 }
 
 std::vector<NodeId> RoadNetwork::shortest_path_nodes(NodeId source, NodeId target) const {
@@ -228,35 +408,156 @@ RoadNetwork RoadNetwork::make_grid_city(int cols, int rows, double spacing_km,
   return network;
 }
 
-NetworkOracle::NetworkOracle(const RoadNetwork& network, std::size_t cache_capacity)
-    : network_(network), cache_capacity_(cache_capacity) {
+// ---------------------------------------------------------------------------
+// NetworkOracle
+// ---------------------------------------------------------------------------
+
+NetworkOracle::NetworkOracle(const RoadNetwork& network, std::size_t cache_capacity,
+                             std::size_t shard_count)
+    : network_(network) {
   O2O_EXPECTS(network.node_count() > 0);
-  O2O_EXPECTS(cache_capacity > 0);
+  O2O_EXPECTS(shard_count > 0);
+  if (cache_capacity == kAutoCapacity) {
+    // Frame working set: at most one forward and one reverse tree per
+    // node, memory-capped (a tree is node_count doubles). The memory cap
+    // wins over the working-set floor on very large networks.
+    const std::size_t working_set = std::max<std::size_t>(1024, 2 * network.node_count() + 64);
+    const std::size_t memory_bound =
+        (std::size_t{256} << 20) / (sizeof(double) * network.node_count());
+    cache_capacity = std::max<std::size_t>(64, std::min(working_set, memory_bound));
+  }
+  // Never let rounding push the total above the requested capacity: use
+  // at most `cache_capacity` shards, each holding floor(capacity/shards).
+  const std::size_t shards_used = std::min(shard_count, cache_capacity);
+  per_shard_capacity_ = std::max<std::size_t>(1, cache_capacity / shards_used);
+  shards_ = std::vector<Shard>(shards_used);
 }
 
-const std::vector<double>& NetworkOracle::tree_for(NodeId source) const {
-  const auto it = cache_.find(source);
-  if (it != cache_.end()) return it->second;
-  if (cache_.size() >= cache_capacity_) {
-    // Evict the oldest half. Coarse, but keeps amortized cost low and the
-    // map bounded without per-query bookkeeping.
-    const std::size_t keep_from = cache_order_.size() / 2;
-    for (std::size_t i = 0; i < keep_from; ++i) cache_.erase(cache_order_[i]);
-    cache_order_.erase(cache_order_.begin(),
-                       cache_order_.begin() + static_cast<std::ptrdiff_t>(keep_from));
+std::size_t NetworkOracle::SnapKeyHash::operator()(const SnapKey& k) const noexcept {
+  return static_cast<std::size_t>(mix64(k.x_bits ^ mix64(k.y_bits)));
+}
+
+NetworkOracle::Shard& NetworkOracle::shard_for(std::uint64_t mixed_hash) const {
+  return shards_[mixed_hash % shards_.size()];
+}
+
+NodeId NetworkOracle::snap(const Point& p) const {
+  const SnapKey key{std::bit_cast<std::uint64_t>(p.x), std::bit_cast<std::uint64_t>(p.y)};
+  Shard& shard = shard_for(mix64(key.x_bits ^ mix64(key.y_bits)));
+  {
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.snap_memo.find(key);
+    if (it != shard.snap_memo.end()) return it->second;
   }
-  cache_order_.push_back(source);
-  return cache_.emplace(source, network_.shortest_paths_from(source)).first->second;
+  const NodeId node = network_.nearest_node(p);
+  std::unique_lock lock(shard.mutex);
+  if (shard.snap_memo.size() >= kSnapMemoPerShardCap) shard.snap_memo.clear();
+  shard.snap_memo.emplace(key, node);
+  return node;
+}
+
+NetworkOracle::Tree NetworkOracle::tree(NodeId node, bool reverse) const {
+  const std::uint64_t key = tree_key(node, reverse);
+  Shard& shard = shard_for(mix64(key));
+  {
+    // Hits need the exclusive lock too: the LRU splice mutates the list.
+    std::unique_lock lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->tree;
+    }
+  }
+  // Miss: run Dijkstra outside the lock so other threads keep hitting
+  // this shard meanwhile, then insert with a double-check (losing a
+  // build race wastes one tree build, never correctness).
+  auto built = std::make_shared<const std::vector<double>>(
+      reverse ? network_.shortest_paths_to(node) : network_.shortest_paths_from(node));
+  std::unique_lock lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->tree;
+  }
+  while (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(CacheEntry{key, std::move(built)});
+  shard.index.emplace(key, shard.lru.begin());
+  return shard.lru.front().tree;
 }
 
 double NetworkOracle::distance(const Point& a, const Point& b) const {
-  const NodeId from = network_.nearest_node(a);
-  const NodeId to = network_.nearest_node(b);
+  const NodeId from = snap(a);
+  const NodeId to = snap(b);
   const double snap_a = euclidean_distance(a, network_.node_position(from));
   const double snap_b = euclidean_distance(b, network_.node_position(to));
   if (from == to) return euclidean_distance(a, b);
-  const double network_leg = tree_for(from)[static_cast<std::size_t>(to)];
+  const double network_leg = (*tree(from, /*reverse=*/false))[static_cast<std::size_t>(to)];
   return snap_a + network_leg + snap_b;
+}
+
+std::vector<double> NetworkOracle::distances_from(const Point& source,
+                                                  std::span<const Point> targets) const {
+  std::vector<double> result(targets.size());
+  if (targets.empty()) return result;
+  const NodeId from = snap(source);
+  const double snap_a = euclidean_distance(source, network_.node_position(from));
+  Tree tree_ptr;  // fetched on first use: an all-same-node batch needs no tree
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const NodeId to = snap(targets[i]);
+    if (from == to) {
+      result[i] = euclidean_distance(source, targets[i]);
+      continue;
+    }
+    if (!tree_ptr) tree_ptr = tree(from, /*reverse=*/false);
+    const double snap_b = euclidean_distance(targets[i], network_.node_position(to));
+    result[i] = snap_a + (*tree_ptr)[static_cast<std::size_t>(to)] + snap_b;
+  }
+  return result;
+}
+
+std::vector<double> NetworkOracle::distances_to(std::span<const Point> sources,
+                                                const Point& target) const {
+  std::vector<double> result(sources.size());
+  if (sources.empty()) return result;
+  const NodeId to = snap(target);
+  const double snap_b = euclidean_distance(target, network_.node_position(to));
+  Tree tree_ptr;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const NodeId from = snap(sources[i]);
+    if (from == to) {
+      result[i] = euclidean_distance(sources[i], target);
+      continue;
+    }
+    if (!tree_ptr) tree_ptr = tree(to, /*reverse=*/true);
+    const double snap_a = euclidean_distance(sources[i], network_.node_position(from));
+    result[i] = snap_a + (*tree_ptr)[static_cast<std::size_t>(from)] + snap_b;
+  }
+  return result;
+}
+
+void NetworkOracle::prepare_frame(std::span<const Point> points) const {
+  for (const Point& p : points) {
+    (void)snap(p);
+  }
+}
+
+std::size_t NetworkOracle::cache_size() const {
+  std::size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+bool NetworkOracle::tree_cached(NodeId node, bool reverse) const {
+  const std::uint64_t key = tree_key(node, reverse);
+  Shard& shard = shard_for(mix64(key));
+  std::shared_lock lock(shard.mutex);
+  return shard.index.contains(key);
 }
 
 }  // namespace o2o::geo

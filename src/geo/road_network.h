@@ -5,8 +5,14 @@
 // Euclidean surface with a one-line change.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -20,12 +26,24 @@ inline constexpr NodeId kInvalidNode = -1;
 inline constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
 
 /// Weighted directed graph embedded in the km plane.
+///
+/// Thread-safety: construction (add_node / add_edge / build_snap_index)
+/// is single-threaded; every const query is safe to call concurrently
+/// afterwards. The snap index builds itself lazily on the first snap
+/// (double-checked under an internal mutex), so concurrent first snaps
+/// are also safe.
 class RoadNetwork {
  public:
   struct Edge {
     NodeId to = kInvalidNode;
     double length_km = 0.0;
   };
+
+  RoadNetwork() = default;
+  RoadNetwork(const RoadNetwork& other);
+  RoadNetwork(RoadNetwork&& other) noexcept;
+  RoadNetwork& operator=(const RoadNetwork& other);
+  RoadNetwork& operator=(RoadNetwork&& other) noexcept;
 
   /// Adds a node at `position`; returns its id (dense, starting at 0).
   NodeId add_node(Point position);
@@ -42,17 +60,37 @@ class RoadNetwork {
   const Point& node_position(NodeId id) const;
   const std::vector<Edge>& edges_from(NodeId id) const;
 
-  /// Nearest node to `p` by straight-line distance (linear scan fallback,
-  /// grid-accelerated when build_snap_index() has been called).
+  /// Nearest node to `p` by straight-line distance. Grid-accelerated: the
+  /// snap index is built lazily on first use (or explicitly via
+  /// build_snap_index), then searched outward ring by ring.
   NodeId nearest_node(const Point& p) const;
 
-  /// Builds the snapping accelerator (call after all nodes are added).
+  /// Bulk snap: nearest node for every point, in order. One index
+  /// ensure + a ring search per point — the frame-level entry point for
+  /// snapping a whole taxi/request snapshot at once.
+  std::vector<NodeId> snap_many(std::span<const Point> points) const;
+
+  /// Builds the snapping accelerator with an explicit cell size. Optional
+  /// since the index now also builds itself (with an auto-sized cell) on
+  /// the first nearest_node / snap_many call; call it only to control
+  /// `cell_km`. Node insertions invalidate the index; the next snap
+  /// rebuilds it.
   void build_snap_index(double cell_km = 0.5);
 
   /// Single-source shortest path lengths (Dijkstra). Unreachable -> +inf.
   std::vector<double> shortest_paths_from(NodeId source) const;
 
+  /// Single-target shortest path lengths over the reversed graph:
+  /// entry v is the length of the shortest v -> target path (+inf when
+  /// target is unreachable from v). One call prices a whole candidate
+  /// set against a fixed destination — the dispatch hot-path shape.
+  std::vector<double> shortest_paths_to(NodeId target) const;
+
   /// Point-to-point shortest path length; +inf when unreachable.
+  /// Bounded bidirectional Dijkstra: grows a forward ball from `source`
+  /// and a backward ball from `target`, stopping as soon as the two
+  /// frontiers certify the best meeting path — far less work than a full
+  /// single-source tree for one-off queries.
   double shortest_path(NodeId source, NodeId target) const;
 
   /// Node sequence of a shortest path (empty when unreachable).
@@ -77,38 +115,121 @@ class RoadNetwork {
  private:
   std::vector<Point> nodes_;
   std::vector<std::vector<Edge>> adjacency_;
+  std::vector<std::vector<Edge>> reverse_adjacency_;
   std::size_t edge_count_ = 0;
 
-  // snapping accelerator
-  double snap_cell_km_ = 0.0;
-  Rect snap_bounds_{};
-  int snap_cols_ = 0;
-  int snap_rows_ = 0;
-  std::vector<std::vector<NodeId>> snap_cells_;
+  // Snapping accelerator; mutable + guarded so it can build lazily under
+  // const concurrent queries. `snap_ready_` is the release/acquire gate:
+  // readers that observe true see a fully built index.
+  void ensure_snap_index() const;
+  void build_snap_cells(double cell_km) const;
+  double default_snap_cell_km() const;
+  void copy_from(const RoadNetwork& other);
+
+  mutable std::mutex snap_build_mutex_;
+  mutable std::atomic<bool> snap_ready_{false};
+  mutable double snap_cell_km_ = 0.0;
+  mutable Rect snap_bounds_{};
+  mutable int snap_cols_ = 0;
+  mutable int snap_rows_ = 0;
+  mutable std::vector<std::vector<NodeId>> snap_cells_;
 };
 
 /// DistanceOracle over a road network: snaps both endpoints to their
 /// nearest nodes and returns the network shortest-path length plus the
-/// straight-line snap gaps. Caches full Dijkstra trees per source node
-/// (bounded LRU-ish eviction) because dispatch batches reuse sources.
+/// straight-line snap gaps.
+///
+/// The engine behind it is a sharded cache of Dijkstra trees (forward
+/// trees for distance()/distances_from(), reverse trees for
+/// distances_to()), each shard a std::shared_mutex over a true-LRU
+/// (intrusive list + hash index), plus a sharded exact-key snap memo so
+/// repeated endpoints resolve without re-running the ring search. Tree
+/// construction happens outside the shard lock, so a miss never blocks
+/// other shards or readers of the same shard's unrelated entries, and
+/// every query is safe to issue from any number of threads —
+/// concurrent_queries_safe() is true, which lets the parallel preference
+/// build apply to road-network runs.
 class NetworkOracle final : public DistanceOracle {
  public:
-  explicit NetworkOracle(const RoadNetwork& network, std::size_t cache_capacity = 1024);
+  /// `cache_capacity` kAutoCapacity (0) sizes the tree cache to the
+  /// frame working set — up to two trees per node (one forward, one
+  /// reverse, the most any dispatch frame can root there), floored at
+  /// 1024 and capped at ~256 MB of tree storage (the cap wins on very
+  /// large networks) — so a steady-state frame never rebuilds a tree it
+  /// just used.
+  static constexpr std::size_t kAutoCapacity = 0;
+
+  explicit NetworkOracle(const RoadNetwork& network,
+                         std::size_t cache_capacity = kAutoCapacity,
+                         std::size_t shard_count = 8);
 
   double distance(const Point& a, const Point& b) const override;
 
-  /// The Dijkstra-tree cache is mutated without synchronization.
-  bool concurrent_queries_safe() const noexcept override { return false; }
+  /// One forward tree rooted at `source`, snapped once, prices the batch.
+  std::vector<double> distances_from(const Point& source,
+                                     std::span<const Point> targets) const override;
 
-  std::size_t cache_size() const noexcept { return cache_.size(); }
+  /// One *reverse* tree rooted at `target` prices the batch: entry i is
+  /// D(sources[i], target) with the usual snap gaps. Equal to the
+  /// pairwise distance() up to floating-point summation order along the
+  /// (identical-length) shortest path.
+  std::vector<double> distances_to(std::span<const Point> sources,
+                                   const Point& target) const override;
+
+  /// Warms the snap memo (and the lazy snap index) for a frame snapshot.
+  void prepare_frame(std::span<const Point> points) const override;
+
+  /// Every internal cache is sharded and locked.
+  bool concurrent_queries_safe() const noexcept override { return true; }
+
+  /// Total cached trees across shards (forward + reverse). Always
+  /// <= cache_capacity(); shards evict their own LRU tail independently.
+  std::size_t cache_size() const;
+  std::size_t cache_capacity() const noexcept { return per_shard_capacity_ * shards_.size(); }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Whether the tree rooted at `node` is currently cached (test probe).
+  bool tree_cached(NodeId node, bool reverse = false) const;
 
  private:
-  const RoadNetwork& network_;
-  std::size_t cache_capacity_;
-  mutable std::unordered_map<NodeId, std::vector<double>> cache_;
-  mutable std::vector<NodeId> cache_order_;
+  using Tree = std::shared_ptr<const std::vector<double>>;
 
-  const std::vector<double>& tree_for(NodeId source) const;
+  struct CacheEntry {
+    std::uint64_t key = 0;
+    Tree tree;
+  };
+
+  /// Exact-key memo of nearest_node: keyed by the raw coordinate bits, so
+  /// a hit is always the exact same query (no tolerance, no staleness —
+  /// a moved taxi has different bits and simply misses).
+  struct SnapKey {
+    std::uint64_t x_bits = 0;
+    std::uint64_t y_bits = 0;
+    bool operator==(const SnapKey&) const = default;
+  };
+  struct SnapKeyHash {
+    std::size_t operator()(const SnapKey& k) const noexcept;
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    // Tree LRU: list front = most recently used; index points into it.
+    std::list<CacheEntry> lru;
+    std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator> index;
+    std::unordered_map<SnapKey, NodeId, SnapKeyHash> snap_memo;
+  };
+
+  static std::uint64_t tree_key(NodeId node, bool reverse) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 1) |
+           static_cast<std::uint64_t>(reverse);
+  }
+  Shard& shard_for(std::uint64_t mixed_hash) const;
+  NodeId snap(const Point& p) const;
+  Tree tree(NodeId node, bool reverse) const;
+
+  const RoadNetwork& network_;
+  std::size_t per_shard_capacity_;
+  mutable std::vector<Shard> shards_;
 };
 
 }  // namespace o2o::geo

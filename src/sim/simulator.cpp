@@ -103,6 +103,14 @@ std::vector<DispatchAssignment> Simulator::invoke_dispatcher(Dispatcher& dispatc
   if (!idle.empty()) idle_grid.emplace(std::span<const trace::Taxi>(idle),
                                        config_.idle_grid_cell_km);
 
+  // Warm the oracle for this frame's snapshot: the network oracle
+  // resolves every idle-taxi endpoint once up front so each dispatch
+  // query hits its snap memo instead of re-running a nearest-node search.
+  std::vector<geo::Point> frame_points;
+  frame_points.reserve(idle.size());
+  for (const trace::Taxi& taxi : idle) frame_points.push_back(taxi.location);
+  oracle_.prepare_frame(frame_points);
+
   DispatchContext context;
   context.now_seconds = now;
   context.idle_taxis = idle;

@@ -136,13 +136,14 @@ TEST(SparseProfile, EnumerationAgreesOnSmallInstances) {
 TEST(SparseProfile, NetworkOracleStillPrunesExactly) {
   // Road distances dominate the straight-line metric the grid filters on
   // (snap gaps plus a path no shorter than the chord), so pruning stays
-  // exact under the network oracle too. This oracle also forbids
-  // concurrent queries, exercising the serial construction path.
+  // exact under the network oracle too. Since the sharded-cache rebuild
+  // this oracle also allows concurrent queries, so dense and sparse both
+  // go through the (potentially parallel) row fan-out.
   const geo::RoadNetwork network =
       geo::RoadNetwork::make_grid_city(6, 6, 2.0, /*jitter_km=*/0.2,
                                        /*closure_fraction=*/0.1, /*seed=*/5);
   const geo::NetworkOracle oracle(network);
-  ASSERT_FALSE(oracle.concurrent_queries_safe());
+  ASSERT_TRUE(oracle.concurrent_queries_safe());
   Rng rng(214);
   for (int trial = 0; trial < 3; ++trial) {
     const auto instance = random_instance(rng, 8, 12);
@@ -158,6 +159,58 @@ TEST(SparseProfile, NetworkOracleStillPrunesExactly) {
     EXPECT_EQ(gale_shapley_requests(dense).request_to_taxi,
               gale_shapley_requests(sparse).request_to_taxi);
   }
+}
+
+/// Forwards every query to an inner oracle but reports concurrent queries
+/// unsafe, forcing for_each_row down the serial path. Lets the tests pin
+/// parallel-vs-serial equivalence on the same distance values.
+class SerialOnlyOracle final : public geo::DistanceOracle {
+ public:
+  explicit SerialOnlyOracle(const geo::DistanceOracle& inner) : inner_(inner) {}
+  double distance(const geo::Point& a, const geo::Point& b) const override {
+    return inner_.distance(a, b);
+  }
+  std::vector<double> distances_from(const geo::Point& source,
+                                     std::span<const geo::Point> targets) const override {
+    return inner_.distances_from(source, targets);
+  }
+  std::vector<double> distances_to(std::span<const geo::Point> sources,
+                                   const geo::Point& target) const override {
+    return inner_.distances_to(sources, target);
+  }
+  bool concurrent_queries_safe() const noexcept override { return false; }
+
+ private:
+  const geo::DistanceOracle& inner_;
+};
+
+TEST(SparseProfile, NetworkParallelBuildMatchesSerialDenseBuild) {
+  // The tentpole's acceptance bar: a large network-backed instance built
+  // sparse through the (parallel-eligible) fan-out must produce the same
+  // profile and matchings as the dense build forced down the serial path.
+  const geo::RoadNetwork network =
+      geo::RoadNetwork::make_grid_city(12, 12, 1.5, /*jitter_km=*/0.3,
+                                       /*closure_fraction=*/0.15, /*seed=*/9);
+  const geo::NetworkOracle oracle(network, /*cache_capacity=*/2048);
+  ASSERT_TRUE(oracle.concurrent_queries_safe());
+  const SerialOnlyOracle serial(oracle);
+
+  Rng rng(218);
+  const auto instance = random_instance(rng, 64, 96);  // clears the serial cutoff
+  PreferenceParams pruned = pruned_params();
+  pruned.passenger_threshold_km = 6.0;
+  PreferenceParams dense_p = pruned;
+  dense_p.spatial_prune = false;
+
+  const auto dense_serial =
+      build_nonsharing_profile(instance.taxis, instance.requests, serial, dense_p);
+  const auto sparse_parallel =
+      build_nonsharing_profile(instance.taxis, instance.requests, oracle, pruned);
+  expect_equivalent_profiles(dense_serial, sparse_parallel);
+  EXPECT_EQ(gale_shapley_requests(dense_serial).request_to_taxi,
+            gale_shapley_requests(sparse_parallel).request_to_taxi);
+  EXPECT_EQ(gale_shapley_taxis(dense_serial).request_to_taxi,
+            gale_shapley_taxis(sparse_parallel).request_to_taxi);
 }
 
 TEST(SparseProfile, SharingDispatchAgreesWithDensePath) {

@@ -62,5 +62,25 @@ TEST_P(OracleAxioms, IdentityNonNegativitySymmetryTriangle) {
 
 INSTANTIATE_TEST_SUITE_P(AllOracles, OracleAxioms, ::testing::Values(0, 1, 2));
 
+TEST_P(OracleAxioms, DefaultBulkQueriesMatchPointwise) {
+  Rng rng(7 + static_cast<std::uint64_t>(GetParam()));
+  const Point anchor{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+  std::vector<Point> batch;
+  for (int i = 0; i < 50; ++i) {
+    batch.push_back({rng.uniform(-50, 50), rng.uniform(-50, 50)});
+  }
+  const std::vector<double> from = oracle().distances_from(anchor, batch);
+  const std::vector<double> to = oracle().distances_to(batch, anchor);
+  ASSERT_EQ(from.size(), batch.size());
+  ASSERT_EQ(to.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(from[i], oracle().distance(anchor, batch[i]));
+    EXPECT_DOUBLE_EQ(to[i], oracle().distance(batch[i], anchor));
+  }
+  EXPECT_TRUE(oracle().distances_from(anchor, {}).empty());
+  EXPECT_TRUE(oracle().distances_to({}, anchor).empty());
+  oracle().prepare_frame(batch);  // default no-op must be callable
+}
+
 }  // namespace
 }  // namespace o2o::geo
