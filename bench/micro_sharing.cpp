@@ -1,7 +1,18 @@
 // Micro-benchmarks for the sharing pipeline: shared-route optimization
 // (exhaustive vs Held-Karp DP), feasible-group enumeration (pair-pruned
-// vs exhaustive triples), and the three set-packing solvers.
+// vs exhaustive triples), the three set-packing solvers, and city-scale
+// before/after comparisons of the grid-pruned enumeration engine against
+// the dense serial scan (the EXPERIMENTS.md table).
+//
+// Run with --quick for the CI smoke subset: the dense city-scale
+// reference arms (minutes of single-iteration work) are filtered out and
+// the measurement time per benchmark is cut down.
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/sharing.h"
 #include "packing/groups.h"
@@ -148,6 +159,143 @@ void BM_DispatchSharingFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_DispatchSharingFrame)->Args({32, 64})->Args({64, 128})->Args({64, 256});
 
+// ---------------------------------------------------------------------------
+// City-scale before/after: requests over a 40x40 km region with 1-4 km
+// trips, the regime where the derived pick-up radius (θ/2 + direct)
+// prunes the vast majority of the O(R^2) pair candidates. The "Dense"
+// arms run the serial reference scan (GroupOptions::parallel = false) --
+// the engine's behaviour before this optimisation -- and are pinned to
+// one iteration because they evaluate every pair.
+
+std::vector<trace::Request> make_city_requests(std::size_t count, std::uint64_t seed) {
+  constexpr double kExtentKm = 40.0;
+  Rng rng(seed);
+  std::vector<trace::Request> requests;
+  requests.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    trace::Request request;
+    request.id = static_cast<trace::RequestId>(r);
+    request.pickup = {rng.uniform(0, kExtentKm), rng.uniform(0, kExtentKm)};
+    const double angle = rng.uniform(0.0, 6.283185307179586);
+    const double trip = rng.uniform(1.0, 4.0);
+    request.dropoff = {request.pickup.x + trip * std::cos(angle),
+                       request.pickup.y + trip * std::sin(angle)};
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+packing::GroupOptions city_group_options(bool parallel) {
+  packing::GroupOptions options;
+  options.detour_threshold_km = 2.0;  // half the shortest trip in the mix
+  options.parallel = parallel;
+  return options;
+}
+
+void city_enumeration(benchmark::State& state, bool parallel) {
+  const auto requests = make_city_requests(static_cast<std::size_t>(state.range(0)), 23);
+  const packing::GroupOptions options = city_group_options(parallel);
+  std::size_t groups = 0;
+  for (auto _ : state) {
+    const auto enumerated = packing::enumerate_share_groups(requests, kOracle, options);
+    groups = enumerated.size();
+    benchmark::DoNotOptimize(enumerated);
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+}
+
+void BM_CityEnumerationPruned(benchmark::State& state) { city_enumeration(state, true); }
+BENCHMARK(BM_CityEnumerationPruned)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CityEnumerationDense(benchmark::State& state) { city_enumeration(state, false); }
+BENCHMARK(BM_CityEnumerationDense)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(5000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CityPackRequests(benchmark::State& state) {
+  // Stages 1-2 only (enumeration + set packing): isolates how much of the
+  // frame the matching stage costs on top.
+  const auto requests = make_city_requests(static_cast<std::size_t>(state.range(0)), 24);
+  core::SharingParams params;
+  params.grouping = city_group_options(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pack_requests(requests, kOracle, params));
+  }
+}
+BENCHMARK(BM_CityPackRequests)->Arg(1000)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+core::SharingParams city_sharing_params(bool parallel) {
+  core::SharingParams params;
+  params.grouping = city_group_options(parallel);
+  params.preference.passenger_threshold_km = 2.0;
+  params.preference.taxi_threshold_score = 8.0;
+  params.candidate_taxis_per_unit = 8;
+  return params;
+}
+
+void city_frame(benchmark::State& state, bool parallel) {
+  const auto requests = make_city_requests(static_cast<std::size_t>(state.range(0)), 24);
+  Rng rng(25);
+  std::vector<trace::Taxi> taxis;
+  for (int t = 0; t < 700; ++t) {  // the paper's New York fleet size
+    trace::Taxi taxi;
+    taxi.id = t;
+    taxi.location = {rng.uniform(0, 40), rng.uniform(0, 40)};
+    taxis.push_back(taxi);
+  }
+  const core::SharingParams params = city_sharing_params(parallel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dispatch_sharing(taxis, requests, kOracle, params));
+  }
+}
+
+void BM_CitySharingFramePruned(benchmark::State& state) { city_frame(state, true); }
+BENCHMARK(BM_CitySharingFramePruned)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CitySharingFrameDense(benchmark::State& state) { city_frame(state, false); }
+BENCHMARK(BM_CitySharingFrameDense)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: `--quick` rewrites the flag set for the CI smoke run --
+// everything but the single-iteration dense reference arms and the
+// 5000-request pruned arm, at a reduced per-benchmark measurement time.
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      quick = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static std::string filter =
+      "--benchmark_filter=-BM_City.*Dense.*|BM_CityEnumerationPruned/5000";
+  static std::string min_time = "--benchmark_min_time=0.05";
+  if (quick) {
+    args.push_back(filter.data());
+    args.push_back(min_time.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

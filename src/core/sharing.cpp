@@ -48,7 +48,14 @@ SharingUnits pack_requests(std::span<const trace::Request> requests,
       packed = packing::solve_greedy(problem);
       break;
     case PackingSolver::kExact:
-      packed = packing::solve_exact(problem, /*max_sets=*/30);
+      if (problem.sets.size() > params.exact_max_sets) {
+        // Oversized frame: degrade to the approximation instead of
+        // aborting the dispatch; the counter surfaces how often.
+        ++result.exact_fallbacks;
+        packed = packing::solve_local_search(problem);
+      } else {
+        packed = packing::solve_exact(problem, params.exact_max_sets);
+      }
       break;
   }
   result.packed_groups = packed.size();
@@ -56,11 +63,28 @@ SharingUnits pack_requests(std::span<const trace::Request> requests,
   std::vector<bool> covered(requests.size(), false);
   for (std::size_t set_index : packed) {
     result.units.push_back(problem.sets[set_index]);
+    // Re-align the enumeration's per-member direct distances with the
+    // unit's sorted member order.
+    const packing::ShareGroup& group = groups[set_index];
+    std::vector<std::pair<std::size_t, double>> paired;
+    paired.reserve(group.member_indices.size());
+    for (std::size_t m = 0; m < group.member_indices.size(); ++m) {
+      paired.emplace_back(group.member_indices[m], group.member_direct_km[m]);
+    }
+    std::sort(paired.begin(), paired.end());
+    std::vector<double> directs;
+    directs.reserve(paired.size());
+    for (const auto& [member, d] : paired) directs.push_back(d);
+    result.unit_direct_km.push_back(std::move(directs));
     for (std::size_t member : problem.sets[set_index]) covered[member] = true;
   }
   // R' of Algorithm 3: requests outside every packed subset ride alone.
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    if (!covered[i]) result.units.push_back({i});
+    if (!covered[i]) {
+      result.units.push_back({i});
+      result.unit_direct_km.push_back(
+          {oracle.distance(requests[i].pickup, requests[i].dropoff)});
+    }
   }
   return result;
 }
@@ -74,14 +98,16 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
   SharingUnits units = pack_requests(requests, oracle, params);
   outcome.packed_groups = units.packed_groups;
   outcome.feasible_groups = units.feasible_groups;
+  outcome.exact_fallbacks = units.exact_fallbacks;
   const std::size_t n_units = units.units.size();
   const std::size_t n_taxis = taxis.size();
 
   // Per-unit anchored-route solvers plus direct-trip sums (reused across
-  // all candidate taxis).
+  // all candidate taxis). Direct distances ride along from packing — no
+  // second oracle pass over the members.
+  const std::vector<std::vector<double>>& direct = units.unit_direct_km;
   std::vector<routing::AnchoredRouteSolver> solvers;
   std::vector<double> direct_sum(n_units, 0.0);
-  std::vector<std::vector<double>> direct(n_units);
   std::vector<int> unit_seats(n_units, 0);
   solvers.reserve(n_units);
   for (std::size_t u = 0; u < n_units; ++u) {
@@ -91,11 +117,7 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
       riders.push_back(requests[index]);
       unit_seats[u] += requests[index].seats;
     }
-    for (const trace::Request& rider : riders) {
-      const double d = oracle.distance(rider.pickup, rider.dropoff);
-      direct[u].push_back(d);
-      direct_sum[u] += d;
-    }
+    for (const double d : direct[u]) direct_sum[u] += d;
     solvers.emplace_back(std::move(riders), oracle);
   }
 

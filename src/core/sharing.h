@@ -63,6 +63,10 @@ struct SharingParams {
   /// Equivalent to capping preference lists -- the matching stays stable
   /// with respect to the truncated profile (ablated in micro benches).
   std::size_t candidate_taxis_per_unit = 0;
+  /// Largest instance kExact is asked to solve outright. Frames with more
+  /// feasible groups degrade to the local-search approximation (counted
+  /// in SharingOutcome::exact_fallbacks) instead of aborting mid-frame.
+  std::size_t exact_max_sets = 10'000;
 };
 
 /// One dispatched unit: a taxi serving one request or one packed group.
@@ -79,14 +83,20 @@ struct SharingOutcome {
   std::vector<std::size_t> unserved_request_indices;
   std::size_t packed_groups = 0;   ///< groups selected by set packing
   std::size_t feasible_groups = 0; ///< |C| before packing
+  std::size_t exact_fallbacks = 0; ///< kExact frames degraded to local search
 };
 
 /// The packed units handed to Algorithm 1 (exposed for tests/benches).
 struct SharingUnits {
   /// Each unit lists request indices; packed groups first, singletons after.
   std::vector<std::vector<std::size_t>> units;
+  /// D(r.s, r.d) per unit member, aligned with `units` — group members'
+  /// values come straight from enumeration (ShareGroup::member_direct_km),
+  /// so the dispatcher never re-queries the oracle for them.
+  std::vector<std::vector<double>> unit_direct_km;
   std::size_t packed_groups = 0;
   std::size_t feasible_groups = 0;
+  std::size_t exact_fallbacks = 0;
 };
 
 /// Stages 1-2 of Algorithm 3: grouping + set packing.

@@ -18,20 +18,27 @@ SpatialGrid::SpatialGrid(geo::Rect bounds, double cell_km)
 
 namespace {
 
-geo::Rect padded_taxi_bounds(std::span<const trace::Taxi> taxis, double pad_km) {
-  if (taxis.empty()) return geo::Rect{{0.0, 0.0}, {1.0, 1.0}};
-  geo::Rect box{taxis.front().location, taxis.front().location};
-  for (const trace::Taxi& taxi : taxis) {
-    box.lo.x = std::min(box.lo.x, taxi.location.x);
-    box.lo.y = std::min(box.lo.y, taxi.location.y);
-    box.hi.x = std::max(box.hi.x, taxi.location.x);
-    box.hi.y = std::max(box.hi.y, taxi.location.y);
+geo::Rect padded_point_bounds(std::span<const geo::Point> points, double pad_km) {
+  if (points.empty()) return geo::Rect{{0.0, 0.0}, {1.0, 1.0}};
+  geo::Rect box{points.front(), points.front()};
+  for (const geo::Point& p : points) {
+    box.lo.x = std::min(box.lo.x, p.x);
+    box.lo.y = std::min(box.lo.y, p.y);
+    box.hi.x = std::max(box.hi.x, p.x);
+    box.hi.y = std::max(box.hi.y, p.y);
   }
   box.lo.x -= pad_km;
   box.lo.y -= pad_km;
   box.hi.x += pad_km;
   box.hi.y += pad_km;
   return box;
+}
+
+geo::Rect padded_taxi_bounds(std::span<const trace::Taxi> taxis, double pad_km) {
+  std::vector<geo::Point> points;
+  points.reserve(taxis.size());
+  for (const trace::Taxi& taxi : taxis) points.push_back(taxi.location);
+  return padded_point_bounds(points, pad_km);
 }
 
 }  // namespace
@@ -43,6 +50,16 @@ SpatialGrid::SpatialGrid(std::span<const trace::Taxi> taxis, double cell_km)
     const auto key = static_cast<std::int32_t>(i);
     positions_.emplace(key, taxis[i].location);
     cells_[cell_index(taxis[i].location)].push_back(key);
+  }
+}
+
+SpatialGrid::SpatialGrid(std::span<const geo::Point> points, double cell_km)
+    : SpatialGrid(padded_point_bounds(points, cell_km), cell_km) {
+  positions_.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto key = static_cast<std::int32_t>(i);
+    positions_.emplace(key, points[i]);
+    cells_[cell_index(points[i])].push_back(key);
   }
 }
 

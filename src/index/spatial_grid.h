@@ -26,6 +26,11 @@ class SpatialGrid {
   /// locations; an empty or degenerate span gets a unit box.
   SpatialGrid(std::span<const trace::Taxi> taxis, double cell_km);
 
+  /// Bulk-builds a grid over raw points, keyed by span index — the shape
+  /// the share-group enumerator needs (one point per request pick-up).
+  /// Same bounds policy as the taxi constructor.
+  SpatialGrid(std::span<const geo::Point> points, double cell_km);
+
   /// Inserts or moves object `id` to `position`.
   void upsert(std::int32_t id, geo::Point position);
 

@@ -1,56 +1,49 @@
 #include "packing/groups.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
 
+#include "index/spatial_grid.h"
+#include "packing/bitset.h"
 #include "routing/optimizer.h"
 #include "util/contracts.h"
+#include "util/thread_pool.h"
 
 namespace o2o::packing {
 
-ShareGroup evaluate_group(std::span<const trace::Request> requests,
-                          const std::vector<std::size_t>& member_indices,
-                          const geo::DistanceOracle& oracle, const GroupOptions& options,
-                          int taxi_seats, bool& feasible) {
-  O2O_EXPECTS(member_indices.size() >= 2);
-  ShareGroup group;
-  group.member_indices = member_indices;
-  feasible = true;
+namespace {
 
-  int seats_needed = 0;
-  std::vector<trace::Request> riders;
-  riders.reserve(member_indices.size());
-  for (std::size_t index : member_indices) {
-    O2O_EXPECTS(index < requests.size());
-    riders.push_back(requests[index]);
-    seats_needed += requests[index].seats;
-  }
-  if (seats_needed > taxi_seats) {
-    feasible = false;
-    return group;
-  }
+/// Absorbs squared-vs-hypot ulp differences between the grid's candidate
+/// query and the exact predicates re-applied afterwards, so the grid is a
+/// strict superset filter.
+constexpr double kGridPadKm = 1e-6;
 
-  group.pooled_route = routing::optimal_route(riders, oracle);
-  group.pooled_length_km = routing::route_length(group.pooled_route, oracle);
-  for (const trace::Request& rider : riders) {
-    const double direct = oracle.distance(rider.pickup, rider.dropoff);
-    const auto metrics = routing::rider_metrics(group.pooled_route, rider.id, oracle);
-    const double detour = metrics.ride_km - direct;
-    group.direct_sum_km += direct;
-    group.max_detour_km = std::max(group.max_detour_km, detour);
-    if (detour > options.detour_threshold_km) feasible = false;
+/// Parallel evaluation into disjoint preallocated slots. Mirrors
+/// core::for_each_row (that helper lives in o2o_core, which links this
+/// library — so packing keeps its own copy of the gating policy).
+void parallel_eval(std::size_t count, const geo::DistanceOracle& oracle,
+                   const std::function<void(std::size_t)>& body) {
+  // Below this, fan-out overhead dominates the oracle calls saved.
+  constexpr std::size_t kSerialCutoff = 16;
+  ThreadPool& pool = ThreadPool::shared();
+  if (count < kSerialCutoff || pool.worker_count() == 0 || !oracle.concurrent_queries_safe()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
   }
-  if (options.require_saving && group.pooled_length_km >= group.direct_sum_km - 1e-9) {
-    feasible = false;
-  }
-  return group;
+  pool.parallel_for(0, count, /*grain=*/8, body);
 }
 
-std::vector<ShareGroup> enumerate_share_groups(std::span<const trace::Request> requests,
-                                               const geo::DistanceOracle& oracle,
-                                               const GroupOptions& options,
-                                               int taxi_seats) {
-  O2O_EXPECTS(options.max_group_size >= 2 && options.max_group_size <= 4);
-  O2O_EXPECTS(options.detour_threshold_km >= 0.0);
+constexpr std::uint64_t pair_key(std::size_t i, std::size_t j) {
+  return (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
+}
+
+/// The pre-engine dense serial scan, kept verbatim as the differential
+/// reference (GroupOptions::parallel == false).
+std::vector<ShareGroup> enumerate_serial(std::span<const trace::Request> requests,
+                                         const geo::DistanceOracle& oracle,
+                                         const GroupOptions& options, int taxi_seats) {
   std::vector<ShareGroup> groups;
   const std::size_t n = requests.size();
 
@@ -98,6 +91,210 @@ std::vector<ShareGroup> enumerate_share_groups(std::span<const trace::Request> r
     }
   }
   return groups;
+}
+
+/// The grid-pruned, thread-parallel engine. Produces the serial scan's
+/// exact output: candidate generation only ever *drops* provably
+/// infeasible or radius-excluded pairs, evaluations write disjoint slots
+/// keyed by the deterministic candidate order, and compaction replays
+/// that order serially.
+std::vector<ShareGroup> enumerate_engine(std::span<const trace::Request> requests,
+                                         const geo::DistanceOracle& oracle,
+                                         const GroupOptions& options, int taxi_seats) {
+  std::vector<ShareGroup> groups;
+  const std::size_t n = requests.size();
+  if (n < 2) return groups;
+
+  const double user_radius = options.pickup_radius_km;
+  const bool user_finite = std::isfinite(user_radius);
+  // The derived pick-up bound (see GroupOptions::pickup_radius_km) needs
+  // both the saving constraint and a finite θ; without saving, a
+  // sequential pooled route is legal and pairs share at any distance.
+  const bool derived_valid =
+      options.require_saving && std::isfinite(options.detour_threshold_km);
+
+  // Exactly the serial path's predicate (hypot compare — the grid's
+  // squared compare is only ever used with padded radii as a superset).
+  const auto pickups_close = [&](std::size_t i, std::size_t j) {
+    if (!user_finite) return true;
+    return geo::euclidean_distance(requests[i].pickup, requests[j].pickup) <= user_radius;
+  };
+
+  std::vector<geo::Point> pickups(n);
+  for (std::size_t i = 0; i < n; ++i) pickups[i] = requests[i].pickup;
+
+  std::vector<double> direct(n, 0.0);
+  if (derived_valid) {
+    parallel_eval(n, oracle, [&](std::size_t i) {
+      direct[i] = oracle.distance(requests[i].pickup, requests[i].dropoff);
+    });
+  }
+
+  // ---- Pair candidates: grid radius queries instead of the n^2 scan ----
+  std::vector<std::uint64_t> pair_keys;
+  if (!user_finite && !derived_valid) {
+    pair_keys.reserve(n * (n - 1) / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) pair_keys.push_back(pair_key(i, j));
+    }
+  } else {
+    // Query radius per request: the user cap and/or the derived bound
+    // θ/2 + direct_i. A feasible pair is found from whichever side rides
+    // first, so the union of both queries covers it.
+    std::vector<double> radius(n);
+    double mean_radius = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double r = user_finite ? user_radius : std::numeric_limits<double>::infinity();
+      if (derived_valid) r = std::min(r, options.detour_threshold_km / 2.0 + direct[i]);
+      radius[i] = r + kGridPadKm;
+      mean_radius += radius[i];
+    }
+    mean_radius /= static_cast<double>(n);
+    const double cell_km = std::clamp(mean_radius / 2.0, 0.25, 8.0);
+    const index::SpatialGrid grid(pickups, cell_km);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const std::int32_t id : grid.within_radius(pickups[i], radius[i])) {
+        const auto j = static_cast<std::size_t>(id);
+        if (j == i) continue;
+        const std::size_t a = std::min(i, j);
+        const std::size_t b = std::max(i, j);
+        if (!pickups_close(a, b)) continue;
+        pair_keys.push_back(pair_key(a, b));
+      }
+    }
+    // Dedupe to the serial lexicographic (i, j) order.
+    std::sort(pair_keys.begin(), pair_keys.end());
+    pair_keys.erase(std::unique(pair_keys.begin(), pair_keys.end()), pair_keys.end());
+  }
+
+  // ---- Evaluate pairs in parallel, compact in candidate order ----
+  const std::size_t pair_count = pair_keys.size();
+  std::vector<ShareGroup> pair_slots(pair_count);
+  std::vector<std::uint8_t> pair_ok(pair_count, 0);
+  parallel_eval(pair_count, oracle, [&](std::size_t c) {
+    const auto i = static_cast<std::size_t>(pair_keys[c] >> 32);
+    const auto j = static_cast<std::size_t>(pair_keys[c] & 0xffffffffu);
+    bool feasible = false;
+    pair_slots[c] = evaluate_group(requests, {i, j}, oracle, options, taxi_seats, feasible);
+    pair_ok[c] = feasible ? 1 : 0;
+  });
+
+  const bool grow = options.grow_triples_from_pairs;
+  BitMatrix adjacency(grow ? n : 0);
+  std::vector<std::uint64_t> feasible_pairs;
+  for (std::size_t c = 0; c < pair_count; ++c) {
+    if (!pair_ok[c]) continue;
+    const auto i = static_cast<std::size_t>(pair_keys[c] >> 32);
+    const auto j = static_cast<std::size_t>(pair_keys[c] & 0xffffffffu);
+    if (derived_valid) {
+      // The implied bound the pruning rests on, checked on realized pairs.
+      const double bound =
+          options.detour_threshold_km / 2.0 + std::max(direct[i], direct[j]) + kGridPadKm;
+      O2O_ENSURES(geo::euclidean_distance(pickups[i], pickups[j]) <= bound);
+    }
+    if (grow) {
+      adjacency.set_symmetric(i, j);
+      feasible_pairs.push_back(pair_keys[c]);
+    }
+    groups.push_back(std::move(pair_slots[c]));
+  }
+
+  if (options.max_group_size < 3) return groups;
+
+  // ---- Triple candidates ----
+  std::vector<std::array<std::uint32_t, 3>> triples;
+  if (grow) {
+    // Serial order: feasible pairs lexicographically, completions k > j
+    // with both (i, k) and (j, k) feasible — one word-AND of the two
+    // adjacency rows per 64 candidates. The serial path's radius checks
+    // on (i, k)/(j, k) are implied: those pairs passed them when their
+    // own pair candidacy was evaluated.
+    for (const std::uint64_t key : feasible_pairs) {
+      const auto i = static_cast<std::uint32_t>(key >> 32);
+      const auto j = static_cast<std::uint32_t>(key & 0xffffffffu);
+      adjacency.for_each_common_above(i, j, j, [&](std::size_t k) {
+        triples.push_back({i, j, static_cast<std::uint32_t>(k)});
+      });
+    }
+  } else {
+    // Exhaustive (test) mode: the serial walk's candidate set verbatim.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        for (std::size_t k = j + 1; k < n; ++k) {
+          if (!pickups_close(i, k) || !pickups_close(j, k)) continue;
+          triples.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j),
+                             static_cast<std::uint32_t>(k)});
+        }
+      }
+    }
+  }
+
+  const std::size_t triple_count = triples.size();
+  std::vector<ShareGroup> triple_slots(triple_count);
+  std::vector<std::uint8_t> triple_ok(triple_count, 0);
+  parallel_eval(triple_count, oracle, [&](std::size_t c) {
+    const auto& t = triples[c];
+    bool feasible = false;
+    triple_slots[c] = evaluate_group(requests, {t[0], t[1], t[2]}, oracle, options,
+                                     taxi_seats, feasible);
+    triple_ok[c] = feasible ? 1 : 0;
+  });
+  for (std::size_t c = 0; c < triple_count; ++c) {
+    if (triple_ok[c]) groups.push_back(std::move(triple_slots[c]));
+  }
+  return groups;
+}
+
+}  // namespace
+
+ShareGroup evaluate_group(std::span<const trace::Request> requests,
+                          const std::vector<std::size_t>& member_indices,
+                          const geo::DistanceOracle& oracle, const GroupOptions& options,
+                          int taxi_seats, bool& feasible) {
+  O2O_EXPECTS(member_indices.size() >= 2);
+  ShareGroup group;
+  group.member_indices = member_indices;
+  feasible = true;
+
+  int seats_needed = 0;
+  std::vector<trace::Request> riders;
+  riders.reserve(member_indices.size());
+  for (std::size_t index : member_indices) {
+    O2O_EXPECTS(index < requests.size());
+    riders.push_back(requests[index]);
+    seats_needed += requests[index].seats;
+  }
+  if (seats_needed > taxi_seats) {
+    feasible = false;
+    return group;
+  }
+
+  group.pooled_route = routing::optimal_route(riders, oracle);
+  group.pooled_length_km = routing::route_length(group.pooled_route, oracle);
+  group.member_direct_km.reserve(riders.size());
+  for (const trace::Request& rider : riders) {
+    const double direct = oracle.distance(rider.pickup, rider.dropoff);
+    const auto metrics = routing::rider_metrics(group.pooled_route, rider.id, oracle);
+    const double detour = metrics.ride_km - direct;
+    group.member_direct_km.push_back(direct);
+    group.direct_sum_km += direct;
+    group.max_detour_km = std::max(group.max_detour_km, detour);
+    if (detour > options.detour_threshold_km) feasible = false;
+  }
+  if (options.require_saving && group.pooled_length_km >= group.direct_sum_km - 1e-9) {
+    feasible = false;
+  }
+  return group;
+}
+
+std::vector<ShareGroup> enumerate_share_groups(std::span<const trace::Request> requests,
+                                               const geo::DistanceOracle& oracle,
+                                               const GroupOptions& options,
+                                               int taxi_seats) {
+  O2O_EXPECTS(options.max_group_size >= 2 && options.max_group_size <= 4);
+  O2O_EXPECTS(options.detour_threshold_km >= 0.0);
+  if (!options.parallel) return enumerate_serial(requests, oracle, options, taxi_seats);
+  return enumerate_engine(requests, oracle, options, taxi_seats);
 }
 
 }  // namespace o2o::packing

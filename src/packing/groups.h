@@ -21,6 +21,10 @@ struct ShareGroup {
   double pooled_length_km = 0.0;            ///< length of pooled_route
   double direct_sum_km = 0.0;               ///< Σ_j D(r_j.s, r_j.d)
   double max_detour_km = 0.0;               ///< worst member detour
+  /// D(r_j.s, r_j.d) per member, aligned with member_indices — computed
+  /// during evaluation so downstream consumers (dispatch_sharing's
+  /// per-unit savings) never re-query the oracle for them.
+  std::vector<double> member_direct_km;
 };
 
 struct GroupOptions {
@@ -31,7 +35,16 @@ struct GroupOptions {
   /// but exact; tests compare both on small inputs.
   bool grow_triples_from_pairs = true;
   /// Requests whose pick-ups are farther apart than this can never ride
-  /// together (cheap pre-filter; +inf disables).
+  /// together (cheap pre-filter; +inf disables). Independently of this
+  /// user cap, the engine derives a *finite* per-request radius from the
+  /// detour threshold whenever `require_saving` holds and θ is finite: a
+  /// feasible pair's pooled route cannot be sequential (it would save
+  /// nothing), so the first-picked rider i passes the other pick-up
+  /// before its own drop-off, which forces
+  ///   euclid(i.s, j.s) <= θ/2 + D(i.s, i.d).
+  /// Pairs beyond θ/2 + max(direct_i, direct_j) are provably infeasible
+  /// and are never evaluated; the bound is asserted on every feasible
+  /// pair the engine emits.
   double pickup_radius_km = std::numeric_limits<double>::infinity();
   /// Require the pooled route to be strictly shorter than the sum of the
   /// members' direct trips. Without this, two back-to-back trips served
@@ -39,6 +52,13 @@ struct GroupOptions {
   /// sharing saves nothing -- the paper's model implicitly assumes rides
   /// overlap, and this constraint makes that explicit.
   bool require_saving = true;
+  /// When true (default), candidate pairs come from a spatial-grid radius
+  /// query over pick-ups (user radius and/or the derived θ-bound above)
+  /// and pair/triple evaluations run on the shared ThreadPool when the
+  /// oracle allows concurrent queries. Output is pinned: the same groups,
+  /// in the same order, bit-for-bit as the serial dense scan (false),
+  /// which is kept as the differential reference.
+  bool parallel = true;
 };
 
 /// Enumerates all feasible groups of size in [2, max_group_size] over

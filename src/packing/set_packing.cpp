@@ -1,8 +1,10 @@
 #include "packing/set_packing.h"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
+#include "packing/bitset.h"
 #include "util/contracts.h"
 
 namespace o2o::packing {
@@ -13,36 +15,71 @@ double weight_of(const SetPackingProblem& problem, std::size_t set_index) {
   return problem.weights.empty() ? 1.0 : problem.weights[set_index];
 }
 
-/// Occupancy bitmap over the universe.
-struct Occupancy {
-  std::vector<std::uint8_t> used;
+/// Per-set sparse (word, mask) entries over the element universe. A share
+/// group has at most 3 elements, so each set touches at most 3 words and
+/// a conflict test against the occupancy bitset is <= 3 word-ANDs.
+class ElementMasks {
+ public:
+  explicit ElementMasks(const SetPackingProblem& problem) {
+    offsets_.reserve(problem.sets.size() + 1);
+    offsets_.push_back(0);
+    for (const auto& set : problem.sets) {
+      const std::size_t begin = entries_.size();
+      for (std::size_t e : set) {
+        const auto word = static_cast<std::uint32_t>(e / kBitsPerWord);
+        const BitWord bit = BitWord{1} << (e % kBitsPerWord);
+        // Elements are sorted, so words are non-decreasing within a set.
+        if (entries_.size() > begin && entries_.back().word == word) {
+          entries_.back().mask |= bit;
+        } else {
+          entries_.push_back({word, bit});
+        }
+      }
+      offsets_.push_back(static_cast<std::uint32_t>(entries_.size()));
+    }
+  }
 
-  explicit Occupancy(std::size_t universe) : used(universe, 0) {}
-
-  bool conflicts(const std::vector<std::size_t>& members) const {
-    for (std::size_t e : members) {
-      if (used[e]) return true;
+  bool conflicts(std::size_t set_index, const BlockBitset& occupancy) const {
+    const BitWord* words = occupancy.words();
+    for (std::uint32_t i = offsets_[set_index]; i < offsets_[set_index + 1]; ++i) {
+      if (words[entries_[i].word] & entries_[i].mask) return true;
     }
     return false;
   }
-  void mark(const std::vector<std::size_t>& members, std::uint8_t value) {
-    for (std::size_t e : members) used[e] = value;
-  }
-};
 
-bool sets_disjoint(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
-  // Both sorted: linear merge scan.
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) return false;
-    if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
+  void mark(std::size_t set_index, BlockBitset& occupancy) const {
+    BitWord* words = occupancy.words();
+    for (std::uint32_t i = offsets_[set_index]; i < offsets_[set_index + 1]; ++i) {
+      words[entries_[i].word] |= entries_[i].mask;
     }
   }
-  return true;
-}
+
+  bool disjoint(std::size_t a, std::size_t b) const {
+    // Both entry runs are word-sorted: linear merge scan, AND on word hits.
+    std::uint32_t i = offsets_[a];
+    std::uint32_t j = offsets_[b];
+    while (i < offsets_[a + 1] && j < offsets_[b + 1]) {
+      if (entries_[i].word == entries_[j].word) {
+        if (entries_[i].mask & entries_[j].mask) return false;
+        ++i;
+        ++j;
+      } else if (entries_[i].word < entries_[j].word) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t word;
+    BitWord mask;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> offsets_;
+};
 
 std::vector<std::size_t> preference_order(const SetPackingProblem& problem) {
   std::vector<std::size_t> order(problem.sets.size());
@@ -68,6 +105,137 @@ void validate_problem(const SetPackingProblem& problem) {
   }
 }
 
+std::size_t intersect_count(const BlockBitset& a, const BlockBitset& b) {
+  const std::size_t n = std::min(a.word_count(), b.word_count());
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < n; ++w) {
+    total += static_cast<std::size_t>(std::popcount(a.words()[w] & b.words()[w]));
+  }
+  return total;
+}
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Exact maximum-weight packing of one conflict-graph component, on local
+/// (remapped) set and element indices. Branch rule: pick the still-
+/// available least-covered element e; one branch per available set
+/// covering e (those subtrees are disjoint — no packing holds two sets
+/// sharing e) plus a final branch leaving e uncovered. Bound: current
+/// weight + the positive part of the still-available weights.
+class ComponentSolver {
+ public:
+  ComponentSolver(const SetPackingProblem& problem, const std::vector<std::size_t>& sets)
+      : global_sets_(sets) {
+    const std::size_t m = sets.size();
+    // Local element universe: the sorted union of member elements.
+    for (std::size_t s : sets) {
+      elements_.insert(elements_.end(), problem.sets[s].begin(), problem.sets[s].end());
+    }
+    std::sort(elements_.begin(), elements_.end());
+    elements_.erase(std::unique(elements_.begin(), elements_.end()), elements_.end());
+
+    covers_.assign(elements_.size(), BlockBitset(m));
+    set_elements_.resize(m);
+    weights_.resize(m);
+    for (std::size_t ls = 0; ls < m; ++ls) {
+      const std::size_t gs = sets[ls];
+      weights_[ls] = weight_of(problem, gs);
+      for (std::size_t e : problem.sets[gs]) {
+        const auto it = std::lower_bound(elements_.begin(), elements_.end(), e);
+        const auto le = static_cast<std::size_t>(it - elements_.begin());
+        covers_[le].set(ls);
+        set_elements_[ls].push_back(le);
+      }
+    }
+  }
+
+  /// `seed` holds local set indices of a valid packing (the incumbent).
+  /// Returns the optimal packing as global set indices.
+  Packing run(const Packing& seed) {
+    best_ = seed;
+    best_weight_ = 0.0;
+    for (std::size_t ls : seed) best_weight_ += weights_[ls];
+
+    // Every level of the search removes at least one set from the
+    // availability bitset, so depth is bounded by the component size;
+    // preallocating the whole stack keeps references stable across the
+    // recursion.
+    const std::size_t m = global_sets_.size();
+    available_.assign(m + 2, BlockBitset(m));
+    branch_sets_.assign(m + 2, {});
+    available_[0].set_all();
+    recurse(0);
+
+    Packing global;
+    global.reserve(best_.size());
+    for (std::size_t ls : best_) global.push_back(global_sets_[ls]);
+    return global;
+  }
+
+ private:
+  void recurse(std::size_t depth) {
+    const BlockBitset& available = available_[depth];
+    // Every node's selection is a valid packing; strict improvement keeps
+    // the seeded incumbent whenever it is already optimal.
+    if (current_weight_ > best_weight_) {
+      best_weight_ = current_weight_;
+      best_ = current_;
+    }
+    double optimistic = 0.0;
+    available.for_each([&](std::size_t ls) {
+      if (weights_[ls] > 0.0) optimistic += weights_[ls];
+    });
+    if (current_weight_ + optimistic <= best_weight_) return;  // bound
+
+    // Least-covered element still coverable; ties to the lowest index.
+    std::size_t branch_element = kNone;
+    std::size_t branch_count = kNone;
+    for (std::size_t le = 0; le < elements_.size(); ++le) {
+      const std::size_t count = intersect_count(covers_[le], available);
+      if (count == 0 || count >= branch_count) continue;
+      branch_element = le;
+      branch_count = count;
+      if (count == 1) break;  // cannot do better
+    }
+    if (branch_element == kNone) return;  // no set can be added
+
+    std::vector<std::size_t>& branches = branch_sets_[depth];
+    branches.clear();
+    available.for_each([&](std::size_t ls) {
+      if (covers_[branch_element].test(ls)) branches.push_back(ls);
+    });
+
+    BlockBitset& child = available_[depth + 1];
+    for (std::size_t ls : branches) {
+      child = available;
+      // Taking ls removes every set sharing one of its elements (itself
+      // included) — |set| word-subtractions, no conflict matrix needed.
+      for (std::size_t le : set_elements_[ls]) child.subtract(covers_[le]);
+      current_.push_back(ls);
+      current_weight_ += weights_[ls];
+      recurse(depth + 1);
+      current_weight_ -= weights_[ls];
+      current_.pop_back();
+    }
+    // Final branch: leave the element uncovered.
+    child = available;
+    child.subtract(covers_[branch_element]);
+    recurse(depth + 1);
+  }
+
+  const std::vector<std::size_t>& global_sets_;
+  std::vector<std::size_t> elements_;                 // global element ids, sorted
+  std::vector<BlockBitset> covers_;                   // local element -> set bits
+  std::vector<std::vector<std::size_t>> set_elements_;  // local set -> local elements
+  std::vector<double> weights_;
+
+  std::vector<BlockBitset> available_;                // per-depth availability
+  std::vector<std::vector<std::size_t>> branch_sets_;  // per-depth scratch
+  Packing current_, best_;
+  double current_weight_ = 0.0;
+  double best_weight_ = 0.0;
+};
+
 }  // namespace
 
 bool is_valid_packing(const SetPackingProblem& problem, const Packing& packing) {
@@ -91,52 +259,77 @@ double packing_weight(const SetPackingProblem& problem, const Packing& packing) 
 Packing solve_exact(const SetPackingProblem& problem, std::size_t max_sets) {
   validate_problem(problem);
   O2O_EXPECTS(problem.sets.size() <= max_sets);
+  const std::size_t n = problem.sets.size();
+  Packing chosen;
+  if (n == 0) return chosen;
 
-  // Branch on sets in preference order; bound with the optimistic sum of
-  // remaining weights.
-  const std::vector<std::size_t> order = preference_order(problem);
-  std::vector<double> suffix_weight(order.size() + 1, 0.0);
-  for (std::size_t i = order.size(); i-- > 0;) {
-    suffix_weight[i] = suffix_weight[i + 1] + weight_of(problem, order[i]);
+  // Incumbent: the 5/3-approximation, restricted per component below.
+  const Packing seed = solve_local_search(problem);
+  std::vector<std::uint8_t> in_seed(n, 0);
+  for (std::size_t s : seed) in_seed[s] = 1;
+
+  // Connected components of the conflict graph via union-find keyed on
+  // "first set seen covering each element".
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<std::size_t> first_cover(problem.universe_size, kNone);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t e : problem.sets[s]) {
+      if (first_cover[e] == kNone) {
+        first_cover[e] = s;
+      } else {
+        parent[find(s)] = find(first_cover[e]);
+      }
+    }
   }
 
-  Occupancy occupancy(problem.universe_size);
-  Packing current, best;
-  double current_weight = 0.0, best_weight = -1.0;
+  // Components in order of their smallest set index (deterministic).
+  std::vector<std::size_t> component_of(n, kNone);
+  std::vector<std::vector<std::size_t>> components;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t root = find(s);
+    if (component_of[root] == kNone) {
+      component_of[root] = components.size();
+      components.emplace_back();
+    }
+    components[component_of[root]].push_back(s);
+  }
 
-  const auto recurse = [&](auto&& self, std::size_t position) -> void {
-    if (current_weight > best_weight) {
-      best_weight = current_weight;
-      best = current;
+  for (const std::vector<std::size_t>& sets : components) {
+    if (sets.size() == 1) {
+      // Conflict-free set (empty sets included): take iff it helps.
+      if (weight_of(problem, sets.front()) > 0.0) chosen.push_back(sets.front());
+      continue;
     }
-    if (position == order.size()) return;
-    if (current_weight + suffix_weight[position] <= best_weight) return;  // bound
-    // Branch 1: take order[position] when disjoint.
-    const std::size_t set_index = order[position];
-    if (!occupancy.conflicts(problem.sets[set_index])) {
-      occupancy.mark(problem.sets[set_index], 1);
-      current.push_back(set_index);
-      current_weight += weight_of(problem, set_index);
-      self(self, position + 1);
-      current_weight -= weight_of(problem, set_index);
-      current.pop_back();
-      occupancy.mark(problem.sets[set_index], 0);
+    Packing local_seed;
+    for (std::size_t ls = 0; ls < sets.size(); ++ls) {
+      if (in_seed[sets[ls]]) local_seed.push_back(ls);
     }
-    // Branch 2: skip it.
-    self(self, position + 1);
-  };
-  recurse(recurse, 0);
-  O2O_ENSURES(is_valid_packing(problem, best));
-  return best;
+    ComponentSolver solver(problem, sets);
+    const Packing picked = solver.run(local_seed);
+    chosen.insert(chosen.end(), picked.begin(), picked.end());
+  }
+
+  std::sort(chosen.begin(), chosen.end());
+  O2O_ENSURES(is_valid_packing(problem, chosen));
+  return chosen;
 }
 
 Packing solve_greedy(const SetPackingProblem& problem) {
   validate_problem(problem);
-  Occupancy occupancy(problem.universe_size);
+  const ElementMasks masks(problem);
+  BlockBitset occupancy(problem.universe_size);
   Packing chosen;
   for (std::size_t index : preference_order(problem)) {
-    if (occupancy.conflicts(problem.sets[index])) continue;
-    occupancy.mark(problem.sets[index], 1);
+    if (masks.conflicts(index, occupancy)) continue;
+    masks.mark(index, occupancy);
     chosen.push_back(index);
   }
   O2O_ENSURES(is_valid_packing(problem, chosen));
@@ -145,12 +338,21 @@ Packing solve_greedy(const SetPackingProblem& problem) {
 
 Packing solve_local_search(const SetPackingProblem& problem, std::size_t max_rounds) {
   validate_problem(problem);
-  Packing chosen = solve_greedy(problem);
+  const ElementMasks masks(problem);
+
+  // Greedy start — same scan as solve_greedy, reusing the masks.
+  BlockBitset occupancy(problem.universe_size);
+  Packing chosen;
+  for (std::size_t index : preference_order(problem)) {
+    if (masks.conflicts(index, occupancy)) continue;
+    masks.mark(index, occupancy);
+    chosen.push_back(index);
+  }
+
   std::vector<std::uint8_t> in_packing(problem.sets.size(), 0);
   for (std::size_t index : chosen) in_packing[index] = 1;
 
   // element -> chosen set covering it (or npos)
-  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::vector<std::size_t> covered_by(problem.universe_size, kNone);
   const auto rebuild_cover = [&] {
     std::fill(covered_by.begin(), covered_by.end(), kNone);
@@ -160,26 +362,49 @@ Packing solve_local_search(const SetPackingProblem& problem, std::size_t max_rou
   };
   rebuild_cover();
 
+  // (2-for-1) swap rounds. A viable swap partner for `a` must itself
+  // conflict with exactly `a`'s chosen set (or none at all), so instead of
+  // probing every b > a like the dense reference scan, each round buckets
+  // the unchosen sets by their unique chosen conflict once -- covered_by
+  // is static within a round, since any improvement ends it -- and the
+  // b-scan walks only bucket[conflict_a] merged with the conflict-free
+  // list, in ascending order. The first improving pair found is exactly
+  // the dense scan's, so the output packing is identical.
+  constexpr std::size_t kMulti = static_cast<std::size_t>(-2);
+  std::vector<std::size_t> conflict_class(problem.sets.size(), kMulti);
+  std::vector<std::vector<std::size_t>> bucket(problem.sets.size());
+  std::vector<std::size_t> free_sets;  // unchosen sets with no chosen conflict
   for (std::size_t round = 0; round < max_rounds; ++round) {
     bool improved = false;
-    // (2-for-1) swap: find two disjoint unchosen sets whose combined
-    // conflicts hit at most one chosen set of no larger total weight.
-    for (std::size_t a = 0; a < problem.sets.size() && !improved; ++a) {
-      if (in_packing[a]) continue;
-      // Chosen sets conflicting with a.
-      std::size_t conflict_a = kNone;
-      bool a_multi = false;
-      for (std::size_t e : problem.sets[a]) {
+    conflict_class.assign(problem.sets.size(), kMulti);
+    for (auto& b : bucket) b.clear();
+    free_sets.clear();
+    for (std::size_t s = 0; s < problem.sets.size(); ++s) {
+      if (in_packing[s]) continue;
+      std::size_t conflict = kNone;
+      bool multi = false;
+      for (std::size_t e : problem.sets[s]) {
         const std::size_t c = covered_by[e];
         if (c == kNone) continue;
-        if (conflict_a == kNone) {
-          conflict_a = c;
-        } else if (conflict_a != c) {
-          a_multi = true;
+        if (conflict == kNone) {
+          conflict = c;
+        } else if (conflict != c) {
+          multi = true;
           break;
         }
       }
-      if (a_multi) continue;
+      if (multi) continue;
+      conflict_class[s] = conflict;
+      if (conflict == kNone) {
+        free_sets.push_back(s);
+      } else {
+        bucket[conflict].push_back(s);
+      }
+    }
+
+    for (std::size_t a = 0; a < problem.sets.size() && !improved; ++a) {
+      if (in_packing[a] || conflict_class[a] == kMulti) continue;
+      const std::size_t conflict_a = conflict_class[a];
       if (conflict_a == kNone) {
         // a fits outright: greedy missed maximality after a prior swap.
         chosen.push_back(a);
@@ -188,25 +413,21 @@ Packing solve_local_search(const SetPackingProblem& problem, std::size_t max_rou
         improved = true;
         break;
       }
-      for (std::size_t b = a + 1; b < problem.sets.size(); ++b) {
-        if (in_packing[b]) continue;
-        if (!sets_disjoint(problem.sets[a], problem.sets[b])) continue;
-        std::size_t conflict_b = kNone;
-        bool b_multi = false;
-        for (std::size_t e : problem.sets[b]) {
-          const std::size_t c = covered_by[e];
-          if (c == kNone) continue;
-          if (conflict_b == kNone) {
-            conflict_b = c;
-          } else if (conflict_b != c) {
-            b_multi = true;
-            break;
-          }
+      // Candidates b > a, ascending: merge of a's conflict bucket and the
+      // conflict-free sets (both already sorted).
+      const std::vector<std::size_t>& own = bucket[conflict_a];
+      std::size_t i = 0, j = 0;
+      while (i < own.size() || j < free_sets.size()) {
+        std::size_t b;
+        if (j == free_sets.size() || (i < own.size() && own[i] < free_sets[j])) {
+          b = own[i++];
+        } else {
+          b = free_sets[j++];
         }
-        if (b_multi) continue;
-        if (conflict_b != kNone && conflict_a != conflict_b) continue;
-        // Swap out conflict_a (== conflict_b or b conflict-free), swap in
-        // {a, b} when that increases total weight.
+        if (b <= a) continue;
+        if (!masks.disjoint(a, b)) continue;
+        // Swap out conflict_a (b's unique conflict, or b conflict-free),
+        // swap in {a, b} when that increases total weight.
         const double removed = weight_of(problem, conflict_a);
         const double added = weight_of(problem, a) + weight_of(problem, b);
         if (added <= removed) continue;

@@ -1,6 +1,8 @@
 #include "routing/optimizer.h"
 
+#include <algorithm>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "util/contracts.h"
@@ -19,6 +21,42 @@ std::vector<Stop> stops_of(std::span<const trace::Request> riders) {
   return stops;
 }
 
+std::vector<geo::Point> points_of(const std::vector<Stop>& stops) {
+  std::vector<geo::Point> points;
+  points.reserve(stops.size());
+  for (const Stop& s : stops) points.push_back(s.point);
+  return points;
+}
+
+/// n x n stop-to-stop table built row-wise through the bulk oracle API —
+/// one Dijkstra tree per row on the network oracle instead of n pointwise
+/// resolutions. The diagonal is pinned to 0: a bulk row *does* price
+/// source->source (twice the snap gap on network oracles), which the old
+/// pointwise loop never asked for.
+std::vector<double> stop_rows(std::span<const geo::Point> points,
+                              const geo::DistanceOracle& oracle) {
+  const std::size_t n = points.size();
+  std::vector<double> table(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<double> row = oracle.distances_from(points[i], points);
+    std::copy(row.begin(), row.end(), table.begin() + static_cast<std::ptrdiff_t>(i * n));
+    table[i * n + i] = 0.0;
+  }
+  return table;
+}
+
+/// Non-owning view the search runs on, so repeated-anchor callers can
+/// pair a shared stop table with a per-call start row (no table copy).
+struct DistanceView {
+  const double* stop_to_stop;   // n x n
+  const double* start_to_stop;  // n, nullptr when unanchored
+  std::size_t n = 0;
+
+  double leading(std::size_t first_stop) const {
+    return start_to_stop == nullptr ? 0.0 : start_to_stop[first_stop];
+  }
+};
+
 /// Pairwise distances among stops (and from the start when present).
 struct DistanceTable {
   std::vector<double> stop_to_stop;  // n x n
@@ -28,28 +66,20 @@ struct DistanceTable {
   DistanceTable(const std::vector<Stop>& stops, const geo::DistanceOracle& oracle,
                 const std::optional<geo::Point>& start)
       : n(stops.size()) {
-    stop_to_stop.resize(n * n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (i != j) stop_to_stop[i * n + j] = oracle.distance(stops[i].point, stops[j].point);
-      }
-    }
-    if (start.has_value()) {
-      start_to_stop.resize(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        start_to_stop[i] = oracle.distance(*start, stops[i].point);
-      }
-    }
+    const std::vector<geo::Point> points = points_of(stops);
+    stop_to_stop = stop_rows(points, oracle);
+    if (start.has_value()) start_to_stop = oracle.distances_from(*start, points);
   }
 
-  double leading(std::size_t first_stop) const {
-    return start_to_stop.empty() ? 0.0 : start_to_stop[first_stop];
+  DistanceView view() const {
+    return DistanceView{stop_to_stop.data(),
+                        start_to_stop.empty() ? nullptr : start_to_stop.data(), n};
   }
 };
 
 struct ExhaustiveSearch {
   const std::vector<Stop>& stops;
-  const DistanceTable& distances;
+  DistanceView distances;
   std::vector<std::size_t> order;
   std::vector<bool> used;
   std::vector<std::size_t> best_order;
@@ -94,8 +124,8 @@ Route optimal_route_exhaustive(std::span<const trace::Request> riders,
   O2O_EXPECTS(riders.size() >= 1 && riders.size() <= 4);
   const std::vector<Stop> stops = stops_of(riders);
   const DistanceTable distances(stops, oracle, start);
-  ExhaustiveSearch search{stops, distances, {}, std::vector<bool>(stops.size(), false), {},
-                          std::numeric_limits<double>::infinity()};
+  ExhaustiveSearch search{stops, distances.view(), {}, std::vector<bool>(stops.size(), false),
+                          {}, std::numeric_limits<double>::infinity()};
   search.order.reserve(stops.size());
   search.recurse(0.0);
   Route route = route_from_order(stops, search.best_order, start);
@@ -107,7 +137,8 @@ Route optimal_route_dp(std::span<const trace::Request> riders,
                        const geo::DistanceOracle& oracle, std::optional<geo::Point> start) {
   O2O_EXPECTS(riders.size() >= 1 && riders.size() <= 8);
   const std::vector<Stop> stops = stops_of(riders);
-  const DistanceTable distances(stops, oracle, start);
+  const DistanceTable table(stops, oracle, start);
+  const DistanceView distances = table.view();
   const std::size_t n = stops.size();
   const std::size_t masks = std::size_t{1} << n;
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -176,27 +207,19 @@ AnchoredRouteSolver::AnchoredRouteSolver(std::vector<trace::Request> riders,
     : riders_(std::move(riders)), oracle_(oracle) {
   O2O_EXPECTS(!riders_.empty() && riders_.size() <= 4);
   stops_ = stops_of(riders_);
-  const std::size_t n = stops_.size();
-  stop_table_.assign(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i != j) stop_table_[i * n + j] = oracle.distance(stops_[i].point, stops_[j].point);
-    }
-  }
+  points_ = points_of(stops_);
+  stop_table_ = stop_rows(points_, oracle);
 }
 
 std::vector<std::size_t> AnchoredRouteSolver::solve(const geo::Point& start,
                                                     double& length_out) const {
   const std::size_t n = stops_.size();
-  DistanceTable distances({}, oracle_, std::nullopt);  // filled manually below
-  distances.n = n;
-  distances.stop_to_stop = stop_table_;
-  distances.start_to_stop.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    distances.start_to_stop[i] = oracle_.distance(start, stops_[i].point);
-  }
-  ExhaustiveSearch search{stops_, distances, {}, std::vector<bool>(n, false), {},
-                          std::numeric_limits<double>::infinity()};
+  // Per-call state is just the anchor row; the shared stop table is
+  // referenced in place (one bulk query, no n x n copy per candidate).
+  const std::vector<double> start_row = oracle_.distances_from(start, points_);
+  ExhaustiveSearch search{stops_, DistanceView{stop_table_.data(), start_row.data(), n},
+                          {}, std::vector<bool>(n, false),
+                          {}, std::numeric_limits<double>::infinity()};
   search.order.reserve(n);
   search.recurse(0.0);
   length_out = search.best_length;

@@ -59,7 +59,8 @@ class AnchoredRouteSolver {
  private:
   std::vector<trace::Request> riders_;
   std::vector<Stop> stops_;
-  std::vector<double> stop_table_;  // stop-to-stop, n x n
+  std::vector<geo::Point> points_;  // stop coordinates, bulk-query shape
+  std::vector<double> stop_table_;  // stop-to-stop, n x n (built once)
   const geo::DistanceOracle& oracle_;
 
   std::vector<std::size_t> solve(const geo::Point& start, double& length_out) const;
