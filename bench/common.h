@@ -12,6 +12,7 @@
 #include "baselines/nonsharing.h"
 #include "baselines/raii.h"
 #include "baselines/sarp.h"
+#include "core/dispatch_config.h"
 #include "core/dispatchers.h"
 #include "sim/simulator.h"
 #include "trace/fleet.h"
@@ -45,16 +46,31 @@ inline core::PreferenceParams preference_params(const PaperParams& p) {
   return params;
 }
 
+/// The PaperParams bundle as a DispatchConfig -- the single source the
+/// stable-dispatcher roster entries are built from. The sharing knobs
+/// are harmless on the non-sharing dispatchers (their projection drops
+/// them). City-scale performance knobs (documented in DESIGN.md): riders
+/// whose pick-ups are farther apart than 2θ are not considered for
+/// pooling, and each unit ranks only its 24 nearest taxis.
+inline DispatchConfig dispatch_config(const PaperParams& p) {
+  return DispatchConfig{}
+      .with_alpha(p.alpha)
+      .with_beta(p.beta)
+      .with_passenger_threshold_km(p.passenger_threshold_km)
+      .with_taxi_threshold_score(p.taxi_threshold_score)
+      .with_detour_threshold_km(p.theta_km)
+      .with_pickup_radius_km(2.0 * p.theta_km)
+      .with_candidate_taxis_per_unit(24);
+}
+
 /// The non-sharing roster of Fig. 4-7: NSTD-P, NSTD-T, Greedy, MinCost,
 /// MinMax.
 inline std::vector<std::unique_ptr<sim::Dispatcher>> nonsharing_roster(
     const PaperParams& p) {
   std::vector<std::unique_ptr<sim::Dispatcher>> roster;
-  core::StableDispatcherOptions stable;
-  stable.preference = preference_params(p);
-  roster.push_back(std::make_unique<core::StableDispatcher>(stable));
-  stable.side = core::ProposalSide::kTaxis;
-  roster.push_back(std::make_unique<core::StableDispatcher>(stable));
+  const DispatchConfig config = dispatch_config(p);
+  roster.push_back(make_nstd_p(config));
+  roster.push_back(make_nstd_t(config));
   roster.push_back(std::make_unique<baselines::NonSharingBaseline>(
       baselines::NonSharingPolicy::kGreedy));
   roster.push_back(std::make_unique<baselines::NonSharingBaseline>(
@@ -67,17 +83,9 @@ inline std::vector<std::unique_ptr<sim::Dispatcher>> nonsharing_roster(
 /// The sharing roster of Fig. 8-9: STD-P, STD-T, RAII, SARP, ILP.
 inline std::vector<std::unique_ptr<sim::Dispatcher>> sharing_roster(const PaperParams& p) {
   std::vector<std::unique_ptr<sim::Dispatcher>> roster;
-  core::SharingStableDispatcherOptions stable;
-  stable.params.preference = preference_params(p);
-  stable.params.grouping.detour_threshold_km = p.theta_km;
-  // City-scale performance knobs (documented in DESIGN.md): riders whose
-  // pick-ups are farther apart than 2θ are not considered for pooling,
-  // and each unit ranks only its 24 nearest taxis.
-  stable.params.grouping.pickup_radius_km = 2.0 * p.theta_km;
-  stable.params.candidate_taxis_per_unit = 24;
-  roster.push_back(std::make_unique<core::SharingStableDispatcher>(stable));
-  stable.params.side = core::ProposalSide::kTaxis;
-  roster.push_back(std::make_unique<core::SharingStableDispatcher>(stable));
+  const DispatchConfig config = dispatch_config(p);
+  roster.push_back(make_std_p(config));
+  roster.push_back(make_std_t(config));
   baselines::RaiiOptions raii;
   raii.search_radius_km = p.passenger_threshold_km;
   raii.detour_threshold_km = p.theta_km;

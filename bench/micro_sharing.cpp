@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/sharing.h"
+#include "obs/obs.h"
 #include "packing/groups.h"
 #include "packing/set_packing.h"
 #include "routing/optimizer.h"
@@ -258,6 +259,36 @@ void city_frame(benchmark::State& state, bool parallel) {
 
 void BM_CitySharingFramePruned(benchmark::State& state) { city_frame(state, true); }
 BENCHMARK(BM_CitySharingFramePruned)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CitySharingFrameTraced(benchmark::State& state) {
+  // Same frame as BM_CitySharingFramePruned but with a live TraceSink and
+  // the full per-frame lifecycle -- the delta against the pruned arm is
+  // the observability layer's overhead (budget: < 2%).
+  const auto requests = make_city_requests(static_cast<std::size_t>(state.range(0)), 24);
+  Rng rng(25);
+  std::vector<trace::Taxi> taxis;
+  for (int t = 0; t < 700; ++t) {
+    trace::Taxi taxi;
+    taxi.id = t;
+    taxi.location = {rng.uniform(0, 40), rng.uniform(0, 40)};
+    taxis.push_back(taxi);
+  }
+  const core::SharingParams params = city_sharing_params(true);
+  obs::TraceSink sink(obs::TraceOptions{.enabled = true, .per_frame = false});
+  obs::Activation guard(sink);
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    sink.begin_frame(frame++, 0.0);
+    benchmark::DoNotOptimize(core::dispatch_sharing(taxis, requests, kOracle, params));
+    sink.end_frame();
+  }
+  state.counters["proposals"] = static_cast<double>(
+      sink.aggregate().counters[static_cast<std::size_t>(obs::Counter::kProposals)]);
+}
+BENCHMARK(BM_CitySharingFrameTraced)
     ->Arg(1000)
     ->Arg(2000)
     ->Unit(benchmark::kMillisecond);

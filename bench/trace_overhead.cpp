@@ -1,0 +1,172 @@
+// A/B harness for the observability layer: runs identical dispatch
+// frames with tracing off and on (full TraceSink frame lifecycle) and
+// reports the relative wall-time overhead. The acceptance budget is
+// small -- the hot-path cost per report site is one atomic load and a
+// branch when off, a thread-local bump when on.
+//
+//   ./build/bench/trace_overhead [--quick] [--check] [--threshold=PCT]
+//                                [--requests=N]
+//
+// --check exits non-zero when the measured overhead exceeds the
+// threshold (default 5%), which is how CI consumes this binary; the CI
+// job is non-blocking but fails loudly. Timings interleave the two arms
+// rep by rep and keep the per-arm minimum, the usual defence against
+// frequency drift on shared runners.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "core/dispatch_config.h"
+#include "core/sharing.h"
+#include "obs/obs.h"
+#include "sim/report_io.h"
+#include "util/rng.h"
+
+#include <iostream>
+
+namespace {
+
+using namespace o2o;
+
+const geo::EuclideanOracle kOracle;
+
+std::vector<trace::Request> make_city_requests(std::size_t count, std::uint64_t seed) {
+  constexpr double kExtentKm = 40.0;
+  Rng rng(seed);
+  std::vector<trace::Request> requests;
+  requests.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    trace::Request request;
+    request.id = static_cast<trace::RequestId>(r);
+    request.pickup = {rng.uniform(0, kExtentKm), rng.uniform(0, kExtentKm)};
+    const double angle = rng.uniform(0.0, 6.283185307179586);
+    const double trip = rng.uniform(1.0, 4.0);
+    request.dropoff = {request.pickup.x + trip * std::cos(angle),
+                       request.pickup.y + trip * std::sin(angle)};
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+std::vector<trace::Taxi> make_fleet(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<trace::Taxi> taxis;
+  taxis.reserve(static_cast<std::size_t>(count));
+  for (int t = 0; t < count; ++t) {
+    trace::Taxi taxi;
+    taxi.id = t;
+    taxi.location = {rng.uniform(0, 40), rng.uniform(0, 40)};
+    taxis.push_back(taxi);
+  }
+  return taxis;
+}
+
+core::SharingParams sharing_params() {
+  return DispatchConfig{}
+      .with_passenger_threshold_km(2.0)
+      .with_taxi_threshold_score(8.0)
+      .with_detour_threshold_km(2.0)
+      .with_candidate_taxis_per_unit(8)
+      .sharing_params();
+}
+
+/// One full sharing dispatch frame (grouping + packing + matching).
+double run_frames_seconds(const std::vector<trace::Taxi>& taxis,
+                          const std::vector<trace::Request>& requests,
+                          const core::SharingParams& params, int frames,
+                          obs::TraceSink* sink) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int f = 0; f < frames; ++f) {
+    if (sink != nullptr) sink->begin_frame(static_cast<std::uint64_t>(f), 0.0);
+    const core::SharingOutcome outcome =
+        core::dispatch_sharing(taxis, requests, kOracle, params);
+    if (sink != nullptr) sink->end_frame();
+    // Keep the result alive so the whole frame cannot be elided.
+    if (outcome.assignments.size() == static_cast<std::size_t>(-1)) std::abort();
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool check = false;
+  double threshold_pct = 5.0;
+  std::size_t requests_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold_pct = std::atof(arg.substr(12).data());
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      requests_override = static_cast<std::size_t>(std::atol(arg.substr(11).data()));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const std::size_t n_requests =
+      requests_override != 0 ? requests_override : (quick ? 500 : 1000);
+  const int frames_per_batch = quick ? 2 : 4;
+  const int reps = quick ? 5 : 9;
+
+  const auto requests = make_city_requests(n_requests, 24);
+  const auto taxis = make_fleet(700, 25);
+  const core::SharingParams params = sharing_params();
+
+  // Warm both arms (thread pool spin-up, allocator, oracle caches).
+  run_frames_seconds(taxis, requests, params, 1, nullptr);
+  {
+    obs::TraceSink warm_sink(obs::TraceOptions{.enabled = true, .per_frame = false});
+    obs::Activation guard(warm_sink);
+    run_frames_seconds(taxis, requests, params, 1, &warm_sink);
+  }
+
+  double best_off = std::numeric_limits<double>::infinity();
+  double best_on = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    best_off = std::min(best_off,
+                        run_frames_seconds(taxis, requests, params, frames_per_batch,
+                                           nullptr));
+    obs::TraceSink sink(obs::TraceOptions{.enabled = true, .per_frame = false});
+    obs::Activation guard(sink);
+    best_on = std::min(best_on, run_frames_seconds(taxis, requests, params,
+                                                   frames_per_batch, &sink));
+  }
+
+  const double per_frame_off_ms = best_off / frames_per_batch * 1e3;
+  const double per_frame_on_ms = best_on / frames_per_batch * 1e3;
+  const double overhead_pct = (best_on / best_off - 1.0) * 100.0;
+  std::printf("trace_overhead: %zu requests x 700 taxis, %d frames/batch, %d reps\n",
+              n_requests, frames_per_batch, reps);
+  std::printf("  tracing off: %8.3f ms/frame\n", per_frame_off_ms);
+  std::printf("  tracing on:  %8.3f ms/frame\n", per_frame_on_ms);
+  std::printf("  overhead:    %+7.2f %% (threshold %.1f %%)\n", overhead_pct,
+              threshold_pct);
+
+  // One extra traced batch with per-frame retention feeds the stage
+  // breakdown table (EXPERIMENTS.md): where the frame time actually goes.
+  {
+    obs::TraceSink sink(obs::TraceOptions{.enabled = true});
+    obs::Activation guard(sink);
+    run_frames_seconds(taxis, requests, params, frames_per_batch, &sink);
+    std::printf("\n");
+    sim::write_trace_summary(std::cout, sink.frames());
+  }
+
+  if (check && overhead_pct > threshold_pct) {
+    std::fprintf(stderr, "FAIL: tracing overhead %.2f%% exceeds %.2f%%\n", overhead_pct,
+                 threshold_pct);
+    return 1;
+  }
+  return 0;
+}

@@ -2,16 +2,27 @@
 // the stable dispatcher against a baseline, with the frame length and
 // cancellation-timeout ablations DESIGN.md calls out.
 //
-//   ./build/examples/city_day [taxis] [rate_scale] [seed]
+//   ./build/examples/city_day [taxis] [rate_scale] [seed] \
+//       [--trace-json=FILE] [--trace-csv=FILE] [--trace-summary]
+//
+// The trace flags run the headline stable dispatch with a TraceSink
+// attached and export the per-frame observability records (stage
+// timings, counters, gauge peaks) as JSON / CSV, or print the
+// human-readable per-stage summary table.
 //
 // Prints a per-3-hour table (the Fig. 7 view) and an ablation of the
 // batching interval.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
 
 #include "baselines/nonsharing.h"
-#include "core/dispatchers.h"
+#include "core/dispatch_config.h"
+#include "sim/report_io.h"
 #include "sim/simulator.h"
 #include "trace/fleet.h"
 #include "trace/synthetic.h"
@@ -22,20 +33,19 @@ namespace {
 
 const geo::EuclideanOracle kOracle;
 
-core::PreferenceParams tuned_preferences() {
-  core::PreferenceParams params;
-  params.passenger_threshold_km = 10.0;
-  params.taxi_threshold_score = 1.0;
-  return params;
+DispatchConfig tuned_config() {
+  return DispatchConfig{}.with_passenger_threshold_km(10.0).with_taxi_threshold_score(1.0);
 }
 
 sim::SimulationReport run_once(const trace::Trace& city,
                                const std::vector<trace::Taxi>& fleet,
                                sim::Dispatcher& dispatcher, double frame_seconds,
-                               double timeout_seconds) {
+                               double timeout_seconds,
+                               obs::TraceSink* sink = nullptr) {
   sim::SimulatorConfig config;
   config.frame_seconds = frame_seconds;
   config.cancel_timeout_seconds = timeout_seconds;
+  config.trace_sink = sink;
   sim::Simulator simulator(city, fleet, kOracle, config);
   return simulator.run(dispatcher);
 }
@@ -48,12 +58,43 @@ void print_report_line(const sim::SimulationReport& report) {
               report.taxi_stats.mean(), report.total_taxi_distance_km);
 }
 
+/// --flag=value style option; returns true and fills `value` on match.
+bool parse_option(const char* arg, const char* name, std::string& value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  value = arg + len + 1;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int taxis = argc > 1 ? std::atoi(argv[1]) : 200;
-  const double rate_scale = argc > 2 ? std::atof(argv[2]) : 1.0;
-  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1234;
+  int taxis = 200;
+  double rate_scale = 1.0;
+  std::uint64_t seed = 1234;
+  std::string trace_json_path;
+  std::string trace_csv_path;
+  bool trace_summary = false;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (parse_option(arg, "--trace-json", trace_json_path)) continue;
+    if (parse_option(arg, "--trace-csv", trace_csv_path)) continue;
+    if (std::strcmp(arg, "--trace-summary") == 0) {
+      trace_summary = true;
+      continue;
+    }
+    switch (positional++) {
+      case 0: taxis = std::atoi(arg); break;
+      case 1: rate_scale = std::atof(arg); break;
+      case 2: seed = std::strtoull(arg, nullptr, 10); break;
+      default:
+        std::fprintf(stderr, "unknown argument: %s\n", arg);
+        return 2;
+    }
+  }
+  const bool tracing = trace_summary || !trace_json_path.empty() || !trace_csv_path.empty();
 
   trace::CityModel model = trace::CityModel::boston();
   trace::GenerationOptions gen;
@@ -70,19 +111,50 @@ int main(int argc, char** argv) {
               city.size(), taxis, rate_scale,
               static_cast<unsigned long long>(seed));
 
-  core::StableDispatcherOptions stable_options;
-  stable_options.preference = tuned_preferences();
-  core::StableDispatcher stable(stable_options);
+  const DispatchConfig config = tuned_config();
+  const auto stable = make_nstd_p(config);
   baselines::NonSharingBaseline greedy(baselines::NonSharingPolicy::kGreedy);
   baselines::NonSharingBaseline min_cost(baselines::NonSharingPolicy::kMinCost);
 
+  // Inert unless handed to the simulator below: collection only happens
+  // between begin_frame/end_frame while the sink is activated.
+  obs::TraceSink sink(obs::TraceOptions{.enabled = true});
+  obs::TraceSink* headline_sink = tracing ? &sink : nullptr;
+
   std::printf("one-minute frames, 30-minute passenger patience:\n");
-  const auto stable_report = run_once(city, fleet, stable, 60.0, 1800.0);
+  const auto stable_report = run_once(city, fleet, *stable, 60.0, 1800.0, headline_sink);
   const auto greedy_report = run_once(city, fleet, greedy, 60.0, 1800.0);
   const auto mincost_report = run_once(city, fleet, min_cost, 60.0, 1800.0);
   print_report_line(stable_report);
   print_report_line(greedy_report);
   print_report_line(mincost_report);
+
+  if (headline_sink != nullptr) {
+    if (!trace_json_path.empty()) {
+      std::ofstream out(trace_json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_json_path.c_str());
+        return 1;
+      }
+      sim::write_frame_traces_json(out, headline_sink->frames());
+      std::printf("\nwrote %zu frame traces to %s\n", headline_sink->frames().size(),
+                  trace_json_path.c_str());
+    }
+    if (!trace_csv_path.empty()) {
+      std::ofstream out(trace_csv_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_csv_path.c_str());
+        return 1;
+      }
+      sim::write_frame_traces_csv(out, headline_sink->frames());
+      std::printf("\nwrote %zu frame traces to %s\n", headline_sink->frames().size(),
+                  trace_csv_path.c_str());
+    }
+    if (trace_summary) {
+      std::printf("\n");
+      sim::write_trace_summary(std::cout, headline_sink->frames());
+    }
+  }
 
   std::printf("\nby clock time (3 h buckets) -- mean taxi dissatisfaction (km):\n  hour ");
   for (std::size_t b = 0; b < stable_report.hourly_taxi.bucket_count(); ++b) {
@@ -98,14 +170,14 @@ int main(int argc, char** argv) {
 
   std::printf("\n\nablation -- batching interval (stable dispatch):\n");
   for (const double frame : {30.0, 60.0, 120.0, 300.0}) {
-    const auto report = run_once(city, fleet, stable, frame, 1800.0);
+    const auto report = run_once(city, fleet, *stable, frame, 1800.0);
     std::printf("  frame=%5.0fs  served=%5zu  delay=%6.2f min  taxi=%6.2f km\n", frame,
                 report.served, report.delay_stats.mean(), report.taxi_stats.mean());
   }
 
   std::printf("\nablation -- passenger patience (stable dispatch):\n");
   for (const double timeout : {600.0, 1800.0, 3600.0}) {
-    const auto report = run_once(city, fleet, stable, 60.0, timeout);
+    const auto report = run_once(city, fleet, *stable, 60.0, timeout);
     std::printf("  patience=%5.0fs  served=%5zu  cancelled=%5zu  delay=%6.2f min\n",
                 timeout, report.served, report.cancelled, report.delay_stats.mean());
   }

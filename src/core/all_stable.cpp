@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "obs/obs.h"
 #include "util/contracts.h"
 
 namespace o2o::core {
@@ -78,6 +79,7 @@ struct Enumerator {
   const AllStableOptions& options;
   AllStableResult result;
   std::set<std::vector<int>> seen;
+  std::uint64_t break_attempts = 0;
 
   bool full() const {
     return options.max_matchings > 0 && result.matchings.size() >= options.max_matchings;
@@ -89,6 +91,7 @@ struct Enumerator {
         result.truncated = true;
         return;
       }
+      ++break_attempts;
       auto next = break_dispatch(profile, schedule, j);
       if (!next.has_value()) continue;
       ++result.break_successes;
@@ -109,13 +112,20 @@ struct Enumerator {
 
 AllStableResult enumerate_all_stable(const PreferenceProfile& profile,
                                      const AllStableOptions& options) {
-  Enumerator enumerator{profile, options, {}, {}};
+  Enumerator enumerator{profile, options, {}, {}, 0};
   const Matching passenger_optimal = gale_shapley_requests(profile);
   enumerator.seen.insert(passenger_optimal.request_to_taxi);
   enumerator.result.matchings.push_back(passenger_optimal);
-  // recurse takes the local copy: result.matchings may reallocate while
-  // the recursion appends, so references into it would dangle.
-  if (!enumerator.full()) enumerator.recurse(passenger_optimal);
+  {
+    // The timer starts after Algorithm 1 so kBreakDispatch and
+    // kStableMatching stay disjoint stages.
+    obs::StageTimer timer(obs::Stage::kBreakDispatch);
+    // recurse takes the local copy: result.matchings may reallocate while
+    // the recursion appends, so references into it would dangle.
+    if (!enumerator.full()) enumerator.recurse(passenger_optimal);
+  }
+  obs::add(obs::Counter::kBreakAttempts, enumerator.break_attempts);
+  obs::add(obs::Counter::kBreakSuccesses, enumerator.result.break_successes);
   return std::move(enumerator.result);
 }
 

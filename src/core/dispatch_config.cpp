@@ -1,0 +1,261 @@
+#include "core/dispatch_config.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace o2o {
+
+std::string_view config_field_name(ConfigField field) noexcept {
+  switch (field) {
+    case ConfigField::kAlpha: return "alpha";
+    case ConfigField::kBeta: return "beta";
+    case ConfigField::kPassengerThresholdKm: return "passenger_threshold_km";
+    case ConfigField::kTaxiThresholdScore: return "taxi_threshold_score";
+    case ConfigField::kDetourThresholdKm: return "detour_threshold_km";
+    case ConfigField::kMaxGroupSize: return "max_group_size";
+    case ConfigField::kPickupRadiusKm: return "pickup_radius_km";
+    case ConfigField::kTaxiSeats: return "taxi_seats";
+    case ConfigField::kEnumerationCap: return "enumeration_cap";
+    case ConfigField::kCandidateTaxisPerUnit: return "candidate_taxis_per_unit";
+    case ConfigField::kExactMaxSets: return "exact_max_sets";
+    case ConfigField::kTraceMaxFrames: return "trace_max_frames";
+  }
+  return "unknown";
+}
+
+DispatchConfig& DispatchConfig::with_alpha(double alpha) {
+  params_.preference.alpha = alpha;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_beta(double beta) {
+  params_.preference.beta = beta;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_passenger_threshold_km(double km) {
+  params_.preference.passenger_threshold_km = km;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_taxi_threshold_score(double score) {
+  params_.preference.taxi_threshold_score = score;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_list_cap(std::size_t cap) {
+  params_.preference.list_cap = cap;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_spatial_prune(bool enabled) {
+  params_.preference.spatial_prune = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_proposal_side(core::ProposalSide side) {
+  params_.side = side;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_taxi_side_via_enumeration(bool enabled) {
+  taxi_side_via_enumeration_ = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_enumeration_cap(std::size_t cap) {
+  enumeration_cap_ = cap;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_detour_threshold_km(double theta) {
+  params_.grouping.detour_threshold_km = theta;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_max_group_size(int size) {
+  params_.grouping.max_group_size = size;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_pickup_radius_km(double km) {
+  params_.grouping.pickup_radius_km = km;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_require_saving(bool enabled) {
+  params_.grouping.require_saving = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_parallel_grouping(bool enabled) {
+  params_.grouping.parallel = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_packing_solver(core::PackingSolver solver) {
+  params_.packing = solver;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_packing_objective(core::PackingObjective objective) {
+  params_.objective = objective;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_taxi_seats(int seats) {
+  params_.taxi_seats = seats;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_candidate_taxis_per_unit(std::size_t count) {
+  params_.candidate_taxis_per_unit = count;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_exact_max_sets(std::size_t count) {
+  params_.exact_max_sets = count;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_enroute_extension(bool enabled) {
+  enroute_extension_ = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_tracing(obs::TraceOptions options) {
+  trace_ = options;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_tracing(bool enabled) {
+  trace_.enabled = enabled;
+  return *this;
+}
+
+namespace {
+
+bool valid_positive(double v) { return !std::isnan(v) && v > 0.0; }
+bool valid_non_negative(double v) { return !std::isnan(v) && v >= 0.0; }
+
+}  // namespace
+
+std::vector<ConfigError> DispatchConfig::validate() const {
+  std::vector<ConfigError> errors;
+  const auto fail = [&errors](ConfigField field, std::string message) {
+    errors.push_back(ConfigError{field, std::move(message)});
+  };
+
+  const core::PreferenceParams& pref = params_.preference;
+  if (!std::isfinite(pref.alpha) || pref.alpha < 0.0) {
+    fail(ConfigField::kAlpha, "alpha must be finite and >= 0");
+  }
+  if (!std::isfinite(pref.beta) || pref.beta < 0.0) {
+    fail(ConfigField::kBeta, "beta must be finite and >= 0");
+  }
+  // +inf is the documented "no threshold" value for both dummies.
+  if (!valid_positive(pref.passenger_threshold_km)) {
+    fail(ConfigField::kPassengerThresholdKm,
+         "passenger_threshold_km must be > 0 (+inf disables the dummy cut-off)");
+  }
+  if (std::isnan(pref.taxi_threshold_score)) {
+    fail(ConfigField::kTaxiThresholdScore, "taxi_threshold_score must not be NaN");
+  }
+
+  const packing::GroupOptions& grouping = params_.grouping;
+  if (!valid_non_negative(grouping.detour_threshold_km)) {
+    fail(ConfigField::kDetourThresholdKm, "detour_threshold_km must be >= 0");
+  }
+  if (grouping.max_group_size < 1) {
+    fail(ConfigField::kMaxGroupSize, "max_group_size must be >= 1");
+  }
+  if (!valid_positive(grouping.pickup_radius_km)) {
+    fail(ConfigField::kPickupRadiusKm,
+         "pickup_radius_km must be > 0 (+inf disables the pre-filter)");
+  }
+
+  if (params_.taxi_seats < 1) {
+    fail(ConfigField::kTaxiSeats, "taxi_seats must be >= 1");
+  }
+  if (params_.taxi_seats < grouping.max_group_size && grouping.max_group_size >= 1) {
+    fail(ConfigField::kTaxiSeats,
+         "taxi_seats must be >= max_group_size (a group must fit one taxi)");
+  }
+  if (taxi_side_via_enumeration_ && enumeration_cap_ == 0) {
+    fail(ConfigField::kEnumerationCap,
+         "enumeration_cap must be >= 1 when taxi_side_via_enumeration is set");
+  }
+  if (params_.packing == core::PackingSolver::kExact && params_.exact_max_sets == 0) {
+    fail(ConfigField::kExactMaxSets,
+         "exact_max_sets must be >= 1 when the exact packing solver is selected");
+  }
+  if (trace_.enabled && trace_.per_frame && trace_.max_frames == 0) {
+    fail(ConfigField::kTraceMaxFrames,
+         "trace max_frames must be >= 1 when per-frame retention is on");
+  }
+  return errors;
+}
+
+core::StableDispatcherOptions DispatchConfig::stable_options() const {
+  core::StableDispatcherOptions options;
+  options.preference = params_.preference;
+  options.side = params_.side;
+  options.taxi_side_via_enumeration = taxi_side_via_enumeration_;
+  options.enumeration_cap = enumeration_cap_;
+  return options;
+}
+
+core::SharingStableDispatcherOptions DispatchConfig::sharing_options() const {
+  core::SharingStableDispatcherOptions options;
+  options.params = params_;
+  options.enroute_extension = enroute_extension_;
+  return options;
+}
+
+namespace {
+
+DispatchConfig pin_side(DispatchConfig config, core::ProposalSide side) {
+  O2O_EXPECTS(config.validate().empty());
+  return config.with_proposal_side(side);
+}
+
+}  // namespace
+
+std::unique_ptr<sim::Dispatcher> make_nstd_p(const DispatchConfig& config) {
+  return std::make_unique<core::StableDispatcher>(
+      pin_side(config, core::ProposalSide::kPassengers).stable_options());
+}
+
+std::unique_ptr<sim::Dispatcher> make_nstd_t(const DispatchConfig& config) {
+  return std::make_unique<core::StableDispatcher>(
+      pin_side(config, core::ProposalSide::kTaxis).stable_options());
+}
+
+std::unique_ptr<sim::Dispatcher> make_std_p(const DispatchConfig& config) {
+  return std::make_unique<core::SharingStableDispatcher>(
+      pin_side(config, core::ProposalSide::kPassengers).sharing_options());
+}
+
+std::unique_ptr<sim::Dispatcher> make_std_t(const DispatchConfig& config) {
+  return std::make_unique<core::SharingStableDispatcher>(
+      pin_side(config, core::ProposalSide::kTaxis).sharing_options());
+}
+
+std::unique_ptr<sim::Dispatcher> make_dispatcher(std::string_view kind,
+                                                 const DispatchConfig& config) {
+  std::string normalized;
+  normalized.reserve(kind.size());
+  for (char c : kind) {
+    normalized.push_back(c == '_' ? '-' : static_cast<char>(std::tolower(
+                                              static_cast<unsigned char>(c))));
+  }
+  if (normalized == "nstd-p") return make_nstd_p(config);
+  if (normalized == "nstd-t") return make_nstd_t(config);
+  if (normalized == "std-p") return make_std_p(config);
+  if (normalized == "std-t") return make_std_t(config);
+  return nullptr;
+}
+
+}  // namespace o2o

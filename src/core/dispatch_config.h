@@ -1,0 +1,138 @@
+// Unified dispatch configuration (the single front door to the paper's
+// four dispatchers).
+//
+// Historically every entry point took its own options struct --
+// PreferenceParams, StableDispatcherOptions, SharingParams +
+// GroupOptions, SharingStableDispatcherOptions -- with the shared knobs
+// (α, β, thresholds) duplicated at each layer. DispatchConfig composes
+// all of them behind one fluent builder, keeps the shared knobs in one
+// place, validates the whole bundle up front, and projects back onto the
+// legacy structs so existing call sites keep compiling unchanged.
+//
+//   auto dispatcher = o2o::make_std_p(o2o::DispatchConfig{}
+//                                         .with_alpha(1.0)
+//                                         .with_passenger_threshold_km(3.0)
+//                                         .with_detour_threshold_km(5.0));
+//
+// The legacy per-dispatcher Options structs in core/dispatchers.h and
+// core/sharing.h remain as thin shims; new code should prefer this API.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dispatchers.h"
+#include "obs/obs.h"
+
+namespace o2o {
+
+/// Which knob a validation error refers to (stable identifiers for
+/// machine-readable error reporting).
+enum class ConfigField : std::uint8_t {
+  kAlpha,
+  kBeta,
+  kPassengerThresholdKm,
+  kTaxiThresholdScore,
+  kDetourThresholdKm,
+  kMaxGroupSize,
+  kPickupRadiusKm,
+  kTaxiSeats,
+  kEnumerationCap,
+  kCandidateTaxisPerUnit,
+  kExactMaxSets,
+  kTraceMaxFrames,
+};
+
+/// Stable snake_case name of a field (mirrors the builder setters).
+std::string_view config_field_name(ConfigField field) noexcept;
+
+/// One typed validation failure; `message` says what is wrong and what
+/// the valid range is.
+struct ConfigError {
+  ConfigField field;
+  std::string message;
+
+  friend bool operator==(const ConfigError&, const ConfigError&) = default;
+};
+
+/// The composed configuration. Default-constructed it reproduces every
+/// legacy default, so `DispatchConfig{}` behaves exactly like the old
+/// default-constructed option structs.
+class DispatchConfig {
+ public:
+  // --- shared model coefficients (Section IV-A) ------------------------
+  DispatchConfig& with_alpha(double alpha);
+  DispatchConfig& with_beta(double beta);
+  DispatchConfig& with_passenger_threshold_km(double km);
+  DispatchConfig& with_taxi_threshold_score(double score);
+  DispatchConfig& with_list_cap(std::size_t cap);
+  DispatchConfig& with_spatial_prune(bool enabled);
+
+  // --- matching side / enumeration (Section IV) ------------------------
+  DispatchConfig& with_proposal_side(core::ProposalSide side);
+  /// NSTD-T via Algorithm 2 enumeration + taxi-best selection instead of
+  /// taxi-proposing deferred acceptance.
+  DispatchConfig& with_taxi_side_via_enumeration(bool enabled);
+  DispatchConfig& with_enumeration_cap(std::size_t cap);
+
+  // --- sharing / grouping (Section V) ----------------------------------
+  DispatchConfig& with_detour_threshold_km(double theta);
+  DispatchConfig& with_max_group_size(int size);
+  DispatchConfig& with_pickup_radius_km(double km);
+  DispatchConfig& with_require_saving(bool enabled);
+  DispatchConfig& with_parallel_grouping(bool enabled);
+  DispatchConfig& with_packing_solver(core::PackingSolver solver);
+  DispatchConfig& with_packing_objective(core::PackingObjective objective);
+  DispatchConfig& with_taxi_seats(int seats);
+  DispatchConfig& with_candidate_taxis_per_unit(std::size_t count);
+  DispatchConfig& with_exact_max_sets(std::size_t count);
+  DispatchConfig& with_enroute_extension(bool enabled);
+
+  // --- observability ---------------------------------------------------
+  DispatchConfig& with_tracing(obs::TraceOptions options);
+  /// Shorthand: enable tracing with default retention.
+  DispatchConfig& with_tracing(bool enabled = true);
+
+  // --- component access ------------------------------------------------
+  const core::PreferenceParams& preference() const noexcept { return params_.preference; }
+  const packing::GroupOptions& grouping() const noexcept { return params_.grouping; }
+  const core::SharingParams& sharing_params() const noexcept { return params_; }
+  const obs::TraceOptions& trace() const noexcept { return trace_; }
+  core::ProposalSide proposal_side() const noexcept { return params_.side; }
+  bool taxi_side_via_enumeration() const noexcept { return taxi_side_via_enumeration_; }
+  std::size_t enumeration_cap() const noexcept { return enumeration_cap_; }
+  bool enroute_extension() const noexcept { return enroute_extension_; }
+
+  /// Checks the whole bundle; empty result means valid. Never throws --
+  /// CLIs print the errors, tests assert on the fields.
+  std::vector<ConfigError> validate() const;
+
+  // --- projections onto the legacy structs -----------------------------
+  core::StableDispatcherOptions stable_options() const;
+  core::SharingStableDispatcherOptions sharing_options() const;
+
+ private:
+  core::SharingParams params_;  ///< superset: preference + grouping + packing
+  bool taxi_side_via_enumeration_ = false;
+  std::size_t enumeration_cap_ = 512;
+  bool enroute_extension_ = false;
+  obs::TraceOptions trace_;
+};
+
+// Factories for the paper's four dispatchers. Each pins the proposal
+// side itself (overriding with_proposal_side), so the name always means
+// what it says. O2O_EXPECTS(validate().empty()).
+std::unique_ptr<sim::Dispatcher> make_nstd_p(const DispatchConfig& config = {});
+std::unique_ptr<sim::Dispatcher> make_nstd_t(const DispatchConfig& config = {});
+std::unique_ptr<sim::Dispatcher> make_std_p(const DispatchConfig& config = {});
+std::unique_ptr<sim::Dispatcher> make_std_t(const DispatchConfig& config = {});
+
+/// Name-based factory for CLIs: "nstd-p", "nstd-t", "std-p", "std-t"
+/// (case-insensitive; '_' accepted for '-'). Returns nullptr on an
+/// unknown name.
+std::unique_ptr<sim::Dispatcher> make_dispatcher(std::string_view kind,
+                                                 const DispatchConfig& config = {});
+
+}  // namespace o2o

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/all_stable.h"
+#include "obs/obs.h"
 #include "routing/insertion.h"
 #include "util/contracts.h"
 
@@ -81,6 +82,7 @@ std::string StableDispatcher::name() const {
 std::vector<sim::DispatchAssignment> StableDispatcher::dispatch(
     const sim::DispatchContext& context) {
   O2O_EXPECTS(context.oracle != nullptr);
+  obs::StageTimer timer(obs::Stage::kDispatch);
   if (context.idle_taxis.empty() || context.pending.empty()) return {};
 
   const PreferenceProfile profile =
@@ -126,6 +128,7 @@ std::string SharingStableDispatcher::name() const {
 std::vector<sim::DispatchAssignment> SharingStableDispatcher::dispatch(
     const sim::DispatchContext& context) {
   O2O_EXPECTS(context.oracle != nullptr);
+  obs::StageTimer timer(obs::Stage::kDispatch);
   if (context.pending.empty()) return {};
   if (context.idle_taxis.empty() && !options_.enroute_extension) return {};
 
@@ -155,6 +158,7 @@ std::vector<sim::DispatchAssignment> SharingStableDispatcher::dispatch(
 
   if (options_.enroute_extension && !outcome.unserved_request_indices.empty() &&
       !context.busy_taxis.empty()) {
+    obs::StageTimer enroute_timer(obs::Stage::kEnroute);
     const geo::DistanceOracle& oracle = *context.oracle;
     const PreferenceParams& prefs = options_.params.preference;
     const double theta = options_.params.grouping.detour_threshold_km;
@@ -209,6 +213,7 @@ std::vector<sim::DispatchAssignment> SharingStableDispatcher::dispatch(
 
     for (const EnrouteTaxi& taxi : fleet) {
       if (taxi.new_requests.empty()) continue;
+      obs::add(obs::Counter::kEnrouteInsertions, taxi.new_requests.size());
       sim::DispatchAssignment assignment;
       assignment.taxi = taxi.taxi.id;
       assignment.requests = taxi.new_requests;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "index/spatial_grid.h"
+#include "obs/obs.h"
 #include "util/contracts.h"
 #include "util/thread_pool.h"
 
@@ -236,6 +237,7 @@ PreferenceProfile build_nonsharing_profile(std::span<const trace::Taxi> taxis,
                                            const index::SpatialGrid* taxi_grid) {
   const std::size_t n_requests = requests.size();
   const std::size_t n_taxis = taxis.size();
+  obs::StageTimer stage(obs::Stage::kProfileBuild);
 
   const bool prune = params.spatial_prune &&
                      std::isfinite(params.passenger_threshold_km) && n_taxis > 0;
@@ -269,6 +271,8 @@ PreferenceProfile build_nonsharing_profile(std::span<const trace::Taxi> taxis,
         taxi_scores[r][t] = driver <= params.taxi_threshold_score ? driver : kUnacceptable;
       }
     });
+    obs::add(obs::Counter::kPreferencePairs, n_requests * n_taxis);
+    obs::gauge_max(obs::Gauge::kProfilePairsPeak, n_requests * n_taxis);
     return PreferenceProfile::from_scores(std::move(passenger_scores),
                                           std::move(taxi_scores), n_taxis, params.list_cap);
   }
@@ -293,6 +297,8 @@ PreferenceProfile build_nonsharing_profile(std::span<const trace::Taxi> taxis,
     std::vector<std::int32_t> nearby =
         taxi_grid->within_radius(request.pickup, params.passenger_threshold_km);
     std::sort(nearby.begin(), nearby.end());
+    obs::add(obs::Counter::kGridCandidates, nearby.size());
+    obs::add(obs::Counter::kGridCandidatesPruned, n_taxis - nearby.size());
     // Seat-feasible candidates first, then one bulk distance call for the
     // whole row (one reverse tree on the network oracle).
     std::vector<std::int32_t> feasible;
@@ -318,7 +324,13 @@ PreferenceProfile build_nonsharing_profile(std::span<const trace::Taxi> taxis,
       if (passenger_score == kUnacceptable && taxi_score == kUnacceptable) continue;
       row.push_back({static_cast<int>(t), passenger_score, taxi_score});
     }
+    obs::add(obs::Counter::kPreferencePairs, row.size());
   });
+  if (obs::tracing_active()) {
+    std::size_t pairs = 0;
+    for (const auto& row : rows) pairs += row.size();
+    obs::gauge_max(obs::Gauge::kProfilePairsPeak, pairs);
+  }
   return PreferenceProfile::from_candidates(std::move(rows), n_taxis, params.list_cap);
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "index/spatial_grid.h"
+#include "obs/obs.h"
 #include "routing/optimizer.h"
 #include "util/contracts.h"
 
@@ -40,25 +41,35 @@ SharingUnits pack_requests(std::span<const trace::Request> requests,
   }
 
   packing::Packing packed;
-  switch (params.packing) {
-    case PackingSolver::kLocalSearch:
-      packed = packing::solve_local_search(problem);
-      break;
-    case PackingSolver::kGreedy:
-      packed = packing::solve_greedy(problem);
-      break;
-    case PackingSolver::kExact:
-      if (problem.sets.size() > params.exact_max_sets) {
-        // Oversized frame: degrade to the approximation instead of
-        // aborting the dispatch; the counter surfaces how often.
-        ++result.exact_fallbacks;
+  {
+    obs::StageTimer stage(obs::Stage::kPacking);
+    obs::gauge_max(obs::Gauge::kPackingSetsPeak, problem.sets.size());
+    switch (params.packing) {
+      case PackingSolver::kLocalSearch:
         packed = packing::solve_local_search(problem);
-      } else {
-        packed = packing::solve_exact(problem, params.exact_max_sets);
-      }
-      break;
+        break;
+      case PackingSolver::kGreedy:
+        packed = packing::solve_greedy(problem);
+        break;
+      case PackingSolver::kExact:
+        if (problem.sets.size() > params.exact_max_sets) {
+          // Oversized frame: degrade to the approximation instead of
+          // aborting the dispatch. This is the single counting site for
+          // exact-packing fallbacks: the registry counter is the source
+          // of truth, and the legacy SharingUnits / SharingOutcome
+          // fields both derive from this one increment (dispatch_sharing
+          // asserts they stay in sync until they are removed).
+          obs::add(obs::Counter::kExactFallbacks);
+          ++result.exact_fallbacks;
+          packed = packing::solve_local_search(problem);
+        } else {
+          packed = packing::solve_exact(problem, params.exact_max_sets);
+        }
+        break;
+    }
   }
   result.packed_groups = packed.size();
+  obs::add(obs::Counter::kPackedGroups, packed.size());
 
   std::vector<bool> covered(requests.size(), false);
   for (std::size_t set_index : packed) {
@@ -99,8 +110,18 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
   outcome.packed_groups = units.packed_groups;
   outcome.feasible_groups = units.feasible_groups;
   outcome.exact_fallbacks = units.exact_fallbacks;
+  // Both legacy fields mirror the one increment in pack_requests (the
+  // obs::Counter::kExactFallbacks registry entry is the source of truth).
+  O2O_ENSURES(outcome.exact_fallbacks == units.exact_fallbacks);
   const std::size_t n_units = units.units.size();
   const std::size_t n_taxis = taxis.size();
+  obs::gauge_max(obs::Gauge::kUnitsPeak, n_units);
+
+  // The sharing profile build (anchored routes + candidate scoring) is
+  // one stage; the timer is released before Algorithm 1 runs so
+  // kProfileBuild and kStableMatching stay disjoint.
+  std::optional<obs::StageTimer> profile_stage;
+  profile_stage.emplace(obs::Stage::kProfileBuild);
 
   // Per-unit anchored-route solvers plus direct-trip sums (reused across
   // all candidate taxis). Direct distances ride along from packing — no
@@ -237,10 +258,17 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
       rows[u].push_back({candidate, passenger_score, taxi_score});
       unit_routes[u].emplace_back(candidate, std::move(route));
     }
+    obs::add(obs::Counter::kPreferencePairs, rows[u].size());
   });
 
+  if (obs::tracing_active()) {
+    std::size_t pairs = 0;
+    for (const auto& row : rows) pairs += row.size();
+    obs::gauge_max(obs::Gauge::kProfilePairsPeak, pairs);
+  }
   const PreferenceProfile profile = PreferenceProfile::from_candidates(
       std::move(rows), n_taxis, params.preference.list_cap);
+  profile_stage.reset();
   const Matching matching = params.side == ProposalSide::kPassengers
                                 ? gale_shapley_requests(profile)
                                 : gale_shapley_taxis(profile);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/contracts.h"
 
 namespace o2o::core {
@@ -93,6 +94,11 @@ std::vector<int> deferred_acceptance(std::size_t proposers, std::size_t receiver
   // paper's "each passenger request proposes in turn").
   for (std::size_t p = proposers; p-- > 0;) free_stack.push_back(p);
 
+  // Counted locally and published once: the inner loop stays free of
+  // even the disabled-tracing null check.
+  std::uint64_t proposals = 0;
+  std::uint64_t rejections = 0;
+
   while (!free_stack.empty()) {
     const std::size_t proposer = free_stack.back();
     const auto& list = list_of(proposer);
@@ -104,6 +110,7 @@ std::vector<int> deferred_acceptance(std::size_t proposers, std::size_t receiver
     }
     const auto receiver = static_cast<std::size_t>(list[next_choice[proposer]]);
     ++next_choice[proposer];
+    ++proposals;
     // Sub-algorithm Refusal: the receiver keeps the preferred proposer.
     // An unacceptable proposer is never in `list` on the proposer side,
     // but the receiver may still find the proposer unacceptable when the
@@ -117,15 +124,21 @@ std::vector<int> deferred_acceptance(std::size_t proposers, std::size_t receiver
       if (incumbent != kDummy) {
         proposer_match[static_cast<std::size_t>(incumbent)] = kDummy;
         free_stack.push_back(static_cast<std::size_t>(incumbent));
+        ++rejections;  // incumbent displaced
       }
+    } else {
+      ++rejections;  // proposal refused outright
     }
   }
+  obs::add(obs::Counter::kProposals, proposals);
+  obs::add(obs::Counter::kRejections, rejections);
   return proposer_match;
 }
 
 }  // namespace
 
 Matching gale_shapley_requests(const PreferenceProfile& profile) {
+  obs::StageTimer timer(obs::Stage::kStableMatching);
   std::vector<int> request_to_taxi = deferred_acceptance(
       profile.request_count(), profile.taxi_count(),
       [&](std::size_t r) -> const std::vector<int>& { return profile.request_list(r); },
@@ -138,6 +151,7 @@ Matching gale_shapley_requests(const PreferenceProfile& profile) {
 }
 
 Matching gale_shapley_taxis(const PreferenceProfile& profile) {
+  obs::StageTimer timer(obs::Stage::kStableMatching);
   const std::vector<int> taxi_to_request = deferred_acceptance(
       profile.taxi_count(), profile.request_count(),
       [&](std::size_t t) -> const std::vector<int>& { return profile.taxi_list(t); },

@@ -6,6 +6,7 @@
 #include <queue>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace o2o::geo {
@@ -447,8 +448,12 @@ NodeId NetworkOracle::snap(const Point& p) const {
   {
     std::shared_lock lock(shard.mutex);
     const auto it = shard.snap_memo.find(key);
-    if (it != shard.snap_memo.end()) return it->second;
+    if (it != shard.snap_memo.end()) {
+      obs::add(obs::Counter::kSnapHits);
+      return it->second;
+    }
   }
+  obs::add(obs::Counter::kSnapMisses);
   const NodeId node = network_.nearest_node(p);
   std::unique_lock lock(shard.mutex);
   if (shard.snap_memo.size() >= kSnapMemoPerShardCap) shard.snap_memo.clear();
@@ -465,9 +470,11 @@ NetworkOracle::Tree NetworkOracle::tree(NodeId node, bool reverse) const {
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      obs::add(obs::Counter::kOracleTreeHits);
       return it->second->tree;
     }
   }
+  obs::add(obs::Counter::kOracleTreeMisses);
   // Miss: run Dijkstra outside the lock so other threads keep hitting
   // this shard meanwhile, then insert with a double-check (losing a
   // build race wastes one tree build, never correctness).

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "index/spatial_grid.h"
+#include "obs/obs.h"
 #include "packing/bitset.h"
 #include "routing/optimizer.h"
 #include "util/contracts.h"
@@ -169,6 +170,8 @@ std::vector<ShareGroup> enumerate_engine(std::span<const trace::Request> request
 
   // ---- Evaluate pairs in parallel, compact in candidate order ----
   const std::size_t pair_count = pair_keys.size();
+  obs::add(obs::Counter::kPairCandidates, pair_count);
+  obs::add(obs::Counter::kGridCandidatesPruned, n * (n - 1) / 2 - pair_count);
   std::vector<ShareGroup> pair_slots(pair_count);
   std::vector<std::uint8_t> pair_ok(pair_count, 0);
   parallel_eval(pair_count, oracle, [&](std::size_t c) {
@@ -230,6 +233,7 @@ std::vector<ShareGroup> enumerate_engine(std::span<const trace::Request> request
   }
 
   const std::size_t triple_count = triples.size();
+  obs::add(obs::Counter::kTripleCandidates, triple_count);
   std::vector<ShareGroup> triple_slots(triple_count);
   std::vector<std::uint8_t> triple_ok(triple_count, 0);
   parallel_eval(triple_count, oracle, [&](std::size_t c) {
@@ -293,8 +297,12 @@ std::vector<ShareGroup> enumerate_share_groups(std::span<const trace::Request> r
                                                int taxi_seats) {
   O2O_EXPECTS(options.max_group_size >= 2 && options.max_group_size <= 4);
   O2O_EXPECTS(options.detour_threshold_km >= 0.0);
-  if (!options.parallel) return enumerate_serial(requests, oracle, options, taxi_seats);
-  return enumerate_engine(requests, oracle, options, taxi_seats);
+  obs::StageTimer stage(obs::Stage::kGroupEnum);
+  std::vector<ShareGroup> groups = options.parallel
+                                       ? enumerate_engine(requests, oracle, options, taxi_seats)
+                                       : enumerate_serial(requests, oracle, options, taxi_seats);
+  obs::add(obs::Counter::kFeasibleGroups, groups.size());
+  return groups;
 }
 
 }  // namespace o2o::packing

@@ -18,6 +18,10 @@ namespace o2o::index {
 class SpatialGrid;
 }  // namespace o2o::index
 
+namespace o2o::obs {
+class TraceSink;
+}  // namespace o2o::obs
+
 namespace o2o::sim {
 
 /// Snapshot of a busy taxi for dispatchers that support en-route
@@ -41,6 +45,10 @@ struct DispatchContext {
   /// Spatial index over `idle_taxis`, keyed by span index (may be null).
   /// Dispatchers use it to prune candidate taxis per request.
   const index::SpatialGrid* idle_grid = nullptr;
+  /// Sink collecting this frame's trace, or null when tracing is off.
+  /// Hot paths report through the ambient obs:: API; this pointer exists
+  /// for dispatchers that want frame-owner calls (context, assignments).
+  obs::TraceSink* trace = nullptr;
 };
 
 /// One dispatch decision. For an idle taxi the route serves exactly
@@ -58,5 +66,10 @@ class Dispatcher {
   virtual std::string name() const = 0;
   virtual std::vector<DispatchAssignment> dispatch(const DispatchContext& context) = 0;
 };
+
+/// Aliases for the unified dispatcher interface: a dispatcher maps one
+/// frame's context to one frame's dispatch result.
+using Frame = DispatchContext;
+using DispatchResult = std::vector<DispatchAssignment>;
 
 }  // namespace o2o::sim

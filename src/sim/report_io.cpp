@@ -1,7 +1,13 @@
 #include "sim/report_io.h"
 
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "util/contracts.h"
 #include "util/csv.h"
@@ -90,6 +96,292 @@ void write_cdfs_csv(std::ostream& out, const SimulationReport& report) {
     if (i < passengers.size()) row[1] = format_fixed(passengers[i], 4);
     if (i < taxis.size()) row[2] = format_fixed(taxis[i], 4);
     writer.write_row(row);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame traces (JSON / CSV / summary)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// %.17g preserves every double bit-for-bit across a decimal round trip.
+std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string format_u64(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+template <std::size_t N, typename NameFn>
+void write_json_map(std::ostream& out, std::string_view key,
+                    const std::array<std::uint64_t, N>& values, NameFn&& name_of,
+                    bool trailing_comma) {
+  out << "    \"" << key << "\": {";
+  for (std::size_t i = 0; i < N; ++i) {
+    if (i != 0) out << ", ";
+    out << '"' << name_of(i) << "\": " << values[i];
+  }
+  out << '}' << (trailing_comma ? "," : "") << '\n';
+}
+
+/// Minimal recursive-descent parser for the exact shape
+/// write_frame_traces_json emits: an array of flat objects whose values
+/// are numbers or one-level maps of name -> number. No general JSON.
+class TraceJsonParser {
+ public:
+  explicit TraceJsonParser(std::string text) : text_(std::move(text)) {}
+
+  std::vector<obs::FrameTrace> parse() {
+    std::vector<obs::FrameTrace> frames;
+    skip_ws();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return frames;
+    }
+    while (true) {
+      frames.push_back(parse_frame());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' after frame object");
+    }
+    return frames;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("frame-trace JSON: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    expect('"');
+    std::string value;
+    while (peek() != '"') value.push_back(next());
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' ||
+          c == 'E' || c == 'i' || c == 'n' || c == 'f') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const auto parsed = parse_double(std::string_view(text_).substr(start, pos_ - start));
+    if (!parsed) fail("malformed number");
+    return *parsed;
+  }
+
+  template <typename Assign>
+  void parse_map(Assign&& assign) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      assign(key, parse_number());
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in map");
+    }
+  }
+
+  obs::FrameTrace parse_frame() {
+    obs::FrameTrace frame;
+    skip_ws();
+    expect('{');
+    while (true) {
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (peek() == '{') {
+        // Unknown nested maps are consumed and dropped by the same path.
+        parse_map([&](const std::string& name, double value) {
+          const auto v = static_cast<std::uint64_t>(value);
+          if (key == "stages_ns") {
+            for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+              if (name == obs::stage_name(static_cast<obs::Stage>(i))) frame.stage_ns[i] = v;
+            }
+          } else if (key == "counters") {
+            for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+              if (name == obs::counter_name(static_cast<obs::Counter>(i))) {
+                frame.counters[i] = v;
+              }
+            }
+          } else if (key == "gauges") {
+            for (std::size_t i = 0; i < obs::kGaugeCount; ++i) {
+              if (name == obs::gauge_name(static_cast<obs::Gauge>(i))) frame.gauges[i] = v;
+            }
+          }
+        });
+      } else {
+        const double value = parse_number();
+        if (key == "frame") frame.frame = static_cast<std::uint64_t>(value);
+        else if (key == "now_seconds") frame.now_seconds = value;
+        else if (key == "wall_ms") frame.wall_ms = value;
+        else if (key == "idle_taxis") frame.idle_taxis = static_cast<std::uint64_t>(value);
+        else if (key == "busy_taxis") frame.busy_taxis = static_cast<std::uint64_t>(value);
+        else if (key == "pending_requests") {
+          frame.pending_requests = static_cast<std::uint64_t>(value);
+        } else if (key == "assignments") {
+          frame.assignments = static_cast<std::uint64_t>(value);
+        }
+      }
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in frame object");
+    }
+    return frame;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void write_frame_traces_json(std::ostream& out,
+                             const std::vector<obs::FrameTrace>& frames) {
+  out << "[\n";
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const obs::FrameTrace& frame = frames[f];
+    out << "  {\n";
+    out << "    \"frame\": " << frame.frame << ",\n";
+    out << "    \"now_seconds\": " << format_double(frame.now_seconds) << ",\n";
+    out << "    \"wall_ms\": " << format_double(frame.wall_ms) << ",\n";
+    out << "    \"idle_taxis\": " << frame.idle_taxis << ",\n";
+    out << "    \"busy_taxis\": " << frame.busy_taxis << ",\n";
+    out << "    \"pending_requests\": " << frame.pending_requests << ",\n";
+    out << "    \"assignments\": " << frame.assignments << ",\n";
+    write_json_map(out, "stages_ns", frame.stage_ns,
+                   [](std::size_t i) { return obs::stage_name(static_cast<obs::Stage>(i)); },
+                   /*trailing_comma=*/true);
+    write_json_map(
+        out, "counters", frame.counters,
+        [](std::size_t i) { return obs::counter_name(static_cast<obs::Counter>(i)); },
+        /*trailing_comma=*/true);
+    write_json_map(out, "gauges", frame.gauges,
+                   [](std::size_t i) { return obs::gauge_name(static_cast<obs::Gauge>(i)); },
+                   /*trailing_comma=*/false);
+    out << "  }" << (f + 1 < frames.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+}
+
+std::vector<obs::FrameTrace> read_frame_traces_json(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TraceJsonParser(std::move(buffer).str()).parse();
+}
+
+void write_frame_traces_csv(std::ostream& out,
+                            const std::vector<obs::FrameTrace>& frames) {
+  CsvWriter writer(out);
+  CsvRow header = {"frame",      "now_seconds",      "wall_ms",    "idle_taxis",
+                   "busy_taxis", "pending_requests", "assignments"};
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    header.push_back(std::string(obs::stage_name(static_cast<obs::Stage>(i))) + "_ns");
+  }
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    header.emplace_back(obs::counter_name(static_cast<obs::Counter>(i)));
+  }
+  for (std::size_t i = 0; i < obs::kGaugeCount; ++i) {
+    header.emplace_back(obs::gauge_name(static_cast<obs::Gauge>(i)));
+  }
+  writer.write_row(header);
+  for (const obs::FrameTrace& frame : frames) {
+    CsvRow row = {format_u64(frame.frame),
+                  format_double(frame.now_seconds),
+                  format_double(frame.wall_ms),
+                  format_u64(frame.idle_taxis),
+                  format_u64(frame.busy_taxis),
+                  format_u64(frame.pending_requests),
+                  format_u64(frame.assignments)};
+    for (const std::uint64_t v : frame.stage_ns) row.push_back(format_u64(v));
+    for (const std::uint64_t v : frame.counters) row.push_back(format_u64(v));
+    for (const std::uint64_t v : frame.gauges) row.push_back(format_u64(v));
+    writer.write_row(row);
+  }
+}
+
+void write_trace_summary(std::ostream& out, const std::vector<obs::FrameTrace>& frames) {
+  const obs::FrameTrace total = obs::aggregate_frames(frames);
+  const double n = frames.empty() ? 1.0 : static_cast<double>(frames.size());
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "trace summary: %" PRIu64 " frames, %" PRIu64
+                " requests assigned, %.2f ms total frame wall time\n",
+                total.frame, total.assignments, total.wall_ms);
+  out << line;
+  out << "  stage                 total_ms   mean_ms/frame\n";
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+    const double ms = static_cast<double>(total.stage_ns[i]) / 1e6;
+    std::snprintf(line, sizeof(line), "  %-20s %10.3f %15.4f\n",
+                  std::string(obs::stage_name(static_cast<obs::Stage>(i))).c_str(), ms,
+                  ms / n);
+    out << line;
+  }
+  out << "  counters (non-zero):\n";
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+    if (total.counters[i] == 0) continue;
+    std::snprintf(line, sizeof(line), "    %-22s %14" PRIu64 "\n",
+                  std::string(obs::counter_name(static_cast<obs::Counter>(i))).c_str(),
+                  total.counters[i]);
+    out << line;
+  }
+  out << "  gauge peaks:\n";
+  for (std::size_t i = 0; i < obs::kGaugeCount; ++i) {
+    std::snprintf(line, sizeof(line), "    %-22s %14" PRIu64 "\n",
+                  std::string(obs::gauge_name(static_cast<obs::Gauge>(i))).c_str(),
+                  total.gauges[i]);
+    out << line;
   }
 }
 

@@ -1,9 +1,12 @@
-// Report persistence: per-request records and metric CDFs as CSV, so any
-// simulation run can be archived and plotted without re-running.
+// Report persistence: per-request records, metric CDFs, and per-frame
+// observability traces as CSV/JSON, so any simulation run can be
+// archived and plotted without re-running.
 #pragma once
 
 #include <iosfwd>
+#include <vector>
 
+#include "obs/obs.h"
 #include "sim/report.h"
 
 namespace o2o::sim {
@@ -18,5 +21,25 @@ SimulationReport read_request_records_csv(std::istream& in, const std::string& n
 /// The three metric CDFs as sorted-sample columns (ragged rows padded
 /// with empty fields).
 void write_cdfs_csv(std::ostream& out, const SimulationReport& report);
+
+/// Frame traces as a JSON array: one object per frame with the context
+/// fields inline and `stages_ns` / `counters` / `gauges` maps keyed by
+/// the stable obs names. Doubles are written with round-trip precision.
+void write_frame_traces_json(std::ostream& out,
+                             const std::vector<obs::FrameTrace>& frames);
+
+/// Reads traces written by write_frame_traces_json. Unknown keys are
+/// ignored (forward compatibility); throws std::runtime_error on
+/// malformed JSON.
+std::vector<obs::FrameTrace> read_frame_traces_json(std::istream& in);
+
+/// Flat CSV: one row per frame, one column per context field, stage,
+/// counter, and gauge.
+void write_frame_traces_csv(std::ostream& out,
+                            const std::vector<obs::FrameTrace>& frames);
+
+/// Human-readable run summary: per-stage total/mean wall time plus every
+/// non-zero counter and gauge peak, aggregated over `frames`.
+void write_trace_summary(std::ostream& out, const std::vector<obs::FrameTrace>& frames);
 
 }  // namespace o2o::sim

@@ -118,6 +118,7 @@ std::vector<DispatchAssignment> Simulator::invoke_dispatcher(Dispatcher& dispatc
   context.pending = pending;
   context.oracle = &oracle_;
   context.idle_grid = idle_grid ? &*idle_grid : nullptr;
+  context.trace = config_.trace_sink;
   return dispatcher.dispatch(context);
 }
 
@@ -326,18 +327,35 @@ SimulationReport Simulator::run(Dispatcher& dispatcher) {
   reset();
   report_.dispatcher_name = dispatcher.name();
 
+  // Install the configured sink for the duration of the run; frames are
+  // closed after move_taxis so oracle work in apply/move is attributed
+  // to the frame that caused it.
+  obs::TraceSink* sink = config_.trace_sink;
+  std::optional<obs::Activation> activation;
+  if (sink != nullptr) activation.emplace(*sink);
+
   std::size_t next_request = 0;
+  std::uint64_t frame_index = 0;
   const double end_time = trace_.duration_seconds() + config_.drain_seconds;
   double now = 0.0;
-  for (; now <= end_time; now += config_.frame_seconds) {
+  for (; now <= end_time; now += config_.frame_seconds, ++frame_index) {
+    if (sink != nullptr) sink->begin_frame(frame_index, now);
     ingest_arrivals(next_request, now);
     cancel_stale(now);
     if (!pending_.empty()) {
+      obs::gauge_max(obs::Gauge::kPendingPeak, pending_.size());
       for (const DispatchAssignment& assignment : invoke_dispatcher(dispatcher, now)) {
+        if (sink != nullptr) sink->add_assignments(assignment.requests.size());
         apply_assignment(assignment, now);
       }
     }
     move_taxis(now, config_.frame_seconds);
+    if (sink != nullptr) {
+      std::uint64_t idle = 0;
+      for (const TaxiState& taxi : taxis_) idle += taxi.idle() ? 1 : 0;
+      sink->set_frame_context(idle, taxis_.size() - idle, pending_.size());
+      sink->end_frame();
+    }
 
     if (next_request == trace_.requests().size() && pending_.empty()) {
       const bool all_idle = std::all_of(taxis_.begin(), taxis_.end(),

@@ -12,6 +12,7 @@
 
 #include "geo/distance_oracle.h"
 #include "geo/road_network.h"
+#include "obs/obs.h"
 #include "sim/dispatcher.h"
 #include "sim/report.h"
 #include "trace/fleet.h"
@@ -40,6 +41,9 @@ struct SimulatorConfig {
   /// Cell size of the per-frame spatial index over idle taxis handed to
   /// dispatchers via DispatchContext::idle_grid.
   double idle_grid_cell_km = 1.0;
+  /// When set, run() installs the sink as the process-active trace sink
+  /// and drives its frame lifecycle (begin/end around every frame).
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Runtime state of one taxi.

@@ -1,0 +1,49 @@
+// This TU is compiled with -DO2O_OBS_DISABLED (see tests/CMakeLists.txt)
+// and links against the normally-built libraries: the hot-path API must
+// collapse to free no-ops here while the rest of the binary keeps the
+// live implementation. The inline-namespace split makes that mix
+// ODR-clean.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+namespace o2o::obs {
+namespace {
+
+static_assert(!compile_time_enabled(),
+              "this TU must be built with -DO2O_OBS_DISABLED");
+// The disabled StageTimer carries no clock state at all.
+static_assert(sizeof(StageTimer) == 1);
+static_assert(sizeof(ScopedTimer) == 1);
+
+TEST(ObsDisabled, HotPathIsInertEvenWithAnActiveSink) {
+  TraceSink sink;
+  Activation guard(sink);
+  sink.begin_frame(0, 0.0);
+  // All of these compile to nothing in this TU; the sink sees zeroes.
+  add(Counter::kProposals, 1000);
+  gauge_max(Gauge::kPendingPeak, 42);
+  add_stage_ns(Stage::kDispatch, 1'000'000);
+  std::uint64_t scoped_ns = 0;
+  {
+    StageTimer timer(Stage::kDispatch);
+    ScopedTimer scoped(scoped_ns);
+  }
+  EXPECT_EQ(scoped_ns, 0u);
+  const FrameTrace frame = sink.end_frame();
+  EXPECT_EQ(frame.counters[static_cast<std::size_t>(Counter::kProposals)], 0u);
+  EXPECT_EQ(frame.gauges[static_cast<std::size_t>(Gauge::kPendingPeak)], 0u);
+  EXPECT_EQ(frame.stage_ns[static_cast<std::size_t>(Stage::kDispatch)], 0u);
+}
+
+TEST(ObsDisabled, TracingReportsInactive) {
+  TraceSink sink;
+  Activation guard(sink);
+  // The sink is installed (sink-side bookkeeping still works)...
+  EXPECT_EQ(active_sink(), &sink);
+  // ...but the compile-time-disabled hot path reports inactive.
+  EXPECT_FALSE(tracing_active());
+}
+
+}  // namespace
+}  // namespace o2o::obs

@@ -1,0 +1,228 @@
+// Core observability invariants: timers are monotone and only run while
+// a sink is active, counters merge exactly across ThreadPool workers,
+// gauges merge by max, and the frame lifecycle isolates frames.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace o2o::obs {
+namespace {
+
+TEST(ObsBasics, CompileTimeEnabledInDefaultBuild) {
+  EXPECT_TRUE(compile_time_enabled());
+}
+
+TEST(ObsBasics, NoSinkMeansInactiveAndDropped) {
+  ASSERT_EQ(active_sink(), nullptr);
+  EXPECT_FALSE(tracing_active());
+  // Reporting without a sink is a silent no-op, not a crash.
+  add(Counter::kProposals, 5);
+  gauge_max(Gauge::kPendingPeak, 7);
+  add_stage_ns(Stage::kDispatch, 100);
+  { StageTimer timer(Stage::kDispatch); }
+}
+
+TEST(ObsBasics, ActivationScopesTheSink) {
+  TraceSink sink;
+  EXPECT_FALSE(tracing_active());
+  {
+    Activation guard(sink);
+    EXPECT_TRUE(tracing_active());
+    EXPECT_EQ(active_sink(), &sink);
+  }
+  EXPECT_FALSE(tracing_active());
+}
+
+TEST(ObsBasics, CountersAndGaugesMergeIntoTheFrame) {
+  TraceSink sink;
+  Activation guard(sink);
+  sink.begin_frame(3, 180.0);
+  add(Counter::kProposals, 10);
+  add(Counter::kProposals);
+  gauge_max(Gauge::kPendingPeak, 4);
+  gauge_max(Gauge::kPendingPeak, 9);
+  gauge_max(Gauge::kPendingPeak, 2);
+  sink.set_frame_context(5, 6, 7);
+  sink.add_assignments(2);
+  const FrameTrace frame = sink.end_frame();
+
+  EXPECT_EQ(frame.frame, 3u);
+  EXPECT_DOUBLE_EQ(frame.now_seconds, 180.0);
+  EXPECT_GE(frame.wall_ms, 0.0);
+  EXPECT_EQ(frame.counters[static_cast<std::size_t>(Counter::kProposals)], 11u);
+  EXPECT_EQ(frame.gauges[static_cast<std::size_t>(Gauge::kPendingPeak)], 9u);
+  EXPECT_EQ(frame.idle_taxis, 5u);
+  EXPECT_EQ(frame.busy_taxis, 6u);
+  EXPECT_EQ(frame.pending_requests, 7u);
+  EXPECT_EQ(frame.assignments, 2u);
+  ASSERT_EQ(sink.frames().size(), 1u);
+  EXPECT_EQ(sink.frames()[0], frame);
+}
+
+TEST(ObsBasics, FramesAreSelfContained) {
+  TraceSink sink;
+  Activation guard(sink);
+  sink.begin_frame(0, 0.0);
+  add(Counter::kRejections, 3);
+  sink.end_frame();
+  // Reported between frames: dropped by the next begin_frame.
+  add(Counter::kRejections, 100);
+  sink.begin_frame(1, 60.0);
+  add(Counter::kRejections, 4);
+  const FrameTrace frame = sink.end_frame();
+  EXPECT_EQ(frame.counters[static_cast<std::size_t>(Counter::kRejections)], 4u);
+
+  const FrameTrace& total = sink.aggregate();
+  EXPECT_EQ(total.counters[static_cast<std::size_t>(Counter::kRejections)], 7u);
+  EXPECT_EQ(total.frame, 2u);
+}
+
+TEST(ObsBasics, StageTimerIsMonotoneAndAdditive) {
+  TraceSink sink;
+  Activation guard(sink);
+  sink.begin_frame(0, 0.0);
+  {
+    StageTimer timer(Stage::kPacking);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    StageTimer timer(Stage::kPacking);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const FrameTrace frame = sink.end_frame();
+  const std::uint64_t ns = frame.stage_ns[static_cast<std::size_t>(Stage::kPacking)];
+  // Two 2 ms sleeps: at least 4 ms of recorded stage time.
+  EXPECT_GE(ns, 4'000'000u);
+}
+
+TEST(ObsBasics, ScopedTimerAccumulatesIntoCallerVariable) {
+  std::uint64_t ns = 0;
+  {
+    ScopedTimer timer(ns);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::uint64_t first = ns;
+  EXPECT_GE(first, 1'000'000u);
+  {
+    ScopedTimer timer(ns);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(ns, first);  // additive, monotone
+}
+
+TEST(ObsThreading, CounterMergeAcrossWorkersIsExact) {
+  TraceSink sink;
+  Activation guard(sink);
+  constexpr std::size_t kItems = 10'000;
+  sink.begin_frame(0, 0.0);
+  ThreadPool::shared().parallel_for(0, kItems, 64, [](std::size_t i) {
+    add(Counter::kProposals);
+    add(Counter::kPreferencePairs, 2);
+    gauge_max(Gauge::kProfilePairsPeak, i + 1);
+  });
+  const FrameTrace frame = sink.end_frame();
+  EXPECT_EQ(frame.counters[static_cast<std::size_t>(Counter::kProposals)], kItems);
+  EXPECT_EQ(frame.counters[static_cast<std::size_t>(Counter::kPreferencePairs)],
+            2 * kItems);
+  EXPECT_EQ(frame.gauges[static_cast<std::size_t>(Gauge::kProfilePairsPeak)], kItems);
+}
+
+TEST(ObsThreading, SecondSinkGetsFreshBindings) {
+  // Workers bound to a dead sink's epoch must rebind to the new sink,
+  // not write through stale pointers.
+  constexpr std::size_t kItems = 1'000;
+  {
+    TraceSink first;
+    Activation guard(first);
+    first.begin_frame(0, 0.0);
+    ThreadPool::shared().parallel_for(0, kItems, 64,
+                                      [](std::size_t) { add(Counter::kProposals); });
+    first.end_frame();
+  }
+  TraceSink second;
+  Activation guard(second);
+  second.begin_frame(0, 0.0);
+  ThreadPool::shared().parallel_for(0, kItems, 64,
+                                    [](std::size_t) { add(Counter::kProposals); });
+  const FrameTrace frame = second.end_frame();
+  EXPECT_EQ(frame.counters[static_cast<std::size_t>(Counter::kProposals)], kItems);
+}
+
+TEST(ObsAggregate, SumsCountersAndMaxesGauges) {
+  FrameTrace a;
+  a.frame = 0;
+  a.wall_ms = 1.5;
+  a.assignments = 2;
+  a.counters[0] = 10;
+  a.gauges[0] = 5;
+  a.stage_ns[0] = 100;
+  FrameTrace b;
+  b.frame = 1;
+  b.wall_ms = 2.5;
+  b.assignments = 3;
+  b.counters[0] = 7;
+  b.gauges[0] = 9;
+  b.stage_ns[0] = 50;
+
+  const FrameTrace total = aggregate_frames({a, b});
+  EXPECT_EQ(total.frame, 2u);
+  EXPECT_DOUBLE_EQ(total.wall_ms, 4.0);
+  EXPECT_EQ(total.assignments, 5u);
+  EXPECT_EQ(total.counters[0], 17u);
+  EXPECT_EQ(total.gauges[0], 9u);
+  EXPECT_EQ(total.stage_ns[0], 150u);
+}
+
+TEST(ObsRetention, MaxFramesCapsRecordsButNotAggregate) {
+  TraceSink sink(TraceOptions{.enabled = true, .per_frame = true, .max_frames = 2});
+  Activation guard(sink);
+  for (std::uint64_t f = 0; f < 5; ++f) {
+    sink.begin_frame(f, static_cast<double>(f));
+    add(Counter::kProposals);
+    sink.end_frame();
+  }
+  EXPECT_EQ(sink.frames().size(), 2u);
+  EXPECT_EQ(sink.frames_recorded(), 5u);
+  EXPECT_EQ(sink.aggregate().counters[static_cast<std::size_t>(Counter::kProposals)], 5u);
+}
+
+TEST(ObsRetention, PerFrameOffKeepsOnlyAggregate) {
+  TraceSink sink(TraceOptions{.enabled = true, .per_frame = false});
+  Activation guard(sink);
+  sink.begin_frame(0, 0.0);
+  sink.end_frame();
+  EXPECT_TRUE(sink.frames().empty());
+  EXPECT_EQ(sink.frames_recorded(), 1u);
+}
+
+TEST(ObsNames, StableAndDistinct) {
+  EXPECT_EQ(stage_name(Stage::kProfileBuild), "profile_build");
+  EXPECT_EQ(counter_name(Counter::kExactFallbacks), "exact_fallbacks");
+  EXPECT_EQ(gauge_name(Gauge::kPendingPeak), "pending_peak");
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    for (std::size_t j = i + 1; j < kStageCount; ++j) {
+      EXPECT_NE(stage_name(static_cast<Stage>(i)), stage_name(static_cast<Stage>(j)));
+    }
+  }
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    for (std::size_t j = i + 1; j < kCounterCount; ++j) {
+      EXPECT_NE(counter_name(static_cast<Counter>(i)),
+                counter_name(static_cast<Counter>(j)));
+    }
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    for (std::size_t j = i + 1; j < kGaugeCount; ++j) {
+      EXPECT_NE(gauge_name(static_cast<Gauge>(i)), gauge_name(static_cast<Gauge>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace o2o::obs

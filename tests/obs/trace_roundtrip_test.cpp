@@ -1,0 +1,127 @@
+// FrameTrace persistence: the JSON writer/reader round-trip must be
+// exact (FrameTrace's defaulted operator== compares every field,
+// including the doubles bit-for-bit), and the CSV/summary writers must
+// cover every stage, counter, and gauge.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "sim/report_io.h"
+
+namespace o2o::sim {
+namespace {
+
+std::vector<obs::FrameTrace> sample_frames() {
+  std::vector<obs::FrameTrace> frames;
+  obs::FrameTrace a;
+  a.frame = 0;
+  a.now_seconds = 0.0;
+  a.wall_ms = 1.25;
+  a.idle_taxis = 12;
+  a.busy_taxis = 3;
+  a.pending_requests = 7;
+  a.assignments = 5;
+  for (std::size_t i = 0; i < obs::kStageCount; ++i) a.stage_ns[i] = 1000 * (i + 1);
+  for (std::size_t i = 0; i < obs::kCounterCount; ++i) a.counters[i] = 10 * i + 1;
+  for (std::size_t i = 0; i < obs::kGaugeCount; ++i) a.gauges[i] = 100 * i + 7;
+  frames.push_back(a);
+
+  obs::FrameTrace b;
+  b.frame = 1;
+  // Deliberately awkward doubles: %.17g must preserve them exactly.
+  b.now_seconds = 60.000000000000014;
+  b.wall_ms = 0.1 + 0.2;
+  b.counters[static_cast<std::size_t>(obs::Counter::kExactFallbacks)] = 3;
+  frames.push_back(b);
+  return frames;
+}
+
+TEST(TraceJson, RoundTripIsExact) {
+  const std::vector<obs::FrameTrace> frames = sample_frames();
+  std::stringstream stream;
+  write_frame_traces_json(stream, frames);
+  const std::vector<obs::FrameTrace> restored = read_frame_traces_json(stream);
+  ASSERT_EQ(restored.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(restored[i], frames[i]) << "frame " << i;
+  }
+}
+
+TEST(TraceJson, EmptyArrayRoundTrips) {
+  std::stringstream stream;
+  write_frame_traces_json(stream, {});
+  EXPECT_TRUE(read_frame_traces_json(stream).empty());
+}
+
+TEST(TraceJson, UnknownKeysAreIgnored) {
+  std::istringstream in(R"([{"frame": 4, "future_field": 1.5,
+      "future_map": {"x": 1, "y": 2},
+      "counters": {"proposals": 9, "not_a_counter": 3}}])");
+  const auto restored = read_frame_traces_json(in);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0].frame, 4u);
+  EXPECT_EQ(restored[0].counters[static_cast<std::size_t>(obs::Counter::kProposals)], 9u);
+}
+
+TEST(TraceJson, MalformedInputThrows) {
+  std::istringstream in("[{\"frame\": }]");
+  EXPECT_THROW(read_frame_traces_json(in), std::runtime_error);
+  std::istringstream not_an_array("{\"frame\": 1}");
+  EXPECT_THROW(read_frame_traces_json(not_an_array), std::runtime_error);
+}
+
+TEST(TraceJson, SinkFramesRoundTripThroughExport) {
+  // End-to-end: frames produced by a real sink survive the export.
+  obs::TraceSink sink;
+  obs::Activation guard(sink);
+  for (std::uint64_t f = 0; f < 3; ++f) {
+    sink.begin_frame(f, 60.0 * static_cast<double>(f));
+    obs::add(obs::Counter::kProposals, f + 1);
+    obs::gauge_max(obs::Gauge::kPendingPeak, 10 * f);
+    sink.set_frame_context(f, f + 1, f + 2);
+    sink.add_assignments(f);
+    sink.end_frame();
+  }
+  std::stringstream stream;
+  write_frame_traces_json(stream, sink.frames());
+  EXPECT_EQ(read_frame_traces_json(stream), sink.frames());
+}
+
+TEST(TraceCsv, HeaderCoversEveryColumnAndRowsMatch) {
+  const std::vector<obs::FrameTrace> frames = sample_frames();
+  std::stringstream stream;
+  write_frame_traces_csv(stream, frames);
+  std::string header;
+  ASSERT_TRUE(std::getline(stream, header));
+  // 7 context columns + stages + counters + gauges.
+  const std::size_t expected_columns =
+      7 + obs::kStageCount + obs::kCounterCount + obs::kGaugeCount;
+  std::size_t commas = 0;
+  for (const char c : header) commas += c == ',' ? 1 : 0;
+  EXPECT_EQ(commas + 1, expected_columns);
+  EXPECT_NE(header.find("profile_build_ns"), std::string::npos);
+  EXPECT_NE(header.find("exact_fallbacks"), std::string::npos);
+  EXPECT_NE(header.find("pending_peak"), std::string::npos);
+
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(stream, line)) ++rows;
+  EXPECT_EQ(rows, frames.size());
+}
+
+TEST(TraceSummary, MentionsStagesCountersAndTotals) {
+  const std::vector<obs::FrameTrace> frames = sample_frames();
+  std::stringstream stream;
+  write_trace_summary(stream, frames);
+  const std::string text = stream.str();
+  EXPECT_NE(text.find("2 frames"), std::string::npos);
+  EXPECT_NE(text.find("profile_build"), std::string::npos);
+  EXPECT_NE(text.find("exact_fallbacks"), std::string::npos);
+  EXPECT_NE(text.find("pending_peak"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace o2o::sim
