@@ -30,16 +30,11 @@ int main() {
     const auto fleet = trace::make_fleet(model.region, fleet_options);
 
     for (const bool extended : {false, true}) {
-      core::SharingStableDispatcherOptions options;
-      options.params.preference = bench::preference_params(params);
-      options.params.grouping.detour_threshold_km = params.theta_km;
-      options.params.grouping.pickup_radius_km = 2.0 * params.theta_km;
-      options.params.candidate_taxis_per_unit = 24;
-      options.enroute_extension = extended;
-      core::SharingStableDispatcher dispatcher(options);
-      sim::Simulator simulator(city, fleet, bench::oracle(),
-                               bench::simulator_config(params));
-      const auto report = simulator.run(dispatcher);
+      const DispatchConfig config =
+          bench::dispatch_config(params).with_enroute_extension(extended);
+      const auto dispatcher = make_std_p(config);
+      sim::Simulator simulator(city, fleet, bench::oracle(), config.simulation());
+      const auto report = simulator.run(*dispatcher);
       std::printf("%d,%s,%zu,%zu,%zu,%.3f,%.3f,%.3f\n", taxis,
                   report.dispatcher_name.c_str(), report.served, report.cancelled,
                   report.shared_rides, report.delay_stats.mean(),

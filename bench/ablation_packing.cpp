@@ -37,16 +37,11 @@ int main() {
       {"riders", core::PackingObjective::kRiders},
       {"savings", core::PackingObjective::kSavings}};
   for (const NamedObjective& named : objectives) {
-    core::SharingStableDispatcherOptions options;
-    options.params.preference = bench::preference_params(params);
-    options.params.grouping.detour_threshold_km = params.theta_km;
-    options.params.grouping.pickup_radius_km = 2.0 * params.theta_km;
-    options.params.candidate_taxis_per_unit = 24;
-    options.params.objective = named.objective;
-    core::SharingStableDispatcher dispatcher(options);
-    sim::Simulator simulator(city, fleet, bench::oracle(),
-                             bench::simulator_config(params));
-    const auto report = simulator.run(dispatcher);
+    const DispatchConfig config =
+        bench::dispatch_config(params).with_packing_objective(named.objective);
+    const auto dispatcher = make_std_p(config);
+    sim::Simulator simulator(city, fleet, bench::oracle(), config.simulation());
+    const auto report = simulator.run(*dispatcher);
     std::printf("%s,%zu,%zu,%zu,%.3f,%.3f,%.3f,%.1f\n", named.name, report.served,
                 report.cancelled, report.shared_rides, report.delay_stats.mean(),
                 report.passenger_stats.mean(), report.taxi_stats.mean(),

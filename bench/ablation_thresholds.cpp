@@ -37,12 +37,10 @@ int main() {
   for (const double threshold : {-1.0, 0.0, 1.0, 2.0, 4.0, kInf}) {
     bench::PaperParams params;
     params.taxi_threshold_score = threshold;
-    core::StableDispatcherOptions options;
-    options.preference = bench::preference_params(params);
-    core::StableDispatcher dispatcher(options);
-    sim::Simulator simulator(city, fleet, bench::oracle(),
-                             bench::simulator_config(params));
-    const auto report = simulator.run(dispatcher);
+    const DispatchConfig config = bench::dispatch_config(params);
+    const auto dispatcher = make_nstd_p(config);
+    sim::Simulator simulator(city, fleet, bench::oracle(), config.simulation());
+    const auto report = simulator.run(*dispatcher);
     std::printf("%g,%zu,%zu,%.3f,%.3f,%.3f\n", threshold, report.served,
                 report.cancelled, report.delay_stats.mean(),
                 report.passenger_stats.mean(), report.taxi_stats.mean());
@@ -55,12 +53,10 @@ int main() {
   for (const double threshold : {2.0, 4.0, 6.0, 10.0, 14.0, kInf}) {
     bench::PaperParams params;
     params.passenger_threshold_km = threshold;
-    core::StableDispatcherOptions options;
-    options.preference = bench::preference_params(params);
-    core::StableDispatcher dispatcher(options);
-    sim::Simulator simulator(city, fleet, bench::oracle(),
-                             bench::simulator_config(params));
-    const auto report = simulator.run(dispatcher);
+    const DispatchConfig config = bench::dispatch_config(params);
+    const auto dispatcher = make_nstd_p(config);
+    sim::Simulator simulator(city, fleet, bench::oracle(), config.simulation());
+    const auto report = simulator.run(*dispatcher);
     std::printf("%g,%zu,%zu,%.3f,%.3f,%.3f\n", threshold, report.served,
                 report.cancelled, report.delay_stats.mean(),
                 report.passenger_stats.mean(), report.taxi_stats.mean());

@@ -47,11 +47,12 @@ inline core::PreferenceParams preference_params(const PaperParams& p) {
 }
 
 /// The PaperParams bundle as a DispatchConfig -- the single source the
-/// stable-dispatcher roster entries are built from. The sharing knobs
-/// are harmless on the non-sharing dispatchers (their projection drops
-/// them). City-scale performance knobs (documented in DESIGN.md): riders
-/// whose pick-ups are farther apart than 2θ are not considered for
-/// pooling, and each unit ranks only its 24 nearest taxis.
+/// stable-dispatcher roster entries AND the simulator are built from
+/// (the .simulation() section replaces the old separate SimulatorConfig).
+/// The sharing knobs are harmless on the non-sharing dispatchers (their
+/// projection drops them). City-scale performance knobs (documented in
+/// DESIGN.md): riders whose pick-ups are farther apart than 2θ are not
+/// considered for pooling, and each unit ranks only its 24 nearest taxis.
 inline DispatchConfig dispatch_config(const PaperParams& p) {
   return DispatchConfig{}
       .with_alpha(p.alpha)
@@ -60,7 +61,10 @@ inline DispatchConfig dispatch_config(const PaperParams& p) {
       .with_taxi_threshold_score(p.taxi_threshold_score)
       .with_detour_threshold_km(p.theta_km)
       .with_pickup_radius_km(2.0 * p.theta_km)
-      .with_candidate_taxis_per_unit(24);
+      .with_candidate_taxis_per_unit(24)
+      .with_frame_seconds(60.0)
+      .with_speed_kmh(20.0)
+      .with_cancel_timeout_seconds(p.cancel_timeout_seconds);
 }
 
 /// The non-sharing roster of Fig. 4-7: NSTD-P, NSTD-T, Greedy, MinCost,
@@ -105,13 +109,7 @@ inline std::vector<std::unique_ptr<sim::Dispatcher>> sharing_roster(const PaperP
 }
 
 inline sim::SimulatorConfig simulator_config(const PaperParams& p) {
-  sim::SimulatorConfig config;
-  config.frame_seconds = 60.0;
-  config.speed_kmh = 20.0;
-  config.cancel_timeout_seconds = p.cancel_timeout_seconds;
-  config.alpha = p.alpha;
-  config.beta = p.beta;
-  return config;
+  return dispatch_config(p).simulation();
 }
 
 /// The Euclidean-surface distance oracle used by all figure benches

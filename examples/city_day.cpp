@@ -42,11 +42,11 @@ sim::SimulationReport run_once(const trace::Trace& city,
                                sim::Dispatcher& dispatcher, double frame_seconds,
                                double timeout_seconds,
                                obs::TraceSink* sink = nullptr) {
-  sim::SimulatorConfig config;
-  config.frame_seconds = frame_seconds;
-  config.cancel_timeout_seconds = timeout_seconds;
-  config.trace_sink = sink;
-  sim::Simulator simulator(city, fleet, kOracle, config);
+  const DispatchConfig config = tuned_config()
+                                    .with_frame_seconds(frame_seconds)
+                                    .with_cancel_timeout_seconds(timeout_seconds)
+                                    .with_trace_sink(sink);
+  sim::Simulator simulator(city, fleet, kOracle, config.simulation());
   return simulator.run(dispatcher);
 }
 

@@ -21,17 +21,26 @@ std::string_view config_field_name(ConfigField field) noexcept {
     case ConfigField::kCandidateTaxisPerUnit: return "candidate_taxis_per_unit";
     case ConfigField::kExactMaxSets: return "exact_max_sets";
     case ConfigField::kTraceMaxFrames: return "trace_max_frames";
+    case ConfigField::kFrameSeconds: return "frame_seconds";
+    case ConfigField::kSpeedKmh: return "speed_kmh";
+    case ConfigField::kCancelTimeoutSeconds: return "cancel_timeout_seconds";
+    case ConfigField::kDrainSeconds: return "drain_seconds";
+    case ConfigField::kIdleGridCellKm: return "idle_grid_cell_km";
+    case ConfigField::kRoadNetwork: return "road_network";
+    case ConfigField::kDeterministicMerge: return "deterministic_merge";
   }
   return "unknown";
 }
 
 DispatchConfig& DispatchConfig::with_alpha(double alpha) {
   params_.preference.alpha = alpha;
+  sim_.alpha = alpha;  // the report metrics use the same coefficient
   return *this;
 }
 
 DispatchConfig& DispatchConfig::with_beta(double beta) {
   params_.preference.beta = beta;
+  sim_.beta = beta;
   return *this;
 }
 
@@ -125,6 +134,66 @@ DispatchConfig& DispatchConfig::with_enroute_extension(bool enabled) {
   return *this;
 }
 
+DispatchConfig& DispatchConfig::sharding(core::ShardOptions options) {
+  params_.sharding = options;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_parallel_dispatch(bool enabled) {
+  params_.sharding.parallel = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_max_components_hint(std::size_t hint) {
+  params_.sharding.max_components_hint = hint;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::simulation(sim::SimulatorConfig config) {
+  sim_ = config;
+  // α/β live on the preference side; the simulation section mirrors them.
+  sim_.alpha = params_.preference.alpha;
+  sim_.beta = params_.preference.beta;
+  road_mode_ = config.road_network != nullptr;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_frame_seconds(double seconds) {
+  sim_.frame_seconds = seconds;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_speed_kmh(double kmh) {
+  sim_.speed_kmh = kmh;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_cancel_timeout_seconds(double seconds) {
+  sim_.cancel_timeout_seconds = seconds;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_drain_seconds(double seconds) {
+  sim_.drain_seconds = seconds;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_idle_grid_cell_km(double km) {
+  sim_.idle_grid_cell_km = km;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_road_network(const geo::RoadNetwork* network) {
+  sim_.road_network = network;
+  road_mode_ = true;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_trace_sink(obs::TraceSink* sink) {
+  sim_.trace_sink = sink;
+  return *this;
+}
+
 DispatchConfig& DispatchConfig::with_tracing(obs::TraceOptions options) {
   trace_ = options;
   return *this;
@@ -195,6 +264,34 @@ std::vector<ConfigError> DispatchConfig::validate() const {
     fail(ConfigField::kTraceMaxFrames,
          "trace max_frames must be >= 1 when per-frame retention is on");
   }
+
+  if (!std::isfinite(sim_.frame_seconds) || sim_.frame_seconds <= 0.0) {
+    fail(ConfigField::kFrameSeconds, "frame_seconds must be finite and > 0");
+  }
+  if (!std::isfinite(sim_.speed_kmh) || sim_.speed_kmh <= 0.0) {
+    fail(ConfigField::kSpeedKmh, "speed_kmh must be finite and > 0");
+  }
+  // +inf means "requests never give up".
+  if (!valid_positive(sim_.cancel_timeout_seconds)) {
+    fail(ConfigField::kCancelTimeoutSeconds,
+         "cancel_timeout_seconds must be > 0 (+inf disables cancellation)");
+  }
+  if (!std::isfinite(sim_.drain_seconds) || sim_.drain_seconds < 0.0) {
+    fail(ConfigField::kDrainSeconds, "drain_seconds must be finite and >= 0");
+  }
+  if (!std::isfinite(sim_.idle_grid_cell_km) || sim_.idle_grid_cell_km <= 0.0) {
+    fail(ConfigField::kIdleGridCellKm, "idle_grid_cell_km must be finite and > 0");
+  }
+  if (road_mode_ && sim_.road_network == nullptr) {
+    fail(ConfigField::kRoadNetwork,
+         "road mode requires a non-null road network (with_road_network(nullptr) "
+         "is invalid; replace the whole section via simulation() to leave road mode)");
+  }
+  if (!params_.sharding.deterministic_merge) {
+    fail(ConfigField::kDeterministicMerge,
+         "deterministic_merge cannot be disabled: the sharded component merge is "
+         "always deterministic (see core/shard_engine.h)");
+  }
   return errors;
 }
 
@@ -204,6 +301,7 @@ core::StableDispatcherOptions DispatchConfig::stable_options() const {
   options.side = params_.side;
   options.taxi_side_via_enumeration = taxi_side_via_enumeration_;
   options.enumeration_cap = enumeration_cap_;
+  options.sharding = params_.sharding;
   return options;
 }
 
@@ -225,22 +323,24 @@ DispatchConfig pin_side(DispatchConfig config, core::ProposalSide side) {
 
 std::unique_ptr<sim::Dispatcher> make_nstd_p(const DispatchConfig& config) {
   return std::make_unique<core::StableDispatcher>(
-      pin_side(config, core::ProposalSide::kPassengers).stable_options());
+      pin_side(config, core::ProposalSide::kPassengers).stable_options(),
+      core::FromConfig{});
 }
 
 std::unique_ptr<sim::Dispatcher> make_nstd_t(const DispatchConfig& config) {
   return std::make_unique<core::StableDispatcher>(
-      pin_side(config, core::ProposalSide::kTaxis).stable_options());
+      pin_side(config, core::ProposalSide::kTaxis).stable_options(), core::FromConfig{});
 }
 
 std::unique_ptr<sim::Dispatcher> make_std_p(const DispatchConfig& config) {
   return std::make_unique<core::SharingStableDispatcher>(
-      pin_side(config, core::ProposalSide::kPassengers).sharing_options());
+      pin_side(config, core::ProposalSide::kPassengers).sharing_options(),
+      core::FromConfig{});
 }
 
 std::unique_ptr<sim::Dispatcher> make_std_t(const DispatchConfig& config) {
   return std::make_unique<core::SharingStableDispatcher>(
-      pin_side(config, core::ProposalSide::kTaxis).sharing_options());
+      pin_side(config, core::ProposalSide::kTaxis).sharing_options(), core::FromConfig{});
 }
 
 std::unique_ptr<sim::Dispatcher> make_dispatcher(std::string_view kind,

@@ -9,13 +9,20 @@
 // place, validates the whole bundle up front, and projects back onto the
 // legacy structs so existing call sites keep compiling unchanged.
 //
-//   auto dispatcher = o2o::make_std_p(o2o::DispatchConfig{}
-//                                         .with_alpha(1.0)
-//                                         .with_passenger_threshold_km(3.0)
-//                                         .with_detour_threshold_km(5.0));
+//   o2o::DispatchConfig config;
+//   config.with_alpha(1.0)
+//       .with_passenger_threshold_km(3.0)
+//       .with_detour_threshold_km(5.0)
+//       .with_frame_seconds(60.0);
+//   auto dispatcher = o2o::make_std_p(config);
+//   sim::Simulator sim(trace, fleet, oracle, config.simulation());
 //
-// The legacy per-dispatcher Options structs in core/dispatchers.h and
-// core/sharing.h remain as thin shims; new code should prefer this API.
+// The config is end-to-end: besides the dispatcher knobs it carries a
+// .simulation() section (the sim::SimulatorConfig the Simulator consumes)
+// and a .sharding() section (the component-sharded matching engine,
+// core/shard_engine.h). Constructing dispatchers straight from the legacy
+// option structs is deprecated — the factories below are the supported
+// path and validate the whole bundle first.
 #pragma once
 
 #include <memory>
@@ -25,6 +32,7 @@
 
 #include "core/dispatchers.h"
 #include "obs/obs.h"
+#include "sim/simulator.h"
 
 namespace o2o {
 
@@ -43,6 +51,13 @@ enum class ConfigField : std::uint8_t {
   kCandidateTaxisPerUnit,
   kExactMaxSets,
   kTraceMaxFrames,
+  kFrameSeconds,
+  kSpeedKmh,
+  kCancelTimeoutSeconds,
+  kDrainSeconds,
+  kIdleGridCellKm,
+  kRoadNetwork,
+  kDeterministicMerge,
 };
 
 /// Stable snake_case name of a field (mirrors the builder setters).
@@ -90,6 +105,33 @@ class DispatchConfig {
   DispatchConfig& with_exact_max_sets(std::size_t count);
   DispatchConfig& with_enroute_extension(bool enabled);
 
+  // --- sharded matching engine (core/shard_engine.h) --------------------
+  /// Replaces the whole sharding section. `deterministic_merge` must stay
+  /// true — the sharded merge is always deterministic; validate() rejects
+  /// an attempt to turn the contract off.
+  DispatchConfig& sharding(core::ShardOptions options);
+  /// Component-sharded parallel matching on/off (off = serial pass).
+  DispatchConfig& with_parallel_dispatch(bool enabled);
+  /// Allocation hint for the per-frame component vector (0 = derive).
+  DispatchConfig& with_max_components_hint(std::size_t hint);
+
+  // --- simulation (sim::Simulator) --------------------------------------
+  /// Replaces the whole simulation section. The α/β fields of the report
+  /// metrics are kept in sync with the shared model coefficients above
+  /// (with_alpha / with_beta are the single source of truth), so the
+  /// incoming config's own alpha/beta are overwritten.
+  DispatchConfig& simulation(sim::SimulatorConfig config);
+  DispatchConfig& with_frame_seconds(double seconds);
+  DispatchConfig& with_speed_kmh(double kmh);
+  DispatchConfig& with_cancel_timeout_seconds(double seconds);
+  DispatchConfig& with_drain_seconds(double seconds);
+  DispatchConfig& with_idle_grid_cell_km(double km);
+  /// Drive taxis along this network's shortest paths. Passing a network
+  /// opts into road mode; validate() then rejects a null network (reset
+  /// by replacing the whole section via simulation()).
+  DispatchConfig& with_road_network(const geo::RoadNetwork* network);
+  DispatchConfig& with_trace_sink(obs::TraceSink* sink);
+
   // --- observability ---------------------------------------------------
   DispatchConfig& with_tracing(obs::TraceOptions options);
   /// Shorthand: enable tracing with default retention.
@@ -100,6 +142,8 @@ class DispatchConfig {
   const packing::GroupOptions& grouping() const noexcept { return params_.grouping; }
   const core::SharingParams& sharing_params() const noexcept { return params_; }
   const obs::TraceOptions& trace() const noexcept { return trace_; }
+  const core::ShardOptions& sharding() const noexcept { return params_.sharding; }
+  const sim::SimulatorConfig& simulation() const noexcept { return sim_; }
   core::ProposalSide proposal_side() const noexcept { return params_.side; }
   bool taxi_side_via_enumeration() const noexcept { return taxi_side_via_enumeration_; }
   std::size_t enumeration_cap() const noexcept { return enumeration_cap_; }
@@ -114,11 +158,13 @@ class DispatchConfig {
   core::SharingStableDispatcherOptions sharing_options() const;
 
  private:
-  core::SharingParams params_;  ///< superset: preference + grouping + packing
+  core::SharingParams params_;  ///< superset: preference + grouping + packing + sharding
   bool taxi_side_via_enumeration_ = false;
   std::size_t enumeration_cap_ = 512;
   bool enroute_extension_ = false;
   obs::TraceOptions trace_;
+  sim::SimulatorConfig sim_;  ///< alpha/beta mirror the preference knobs
+  bool road_mode_ = false;    ///< with_road_network was called (null ⇒ error)
 };
 
 // Factories for the paper's four dispatchers. Each pins the proposal

@@ -3,7 +3,7 @@
 #include <limits>
 #include <unordered_map>
 
-#include "core/all_stable.h"
+#include "core/shard_engine.h"
 #include "obs/obs.h"
 #include "routing/insertion.h"
 #include "util/contracts.h"
@@ -72,7 +72,7 @@ bool enroute_detours_ok(const routing::Route& route, const geo::DistanceOracle& 
 
 }  // namespace
 
-StableDispatcher::StableDispatcher(StableDispatcherOptions options)
+StableDispatcher::StableDispatcher(StableDispatcherOptions options, FromConfig)
     : options_(std::move(options)) {}
 
 std::string StableDispatcher::name() const {
@@ -90,16 +90,11 @@ std::vector<sim::DispatchAssignment> StableDispatcher::dispatch(
                                options_.preference, context.idle_grid);
 
   Matching matching;
-  if (options_.side == ProposalSide::kPassengers) {
-    matching = gale_shapley_requests(profile);
-  } else if (options_.taxi_side_via_enumeration) {
-    AllStableOptions enum_options;
-    enum_options.max_matchings = options_.enumeration_cap;
-    const AllStableResult all = enumerate_all_stable(profile, enum_options);
-    matching = all.truncated ? gale_shapley_taxis(profile)
-                             : select_taxi_optimal(all.matchings, profile);
+  if (options_.side == ProposalSide::kTaxis && options_.taxi_side_via_enumeration) {
+    matching = sharded_taxi_optimal_via_enumeration(profile, options_.enumeration_cap,
+                                                    options_.sharding);
   } else {
-    matching = gale_shapley_taxis(profile);
+    matching = sharded_gale_shapley(profile, options_.side, options_.sharding);
   }
 
   std::vector<sim::DispatchAssignment> assignments;
@@ -116,7 +111,8 @@ std::vector<sim::DispatchAssignment> StableDispatcher::dispatch(
   return assignments;
 }
 
-SharingStableDispatcher::SharingStableDispatcher(SharingStableDispatcherOptions options)
+SharingStableDispatcher::SharingStableDispatcher(SharingStableDispatcherOptions options,
+                                                 FromConfig)
     : options_(std::move(options)) {}
 
 std::string SharingStableDispatcher::name() const {

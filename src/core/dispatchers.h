@@ -17,6 +17,15 @@
 
 namespace o2o::core {
 
+/// Tag selecting the supported construction path: the o2o::DispatchConfig
+/// factories (make_nstd_p / make_nstd_t / make_std_p / make_std_t /
+/// make_dispatcher) build dispatchers through it after validating the
+/// whole config bundle. Direct construction from the bare option structs
+/// skips that validation and is deprecated.
+struct FromConfig {
+  explicit FromConfig() = default;
+};
+
 struct StableDispatcherOptions {
   PreferenceParams preference;
   ProposalSide side = ProposalSide::kPassengers;
@@ -27,12 +36,20 @@ struct StableDispatcherOptions {
   /// is capped at `enumeration_cap` schedules per frame.
   bool taxi_side_via_enumeration = false;
   std::size_t enumeration_cap = 512;
+  /// Component-sharded matching engine (core/shard_engine.h). On by
+  /// default: the output is bit-identical to the serial pass.
+  ShardOptions sharding;
 };
 
 /// Non-sharing stable dispatch (Algorithms 1 and 2).
 class StableDispatcher final : public sim::Dispatcher {
  public:
-  explicit StableDispatcher(StableDispatcherOptions options);
+  [[deprecated(
+      "construct via o2o::DispatchConfig (make_nstd_p / make_nstd_t / "
+      "make_dispatcher), which validates the config first")]]
+  explicit StableDispatcher(StableDispatcherOptions options)
+      : StableDispatcher(std::move(options), FromConfig{}) {}
+  StableDispatcher(StableDispatcherOptions options, FromConfig);
 
   std::string name() const override;
   std::vector<sim::DispatchAssignment> dispatch(const sim::DispatchContext& context) override;
@@ -56,7 +73,12 @@ struct SharingStableDispatcherOptions {
 /// Sharing stable dispatch (Algorithm 3).
 class SharingStableDispatcher final : public sim::Dispatcher {
  public:
-  explicit SharingStableDispatcher(SharingStableDispatcherOptions options);
+  [[deprecated(
+      "construct via o2o::DispatchConfig (make_std_p / make_std_t / "
+      "make_dispatcher), which validates the config first")]]
+  explicit SharingStableDispatcher(SharingStableDispatcherOptions options)
+      : SharingStableDispatcher(std::move(options), FromConfig{}) {}
+  SharingStableDispatcher(SharingStableDispatcherOptions options, FromConfig);
 
   std::string name() const override;
   std::vector<sim::DispatchAssignment> dispatch(const sim::DispatchContext& context) override;

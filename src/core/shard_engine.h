@@ -1,0 +1,87 @@
+// Component-sharded stable dispatch.
+//
+// The sparse PreferenceProfile induces a bipartite graph over (requests,
+// taxis): every listed pair — on either side's candidate list — is an
+// edge. Deferred acceptance, BreakDispatch (Rules 1–3) and Definition-1
+// stability only ever propagate influence along listed pairs, and the
+// dummy thresholds are per-agent, so the matching problem factorizes
+// *exactly* over the connected components of that graph: no proposal,
+// refusal or blocking pair can cross a component boundary, and the
+// stable-matching lattice of the whole profile is the product of the
+// per-component lattices (so the per-component taxi-optima compose to
+// the global taxi-optimum).
+//
+// The engine extracts components with a union-find pass, runs the
+// paper's proposal loop — or the Algorithm-2 enumeration behind NSTD-T's
+// selection — independently per component on the shared ThreadPool, and
+// merges by letting each component write its members' slots in a shared,
+// preallocated result (components are ordered by smallest member request
+// id; slots are disjoint, so the merge is deterministic no matter how
+// the pool schedules the tasks). Output is bit-identical to the serial
+// path; tests/core/shard_engine_test.cpp proves it differentially and
+// bench/micro_shard measures the speedup.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/stable_matching.h"
+
+namespace o2o::core {
+
+/// Knobs of the sharded engine, carried by the dispatcher option structs
+/// and surfaced through DispatchConfig::sharding().
+struct ShardOptions {
+  /// Master switch: false routes to the legacy serial pass verbatim
+  /// (counted as obs::Counter::kShardFallbacks).
+  bool parallel = true;
+  /// Reserve hint for the component vector; 0 derives it from the
+  /// profile size. Purely an allocation hint — never a limit.
+  std::size_t max_components_hint = 0;
+  /// The merge is *always* deterministic: components ordered by smallest
+  /// member request id, each writing disjoint slots of a shared result.
+  /// The knob exists so the config surface can state that contract;
+  /// turning it off violates a precondition (O2O_EXPECTS) rather than
+  /// unlocking a faster nondeterministic mode.
+  bool deterministic_merge = true;
+
+  friend bool operator==(const ShardOptions&, const ShardOptions&) = default;
+};
+
+/// One connected component of the profile's candidate graph. Member
+/// lists are ascending global indices.
+struct ShardComponent {
+  std::vector<int> requests;
+  std::vector<int> taxis;
+};
+
+/// Every component with at least one listed pair, ordered by smallest
+/// member request id (every such component contains a request, the graph
+/// being bipartite). Agents with empty candidate lists on both sides are
+/// isolated — always matched to the dummy — and appear in no component.
+struct ComponentPartition {
+  std::vector<ShardComponent> components;
+  std::size_t isolated_requests = 0;
+  std::size_t isolated_taxis = 0;
+  std::size_t largest_component_requests = 0;
+};
+
+/// Union-find pass over the candidate lists (obs stage
+/// component_extract; reports shard_components / largest_component_peak).
+ComponentPartition extract_components(const PreferenceProfile& profile,
+                                      std::size_t max_components_hint = 0);
+
+/// Deferred acceptance sharded over components. Bit-identical to
+/// gale_shapley_requests (kPassengers) / gale_shapley_taxis (kTaxis).
+Matching sharded_gale_shapley(const PreferenceProfile& profile, ProposalSide side,
+                              const ShardOptions& options = {});
+
+/// The NSTD-T enumeration path — Algorithm 2 + taxi-best selection, with
+/// the taxi-proposing fallback on truncation — sharded over components:
+/// each component enumerates its own lattice (same cap) and selects its
+/// taxi-best schedule. Bit-identical to the serial enumeration path.
+Matching sharded_taxi_optimal_via_enumeration(const PreferenceProfile& profile,
+                                              std::size_t enumeration_cap,
+                                              const ShardOptions& options = {});
+
+}  // namespace o2o::core

@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/shard_engine.h"
 #include "index/spatial_grid.h"
 #include "obs/obs.h"
 #include "routing/optimizer.h"
@@ -269,9 +270,7 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
   const PreferenceProfile profile = PreferenceProfile::from_candidates(
       std::move(rows), n_taxis, params.preference.list_cap);
   profile_stage.reset();
-  const Matching matching = params.side == ProposalSide::kPassengers
-                                ? gale_shapley_requests(profile)
-                                : gale_shapley_taxis(profile);
+  const Matching matching = sharded_gale_shapley(profile, params.side, params.sharding);
 
   for (std::size_t u = 0; u < n_units; ++u) {
     const int t = matching.request_to_taxi[u];

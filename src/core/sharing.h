@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/preferences.h"
+#include "core/shard_engine.h"
 #include "core/stable_matching.h"
 #include "geo/distance_oracle.h"
 #include "packing/groups.h"
@@ -31,10 +32,8 @@ class SpatialGrid;
 
 namespace o2o::core {
 
-enum class ProposalSide {
-  kPassengers,  ///< passenger-optimal schedule (NSTD-P / STD-P)
-  kTaxis,       ///< taxi-optimal schedule (NSTD-T / STD-T)
-};
+// ProposalSide lives in core/stable_matching.h (included above); the
+// sharing dispatcher reuses it to pick STD-P vs STD-T.
 
 enum class PackingSolver {
   kLocalSearch,  ///< the paper's approximation (default)
@@ -67,6 +66,9 @@ struct SharingParams {
   /// feasible groups degrade to the local-search approximation (counted
   /// in SharingOutcome::exact_fallbacks) instead of aborting mid-frame.
   std::size_t exact_max_sets = 10'000;
+  /// Component-sharded stable matching over the packed units (see
+  /// core/shard_engine.h); bit-identical to the serial pass.
+  ShardOptions sharding;
 };
 
 /// One dispatched unit: a taxi serving one request or one packed group.

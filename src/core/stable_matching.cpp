@@ -1,6 +1,7 @@
 #include "core/stable_matching.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "obs/obs.h"
 #include "util/contracts.h"
@@ -55,19 +56,27 @@ bool is_valid(const PreferenceProfile& profile, const Matching& matching) {
 
 std::vector<std::pair<std::size_t, std::size_t>> blocking_pairs(
     const PreferenceProfile& profile, const Matching& matching) {
+  // Every mutually acceptable (r, t) has t on r's candidate list, so
+  // walking the request lists covers every possible blocking pair without
+  // touching the |R|×|T| rectangle. Each row is collected then sorted by
+  // taxi index, reproducing the dense scan's (r, t) output order.
   std::vector<std::pair<std::size_t, std::size_t>> blocking;
+  std::vector<std::size_t> row;
   for (std::size_t r = 0; r < profile.request_count(); ++r) {
-    for (std::size_t t = 0; t < profile.taxi_count(); ++t) {
+    row.clear();
+    for (const int taxi : profile.request_list(r)) {
+      const auto t = static_cast<std::size_t>(taxi);
       if (!profile.acceptable(r, t)) continue;
       // Both the request and the taxi would leave their current partner
       // (possibly the dummy, which any acceptable partner beats) for each
       // other: Definition 1 is violated.
-      const bool request_wants =
-          profile.request_prefers(r, static_cast<int>(t), matching.request_to_taxi[r]);
+      const bool request_wants = profile.request_prefers(r, taxi, matching.request_to_taxi[r]);
       const bool taxi_wants =
           profile.taxi_prefers(t, static_cast<int>(r), matching.taxi_to_request[t]);
-      if (request_wants && taxi_wants) blocking.emplace_back(r, t);
+      if (request_wants && taxi_wants) row.push_back(t);
     }
+    std::sort(row.begin(), row.end());
+    for (const std::size_t t : row) blocking.emplace_back(r, t);
   }
   return blocking;
 }
@@ -78,21 +87,21 @@ bool is_stable(const PreferenceProfile& profile, const Matching& matching) {
 
 namespace {
 
-/// Deferred acceptance with proposers on one side. `proposer_list` /
-/// `receiver_rank` abstract which side proposes so both directions share
-/// one implementation.
+/// Deferred acceptance restricted to the given proposers, writing into
+/// caller-owned (possibly shared, see the header contract) match arrays.
+/// `proposer_list` / `receiver_prefers` abstract which side proposes so
+/// both directions share one implementation.
 template <typename ListFn, typename PrefersFn>
-std::vector<int> deferred_acceptance(std::size_t proposers, std::size_t receivers,
-                                     ListFn&& list_of, PrefersFn&& receiver_prefers) {
-  std::vector<int> proposer_match(proposers, kDummy);
-  std::vector<int> receiver_match(receivers, kDummy);
-  std::vector<std::size_t> next_choice(proposers, 0);
-
+void deferred_acceptance(std::span<const int> proposers, std::span<int> proposer_match,
+                         std::span<int> receiver_match, std::span<std::size_t> next_choice,
+                         ListFn&& list_of, PrefersFn&& receiver_prefers) {
   std::vector<std::size_t> free_stack;
-  free_stack.reserve(proposers);
+  free_stack.reserve(proposers.size());
   // Reverse order so proposals happen in index order (matching the
   // paper's "each passenger request proposes in turn").
-  for (std::size_t p = proposers; p-- > 0;) free_stack.push_back(p);
+  for (std::size_t i = proposers.size(); i-- > 0;) {
+    free_stack.push_back(static_cast<std::size_t>(proposers[i]));
+  }
 
   // Counted locally and published once: the inner loop stays free of
   // even the disabled-tracing null check.
@@ -132,19 +141,77 @@ std::vector<int> deferred_acceptance(std::size_t proposers, std::size_t receiver
   }
   obs::add(obs::Counter::kProposals, proposals);
   obs::add(obs::Counter::kRejections, rejections);
-  return proposer_match;
 }
 
 }  // namespace
 
-Matching gale_shapley_requests(const PreferenceProfile& profile) {
-  obs::StageTimer timer(obs::Stage::kStableMatching);
-  std::vector<int> request_to_taxi = deferred_acceptance(
-      profile.request_count(), profile.taxi_count(),
+namespace detail {
+
+void deferred_acceptance_requests(const PreferenceProfile& profile,
+                                  std::span<const int> requests,
+                                  std::span<int> request_match, std::span<int> taxi_match,
+                                  std::span<std::size_t> next_choice) {
+  deferred_acceptance(
+      requests, request_match, taxi_match, next_choice,
       [&](std::size_t r) -> const std::vector<int>& { return profile.request_list(r); },
       [&](std::size_t t, int candidate, int incumbent) {
         return profile.taxi_prefers(t, candidate, incumbent);
       });
+}
+
+void deferred_acceptance_taxis(const PreferenceProfile& profile,
+                               std::span<const int> taxis, std::span<int> taxi_match,
+                               std::span<int> request_match,
+                               std::span<std::size_t> next_choice) {
+  deferred_acceptance(
+      taxis, taxi_match, request_match, next_choice,
+      [&](std::size_t t) -> const std::vector<int>& { return profile.taxi_list(t); },
+      [&](std::size_t r, int candidate, int incumbent) {
+        return profile.request_prefers(r, candidate, incumbent);
+      });
+}
+
+bool component_stable(const PreferenceProfile& profile, std::span<const int> requests,
+                      std::span<const int> taxis, std::span<const int> request_match,
+                      std::span<const int> taxi_match) {
+  for (const int request : requests) {
+    const auto r = static_cast<std::size_t>(request);
+    const int matched = request_match[r];
+    if (matched != kDummy) {
+      if (matched < 0 || static_cast<std::size_t>(matched) >= profile.taxi_count()) return false;
+      if (taxi_match[static_cast<std::size_t>(matched)] != request) return false;
+      if (!profile.acceptable(r, static_cast<std::size_t>(matched))) return false;
+    }
+    for (const int taxi : profile.request_list(r)) {
+      const auto t = static_cast<std::size_t>(taxi);
+      if (!profile.acceptable(r, t)) continue;
+      if (profile.request_prefers(r, taxi, matched) &&
+          profile.taxi_prefers(t, request, taxi_match[t])) {
+        return false;
+      }
+    }
+  }
+  for (const int taxi : taxis) {
+    const auto t = static_cast<std::size_t>(taxi);
+    const int matched = taxi_match[t];
+    if (matched == kDummy) continue;
+    if (matched < 0 || static_cast<std::size_t>(matched) >= profile.request_count()) return false;
+    if (request_match[static_cast<std::size_t>(matched)] != taxi) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+Matching gale_shapley_requests(const PreferenceProfile& profile) {
+  obs::StageTimer timer(obs::Stage::kStableMatching);
+  std::vector<int> request_to_taxi(profile.request_count(), kDummy);
+  std::vector<int> taxi_match(profile.taxi_count(), kDummy);
+  std::vector<std::size_t> next_choice(profile.request_count(), 0);
+  std::vector<int> all_requests(profile.request_count());
+  std::iota(all_requests.begin(), all_requests.end(), 0);
+  detail::deferred_acceptance_requests(profile, all_requests, request_to_taxi, taxi_match,
+                                       next_choice);
   Matching matching = make_matching(std::move(request_to_taxi), profile.taxi_count());
   O2O_ENSURES(is_stable(profile, matching));
   return matching;
@@ -152,17 +219,13 @@ Matching gale_shapley_requests(const PreferenceProfile& profile) {
 
 Matching gale_shapley_taxis(const PreferenceProfile& profile) {
   obs::StageTimer timer(obs::Stage::kStableMatching);
-  const std::vector<int> taxi_to_request = deferred_acceptance(
-      profile.taxi_count(), profile.request_count(),
-      [&](std::size_t t) -> const std::vector<int>& { return profile.taxi_list(t); },
-      [&](std::size_t r, int candidate, int incumbent) {
-        return profile.request_prefers(r, candidate, incumbent);
-      });
+  std::vector<int> taxi_to_request(profile.taxi_count(), kDummy);
   std::vector<int> request_to_taxi(profile.request_count(), kDummy);
-  for (std::size_t t = 0; t < taxi_to_request.size(); ++t) {
-    const int r = taxi_to_request[t];
-    if (r != kDummy) request_to_taxi[static_cast<std::size_t>(r)] = static_cast<int>(t);
-  }
+  std::vector<std::size_t> next_choice(profile.taxi_count(), 0);
+  std::vector<int> all_taxis(profile.taxi_count());
+  std::iota(all_taxis.begin(), all_taxis.end(), 0);
+  detail::deferred_acceptance_taxis(profile, all_taxis, taxi_to_request, request_to_taxi,
+                                    next_choice);
   Matching matching = make_matching(std::move(request_to_taxi), profile.taxi_count());
   O2O_ENSURES(is_stable(profile, matching));
   return matching;

@@ -4,11 +4,20 @@
 // and the Definition-1 stability verifier.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/preferences.h"
 
 namespace o2o::core {
+
+/// Which side proposes in deferred acceptance (and therefore which side
+/// the resulting stable schedule is optimal for).
+enum class ProposalSide {
+  kPassengers,  ///< passenger-optimal schedule (NSTD-P / STD-P)
+  kTaxis,       ///< taxi-optimal schedule (NSTD-T / STD-T)
+};
 
 /// A taxi dispatch schedule S. request_to_taxi[r] is the matched taxi
 /// index, or kDummy (unserved); taxi_to_request mirrors it.
@@ -36,6 +45,8 @@ bool is_stable(const PreferenceProfile& profile, const Matching& matching);
 
 /// All blocking pairs (r, t): mutually acceptable pairs where both sides
 /// prefer each other over their current partners (dummies included).
+/// Cost is linear in the listed pairs (every mutually acceptable pair is
+/// on its request's candidate list), not in the |R|×|T| rectangle.
 std::vector<std::pair<std::size_t, std::size_t>> blocking_pairs(
     const PreferenceProfile& profile, const Matching& matching);
 
@@ -44,5 +55,41 @@ Matching gale_shapley_requests(const PreferenceProfile& profile);
 
 /// Taxi-proposing deferred acceptance: the taxi-optimal stable schedule.
 Matching gale_shapley_taxis(const PreferenceProfile& profile);
+
+namespace detail {
+
+// Subset deferred acceptance — the building block the component-sharded
+// engine (core/shard_engine.h) runs once per connected component of the
+// candidate graph. All spans are profile-sized and may be shared across
+// concurrent calls: a call touches only its own proposers' slots and the
+// receivers on their candidate lists, which stay inside the component by
+// construction, so concurrent per-component calls write disjoint memory
+// and the merged result is deterministic (and equal to one global pass:
+// the deferred-acceptance outcome is proposal-order independent).
+//
+// Preconditions: `requests` (resp. `taxis`) ascending; their match and
+// next_choice slots initialized to kDummy / 0.
+
+/// Passenger-proposing pass restricted to `requests`.
+void deferred_acceptance_requests(const PreferenceProfile& profile,
+                                  std::span<const int> requests,
+                                  std::span<int> request_match, std::span<int> taxi_match,
+                                  std::span<std::size_t> next_choice);
+
+/// Taxi-proposing pass restricted to `taxis`.
+void deferred_acceptance_taxis(const PreferenceProfile& profile,
+                               std::span<const int> taxis, std::span<int> taxi_match,
+                               std::span<int> request_match,
+                               std::span<std::size_t> next_choice);
+
+/// Definition-1 check restricted to one component (sparse: walks the
+/// member requests' candidate lists). The conjunction over a partition's
+/// components — with every isolated agent left at kDummy — is equivalent
+/// to is_stable on the whole profile.
+bool component_stable(const PreferenceProfile& profile, std::span<const int> requests,
+                      std::span<const int> taxis, std::span<const int> request_match,
+                      std::span<const int> taxi_match);
+
+}  // namespace detail
 
 }  // namespace o2o::core

@@ -73,6 +73,26 @@ PreferenceProfile break_ties(const TiedScores& scores, std::uint64_t seed) {
   // kilometre-scale distances, so distinct values differ by far more
   // than the jitter span.
   const double jitter = 1e-9;
+  // Determinism contract (see the header): the jitter may only reorder
+  // *ties*. Assert that distinct finite scores are separated by more
+  // than the jitter span -- a violation would let the perturbation flip
+  // a genuine preference, making the resulting strict profile (and the
+  // sharded component merge built on it) depend on the jitter draw
+  // instead of the data.
+  {
+    std::vector<double> finite;
+    for (const auto* matrix : {&scores.passenger, &scores.taxi}) {
+      for (const auto& row : *matrix) {
+        for (const double value : row) {
+          if (value != kUnacceptable) finite.push_back(value);
+        }
+      }
+    }
+    std::sort(finite.begin(), finite.end());
+    for (std::size_t i = 1; i < finite.size(); ++i) {
+      O2O_EXPECTS(finite[i] == finite[i - 1] || finite[i] - finite[i - 1] > jitter);
+    }
+  }
   TiedScores perturbed = scores;
   for (auto* matrix : {&perturbed.passenger, &perturbed.taxi}) {
     for (auto& row : *matrix) {

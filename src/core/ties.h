@@ -12,6 +12,20 @@
 //   * randomized tie-breaking into a strict PreferenceProfile;
 //   * a multi-restart heuristic for maximum-cardinality weakly stable
 //     matching (the local-approximation idea of Király [15]).
+//
+// Determinism contract (relied on by core/shard_engine.h). Every
+// function in this module is a pure function of (scores, seed): no
+// global state, no address-based ordering, no wall clock. break_ties
+// draws its jitter stream from the seed and the row-major iteration
+// order of the matrices alone, and the jitter span is *asserted* to be
+// smaller than the smallest gap between distinct finite scores, so the
+// perturbation can reorder ties but never genuine preferences. This is
+// what keeps the component-sharded dispatch engine exact on profiles
+// built here: the sharded merge orders components by their smallest
+// member request id, and because the strict profile carries no hidden
+// nondeterminism, relabeling the requests permutes the matching without
+// changing any matched pair -- sharded and serial runs agree under
+// either labeling (pinned down by tests/core/ties_test.cpp).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,35 @@
+#include "index/union_find.h"
+
+#include <utility>
+
+namespace o2o::index {
+
+UnionFind::UnionFind(std::size_t size)
+    : parent_(size), size_(size, 1), set_count_(size) {
+  for (std::size_t i = 0; i < size; ++i) parent_[i] = i;
+}
+
+std::size_t UnionFind::find(std::size_t x) noexcept {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) noexcept {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --set_count_;
+  return true;
+}
+
+std::size_t UnionFind::set_size(std::size_t x) noexcept {
+  return size_[find(x)];
+}
+
+}  // namespace o2o::index

@@ -1,0 +1,38 @@
+// Disjoint-set union (union by size + path halving), the component
+// extractor behind the sharded stable-dispatch engine: the sparse
+// preference candidate graph is bipartite and usually shatters into many
+// small components, each of which can be dispatched independently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace o2o::index {
+
+/// Classic DSU over [0, size). Deterministic: the representative of a set
+/// depends only on the sequence of unite() calls, never on timing.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t size);
+
+  std::size_t size() const noexcept { return parent_.size(); }
+
+  /// Representative of x's set (with path halving; amortized ~O(α)).
+  std::size_t find(std::size_t x) noexcept;
+
+  /// Merges the sets of a and b; returns true when they were distinct.
+  bool unite(std::size_t a, std::size_t b) noexcept;
+
+  /// Number of elements in x's set.
+  std::size_t set_size(std::size_t x) noexcept;
+
+  /// Number of disjoint sets currently alive.
+  std::size_t set_count() const noexcept { return set_count_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t set_count_ = 0;
+};
+
+}  // namespace o2o::index

@@ -28,6 +28,7 @@ Cells* bind_current_thread(TraceSink* sink, std::uint64_t epoch) {
 std::string_view stage_name(Stage stage) noexcept {
   switch (stage) {
     case Stage::kProfileBuild: return "profile_build";
+    case Stage::kComponentExtract: return "component_extract";
     case Stage::kStableMatching: return "stable_matching";
     case Stage::kBreakDispatch: return "break_dispatch";
     case Stage::kGroupEnum: return "group_enum";
@@ -57,6 +58,8 @@ std::string_view counter_name(Counter counter) noexcept {
     case Counter::kPackedGroups: return "packed_groups";
     case Counter::kExactFallbacks: return "exact_fallbacks";
     case Counter::kEnrouteInsertions: return "enroute_insertions";
+    case Counter::kShardComponents: return "shard_components";
+    case Counter::kShardFallbacks: return "shard_fallbacks";
   }
   return "unknown";
 }
@@ -67,6 +70,7 @@ std::string_view gauge_name(Gauge gauge) noexcept {
     case Gauge::kPackingSetsPeak: return "packing_sets_peak";
     case Gauge::kUnitsPeak: return "units_peak";
     case Gauge::kPendingPeak: return "pending_peak";
+    case Gauge::kLargestComponentPeak: return "largest_component_peak";
   }
   return "unknown";
 }

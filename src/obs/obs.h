@@ -35,15 +35,16 @@ namespace o2o::obs {
 /// whole dispatcher call and overlaps the others; the remaining stages
 /// are pairwise disjoint.
 enum class Stage : std::uint8_t {
-  kProfileBuild,    ///< preference profile construction (sparse or dense)
-  kStableMatching,  ///< deferred-acceptance rounds (Algorithm 1 / mirror)
-  kBreakDispatch,   ///< Algorithm 2 enumeration via BreakDispatch
-  kGroupEnum,       ///< feasible share-group enumeration (Algorithm 3, line 1)
-  kPacking,         ///< maximum set packing solve
-  kEnroute,         ///< en-route insertion extension
-  kDispatch,        ///< whole Dispatcher::dispatch call
+  kProfileBuild,      ///< preference profile construction (sparse or dense)
+  kComponentExtract,  ///< union-find pass over the candidate graph (sharded engine)
+  kStableMatching,    ///< deferred-acceptance rounds (Algorithm 1 / mirror)
+  kBreakDispatch,     ///< Algorithm 2 enumeration via BreakDispatch
+  kGroupEnum,         ///< feasible share-group enumeration (Algorithm 3, line 1)
+  kPacking,           ///< maximum set packing solve
+  kEnroute,           ///< en-route insertion extension
+  kDispatch,          ///< whole Dispatcher::dispatch call
 };
-inline constexpr std::size_t kStageCount = 7;
+inline constexpr std::size_t kStageCount = 8;
 
 /// Monotone event counters, merged by summation.
 enum class Counter : std::uint8_t {
@@ -64,8 +65,10 @@ enum class Counter : std::uint8_t {
   kPackedGroups,         ///< groups selected by set packing
   kExactFallbacks,       ///< kExact frames degraded to local search
   kEnrouteInsertions,    ///< requests served by en-route insertion
+  kShardComponents,      ///< candidate-graph components dispatched (sharded engine)
+  kShardFallbacks,       ///< sharded calls that took the serial path (parallel=false)
 };
-inline constexpr std::size_t kCounterCount = 17;
+inline constexpr std::size_t kCounterCount = 19;
 
 /// Peak working-set sizes, merged by maximum (within a frame and across
 /// frames in the aggregate view).
@@ -74,8 +77,9 @@ enum class Gauge : std::uint8_t {
   kPackingSetsPeak,   ///< sets handed to one set-packing solve
   kUnitsPeak,         ///< dispatch units (groups + singletons) in one frame
   kPendingPeak,       ///< pending requests in one frame
+  kLargestComponentPeak,  ///< member requests in the largest sharded component
 };
-inline constexpr std::size_t kGaugeCount = 4;
+inline constexpr std::size_t kGaugeCount = 5;
 
 /// Short stable names used by the JSON/CSV exports and the CLI table.
 std::string_view stage_name(Stage stage) noexcept;

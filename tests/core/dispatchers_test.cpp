@@ -42,13 +42,13 @@ Frame random_frame(Rng& rng, std::size_t taxis, std::size_t requests) {
 
 TEST(StableDispatcher, NamesFollowTheSide) {
   StableDispatcherOptions options;
-  EXPECT_EQ(StableDispatcher(options).name(), "NSTD-P");
+  EXPECT_EQ(StableDispatcher(options, FromConfig{}).name(), "NSTD-P");
   options.side = ProposalSide::kTaxis;
-  EXPECT_EQ(StableDispatcher(options).name(), "NSTD-T");
+  EXPECT_EQ(StableDispatcher(options, FromConfig{}).name(), "NSTD-T");
 }
 
 TEST(StableDispatcher, EmptyFrameYieldsNothing) {
-  StableDispatcher dispatcher(StableDispatcherOptions{});
+  StableDispatcher dispatcher(StableDispatcherOptions{}, FromConfig{});
   Frame frame;
   EXPECT_TRUE(dispatcher.dispatch(frame.context()).empty());
 }
@@ -60,7 +60,7 @@ TEST(StableDispatcher, AssignmentsMirrorTheStableMatching) {
     StableDispatcherOptions options;
     options.preference.passenger_threshold_km = 9.0;
     options.preference.taxi_threshold_score = 2.0;
-    StableDispatcher dispatcher(options);
+    StableDispatcher dispatcher(options, FromConfig{});
     const auto assignments = dispatcher.dispatch(frame.context());
 
     const PreferenceProfile profile = build_nonsharing_profile(
@@ -92,7 +92,7 @@ TEST(StableDispatcher, EnumerationPathMatchesTaxiProposing) {
     direct.side = ProposalSide::kTaxis;
     StableDispatcherOptions enumerated = direct;
     enumerated.taxi_side_via_enumeration = true;
-    StableDispatcher a(direct), b(enumerated);
+    StableDispatcher a(direct, FromConfig{}), b(enumerated, FromConfig{});
     const auto direct_out = a.dispatch(frame.context());
     const auto enumerated_out = b.dispatch(frame.context());
     ASSERT_EQ(direct_out.size(), enumerated_out.size());
@@ -105,9 +105,9 @@ TEST(StableDispatcher, EnumerationPathMatchesTaxiProposing) {
 
 TEST(SharingStableDispatcher, NamesFollowTheSide) {
   SharingStableDispatcherOptions options;
-  EXPECT_EQ(SharingStableDispatcher(options).name(), "STD-P");
+  EXPECT_EQ(SharingStableDispatcher(options, FromConfig{}).name(), "STD-P");
   options.params.side = ProposalSide::kTaxis;
-  EXPECT_EQ(SharingStableDispatcher(options).name(), "STD-T");
+  EXPECT_EQ(SharingStableDispatcher(options, FromConfig{}).name(), "STD-T");
 }
 
 TEST(SharingStableDispatcher, EmitsGroupRoutesWithOriginalIds) {
@@ -125,7 +125,7 @@ TEST(SharingStableDispatcher, EmitsGroupRoutesWithOriginalIds) {
 
   SharingStableDispatcherOptions options;
   options.params.grouping.detour_threshold_km = 5.0;
-  SharingStableDispatcher dispatcher(options);
+  SharingStableDispatcher dispatcher(options, FromConfig{});
   const auto assignments = dispatcher.dispatch(frame.context());
   ASSERT_EQ(assignments.size(), 1u);
   EXPECT_EQ(assignments[0].taxi, 7);
@@ -140,7 +140,7 @@ TEST(SharingStableDispatcher, CandidateCapKeepsAssignmentsValid) {
   const Frame frame = random_frame(rng, 12, 15);
   SharingStableDispatcherOptions options;
   options.params.candidate_taxis_per_unit = 3;
-  SharingStableDispatcher dispatcher(options);
+  SharingStableDispatcher dispatcher(options, FromConfig{});
   const auto assignments = dispatcher.dispatch(frame.context());
   std::vector<int> taxi_used(frame.taxis.size(), 0);
   for (const auto& assignment : assignments) {

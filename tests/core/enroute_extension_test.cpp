@@ -40,10 +40,10 @@ SharingStableDispatcherOptions extended_options() {
 }
 
 TEST(EnrouteExtension, NameGainsAPlus) {
-  EXPECT_EQ(SharingStableDispatcher(extended_options()).name(), "STD-P+");
+  EXPECT_EQ(SharingStableDispatcher(extended_options(), FromConfig{}).name(), "STD-P+");
   SharingStableDispatcherOptions options = extended_options();
   options.enroute_extension = false;
-  EXPECT_EQ(SharingStableDispatcher(options).name(), "STD-P");
+  EXPECT_EQ(SharingStableDispatcher(options, FromConfig{}).name(), "STD-P");
 }
 
 TEST(EnrouteExtension, UnservedRequestJoinsABusyTaxi) {
@@ -60,9 +60,9 @@ TEST(EnrouteExtension, UnservedRequestJoinsABusyTaxi) {
 
   SharingStableDispatcherOptions plain = extended_options();
   plain.enroute_extension = false;
-  EXPECT_TRUE(SharingStableDispatcher(plain).dispatch(context).empty());
+  EXPECT_TRUE(SharingStableDispatcher(plain, FromConfig{}).dispatch(context).empty());
 
-  SharingStableDispatcher extended(extended_options());
+  SharingStableDispatcher extended(extended_options(), FromConfig{});
   const auto assignments = extended.dispatch(context);
   ASSERT_EQ(assignments.size(), 1u);
   EXPECT_EQ(assignments[0].taxi, 0);
@@ -88,7 +88,7 @@ TEST(EnrouteExtension, DriverRefusesAMoneyLosingInsertion) {
   context.pending = pending;
   context.oracle = &kOracle;
 
-  SharingStableDispatcher extended(extended_options());
+  SharingStableDispatcher extended(extended_options(), FromConfig{});
   EXPECT_TRUE(extended.dispatch(context).empty());
 }
 
@@ -106,7 +106,7 @@ TEST(EnrouteExtension, OnboardRiderDetourBoundBlocksInsertion) {
 
   SharingStableDispatcherOptions options = extended_options();
   options.params.grouping.detour_threshold_km = 5.0;
-  SharingStableDispatcher extended(options);
+  SharingStableDispatcher extended(options, FromConfig{});
   // Detour for onboard rider 90: route must pass (7,8)->(7,28) before
   // (12,0): ride inflates far beyond 5 km.
   EXPECT_TRUE(extended.dispatch(context).empty());
@@ -129,11 +129,11 @@ TEST(EnrouteExtension, RunsInsideTheSimulator) {
 
   SharingStableDispatcherOptions plain = extended_options();
   plain.enroute_extension = false;
-  SharingStableDispatcher plain_dispatcher(plain);
+  SharingStableDispatcher plain_dispatcher(plain, FromConfig{});
   sim::Simulator plain_sim(city, fleet, kOracle, config);
   const auto plain_report = plain_sim.run(plain_dispatcher);
 
-  SharingStableDispatcher extended_dispatcher(extended_options());
+  SharingStableDispatcher extended_dispatcher(extended_options(), FromConfig{});
   sim::Simulator extended_sim(city, fleet, kOracle, config);
   const auto extended_report = extended_sim.run(extended_dispatcher);
 

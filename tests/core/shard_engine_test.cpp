@@ -1,0 +1,356 @@
+// Differential proof obligations for the component-sharded engine
+// (core/shard_engine.h): on every geometry the sharded path must be
+// bit-identical to the serial pass it replaces — for both proposal
+// sides, for the NSTD-T enumeration path, and end to end through all
+// four stable dispatchers.
+#include "core/shard_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/all_stable.h"
+#include "core/dispatchers.h"
+#include "core/preferences.h"
+#include "core/selectors.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace o2o::core {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+struct Frame {
+  std::vector<trace::Taxi> taxis;
+  std::vector<trace::Request> requests;
+
+  sim::DispatchContext context() const {
+    sim::DispatchContext ctx;
+    ctx.idle_taxis = taxis;
+    ctx.pending = requests;
+    ctx.oracle = &kOracle;
+    return ctx;
+  }
+};
+
+void add_point(Frame& frame, Rng& rng, geo::Point center, double spread_km,
+               bool taxi) {
+  const geo::Point at{center.x + rng.uniform(-spread_km, spread_km),
+                      center.y + rng.uniform(-spread_km, spread_km)};
+  if (taxi) {
+    frame.taxis.push_back({static_cast<trace::TaxiId>(frame.taxis.size()), at, 4});
+  } else {
+    trace::Request request;
+    request.id = static_cast<trace::RequestId>(500 + frame.requests.size());
+    request.pickup = at;
+    request.dropoff = {at.x + rng.uniform(-4.0, 4.0), at.y + rng.uniform(-4.0, 4.0)};
+    frame.requests.push_back(request);
+  }
+}
+
+/// Uniform box: a mix of component sizes once thresholds are finite.
+Frame random_frame(Rng& rng, std::size_t taxis, std::size_t requests,
+                   double extent_km = 30.0) {
+  Frame frame;
+  for (std::size_t t = 0; t < taxis; ++t) {
+    add_point(frame, rng, {extent_km / 2, extent_km / 2}, extent_km / 2, true);
+  }
+  for (std::size_t r = 0; r < requests; ++r) {
+    add_point(frame, rng, {extent_km / 2, extent_km / 2}, extent_km / 2, false);
+  }
+  return frame;
+}
+
+/// Well-separated neighbourhoods: guarantees many components under a
+/// finite passenger threshold (no cross-cluster pair is acceptable).
+Frame clustered_frame(Rng& rng, std::size_t clusters, std::size_t taxis_per,
+                      std::size_t requests_per) {
+  Frame frame;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const geo::Point center{100.0 * static_cast<double>(c), 0.0};
+    for (std::size_t t = 0; t < taxis_per; ++t) add_point(frame, rng, center, 1.5, true);
+    for (std::size_t r = 0; r < requests_per; ++r) {
+      add_point(frame, rng, center, 1.5, false);
+    }
+  }
+  return frame;
+}
+
+/// Everything inside one tight box: a single giant component.
+Frame giant_frame(Rng& rng, std::size_t taxis, std::size_t requests) {
+  return random_frame(rng, taxis, requests, 2.0);
+}
+
+PreferenceParams finite_params() {
+  PreferenceParams params;
+  params.passenger_threshold_km = 6.0;
+  params.taxi_threshold_score = 3.0;
+  return params;
+}
+
+PreferenceProfile profile_of(const Frame& frame, const PreferenceParams& params) {
+  return build_nonsharing_profile(frame.taxis, frame.requests, kOracle, params);
+}
+
+void expect_equal(const Matching& a, const Matching& b, const char* what) {
+  EXPECT_EQ(a.request_to_taxi, b.request_to_taxi) << what;
+  EXPECT_EQ(a.taxi_to_request, b.taxi_to_request) << what;
+}
+
+TEST(ExtractComponents, PartitionIsOrderedDisjointAndClosed) {
+  Rng rng(7);
+  const Frame frame = clustered_frame(rng, 4, 3, 4);
+  const PreferenceProfile profile = profile_of(frame, finite_params());
+  const ComponentPartition partition = extract_components(profile);
+
+  ASSERT_GE(partition.components.size(), 4u);  // no cross-cluster edges
+  std::vector<int> request_owner(profile.request_count(), -1);
+  std::vector<int> taxi_owner(profile.taxi_count(), -1);
+  std::size_t largest = 0;
+  int previous_front = -1;
+  for (std::size_t c = 0; c < partition.components.size(); ++c) {
+    const ShardComponent& component = partition.components[c];
+    ASSERT_FALSE(component.requests.empty());  // bipartite: every component has one
+    // Merge order: components sorted by smallest member request id, and
+    // member lists ascending.
+    EXPECT_GT(component.requests.front(), previous_front);
+    previous_front = component.requests.front();
+    for (std::size_t i = 1; i < component.requests.size(); ++i) {
+      EXPECT_LT(component.requests[i - 1], component.requests[i]);
+    }
+    for (std::size_t i = 1; i < component.taxis.size(); ++i) {
+      EXPECT_LT(component.taxis[i - 1], component.taxis[i]);
+    }
+    for (const int r : component.requests) {
+      EXPECT_EQ(request_owner[static_cast<std::size_t>(r)], -1);  // disjoint
+      request_owner[static_cast<std::size_t>(r)] = static_cast<int>(c);
+    }
+    for (const int t : component.taxis) {
+      EXPECT_EQ(taxi_owner[static_cast<std::size_t>(t)], -1);
+      taxi_owner[static_cast<std::size_t>(t)] = static_cast<int>(c);
+    }
+    largest = std::max(largest, component.requests.size());
+  }
+  EXPECT_EQ(partition.largest_component_requests, largest);
+
+  // Closure: every listed pair stays inside one component, and agents in
+  // no component are exactly those with empty lists on both sides.
+  std::size_t isolated_requests = 0, isolated_taxis = 0;
+  for (std::size_t r = 0; r < profile.request_count(); ++r) {
+    for (const int t : profile.request_list(r)) {
+      EXPECT_EQ(request_owner[r], taxi_owner[static_cast<std::size_t>(t)]);
+    }
+    if (request_owner[r] == -1) {
+      EXPECT_TRUE(profile.request_list(r).empty());
+      ++isolated_requests;
+    }
+  }
+  for (std::size_t t = 0; t < profile.taxi_count(); ++t) {
+    if (taxi_owner[t] == -1) {
+      EXPECT_TRUE(profile.taxi_list(t).empty());
+      ++isolated_taxis;
+    }
+  }
+  EXPECT_EQ(partition.isolated_requests, isolated_requests);
+  EXPECT_EQ(partition.isolated_taxis, isolated_taxis);
+}
+
+TEST(ExtractComponents, GiantFrameCollapsesToOneComponent) {
+  Rng rng(8);
+  const Frame frame = giant_frame(rng, 8, 10);
+  const PreferenceProfile profile = profile_of(frame, PreferenceParams{});
+  const ComponentPartition partition = extract_components(profile);
+  ASSERT_EQ(partition.components.size(), 1u);
+  EXPECT_EQ(partition.components[0].requests.size(), 10u);
+  EXPECT_EQ(partition.components[0].taxis.size(), 8u);
+  EXPECT_EQ(partition.isolated_requests, 0u);
+  EXPECT_EQ(partition.isolated_taxis, 0u);
+}
+
+TEST(ShardedGaleShapley, MatchesSerialAcrossGeometriesAndSides) {
+  Rng rng(21);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Frame frames[] = {random_frame(rng, 10, 14), clustered_frame(rng, 3, 4, 5),
+                            giant_frame(rng, 7, 9)};
+    for (const Frame& frame : frames) {
+      const PreferenceProfile profile = profile_of(frame, finite_params());
+      expect_equal(gale_shapley_requests(profile),
+                   sharded_gale_shapley(profile, ProposalSide::kPassengers),
+                   "passenger side");
+      expect_equal(gale_shapley_taxis(profile),
+                   sharded_gale_shapley(profile, ProposalSide::kTaxis), "taxi side");
+    }
+  }
+}
+
+TEST(ShardedEnumeration, MatchesTheSerialTaxiOptimalPath) {
+  Rng rng(22);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Frame frames[] = {random_frame(rng, 8, 10), clustered_frame(rng, 3, 3, 4),
+                            giant_frame(rng, 6, 7)};
+    for (const Frame& frame : frames) {
+      const PreferenceProfile profile = profile_of(frame, finite_params());
+      for (const std::size_t cap : {std::size_t{512}, std::size_t{1}}) {
+        AllStableOptions options;
+        options.max_matchings = cap;
+        const AllStableResult all = enumerate_all_stable(profile, options);
+        const Matching serial = all.truncated
+                                    ? gale_shapley_taxis(profile)
+                                    : select_taxi_optimal(all.matchings, profile);
+        expect_equal(serial, sharded_taxi_optimal_via_enumeration(profile, cap),
+                     "enumeration path");
+      }
+    }
+  }
+}
+
+TEST(ShardedGaleShapley, EmptyFramesComeBackAllDummy) {
+  const PreferenceProfile no_requests = PreferenceProfile::from_scores({}, {}, 5);
+  for (const ProposalSide side : {ProposalSide::kPassengers, ProposalSide::kTaxis}) {
+    const Matching matching = sharded_gale_shapley(no_requests, side);
+    EXPECT_TRUE(matching.request_to_taxi.empty());
+    EXPECT_EQ(matching.taxi_to_request, (std::vector<int>(5, kDummy)));
+  }
+
+  const PreferenceProfile no_taxis = PreferenceProfile::from_scores(
+      std::vector<std::vector<double>>(3), std::vector<std::vector<double>>(3), 0);
+  for (const ProposalSide side : {ProposalSide::kPassengers, ProposalSide::kTaxis}) {
+    const Matching matching = sharded_gale_shapley(no_taxis, side);
+    EXPECT_EQ(matching.request_to_taxi, (std::vector<int>(3, kDummy)));
+    EXPECT_TRUE(matching.taxi_to_request.empty());
+  }
+  expect_equal(sharded_taxi_optimal_via_enumeration(no_requests, 512),
+               gale_shapley_taxis(no_requests), "enumeration, zero requests");
+  expect_equal(sharded_taxi_optimal_via_enumeration(no_taxis, 512),
+               gale_shapley_taxis(no_taxis), "enumeration, zero taxis");
+}
+
+TEST(ShardedGaleShapley, SerialFallbackKnobChangesNothing) {
+  Rng rng(23);
+  const PreferenceProfile profile =
+      profile_of(clustered_frame(rng, 3, 4, 5), finite_params());
+  ShardOptions serial;
+  serial.parallel = false;
+  for (const ProposalSide side : {ProposalSide::kPassengers, ProposalSide::kTaxis}) {
+    expect_equal(sharded_gale_shapley(profile, side, serial),
+                 sharded_gale_shapley(profile, side), "parallel knob");
+  }
+  expect_equal(sharded_taxi_optimal_via_enumeration(profile, 512, serial),
+               sharded_taxi_optimal_via_enumeration(profile, 512),
+               "parallel knob, enumeration");
+}
+
+TEST(ShardedGaleShapley, DeterministicMergeCannotBeDisabled) {
+  Rng rng(24);
+  const PreferenceProfile profile = profile_of(random_frame(rng, 4, 4), finite_params());
+  ShardOptions options;
+  options.deterministic_merge = false;
+  EXPECT_THROW(sharded_gale_shapley(profile, ProposalSide::kPassengers, options),
+               ContractViolation);
+  EXPECT_THROW(sharded_taxi_optimal_via_enumeration(profile, 512, options),
+               ContractViolation);
+}
+
+TEST(RestrictProfile, IsExactlyTheGlobalProfileRenamed) {
+  Rng rng(25);
+  const PreferenceProfile profile =
+      profile_of(clustered_frame(rng, 3, 4, 5), finite_params());
+  const ComponentPartition partition = extract_components(profile);
+  ASSERT_GE(partition.components.size(), 3u);
+  for (const ShardComponent& component : partition.components) {
+    const PreferenceProfile sub =
+        restrict_profile(profile, component.requests, component.taxis);
+    ASSERT_EQ(sub.request_count(), component.requests.size());
+    ASSERT_EQ(sub.taxi_count(), component.taxis.size());
+    for (std::size_t lr = 0; lr < sub.request_count(); ++lr) {
+      const std::size_t gr = static_cast<std::size_t>(component.requests[lr]);
+      const std::vector<int>& global_list = profile.request_list(gr);
+      const std::vector<int>& local_list = sub.request_list(lr);
+      ASSERT_EQ(local_list.size(), global_list.size());
+      for (std::size_t i = 0; i < local_list.size(); ++i) {
+        // Same taxi (renamed), same score, same rank position.
+        const std::size_t gt =
+            static_cast<std::size_t>(component.taxis[local_list[i]]);
+        EXPECT_EQ(static_cast<int>(gt), global_list[i]);
+        EXPECT_EQ(sub.passenger_score(lr, static_cast<std::size_t>(local_list[i])),
+                  profile.passenger_score(gr, gt));
+      }
+    }
+    for (std::size_t lt = 0; lt < sub.taxi_count(); ++lt) {
+      const std::size_t gt = static_cast<std::size_t>(component.taxis[lt]);
+      const std::vector<int>& global_list = profile.taxi_list(gt);
+      const std::vector<int>& local_list = sub.taxi_list(lt);
+      ASSERT_EQ(local_list.size(), global_list.size());
+      for (std::size_t i = 0; i < local_list.size(); ++i) {
+        const std::size_t gr =
+            static_cast<std::size_t>(component.requests[local_list[i]]);
+        EXPECT_EQ(static_cast<int>(gr), global_list[i]);
+        EXPECT_EQ(sub.taxi_score(lt, static_cast<std::size_t>(local_list[i])),
+                  profile.taxi_score(gt, gr));
+      }
+    }
+  }
+}
+
+std::vector<sim::DispatchAssignment> run_dispatcher(const Frame& frame,
+                                                    StableDispatcherOptions options,
+                                                    bool parallel) {
+  options.sharding.parallel = parallel;
+  StableDispatcher dispatcher(std::move(options), FromConfig{});
+  return dispatcher.dispatch(frame.context());
+}
+
+std::vector<sim::DispatchAssignment> run_dispatcher(
+    const Frame& frame, SharingStableDispatcherOptions options, bool parallel) {
+  options.params.sharding.parallel = parallel;
+  SharingStableDispatcher dispatcher(std::move(options), FromConfig{});
+  return dispatcher.dispatch(frame.context());
+}
+
+void expect_same_assignments(const std::vector<sim::DispatchAssignment>& a,
+                             const std::vector<sim::DispatchAssignment>& b,
+                             const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].taxi, b[i].taxi) << what;
+    EXPECT_EQ(a[i].requests, b[i].requests) << what;
+    ASSERT_EQ(a[i].route.stops.size(), b[i].route.stops.size()) << what;
+    for (std::size_t s = 0; s < a[i].route.stops.size(); ++s) {
+      EXPECT_EQ(a[i].route.stops[s].request, b[i].route.stops[s].request) << what;
+      EXPECT_EQ(a[i].route.stops[s].is_pickup, b[i].route.stops[s].is_pickup) << what;
+    }
+  }
+}
+
+TEST(Dispatchers, AllFourAgreeShardedVersusSerialEndToEnd) {
+  Rng rng(26);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Frame frames[] = {random_frame(rng, 9, 12), clustered_frame(rng, 3, 3, 4),
+                            giant_frame(rng, 6, 8)};
+    for (const Frame& frame : frames) {
+      StableDispatcherOptions nstd_p;
+      nstd_p.preference = finite_params();
+      StableDispatcherOptions nstd_t = nstd_p;
+      nstd_t.side = ProposalSide::kTaxis;
+      nstd_t.taxi_side_via_enumeration = true;
+      SharingStableDispatcherOptions std_p;
+      std_p.params.preference = finite_params();
+      SharingStableDispatcherOptions std_t = std_p;
+      std_t.params.side = ProposalSide::kTaxis;
+
+      expect_same_assignments(run_dispatcher(frame, nstd_p, true),
+                              run_dispatcher(frame, nstd_p, false), "NSTD-P");
+      expect_same_assignments(run_dispatcher(frame, nstd_t, true),
+                              run_dispatcher(frame, nstd_t, false), "NSTD-T");
+      expect_same_assignments(run_dispatcher(frame, std_p, true),
+                              run_dispatcher(frame, std_p, false), "STD-P");
+      expect_same_assignments(run_dispatcher(frame, std_t, true),
+                              run_dispatcher(frame, std_t, false), "STD-T");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace o2o::core

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <set>
+#include <utility>
+#include <vector>
 
+#include "core/shard_engine.h"
+#include "util/contracts.h"
 #include "util/rng.h"
 
 namespace o2o::core {
@@ -107,6 +112,68 @@ TEST(TieBreakGs, EveryRandomTieBreakIsWeaklyStable) {
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
       const Matching matching = gale_shapley_requests(break_ties(scores, seed));
       EXPECT_TRUE(is_weakly_stable(scores, matching)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(BreakTies, RejectsScoreGapsInsideTheJitterSpan) {
+  // Two *distinct* scores closer together than the jitter span violate
+  // the determinism contract: the perturbation could flip a genuine
+  // preference, so break_ties must refuse rather than silently produce
+  // a draw-dependent profile.
+  TiedScores scores = all_tied(1, 2);
+  scores.passenger[0][1] = 1.0 + 5e-10;
+  EXPECT_THROW(break_ties(scores, 1), ContractViolation);
+}
+
+TEST(DeterminismContract, ShardedMergeIsStableUnderRequestRelabeling) {
+  // The cross-component determinism contract (ties.h): on a strict
+  // profile, the sharded engine's merge -- components ordered by their
+  // smallest member request id -- must agree with the serial run under
+  // *any* labeling of the requests. Relabeling permutes the matching
+  // row-for-row without changing a single matched pair.
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t requests = 4 + rng.uniform_index(6);
+    const std::size_t taxis = 4 + rng.uniform_index(6);
+    std::vector<std::vector<double>> passenger(requests, std::vector<double>(taxis));
+    std::vector<std::vector<double>> taxi(requests, std::vector<double>(taxis));
+    for (std::size_t r = 0; r < requests; ++r) {
+      for (std::size_t t = 0; t < taxis; ++t) {
+        // Continuous scores: strict preferences with probability one.
+        passenger[r][t] = rng.bernoulli(0.3) ? kUnacceptable : rng.uniform(0.0, 100.0);
+        taxi[r][t] = rng.bernoulli(0.3) ? kUnacceptable : rng.uniform(0.0, 100.0);
+      }
+    }
+    const PreferenceProfile profile =
+        PreferenceProfile::from_scores(passenger, taxi, taxis);
+    const Matching serial = gale_shapley_requests(profile);
+    const Matching sharded = sharded_gale_shapley(profile, ProposalSide::kPassengers);
+    EXPECT_EQ(serial.request_to_taxi, sharded.request_to_taxi) << "trial " << trial;
+
+    // Relabel: request i of the permuted instance is request perm[i] of
+    // the original.
+    std::vector<std::size_t> perm(requests);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    for (std::size_t i = requests; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.uniform_index(i)]);
+    }
+    std::vector<std::vector<double>> passenger_perm(requests);
+    std::vector<std::vector<double>> taxi_perm(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      passenger_perm[i] = passenger[perm[i]];
+      taxi_perm[i] = taxi[perm[i]];
+    }
+    const PreferenceProfile relabeled =
+        PreferenceProfile::from_scores(passenger_perm, taxi_perm, taxis);
+    const Matching serial_perm = gale_shapley_requests(relabeled);
+    const Matching sharded_perm =
+        sharded_gale_shapley(relabeled, ProposalSide::kPassengers);
+    EXPECT_EQ(serial_perm.request_to_taxi, sharded_perm.request_to_taxi)
+        << "trial " << trial;
+    for (std::size_t i = 0; i < requests; ++i) {
+      EXPECT_EQ(sharded_perm.request_to_taxi[i], serial.request_to_taxi[perm[i]])
+          << "trial " << trial << " request " << i;
     }
   }
 }

@@ -53,7 +53,7 @@ TEST(EmptyFrame, StableDispatchersSurviveEmptyTraceThroughSimulatorRun) {
        {core::ProposalSide::kPassengers, core::ProposalSide::kTaxis}) {
     core::StableDispatcherOptions options;
     options.side = side;
-    core::StableDispatcher dispatcher(options);
+    core::StableDispatcher dispatcher(options, core::FromConfig{});
     sim::Simulator simulator(empty_trace, small_fleet(4), kOracle);
     const sim::SimulationReport report = simulator.run(dispatcher);
     EXPECT_EQ(report.served, 0u);
@@ -66,7 +66,7 @@ TEST(EmptyFrame, StableDispatchersSurviveEmptyTraceThroughSimulatorRun) {
 TEST(EmptyFrame, SharingDispatcherSurvivesEmptyTraceThroughSimulatorRun) {
   const trace::Trace empty_trace("empty", kRegion, {});
   core::SharingStableDispatcherOptions options;
-  core::SharingStableDispatcher dispatcher(options);
+  core::SharingStableDispatcher dispatcher(options, core::FromConfig{});
   sim::Simulator simulator(empty_trace, small_fleet(3), kOracle);
   const sim::SimulationReport report = simulator.run(dispatcher);
   EXPECT_EQ(report.served, 0u);
@@ -82,14 +82,14 @@ TEST(EmptyFrame, EmptyFleetLeavesEveryRequestUnserved) {
        {core::ProposalSide::kPassengers, core::ProposalSide::kTaxis}) {
     core::StableDispatcherOptions options;
     options.side = side;
-    core::StableDispatcher dispatcher(options);
+    core::StableDispatcher dispatcher(options, core::FromConfig{});
     sim::Simulator simulator(trace, {}, kOracle, config);
     const sim::SimulationReport report = simulator.run(dispatcher);
     EXPECT_EQ(report.served, 0u);
     EXPECT_EQ(report.cancelled, 3u);
   }
   core::SharingStableDispatcherOptions sharing_options;
-  core::SharingStableDispatcher sharing(sharing_options);
+  core::SharingStableDispatcher sharing(sharing_options, core::FromConfig{});
   sim::Simulator simulator(trace, {}, kOracle, config);
   const sim::SimulationReport report = simulator.run(sharing);
   EXPECT_EQ(report.served, 0u);

@@ -116,7 +116,7 @@ TEST(Integration, StableDispatchImprovesTaxiDissatisfaction) {
 
   core::StableDispatcherOptions nstd;
   nstd.preference = tuned_preferences();
-  core::StableDispatcher stable(nstd);
+  core::StableDispatcher stable(nstd, core::FromConfig{});
   baselines::NonSharingBaseline greedy(baselines::NonSharingPolicy::kGreedy);
 
   Simulator sim_a(city, fleet, kOracle, config());
@@ -133,7 +133,7 @@ TEST(Integration, SharingDispatchersActuallyShare) {
   const trace::Trace city = small_city_trace();
   core::SharingStableDispatcherOptions options;
   options.params.preference = tuned_preferences();
-  core::SharingStableDispatcher dispatcher(options);
+  core::SharingStableDispatcher dispatcher(options, core::FromConfig{});
   Simulator simulator(city, small_fleet(15), kOracle, config());
   const SimulationReport report = simulator.run(dispatcher);
   EXPECT_GT(report.shared_rides, 0u);
@@ -144,7 +144,7 @@ TEST(Integration, MoreTaxisReduceDispatchDelay) {
   const trace::Trace city = small_city_trace();
   core::StableDispatcherOptions nstd;
   nstd.preference = tuned_preferences();
-  core::StableDispatcher dispatcher(nstd);
+  core::StableDispatcher dispatcher(nstd, core::FromConfig{});
 
   Simulator scarce(city, small_fleet(8), kOracle, config());
   Simulator plentiful(city, small_fleet(60), kOracle, config());
