@@ -7,15 +7,23 @@
 // Run with --quick for the CI smoke subset: the dense city-scale
 // reference arms (minutes of single-iteration work) are filtered out and
 // the measurement time per benchmark is cut down.
+// `--frames N` switches to the perturbed-frame mode: consecutive frames
+// with `--churn X` request churn (default 0.15) share one GroupCache,
+// reporting the cold (first) frame against the warm mean -- the
+// cross-frame persistence numbers in EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/sharing.h"
 #include "obs/obs.h"
+#include "packing/group_enum.h"
 #include "packing/groups.h"
 #include "packing/set_packing.h"
 #include "routing/optimizer.h"
@@ -300,6 +308,81 @@ BENCHMARK(BM_CitySharingFrameDense)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Perturbed-frame mode (--frames N): the simulator's steady state, where
+// consecutive frames mostly overlap. Frame 0 enumerates cold; each later
+// frame drops a `--churn` fraction of the requests (preserving order,
+// like the FIFO pending queue), edits one rider in place, appends fresh
+// arrivals, and
+// re-enumerates against the same GroupCache. Warm frames replay most
+// pair/triple verdicts instead of re-running optimal_route.
+
+std::vector<trace::Request> perturb_frame(std::vector<trace::Request> requests,
+                                          Rng& rng, trace::RequestId& next_id,
+                                          double extent_km, double churn_rate) {
+  std::vector<trace::Request> next;
+  next.reserve(requests.size());
+  for (const trace::Request& request : requests) {
+    if (rng.uniform(0.0, 1.0) >= churn_rate) next.push_back(request);
+  }
+  if (!next.empty()) next.front().pickup.x += 0.05;
+  const std::size_t arrivals = requests.size() - next.size();
+  for (std::size_t added = 0; added < arrivals; ++added) {
+    trace::Request request;
+    request.id = next_id++;
+    request.pickup = {rng.uniform(0.0, extent_km), rng.uniform(0.0, extent_km)};
+    const double angle = rng.uniform(0.0, 6.283185307179586);
+    const double trip = rng.uniform(1.0, 4.0);
+    request.dropoff = {request.pickup.x + trip * std::cos(angle),
+                       request.pickup.y + trip * std::sin(angle)};
+    next.push_back(request);
+  }
+  return next;
+}
+
+int run_frames_mode(int frames, bool quick, double churn_rate) {
+  constexpr double kExtentKm = 40.0;
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{500} : std::vector<std::size_t>{1000, 2000, 5000};
+  std::printf("Perturbed-frame enumeration (~%.0f%% churn/frame, persistent GroupCache)\n",
+              churn_rate * 100.0);
+  std::printf("%-10s %-8s %-12s %-12s %-10s %-14s %-8s\n", "requests", "frames",
+              "cold_ms", "warm_mean", "hits", "revalidations", "groups");
+  for (const std::size_t size : sizes) {
+    auto requests = make_city_requests(size, 29);
+    const packing::GroupOptions options = city_group_options(true);
+    packing::GroupCache cache;
+    Rng churn(31);
+    trace::RequestId next_id = static_cast<trace::RequestId>(size);
+    double cold_ms = 0.0;
+    double warm_total_ms = 0.0;
+    std::size_t groups = 0;
+    for (int frame = 0; frame < frames; ++frame) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto enumerated =
+          packing::enumerate_share_groups(requests, kOracle, options, 4, &cache);
+      const double ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                    start)
+              .count();
+      groups = enumerated.size();
+      if (frame == 0) {
+        cold_ms = ms;
+      } else {
+        warm_total_ms += ms;
+      }
+      requests = perturb_frame(std::move(requests), churn, next_id, kExtentKm, churn_rate);
+    }
+    const double warm_mean =
+        frames > 1 ? warm_total_ms / static_cast<double>(frames - 1) : 0.0;
+    std::printf("%-10zu %-8d %-12.2f %-12.2f %-10llu %-14llu %-8zu\n", size, frames,
+                cold_ms, warm_mean,
+                static_cast<unsigned long long>(cache.stats().hits),
+                static_cast<unsigned long long>(cache.stats().stores), groups);
+  }
+  return 0;
+}
+
 }  // namespace
 
 // Custom main: `--quick` rewrites the flag set for the CI smoke run --
@@ -307,15 +390,35 @@ BENCHMARK(BM_CitySharingFrameDense)
 // 5000-request pruned arm, at a reduced per-benchmark measurement time.
 int main(int argc, char** argv) {
   bool quick = false;
+  int frames = 0;
+  double churn_rate = 0.15;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc) + 2);
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--quick") {
+    const std::string_view arg(argv[i]);
+    if (arg == "--quick") {
       quick = true;
+      continue;
+    }
+    if (arg == "--frames" && i + 1 < argc) {
+      frames = std::atoi(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--frames=", 0) == 0) {
+      frames = std::atoi(argv[i] + 9);
+      continue;
+    }
+    if (arg == "--churn" && i + 1 < argc) {
+      churn_rate = std::atof(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--churn=", 0) == 0) {
+      churn_rate = std::atof(argv[i] + 8);
       continue;
     }
     args.push_back(argv[i]);
   }
+  if (frames > 0) return run_frames_mode(frames, quick, churn_rate);
   static std::string filter =
       "--benchmark_filter=-BM_City.*Dense.*|BM_CityEnumerationPruned/5000";
   static std::string min_time = "--benchmark_min_time=0.05";

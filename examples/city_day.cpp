@@ -3,12 +3,16 @@
 // cancellation-timeout ablations DESIGN.md calls out.
 //
 //   ./build/examples/city_day [taxis] [rate_scale] [seed] \
-//       [--trace-json=FILE] [--trace-csv=FILE] [--trace-summary]
+//       [--trace-json=FILE] [--trace-csv=FILE] [--trace-summary] [--sharing]
 //
 // The trace flags run the headline stable dispatch with a TraceSink
 // attached and export the per-frame observability records (stage
 // timings, counters, gauge peaks) as JSON / CSV, or print the
-// human-readable per-stage summary table.
+// human-readable per-stage summary table. `--sharing` swaps the headline
+// run to the ride-sharing stable dispatcher, which exercises the group
+// enumeration pipeline and so populates its counters (cone_rejects,
+// simd_batches, simd_batch_occupancy, cache_hits, cache_revalidations)
+// in the summary.
 //
 // Prints a per-3-hour table (the Fig. 7 view) and an ablation of the
 // batching interval.
@@ -75,6 +79,7 @@ int main(int argc, char** argv) {
   std::string trace_json_path;
   std::string trace_csv_path;
   bool trace_summary = false;
+  bool sharing = false;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +88,10 @@ int main(int argc, char** argv) {
     if (parse_option(arg, "--trace-csv", trace_csv_path)) continue;
     if (std::strcmp(arg, "--trace-summary") == 0) {
       trace_summary = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--sharing") == 0) {
+      sharing = true;
       continue;
     }
     switch (positional++) {
@@ -112,7 +121,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seed));
 
   const DispatchConfig config = tuned_config();
-  const auto stable = make_nstd_p(config);
+  const auto stable = sharing ? make_std_p(config) : make_nstd_p(config);
   baselines::NonSharingBaseline greedy(baselines::NonSharingPolicy::kGreedy);
   baselines::NonSharingBaseline min_cost(baselines::NonSharingPolicy::kMinCost);
 

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "util/contracts.h"
 
@@ -101,6 +103,21 @@ DispatchConfig& DispatchConfig::with_require_saving(bool enabled) {
 
 DispatchConfig& DispatchConfig::with_parallel_grouping(bool enabled) {
   params_.grouping.parallel = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_simd_prefilter(bool enabled) {
+  params_.grouping.simd_prefilter = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_direction_cone(bool enabled) {
+  params_.grouping.direction_cone = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_cross_frame_cache(bool enabled) {
+  params_.grouping.cross_frame_cache = enabled;
   return *this;
 }
 
@@ -251,6 +268,15 @@ std::vector<ConfigError> DispatchConfig::validate() const {
   if (params_.taxi_seats < grouping.max_group_size && grouping.max_group_size >= 1) {
     fail(ConfigField::kTaxiSeats,
          "taxi_seats must be >= max_group_size (a group must fit one taxi)");
+  }
+  // 0 is the documented "uncapped" sentinel; a cap beyond any plausible
+  // fleet is almost certainly a negative int cast to size_t (the old
+  // doc's "-1 = all" folklore), which would silently behave as uncapped.
+  if (params_.candidate_taxis_per_unit >
+      static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+    fail(ConfigField::kCandidateTaxisPerUnit,
+         "candidate_taxis_per_unit must be <= 2^32-1; use the sentinel 0 for "
+         "uncapped (a huge value is usually a negative int cast to size_t)");
   }
   if (taxi_side_via_enumeration_ && enumeration_cap_ == 0) {
     fail(ConfigField::kEnumerationCap,

@@ -98,6 +98,11 @@ class DispatchConfig {
   DispatchConfig& with_pickup_radius_km(double km);
   DispatchConfig& with_require_saving(bool enabled);
   DispatchConfig& with_parallel_grouping(bool enabled);
+  /// Engine accelerations of the share-group enumeration (all default
+  /// on; all bit-identical to the serial scan — see GroupOptions).
+  DispatchConfig& with_simd_prefilter(bool enabled);
+  DispatchConfig& with_direction_cone(bool enabled);
+  DispatchConfig& with_cross_frame_cache(bool enabled);
   DispatchConfig& with_packing_solver(core::PackingSolver solver);
   DispatchConfig& with_packing_objective(core::PackingObjective objective);
   DispatchConfig& with_taxi_seats(int seats);

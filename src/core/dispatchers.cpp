@@ -136,7 +136,7 @@ std::vector<sim::DispatchAssignment> SharingStableDispatcher::dispatch(
     }
   } else {
     outcome = dispatch_sharing(context.idle_taxis, context.pending, *context.oracle,
-                               options_.params, context.idle_grid);
+                               options_.params, context.idle_grid, context.group_cache);
   }
 
   std::vector<sim::DispatchAssignment> assignments;

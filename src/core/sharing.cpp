@@ -15,10 +15,11 @@
 namespace o2o::core {
 
 SharingUnits pack_requests(std::span<const trace::Request> requests,
-                           const geo::DistanceOracle& oracle, const SharingParams& params) {
+                           const geo::DistanceOracle& oracle, const SharingParams& params,
+                           packing::GroupCache* group_cache) {
   SharingUnits result;
-  const std::vector<packing::ShareGroup> groups =
-      packing::enumerate_share_groups(requests, oracle, params.grouping, params.taxi_seats);
+  const std::vector<packing::ShareGroup> groups = packing::enumerate_share_groups(
+      requests, oracle, params.grouping, params.taxi_seats, group_cache);
   result.feasible_groups = groups.size();
 
   packing::SetPackingProblem problem;
@@ -105,9 +106,10 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
                                 std::span<const trace::Request> requests,
                                 const geo::DistanceOracle& oracle,
                                 const SharingParams& params,
-                                const index::SpatialGrid* taxi_grid) {
+                                const index::SpatialGrid* taxi_grid,
+                                packing::GroupCache* group_cache) {
   SharingOutcome outcome;
-  SharingUnits units = pack_requests(requests, oracle, params);
+  SharingUnits units = pack_requests(requests, oracle, params, group_cache);
   outcome.packed_groups = units.packed_groups;
   outcome.feasible_groups = units.feasible_groups;
   outcome.exact_fallbacks = units.exact_fallbacks;

@@ -58,7 +58,11 @@ struct SharingParams {
   ProposalSide side = ProposalSide::kPassengers;
   int taxi_seats = 4;                ///< capacity assumed when grouping
   /// Performance cap: evaluate each unit's anchored route against only
-  /// its K nearest taxis (by mean direct pick-up distance); 0 = all.
+  /// its K nearest taxis (by mean direct pick-up distance). 0 means
+  /// *uncapped* (every taxi is a candidate) -- 0 is the only sentinel.
+  /// Beware assigning a negative int: the size_t conversion yields a
+  /// huge "cap" that silently behaves like uncapped;
+  /// DispatchConfig::validate() rejects such values.
   /// Equivalent to capping preference lists -- the matching stays stable
   /// with respect to the truncated profile (ablated in micro benches).
   std::size_t candidate_taxis_per_unit = 0;
@@ -101,9 +105,12 @@ struct SharingUnits {
   std::size_t exact_fallbacks = 0;
 };
 
-/// Stages 1-2 of Algorithm 3: grouping + set packing.
+/// Stages 1-2 of Algorithm 3: grouping + set packing. `group_cache`,
+/// when given (the simulator threads it through DispatchContext), lets
+/// enumeration replay verdicts across consecutive frames.
 SharingUnits pack_requests(std::span<const trace::Request> requests,
-                           const geo::DistanceOracle& oracle, const SharingParams& params);
+                           const geo::DistanceOracle& oracle, const SharingParams& params,
+                           packing::GroupCache* group_cache = nullptr);
 
 /// Full Algorithm 3. With spatial pruning enabled and a finite passenger
 /// threshold, each unit's candidate taxis come from grid radius queries
@@ -113,6 +120,7 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
                                 std::span<const trace::Request> requests,
                                 const geo::DistanceOracle& oracle,
                                 const SharingParams& params,
-                                const index::SpatialGrid* taxi_grid = nullptr);
+                                const index::SpatialGrid* taxi_grid = nullptr,
+                                packing::GroupCache* group_cache = nullptr);
 
 }  // namespace o2o::core

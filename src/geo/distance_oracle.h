@@ -4,6 +4,7 @@
 // shortest-path distances.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
@@ -48,6 +49,27 @@ class DistanceOracle {
     return result;
   }
 
+  /// distances_from writing into a caller-owned row of targets.size()
+  /// doubles — the shape of the allocation-free hot paths (stop tables,
+  /// the SIMD leg gather), which reuse one buffer across thousands of
+  /// rows. Values are exactly distances_from(): the default delegates to
+  /// it (so subclasses overriding only the allocating form stay correct),
+  /// and the in-tree oracles override with the same arithmetic minus the
+  /// allocation.
+  virtual void distances_from_into(const Point& source, std::span<const Point> targets,
+                                   double* out) const {
+    const std::vector<double> row = distances_from(source, targets);
+    std::copy(row.begin(), row.end(), out);
+  }
+
+  /// distances_to writing into a caller-owned row; same contract as
+  /// distances_from_into.
+  virtual void distances_to_into(std::span<const Point> sources, const Point& target,
+                                 double* out) const {
+    const std::vector<double> row = distances_to(sources, target);
+    std::copy(row.begin(), row.end(), out);
+  }
+
   /// Frame-level hint: the given points (typically the frame's idle-taxi
   /// snapshot) are about to appear as endpoints of many queries. Default
   /// no-op; the network oracle warms its snap memo so per-query endpoint
@@ -57,6 +79,12 @@ class DistanceOracle {
   /// Whether distance() may be called from several threads at once.
   /// Oracles with unsynchronized internal caches must return false.
   virtual bool concurrent_queries_safe() const noexcept { return true; }
+
+  /// Whether D(a, b) == D(b, a) bitwise for every pair, letting bulk
+  /// consumers (the share-group leg gather) serve a reverse row from the
+  /// forward one. Metric oracles are symmetric; the network oracle is
+  /// not (one-way streets, directed snapping).
+  virtual bool symmetric_distances() const noexcept { return true; }
 };
 
 /// Straight-line distance (the paper's Euclidean surface).
@@ -65,6 +93,18 @@ class EuclideanOracle final : public DistanceOracle {
   double distance(const Point& a, const Point& b) const override {
     return euclidean_distance(a, b);
   }
+  void distances_from_into(const Point& source, std::span<const Point> targets,
+                           double* out) const override {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      out[i] = euclidean_distance(source, targets[i]);
+    }
+  }
+  void distances_to_into(std::span<const Point> sources, const Point& target,
+                         double* out) const override {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      out[i] = euclidean_distance(sources[i], target);
+    }
+  }
 };
 
 /// Rectilinear (grid street) distance.
@@ -72,6 +112,18 @@ class ManhattanOracle final : public DistanceOracle {
  public:
   double distance(const Point& a, const Point& b) const override {
     return manhattan_distance(a, b);
+  }
+  void distances_from_into(const Point& source, std::span<const Point> targets,
+                           double* out) const override {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      out[i] = manhattan_distance(source, targets[i]);
+    }
+  }
+  void distances_to_into(std::span<const Point> sources, const Point& target,
+                         double* out) const override {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      out[i] = manhattan_distance(sources[i], target);
+    }
   }
 };
 
@@ -85,6 +137,18 @@ class CircuityOracle final : public DistanceOracle {
   }
   double distance(const Point& a, const Point& b) const override {
     return factor_ * euclidean_distance(a, b);
+  }
+  void distances_from_into(const Point& source, std::span<const Point> targets,
+                           double* out) const override {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      out[i] = factor_ * euclidean_distance(source, targets[i]);
+    }
+  }
+  void distances_to_into(std::span<const Point> sources, const Point& target,
+                         double* out) const override {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      out[i] = factor_ * euclidean_distance(sources[i], target);
+    }
   }
   double factor() const noexcept { return factor_; }
 

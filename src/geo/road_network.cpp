@@ -508,41 +508,51 @@ double NetworkOracle::distance(const Point& a, const Point& b) const {
 std::vector<double> NetworkOracle::distances_from(const Point& source,
                                                   std::span<const Point> targets) const {
   std::vector<double> result(targets.size());
-  if (targets.empty()) return result;
-  const NodeId from = snap(source);
-  const double snap_a = euclidean_distance(source, network_.node_position(from));
-  Tree tree_ptr;  // fetched on first use: an all-same-node batch needs no tree
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    const NodeId to = snap(targets[i]);
-    if (from == to) {
-      result[i] = euclidean_distance(source, targets[i]);
-      continue;
-    }
-    if (!tree_ptr) tree_ptr = tree(from, /*reverse=*/false);
-    const double snap_b = euclidean_distance(targets[i], network_.node_position(to));
-    result[i] = snap_a + (*tree_ptr)[static_cast<std::size_t>(to)] + snap_b;
-  }
+  distances_from_into(source, targets, result.data());
   return result;
 }
 
 std::vector<double> NetworkOracle::distances_to(std::span<const Point> sources,
                                                 const Point& target) const {
   std::vector<double> result(sources.size());
-  if (sources.empty()) return result;
+  distances_to_into(sources, target, result.data());
+  return result;
+}
+
+void NetworkOracle::distances_from_into(const Point& source, std::span<const Point> targets,
+                                        double* out) const {
+  if (targets.empty()) return;
+  const NodeId from = snap(source);
+  const double snap_a = euclidean_distance(source, network_.node_position(from));
+  Tree tree_ptr;  // fetched on first use: an all-same-node batch needs no tree
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const NodeId to = snap(targets[i]);
+    if (from == to) {
+      out[i] = euclidean_distance(source, targets[i]);
+      continue;
+    }
+    if (!tree_ptr) tree_ptr = tree(from, /*reverse=*/false);
+    const double snap_b = euclidean_distance(targets[i], network_.node_position(to));
+    out[i] = snap_a + (*tree_ptr)[static_cast<std::size_t>(to)] + snap_b;
+  }
+}
+
+void NetworkOracle::distances_to_into(std::span<const Point> sources, const Point& target,
+                                      double* out) const {
+  if (sources.empty()) return;
   const NodeId to = snap(target);
   const double snap_b = euclidean_distance(target, network_.node_position(to));
   Tree tree_ptr;
   for (std::size_t i = 0; i < sources.size(); ++i) {
     const NodeId from = snap(sources[i]);
     if (from == to) {
-      result[i] = euclidean_distance(sources[i], target);
+      out[i] = euclidean_distance(sources[i], target);
       continue;
     }
     if (!tree_ptr) tree_ptr = tree(to, /*reverse=*/true);
     const double snap_a = euclidean_distance(sources[i], network_.node_position(from));
-    result[i] = snap_a + (*tree_ptr)[static_cast<std::size_t>(from)] + snap_b;
+    out[i] = snap_a + (*tree_ptr)[static_cast<std::size_t>(from)] + snap_b;
   }
-  return result;
 }
 
 void NetworkOracle::prepare_frame(std::span<const Point> points) const {

@@ -176,11 +176,21 @@ class NetworkOracle final : public DistanceOracle {
   std::vector<double> distances_to(std::span<const Point> sources,
                                    const Point& target) const override;
 
+  /// Allocation-free row forms; the allocating overloads above delegate
+  /// here, so the priced values are identical byte for byte.
+  void distances_from_into(const Point& source, std::span<const Point> targets,
+                           double* out) const override;
+  void distances_to_into(std::span<const Point> sources, const Point& target,
+                         double* out) const override;
+
   /// Warms the snap memo (and the lazy snap index) for a frame snapshot.
   void prepare_frame(std::span<const Point> points) const override;
 
   /// Every internal cache is sharded and locked.
   bool concurrent_queries_safe() const noexcept override { return true; }
+
+  /// Directed graph: forward and reverse shortest paths may differ.
+  bool symmetric_distances() const noexcept override { return false; }
 
   /// Total cached trees across shards (forward + reverse). Always
   /// <= cache_capacity(); shards evict their own LRU tail independently.

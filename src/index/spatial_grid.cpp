@@ -49,7 +49,7 @@ SpatialGrid::SpatialGrid(std::span<const trace::Taxi> taxis, double cell_km)
   for (std::size_t i = 0; i < taxis.size(); ++i) {
     const auto key = static_cast<std::int32_t>(i);
     positions_.emplace(key, taxis[i].location);
-    cells_[cell_index(taxis[i].location)].push_back(key);
+    cells_[cell_index(taxis[i].location)].push_back(CellEntry{key, taxis[i].location});
   }
 }
 
@@ -59,7 +59,7 @@ SpatialGrid::SpatialGrid(std::span<const geo::Point> points, double cell_km)
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto key = static_cast<std::int32_t>(i);
     positions_.emplace(key, points[i]);
-    cells_[cell_index(points[i])].push_back(key);
+    cells_[cell_index(points[i])].push_back(CellEntry{key, points[i]});
   }
 }
 
@@ -72,7 +72,9 @@ std::size_t SpatialGrid::cell_index(const geo::Point& p) const noexcept {
 
 void SpatialGrid::erase_from_cell(std::int32_t id, std::size_t cell) {
   auto& bucket = cells_[cell];
-  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                              [id](const CellEntry& e) { return e.id == id; }),
+               bucket.end());
 }
 
 void SpatialGrid::upsert(std::int32_t id, geo::Point position) {
@@ -82,13 +84,20 @@ void SpatialGrid::upsert(std::int32_t id, geo::Point position) {
     const std::size_t old_cell = cell_index(it->second);
     if (old_cell != new_cell) {
       erase_from_cell(id, old_cell);
-      cells_[new_cell].push_back(id);
+      cells_[new_cell].push_back(CellEntry{id, position});
+    } else {
+      for (CellEntry& e : cells_[new_cell]) {
+        if (e.id == id) {
+          e.position = position;
+          break;
+        }
+      }
     }
     it->second = position;
     return;
   }
   positions_.emplace(id, position);
-  cells_[new_cell].push_back(id);
+  cells_[new_cell].push_back(CellEntry{id, position});
 }
 
 void SpatialGrid::remove(std::int32_t id) {
@@ -139,11 +148,11 @@ std::vector<std::int32_t> SpatialGrid::k_nearest(
         const int x = cx + dx;
         const int y = cy + dy;
         if (x < 0 || x >= cols_ || y < 0 || y >= rows_) continue;
-        for (std::int32_t id :
+        for (const CellEntry& e :
              cells_[static_cast<std::size_t>(y) * static_cast<std::size_t>(cols_) +
                     static_cast<std::size_t>(x)]) {
-          if (accept && !accept(id)) continue;
-          found.emplace_back(geo::squared_distance(p, positions_.at(id)), id);
+          if (accept && !accept(e.id)) continue;
+          found.emplace_back(geo::squared_distance(p, e.position), e.id);
         }
       }
     }
@@ -158,8 +167,14 @@ std::vector<std::int32_t> SpatialGrid::k_nearest(
 
 std::vector<std::int32_t> SpatialGrid::within_radius(const geo::Point& p,
                                                      double radius_km) const {
-  O2O_EXPECTS(radius_km >= 0.0);
   std::vector<std::int32_t> ids;
+  within_radius_into(p, radius_km, ids);
+  return ids;
+}
+
+void SpatialGrid::within_radius_into(const geo::Point& p, double radius_km,
+                                     std::vector<std::int32_t>& out) const {
+  O2O_EXPECTS(radius_km >= 0.0);
   const double r_sq = radius_km * radius_km;
   const int lo_x = std::clamp(
       static_cast<int>((p.x - radius_km - bounds_.lo.x) / cell_km_), 0, cols_ - 1);
@@ -171,14 +186,13 @@ std::vector<std::int32_t> SpatialGrid::within_radius(const geo::Point& p,
       static_cast<int>((p.y + radius_km - bounds_.lo.y) / cell_km_), 0, rows_ - 1);
   for (int y = lo_y; y <= hi_y; ++y) {
     for (int x = lo_x; x <= hi_x; ++x) {
-      for (std::int32_t id :
+      for (const CellEntry& e :
            cells_[static_cast<std::size_t>(y) * static_cast<std::size_t>(cols_) +
                   static_cast<std::size_t>(x)]) {
-        if (geo::squared_distance(p, positions_.at(id)) <= r_sq) ids.push_back(id);
+        if (geo::squared_distance(p, e.position) <= r_sq) out.push_back(e.id);
       }
     }
   }
-  return ids;
 }
 
 }  // namespace o2o::index

@@ -55,12 +55,25 @@ class SpatialGrid {
   /// All objects within `radius_km` of `p` (unsorted).
   std::vector<std::int32_t> within_radius(const geo::Point& p, double radius_km) const;
 
+  /// within_radius appending into a caller-owned buffer (not cleared) —
+  /// the share-group enumerator issues one query per request per frame
+  /// and reuses a single buffer across them.
+  void within_radius_into(const geo::Point& p, double radius_km,
+                          std::vector<std::int32_t>& out) const;
+
  private:
+  /// Cells carry the position next to the id so distance checks in the
+  /// query loops are straight array reads (no hash lookup per candidate).
+  struct CellEntry {
+    std::int32_t id;
+    geo::Point position;
+  };
+
   geo::Rect bounds_;
   double cell_km_;
   int cols_;
   int rows_;
-  std::vector<std::vector<std::int32_t>> cells_;
+  std::vector<std::vector<CellEntry>> cells_;
   std::unordered_map<std::int32_t, geo::Point> positions_;
 
   std::size_t cell_index(const geo::Point& p) const noexcept;

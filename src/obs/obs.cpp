@@ -60,6 +60,11 @@ std::string_view counter_name(Counter counter) noexcept {
     case Counter::kEnrouteInsertions: return "enroute_insertions";
     case Counter::kShardComponents: return "shard_components";
     case Counter::kShardFallbacks: return "shard_fallbacks";
+    case Counter::kConeRejects: return "cone_rejects";
+    case Counter::kSimdBatches: return "simd_batches";
+    case Counter::kSimdBatchOccupancy: return "simd_batch_occupancy";
+    case Counter::kGroupCacheHits: return "cache_hits";
+    case Counter::kGroupCacheRevalidations: return "cache_revalidations";
   }
   return "unknown";
 }

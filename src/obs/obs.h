@@ -59,7 +59,7 @@ enum class Counter : std::uint8_t {
   kOracleTreeMisses,     ///< NetworkOracle Dijkstra-tree cache misses
   kSnapHits,             ///< NetworkOracle snap-memo hits
   kSnapMisses,           ///< NetworkOracle snap-memo misses
-  kPairCandidates,       ///< share-pair candidates evaluated
+  kPairCandidates,       ///< share-pair candidates surviving the grid prefilter
   kTripleCandidates,     ///< share-triple candidates evaluated
   kFeasibleGroups,       ///< feasible share groups found (|C|)
   kPackedGroups,         ///< groups selected by set packing
@@ -67,8 +67,13 @@ enum class Counter : std::uint8_t {
   kEnrouteInsertions,    ///< requests served by en-route insertion
   kShardComponents,      ///< candidate-graph components dispatched (sharded engine)
   kShardFallbacks,       ///< sharded calls that took the serial path (parallel=false)
+  kConeRejects,          ///< pair candidates dropped by the direction-cone prune
+  kSimdBatches,          ///< 8-lane SIMD filter batches executed
+  kSimdBatchOccupancy,   ///< lanes occupied across those batches
+  kGroupCacheHits,       ///< group candidates answered from the cross-frame cache
+  kGroupCacheRevalidations,  ///< group candidates exactly re-evaluated and cached
 };
-inline constexpr std::size_t kCounterCount = 19;
+inline constexpr std::size_t kCounterCount = 24;
 
 /// Peak working-set sizes, merged by maximum (within a frame and across
 /// frames in the aggregate view).

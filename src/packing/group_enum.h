@@ -1,0 +1,201 @@
+// The share-group enumeration pipeline's auxiliary machinery (DESIGN.md
+// "Group-enumeration pipeline"): the cross-frame GroupCache plus the
+// conservative candidate filters (direction cone, SIMD pair certificate)
+// the grid-pruned engine in groups.cpp composes. Everything here only
+// ever *drops provably infeasible candidates* or *replays verbatim
+// verdicts*, so the enumeration output stays bit-identical to the serial
+// dense scan no matter which knobs are on.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/distance_oracle.h"
+#include "packing/groups.h"
+#include "routing/route.h"
+#include "trace/request.h"
+
+namespace o2o::packing {
+
+/// Slack absorbing bulk-row-vs-pointwise and hypot-vs-sqrt ulp noise in
+/// the conservative filters, mirroring the grid prefilter's pad. Any
+/// candidate within this margin of a predicate boundary is kept and
+/// resolved by the exact scalar evaluation.
+inline constexpr double kFilterPadKm = 1e-6;
+
+/// Cross-frame memo of exact group evaluations, keyed by the members'
+/// RequestIds in candidate order. Carried on sim::DispatchContext so the
+/// sharing dispatchers re-validate only the delta between consecutive
+/// frames instead of re-running `optimal_route` for every surviving
+/// candidate.
+///
+/// Invalidation invariants (DESIGN.md):
+///   * A hit requires every member's *content stamp* (pickup, dropoff,
+///     seats) to match the stamp recorded at evaluation time; any edit
+///     to a request bumps its stamp in begin_frame and voids its entries.
+///   * A hit requires the members' relative order to match the recorded
+///     order (the key is order-sensitive), because `optimal_route` tie-
+///     breaking depends on rider input order. The simulator's pending
+///     queue is FIFO with order-preserving erases, so persisting requests
+///     never swap order in practice — a swap is a harmless miss.
+///   * Entries are keyed to one (θ, require_saving, max group size,
+///     taxi_seats, oracle) fingerprint; begin_frame flushes everything
+///     when it changes. Taxi *positions* never enter a verdict (only the
+///     capacity constant does), so taxis moving between frames cannot
+///     stale the cache.
+///   * Evaluations are deterministic for fixed member content and
+///     oracle, so replaying a stored verdict (route, lengths, detours)
+///     is bit-identical to re-running evaluate_group.
+///
+/// All methods must be called from the frame-owning thread; the engine
+/// consults the cache strictly before and after its parallel evaluation
+/// section.
+class GroupCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;          ///< candidates answered from the cache
+    std::uint64_t stores = 0;        ///< exact evaluations recorded (revalidations)
+    std::uint64_t invalidated = 0;   ///< entries dropped (content change / GC)
+    std::uint64_t flushes = 0;       ///< full clears (fingerprint change)
+  };
+
+  enum class Verdict : std::uint8_t { kMiss, kFeasible, kInfeasible };
+
+  /// Binds the cache to this frame's request snapshot: bumps the epoch,
+  /// refreshes content stamps, flushes on configuration change, and
+  /// garbage-collects entries unseen for a few frames.
+  void begin_frame(std::span<const trace::Request> requests, const GroupOptions& options,
+                   int taxi_seats, const geo::DistanceOracle* oracle);
+
+  /// Cached verdict for a candidate over the current frame's request
+  /// indices (as passed to begin_frame). On kFeasible, `group` is filled
+  /// exactly as evaluate_group would have produced it.
+  Verdict try_get(const std::size_t* members, std::size_t count, ShareGroup& group);
+
+  /// Records an exact evaluation's verdict; `group` is only read when
+  /// `feasible` (must be the evaluate_group output for these members).
+  void store(const std::size_t* members, std::size_t count, bool feasible,
+             const ShareGroup& group);
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  void clear();
+
+ private:
+  struct Key {
+    std::array<trace::RequestId, 3> ids;  ///< ids[2] == kInvalidRequest for pairs
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+  struct Entry {
+    std::array<std::uint64_t, 3> stamps{};  ///< member content stamps at eval time
+    bool feasible = false;
+    std::uint64_t last_used = 0;
+    // Payload, populated for feasible entries only.
+    routing::Route route;
+    double pooled_length_km = 0.0;
+    double direct_sum_km = 0.0;
+    double max_detour_km = 0.0;
+    std::array<double, 3> member_direct{};
+  };
+  struct IdState {
+    geo::Point pickup;
+    geo::Point dropoff;
+    int seats = 0;
+    std::uint64_t stamp = 0;      ///< bumped whenever the content changes
+    std::uint64_t last_seen = 0;  ///< epoch of the last frame listing the id
+  };
+
+  /// Open-addressing (linear-probe, power-of-two, tombstoned) map from
+  /// Key to Entry. Probing walks a dense key/state pair of arrays; the
+  /// fat entries sit in a parallel array touched only on a key match.
+  /// Semantically a plain hash map — it exists because the warm-frame
+  /// lookup storm (hundreds of thousands of try_get/store calls) spends
+  /// most of its time chasing unordered_map nodes otherwise.
+  class EntryMap {
+   public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    std::size_t find_slot(const Key& key) const;
+    Entry& entry_at(std::size_t slot) { return entries_[slot]; }
+    /// Insert-or-overwrite slot for `key`; returns the entry to fill.
+    Entry& put(const Key& key);
+    void erase_slot(std::size_t slot);
+    /// Drops every entry with last_used + max_age < epoch; returns count.
+    std::size_t sweep(std::uint64_t epoch, std::uint64_t max_age);
+    void clear();
+    std::size_t size() const noexcept { return size_; }
+
+   private:
+    std::vector<Key> keys_;
+    std::vector<std::uint8_t> state_;  ///< 0 empty, 1 full, 2 tombstone
+    std::vector<Entry> entries_;
+    std::size_t size_ = 0;
+    std::size_t tombs_ = 0;
+    std::size_t mask_ = 0;  ///< capacity - 1 (capacity is a power of two)
+
+    void rehash(std::size_t capacity);
+    void reserve_for_insert();
+  };
+
+  Key key_of(const std::size_t* members, std::size_t count) const;
+
+  std::span<const trace::Request> requests_;  ///< valid between begin_frame calls
+  EntryMap entries_;
+  std::unordered_map<trace::RequestId, IdState> ids_;
+  /// Content stamp per current-frame request index, mirrored out of ids_
+  /// in begin_frame so the per-candidate stamp checks in try_get/store
+  /// are array reads instead of hash lookups.
+  std::vector<std::uint64_t> frame_stamps_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t stamp_counter_ = 0;
+  Stats stats_;
+
+  // Frame fingerprint the entries are valid under.
+  double theta_ = 0.0;
+  bool require_saving_ = false;
+  int max_group_size_ = 0;
+  int taxi_seats_ = 0;
+  const geo::DistanceOracle* oracle_ = nullptr;
+  bool bound_ = false;
+};
+
+/// Statistics of one conservative-filter pass (for the obs counters).
+struct FilterStats {
+  std::size_t kept = 0;
+  std::size_t rejected = 0;
+  std::size_t batches = 0;  ///< 8-lane SIMD batches executed
+  std::size_t lanes = 0;    ///< lanes actually occupied across them
+};
+
+/// Direction-cone prune over lexicographically sorted pair keys
+/// ((i << 32) | j): drops pairs for which neither pick-up lies within
+/// the other rider's (direct + θ) ellipse — a necessary condition for a
+/// *saving* pair on any oracle dominating the Euclidean metric (the same
+/// standing assumption as the grid's derived radius). Compacts
+/// `pair_keys` in place, preserving order.
+FilterStats cone_prune_pairs(std::span<const trace::Request> requests,
+                             std::span<const double> direct, double theta,
+                             std::vector<std::uint64_t>& pair_keys);
+
+/// SoA leg gather + SIMD conservative pair certificate over sorted pair
+/// keys: pulls the six cross legs via bulk oracle rows (grouped by the
+/// shared first member, halved for symmetric oracles) and marks
+/// keep[k] = 0 for pairs that provably fail the saving-or-detour
+/// predicates with kFilterPadKm slack. Requires options.require_saving
+/// (the certificate's order restriction rests on it).
+FilterStats simd_prefilter_pairs(std::span<const trace::Request> requests,
+                                 const geo::DistanceOracle& oracle,
+                                 std::span<const double> direct,
+                                 const GroupOptions& options,
+                                 std::span<const std::uint64_t> pair_keys,
+                                 std::vector<std::uint8_t>& keep);
+
+}  // namespace o2o::packing

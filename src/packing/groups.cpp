@@ -8,6 +8,7 @@
 #include "index/spatial_grid.h"
 #include "obs/obs.h"
 #include "packing/bitset.h"
+#include "packing/group_enum.h"
 #include "routing/optimizer.h"
 #include "util/contracts.h"
 #include "util/thread_pool.h"
@@ -38,6 +39,61 @@ void parallel_eval(std::size_t count, const geo::DistanceOracle& oracle,
 
 constexpr std::uint64_t pair_key(std::size_t i, std::size_t j) {
   return (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
+}
+
+/// Per-thread buffers for the engine's exact evaluations: the rider copy
+/// plus the route solver's scratch. Reused across every candidate a
+/// worker touches; the arithmetic is exactly evaluate_group's.
+struct EvalScratch {
+  std::vector<trace::Request> riders;
+  routing::RouteScratch route;
+};
+
+/// evaluate_group writing into a caller-owned slot through reusable
+/// buffers. Same operations in the same order as the public entry point
+/// (which delegates here), so verdicts and payloads are bit-identical.
+void evaluate_group_into(std::span<const trace::Request> requests,
+                         const std::size_t* members, std::size_t count,
+                         const geo::DistanceOracle& oracle, const GroupOptions& options,
+                         int taxi_seats, bool& feasible, ShareGroup& group,
+                         EvalScratch& scratch) {
+  O2O_EXPECTS(count >= 2);
+  group.member_indices.assign(members, members + count);
+  group.pooled_route = routing::Route{};
+  group.pooled_length_km = 0.0;
+  group.direct_sum_km = 0.0;
+  group.max_detour_km = 0.0;
+  group.member_direct_km.clear();
+  feasible = true;
+
+  int seats_needed = 0;
+  scratch.riders.clear();
+  for (std::size_t m = 0; m < count; ++m) {
+    O2O_EXPECTS(members[m] < requests.size());
+    scratch.riders.push_back(requests[members[m]]);
+    seats_needed += requests[members[m]].seats;
+  }
+  if (seats_needed > taxi_seats) {
+    feasible = false;
+    return;
+  }
+
+  group.pooled_route = routing::optimal_route(scratch.riders, oracle, std::nullopt,
+                                              scratch.route);
+  group.pooled_length_km = routing::route_length(group.pooled_route, oracle);
+  group.member_direct_km.reserve(count);
+  for (const trace::Request& rider : scratch.riders) {
+    const double direct = oracle.distance(rider.pickup, rider.dropoff);
+    const auto metrics = routing::rider_metrics(group.pooled_route, rider.id, oracle);
+    const double detour = metrics.ride_km - direct;
+    group.member_direct_km.push_back(direct);
+    group.direct_sum_km += direct;
+    group.max_detour_km = std::max(group.max_detour_km, detour);
+    if (detour > options.detour_threshold_km) feasible = false;
+  }
+  if (options.require_saving && group.pooled_length_km >= group.direct_sum_km - 1e-9) {
+    feasible = false;
+  }
 }
 
 /// The pre-engine dense serial scan, kept verbatim as the differential
@@ -101,7 +157,8 @@ std::vector<ShareGroup> enumerate_serial(std::span<const trace::Request> request
 /// that order serially.
 std::vector<ShareGroup> enumerate_engine(std::span<const trace::Request> requests,
                                          const geo::DistanceOracle& oracle,
-                                         const GroupOptions& options, int taxi_seats) {
+                                         const GroupOptions& options, int taxi_seats,
+                                         GroupCache* cache) {
   std::vector<ShareGroup> groups;
   const std::size_t n = requests.size();
   if (n < 2) return groups;
@@ -124,8 +181,14 @@ std::vector<ShareGroup> enumerate_engine(std::span<const trace::Request> request
   std::vector<geo::Point> pickups(n);
   for (std::size_t i = 0; i < n; ++i) pickups[i] = requests[i].pickup;
 
+  // The SIMD certificate's order restriction (a saving pair's optimal
+  // route is never sequential) rests on require_saving, not on θ being
+  // finite, so it can run even with an infinite detour threshold.
+  const bool simd_gate = options.simd_prefilter && options.require_saving;
+  const bool cone_gate = options.direction_cone && derived_valid;
+
   std::vector<double> direct(n, 0.0);
-  if (derived_valid) {
+  if (derived_valid || simd_gate) {
     parallel_eval(n, oracle, [&](std::size_t i) {
       direct[i] = oracle.distance(requests[i].pickup, requests[i].dropoff);
     });
@@ -153,35 +216,125 @@ std::vector<ShareGroup> enumerate_engine(std::span<const trace::Request> request
     mean_radius /= static_cast<double>(n);
     const double cell_km = std::clamp(mean_radius / 2.0, 0.25, 8.0);
     const index::SpatialGrid grid(pickups, cell_km);
+    std::vector<std::int32_t> hits;
     for (std::size_t i = 0; i < n; ++i) {
-      for (const std::int32_t id : grid.within_radius(pickups[i], radius[i])) {
+      hits.clear();
+      grid.within_radius_into(pickups[i], radius[i], hits);
+      for (const std::int32_t id : hits) {
         const auto j = static_cast<std::size_t>(id);
         if (j == i) continue;
+        // Emit each unordered pair once: when the lower-indexed side's own
+        // query already covers the gap (the grid's exact squared compare,
+        // replicated bitwise), this sighting is its mirror — skip it.
+        if (j < i && geo::squared_distance(pickups[i], pickups[j]) <= radius[j] * radius[j]) {
+          continue;
+        }
         const std::size_t a = std::min(i, j);
         const std::size_t b = std::max(i, j);
         if (!pickups_close(a, b)) continue;
         pair_keys.push_back(pair_key(a, b));
       }
     }
-    // Dedupe to the serial lexicographic (i, j) order.
-    std::sort(pair_keys.begin(), pair_keys.end());
-    pair_keys.erase(std::unique(pair_keys.begin(), pair_keys.end()), pair_keys.end());
+    // Dedupe to the serial lexicographic (i, j) order. Equivalent to a
+    // global sort + unique, but the first member is already bounded by n,
+    // so a counting-sort scatter plus short per-bucket sorts beats
+    // comparison-sorting the whole emission (~2 keys per surviving pair).
+    std::vector<std::uint32_t> offsets(n + 1, 0);
+    for (const std::uint64_t key : pair_keys) ++offsets[(key >> 32) + 1];
+    for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+    std::vector<std::uint64_t> scattered(pair_keys.size());
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const std::uint64_t key : pair_keys) scattered[cursor[key >> 32]++] = key;
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t lo = offsets[i];
+      const std::size_t hi = offsets[i + 1];
+      std::sort(scattered.begin() + static_cast<std::ptrdiff_t>(lo),
+                scattered.begin() + static_cast<std::ptrdiff_t>(hi));
+      for (std::size_t k = lo; k < hi; ++k) {
+        if (write > 0 && pair_keys[write - 1] == scattered[k]) continue;
+        pair_keys[write++] = scattered[k];
+      }
+    }
+    pair_keys.resize(write);
   }
 
-  // ---- Evaluate pairs in parallel, compact in candidate order ----
+  obs::add(obs::Counter::kPairCandidates, pair_keys.size());
+  obs::add(obs::Counter::kGridCandidatesPruned, n * (n - 1) / 2 - pair_keys.size());
+
+  // ---- Direction-cone prune (b): drop pairs whose pick-ups sit in
+  // neither rider's (direct + θ) ellipse before any oracle work ----
+  if (cone_gate && !pair_keys.empty()) {
+    const FilterStats cone =
+        cone_prune_pairs(requests, direct, options.detour_threshold_km, pair_keys);
+    obs::add(obs::Counter::kConeRejects, cone.rejected);
+    obs::add(obs::Counter::kSimdBatches, cone.batches);
+    obs::add(obs::Counter::kSimdBatchOccupancy, cone.lanes);
+  }
+  // ---- Resolve pairs: cache replay (c), SIMD certificate (a), exact
+  // evaluation for what survives; compact in candidate order ----
   const std::size_t pair_count = pair_keys.size();
-  obs::add(obs::Counter::kPairCandidates, pair_count);
-  obs::add(obs::Counter::kGridCandidatesPruned, n * (n - 1) / 2 - pair_count);
   std::vector<ShareGroup> pair_slots(pair_count);
   std::vector<std::uint8_t> pair_ok(pair_count, 0);
-  parallel_eval(pair_count, oracle, [&](std::size_t c) {
-    const auto i = static_cast<std::size_t>(pair_keys[c] >> 32);
-    const auto j = static_cast<std::size_t>(pair_keys[c] & 0xffffffffu);
+  std::vector<std::uint32_t> miss_pos;  ///< candidate slots the cache could not answer
+  if (cache != nullptr) {
+    miss_pos.reserve(pair_count);
+    for (std::size_t c = 0; c < pair_count; ++c) {
+      const std::size_t members[2] = {static_cast<std::size_t>(pair_keys[c] >> 32),
+                                      static_cast<std::size_t>(pair_keys[c] & 0xffffffffu)};
+      switch (cache->try_get(members, 2, pair_slots[c])) {
+        case GroupCache::Verdict::kFeasible:
+          pair_ok[c] = 1;
+          break;
+        case GroupCache::Verdict::kInfeasible:
+          break;
+        case GroupCache::Verdict::kMiss:
+          miss_pos.push_back(static_cast<std::uint32_t>(c));
+          break;
+      }
+    }
+  } else {
+    miss_pos.resize(pair_count);
+    for (std::size_t c = 0; c < pair_count; ++c) {
+      miss_pos[c] = static_cast<std::uint32_t>(c);
+    }
+  }
+  std::vector<std::uint8_t> miss_keep;
+  std::vector<std::uint64_t> miss_keys(miss_pos.size());
+  for (std::size_t m = 0; m < miss_pos.size(); ++m) miss_keys[m] = pair_keys[miss_pos[m]];
+  if (simd_gate && !miss_keys.empty()) {
+    const FilterStats filter =
+        simd_prefilter_pairs(requests, oracle, direct, options, miss_keys, miss_keep);
+    obs::add(obs::Counter::kSimdBatches, filter.batches);
+    obs::add(obs::Counter::kSimdBatchOccupancy, filter.lanes);
+  } else {
+    miss_keep.assign(miss_keys.size(), 1);
+  }
+  // Exact evaluations write disjoint slots; certificate-rejected misses
+  // keep pair_ok == 0 without touching the oracle (and are not cached --
+  // re-deriving the certificate next frame is cheaper than storing it).
+  std::vector<std::uint32_t> eval_pos;
+  eval_pos.reserve(miss_pos.size());
+  for (std::size_t m = 0; m < miss_pos.size(); ++m) {
+    if (miss_keep[m]) eval_pos.push_back(miss_pos[m]);
+  }
+  parallel_eval(eval_pos.size(), oracle, [&](std::size_t e) {
+    thread_local EvalScratch scratch;
+    const std::size_t c = eval_pos[e];
+    const std::size_t members[2] = {static_cast<std::size_t>(pair_keys[c] >> 32),
+                                    static_cast<std::size_t>(pair_keys[c] & 0xffffffffu)};
     bool feasible = false;
-    pair_slots[c] = evaluate_group(requests, {i, j}, oracle, options, taxi_seats, feasible);
+    evaluate_group_into(requests, members, 2, oracle, options, taxi_seats, feasible,
+                        pair_slots[c], scratch);
     pair_ok[c] = feasible ? 1 : 0;
   });
-
+  if (cache != nullptr) {
+    for (const std::uint32_t c : eval_pos) {
+      const std::size_t members[2] = {static_cast<std::size_t>(pair_keys[c] >> 32),
+                                      static_cast<std::size_t>(pair_keys[c] & 0xffffffffu)};
+      cache->store(members, 2, pair_ok[c] != 0, pair_slots[c]);
+    }
+  }
   const bool grow = options.grow_triples_from_pairs;
   BitMatrix adjacency(grow ? n : 0);
   std::vector<std::uint64_t> feasible_pairs;
@@ -231,18 +384,52 @@ std::vector<ShareGroup> enumerate_engine(std::span<const trace::Request> request
       }
     }
   }
-
   const std::size_t triple_count = triples.size();
   obs::add(obs::Counter::kTripleCandidates, triple_count);
   std::vector<ShareGroup> triple_slots(triple_count);
   std::vector<std::uint8_t> triple_ok(triple_count, 0);
-  parallel_eval(triple_count, oracle, [&](std::size_t c) {
-    const auto& t = triples[c];
+  // Triples reuse the cache but not the SIMD certificate: after the pair
+  // prune the candidate volume is small, and the 6-stop order space has
+  // no cheap conservative closed form worth vectorizing.
+  std::vector<std::uint32_t> triple_eval;
+  if (cache != nullptr) {
+    triple_eval.reserve(triple_count);
+    for (std::size_t c = 0; c < triple_count; ++c) {
+      const auto& t = triples[c];
+      const std::size_t members[3] = {t[0], t[1], t[2]};
+      switch (cache->try_get(members, 3, triple_slots[c])) {
+        case GroupCache::Verdict::kFeasible:
+          triple_ok[c] = 1;
+          break;
+        case GroupCache::Verdict::kInfeasible:
+          break;
+        case GroupCache::Verdict::kMiss:
+          triple_eval.push_back(static_cast<std::uint32_t>(c));
+          break;
+      }
+    }
+  } else {
+    triple_eval.resize(triple_count);
+    for (std::size_t c = 0; c < triple_count; ++c) {
+      triple_eval[c] = static_cast<std::uint32_t>(c);
+    }
+  }
+  parallel_eval(triple_eval.size(), oracle, [&](std::size_t e) {
+    thread_local EvalScratch scratch;
+    const auto& t = triples[triple_eval[e]];
+    const std::size_t members[3] = {t[0], t[1], t[2]};
     bool feasible = false;
-    triple_slots[c] = evaluate_group(requests, {t[0], t[1], t[2]}, oracle, options,
-                                     taxi_seats, feasible);
-    triple_ok[c] = feasible ? 1 : 0;
+    evaluate_group_into(requests, members, 3, oracle, options, taxi_seats, feasible,
+                        triple_slots[triple_eval[e]], scratch);
+    triple_ok[triple_eval[e]] = feasible ? 1 : 0;
   });
+  if (cache != nullptr) {
+    for (const std::uint32_t c : triple_eval) {
+      const auto& t = triples[c];
+      const std::size_t members[3] = {t[0], t[1], t[2]};
+      cache->store(members, 3, triple_ok[c] != 0, triple_slots[c]);
+    }
+  }
   for (std::size_t c = 0; c < triple_count; ++c) {
     if (triple_ok[c]) groups.push_back(std::move(triple_slots[c]));
   }
@@ -255,52 +442,36 @@ ShareGroup evaluate_group(std::span<const trace::Request> requests,
                           const std::vector<std::size_t>& member_indices,
                           const geo::DistanceOracle& oracle, const GroupOptions& options,
                           int taxi_seats, bool& feasible) {
-  O2O_EXPECTS(member_indices.size() >= 2);
   ShareGroup group;
-  group.member_indices = member_indices;
-  feasible = true;
-
-  int seats_needed = 0;
-  std::vector<trace::Request> riders;
-  riders.reserve(member_indices.size());
-  for (std::size_t index : member_indices) {
-    O2O_EXPECTS(index < requests.size());
-    riders.push_back(requests[index]);
-    seats_needed += requests[index].seats;
-  }
-  if (seats_needed > taxi_seats) {
-    feasible = false;
-    return group;
-  }
-
-  group.pooled_route = routing::optimal_route(riders, oracle);
-  group.pooled_length_km = routing::route_length(group.pooled_route, oracle);
-  group.member_direct_km.reserve(riders.size());
-  for (const trace::Request& rider : riders) {
-    const double direct = oracle.distance(rider.pickup, rider.dropoff);
-    const auto metrics = routing::rider_metrics(group.pooled_route, rider.id, oracle);
-    const double detour = metrics.ride_km - direct;
-    group.member_direct_km.push_back(direct);
-    group.direct_sum_km += direct;
-    group.max_detour_km = std::max(group.max_detour_km, detour);
-    if (detour > options.detour_threshold_km) feasible = false;
-  }
-  if (options.require_saving && group.pooled_length_km >= group.direct_sum_km - 1e-9) {
-    feasible = false;
-  }
+  EvalScratch scratch;
+  evaluate_group_into(requests, member_indices.data(), member_indices.size(), oracle,
+                      options, taxi_seats, feasible, group, scratch);
   return group;
 }
 
 std::vector<ShareGroup> enumerate_share_groups(std::span<const trace::Request> requests,
                                                const geo::DistanceOracle& oracle,
                                                const GroupOptions& options,
-                                               int taxi_seats) {
+                                               int taxi_seats, GroupCache* cache) {
   O2O_EXPECTS(options.max_group_size >= 2 && options.max_group_size <= 4);
   O2O_EXPECTS(options.detour_threshold_km >= 0.0);
   obs::StageTimer stage(obs::Stage::kGroupEnum);
-  std::vector<ShareGroup> groups = options.parallel
-                                       ? enumerate_engine(requests, oracle, options, taxi_seats)
-                                       : enumerate_serial(requests, oracle, options, taxi_seats);
+  // The cache is an engine feature; the serial reference never sees it.
+  GroupCache* effective =
+      (options.parallel && options.cross_frame_cache) ? cache : nullptr;
+  GroupCache::Stats before;
+  if (effective != nullptr) {
+    effective->begin_frame(requests, options, taxi_seats, &oracle);
+    before = effective->stats();
+  }
+  std::vector<ShareGroup> groups =
+      options.parallel ? enumerate_engine(requests, oracle, options, taxi_seats, effective)
+                       : enumerate_serial(requests, oracle, options, taxi_seats);
+  if (effective != nullptr) {
+    const GroupCache::Stats& after = effective->stats();
+    obs::add(obs::Counter::kGroupCacheHits, after.hits - before.hits);
+    obs::add(obs::Counter::kGroupCacheRevalidations, after.stores - before.stores);
+  }
   obs::add(obs::Counter::kFeasibleGroups, groups.size());
   return groups;
 }

@@ -59,14 +59,42 @@ struct GroupOptions {
   /// in the same order, bit-for-bit as the serial dense scan (false),
   /// which is kept as the differential reference.
   bool parallel = true;
+  /// Engine-only (parallel == true) accelerations. All three are
+  /// conservative -- they only drop provably infeasible candidates or
+  /// replay verbatim verdicts -- so the output stays bit-identical to
+  /// the serial scan in every knob combination (pinned differentially
+  /// in tests/packing).
+  ///
+  /// (a) SoA leg gather + 8-lane SIMD certificate over surviving pair
+  /// candidates: a pair none of whose interleaved stop orders can both
+  /// save distance and keep detours within θ (with padding) skips the
+  /// exact `optimal_route` evaluation. Effective when `require_saving`
+  /// holds (the order restriction rests on it); runtime-dispatched
+  /// AVX2/NEON with a scalar fallback (util/simd.h).
+  bool simd_prefilter = true;
+  /// (b) Destination-bearing cone prune: grid-emitted pairs where
+  /// neither pick-up lies inside the other rider's (direct + θ) ellipse
+  /// are dropped before any oracle work. Active under the same
+  /// conditions as the derived radius (require_saving, finite θ).
+  bool direction_cone = true;
+  /// (c) Consult and update the GroupCache handed to
+  /// enumerate_share_groups, replaying exact verdicts for candidates
+  /// whose members are unchanged since the previous frame.
+  bool cross_frame_cache = true;
 };
 
+class GroupCache;  // cross-frame verdict memo (packing/group_enum.h)
+
 /// Enumerates all feasible groups of size in [2, max_group_size] over
-/// `requests`. Seat demands are honoured against `taxi_seats`.
+/// `requests`. Seat demands are honoured against `taxi_seats`. When
+/// `cache` is non-null and options enable the engine + cross_frame_cache,
+/// verdicts persist across calls (the cache rebinds to each call's
+/// request snapshot and invalidates by content stamps).
 std::vector<ShareGroup> enumerate_share_groups(std::span<const trace::Request> requests,
                                                const geo::DistanceOracle& oracle,
                                                const GroupOptions& options,
-                                               int taxi_seats = 4);
+                                               int taxi_seats = 4,
+                                               GroupCache* cache = nullptr);
 
 /// Builds the ShareGroup record (route + detours) for one candidate
 /// member set; `feasible` is set false when any detour exceeds θ or the

@@ -11,37 +11,52 @@ namespace o2o::routing {
 
 namespace {
 
-std::vector<Stop> stops_of(std::span<const trace::Request> riders) {
-  std::vector<Stop> stops;
+void stops_into(std::span<const trace::Request> riders, std::vector<Stop>& stops) {
+  stops.clear();
   stops.reserve(riders.size() * 2);
   for (const trace::Request& r : riders) {
     stops.push_back(Stop{r.id, true, r.pickup});    // index 2i
     stops.push_back(Stop{r.id, false, r.dropoff});  // index 2i + 1
   }
+}
+
+std::vector<Stop> stops_of(std::span<const trace::Request> riders) {
+  std::vector<Stop> stops;
+  stops_into(riders, stops);
   return stops;
+}
+
+void points_into(const std::vector<Stop>& stops, std::vector<geo::Point>& points) {
+  points.clear();
+  points.reserve(stops.size());
+  for (const Stop& s : stops) points.push_back(s.point);
 }
 
 std::vector<geo::Point> points_of(const std::vector<Stop>& stops) {
   std::vector<geo::Point> points;
-  points.reserve(stops.size());
-  for (const Stop& s : stops) points.push_back(s.point);
+  points_into(stops, points);
   return points;
 }
 
 /// n x n stop-to-stop table built row-wise through the bulk oracle API —
 /// one Dijkstra tree per row on the network oracle instead of n pointwise
-/// resolutions. The diagonal is pinned to 0: a bulk row *does* price
-/// source->source (twice the snap gap on network oracles), which the old
-/// pointwise loop never asked for.
-std::vector<double> stop_rows(std::span<const geo::Point> points,
-                              const geo::DistanceOracle& oracle) {
+/// resolutions, written straight into `table` (n * n doubles). The
+/// diagonal is pinned to 0: a bulk row *does* price source->source (twice
+/// the snap gap on network oracles), which the old pointwise loop never
+/// asked for.
+void stop_rows_into(std::span<const geo::Point> points, const geo::DistanceOracle& oracle,
+                    double* table) {
   const std::size_t n = points.size();
-  std::vector<double> table(n * n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::vector<double> row = oracle.distances_from(points[i], points);
-    std::copy(row.begin(), row.end(), table.begin() + static_cast<std::ptrdiff_t>(i * n));
+    oracle.distances_from_into(points[i], points, table + i * n);
     table[i * n + i] = 0.0;
   }
+}
+
+std::vector<double> stop_rows(std::span<const geo::Point> points,
+                              const geo::DistanceOracle& oracle) {
+  std::vector<double> table(points.size() * points.size(), 0.0);
+  stop_rows_into(points, oracle, table.data());
   return table;
 }
 
@@ -77,22 +92,26 @@ struct DistanceTable {
   }
 };
 
+/// Branch-and-bound over precedence-feasible stop orders. Search state
+/// lives in caller-owned vectors so hot paths can reuse one set of
+/// buffers across candidates; the recursion (and hence the first-found
+/// tie-breaking among equal-length orders) is unchanged.
 struct ExhaustiveSearch {
-  const std::vector<Stop>& stops;
+  std::size_t stop_count;
   DistanceView distances;
-  std::vector<std::size_t> order;
-  std::vector<bool> used;
-  std::vector<std::size_t> best_order;
+  std::vector<std::size_t>& order;
+  std::vector<bool>& used;
+  std::vector<std::size_t>& best_order;
   double best_length = std::numeric_limits<double>::infinity();
 
   void recurse(double length_so_far) {
     if (length_so_far >= best_length) return;  // prune
-    if (order.size() == stops.size()) {
+    if (order.size() == stop_count) {
       best_length = length_so_far;
       best_order = order;
       return;
     }
-    for (std::size_t s = 0; s < stops.size(); ++s) {
+    for (std::size_t s = 0; s < stop_count; ++s) {
       if (used[s]) continue;
       // Drop-off (odd index) requires its pick-up (s - 1) already placed.
       if (s % 2 == 1 && !used[s - 1]) continue;
@@ -121,14 +140,34 @@ Route route_from_order(const std::vector<Stop>& stops, const std::vector<std::si
 Route optimal_route_exhaustive(std::span<const trace::Request> riders,
                                const geo::DistanceOracle& oracle,
                                std::optional<geo::Point> start) {
+  RouteScratch scratch;
+  return optimal_route_exhaustive(riders, oracle, start, scratch);
+}
+
+Route optimal_route_exhaustive(std::span<const trace::Request> riders,
+                               const geo::DistanceOracle& oracle,
+                               std::optional<geo::Point> start, RouteScratch& scratch) {
   O2O_EXPECTS(riders.size() >= 1 && riders.size() <= 4);
-  const std::vector<Stop> stops = stops_of(riders);
-  const DistanceTable distances(stops, oracle, start);
-  ExhaustiveSearch search{stops, distances.view(), {}, std::vector<bool>(stops.size(), false),
-                          {}, std::numeric_limits<double>::infinity()};
-  search.order.reserve(stops.size());
+  stops_into(riders, scratch.stops);
+  points_into(scratch.stops, scratch.points);
+  const std::size_t n = scratch.stops.size();
+  scratch.stop_table.resize(n * n);
+  stop_rows_into(scratch.points, oracle, scratch.stop_table.data());
+  const double* start_row = nullptr;
+  if (start.has_value()) {
+    scratch.start_row.resize(n);
+    oracle.distances_from_into(*start, scratch.points, scratch.start_row.data());
+    start_row = scratch.start_row.data();
+  }
+  scratch.order.clear();
+  scratch.order.reserve(n);
+  scratch.best_order.clear();
+  scratch.used.assign(n, false);
+  ExhaustiveSearch search{n, DistanceView{scratch.stop_table.data(), start_row, n},
+                          scratch.order, scratch.used, scratch.best_order,
+                          std::numeric_limits<double>::infinity()};
   search.recurse(0.0);
-  Route route = route_from_order(stops, search.best_order, start);
+  Route route = route_from_order(scratch.stops, scratch.best_order, start);
   O2O_ENSURES(respects_precedence(route));
   return route;
 }
@@ -202,6 +241,13 @@ Route optimal_route(std::span<const trace::Request> riders, const geo::DistanceO
   return optimal_route_dp(riders, oracle, start);
 }
 
+Route optimal_route(std::span<const trace::Request> riders, const geo::DistanceOracle& oracle,
+                    std::optional<geo::Point> start, RouteScratch& scratch) {
+  O2O_EXPECTS(!riders.empty());
+  if (riders.size() <= 3) return optimal_route_exhaustive(riders, oracle, start, scratch);
+  return optimal_route_dp(riders, oracle, start);
+}
+
 AnchoredRouteSolver::AnchoredRouteSolver(std::vector<trace::Request> riders,
                                          const geo::DistanceOracle& oracle)
     : riders_(std::move(riders)), oracle_(oracle) {
@@ -217,13 +263,16 @@ std::vector<std::size_t> AnchoredRouteSolver::solve(const geo::Point& start,
   // Per-call state is just the anchor row; the shared stop table is
   // referenced in place (one bulk query, no n x n copy per candidate).
   const std::vector<double> start_row = oracle_.distances_from(start, points_);
-  ExhaustiveSearch search{stops_, DistanceView{stop_table_.data(), start_row.data(), n},
-                          {}, std::vector<bool>(n, false),
-                          {}, std::numeric_limits<double>::infinity()};
-  search.order.reserve(n);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> used(n, false);
+  std::vector<std::size_t> best_order;
+  ExhaustiveSearch search{n, DistanceView{stop_table_.data(), start_row.data(), n},
+                          order, used, best_order,
+                          std::numeric_limits<double>::infinity()};
   search.recurse(0.0);
   length_out = search.best_length;
-  return search.best_order;
+  return best_order;
 }
 
 Route AnchoredRouteSolver::best_route(const geo::Point& start) const {

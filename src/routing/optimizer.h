@@ -17,6 +17,23 @@
 
 namespace o2o::routing {
 
+/// Reusable buffers for the exhaustive solver. Hot loops (the share-group
+/// enumeration engine evaluates tens of thousands of candidate groups per
+/// frame) keep one per worker thread so route construction allocates
+/// nothing beyond the returned Route once the buffers have grown. The
+/// scratch overloads run the exact same table build and search as the
+/// scratch-free ones — identical distances, identical tie-breaking,
+/// bit-identical routes.
+struct RouteScratch {
+  std::vector<Stop> stops;
+  std::vector<geo::Point> points;    // stop coordinates, bulk-query shape
+  std::vector<double> stop_table;    // stop-to-stop, n x n
+  std::vector<double> start_row;     // anchor legs (used when start is set)
+  std::vector<std::size_t> order;    // search state
+  std::vector<std::size_t> best_order;
+  std::vector<bool> used;
+};
+
 /// Exact minimum-length route over `riders` (pick-up before drop-off per
 /// rider), optionally anchored at a taxi position. Uses brute-force
 /// permutation search; requires riders.size() <= 4 (90 orders at 3,
@@ -24,6 +41,11 @@ namespace o2o::routing {
 Route optimal_route_exhaustive(std::span<const trace::Request> riders,
                                const geo::DistanceOracle& oracle,
                                std::optional<geo::Point> start = std::nullopt);
+
+/// Allocation-free variant reusing `scratch` across calls.
+Route optimal_route_exhaustive(std::span<const trace::Request> riders,
+                               const geo::DistanceOracle& oracle,
+                               std::optional<geo::Point> start, RouteScratch& scratch);
 
 /// Exact minimum-length route via Held-Karp DP with precedence masks;
 /// requires riders.size() <= 8 (2^16 x 16 states).
@@ -36,6 +58,12 @@ Route optimal_route_dp(std::span<const trace::Request> riders,
 Route optimal_route(std::span<const trace::Request> riders,
                     const geo::DistanceOracle& oracle,
                     std::optional<geo::Point> start = std::nullopt);
+
+/// Dispatching variant with scratch reuse (the DP branch, taken only
+/// above 3 riders, still allocates its own state).
+Route optimal_route(std::span<const trace::Request> riders,
+                    const geo::DistanceOracle& oracle,
+                    std::optional<geo::Point> start, RouteScratch& scratch);
 
 /// Number of precedence-feasible stop orders for k riders: (2k)! / 2^k.
 /// (The paper's "90" for k = 3.)

@@ -22,6 +22,10 @@ namespace o2o::obs {
 class TraceSink;
 }  // namespace o2o::obs
 
+namespace o2o::packing {
+class GroupCache;
+}  // namespace o2o::packing
+
 namespace o2o::sim {
 
 /// Snapshot of a busy taxi for dispatchers that support en-route
@@ -49,6 +53,12 @@ struct DispatchContext {
   /// Hot paths report through the ambient obs:: API; this pointer exists
   /// for dispatchers that want frame-owner calls (context, assignments).
   obs::TraceSink* trace = nullptr;
+  /// Run-lifetime share-group verdict cache owned by the simulator (one
+  /// per run, reset between runs), or null outside a simulator loop.
+  /// Sharing dispatchers hand it to enumerate_share_groups so verdicts
+  /// persist across consecutive frames; non-sharing dispatchers ignore
+  /// it. Frame-owning thread only.
+  packing::GroupCache* group_cache = nullptr;
 };
 
 /// One dispatch decision. For an idle taxi the route serves exactly

@@ -30,6 +30,7 @@ void Simulator::reset() {
   }
   pending_.clear();
   active_requests_.clear();
+  group_cache_ = std::make_unique<packing::GroupCache>();
   report_ = SimulationReport{};
   record_index_.clear();
 }
@@ -119,6 +120,7 @@ std::vector<DispatchAssignment> Simulator::invoke_dispatcher(Dispatcher& dispatc
   context.oracle = &oracle_;
   context.idle_grid = idle_grid ? &*idle_grid : nullptr;
   context.trace = config_.trace_sink;
+  context.group_cache = group_cache_.get();
   return dispatcher.dispatch(context);
 }
 

@@ -13,6 +13,7 @@
 #include "geo/distance_oracle.h"
 #include "geo/road_network.h"
 #include "obs/obs.h"
+#include "packing/group_enum.h"
 #include "sim/dispatcher.h"
 #include "sim/report.h"
 #include "trace/fleet.h"
@@ -85,6 +86,10 @@ class Simulator {
   std::unordered_map<trace::RequestId, trace::Request> active_requests_;
   SimulationReport report_;
   std::unordered_map<trace::RequestId, std::size_t> record_index_;
+  /// Cross-frame share-group verdict cache handed to dispatchers via
+  /// DispatchContext::group_cache. Fresh per run, so repeated runs of
+  /// the same simulator stay deterministic and independent.
+  std::unique_ptr<packing::GroupCache> group_cache_;
 
   void reset();
   void ingest_arrivals(std::size_t& next_request, double now);

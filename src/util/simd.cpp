@@ -1,0 +1,345 @@
+#include "util/simd.h"
+
+#include <cmath>
+
+#if !defined(O2O_SIMD_SCALAR_ONLY)
+#if defined(__x86_64__) || defined(_M_X64)
+#define O2O_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define O2O_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace o2o::simd {
+
+namespace {
+
+constexpr double kSavingEpsKm = 1e-9;  // mirrors evaluate_group's saving slack
+
+// ---------------------------------------------------------------- scalar
+
+/// One lane of the pair certificate; the reference the vector paths are
+/// differentially tested against.
+inline bool pair_lane(const PairLegsSoA& legs, std::size_t k, double theta_pad,
+                      double pad) noexcept {
+  const double a = legs.a[k], a2 = legs.a2[k];
+  const double b = legs.b[k], b2 = legs.b2[k];
+  const double c = legs.c[k], c2 = legs.c2[k];
+  const double di = legs.direct_i[k], dj = legs.direct_j[k];
+  const double limit = di + dj - (kSavingEpsKm - pad);
+  // o1: p_i p_j d_i d_j
+  const double len1 = a + b + c;
+  if (len1 < limit && (a + b) - di <= theta_pad && (b + c) - dj <= theta_pad) return true;
+  // o2: p_i p_j d_j d_i (rider j rides direct, zero detour)
+  const double len2 = a + dj + c2;
+  if (len2 < limit && len2 - di <= theta_pad) return true;
+  // o4: p_j p_i d_i d_j (rider i rides direct, zero detour)
+  const double len4 = a2 + di + c;
+  if (len4 < limit && len4 - dj <= theta_pad) return true;
+  // o5: p_j p_i d_j d_i
+  const double len5 = a2 + b2 + c2;
+  if (len5 < limit && (b2 + c2) - di <= theta_pad && (a2 + b2) - dj <= theta_pad) {
+    return true;
+  }
+  return false;
+}
+
+std::size_t pair_filter_scalar(const PairLegsSoA& legs, std::size_t count, double theta,
+                               double pad, std::uint8_t* keep) noexcept {
+  const double theta_pad = theta + pad;
+  std::size_t kept = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    keep[k] = pair_lane(legs, k, theta_pad, pad) ? 1 : 0;
+    kept += keep[k];
+  }
+  return kept;
+}
+
+inline bool cone_lane(const ConeSoA& soa, std::size_t k, double pad) noexcept {
+  const auto seg = [](double ax, double ay, double bx, double by) {
+    const double dx = ax - bx;
+    const double dy = ay - by;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const double pp = seg(soa.pix[k], soa.piy[k], soa.pjx[k], soa.pjy[k]);
+  if (pp + seg(soa.pjx[k], soa.pjy[k], soa.dix[k], soa.diy[k]) <= soa.bound_i[k] + pad) {
+    return true;
+  }
+  return pp + seg(soa.pix[k], soa.piy[k], soa.djx[k], soa.djy[k]) <= soa.bound_j[k] + pad;
+}
+
+std::size_t cone_filter_scalar(const ConeSoA& soa, std::size_t count, double pad,
+                               std::uint8_t* keep) noexcept {
+  std::size_t kept = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    keep[k] = cone_lane(soa, k, pad) ? 1 : 0;
+    kept += keep[k];
+  }
+  return kept;
+}
+
+// ----------------------------------------------------------------- AVX2
+
+#if defined(O2O_SIMD_X86)
+
+__attribute__((target("avx2"))) std::size_t pair_filter_avx2(
+    const PairLegsSoA& legs, std::size_t count, double theta, double pad,
+    std::uint8_t* keep) noexcept {
+  const __m256d vtheta = _mm256_set1_pd(theta + pad);
+  const __m256d veps = _mm256_set1_pd(kSavingEpsKm - pad);
+  std::size_t kept = 0;
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m256d a = _mm256_loadu_pd(legs.a + k);
+    const __m256d a2 = _mm256_loadu_pd(legs.a2 + k);
+    const __m256d b = _mm256_loadu_pd(legs.b + k);
+    const __m256d b2 = _mm256_loadu_pd(legs.b2 + k);
+    const __m256d c = _mm256_loadu_pd(legs.c + k);
+    const __m256d c2 = _mm256_loadu_pd(legs.c2 + k);
+    const __m256d di = _mm256_loadu_pd(legs.direct_i + k);
+    const __m256d dj = _mm256_loadu_pd(legs.direct_j + k);
+    const __m256d limit = _mm256_sub_pd(_mm256_add_pd(di, dj), veps);
+
+    const __m256d len1 = _mm256_add_pd(_mm256_add_pd(a, b), c);
+    __m256d ok1 = _mm256_cmp_pd(len1, limit, _CMP_LT_OQ);
+    ok1 = _mm256_and_pd(
+        ok1, _mm256_cmp_pd(_mm256_sub_pd(_mm256_add_pd(a, b), di), vtheta, _CMP_LE_OQ));
+    ok1 = _mm256_and_pd(
+        ok1, _mm256_cmp_pd(_mm256_sub_pd(_mm256_add_pd(b, c), dj), vtheta, _CMP_LE_OQ));
+
+    const __m256d len2 = _mm256_add_pd(_mm256_add_pd(a, dj), c2);
+    __m256d ok2 = _mm256_cmp_pd(len2, limit, _CMP_LT_OQ);
+    ok2 = _mm256_and_pd(ok2,
+                        _mm256_cmp_pd(_mm256_sub_pd(len2, di), vtheta, _CMP_LE_OQ));
+
+    const __m256d len4 = _mm256_add_pd(_mm256_add_pd(a2, di), c);
+    __m256d ok4 = _mm256_cmp_pd(len4, limit, _CMP_LT_OQ);
+    ok4 = _mm256_and_pd(ok4,
+                        _mm256_cmp_pd(_mm256_sub_pd(len4, dj), vtheta, _CMP_LE_OQ));
+
+    const __m256d len5 = _mm256_add_pd(_mm256_add_pd(a2, b2), c2);
+    __m256d ok5 = _mm256_cmp_pd(len5, limit, _CMP_LT_OQ);
+    ok5 = _mm256_and_pd(
+        ok5, _mm256_cmp_pd(_mm256_sub_pd(_mm256_add_pd(b2, c2), di), vtheta, _CMP_LE_OQ));
+    ok5 = _mm256_and_pd(
+        ok5, _mm256_cmp_pd(_mm256_sub_pd(_mm256_add_pd(a2, b2), dj), vtheta, _CMP_LE_OQ));
+
+    const __m256d ok = _mm256_or_pd(_mm256_or_pd(ok1, ok2), _mm256_or_pd(ok4, ok5));
+    const int mask = _mm256_movemask_pd(ok);
+    for (int lane = 0; lane < 4; ++lane) {
+      keep[k + static_cast<std::size_t>(lane)] = (mask >> lane) & 1;
+    }
+    kept += static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(mask)));
+  }
+  const double theta_pad = theta + pad;
+  for (; k < count; ++k) {
+    keep[k] = pair_lane(legs, k, theta_pad, pad) ? 1 : 0;
+    kept += keep[k];
+  }
+  return kept;
+}
+
+__attribute__((target("avx2"))) std::size_t cone_filter_avx2(
+    const ConeSoA& soa, std::size_t count, double pad, std::uint8_t* keep) noexcept {
+  const __m256d vpad = _mm256_set1_pd(pad);
+  std::size_t kept = 0;
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m256d pix = _mm256_loadu_pd(soa.pix + k);
+    const __m256d piy = _mm256_loadu_pd(soa.piy + k);
+    const __m256d pjx = _mm256_loadu_pd(soa.pjx + k);
+    const __m256d pjy = _mm256_loadu_pd(soa.pjy + k);
+
+    __m256d dx = _mm256_sub_pd(pix, pjx);
+    __m256d dy = _mm256_sub_pd(piy, pjy);
+    const __m256d pp = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+
+    dx = _mm256_sub_pd(pjx, _mm256_loadu_pd(soa.dix + k));
+    dy = _mm256_sub_pd(pjy, _mm256_loadu_pd(soa.diy + k));
+    const __m256d leg_i = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+    const __m256d bound_i =
+        _mm256_add_pd(_mm256_loadu_pd(soa.bound_i + k), vpad);
+    const __m256d ok_i = _mm256_cmp_pd(_mm256_add_pd(pp, leg_i), bound_i, _CMP_LE_OQ);
+
+    dx = _mm256_sub_pd(pix, _mm256_loadu_pd(soa.djx + k));
+    dy = _mm256_sub_pd(piy, _mm256_loadu_pd(soa.djy + k));
+    const __m256d leg_j = _mm256_sqrt_pd(
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)));
+    const __m256d bound_j =
+        _mm256_add_pd(_mm256_loadu_pd(soa.bound_j + k), vpad);
+    const __m256d ok_j = _mm256_cmp_pd(_mm256_add_pd(pp, leg_j), bound_j, _CMP_LE_OQ);
+
+    const int mask = _mm256_movemask_pd(_mm256_or_pd(ok_i, ok_j));
+    for (int lane = 0; lane < 4; ++lane) {
+      keep[k + static_cast<std::size_t>(lane)] = (mask >> lane) & 1;
+    }
+    kept += static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(mask)));
+  }
+  for (; k < count; ++k) {
+    keep[k] = cone_lane(soa, k, pad) ? 1 : 0;
+    kept += keep[k];
+  }
+  return kept;
+}
+
+#endif  // O2O_SIMD_X86
+
+// ----------------------------------------------------------------- NEON
+
+#if defined(O2O_SIMD_NEON)
+
+std::size_t pair_filter_neon(const PairLegsSoA& legs, std::size_t count, double theta,
+                             double pad, std::uint8_t* keep) noexcept {
+  const float64x2_t vtheta = vdupq_n_f64(theta + pad);
+  const float64x2_t veps = vdupq_n_f64(kSavingEpsKm - pad);
+  std::size_t kept = 0;
+  std::size_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    const float64x2_t a = vld1q_f64(legs.a + k);
+    const float64x2_t a2 = vld1q_f64(legs.a2 + k);
+    const float64x2_t b = vld1q_f64(legs.b + k);
+    const float64x2_t b2 = vld1q_f64(legs.b2 + k);
+    const float64x2_t c = vld1q_f64(legs.c + k);
+    const float64x2_t c2 = vld1q_f64(legs.c2 + k);
+    const float64x2_t di = vld1q_f64(legs.direct_i + k);
+    const float64x2_t dj = vld1q_f64(legs.direct_j + k);
+    const float64x2_t limit = vsubq_f64(vaddq_f64(di, dj), veps);
+
+    const float64x2_t len1 = vaddq_f64(vaddq_f64(a, b), c);
+    uint64x2_t ok1 = vcltq_f64(len1, limit);
+    ok1 = vandq_u64(ok1, vcleq_f64(vsubq_f64(vaddq_f64(a, b), di), vtheta));
+    ok1 = vandq_u64(ok1, vcleq_f64(vsubq_f64(vaddq_f64(b, c), dj), vtheta));
+
+    const float64x2_t len2 = vaddq_f64(vaddq_f64(a, dj), c2);
+    uint64x2_t ok2 = vcltq_f64(len2, limit);
+    ok2 = vandq_u64(ok2, vcleq_f64(vsubq_f64(len2, di), vtheta));
+
+    const float64x2_t len4 = vaddq_f64(vaddq_f64(a2, di), c);
+    uint64x2_t ok4 = vcltq_f64(len4, limit);
+    ok4 = vandq_u64(ok4, vcleq_f64(vsubq_f64(len4, dj), vtheta));
+
+    const float64x2_t len5 = vaddq_f64(vaddq_f64(a2, b2), c2);
+    uint64x2_t ok5 = vcltq_f64(len5, limit);
+    ok5 = vandq_u64(ok5, vcleq_f64(vsubq_f64(vaddq_f64(b2, c2), di), vtheta));
+    ok5 = vandq_u64(ok5, vcleq_f64(vsubq_f64(vaddq_f64(a2, b2), dj), vtheta));
+
+    const uint64x2_t ok = vorrq_u64(vorrq_u64(ok1, ok2), vorrq_u64(ok4, ok5));
+    keep[k] = vgetq_lane_u64(ok, 0) ? 1 : 0;
+    keep[k + 1] = vgetq_lane_u64(ok, 1) ? 1 : 0;
+    kept += keep[k] + keep[k + 1];
+  }
+  const double theta_pad = theta + pad;
+  for (; k < count; ++k) {
+    keep[k] = pair_lane(legs, k, theta_pad, pad) ? 1 : 0;
+    kept += keep[k];
+  }
+  return kept;
+}
+
+std::size_t cone_filter_neon(const ConeSoA& soa, std::size_t count, double pad,
+                             std::uint8_t* keep) noexcept {
+  const float64x2_t vpad = vdupq_n_f64(pad);
+  std::size_t kept = 0;
+  std::size_t k = 0;
+  for (; k + 2 <= count; k += 2) {
+    const float64x2_t pix = vld1q_f64(soa.pix + k);
+    const float64x2_t piy = vld1q_f64(soa.piy + k);
+    const float64x2_t pjx = vld1q_f64(soa.pjx + k);
+    const float64x2_t pjy = vld1q_f64(soa.pjy + k);
+
+    float64x2_t dx = vsubq_f64(pix, pjx);
+    float64x2_t dy = vsubq_f64(piy, pjy);
+    const float64x2_t pp =
+        vsqrtq_f64(vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy)));
+
+    dx = vsubq_f64(pjx, vld1q_f64(soa.dix + k));
+    dy = vsubq_f64(pjy, vld1q_f64(soa.diy + k));
+    const float64x2_t leg_i =
+        vsqrtq_f64(vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy)));
+    const float64x2_t bound_i = vaddq_f64(vld1q_f64(soa.bound_i + k), vpad);
+    const uint64x2_t ok_i = vcleq_f64(vaddq_f64(pp, leg_i), bound_i);
+
+    dx = vsubq_f64(pix, vld1q_f64(soa.djx + k));
+    dy = vsubq_f64(piy, vld1q_f64(soa.djy + k));
+    const float64x2_t leg_j =
+        vsqrtq_f64(vaddq_f64(vmulq_f64(dx, dx), vmulq_f64(dy, dy)));
+    const float64x2_t bound_j = vaddq_f64(vld1q_f64(soa.bound_j + k), vpad);
+    const uint64x2_t ok_j = vcleq_f64(vaddq_f64(pp, leg_j), bound_j);
+
+    const uint64x2_t ok = vorrq_u64(ok_i, ok_j);
+    keep[k] = vgetq_lane_u64(ok, 0) ? 1 : 0;
+    keep[k + 1] = vgetq_lane_u64(ok, 1) ? 1 : 0;
+    kept += keep[k] + keep[k + 1];
+  }
+  for (; k < count; ++k) {
+    keep[k] = cone_lane(soa, k, pad) ? 1 : 0;
+    kept += keep[k];
+  }
+  return kept;
+}
+
+#endif  // O2O_SIMD_NEON
+
+Backend detect_backend() noexcept {
+#if defined(O2O_SIMD_X86)
+  return __builtin_cpu_supports("avx2") ? Backend::kAvx2 : Backend::kScalar;
+#elif defined(O2O_SIMD_NEON)
+  return Backend::kNeon;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+}  // namespace
+
+Backend active_backend() noexcept {
+  static const Backend backend = detect_backend();
+  return backend;
+}
+
+std::string_view backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kAvx2: return "avx2";
+    case Backend::kNeon: return "neon";
+    case Backend::kScalar: break;
+  }
+  return "scalar";
+}
+
+std::size_t pair_filter(const PairLegsSoA& legs, std::size_t count, double theta,
+                        double pad, std::uint8_t* keep) noexcept {
+  switch (active_backend()) {
+#if defined(O2O_SIMD_X86)
+    case Backend::kAvx2:
+      return pair_filter_avx2(legs, count, theta, pad, keep);
+#endif
+#if defined(O2O_SIMD_NEON)
+    case Backend::kNeon:
+      return pair_filter_neon(legs, count, theta, pad, keep);
+#endif
+    default:
+      return pair_filter_scalar(legs, count, theta, pad, keep);
+  }
+}
+
+std::size_t cone_filter(const ConeSoA& soa, std::size_t count, double pad,
+                        std::uint8_t* keep) noexcept {
+  switch (active_backend()) {
+#if defined(O2O_SIMD_X86)
+    case Backend::kAvx2:
+      return cone_filter_avx2(soa, count, pad, keep);
+#endif
+#if defined(O2O_SIMD_NEON)
+    case Backend::kNeon:
+      return cone_filter_neon(soa, count, pad, keep);
+#endif
+    default:
+      return cone_filter_scalar(soa, count, pad, keep);
+  }
+}
+
+}  // namespace o2o::simd

@@ -1,0 +1,114 @@
+// Portable SIMD kernels for the share-group enumeration hot path.
+//
+// Design (DESIGN.md "Group-enumeration pipeline"):
+//   * The kernels are *conservative filters*, never exact evaluators: a
+//     kept lane is re-checked by the scalar predicate, a rejected lane
+//     carries a proof of infeasibility with `pad` kilometres of slack.
+//     Bit-identity of the enumeration output therefore never depends on
+//     which backend ran -- backends may legally disagree on which
+//     provably-infeasible lanes they reject, but never on a feasible one.
+//   * Runtime dispatch: x86-64 binaries are compiled without -mavx2; the
+//     AVX2 variants carry `__attribute__((target("avx2")))` and are only
+//     entered after a cpuid check. AArch64 uses baseline NEON. Everything
+//     else -- and any build with -DO2O_SIMD_SCALAR_ONLY -- takes the
+//     scalar loop, which is also the reference the vector paths are
+//     tested against.
+//   * Batches are 8 lanes wide regardless of register width (AVX2 runs
+//     2x4 doubles, NEON 4x2); callers size and count batches in lanes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace o2o::simd {
+
+enum class Backend : std::uint8_t {
+  kScalar,  ///< portable loop (forced by O2O_SIMD_SCALAR_ONLY)
+  kAvx2,    ///< x86-64 with AVX2 (runtime-detected)
+  kNeon,    ///< aarch64 baseline
+};
+
+/// The backend the kernels below actually execute. Resolved once per
+/// process (cpuid on x86-64), safe to call from any thread.
+Backend active_backend() noexcept;
+
+std::string_view backend_name(Backend backend) noexcept;
+
+/// Lanes per kernel batch on every backend.
+inline constexpr std::size_t kBatchLanes = 8;
+
+/// Number of 8-lane batches needed for `count` lanes.
+constexpr std::size_t batch_count(std::size_t count) noexcept {
+  return (count + kBatchLanes - 1) / kBatchLanes;
+}
+
+/// Structure-of-arrays legs of one batch of candidate pairs (i, j). All
+/// pointers hold `count` doubles. Letters follow the pooled-route legs of
+/// the four non-sequential stop orders over {p_i, d_i, p_j, d_j}:
+///
+///   a  = D(p_i, p_j)    a2 = D(p_j, p_i)
+///   b  = D(p_j, d_i)    b2 = D(p_i, d_j)
+///   c  = D(d_i, d_j)    c2 = D(d_j, d_i)
+///
+/// plus the members' direct trips D(p, d).
+struct PairLegsSoA {
+  const double* a = nullptr;
+  const double* a2 = nullptr;
+  const double* b = nullptr;
+  const double* b2 = nullptr;
+  const double* c = nullptr;
+  const double* c2 = nullptr;
+  const double* direct_i = nullptr;
+  const double* direct_j = nullptr;
+};
+
+/// Conservative pair-feasibility certificate under `require_saving`.
+///
+/// A pair whose optimal pooled route is *sequential* (drop one rider
+/// before picking the other) can never save distance, so a feasible
+/// pair's optimal route is one of the four interleaved orders:
+///
+///   o1: p_i p_j d_i d_j   len = a + b + c     det_i = a+b-direct_i, det_j = b+c-direct_j
+///   o2: p_i p_j d_j d_i   len = a + direct_j + c2   det_i = len-direct_i, det_j = 0
+///   o4: p_j p_i d_i d_j   len = a2 + direct_i + c   det_i = 0, det_j = len-direct_j
+///   o5: p_j p_i d_j d_i   len = a2 + b2 + c2  det_i = b2+c2-direct_i, det_j = a2+b2-direct_j
+///
+/// keep[k] = 1 iff some order has len < direct_i+direct_j - 1e-9 + pad
+/// and both detours <= theta + pad. With `pad` at least the summation /
+/// bulk-row noise of the oracle, keep[k] == 0 proves the exact scalar
+/// evaluation rejects the pair too (every interleaved order fails a
+/// predicate, every sequential order fails the saving constraint).
+/// Returns the number of kept lanes. `theta` may be +infinity.
+std::size_t pair_filter(const PairLegsSoA& legs, std::size_t count, double theta,
+                        double pad, std::uint8_t* keep) noexcept;
+
+/// Structure-of-arrays coordinates of candidate pairs for the direction
+/// ("ellipse") test. bound_i / bound_j hold direct + theta per side.
+struct ConeSoA {
+  const double* pix = nullptr;  ///< pick-up of i
+  const double* piy = nullptr;
+  const double* dix = nullptr;  ///< drop-off of i
+  const double* diy = nullptr;
+  const double* pjx = nullptr;  ///< pick-up of j
+  const double* pjy = nullptr;
+  const double* djx = nullptr;  ///< drop-off of j
+  const double* djy = nullptr;
+  const double* bound_i = nullptr;  ///< direct_i + theta
+  const double* bound_j = nullptr;  ///< direct_j + theta
+};
+
+/// Destination-bearing cone / ellipse prune. A saving pair's optimal
+/// route picks some rider first; that rider's along-route ride passes
+/// the other pick-up before its own drop-off, so (for any oracle whose
+/// distances dominate the Euclidean metric)
+///
+///   euclid(p_i, p_j) + euclid(p_j, d_i) <= direct_i + theta     (i first)
+///
+/// or the (j first) mirror must hold. keep[k] = 1 iff either ellipse
+/// contains the other pick-up, with `pad` km of slack. Returns the
+/// number of kept lanes.
+std::size_t cone_filter(const ConeSoA& soa, std::size_t count, double pad,
+                        std::uint8_t* keep) noexcept;
+
+}  // namespace o2o::simd

@@ -153,6 +153,36 @@ TEST(DispatchConfig, ValidateCrossFieldRules) {
                   .empty());
 }
 
+TEST(DispatchConfig, EngineAccelerationKnobsReachGrouping) {
+  const DispatchConfig config = DispatchConfig{}
+                                    .with_simd_prefilter(false)
+                                    .with_direction_cone(false)
+                                    .with_cross_frame_cache(false);
+  EXPECT_FALSE(config.grouping().simd_prefilter);
+  EXPECT_FALSE(config.grouping().direction_cone);
+  EXPECT_FALSE(config.grouping().cross_frame_cache);
+  EXPECT_TRUE(config.validate().empty());
+
+  // Defaults keep all three accelerations on.
+  const DispatchConfig defaults;
+  EXPECT_TRUE(defaults.grouping().simd_prefilter);
+  EXPECT_TRUE(defaults.grouping().direction_cone);
+  EXPECT_TRUE(defaults.grouping().cross_frame_cache);
+}
+
+TEST(DispatchConfig, CandidateTaxisPerUnitRejectsNegativeCastSentinel) {
+  // A negative int cast to size_t lands far past 2^32-1; validate()
+  // flags it instead of silently treating it as "huge cap".
+  EXPECT_TRUE(has_error(DispatchConfig{}
+                            .with_candidate_taxis_per_unit(
+                                static_cast<std::size_t>(static_cast<long long>(-1)))
+                            .validate(),
+                        ConfigField::kCandidateTaxisPerUnit));
+  // 0 is the documented uncapped sentinel; plain caps stay legal.
+  EXPECT_TRUE(DispatchConfig{}.with_candidate_taxis_per_unit(0).validate().empty());
+  EXPECT_TRUE(DispatchConfig{}.with_candidate_taxis_per_unit(64).validate().empty());
+}
+
 TEST(DispatchConfig, FieldNamesAreStable) {
   EXPECT_EQ(config_field_name(ConfigField::kAlpha), "alpha");
   EXPECT_EQ(config_field_name(ConfigField::kTraceMaxFrames), "trace_max_frames");

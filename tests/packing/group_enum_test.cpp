@@ -1,0 +1,673 @@
+// The group-enumeration pipeline's dedicated suite: the conservative
+// SIMD / cone kernels must keep every exactly-feasible pair (rejection
+// is a proof), the GroupCache must replay verbatim verdicts and honour
+// its invalidation invariants, and every knob combination -- {SIMD,
+// cone, cache-cold, cache-warm} x oracle -- must reproduce the serial
+// dense scan bit for bit, including at θ and radius boundaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/sharing.h"
+#include "geo/road_network.h"
+#include "obs/obs.h"
+#include "packing/group_enum.h"
+#include "packing/groups.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace o2o::packing {
+namespace {
+
+const geo::EuclideanOracle kOracle;
+
+trace::Request make_request(trace::RequestId id, geo::Point pickup, geo::Point dropoff,
+                            int seats = 1) {
+  trace::Request request;
+  request.id = id;
+  request.pickup = pickup;
+  request.dropoff = dropoff;
+  request.seats = seats;
+  return request;
+}
+
+/// City-style frame: pick-ups over an `extent_km` square, trips 1-4 km.
+std::vector<trace::Request> make_city_requests(int count, std::uint64_t seed,
+                                               double extent_km) {
+  Rng rng(seed);
+  std::vector<trace::Request> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const geo::Point pickup{rng.uniform(0.0, extent_km), rng.uniform(0.0, extent_km)};
+    const double angle = rng.uniform(0.0, 6.283185307179586);
+    const double trip = rng.uniform(1.0, 4.0);
+    const geo::Point dropoff{pickup.x + trip * std::cos(angle),
+                             pickup.y + trip * std::sin(angle)};
+    requests.push_back(make_request(i, pickup, dropoff, 1 + (i % 2)));
+  }
+  return requests;
+}
+
+void expect_routes_equal(const routing::Route& a, const routing::Route& b) {
+  ASSERT_EQ(a.start.has_value(), b.start.has_value());
+  if (a.start.has_value()) {
+    EXPECT_EQ(a.start->x, b.start->x);
+    EXPECT_EQ(a.start->y, b.start->y);
+  }
+  ASSERT_EQ(a.stops.size(), b.stops.size());
+  for (std::size_t s = 0; s < a.stops.size(); ++s) {
+    EXPECT_EQ(a.stops[s].request, b.stops[s].request);
+    EXPECT_EQ(a.stops[s].is_pickup, b.stops[s].is_pickup);
+    EXPECT_EQ(a.stops[s].point.x, b.stops[s].point.x);
+    EXPECT_EQ(a.stops[s].point.y, b.stops[s].point.y);
+  }
+}
+
+void expect_groups_equal(const std::vector<ShareGroup>& actual,
+                         const std::vector<ShareGroup>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t g = 0; g < actual.size(); ++g) {
+    EXPECT_EQ(actual[g].member_indices, expected[g].member_indices);
+    EXPECT_EQ(actual[g].pooled_length_km, expected[g].pooled_length_km);
+    EXPECT_EQ(actual[g].direct_sum_km, expected[g].direct_sum_km);
+    EXPECT_EQ(actual[g].max_detour_km, expected[g].max_detour_km);
+    EXPECT_EQ(actual[g].member_direct_km, expected[g].member_direct_km);
+    expect_routes_equal(actual[g].pooled_route, expected[g].pooled_route);
+  }
+}
+
+/// Runs the engine under every {simd, cone} combination plus a cold and
+/// a warm cached pass, each compared bit-for-bit against the serial
+/// dense scan of the same frame.
+void run_knob_matrix(const std::vector<trace::Request>& requests,
+                     const geo::DistanceOracle& oracle, GroupOptions options) {
+  options.parallel = false;
+  const auto serial = enumerate_share_groups(requests, oracle, options);
+  options.parallel = true;
+  for (const bool simd : {false, true}) {
+    for (const bool cone : {false, true}) {
+      SCOPED_TRACE(::testing::Message() << "simd=" << simd << " cone=" << cone);
+      options.simd_prefilter = simd;
+      options.direction_cone = cone;
+      options.cross_frame_cache = false;
+      expect_groups_equal(enumerate_share_groups(requests, oracle, options), serial);
+      options.cross_frame_cache = true;
+      GroupCache cache;
+      expect_groups_equal(enumerate_share_groups(requests, oracle, options, 4, &cache),
+                          serial);  // cold
+      expect_groups_equal(enumerate_share_groups(requests, oracle, options, 4, &cache),
+                          serial);  // warm replay
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD pair certificate: conservative with respect to the exact scan.
+
+struct PairLegsStorage {
+  std::vector<double> a, a2, b, b2, c, c2, di, dj;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+
+  simd::PairLegsSoA view() const {
+    return {a.data(), a2.data(), b.data(),  b2.data(),
+            c.data(), c2.data(), di.data(), dj.data()};
+  }
+};
+
+PairLegsStorage gather_all_pair_legs(const std::vector<trace::Request>& requests,
+                                     const geo::DistanceOracle& oracle) {
+  PairLegsStorage legs;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    for (std::size_t j = i + 1; j < requests.size(); ++j) {
+      const trace::Request& ri = requests[i];
+      const trace::Request& rj = requests[j];
+      legs.a.push_back(oracle.distance(ri.pickup, rj.pickup));
+      legs.a2.push_back(oracle.distance(rj.pickup, ri.pickup));
+      legs.b.push_back(oracle.distance(rj.pickup, ri.dropoff));
+      legs.b2.push_back(oracle.distance(ri.pickup, rj.dropoff));
+      legs.c.push_back(oracle.distance(ri.dropoff, rj.dropoff));
+      legs.c2.push_back(oracle.distance(rj.dropoff, ri.dropoff));
+      legs.di.push_back(oracle.distance(ri.pickup, ri.dropoff));
+      legs.dj.push_back(oracle.distance(rj.pickup, rj.dropoff));
+      legs.pairs.emplace_back(i, j);
+    }
+  }
+  return legs;
+}
+
+std::set<std::pair<std::size_t, std::size_t>> exact_feasible_pairs(
+    const std::vector<trace::Request>& requests, const geo::DistanceOracle& oracle,
+    double theta) {
+  GroupOptions options;
+  options.detour_threshold_km = theta;
+  options.max_group_size = 2;
+  options.parallel = false;
+  std::set<std::pair<std::size_t, std::size_t>> feasible;
+  for (const ShareGroup& group : enumerate_share_groups(requests, oracle, options)) {
+    feasible.emplace(group.member_indices[0], group.member_indices[1]);
+  }
+  return feasible;
+}
+
+TEST(SimdKernel, BackendResolvesToOneName) {
+  const simd::Backend backend = simd::active_backend();
+  EXPECT_FALSE(simd::backend_name(backend).empty());
+#if defined(O2O_SIMD_SCALAR_ONLY)
+  EXPECT_EQ(backend, simd::Backend::kScalar);
+#endif
+  EXPECT_EQ(simd::batch_count(0), 0u);
+  EXPECT_EQ(simd::batch_count(1), 1u);
+  EXPECT_EQ(simd::batch_count(8), 1u);
+  EXPECT_EQ(simd::batch_count(9), 2u);
+}
+
+TEST(SimdKernel, CertificateKeepsEveryExactlyFeasiblePair) {
+  for (const std::uint64_t seed : {7u, 8u, 9u}) {
+    const auto requests = make_city_requests(40, seed, 12.0);
+    const double theta = 3.0;
+    const auto feasible = exact_feasible_pairs(requests, kOracle, theta);
+    ASSERT_FALSE(feasible.empty());
+
+    const PairLegsStorage legs = gather_all_pair_legs(requests, kOracle);
+    std::vector<std::uint8_t> keep(legs.pairs.size(), 0);
+    simd::pair_filter(legs.view(), legs.pairs.size(), theta, kFilterPadKm, keep.data());
+    for (std::size_t k = 0; k < legs.pairs.size(); ++k) {
+      if (feasible.count(legs.pairs[k]) != 0) {
+        EXPECT_EQ(keep[k], 1) << "feasible pair (" << legs.pairs[k].first << ", "
+                              << legs.pairs[k].second << ") rejected by the certificate";
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, RejectsFarApartAndOppositePairs) {
+  // Far apart: no order can come close to saving.
+  std::vector<trace::Request> far{make_request(0, {0.0, 0.0}, {2.0, 0.0}),
+                                  make_request(1, {100.0, 0.0}, {102.0, 0.0})};
+  PairLegsStorage legs = gather_all_pair_legs(far, kOracle);
+  std::vector<std::uint8_t> keep(1, 1);
+  EXPECT_EQ(simd::pair_filter(legs.view(), 1, 5.0, kFilterPadKm, keep.data()), 0u);
+  EXPECT_EQ(keep[0], 0);
+
+  // Offset head-on trips: every interleaved order backtracks at least
+  // 2 km past the direct sum, so no saving exists even with an infinite
+  // θ. (An exactly mirrored pair would sit *on* the saving boundary,
+  // which the conservative filter keeps by design.)
+  std::vector<trace::Request> opposite{make_request(0, {0.0, 0.0}, {5.0, 0.0}),
+                                       make_request(1, {7.0, 0.0}, {2.0, 0.0})};
+  legs = gather_all_pair_legs(opposite, kOracle);
+  keep.assign(1, 1);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(simd::pair_filter(legs.view(), 1, inf, kFilterPadKm, keep.data()), 0u);
+  EXPECT_EQ(keep[0], 0);
+
+  // Same-direction overlap: order p0 p1 d0 d1 saves 3 km; must be kept.
+  std::vector<trace::Request> overlap{make_request(0, {0.0, 0.0}, {4.0, 0.0}),
+                                      make_request(1, {1.0, 0.0}, {5.0, 0.0})};
+  legs = gather_all_pair_legs(overlap, kOracle);
+  keep.assign(1, 0);
+  EXPECT_EQ(simd::pair_filter(legs.view(), 1, inf, kFilterPadKm, keep.data()), 1u);
+  EXPECT_EQ(keep[0], 1);
+}
+
+TEST(ConeKernel, EllipseKeepsEveryExactlyFeasiblePair) {
+  for (const std::uint64_t seed : {11u, 12u}) {
+    const auto requests = make_city_requests(40, seed, 12.0);
+    const double theta = 3.0;
+    const auto feasible = exact_feasible_pairs(requests, kOracle, theta);
+    ASSERT_FALSE(feasible.empty());
+
+    std::vector<double> pix, piy, dix, diy, pjx, pjy, djx, djy, bi, bj;
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      for (std::size_t j = i + 1; j < requests.size(); ++j) {
+        pix.push_back(requests[i].pickup.x);
+        piy.push_back(requests[i].pickup.y);
+        dix.push_back(requests[i].dropoff.x);
+        diy.push_back(requests[i].dropoff.y);
+        pjx.push_back(requests[j].pickup.x);
+        pjy.push_back(requests[j].pickup.y);
+        djx.push_back(requests[j].dropoff.x);
+        djy.push_back(requests[j].dropoff.y);
+        bi.push_back(kOracle.distance(requests[i].pickup, requests[i].dropoff) + theta);
+        bj.push_back(kOracle.distance(requests[j].pickup, requests[j].dropoff) + theta);
+        pairs.emplace_back(i, j);
+      }
+    }
+    const simd::ConeSoA soa{pix.data(), piy.data(), dix.data(), diy.data(),
+                            pjx.data(), pjy.data(), djx.data(), djy.data(),
+                            bi.data(),  bj.data()};
+    std::vector<std::uint8_t> keep(pairs.size(), 0);
+    simd::cone_filter(soa, pairs.size(), kFilterPadKm, keep.data());
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      if (feasible.count(pairs[k]) != 0) {
+        EXPECT_EQ(keep[k], 1) << "feasible pair (" << pairs[k].first << ", "
+                              << pairs[k].second << ") rejected by the cone";
+      }
+    }
+  }
+}
+
+TEST(ConeKernel, PrunePreservesKeyOrder) {
+  const auto requests = make_city_requests(32, 13, 14.0);
+  const double theta = 2.0;
+  std::vector<double> direct(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    direct[i] = kOracle.distance(requests[i].pickup, requests[i].dropoff);
+  }
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    for (std::size_t j = i + 1; j < requests.size(); ++j) {
+      keys.push_back((static_cast<std::uint64_t>(i) << 32) | j);
+    }
+  }
+  const std::vector<std::uint64_t> before = keys;
+  const FilterStats stats = cone_prune_pairs(requests, direct, theta, keys);
+  EXPECT_EQ(stats.kept, keys.size());
+  EXPECT_EQ(stats.kept + stats.rejected, before.size());
+  EXPECT_GT(stats.rejected, 0u);  // a spread city always has diverging pairs
+  // Survivors are a subsequence of the input (order preserved).
+  std::size_t cursor = 0;
+  for (const std::uint64_t key : keys) {
+    while (cursor < before.size() && before[cursor] != key) ++cursor;
+    ASSERT_LT(cursor, before.size());
+    ++cursor;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GroupCache invariants.
+
+GroupOptions cache_options() {
+  GroupOptions options;
+  options.detour_threshold_km = 3.0;
+  return options;
+}
+
+TEST(GroupCacheTest, ReplaysStoredVerdictsBitForBit) {
+  auto requests = make_city_requests(6, 3, 4.0);
+  const GroupOptions options = cache_options();
+  GroupCache cache;
+  cache.begin_frame(requests, options, 4, &kOracle);
+
+  const std::size_t members[2] = {0, 1};
+  ShareGroup out;
+  EXPECT_EQ(cache.try_get(members, 2, out), GroupCache::Verdict::kMiss);
+
+  bool feasible = false;
+  const ShareGroup exact =
+      evaluate_group(requests, {0, 1}, kOracle, options, 4, feasible);
+  cache.store(members, 2, feasible, exact);
+  EXPECT_EQ(cache.stats().stores, 1u);
+
+  cache.begin_frame(requests, options, 4, &kOracle);
+  const GroupCache::Verdict verdict = cache.try_get(members, 2, out);
+  if (feasible) {
+    ASSERT_EQ(verdict, GroupCache::Verdict::kFeasible);
+    expect_groups_equal({out}, {exact});
+  } else {
+    EXPECT_EQ(verdict, GroupCache::Verdict::kInfeasible);
+  }
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(GroupCacheTest, InfeasibleVerdictsReplayWithoutPayload) {
+  // Two trips that can never pool: the verdict caches as kInfeasible.
+  std::vector<trace::Request> requests{make_request(0, {0.0, 0.0}, {2.0, 0.0}),
+                                       make_request(1, {50.0, 0.0}, {52.0, 0.0})};
+  const GroupOptions options = cache_options();
+  GroupCache cache;
+  cache.begin_frame(requests, options, 4, &kOracle);
+  const std::size_t members[2] = {0, 1};
+  bool feasible = true;
+  const ShareGroup exact =
+      evaluate_group(requests, {0, 1}, kOracle, options, 4, feasible);
+  ASSERT_FALSE(feasible);
+  cache.store(members, 2, feasible, exact);
+  ShareGroup out;
+  EXPECT_EQ(cache.try_get(members, 2, out), GroupCache::Verdict::kInfeasible);
+}
+
+TEST(GroupCacheTest, ContentChangeInvalidatesTouchedEntries) {
+  auto requests = make_city_requests(6, 5, 4.0);
+  const GroupOptions options = cache_options();
+  GroupCache cache;
+  cache.begin_frame(requests, options, 4, &kOracle);
+  const std::size_t members[2] = {0, 1};
+  bool feasible = false;
+  const ShareGroup exact =
+      evaluate_group(requests, {0, 1}, kOracle, options, 4, feasible);
+  cache.store(members, 2, feasible, exact);
+
+  requests[0].pickup.x += 0.25;  // edit rider 0 -> stamp bump
+  cache.begin_frame(requests, options, 4, &kOracle);
+  ShareGroup out;
+  EXPECT_EQ(cache.try_get(members, 2, out), GroupCache::Verdict::kMiss);
+  EXPECT_EQ(cache.stats().invalidated, 1u);
+}
+
+TEST(GroupCacheTest, FingerprintChangeFlushesEverything) {
+  auto requests = make_city_requests(6, 7, 4.0);
+  GroupOptions options = cache_options();
+  GroupCache cache;
+  cache.begin_frame(requests, options, 4, &kOracle);
+  const std::size_t members[2] = {0, 1};
+  bool feasible = false;
+  const ShareGroup exact =
+      evaluate_group(requests, {0, 1}, kOracle, options, 4, feasible);
+  cache.store(members, 2, feasible, exact);
+  ASSERT_EQ(cache.size(), 1u);
+
+  options.detour_threshold_km = 4.5;  // θ enters the fingerprint
+  cache.begin_frame(requests, options, 4, &kOracle);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().flushes, 1u);
+  ShareGroup out;
+  EXPECT_EQ(cache.try_get(members, 2, out), GroupCache::Verdict::kMiss);
+}
+
+TEST(GroupCacheTest, KeyIsOrderSensitive) {
+  auto requests = make_city_requests(6, 9, 4.0);
+  const GroupOptions options = cache_options();
+  GroupCache cache;
+  cache.begin_frame(requests, options, 4, &kOracle);
+  const std::size_t forward[2] = {0, 1};
+  const std::size_t swapped[2] = {1, 0};
+  bool feasible = false;
+  const ShareGroup exact =
+      evaluate_group(requests, {0, 1}, kOracle, options, 4, feasible);
+  cache.store(forward, 2, feasible, exact);
+  ShareGroup out;
+  EXPECT_EQ(cache.try_get(swapped, 2, out), GroupCache::Verdict::kMiss);
+}
+
+TEST(GroupCacheTest, StaleEntriesAreGarbageCollected) {
+  auto requests = make_city_requests(6, 15, 4.0);
+  const GroupOptions options = cache_options();
+  GroupCache cache;
+  cache.begin_frame(requests, options, 4, &kOracle);
+  const std::size_t members[2] = {0, 1};
+  bool feasible = false;
+  const ShareGroup exact =
+      evaluate_group(requests, {0, 1}, kOracle, options, 4, feasible);
+  cache.store(members, 2, feasible, exact);
+  ASSERT_EQ(cache.size(), 1u);
+
+  // Never touch the entry again: after a sweep period it must be gone.
+  for (int frame = 0; frame < 24; ++frame) {
+    cache.begin_frame(requests, options, 4, &kOracle);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GE(cache.stats().invalidated, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Knob matrix x oracle differentials.
+
+TEST(KnobMatrix, EuclideanOracleMatchesSerial) {
+  GroupOptions options;
+  options.detour_threshold_km = 3.0;
+  for (const std::uint64_t seed : {17u, 18u}) {
+    run_knob_matrix(make_city_requests(48, seed, 14.0), kOracle, options);
+  }
+}
+
+TEST(KnobMatrix, ManhattanOracleMatchesSerial) {
+  const geo::ManhattanOracle oracle;
+  GroupOptions options;
+  options.detour_threshold_km = 3.0;
+  run_knob_matrix(make_city_requests(44, 19, 13.0), oracle, options);
+}
+
+TEST(KnobMatrix, CircuityOracleMatchesSerial) {
+  const geo::CircuityOracle oracle(1.3);
+  GroupOptions options;
+  options.detour_threshold_km = 3.0;
+  run_knob_matrix(make_city_requests(44, 21, 13.0), oracle, options);
+}
+
+TEST(KnobMatrix, NetworkOracleMatchesSerial) {
+  // Asymmetric oracle: the leg gather must take the reverse-row path.
+  const geo::RoadNetwork city = geo::RoadNetwork::make_grid_city(10, 10, 1.0, 0.15, 0.1, 7);
+  const geo::NetworkOracle oracle(city);
+  ASSERT_FALSE(oracle.symmetric_distances());
+  Rng rng(23);
+  std::vector<trace::Request> requests;
+  for (int i = 0; i < 32; ++i) {
+    const geo::Point pickup{rng.uniform(0.5, 8.5), rng.uniform(0.5, 8.5)};
+    const geo::Point dropoff{rng.uniform(0.5, 8.5), rng.uniform(0.5, 8.5)};
+    requests.push_back(make_request(i, pickup, dropoff));
+  }
+  GroupOptions options;
+  options.detour_threshold_km = 2.5;
+  run_knob_matrix(requests, oracle, options);
+}
+
+TEST(KnobMatrix, NoSavingConstraintDisablesSimdAndCone) {
+  // require_saving = false voids both conservative filters' premises;
+  // the engine must gate them off and still match the serial scan.
+  GroupOptions options;
+  options.detour_threshold_km = 2.0;
+  options.require_saving = false;
+  options.pickup_radius_km = 3.0;
+  run_knob_matrix(make_city_requests(36, 25, 10.0), kOracle, options);
+}
+
+TEST(KnobMatrix, TriplesAndSeatLimitsMatchSerial) {
+  GroupOptions options;
+  options.detour_threshold_km = 4.0;
+  const auto requests = make_city_requests(36, 27, 8.0);  // dense: triples exist
+  run_knob_matrix(requests, kOracle, options);
+}
+
+// ---------------------------------------------------------------------------
+// θ and radius boundaries.
+
+TEST(ThetaBoundary, ZeroThetaStillPoolsZeroDetourPairs) {
+  // Identical trips pool with zero detour and positive saving, so θ = 0
+  // keeps exactly those; every knob combination must agree.
+  std::vector<trace::Request> requests;
+  requests.push_back(make_request(0, {0.0, 0.0}, {3.0, 0.0}));
+  requests.push_back(make_request(1, {0.0, 0.0}, {3.0, 0.0}));
+  requests.push_back(make_request(2, {10.0, 10.0}, {12.0, 10.0}));
+  requests.push_back(make_request(3, {5.0, 5.0}, {5.0, 8.0}));
+  GroupOptions options;
+  options.detour_threshold_km = 0.0;
+  options.parallel = false;
+  const auto serial = enumerate_share_groups(requests, kOracle, options);
+  ASSERT_EQ(serial.size(), 1u);
+  EXPECT_EQ(serial[0].member_indices, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(serial[0].max_detour_km, 0.0);
+  run_knob_matrix(requests, kOracle, options);
+}
+
+TEST(ThetaBoundary, DetourExactlyAtThetaIsFeasibleOnEveryPath) {
+  // Pin θ to a realized max detour: the witness group sits exactly on
+  // the boundary (the check is `detour > θ`, so equality is feasible)
+  // and every knob combination must keep it.
+  const auto requests = make_city_requests(40, 29, 10.0);
+  GroupOptions wide;
+  wide.detour_threshold_km = 6.0;
+  wide.max_group_size = 2;
+  wide.parallel = false;
+  double theta = 0.0;
+  for (const ShareGroup& group : enumerate_share_groups(requests, kOracle, wide)) {
+    theta = std::max(theta, group.max_detour_km);
+  }
+  ASSERT_GT(theta, 0.0);
+
+  GroupOptions edge;
+  edge.detour_threshold_km = theta;
+  edge.max_group_size = 2;
+  edge.parallel = false;
+  const auto at_edge = enumerate_share_groups(requests, kOracle, edge);
+  EXPECT_TRUE(std::any_of(at_edge.begin(), at_edge.end(), [&](const ShareGroup& g) {
+    return g.max_detour_km == theta;
+  }));
+  run_knob_matrix(requests, kOracle, edge);
+
+  // One ulp below the witness detour: still bit-identical everywhere,
+  // and nothing exceeds the tightened bound.
+  GroupOptions below = edge;
+  below.detour_threshold_km = std::nextafter(theta, 0.0);
+  const auto under = enumerate_share_groups(requests, kOracle, below);
+  for (const ShareGroup& group : under) {
+    EXPECT_LE(group.max_detour_km, below.detour_threshold_km);
+  }
+  run_knob_matrix(requests, kOracle, below);
+}
+
+TEST(RadiusBoundary, PickupRadiusTieMatchesSerial) {
+  // Pick-ups exactly pickup_radius_km apart sit on the grid prefilter's
+  // boundary; the accelerated paths must agree with the serial scan on
+  // which side of it every pair lands.
+  std::vector<trace::Request> requests;
+  requests.push_back(make_request(0, {0.0, 0.0}, {5.0, 0.0}));
+  requests.push_back(make_request(1, {2.0, 0.0}, {7.0, 0.0}));  // exactly 2 km away
+  requests.push_back(make_request(2, {4.0, 0.0}, {9.0, 0.0}));  // exactly 2 km from 1
+  auto extra = make_city_requests(24, 33, 9.0);
+  for (auto& request : extra) {
+    request.id += 10;
+    requests.push_back(request);
+  }
+  GroupOptions options;
+  options.detour_threshold_km = 5.0;
+  options.pickup_radius_km = 2.0;
+  run_knob_matrix(requests, kOracle, options);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-frame persistence under churn.
+
+TEST(CrossFrameCache, PerturbedFramesStayBitIdentical) {
+  auto requests = make_city_requests(56, 35, 14.0);
+  GroupOptions options;
+  options.detour_threshold_km = 3.0;
+  GroupCache cache;
+  Rng rng(99);
+  trace::RequestId next_id = 1000;
+  for (int frame = 0; frame < 5; ++frame) {
+    SCOPED_TRACE(::testing::Message() << "frame=" << frame);
+    GroupOptions warm = options;
+    warm.parallel = true;
+    const auto cached = enumerate_share_groups(requests, kOracle, warm, 4, &cache);
+    GroupOptions serial = options;
+    serial.parallel = false;
+    expect_groups_equal(cached, enumerate_share_groups(requests, kOracle, serial));
+
+    // ~15% churn preserving survivor order (the simulator's FIFO shape):
+    // drop some riders, edit one in place, append fresh arrivals.
+    std::vector<trace::Request> next;
+    for (const trace::Request& request : requests) {
+      if (rng.uniform(0.0, 1.0) >= 0.15) next.push_back(request);
+    }
+    if (!next.empty()) next.front().pickup.x += 0.05;
+    for (int added = 0; added < 8; ++added) {
+      const geo::Point pickup{rng.uniform(0.0, 14.0), rng.uniform(0.0, 14.0)};
+      next.push_back(make_request(next_id++, pickup,
+                                  {pickup.x + rng.uniform(-3.0, 3.0),
+                                   pickup.y + rng.uniform(-3.0, 3.0)}));
+    }
+    requests = std::move(next);
+  }
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_GT(cache.stats().invalidated, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: the pipeline's counters reach the active sink.
+
+TEST(ObsCounters, PipelineCountersReachTheActiveSink) {
+  obs::TraceSink sink;
+  obs::Activation guard(sink);
+  const auto requests = make_city_requests(64, 37, 16.0);
+  GroupOptions options;
+  options.detour_threshold_km = 2.5;
+  options.parallel = true;
+  GroupCache cache;
+  const auto counter = [](const obs::FrameTrace& frame, obs::Counter which) {
+    return frame.counters[static_cast<std::size_t>(which)];
+  };
+
+  sink.begin_frame(0, 0.0);
+  enumerate_share_groups(requests, kOracle, options, 4, &cache);
+  const obs::FrameTrace cold = sink.end_frame();
+  EXPECT_GT(counter(cold, obs::Counter::kConeRejects), 0u);
+  EXPECT_GT(counter(cold, obs::Counter::kSimdBatches), 0u);
+  EXPECT_GE(counter(cold, obs::Counter::kSimdBatchOccupancy),
+            counter(cold, obs::Counter::kSimdBatches));
+  EXPECT_GT(counter(cold, obs::Counter::kGroupCacheRevalidations), 0u);
+  EXPECT_EQ(counter(cold, obs::Counter::kGroupCacheHits), 0u);
+
+  sink.begin_frame(1, 60.0);
+  enumerate_share_groups(requests, kOracle, options, 4, &cache);
+  const obs::FrameTrace hot = sink.end_frame();
+  EXPECT_GT(counter(hot, obs::Counter::kGroupCacheHits), 0u);
+}
+
+}  // namespace
+}  // namespace o2o::packing
+
+// ---------------------------------------------------------------------------
+// Dispatch-level differential: a shared GroupCache across calls must
+// leave the sharing dispatcher's matchings untouched.
+
+namespace o2o::core {
+namespace {
+
+const geo::EuclideanOracle kDispatchOracle;
+
+void expect_outcomes_equal(const SharingOutcome& a, const SharingOutcome& b) {
+  EXPECT_EQ(a.feasible_groups, b.feasible_groups);
+  EXPECT_EQ(a.packed_groups, b.packed_groups);
+  EXPECT_EQ(a.unserved_request_indices, b.unserved_request_indices);
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    EXPECT_EQ(a.assignments[i].taxi_index, b.assignments[i].taxi_index);
+    EXPECT_EQ(a.assignments[i].request_indices, b.assignments[i].request_indices);
+    EXPECT_EQ(a.assignments[i].passenger_score, b.assignments[i].passenger_score);
+    EXPECT_EQ(a.assignments[i].taxi_score, b.assignments[i].taxi_score);
+  }
+}
+
+TEST(DispatchDifferential, GroupCacheLeavesMatchingsIdentical) {
+  Rng rng(41);
+  std::vector<trace::Request> requests;
+  for (int i = 0; i < 30; ++i) {
+    const geo::Point pickup{rng.uniform(0.0, 12.0), rng.uniform(0.0, 12.0)};
+    requests.push_back(trace::Request{});
+    requests.back().id = i;
+    requests.back().pickup = pickup;
+    requests.back().dropoff = {pickup.x + rng.uniform(-3.0, 3.0),
+                               pickup.y + rng.uniform(-3.0, 3.0)};
+    requests.back().seats = 1;
+  }
+  std::vector<trace::Taxi> taxis;
+  for (int t = 0; t < 20; ++t) {
+    taxis.push_back(trace::Taxi{});
+    taxis.back().id = t;
+    taxis.back().location = {rng.uniform(0.0, 12.0), rng.uniform(0.0, 12.0)};
+    taxis.back().seats = 4;
+  }
+
+  SharingParams params;
+  params.grouping.detour_threshold_km = 3.0;
+  const SharingOutcome plain = dispatch_sharing(taxis, requests, kDispatchOracle, params);
+
+  packing::GroupCache cache;
+  const SharingOutcome cold =
+      dispatch_sharing(taxis, requests, kDispatchOracle, params, nullptr, &cache);
+  const SharingOutcome warm =
+      dispatch_sharing(taxis, requests, kDispatchOracle, params, nullptr, &cache);
+  expect_outcomes_equal(cold, plain);
+  expect_outcomes_equal(warm, plain);
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace o2o::core
