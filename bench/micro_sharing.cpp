@@ -21,7 +21,9 @@
 #include <string_view>
 #include <vector>
 
+#include "core/dispatch_config.h"
 #include "core/sharing.h"
+#include "index/spatial_grid.h"
 #include "obs/obs.h"
 #include "packing/group_enum.h"
 #include "packing/groups.h"
@@ -340,6 +342,130 @@ std::vector<trace::Request> perturb_frame(std::vector<trace::Request> requests,
   return next;
 }
 
+// Full-dispatch A/B over the same perturbed frame stream: a persistent
+// STD-P dispatcher driven through hand-built DispatchContexts, once with
+// the incremental frame engine off (persist_candidates / parallel_exact /
+// warm_start_da all false -- the cross-frame verdict cache stays on, so
+// the baseline is the engine before this PR) and once with it on.
+// Matched requests deliberately stay in the stream (the streaming
+// re-dispatch shape where warm-start hints can fire); the fleet is a
+// fixed idle set, so the simulator-side grid patching is covered by the
+// sim_incremental_grid differential test, not here.
+
+struct DispatchArmResult {
+  double cold_ms = 0.0;
+  double warm_mean_ms = 0.0;
+  /// Stage times and counters summed over the warm frames only.
+  obs::FrameTrace warm;
+  int warm_frames = 0;
+};
+
+DispatchArmResult run_dispatch_arm(bool incremental, int frames, std::size_t size,
+                                   double churn_rate) {
+  constexpr double kExtentKm = 40.0;
+  const DispatchConfig config = DispatchConfig{}
+                                    .with_detour_threshold_km(2.0)
+                                    .with_passenger_threshold_km(2.0)
+                                    .with_taxi_threshold_score(8.0)
+                                    .with_candidate_taxis_per_unit(8)
+                                    .with_persist_candidates(incremental)
+                                    .with_parallel_exact(incremental)
+                                    .with_warm_start_da(incremental);
+  const auto dispatcher = make_std_p(config);
+
+  Rng rng(25);
+  std::vector<trace::Taxi> taxis;
+  for (int t = 0; t < 700; ++t) {
+    trace::Taxi taxi;
+    taxi.id = t;
+    taxi.location = {rng.uniform(0, kExtentKm), rng.uniform(0, kExtentKm)};
+    taxis.push_back(taxi);
+  }
+
+  auto requests = make_city_requests(size, 29);
+  packing::GroupCache cache;
+  Rng churn(31);
+  trace::RequestId next_id = static_cast<trace::RequestId>(size);
+
+  obs::TraceSink sink(obs::TraceOptions{.enabled = true});
+  obs::Activation guard(sink);
+  DispatchArmResult result;
+  double warm_total_ms = 0.0;
+  for (int frame = 0; frame < frames; ++frame) {
+    const index::SpatialGrid grid(std::span<const trace::Taxi>(taxis), 1.0);
+    sim::DispatchContext context;
+    context.now_seconds = frame * 60.0;
+    context.idle_taxis = taxis;
+    context.pending = requests;
+    context.oracle = &kOracle;
+    context.idle_grid = &grid;
+    context.trace = &sink;
+    context.group_cache = &cache;
+    sink.begin_frame(static_cast<std::uint64_t>(frame), context.now_seconds);
+    const auto start = std::chrono::steady_clock::now();
+    const auto assignments = dispatcher->dispatch(context);
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  start)
+            .count();
+    benchmark::DoNotOptimize(assignments.size());
+    sink.end_frame();
+    if (frame == 0) {
+      result.cold_ms = ms;
+    } else {
+      warm_total_ms += ms;
+    }
+    requests = perturb_frame(std::move(requests), churn, next_id, kExtentKm, churn_rate);
+  }
+  for (const obs::FrameTrace& trace : sink.frames()) {
+    if (trace.frame == 0) continue;
+    ++result.warm_frames;
+    for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+      result.warm.stage_ns[i] += trace.stage_ns[i];
+    }
+    for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+      result.warm.counters[i] += trace.counters[i];
+    }
+  }
+  result.warm_mean_ms =
+      frames > 1 ? warm_total_ms / static_cast<double>(frames - 1) : 0.0;
+  return result;
+}
+
+void print_dispatch_ab(int frames, const std::vector<std::size_t>& sizes,
+                       double churn_rate) {
+  const auto stage_ms = [](const DispatchArmResult& r, obs::Stage stage) {
+    if (r.warm_frames == 0) return 0.0;
+    return static_cast<double>(r.warm.stage_ns[static_cast<std::size_t>(stage)]) / 1e6 /
+           static_cast<double>(r.warm_frames);
+  };
+  const auto counter = [](const DispatchArmResult& r, obs::Counter c) {
+    return static_cast<unsigned long long>(
+        r.warm.counters[static_cast<std::size_t>(c)]);
+  };
+  std::printf("\nFull STD-P dispatch frames, 700 idle taxis (~%.0f%% churn/frame)\n",
+              churn_rate * 100.0);
+  std::printf("Warm-frame stage means in ms; counters summed over warm frames.\n");
+  std::printf("%-10s %-12s %-9s %-10s %-9s %-8s %-9s %-8s %-7s %-9s %-10s\n",
+              "requests", "arm", "cold_ms", "warm_mean", "match_ms", "cand_ms",
+              "exact_ms", "reused", "seeds", "batches", "proposals");
+  for (const std::size_t size : sizes) {
+    for (const bool incremental : {false, true}) {
+      const DispatchArmResult r = run_dispatch_arm(incremental, frames, size, churn_rate);
+      std::printf("%-10zu %-12s %-9.2f %-10.2f %-9.2f %-8.2f %-9.2f %-8llu %-7llu "
+                  "%-9llu %-10llu\n",
+                  size, incremental ? "incremental" : "cold", r.cold_ms, r.warm_mean_ms,
+                  stage_ms(r, obs::Stage::kStableMatching),
+                  stage_ms(r, obs::Stage::kCandidateGen),
+                  stage_ms(r, obs::Stage::kExactEval),
+                  counter(r, obs::Counter::kCandidatesReused),
+                  counter(r, obs::Counter::kDaWarmSeeds),
+                  counter(r, obs::Counter::kExactParallelBatches),
+                  counter(r, obs::Counter::kProposals));
+    }
+  }
+}
+
 int run_frames_mode(int frames, bool quick, double churn_rate) {
   constexpr double kExtentKm = 40.0;
   const std::vector<std::size_t> sizes =
@@ -380,6 +506,7 @@ int run_frames_mode(int frames, bool quick, double churn_rate) {
                 static_cast<unsigned long long>(cache.stats().hits),
                 static_cast<unsigned long long>(cache.stats().stores), groups);
   }
+  print_dispatch_ab(frames, sizes, churn_rate);
   return 0;
 }
 

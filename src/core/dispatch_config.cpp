@@ -121,6 +121,16 @@ DispatchConfig& DispatchConfig::with_cross_frame_cache(bool enabled) {
   return *this;
 }
 
+DispatchConfig& DispatchConfig::with_persist_candidates(bool enabled) {
+  params_.grouping.persist_candidates = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_parallel_exact(bool enabled) {
+  params_.grouping.parallel_exact = enabled;
+  return *this;
+}
+
 DispatchConfig& DispatchConfig::with_packing_solver(core::PackingSolver solver) {
   params_.packing = solver;
   return *this;
@@ -148,6 +158,11 @@ DispatchConfig& DispatchConfig::with_exact_max_sets(std::size_t count) {
 
 DispatchConfig& DispatchConfig::with_enroute_extension(bool enabled) {
   enroute_extension_ = enabled;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_warm_start_da(bool enabled) {
+  warm_start_da_ = enabled;
   return *this;
 }
 
@@ -197,6 +212,11 @@ DispatchConfig& DispatchConfig::with_drain_seconds(double seconds) {
 
 DispatchConfig& DispatchConfig::with_idle_grid_cell_km(double km) {
   sim_.idle_grid_cell_km = km;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_incremental_grid(bool enabled) {
+  sim_.incremental_grid = enabled;
   return *this;
 }
 
@@ -328,6 +348,7 @@ core::StableDispatcherOptions DispatchConfig::stable_options() const {
   options.taxi_side_via_enumeration = taxi_side_via_enumeration_;
   options.enumeration_cap = enumeration_cap_;
   options.sharding = params_.sharding;
+  options.warm_start_da = warm_start_da_;
   return options;
 }
 
@@ -335,6 +356,7 @@ core::SharingStableDispatcherOptions DispatchConfig::sharing_options() const {
   core::SharingStableDispatcherOptions options;
   options.params = params_;
   options.enroute_extension = enroute_extension_;
+  options.warm_start_da = warm_start_da_;
   return options;
 }
 

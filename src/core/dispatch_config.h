@@ -103,12 +103,21 @@ class DispatchConfig {
   DispatchConfig& with_simd_prefilter(bool enabled);
   DispatchConfig& with_direction_cone(bool enabled);
   DispatchConfig& with_cross_frame_cache(bool enabled);
+  /// Incremental frame engine (DESIGN.md): persist per-request candidate
+  /// lists across frames / fan exact group evaluation over the thread
+  /// pool. Both default on and both bit-identical to the cold scan.
+  DispatchConfig& with_persist_candidates(bool enabled);
+  DispatchConfig& with_parallel_exact(bool enabled);
   DispatchConfig& with_packing_solver(core::PackingSolver solver);
   DispatchConfig& with_packing_objective(core::PackingObjective objective);
   DispatchConfig& with_taxi_seats(int seats);
   DispatchConfig& with_candidate_taxis_per_unit(std::size_t count);
   DispatchConfig& with_exact_max_sets(std::size_t count);
   DispatchConfig& with_enroute_extension(bool enabled);
+  /// Warm-start deferred acceptance from the previous frame's matching
+  /// (both stable dispatcher families; default on; output bit-identical
+  /// — see DESIGN.md "Incremental frame engine").
+  DispatchConfig& with_warm_start_da(bool enabled);
 
   // --- sharded matching engine (core/shard_engine.h) --------------------
   /// Replaces the whole sharding section. `deterministic_merge` must stay
@@ -131,6 +140,10 @@ class DispatchConfig {
   DispatchConfig& with_cancel_timeout_seconds(double seconds);
   DispatchConfig& with_drain_seconds(double seconds);
   DispatchConfig& with_idle_grid_cell_km(double km);
+  /// Patch the idle-taxi snapshot and its spatial index across frames
+  /// instead of rebuilding them (see SimulatorConfig::incremental_grid
+  /// for the permutation caveat). Off by default.
+  DispatchConfig& with_incremental_grid(bool enabled);
   /// Drive taxis along this network's shortest paths. Passing a network
   /// opts into road mode; validate() then rejects a null network (reset
   /// by replacing the whole section via simulation()).
@@ -167,6 +180,7 @@ class DispatchConfig {
   bool taxi_side_via_enumeration_ = false;
   std::size_t enumeration_cap_ = 512;
   bool enroute_extension_ = false;
+  bool warm_start_da_ = true;
   obs::TraceOptions trace_;
   sim::SimulatorConfig sim_;  ///< alpha/beta mirror the preference knobs
   bool road_mode_ = false;    ///< with_road_network was called (null ⇒ error)

@@ -12,6 +12,33 @@ namespace o2o::core {
 
 namespace {
 
+/// Re-keys a dispatcher's remembered request-id -> taxi-id matching into
+/// this frame's span indices: entry r is the idle-taxi index the pending
+/// request r matched last call, or kDummy when either side left the
+/// frame. Returns an empty vector (hints disabled) when nothing maps.
+std::vector<int> map_warm_memory(
+    const std::unordered_map<trace::RequestId, trace::TaxiId>& memory,
+    std::span<const trace::Taxi> idle_taxis, std::span<const trace::Request> pending) {
+  if (memory.empty()) return {};
+  std::unordered_map<trace::TaxiId, int> taxi_index;
+  taxi_index.reserve(idle_taxis.size());
+  for (std::size_t t = 0; t < idle_taxis.size(); ++t) {
+    taxi_index.emplace(idle_taxis[t].id, static_cast<int>(t));
+  }
+  std::vector<int> warm(pending.size(), kDummy);
+  bool any = false;
+  for (std::size_t r = 0; r < pending.size(); ++r) {
+    const auto remembered = memory.find(pending[r].id);
+    if (remembered == memory.end()) continue;
+    const auto index = taxi_index.find(remembered->second);
+    if (index == taxi_index.end()) continue;  // taxi departed / went busy
+    warm[r] = index->second;
+    any = true;
+  }
+  if (!any) return {};
+  return warm;
+}
+
 /// Working state of one busy taxi while the en-route extension inserts
 /// pending requests into its remaining route.
 struct EnrouteTaxi {
@@ -91,17 +118,25 @@ std::vector<sim::DispatchAssignment> StableDispatcher::dispatch(
 
   Matching matching;
   if (options_.side == ProposalSide::kTaxis && options_.taxi_side_via_enumeration) {
+    // The enumeration path re-derives the whole lattice; there is no
+    // proposal prefix to skip, so warm hints do not apply.
     matching = sharded_taxi_optimal_via_enumeration(profile, options_.enumeration_cap,
                                                     options_.sharding);
   } else {
-    matching = sharded_gale_shapley(profile, options_.side, options_.sharding);
+    const std::vector<int> warm_seed =
+        options_.warm_start_da
+            ? map_warm_memory(last_match_, context.idle_taxis, context.pending)
+            : std::vector<int>{};
+    matching = sharded_gale_shapley(profile, options_.side, options_.sharding, warm_seed);
   }
 
+  if (options_.warm_start_da) last_match_.clear();
   std::vector<sim::DispatchAssignment> assignments;
   for (std::size_t r = 0; r < context.pending.size(); ++r) {
     const int t = matching.request_to_taxi[r];
     if (t == kDummy) continue;
     const trace::Taxi& taxi = context.idle_taxis[static_cast<std::size_t>(t)];
+    if (options_.warm_start_da) last_match_.emplace(context.pending[r].id, taxi.id);
     sim::DispatchAssignment assignment;
     assignment.taxi = taxi.id;
     assignment.requests = {context.pending[r].id};
@@ -135,10 +170,16 @@ std::vector<sim::DispatchAssignment> SharingStableDispatcher::dispatch(
       outcome.unserved_request_indices.push_back(i);
     }
   } else {
+    const std::vector<int> warm_taxi =
+        options_.warm_start_da
+            ? map_warm_memory(last_match_, context.idle_taxis, context.pending)
+            : std::vector<int>{};
     outcome = dispatch_sharing(context.idle_taxis, context.pending, *context.oracle,
-                               options_.params, context.idle_grid, context.group_cache);
+                               options_.params, context.idle_grid, context.group_cache,
+                               warm_taxi);
   }
 
+  if (options_.warm_start_da) last_match_.clear();
   std::vector<sim::DispatchAssignment> assignments;
   assignments.reserve(outcome.assignments.size());
   for (const SharedAssignment& shared : outcome.assignments) {
@@ -147,6 +188,9 @@ std::vector<sim::DispatchAssignment> SharingStableDispatcher::dispatch(
     assignment.requests.reserve(shared.request_indices.size());
     for (std::size_t index : shared.request_indices) {
       assignment.requests.push_back(context.pending[index].id);
+      if (options_.warm_start_da) {
+        last_match_.emplace(context.pending[index].id, assignment.taxi);
+      }
     }
     assignment.route = shared.route;
     assignments.push_back(std::move(assignment));

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "core/selectors.h"
 #include "core/sharing.h"
@@ -39,6 +40,14 @@ struct StableDispatcherOptions {
   /// Component-sharded matching engine (core/shard_engine.h). On by
   /// default: the output is bit-identical to the serial pass.
   ShardOptions sharding;
+  /// Warm-start deferred acceptance from the previous dispatch call's
+  /// matching (DESIGN.md "Incremental frame engine"). The dispatcher
+  /// remembers request-id -> taxi-id pairs across frames; hints that
+  /// survive the sequential seed validation skip their proposal prefix,
+  /// the rest run cold — the output is bit-identical either way, so the
+  /// knob only trades memory for proposals. Ignored on the serial
+  /// fallback and the NSTD-T enumeration path (both are cold references).
+  bool warm_start_da = true;
 };
 
 /// Non-sharing stable dispatch (Algorithms 1 and 2).
@@ -56,6 +65,9 @@ class StableDispatcher final : public sim::Dispatcher {
 
  private:
   StableDispatcherOptions options_;
+  /// Previous frame's matching, re-keyed by trace ids so it survives the
+  /// frame-to-frame reshuffle of span indices (warm_start_da).
+  std::unordered_map<trace::RequestId, trace::TaxiId> last_match_;
 };
 
 struct SharingStableDispatcherOptions {
@@ -68,6 +80,12 @@ struct SharingStableDispatcherOptions {
   /// within θ, and the driver's *marginal* score (added distance minus
   /// (α+1)× the new fare) stays within the taxi threshold.
   bool enroute_extension = false;
+  /// Warm-start the stable matching from the previous dispatch call's
+  /// assignments (DESIGN.md "Incremental frame engine"): every member of
+  /// an assignment remembers its taxi id, and a re-packed unit inherits
+  /// the hint only when all members agree. Output stays bit-identical;
+  /// only the proposal count shrinks. Ignored on the serial fallback.
+  bool warm_start_da = true;
 };
 
 /// Sharing stable dispatch (Algorithm 3).
@@ -85,6 +103,10 @@ class SharingStableDispatcher final : public sim::Dispatcher {
 
  private:
   SharingStableDispatcherOptions options_;
+  /// Previous frame's stable assignments by member request id
+  /// (warm_start_da); en-route insertions are deliberately excluded —
+  /// they never came from the matching.
+  std::unordered_map<trace::RequestId, trace::TaxiId> last_match_;
 };
 
 }  // namespace o2o::core

@@ -103,9 +103,13 @@ ComponentPartition extract_components(const PreferenceProfile& profile,
 }
 
 Matching sharded_gale_shapley(const PreferenceProfile& profile, ProposalSide side,
-                              const ShardOptions& options) {
+                              const ShardOptions& options,
+                              std::span<const int> warm_seed) {
   O2O_EXPECTS(options.deterministic_merge);
+  O2O_EXPECTS(warm_seed.empty() || warm_seed.size() == profile.request_count());
   if (!options.parallel) {
+    // The serial fallback is the cold differential reference; seeds are
+    // deliberately ignored (the output is identical either way).
     obs::add(obs::Counter::kShardFallbacks);
     return side == ProposalSide::kPassengers ? gale_shapley_requests(profile)
                                              : gale_shapley_taxis(profile);
@@ -113,6 +117,22 @@ Matching sharded_gale_shapley(const PreferenceProfile& profile, ProposalSide sid
 
   const ComponentPartition partition =
       extract_components(profile, options.max_components_hint);
+
+  // Hints arrive request->taxi; the taxi-proposing side validates
+  // taxi->request, so invert (lowest request deterministically wins a
+  // duplicate-taxi conflict — ascending scan, first writer keeps).
+  std::vector<int> taxi_seed;
+  if (!warm_seed.empty() && side == ProposalSide::kTaxis) {
+    taxi_seed.assign(profile.taxi_count(), kDummy);
+    for (std::size_t r = 0; r < warm_seed.size(); ++r) {
+      const int t = warm_seed[r];
+      if (t == kDummy) continue;
+      if (t >= 0 && static_cast<std::size_t>(t) < taxi_seed.size() &&
+          taxi_seed[static_cast<std::size_t>(t)] == kDummy) {
+        taxi_seed[static_cast<std::size_t>(t)] = static_cast<int>(r);
+      }
+    }
+  }
 
   // Shared, preallocated result: every component call writes only its
   // members' slots (the subset deferred-acceptance contract), so the
@@ -130,9 +150,19 @@ Matching sharded_gale_shapley(const PreferenceProfile& profile, ProposalSide sid
     // reads as CPU time summed over components (load, not wall).
     obs::StageTimer timer(obs::Stage::kStableMatching);
     if (side == ProposalSide::kPassengers) {
+      if (!warm_seed.empty()) {
+        const std::size_t seeded = detail::warm_seed_requests(
+            profile, component.requests, warm_seed, request_match, taxi_match, next_choice);
+        obs::add(obs::Counter::kDaWarmSeeds, seeded);
+      }
       detail::deferred_acceptance_requests(profile, component.requests, request_match,
                                            taxi_match, next_choice);
     } else {
+      if (!taxi_seed.empty()) {
+        const std::size_t seeded = detail::warm_seed_taxis(
+            profile, component.taxis, taxi_seed, taxi_match, request_match, next_choice);
+        obs::add(obs::Counter::kDaWarmSeeds, seeded);
+      }
       detail::deferred_acceptance_taxis(profile, component.taxis, taxi_match, request_match,
                                         next_choice);
     }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/stable_matching.h"
@@ -73,8 +74,19 @@ ComponentPartition extract_components(const PreferenceProfile& profile,
 
 /// Deferred acceptance sharded over components. Bit-identical to
 /// gale_shapley_requests (kPassengers) / gale_shapley_taxis (kTaxis).
+///
+/// `warm_seed` (optional; empty disables) is a request->taxi hint vector
+/// of profile.request_count() entries (kDummy where no hint), typically
+/// the previous frame's matching re-indexed to this frame. Seeds pass
+/// the sequential prefix-certificate validation of
+/// detail::warm_seed_requests/_taxis before deferred acceptance runs —
+/// validation happens per component inside the parallel pass — so the
+/// output stays bit-identical to the unseeded run; only the proposal
+/// count shrinks. For kTaxis the hints are inverted to taxi->request
+/// (lowest request wins a conflict) before validation.
 Matching sharded_gale_shapley(const PreferenceProfile& profile, ProposalSide side,
-                              const ShardOptions& options = {});
+                              const ShardOptions& options = {},
+                              std::span<const int> warm_seed = {});
 
 /// The NSTD-T enumeration path — Algorithm 2 + taxi-best selection, with
 /// the taxi-proposing fallback on truncation — sharded over components:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <optional>
 #include <utility>
@@ -107,7 +108,9 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
                                 const geo::DistanceOracle& oracle,
                                 const SharingParams& params,
                                 const index::SpatialGrid* taxi_grid,
-                                packing::GroupCache* group_cache) {
+                                packing::GroupCache* group_cache,
+                                std::span<const int> request_warm_taxi) {
+  O2O_EXPECTS(request_warm_taxi.empty() || request_warm_taxi.size() == requests.size());
   SharingOutcome outcome;
   SharingUnits units = pack_requests(requests, oracle, params, group_cache);
   outcome.packed_groups = units.packed_groups;
@@ -272,7 +275,30 @@ SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
   const PreferenceProfile profile = PreferenceProfile::from_candidates(
       std::move(rows), n_taxis, params.preference.list_cap);
   profile_stage.reset();
-  const Matching matching = sharded_gale_shapley(profile, params.side, params.sharding);
+
+  // Lift per-request warm hints to the unit level: a unit is hinted only
+  // when every member remembers the same taxi, and duplicate claims are
+  // resolved ascending (first unit keeps the taxi). Validation inside
+  // the engine discards anything stale, so this is purely a speedup.
+  std::vector<int> unit_seed;
+  if (!request_warm_taxi.empty() && n_units > 0) {
+    unit_seed.assign(n_units, kDummy);
+    std::vector<std::uint8_t> claimed(n_taxis, 0);
+    for (std::size_t u = 0; u < n_units; ++u) {
+      const auto& member_indices = units.units[u];
+      int hint = request_warm_taxi[member_indices.front()];
+      for (std::size_t m = 1; m < member_indices.size() && hint != kDummy; ++m) {
+        if (request_warm_taxi[member_indices[m]] != hint) hint = kDummy;
+      }
+      if (hint == kDummy) continue;
+      O2O_EXPECTS(hint >= 0 && static_cast<std::size_t>(hint) < n_taxis);
+      if (claimed[static_cast<std::size_t>(hint)]) continue;
+      claimed[static_cast<std::size_t>(hint)] = 1;
+      unit_seed[u] = hint;
+    }
+  }
+  const Matching matching =
+      sharded_gale_shapley(profile, params.side, params.sharding, unit_seed);
 
   for (std::size_t u = 0; u < n_units; ++u) {
     const int t = matching.request_to_taxi[u];

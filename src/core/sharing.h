@@ -116,11 +116,22 @@ SharingUnits pack_requests(std::span<const trace::Request> requests,
 /// threshold, each unit's candidate taxis come from grid radius queries
 /// around its members' pick-ups; `taxi_grid`, when given, must be keyed
 /// by position in `taxis` (see the SpatialGrid span constructor).
+///
+/// `request_warm_taxi` (optional; empty disables) carries per-request
+/// warm-start hints — requests.size() entries, each a taxi index into
+/// `taxis` or kDummy — typically the previous frame's matching re-keyed
+/// by the dispatcher. A packed unit inherits a hint only when all its
+/// members agree on one taxi; hints claiming the same taxi are deduped
+/// deterministically (ascending unit order, first claimant keeps). The
+/// hints then pass the warm-seed validation inside sharded_gale_shapley
+/// (see core/stable_matching.h), so the outcome is bit-identical to the
+/// unhinted run.
 SharingOutcome dispatch_sharing(std::span<const trace::Taxi> taxis,
                                 std::span<const trace::Request> requests,
                                 const geo::DistanceOracle& oracle,
                                 const SharingParams& params,
                                 const index::SpatialGrid* taxi_grid = nullptr,
-                                packing::GroupCache* group_cache = nullptr);
+                                packing::GroupCache* group_cache = nullptr,
+                                std::span<const int> request_warm_taxi = {});
 
 }  // namespace o2o::core

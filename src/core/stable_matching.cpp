@@ -98,9 +98,11 @@ void deferred_acceptance(std::span<const int> proposers, std::span<int> proposer
   std::vector<std::size_t> free_stack;
   free_stack.reserve(proposers.size());
   // Reverse order so proposals happen in index order (matching the
-  // paper's "each passenger request proposes in turn").
+  // paper's "each passenger request proposes in turn"). Proposers already
+  // holding a receiver (validated warm-start seeds) are not free.
   for (std::size_t i = proposers.size(); i-- > 0;) {
-    free_stack.push_back(static_cast<std::size_t>(proposers[i]));
+    const auto p = static_cast<std::size_t>(proposers[i]);
+    if (proposer_match[p] == kDummy) free_stack.push_back(p);
   }
 
   // Counted locally and published once: the inner loop stays free of
@@ -143,6 +145,63 @@ void deferred_acceptance(std::span<const int> proposers, std::span<int> proposer
   obs::add(obs::Counter::kRejections, rejections);
 }
 
+/// Sequential warm-seed validation (header contract in detail::). The
+/// certificate scan may only cite holds installed earlier, which is what
+/// makes the installed state a legal DA execution prefix: replay the
+/// validated proposers in validation order — each walks its list, every
+/// prefix receiver rejects it (unacceptable, or holding an
+/// earlier-validated proposer it prefers), and its seed receiver is free
+/// and accepts. A second sweep picks up seeds whose certificates needed
+/// holds installed later in the first sweep; further sweeps buy nearly
+/// nothing in practice, so two is the cap.
+template <typename ListFn, typename PrefersFn>
+std::size_t validate_warm_seeds(std::span<const int> proposers, std::span<const int> seed,
+                                std::span<int> proposer_match,
+                                std::span<int> receiver_match,
+                                std::span<std::size_t> next_choice, ListFn&& list_of,
+                                PrefersFn&& receiver_prefers) {
+  constexpr int kValidationSweeps = 2;
+  std::size_t validated = 0;
+  for (int sweep = 0; sweep < kValidationSweeps; ++sweep) {
+    std::size_t gained = 0;
+    for (const int p : proposers) {
+      const auto u = static_cast<std::size_t>(p);
+      if (proposer_match[u] != kDummy) continue;  // installed in an earlier sweep
+      const int hinted = seed[u];
+      if (hinted == kDummy) continue;
+      const auto& list = list_of(u);
+      std::size_t pos = list.size();
+      for (std::size_t k = 0; k < list.size(); ++k) {
+        if (list[k] == hinted) {
+          pos = k;
+          break;
+        }
+      }
+      if (pos == list.size()) continue;  // hinted receiver not listed this frame
+      const auto r = static_cast<std::size_t>(hinted);
+      if (receiver_match[r] != kDummy) continue;  // claimed by an earlier seed
+      if (!receiver_prefers(r, p, kDummy)) continue;  // receiver would refuse outright
+      bool certified = true;
+      for (std::size_t k = 0; k < pos && certified; ++k) {
+        const auto v = static_cast<std::size_t>(list[k]);
+        // v must certifiably reject u: u unacceptable to v, or v already
+        // holds a validated proposer it strictly prefers over u.
+        if (!receiver_prefers(v, p, kDummy)) continue;
+        const int hold = receiver_match[v];
+        if (hold == kDummy || receiver_prefers(v, p, hold)) certified = false;
+      }
+      if (!certified) continue;
+      proposer_match[u] = hinted;
+      receiver_match[r] = p;
+      next_choice[u] = pos + 1;
+      ++gained;
+    }
+    validated += gained;
+    if (gained == 0) break;
+  }
+  return validated;
+}
+
 }  // namespace
 
 namespace detail {
@@ -165,6 +224,30 @@ void deferred_acceptance_taxis(const PreferenceProfile& profile,
                                std::span<std::size_t> next_choice) {
   deferred_acceptance(
       taxis, taxi_match, request_match, next_choice,
+      [&](std::size_t t) -> const std::vector<int>& { return profile.taxi_list(t); },
+      [&](std::size_t r, int candidate, int incumbent) {
+        return profile.request_prefers(r, candidate, incumbent);
+      });
+}
+
+std::size_t warm_seed_requests(const PreferenceProfile& profile,
+                               std::span<const int> requests, std::span<const int> seed,
+                               std::span<int> request_match, std::span<int> taxi_match,
+                               std::span<std::size_t> next_choice) {
+  return validate_warm_seeds(
+      requests, seed, request_match, taxi_match, next_choice,
+      [&](std::size_t r) -> const std::vector<int>& { return profile.request_list(r); },
+      [&](std::size_t t, int candidate, int incumbent) {
+        return profile.taxi_prefers(t, candidate, incumbent);
+      });
+}
+
+std::size_t warm_seed_taxis(const PreferenceProfile& profile, std::span<const int> taxis,
+                            std::span<const int> seed, std::span<int> taxi_match,
+                            std::span<int> request_match,
+                            std::span<std::size_t> next_choice) {
+  return validate_warm_seeds(
+      taxis, seed, taxi_match, request_match, next_choice,
       [&](std::size_t t) -> const std::vector<int>& { return profile.taxi_list(t); },
       [&](std::size_t r, int candidate, int incumbent) {
         return profile.request_prefers(r, candidate, incumbent);

@@ -70,7 +70,9 @@ namespace detail {
 // Preconditions: `requests` (resp. `taxis`) ascending; their match and
 // next_choice slots initialized to kDummy / 0.
 
-/// Passenger-proposing pass restricted to `requests`.
+/// Passenger-proposing pass restricted to `requests`. Proposers whose
+/// match slot is already set (validated warm-start seeds, below) are not
+/// enqueued; with all slots at kDummy this is the cold pass verbatim.
 void deferred_acceptance_requests(const PreferenceProfile& profile,
                                   std::span<const int> requests,
                                   std::span<int> request_match, std::span<int> taxi_match,
@@ -81,6 +83,36 @@ void deferred_acceptance_taxis(const PreferenceProfile& profile,
                                std::span<const int> taxis, std::span<int> taxi_match,
                                std::span<int> request_match,
                                std::span<std::size_t> next_choice);
+
+// Warm-start seed validation (DESIGN.md "Incremental frame engine").
+//
+// A seed (u -> receiver) from the previous frame's matching may only be
+// installed when the resulting state is reachable by a legal deferred-
+// acceptance execution prefix; DA's proposal-order independence then
+// guarantees the continued run produces the cold output bit for bit.
+// Naive "both sides still accept each other" seeding is NOT sound --
+// cyclically-justified seeds can pin the proposer-pessimal matching (see
+// the 2x2 counterexample in DESIGN.md) -- so validation is sequential:
+// seed (u, t) installs only if t accepts u over the dummy, t is still
+// unclaimed, and every receiver strictly before t on u's list certifiably
+// rejects u, where a certificate may reference only seeds validated
+// *earlier in the scan*. Validated proposers get their hold and
+// next_choice advanced past it; everyone else runs cold from the top of
+// their list. Returns the number of seeds installed.
+
+/// Passenger-proposing validation restricted to `requests`; seed[r] is
+/// the hinted taxi index or kDummy, indexed over the whole profile.
+std::size_t warm_seed_requests(const PreferenceProfile& profile,
+                               std::span<const int> requests, std::span<const int> seed,
+                               std::span<int> request_match, std::span<int> taxi_match,
+                               std::span<std::size_t> next_choice);
+
+/// Taxi-proposing validation restricted to `taxis`; seed[t] is the
+/// hinted request index or kDummy.
+std::size_t warm_seed_taxis(const PreferenceProfile& profile, std::span<const int> taxis,
+                            std::span<const int> seed, std::span<int> taxi_match,
+                            std::span<int> request_match,
+                            std::span<std::size_t> next_choice);
 
 /// Definition-1 check restricted to one component (sparse: walks the
 /// member requests' candidate lists). The conjunction over a partition's

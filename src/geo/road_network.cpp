@@ -556,9 +556,25 @@ void NetworkOracle::distances_to_into(std::span<const Point> sources, const Poin
 }
 
 void NetworkOracle::prepare_frame(std::span<const Point> points) const {
+  // Only the frame's churn pays the snap: a point the previous call
+  // warmed still has its memo entry (the memo only drops entries on the
+  // rare per-shard cap flush, where the lazy path in snap() recovers),
+  // so re-warming it would just take the shard lock to find a hit.
+  std::lock_guard lock(prepare_mutex_);
+  next_prepared_.clear();
+  std::size_t carried = 0;
   for (const Point& p : points) {
+    const SnapKey key{std::bit_cast<std::uint64_t>(p.x), std::bit_cast<std::uint64_t>(p.y)};
+    const bool seen_last_frame = prepared_.contains(key);
+    next_prepared_.insert(key);
+    if (seen_last_frame) {
+      ++carried;
+      continue;
+    }
     (void)snap(p);
   }
+  prepared_.swap(next_prepared_);
+  last_prepare_carried_ = carried;
 }
 
 std::size_t NetworkOracle::cache_size() const {

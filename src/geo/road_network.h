@@ -14,6 +14,7 @@
 #include <shared_mutex>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "geo/distance_oracle.h"
@@ -184,7 +185,16 @@ class NetworkOracle final : public DistanceOracle {
                          double* out) const override;
 
   /// Warms the snap memo (and the lazy snap index) for a frame snapshot.
+  /// Delta-aware: points already warmed by the previous prepare_frame
+  /// call are skipped without touching the shard locks, so a
+  /// steady-state frame only pays for its churn. (Dijkstra trees are
+  /// never built here — they warm lazily on first query and stay
+  /// resident via the LRU sizing; see kAutoCapacity.)
   void prepare_frame(std::span<const Point> points) const override;
+
+  /// Points skipped by the last prepare_frame because the previous
+  /// frame already warmed them (test/bench probe).
+  std::size_t last_prepare_carried() const noexcept { return last_prepare_carried_; }
 
   /// Every internal cache is sharded and locked.
   bool concurrent_queries_safe() const noexcept override { return true; }
@@ -240,6 +250,14 @@ class NetworkOracle final : public DistanceOracle {
   const RoadNetwork& network_;
   std::size_t per_shard_capacity_;
   mutable std::vector<Shard> shards_;
+
+  // Frame-delta state for prepare_frame: the set of coordinate keys the
+  // previous call warmed. Guarded by its own mutex (prepare_frame may be
+  // invoked concurrently); the query paths never touch it.
+  mutable std::mutex prepare_mutex_;
+  mutable std::unordered_set<SnapKey, SnapKeyHash> prepared_;
+  mutable std::unordered_set<SnapKey, SnapKeyHash> next_prepared_;
+  mutable std::size_t last_prepare_carried_ = 0;
 };
 
 }  // namespace o2o::geo

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/contracts.h"
 
 namespace o2o::index {
@@ -63,6 +64,23 @@ SpatialGrid::SpatialGrid(std::span<const geo::Point> points, double cell_km)
   }
 }
 
+SpatialGrid::SpatialGrid(std::span<const std::int32_t> ids,
+                         std::span<const geo::Point> points, double cell_km)
+    : SpatialGrid(padded_point_bounds(points, cell_km), cell_km) {
+  O2O_EXPECTS(ids.size() == points.size());
+  positions_.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    positions_.emplace(ids[i], points[i]);
+    cells_[cell_index(points[i])].push_back(CellEntry{ids[i], points[i]});
+  }
+  // Caller-supplied ids carry no order guarantee; sort each bucket so
+  // queries emit in the same id order as the patched grids.
+  for (auto& bucket : cells_) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const CellEntry& a, const CellEntry& b) { return a.id < b.id; });
+  }
+}
+
 std::size_t SpatialGrid::cell_index(const geo::Point& p) const noexcept {
   const int cx = std::clamp(static_cast<int>((p.x - bounds_.lo.x) / cell_km_), 0, cols_ - 1);
   const int cy = std::clamp(static_cast<int>((p.y - bounds_.lo.y) / cell_km_), 0, rows_ - 1);
@@ -77,6 +95,24 @@ void SpatialGrid::erase_from_cell(std::int32_t id, std::size_t cell) {
                bucket.end());
 }
 
+void SpatialGrid::insert_into_cell(std::size_t cell, std::int32_t id,
+                                   geo::Point position) {
+  auto& bucket = cells_[cell];
+  const auto it = std::lower_bound(
+      bucket.begin(), bucket.end(), id,
+      [](const CellEntry& e, std::int32_t key) { return e.id < key; });
+  bucket.insert(it, CellEntry{id, position});
+}
+
+void SpatialGrid::note_mutation() {
+  ++mutations_;
+  obs::add(obs::Counter::kGridPatches);
+  // Drifted objects clamp into edge cells, so after enough churn the
+  // edge buckets fatten and queries slow down; a periodic re-bin keeps
+  // the amortized patch cost O(1) while restoring fresh-build layout.
+  if (mutations_ >= std::max<std::size_t>(256, 2 * positions_.size())) compact();
+}
+
 void SpatialGrid::upsert(std::int32_t id, geo::Point position) {
   const auto it = positions_.find(id);
   const std::size_t new_cell = cell_index(position);
@@ -84,7 +120,7 @@ void SpatialGrid::upsert(std::int32_t id, geo::Point position) {
     const std::size_t old_cell = cell_index(it->second);
     if (old_cell != new_cell) {
       erase_from_cell(id, old_cell);
-      cells_[new_cell].push_back(CellEntry{id, position});
+      insert_into_cell(new_cell, id, position);
     } else {
       for (CellEntry& e : cells_[new_cell]) {
         if (e.id == id) {
@@ -94,10 +130,22 @@ void SpatialGrid::upsert(std::int32_t id, geo::Point position) {
       }
     }
     it->second = position;
+    note_mutation();
     return;
   }
   positions_.emplace(id, position);
-  cells_[new_cell].push_back(CellEntry{id, position});
+  insert_into_cell(new_cell, id, position);
+  note_mutation();
+}
+
+void SpatialGrid::insert(std::int32_t id, geo::Point position) {
+  O2O_EXPECTS(!contains(id));
+  upsert(id, position);
+}
+
+void SpatialGrid::move(std::int32_t id, geo::Point position) {
+  O2O_EXPECTS(contains(id));
+  upsert(id, position);
 }
 
 void SpatialGrid::remove(std::int32_t id) {
@@ -105,6 +153,28 @@ void SpatialGrid::remove(std::int32_t id) {
   if (it == positions_.end()) return;
   erase_from_cell(id, cell_index(it->second));
   positions_.erase(it);
+  note_mutation();
+}
+
+void SpatialGrid::compact() {
+  std::vector<std::pair<std::int32_t, geo::Point>> live(positions_.begin(),
+                                                        positions_.end());
+  // Re-bin in ascending id order so buckets come out sorted, matching a
+  // fresh bulk build over the same objects.
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<geo::Point> points;
+  points.reserve(live.size());
+  for (const auto& [id, p] : live) points.push_back(p);
+  bounds_ = padded_point_bounds(points, cell_km_);
+  cols_ = std::max(1, static_cast<int>(std::ceil(bounds_.width() / cell_km_)));
+  rows_ = std::max(1, static_cast<int>(std::ceil(bounds_.height() / cell_km_)));
+  cells_.assign(static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_), {});
+  for (const auto& [id, p] : live) {
+    cells_[cell_index(p)].push_back(CellEntry{id, p});
+  }
+  mutations_ = 0;
+  obs::add(obs::Counter::kGridCompactions);
 }
 
 bool SpatialGrid::contains(std::int32_t id) const noexcept {

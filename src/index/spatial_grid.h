@@ -31,11 +31,37 @@ class SpatialGrid {
   /// Same bounds policy as the taxi constructor.
   SpatialGrid(std::span<const geo::Point> points, double cell_km);
 
+  /// Bulk-builds a grid keyed by caller-supplied ids (one per point) —
+  /// the shape the persistent cross-frame indexes need, where entries
+  /// are patched in and out by stable id rather than span position.
+  SpatialGrid(std::span<const std::int32_t> ids, std::span<const geo::Point> points,
+              double cell_km);
+
   /// Inserts or moves object `id` to `position`.
   void upsert(std::int32_t id, geo::Point position);
 
+  /// Delta-patch API: inserts a *new* object (EXPECTS absent). Prefer
+  /// these over upsert in incremental-frame code so typos in the delta
+  /// computation trip contracts instead of silently self-healing.
+  void insert(std::int32_t id, geo::Point position);
+
+  /// Delta-patch API: relocates an *existing* object (EXPECTS present).
+  void move(std::int32_t id, geo::Point position);
+
   /// Removes `id`; no-op when absent.
   void remove(std::int32_t id);
+
+  /// Mutations (insert/move/remove/upsert) applied since the last
+  /// compaction. Bulk construction counts as a compaction.
+  std::size_t mutations_since_compact() const noexcept { return mutations_; }
+
+  /// Recomputes bounds from the live objects and re-bins every entry.
+  /// Queries stay exact either way (membership is a pure distance
+  /// predicate and out-of-bounds objects clamp to edge cells); this
+  /// bounds refresh only restores query *speed* after drift. Runs
+  /// automatically once the mutation count passes a size-scaled
+  /// threshold.
+  void compact();
 
   bool contains(std::int32_t id) const noexcept;
   std::size_t size() const noexcept { return positions_.size(); }
@@ -75,9 +101,14 @@ class SpatialGrid {
   int rows_;
   std::vector<std::vector<CellEntry>> cells_;
   std::unordered_map<std::int32_t, geo::Point> positions_;
+  std::size_t mutations_ = 0;
 
   std::size_t cell_index(const geo::Point& p) const noexcept;
   void erase_from_cell(std::int32_t id, std::size_t cell);
+  /// Keeps cell buckets sorted by id so patched and freshly built grids
+  /// emit candidates in the same order (bulk ctors append ascending ids).
+  void insert_into_cell(std::size_t cell, std::int32_t id, geo::Point position);
+  void note_mutation();
 };
 
 }  // namespace o2o::index

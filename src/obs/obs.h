@@ -43,8 +43,11 @@ enum class Stage : std::uint8_t {
   kPacking,           ///< maximum set packing solve
   kEnroute,           ///< en-route insertion extension
   kDispatch,          ///< whole Dispatcher::dispatch call
+  kGridPatch,         ///< incremental SpatialGrid delta application
+  kCandidateGen,      ///< pair-candidate generation (grid queries + dedup or reuse)
+  kExactEval,         ///< exact group evaluation (optimal_route + detour checks)
 };
-inline constexpr std::size_t kStageCount = 8;
+inline constexpr std::size_t kStageCount = 11;
 
 /// Monotone event counters, merged by summation.
 enum class Counter : std::uint8_t {
@@ -72,8 +75,14 @@ enum class Counter : std::uint8_t {
   kSimdBatchOccupancy,   ///< lanes occupied across those batches
   kGroupCacheHits,       ///< group candidates answered from the cross-frame cache
   kGroupCacheRevalidations,  ///< group candidates exactly re-evaluated and cached
+  kGridPatches,          ///< incremental SpatialGrid insert/remove/move operations
+  kGridCompactions,      ///< SpatialGrid re-bins triggered by the mutation threshold
+  kCandidatesReused,     ///< pair candidates replayed from persisted neighbor lists
+  kDaWarmSeeds,          ///< deferred-acceptance engagements seeded from the prior frame
+  kExactParallelBatches, ///< exact-evaluation batches fanned over the thread pool
+  kCacheEvictions,       ///< GroupCache entries dropped by the epoch/size sweep
 };
-inline constexpr std::size_t kCounterCount = 24;
+inline constexpr std::size_t kCounterCount = 30;
 
 /// Peak working-set sizes, merged by maximum (within a frame and across
 /// frames in the aggregate view).

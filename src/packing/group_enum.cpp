@@ -1,7 +1,9 @@
 #include "packing/group_enum.h"
 
 #include <algorithm>
+#include <bit>
 
+#include "obs/obs.h"
 #include "util/contracts.h"
 #include "util/simd.h"
 
@@ -11,6 +13,10 @@ namespace {
 
 constexpr std::uint64_t kSweepPeriod = 16;  ///< frames between GC sweeps
 constexpr std::uint64_t kMaxAgeFrames = 4;  ///< unused entries older than this die
+/// Below this many entries the size-triggered sweep never fires (the
+/// periodic one still caps idle growth); above it, doubling past the
+/// live count at the last sweep forces one.
+constexpr std::size_t kSweepSizeFloor = 4096;
 
 }  // namespace
 
@@ -131,6 +137,23 @@ void GroupCache::EntryMap::reserve_for_insert() {
 void GroupCache::clear() {
   entries_.clear();
   ids_.clear();
+  live_after_sweep_ = 0;
+  reset_candidates();
+}
+
+void GroupCache::reset_candidates() {
+  // ids_ may outlive this reset (verdict entries stay valid); only the
+  // candidate payload is voided.
+  for (auto& [id, state] : ids_) {
+    state.cand.clear();
+    state.cand.shrink_to_fit();
+    state.cand_epoch = 0;
+  }
+  cand_grid_.reset();
+  cand_prev_ids_.clear();
+  cand_radius_km_ = std::numeric_limits<double>::quiet_NaN();
+  cand_direct_valid_ = false;
+  cand_synced_epoch_ = 0;
 }
 
 void GroupCache::begin_frame(std::span<const trace::Request> requests,
@@ -152,6 +175,7 @@ void GroupCache::begin_frame(std::span<const trace::Request> requests,
   ++epoch_;
   requests_ = requests;
   frame_stamps_.resize(requests.size());
+  frame_states_.resize(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const trace::Request& request = requests[i];
     auto [it, inserted] = ids_.try_emplace(request.id);
@@ -162,12 +186,23 @@ void GroupCache::begin_frame(std::span<const trace::Request> requests,
       state.dropoff = request.dropoff;
       state.seats = request.seats;
       state.stamp = ++stamp_counter_;
+      state.stamp_epoch = epoch_;
     }
     state.last_seen = epoch_;
+    state.frame_index = static_cast<std::uint32_t>(i);
     frame_stamps_[i] = state.stamp;
+    frame_states_[i] = &state;
   }
-  if (epoch_ % kSweepPeriod == 0) {
-    stats_.invalidated += entries_.sweep(epoch_, kMaxAgeFrames);
+  // GC sweep: periodic, plus a size trigger so sustained streaming churn
+  // between periodic sweeps cannot grow the entry map without bound.
+  const std::size_t size_trigger =
+      std::max(kSweepSizeFloor, 2 * live_after_sweep_);
+  if (epoch_ % kSweepPeriod == 0 || entries_.size() >= size_trigger) {
+    const std::size_t dropped = entries_.sweep(epoch_, kMaxAgeFrames);
+    stats_.invalidated += dropped;
+    stats_.evictions += dropped;
+    obs::add(obs::Counter::kCacheEvictions, dropped);
+    live_after_sweep_ = entries_.size();
     for (auto it = ids_.begin(); it != ids_.end();) {
       if (it->second.last_seen + kMaxAgeFrames < epoch_) {
         it = ids_.erase(it);
@@ -175,6 +210,128 @@ void GroupCache::begin_frame(std::span<const trace::Request> requests,
         ++it;
       }
     }
+  }
+}
+
+const GroupCache::CandidateFrame& GroupCache::begin_candidates(double pickup_radius_km) {
+  O2O_EXPECTS(bound_);
+  obs::StageTimer stage(obs::Stage::kGridPatch);
+  const std::size_t n = requests_.size();
+  // The pickup-radius cut is part of the emission predicate but not of
+  // the verdict fingerprint, so it gets its own: a change voids every
+  // persisted list (verdict entries survive untouched).
+  const bool same_radius = std::bit_cast<std::uint64_t>(cand_radius_km_) ==
+                           std::bit_cast<std::uint64_t>(pickup_radius_km);
+  if (!same_radius) {
+    reset_candidates();
+    cand_radius_km_ = pickup_radius_km;
+  }
+  cand_frame_.churn.clear();
+  cand_frame_.clean.assign(n, 0);
+  // Replay needs an unbroken chain: lists were synced exactly one frame
+  // ago (a skipped store — tiny frame, knob toggle — cold-starts the
+  // next one, which is sound and self-heals).
+  cand_frame_.warm = same_radius && cand_synced_epoch_ + 1 == epoch_;
+  cand_frame_.direct_warm = cand_frame_.warm && cand_direct_valid_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const IdState& state = *frame_states_[i];
+    const bool clean = cand_frame_.warm && state.stamp_epoch != epoch_ &&
+                       state.cand_epoch + 1 == epoch_;
+    if (clean) {
+      cand_frame_.clean[i] = 1;
+    } else {
+      cand_frame_.churn.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  // Patch the persistent pickup grid from the frame delta: departures
+  // out, arrivals in, moved pick-ups relocated.
+  if (cand_grid_) {
+    for (const trace::RequestId id : cand_prev_ids_) {
+      const auto it = ids_.find(id);
+      if (it == ids_.end() || it->second.last_seen != epoch_) cand_grid_->remove(id);
+    }
+    for (const trace::Request& request : requests_) {
+      const auto pos = cand_grid_->position(request.id);
+      if (!pos) {
+        cand_grid_->insert(request.id, request.pickup);
+      } else if (*pos != request.pickup) {
+        cand_grid_->move(request.id, request.pickup);
+      }
+    }
+  }
+  cand_prev_ids_.clear();
+  cand_prev_ids_.reserve(n);
+  for (const trace::Request& request : requests_) cand_prev_ids_.push_back(request.id);
+  return cand_frame_;
+}
+
+double GroupCache::persisted_direct(std::size_t index) const {
+  O2O_EXPECTS(index < frame_states_.size());
+  return frame_states_[index]->direct_km;
+}
+
+std::span<const std::uint64_t> GroupCache::neighbor_list(std::size_t index) const {
+  O2O_EXPECTS(index < frame_states_.size());
+  return frame_states_[index]->cand;
+}
+
+std::size_t GroupCache::index_of(trace::RequestId id) const {
+  const auto it = ids_.find(id);
+  if (it == ids_.end() || it->second.last_seen != epoch_) return kNoIndex;
+  return it->second.frame_index;
+}
+
+void GroupCache::store_candidates(std::span<const std::uint64_t> keys,
+                                  std::span<const std::uint8_t> flags,
+                                  std::span<const double> direct, bool direct_valid,
+                                  double cell_km) {
+  O2O_EXPECTS(bound_ && keys.size() == flags.size());
+  O2O_EXPECTS(direct.size() == requests_.size());
+  const std::size_t n = requests_.size();
+  // Churn ids rebuild from scratch; clean ids keep their clean-clean
+  // entries (flags included — a recorded certificate stays a proof) and
+  // drop absent or churn neighbors, whose fresh truth arrives below.
+  for (const std::uint32_t idx : cand_frame_.churn) frame_states_[idx]->cand.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!cand_frame_.clean[i]) continue;
+    auto& cand = frame_states_[i]->cand;
+    std::size_t write = 0;
+    for (const std::uint64_t packed : cand) {
+      const auto id = static_cast<trace::RequestId>(packed >> 1);
+      const std::size_t j = index_of(id);
+      if (j == kNoIndex || !cand_frame_.clean[j]) continue;
+      cand[write++] = packed;
+    }
+    cand.resize(write);
+  }
+  // Append both sides of every churn pair. keys are deduplicated and a
+  // churn pair always has a churn member, so no entry lands twice.
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    const auto i = static_cast<std::size_t>(keys[k] >> 32);
+    const auto j = static_cast<std::size_t>(keys[k] & 0xffffffffu);
+    const std::uint64_t flag = flags[k] != 0 ? 1u : 0u;
+    frame_states_[i]->cand.push_back(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(requests_[j].id)) << 1) |
+        flag);
+    frame_states_[j]->cand.push_back(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(requests_[i].id)) << 1) |
+        flag);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    IdState& state = *frame_states_[i];
+    state.cand_epoch = epoch_;
+    if (direct_valid) state.direct_km = direct[i];
+  }
+  cand_direct_valid_ = direct_valid;
+  cand_synced_epoch_ = epoch_;
+  if (!cand_grid_ && n > 0) {
+    std::vector<std::int32_t> ids(n);
+    std::vector<geo::Point> pickups(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[i] = requests_[i].id;
+      pickups[i] = requests_[i].pickup;
+    }
+    cand_grid_.emplace(ids, pickups, cell_km);
   }
 }
 

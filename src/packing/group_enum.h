@@ -10,11 +10,14 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "geo/distance_oracle.h"
+#include "index/spatial_grid.h"
 #include "packing/groups.h"
 #include "routing/route.h"
 #include "trace/request.h"
@@ -61,6 +64,7 @@ class GroupCache {
     std::uint64_t stores = 0;        ///< exact evaluations recorded (revalidations)
     std::uint64_t invalidated = 0;   ///< entries dropped (content change / GC)
     std::uint64_t flushes = 0;       ///< full clears (fingerprint change)
+    std::uint64_t evictions = 0;     ///< entries dropped by the epoch/size sweep
   };
 
   enum class Verdict : std::uint8_t { kMiss, kFeasible, kInfeasible };
@@ -85,6 +89,66 @@ class GroupCache {
   std::size_t size() const noexcept { return entries_.size(); }
   std::uint64_t epoch() const noexcept { return epoch_; }
   void clear();
+
+  // --- Candidate persistence (GroupOptions::persist_candidates) ---
+  //
+  // Beyond verdicts, the cache can persist each request's *pair-candidate
+  // neighbor list* and direct distance across frames. The pair-candidate
+  // predicate — pick-ups within either rider's padded radius plus the
+  // user pickup_radius cut — is purely pairwise in (content, θ,
+  // require_saving, oracle, pickup_radius), so a pair of requests whose
+  // contents are unchanged since the previous frame must produce the
+  // same emission verdict, and warm frames replay it instead of
+  // re-running grid queries and dedup. Entries flagged as
+  // filter-rejected (direction-cone or SIMD certificate) are proofs of
+  // *exact* infeasibility, so skipping them is output-preserving under
+  // every filter-knob combination.
+
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+  /// One frame's churn classification, valid until the next begin_frame.
+  struct CandidateFrame {
+    bool warm = false;         ///< clean requests may replay persisted lists
+    bool direct_warm = false;  ///< persisted direct distances are reusable
+    std::vector<std::uint32_t> churn;  ///< frame indices needing fresh grid work
+    std::vector<std::uint8_t> clean;   ///< per frame index: 1 = replay-eligible
+  };
+
+  /// Starts candidate persistence for this frame (call right after
+  /// begin_frame): validates the pickup-radius fingerprint, classifies
+  /// every request as clean (content unchanged AND its list was synced
+  /// last frame) or churn, and patches the persistent pickup grid from
+  /// the frame's arrival/departure/move delta.
+  const CandidateFrame& begin_candidates(double pickup_radius_km);
+
+  /// Persisted direct distance of a clean index (CandidateFrame::direct_warm
+  /// must hold; the value is the bitwise oracle result from the frame
+  /// that stored it).
+  double persisted_direct(std::size_t index) const;
+
+  /// Clean `index`'s persisted neighbors, packed as
+  /// (uint32(RequestId) << 1) | filter_rejected.
+  std::span<const std::uint64_t> neighbor_list(std::size_t index) const;
+
+  /// Current frame index of `id`, or kNoIndex when absent this frame.
+  std::size_t index_of(trace::RequestId id) const;
+
+  /// Persistent pickup grid keyed by RequestId, patched to the current
+  /// frame; nullptr until the first store_candidates builds it.
+  const index::SpatialGrid* candidate_grid() const noexcept {
+    return cand_grid_ ? &*cand_grid_ : nullptr;
+  }
+
+  /// Records this frame's candidate work: `keys` are the sorted,
+  /// deduplicated pre-filter pair keys covering every pair with a churn
+  /// member (all pairs on a cold frame); flags[k] == 1 marks keys the
+  /// conservative filters certified infeasible. `direct` spans all frame
+  /// indices (read only when direct_valid). Builds the persistent pickup
+  /// grid on the first call.
+  void store_candidates(std::span<const std::uint64_t> keys,
+                        std::span<const std::uint8_t> flags,
+                        std::span<const double> direct, bool direct_valid,
+                        double cell_km);
 
  private:
   struct Key {
@@ -111,6 +175,12 @@ class GroupCache {
     int seats = 0;
     std::uint64_t stamp = 0;      ///< bumped whenever the content changes
     std::uint64_t last_seen = 0;  ///< epoch of the last frame listing the id
+    std::uint64_t stamp_epoch = 0;  ///< epoch the stamp last changed
+    std::uint32_t frame_index = 0;  ///< index in requests_ (valid when last_seen == epoch_)
+    // Candidate persistence payload.
+    std::uint64_t cand_epoch = 0;   ///< epoch the neighbor list was last synced
+    double direct_km = 0.0;         ///< persisted oracle direct distance
+    std::vector<std::uint64_t> cand;  ///< packed neighbors: (id << 1) | rejected
   };
 
   /// Open-addressing (linear-probe, power-of-two, tombstoned) map from
@@ -146,6 +216,7 @@ class GroupCache {
   };
 
   Key key_of(const std::size_t* members, std::size_t count) const;
+  void reset_candidates();
 
   std::span<const trace::Request> requests_;  ///< valid between begin_frame calls
   EntryMap entries_;
@@ -154,9 +225,25 @@ class GroupCache {
   /// in begin_frame so the per-candidate stamp checks in try_get/store
   /// are array reads instead of hash lookups.
   std::vector<std::uint64_t> frame_stamps_;
+  /// Per current-frame index: the id's state node (stable pointers —
+  /// ids_ is node-based and never erases live ids). Lets the candidate
+  /// paths skip the hash lookup per request.
+  std::vector<IdState*> frame_states_;
   std::uint64_t epoch_ = 0;
   std::uint64_t stamp_counter_ = 0;
+  /// Live entry count right after the last sweep; the size trigger fires
+  /// when the map doubles past it (streaming churn between periodic
+  /// sweeps would otherwise grow the map without bound).
+  std::size_t live_after_sweep_ = 0;
   Stats stats_;
+
+  // Candidate-persistence state.
+  CandidateFrame cand_frame_;
+  std::optional<index::SpatialGrid> cand_grid_;  ///< RequestId-keyed pickups
+  std::vector<trace::RequestId> cand_prev_ids_;  ///< grid membership last frame
+  double cand_radius_km_ = std::numeric_limits<double>::quiet_NaN();
+  bool cand_direct_valid_ = false;
+  std::uint64_t cand_synced_epoch_ = 0;  ///< epoch store_candidates last ran
 
   // Frame fingerprint the entries are valid under.
   double theta_ = 0.0;

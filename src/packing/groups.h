@@ -81,6 +81,18 @@ struct GroupOptions {
   /// enumerate_share_groups, replaying exact verdicts for candidates
   /// whose members are unchanged since the previous frame.
   bool cross_frame_cache = true;
+  /// (d) Persist per-request pair-candidate neighbor lists (plus direct
+  /// distances) in the GroupCache so warm frames skip grid queries,
+  /// filters, and dedup for unchanged requests and only run fresh grid
+  /// work on the churn delta. Needs a cache and the sparse (radius)
+  /// path; the dense all-pairs path has nothing to persist.
+  bool persist_candidates = true;
+  /// (e) Fan the exact candidate evaluations (optimal_route + detour
+  /// checks) over the shared ThreadPool when the oracle allows
+  /// concurrent queries. Off forces those evaluations serial even with
+  /// `parallel` engines enabled — the differential lever for pinning
+  /// the parallel exact path against the serial one.
+  bool parallel_exact = true;
 };
 
 class GroupCache;  // cross-frame verdict memo (packing/group_enum.h)

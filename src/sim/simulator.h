@@ -7,11 +7,13 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "geo/distance_oracle.h"
 #include "geo/road_network.h"
+#include "index/spatial_grid.h"
 #include "obs/obs.h"
 #include "packing/group_enum.h"
 #include "sim/dispatcher.h"
@@ -42,6 +44,16 @@ struct SimulatorConfig {
   /// Cell size of the per-frame spatial index over idle taxis handed to
   /// dispatchers via DispatchContext::idle_grid.
   double idle_grid_cell_km = 1.0;
+  /// Incremental-frame mode (DESIGN.md "Incremental frame engine"): keep
+  /// the idle-taxi snapshot and its spatial index alive across frames
+  /// and patch them on idle/busy transitions instead of rebuilding both
+  /// every frame. The snapshot is maintained with swap-removal, so the
+  /// idle span dispatchers see is a *permutation* of the rebuilt one —
+  /// assignments are identical except when two taxis score exactly equal
+  /// for a request (index tie-breaks may then pick the other one), which
+  /// has measure zero on real traces. Off by default so the rebuilt path
+  /// stays the differential reference.
+  bool incremental_grid = false;
   /// When set, run() installs the sink as the process-active trace sink
   /// and drives its frame lifecycle (begin/end around every frame).
   obs::TraceSink* trace_sink = nullptr;
@@ -90,8 +102,16 @@ class Simulator {
   /// DispatchContext::group_cache. Fresh per run, so repeated runs of
   /// the same simulator stay deterministic and independent.
   std::unique_ptr<packing::GroupCache> group_cache_;
+  /// Incremental-grid state (config_.incremental_grid): a persistent
+  /// idle-taxi snapshot in swap-removal order plus its spatial index,
+  /// both patched per frame in refresh_idle_pool. Grid ids are pool
+  /// slots, so within_radius results index straight into the span.
+  std::vector<trace::Taxi> idle_pool_;
+  std::unordered_map<trace::TaxiId, std::size_t> idle_slot_of_;
+  std::optional<index::SpatialGrid> idle_pool_grid_;
 
   void reset();
+  void refresh_idle_pool();
   void ingest_arrivals(std::size_t& next_request, double now);
   void cancel_stale(double now);
   std::vector<DispatchAssignment> invoke_dispatcher(Dispatcher& dispatcher, double now);

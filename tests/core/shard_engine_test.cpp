@@ -7,13 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/all_stable.h"
 #include "core/dispatchers.h"
 #include "core/preferences.h"
 #include "core/selectors.h"
+#include "obs/obs.h"
 #include "util/contracts.h"
 #include "util/rng.h"
 
@@ -324,6 +327,108 @@ void expect_same_assignments(const std::vector<sim::DispatchAssignment>& a,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Warm-start seeding (DESIGN.md "Incremental frame engine"): any hint
+// vector whatsoever must leave the output bit-identical to the unseeded
+// run — the seeds are a proposal-count optimization, never a result.
+
+TEST(WarmSeed, PinnedTwoByTwoRejectsTheOppositeOptimum) {
+  // u1: t1 > t2, u2: t2 > t1; t1: u2 > u1, t2: u1 > u2. The two stable
+  // matchings are the passenger optimum {u1-t1, u2-t2} and the taxi
+  // optimum {u1-t2, u2-t1}. Seeding one side's DA with the *other*
+  // side's optimum is the classic trap: every seeded pair is mutually
+  // acceptable and its receiver free, so naive revalidation would pin
+  // the proposer-pessimal matching. The sequential certificate rule
+  // must reject both seeds (no already-installed hold justifies the
+  // prefix rejections) and fall back to the cold result.
+  const PreferenceProfile profile = PreferenceProfile::from_scores(
+      {{1.0, 2.0}, {2.0, 1.0}}, {{2.0, 1.0}, {1.0, 2.0}}, 2);
+
+  const std::vector<int> passenger_optimum = {0, 1};
+  const std::vector<int> taxi_optimum = {1, 0};
+
+  const Matching cold_p = sharded_gale_shapley(profile, ProposalSide::kPassengers);
+  ASSERT_EQ(cold_p.request_to_taxi, passenger_optimum);
+  expect_equal(cold_p,
+               sharded_gale_shapley(profile, ProposalSide::kPassengers, {}, taxi_optimum),
+               "adversarial seed, passenger side");
+
+  const Matching cold_t = sharded_gale_shapley(profile, ProposalSide::kTaxis);
+  ASSERT_EQ(cold_t.request_to_taxi, taxi_optimum);
+  expect_equal(cold_t,
+               sharded_gale_shapley(profile, ProposalSide::kTaxis, {}, passenger_optimum),
+               "adversarial seed, taxi side");
+
+  // The matching's own side *is* reachable by a DA prefix, so those
+  // seeds must validate and be kept verbatim.
+  expect_equal(cold_p,
+               sharded_gale_shapley(profile, ProposalSide::kPassengers, {},
+                                    passenger_optimum),
+               "own optimum, passenger side");
+  expect_equal(cold_t,
+               sharded_gale_shapley(profile, ProposalSide::kTaxis, {}, taxi_optimum),
+               "own optimum, taxi side");
+}
+
+TEST(WarmSeed, ArbitrarySeedsNeverChangeTheOutput) {
+  Rng rng(31);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Frame frames[] = {random_frame(rng, 10, 14), clustered_frame(rng, 3, 4, 5),
+                            giant_frame(rng, 7, 9)};
+    for (const Frame& frame : frames) {
+      const PreferenceProfile profile = profile_of(frame, finite_params());
+      const std::size_t n = profile.request_count();
+      const int taxis = static_cast<int>(profile.taxi_count());
+      for (const ProposalSide side : {ProposalSide::kPassengers, ProposalSide::kTaxis}) {
+        const Matching cold = sharded_gale_shapley(profile, side);
+
+        std::vector<int> rotated(n), garbage(n), pile(n, 0);
+        for (std::size_t r = 0; r < n; ++r) {
+          rotated[r] = cold.request_to_taxi[(r + 1) % n];
+          garbage[r] = rng.bernoulli(0.3)
+                           ? kDummy
+                           : static_cast<int>(rng.uniform_index(
+                                 static_cast<std::uint64_t>(taxis)));
+        }
+        expect_equal(cold, sharded_gale_shapley(profile, side, {}, cold.request_to_taxi),
+                     "previous-frame seed");
+        expect_equal(cold, sharded_gale_shapley(profile, side, {}, rotated),
+                     "rotated seed");
+        expect_equal(cold, sharded_gale_shapley(profile, side, {}, garbage),
+                     "garbage seed");
+        // Everyone hints the same taxi: a maximal duplicate-claim pile-up.
+        expect_equal(cold, sharded_gale_shapley(profile, side, {}, pile),
+                     "duplicate-claim seed");
+      }
+    }
+  }
+}
+
+TEST(WarmSeed, OwnMatchingSeedsInstallAndSkipProposals) {
+  Rng rng(33);
+  const Frame frame = giant_frame(rng, 14, 18);
+  const PreferenceProfile profile = profile_of(frame, PreferenceParams{});
+  obs::TraceSink sink;
+  obs::Activation guard(sink);
+  const auto counter = [](const obs::FrameTrace& trace, obs::Counter which) {
+    return trace.counters[static_cast<std::size_t>(which)];
+  };
+
+  sink.begin_frame(0, 0.0);
+  const Matching cold = sharded_gale_shapley(profile, ProposalSide::kPassengers);
+  const obs::FrameTrace cold_trace = sink.end_frame();
+  EXPECT_EQ(counter(cold_trace, obs::Counter::kDaWarmSeeds), 0u);
+
+  sink.begin_frame(1, 60.0);
+  const Matching warm =
+      sharded_gale_shapley(profile, ProposalSide::kPassengers, {}, cold.request_to_taxi);
+  const obs::FrameTrace warm_trace = sink.end_frame();
+  expect_equal(cold, warm, "seeded re-run");
+  EXPECT_GT(counter(warm_trace, obs::Counter::kDaWarmSeeds), 0u);
+  EXPECT_LT(counter(warm_trace, obs::Counter::kProposals),
+            counter(cold_trace, obs::Counter::kProposals));
+}
+
 TEST(Dispatchers, AllFourAgreeShardedVersusSerialEndToEnd) {
   Rng rng(26);
   for (int trial = 0; trial < 4; ++trial) {
@@ -348,6 +453,82 @@ TEST(Dispatchers, AllFourAgreeShardedVersusSerialEndToEnd) {
                               run_dispatcher(frame, std_p, false), "STD-P");
       expect_same_assignments(run_dispatcher(frame, std_t, true),
                               run_dispatcher(frame, std_t, false), "STD-T");
+    }
+  }
+}
+
+/// One step of frame churn for the warm-memory tests. Beyond the random
+/// drop/move/arrive mix, it pins the two adversarial shapes the warm
+/// path must absorb: a taxi the previous matching engaged leaves the
+/// fleet (its hint no longer maps), and a matched request cancels while
+/// its taxi stays (the taxi's hint goes unclaimed). Matched requests
+/// otherwise deliberately stay pending — the re-dispatch shape in which
+/// hints actually fire.
+void churn_dispatch_frame(Frame& frame, Rng& rng,
+                          const std::vector<sim::DispatchAssignment>& previous,
+                          trace::RequestId& next_request_id,
+                          trace::TaxiId& next_taxi_id) {
+  if (!previous.empty()) {
+    const trace::TaxiId departing = previous.front().taxi;
+    std::erase_if(frame.taxis,
+                  [&](const trace::Taxi& taxi) { return taxi.id == departing; });
+    const trace::RequestId cancelled = previous.back().requests.front();
+    std::erase_if(frame.requests,
+                  [&](const trace::Request& r) { return r.id == cancelled; });
+  }
+  std::erase_if(frame.requests,
+                [&](const trace::Request&) { return rng.bernoulli(0.15); });
+  for (trace::Taxi& taxi : frame.taxis) {
+    if (rng.bernoulli(0.3)) {
+      taxi.location.x += rng.uniform(-1.0, 1.0);
+      taxi.location.y += rng.uniform(-1.0, 1.0);
+    }
+  }
+  for (int fresh = 0; fresh < 3; ++fresh) {
+    trace::Request request;
+    request.id = next_request_id++;
+    request.pickup = {rng.uniform(0.0, 30.0), rng.uniform(0.0, 30.0)};
+    request.dropoff = {request.pickup.x + rng.uniform(-4.0, 4.0),
+                       request.pickup.y + rng.uniform(-4.0, 4.0)};
+    frame.requests.push_back(request);
+  }
+  frame.taxis.push_back(
+      {next_taxi_id++, {rng.uniform(0.0, 30.0), rng.uniform(0.0, 30.0)}, 4});
+}
+
+TEST(Dispatchers, WarmStartMemoryMatchesColdAcrossChurnedFrames) {
+  Rng rng(37);
+  for (const ProposalSide side : {ProposalSide::kPassengers, ProposalSide::kTaxis}) {
+    Frame frame = random_frame(rng, 12, 16);
+    trace::RequestId next_request_id = 900;
+    trace::TaxiId next_taxi_id = 100;
+
+    StableDispatcherOptions nonsharing;
+    nonsharing.preference = finite_params();
+    nonsharing.side = side;
+    StableDispatcherOptions nonsharing_cold = nonsharing;
+    nonsharing_cold.warm_start_da = false;
+    StableDispatcher warm(nonsharing, FromConfig{});
+    StableDispatcher cold(nonsharing_cold, FromConfig{});
+
+    SharingStableDispatcherOptions sharing;
+    sharing.params.preference = finite_params();
+    sharing.params.side = side;
+    SharingStableDispatcherOptions sharing_cold = sharing;
+    sharing_cold.warm_start_da = false;
+    SharingStableDispatcher sharing_warm(sharing, FromConfig{});
+    SharingStableDispatcher sharing_cold_dispatcher(sharing_cold, FromConfig{});
+
+    std::vector<sim::DispatchAssignment> previous;
+    for (int step = 0; step < 8; ++step) {
+      const sim::DispatchContext context = frame.context();
+      const auto warm_result = warm.dispatch(context);
+      expect_same_assignments(warm_result, cold.dispatch(context), "non-sharing churn");
+      expect_same_assignments(sharing_warm.dispatch(context),
+                              sharing_cold_dispatcher.dispatch(context),
+                              "sharing churn");
+      previous = warm_result;
+      churn_dispatch_frame(frame, rng, previous, next_request_id, next_taxi_id);
     }
   }
 }

