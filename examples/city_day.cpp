@@ -145,7 +145,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cannot write %s\n", trace_json_path.c_str());
         return 1;
       }
-      sim::write_frame_traces_json(out, headline_sink->frames());
+      // Wrapped form: the full DispatchConfig::describe() snapshot rides
+      // along so archived traces carry their provenance.
+      const DispatchConfig headline =
+          tuned_config().with_frame_seconds(60.0).with_cancel_timeout_seconds(1800.0);
+      sim::write_frame_traces_json(out, headline_sink->frames(), headline.describe());
       std::printf("\nwrote %zu frame traces to %s\n", headline_sink->frames().size(),
                   trace_json_path.c_str());
     }

@@ -3,7 +3,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
+#include <utility>
 
 #include "util/contracts.h"
 
@@ -30,6 +32,8 @@ std::string_view config_field_name(ConfigField field) noexcept {
     case ConfigField::kIdleGridCellKm: return "idle_grid_cell_km";
     case ConfigField::kRoadNetwork: return "road_network";
     case ConfigField::kDeterministicMerge: return "deterministic_merge";
+    case ConfigField::kPipelineDepth: return "pipeline_depth";
+    case ConfigField::kIngestCapacity: return "ingest_capacity";
   }
   return "unknown";
 }
@@ -241,6 +245,21 @@ DispatchConfig& DispatchConfig::with_tracing(bool enabled) {
   return *this;
 }
 
+DispatchConfig& DispatchConfig::service(ServiceOptions options) {
+  service_ = options;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_pipeline_depth(std::size_t depth) {
+  service_.pipeline_depth = depth;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_ingest_capacity(std::size_t slots) {
+  service_.ingest_capacity = slots;
+  return *this;
+}
+
 namespace {
 
 bool valid_positive(double v) { return !std::isnan(v) && v > 0.0; }
@@ -338,7 +357,117 @@ std::vector<ConfigError> DispatchConfig::validate() const {
          "deterministic_merge cannot be disabled: the sharded component merge is "
          "always deterministic (see core/shard_engine.h)");
   }
+  if (service_.pipeline_depth < 1 || service_.pipeline_depth > 1024) {
+    fail(ConfigField::kPipelineDepth, "pipeline_depth must be in [1, 1024]");
+  }
+  const std::size_t slots = service_.ingest_capacity;
+  if (slots < 2 || slots > (std::size_t{1} << 20) || (slots & (slots - 1)) != 0) {
+    fail(ConfigField::kIngestCapacity,
+         "ingest_capacity must be a power of two in [2, 2^20] (the ring masks "
+         "sequence numbers instead of dividing)");
+  }
   return errors;
+}
+
+namespace {
+
+std::string describe_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string describe_bool(bool value) { return value ? "true" : "false"; }
+
+std::string_view describe_side(core::ProposalSide side) {
+  return side == core::ProposalSide::kPassengers ? "passengers" : "taxis";
+}
+
+std::string_view describe_solver(core::PackingSolver solver) {
+  switch (solver) {
+    case core::PackingSolver::kLocalSearch: return "local_search";
+    case core::PackingSolver::kGreedy: return "greedy";
+    case core::PackingSolver::kExact: return "exact";
+  }
+  return "unknown";
+}
+
+std::string_view describe_objective(core::PackingObjective objective) {
+  switch (objective) {
+    case core::PackingObjective::kCount: return "count";
+    case core::PackingObjective::kRiders: return "riders";
+    case core::PackingObjective::kSavings: return "savings";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> DispatchConfig::describe() const {
+  std::vector<std::pair<std::string, std::string>> kv;
+  kv.reserve(48);
+  const auto put = [&kv](std::string_view key, std::string value) {
+    kv.emplace_back(std::string(key), std::move(value));
+  };
+
+  // Preference / shared coefficients.
+  const core::PreferenceParams& pref = params_.preference;
+  put("alpha", describe_double(pref.alpha));
+  put("beta", describe_double(pref.beta));
+  put("passenger_threshold_km", describe_double(pref.passenger_threshold_km));
+  put("taxi_threshold_score", describe_double(pref.taxi_threshold_score));
+  put("list_cap", std::to_string(pref.list_cap));
+  put("spatial_prune", describe_bool(pref.spatial_prune));
+
+  // Matching side / enumeration.
+  put("proposal_side", std::string(describe_side(params_.side)));
+  put("taxi_side_via_enumeration", describe_bool(taxi_side_via_enumeration_));
+  put("enumeration_cap", std::to_string(enumeration_cap_));
+
+  // Sharing / grouping.
+  const packing::GroupOptions& grouping = params_.grouping;
+  put("detour_threshold_km", describe_double(grouping.detour_threshold_km));
+  put("max_group_size", std::to_string(grouping.max_group_size));
+  put("pickup_radius_km", describe_double(grouping.pickup_radius_km));
+  put("require_saving", describe_bool(grouping.require_saving));
+  put("grow_triples_from_pairs", describe_bool(grouping.grow_triples_from_pairs));
+  put("parallel_grouping", describe_bool(grouping.parallel));
+  put("simd_prefilter", describe_bool(grouping.simd_prefilter));
+  put("direction_cone", describe_bool(grouping.direction_cone));
+  put("cross_frame_cache", describe_bool(grouping.cross_frame_cache));
+  put("persist_candidates", describe_bool(grouping.persist_candidates));
+  put("parallel_exact", describe_bool(grouping.parallel_exact));
+  put("packing_solver", std::string(describe_solver(params_.packing)));
+  put("packing_objective", std::string(describe_objective(params_.objective)));
+  put("taxi_seats", std::to_string(params_.taxi_seats));
+  put("candidate_taxis_per_unit", std::to_string(params_.candidate_taxis_per_unit));
+  put("exact_max_sets", std::to_string(params_.exact_max_sets));
+  put("enroute_extension", describe_bool(enroute_extension_));
+  put("warm_start_da", describe_bool(warm_start_da_));
+
+  // Sharded matching engine.
+  put("parallel_dispatch", describe_bool(params_.sharding.parallel));
+  put("max_components_hint", std::to_string(params_.sharding.max_components_hint));
+  put("deterministic_merge", describe_bool(params_.sharding.deterministic_merge));
+
+  // Simulation.
+  put("frame_seconds", describe_double(sim_.frame_seconds));
+  put("speed_kmh", describe_double(sim_.speed_kmh));
+  put("cancel_timeout_seconds", describe_double(sim_.cancel_timeout_seconds));
+  put("drain_seconds", describe_double(sim_.drain_seconds));
+  put("idle_grid_cell_km", describe_double(sim_.idle_grid_cell_km));
+  put("incremental_grid", describe_bool(sim_.incremental_grid));
+  put("road_network", sim_.road_network != nullptr ? "set" : "none");
+
+  // Observability.
+  put("trace_enabled", describe_bool(trace_.enabled));
+  put("trace_per_frame", describe_bool(trace_.per_frame));
+  put("trace_max_frames", std::to_string(trace_.max_frames));
+
+  // Streaming service.
+  put("pipeline_depth", std::to_string(service_.pipeline_depth));
+  put("ingest_capacity", std::to_string(service_.ingest_capacity));
+  return kv;
 }
 
 core::StableDispatcherOptions DispatchConfig::stable_options() const {

@@ -25,9 +25,11 @@
 // path and validate the whole bundle first.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/dispatchers.h"
@@ -35,6 +37,21 @@
 #include "sim/simulator.h"
 
 namespace o2o {
+
+/// Knobs of the streaming dispatch service (src/service). Carried here so
+/// one DispatchConfig describes a deployment end to end; the service layer
+/// reads them, core only validates them.
+struct ServiceOptions {
+  /// How many complete frames may sit buffered between the ingestion ring
+  /// and the matcher. 1 = classic double-buffering (frame t+1 fills while
+  /// frame t matches); higher values absorb burstier producers.
+  std::size_t pipeline_depth = 1;
+  /// Slot count of the lock-free ingestion ring. Must be a power of two
+  /// (the ring masks sequence numbers instead of dividing).
+  std::size_t ingest_capacity = 4096;
+
+  friend bool operator==(const ServiceOptions&, const ServiceOptions&) = default;
+};
 
 /// Which knob a validation error refers to (stable identifiers for
 /// machine-readable error reporting).
@@ -58,6 +75,8 @@ enum class ConfigField : std::uint8_t {
   kIdleGridCellKm,
   kRoadNetwork,
   kDeterministicMerge,
+  kPipelineDepth,
+  kIngestCapacity,
 };
 
 /// Stable snake_case name of a field (mirrors the builder setters).
@@ -155,6 +174,12 @@ class DispatchConfig {
   /// Shorthand: enable tracing with default retention.
   DispatchConfig& with_tracing(bool enabled = true);
 
+  // --- streaming service (src/service) ----------------------------------
+  /// Replaces the whole service section.
+  DispatchConfig& service(ServiceOptions options);
+  DispatchConfig& with_pipeline_depth(std::size_t depth);
+  DispatchConfig& with_ingest_capacity(std::size_t slots);
+
   // --- component access ------------------------------------------------
   const core::PreferenceParams& preference() const noexcept { return params_.preference; }
   const packing::GroupOptions& grouping() const noexcept { return params_.grouping; }
@@ -162,6 +187,7 @@ class DispatchConfig {
   const obs::TraceOptions& trace() const noexcept { return trace_; }
   const core::ShardOptions& sharding() const noexcept { return params_.sharding; }
   const sim::SimulatorConfig& simulation() const noexcept { return sim_; }
+  const ServiceOptions& service() const noexcept { return service_; }
   core::ProposalSide proposal_side() const noexcept { return params_.side; }
   bool taxi_side_via_enumeration() const noexcept { return taxi_side_via_enumeration_; }
   std::size_t enumeration_cap() const noexcept { return enumeration_cap_; }
@@ -170,6 +196,13 @@ class DispatchConfig {
   /// Checks the whole bundle; empty result means valid. Never throws --
   /// CLIs print the errors, tests assert on the fields.
   std::vector<ConfigError> validate() const;
+
+  /// Stable key/value snapshot of every knob, in a fixed order, with the
+  /// snake_case keys of the builder setters. Doubles are formatted with
+  /// %.17g (round-trip exact), bools as "true"/"false", enums by their
+  /// CLI names. Emitted into FrameTrace JSON exports and printed by
+  /// `o2o_serve --print-config`, so deployments are auditable.
+  std::vector<std::pair<std::string, std::string>> describe() const;
 
   // --- projections onto the legacy structs -----------------------------
   core::StableDispatcherOptions stable_options() const;
@@ -183,6 +216,7 @@ class DispatchConfig {
   bool warm_start_da_ = true;
   obs::TraceOptions trace_;
   sim::SimulatorConfig sim_;  ///< alpha/beta mirror the preference knobs
+  ServiceOptions service_;
   bool road_mode_ = false;    ///< with_road_network was called (null ⇒ error)
 };
 

@@ -21,8 +21,9 @@ namespace o2o::core {
 /// Tag selecting the supported construction path: the o2o::DispatchConfig
 /// factories (make_nstd_p / make_nstd_t / make_std_p / make_std_t /
 /// make_dispatcher) build dispatchers through it after validating the
-/// whole config bundle. Direct construction from the bare option structs
-/// skips that validation and is deprecated.
+/// whole config bundle. The legacy one-argument constructors that took a
+/// bare option struct without validation have been removed (see README,
+/// "Breaking changes").
 struct FromConfig {
   explicit FromConfig() = default;
 };
@@ -53,11 +54,6 @@ struct StableDispatcherOptions {
 /// Non-sharing stable dispatch (Algorithms 1 and 2).
 class StableDispatcher final : public sim::Dispatcher {
  public:
-  [[deprecated(
-      "construct via o2o::DispatchConfig (make_nstd_p / make_nstd_t / "
-      "make_dispatcher), which validates the config first")]]
-  explicit StableDispatcher(StableDispatcherOptions options)
-      : StableDispatcher(std::move(options), FromConfig{}) {}
   StableDispatcher(StableDispatcherOptions options, FromConfig);
 
   std::string name() const override;
@@ -91,11 +87,6 @@ struct SharingStableDispatcherOptions {
 /// Sharing stable dispatch (Algorithm 3).
 class SharingStableDispatcher final : public sim::Dispatcher {
  public:
-  [[deprecated(
-      "construct via o2o::DispatchConfig (make_std_p / make_std_t / "
-      "make_dispatcher), which validates the config first")]]
-  explicit SharingStableDispatcher(SharingStableDispatcherOptions options)
-      : SharingStableDispatcher(std::move(options), FromConfig{}) {}
   SharingStableDispatcher(SharingStableDispatcherOptions options, FromConfig);
 
   std::string name() const override;

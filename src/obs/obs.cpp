@@ -38,6 +38,9 @@ std::string_view stage_name(Stage stage) noexcept {
     case Stage::kGridPatch: return "grid_patch";
     case Stage::kCandidateGen: return "candidate_gen";
     case Stage::kExactEval: return "exact_eval";
+    case Stage::kIngest: return "ingest";
+    case Stage::kCodec: return "codec";
+    case Stage::kServiceFrame: return "service_frame";
   }
   return "unknown";
 }
@@ -74,6 +77,9 @@ std::string_view counter_name(Counter counter) noexcept {
     case Counter::kDaWarmSeeds: return "da_warm_seeds";
     case Counter::kExactParallelBatches: return "exact_parallel_batches";
     case Counter::kCacheEvictions: return "cache_evictions";
+    case Counter::kEventsIngested: return "events_ingested";
+    case Counter::kFramesStreamed: return "frames_streamed";
+    case Counter::kIngestBackpressure: return "ingest_backpressure";
   }
   return "unknown";
 }
@@ -85,6 +91,7 @@ std::string_view gauge_name(Gauge gauge) noexcept {
     case Gauge::kUnitsPeak: return "units_peak";
     case Gauge::kPendingPeak: return "pending_peak";
     case Gauge::kLargestComponentPeak: return "largest_component_peak";
+    case Gauge::kQueueDepthPeak: return "queue_depth_peak";
   }
   return "unknown";
 }

@@ -46,8 +46,11 @@ enum class Stage : std::uint8_t {
   kGridPatch,         ///< incremental SpatialGrid delta application
   kCandidateGen,      ///< pair-candidate generation (grid queries + dedup or reuse)
   kExactEval,         ///< exact group evaluation (optimal_route + detour checks)
+  kIngest,            ///< streaming service: drain ring + frame-barrier snapshot
+  kCodec,             ///< streaming service: wire encode/decode
+  kServiceFrame,      ///< streaming service: whole frame (barrier to response)
 };
-inline constexpr std::size_t kStageCount = 11;
+inline constexpr std::size_t kStageCount = 14;
 
 /// Monotone event counters, merged by summation.
 enum class Counter : std::uint8_t {
@@ -81,8 +84,11 @@ enum class Counter : std::uint8_t {
   kDaWarmSeeds,          ///< deferred-acceptance engagements seeded from the prior frame
   kExactParallelBatches, ///< exact-evaluation batches fanned over the thread pool
   kCacheEvictions,       ///< GroupCache entries dropped by the epoch/size sweep
+  kEventsIngested,       ///< ride events accepted by the service ingestion ring
+  kFramesStreamed,       ///< frame barriers matched by the streaming service
+  kIngestBackpressure,   ///< producer spins on a full ingestion ring
 };
-inline constexpr std::size_t kCounterCount = 30;
+inline constexpr std::size_t kCounterCount = 33;
 
 /// Peak working-set sizes, merged by maximum (within a frame and across
 /// frames in the aggregate view).
@@ -92,8 +98,9 @@ enum class Gauge : std::uint8_t {
   kUnitsPeak,         ///< dispatch units (groups + singletons) in one frame
   kPendingPeak,       ///< pending requests in one frame
   kLargestComponentPeak,  ///< member requests in the largest sharded component
+  kQueueDepthPeak,    ///< ingestion-ring occupancy peak seen by the service
 };
-inline constexpr std::size_t kGaugeCount = 5;
+inline constexpr std::size_t kGaugeCount = 6;
 
 /// Short stable names used by the JSON/CSV exports and the CLI table.
 std::string_view stage_name(Stage stage) noexcept;

@@ -1,0 +1,626 @@
+#include "service/codec.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace o2o::service {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+void append_double(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void append_point(std::string& out, const geo::Point& point) {
+  out += '[';
+  append_double(out, point.x);
+  out += ',';
+  append_double(out, point.y);
+  out += ']';
+}
+
+void append_stops(std::string& out, const std::vector<api::DriverStop>& stops) {
+  out += '[';
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"order_id\":";
+    out += std::to_string(stops[i].order_id);
+    out += ",\"pickup\":";
+    out += stops[i].is_pickup ? "true" : "false";
+    out += ",\"point\":";
+    append_point(out, stops[i].point);
+    out += '}';
+  }
+  out += ']';
+}
+
+void append_id_list(std::string& out, const std::vector<std::int32_t>& ids) {
+  out += '[';
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  out += ']';
+}
+
+std::string versioned_prefix(std::string_view event) {
+  std::string out = "{\"v\":";
+  out += std::to_string(api::kApiVersionMajor);
+  out += ",\"event\":\"";
+  out += event;
+  out += '"';
+  return out;
+}
+
+std::string encode_order(const api::Order& order) {
+  std::string out = versioned_prefix("order");
+  out += ",\"order_id\":";
+  out += std::to_string(order.order_id);
+  out += ",\"timestamp\":";
+  append_double(out, order.timestamp);
+  out += ",\"start\":";
+  append_point(out, order.start);
+  out += ",\"finish\":";
+  append_point(out, order.finish);
+  out += ",\"seats\":";
+  out += std::to_string(order.seats);
+  out += ",\"reward_units\":";
+  append_double(out, order.reward_units);
+  out += '}';
+  return out;
+}
+
+std::string encode_driver(const api::Driver& driver) {
+  std::string out = versioned_prefix("driver");
+  out += ",\"driver_id\":";
+  out += std::to_string(driver.driver_id);
+  out += ",\"location\":";
+  append_point(out, driver.location);
+  out += ",\"seats\":";
+  out += std::to_string(driver.seats);
+  out += ",\"seats_in_use\":";
+  out += std::to_string(driver.seats_in_use);
+  out += ",\"onboard\":";
+  append_id_list(out, driver.onboard);
+  out += ",\"route\":";
+  append_stops(out, driver.route);
+  out += ",\"route_seats\":[";
+  for (std::size_t i = 0; i < driver.route_seats.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '[';
+    out += std::to_string(driver.route_seats[i].first);
+    out += ',';
+    out += std::to_string(driver.route_seats[i].second);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader: just enough for the fixed schemas above. Numbers
+// keep their raw token so integers parse exactly (no double round-trip).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  ///< number token text (exact integer parses)
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view input) : input_(input) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue value;
+    if (!parse_value(value)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_space();
+    if (pos_ != input_.size()) {
+      if (error != nullptr) *error = "trailing characters after JSON value";
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  bool fail(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+    return false;
+  }
+
+  void skip_space() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    skip_space();
+    if (pos_ >= input_.size() || input_[pos_] != expected) {
+      return fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_space();
+    if (pos_ >= input_.size()) return fail("unexpected end of input");
+    const char c = input_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') return parse_string(out);
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    return parse_number(out);
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!consume('{')) return false;
+    skip_space();
+    if (pos_ < input_.size() && input_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.members.emplace_back(std::move(key.text), std::move(value));
+      skip_space();
+      if (pos_ >= input_.size()) return fail("unterminated object");
+      if (input_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (input_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!consume('[')) return false;
+    skip_space();
+    if (pos_ < input_.size() && input_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_space();
+      if (pos_ >= input_.size()) return fail("unterminated array");
+      if (input_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (input_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(JsonValue& out) {
+    out.type = JsonValue::Type::kString;
+    if (!consume('"')) return false;
+    std::string text;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_++];
+      if (c == '"') {
+        out.text = std::move(text);
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= input_.size()) return fail("unterminated escape");
+        const char esc = input_[pos_++];
+        switch (esc) {
+          case '"': text += '"'; break;
+          case '\\': text += '\\'; break;
+          case '/': text += '/'; break;
+          case 'n': text += '\n'; break;
+          case 't': text += '\t'; break;
+          case 'r': text += '\r'; break;
+          default: return fail("unsupported escape sequence");
+        }
+        continue;
+      }
+      text += c;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.type = JsonValue::Type::kBool;
+    if (input_.compare(pos_, 4, "true") == 0) {
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (input_.compare(pos_, 5, "false") == 0) {
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("expected boolean");
+  }
+
+  bool parse_null(JsonValue& out) {
+    out.type = JsonValue::Type::kNull;
+    if (input_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return fail("expected null");
+  }
+
+  bool parse_number(JsonValue& out) {
+    out.type = JsonValue::Type::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < input_.size() && (input_[pos_] == '-' || input_[pos_] == '+')) ++pos_;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == 'e' ||
+          c == 'E' || c == '-' || c == '+' || c == 'i' || c == 'n' || c == 'f') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected number");
+    out.raw = std::string(input_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(out.raw.c_str(), &end);
+    if (end != out.raw.c_str() + out.raw.size()) return fail("malformed number");
+    return true;
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema extraction
+// ---------------------------------------------------------------------------
+
+bool set_error(CodecError* error, std::string message) {
+  if (error != nullptr) error->message = std::move(message);
+  return false;
+}
+
+bool read_double(const JsonValue& object, std::string_view key, double& out,
+                 CodecError* error) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type != JsonValue::Type::kNumber) {
+    return set_error(error, "missing numeric field '" + std::string(key) + "'");
+  }
+  out = value->number;
+  return true;
+}
+
+bool read_i32(const JsonValue& object, std::string_view key, std::int32_t& out,
+              CodecError* error) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type != JsonValue::Type::kNumber) {
+    return set_error(error, "missing integer field '" + std::string(key) + "'");
+  }
+  out = static_cast<std::int32_t>(std::strtol(value->raw.c_str(), nullptr, 10));
+  return true;
+}
+
+bool read_u64(const JsonValue& object, std::string_view key, std::uint64_t& out,
+              CodecError* error) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type != JsonValue::Type::kNumber) {
+    return set_error(error, "missing integer field '" + std::string(key) + "'");
+  }
+  out = std::strtoull(value->raw.c_str(), nullptr, 10);
+  return true;
+}
+
+bool read_point(const JsonValue& object, std::string_view key, geo::Point& out,
+                CodecError* error) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type != JsonValue::Type::kArray ||
+      value->items.size() != 2 ||
+      value->items[0].type != JsonValue::Type::kNumber ||
+      value->items[1].type != JsonValue::Type::kNumber) {
+    return set_error(error, "field '" + std::string(key) + "' must be [x, y]");
+  }
+  out.x = value->items[0].number;
+  out.y = value->items[1].number;
+  return true;
+}
+
+bool read_stops(const JsonValue& object, std::string_view key,
+                std::vector<api::DriverStop>& out, CodecError* error) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type != JsonValue::Type::kArray) {
+    return set_error(error, "field '" + std::string(key) + "' must be an array");
+  }
+  out.clear();
+  out.reserve(value->items.size());
+  for (const JsonValue& item : value->items) {
+    if (item.type != JsonValue::Type::kObject) {
+      return set_error(error, "route stops must be objects");
+    }
+    api::DriverStop stop;
+    if (!read_i32(item, "order_id", stop.order_id, error)) return false;
+    const JsonValue* pickup = item.find("pickup");
+    if (pickup == nullptr || pickup->type != JsonValue::Type::kBool) {
+      return set_error(error, "stop field 'pickup' must be a boolean");
+    }
+    stop.is_pickup = pickup->boolean;
+    if (!read_point(item, "point", stop.point, error)) return false;
+    out.push_back(stop);
+  }
+  return true;
+}
+
+bool read_id_list(const JsonValue& object, std::string_view key,
+                  std::vector<std::int32_t>& out, CodecError* error) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr || value->type != JsonValue::Type::kArray) {
+    return set_error(error, "field '" + std::string(key) + "' must be an array");
+  }
+  out.clear();
+  out.reserve(value->items.size());
+  for (const JsonValue& item : value->items) {
+    if (item.type != JsonValue::Type::kNumber) {
+      return set_error(error, "id lists must hold integers");
+    }
+    out.push_back(static_cast<std::int32_t>(std::strtol(item.raw.c_str(), nullptr, 10)));
+  }
+  return true;
+}
+
+bool check_version(const JsonValue& object, CodecError* error) {
+  const JsonValue* version = object.find("v");
+  if (version == nullptr || version->type != JsonValue::Type::kNumber) {
+    return set_error(error, "missing API version field 'v'");
+  }
+  const int major = static_cast<int>(version->number);
+  if (major != api::kApiVersionMajor) {
+    return set_error(error, "unsupported API major version " + std::to_string(major) +
+                                " (this build speaks " +
+                                std::to_string(api::kApiVersionMajor) + ")");
+  }
+  return true;
+}
+
+/// Optional fields keep the struct's default when absent; present but
+/// malformed fields are still rejected. Hand-written clients can send a
+/// minimal order/driver and the server fills in the rest.
+bool present(const JsonValue& object, std::string_view key) {
+  return object.find(key) != nullptr;
+}
+
+bool decode_order(const JsonValue& object, api::Order& out, CodecError* error) {
+  return read_i32(object, "order_id", out.order_id, error) &&
+         read_double(object, "timestamp", out.timestamp, error) &&
+         read_point(object, "start", out.start, error) &&
+         read_point(object, "finish", out.finish, error) &&
+         (!present(object, "seats") || read_i32(object, "seats", out.seats, error)) &&
+         (!present(object, "reward_units") ||
+          read_double(object, "reward_units", out.reward_units, error));
+}
+
+bool decode_driver(const JsonValue& object, api::Driver& out, CodecError* error) {
+  if (!read_i32(object, "driver_id", out.driver_id, error) ||
+      !read_point(object, "location", out.location, error) ||
+      (present(object, "seats") && !read_i32(object, "seats", out.seats, error)) ||
+      (present(object, "seats_in_use") &&
+       !read_i32(object, "seats_in_use", out.seats_in_use, error)) ||
+      (present(object, "onboard") &&
+       !read_id_list(object, "onboard", out.onboard, error)) ||
+      (present(object, "route") && !read_stops(object, "route", out.route, error))) {
+    return false;
+  }
+  const JsonValue* seats = object.find("route_seats");
+  if (seats == nullptr) return true;
+  if (seats->type != JsonValue::Type::kArray) {
+    return set_error(error, "field 'route_seats' must be an array");
+  }
+  out.route_seats.clear();
+  out.route_seats.reserve(seats->items.size());
+  for (const JsonValue& item : seats->items) {
+    if (item.type != JsonValue::Type::kArray || item.items.size() != 2 ||
+        item.items[0].type != JsonValue::Type::kNumber ||
+        item.items[1].type != JsonValue::Type::kNumber) {
+      return set_error(error, "route_seats entries must be [order_id, seats]");
+    }
+    out.route_seats.emplace_back(
+        static_cast<std::int32_t>(std::strtol(item.items[0].raw.c_str(), nullptr, 10)),
+        static_cast<int>(std::strtol(item.items[1].raw.c_str(), nullptr, 10)));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_event(const api::RideEvent& event) {
+  obs::StageTimer timer(obs::Stage::kCodec);
+  switch (event.kind) {
+    case api::RideEvent::Kind::kOrder:
+      return encode_order(event.order);
+    case api::RideEvent::Kind::kDriver:
+      return encode_driver(event.driver);
+    case api::RideEvent::Kind::kEndFrame: {
+      std::string out = versioned_prefix("end_frame");
+      out += ",\"frame\":";
+      out += std::to_string(event.frame);
+      out += ",\"timestamp\":";
+      append_double(out, event.timestamp);
+      out += '}';
+      return out;
+    }
+  }
+  return {};
+}
+
+std::vector<std::string> encode_frame_events(const api::FrameRequest& request) {
+  std::vector<std::string> lines;
+  lines.reserve(request.orders.size() + request.drivers.size() + 1);
+  for (const api::Order& order : request.orders) {
+    lines.push_back(encode_event(api::RideEvent::make_order(order)));
+  }
+  for (const api::Driver& driver : request.drivers) {
+    lines.push_back(encode_event(api::RideEvent::make_driver(driver)));
+  }
+  lines.push_back(
+      encode_event(api::RideEvent::make_end_frame(request.frame, request.timestamp)));
+  return lines;
+}
+
+std::string encode_response(const api::FrameResponse& response) {
+  obs::StageTimer timer(obs::Stage::kCodec);
+  std::string out = versioned_prefix("frame_response");
+  out += ",\"frame\":";
+  out += std::to_string(response.frame);
+  out += ",\"timestamp\":";
+  append_double(out, response.timestamp);
+  out += ",\"assignments\":[";
+  for (std::size_t i = 0; i < response.assignments.size(); ++i) {
+    const api::Assignment& assignment = response.assignments[i];
+    if (i != 0) out += ',';
+    out += "{\"driver_id\":";
+    out += std::to_string(assignment.driver_id);
+    out += ",\"order_ids\":";
+    append_id_list(out, assignment.order_ids);
+    out += ",\"start\":";
+    append_point(out, assignment.start);
+    out += ",\"route\":";
+    append_stops(out, assignment.route);
+    out += ",\"pick_up_eta\":";
+    append_double(out, assignment.pick_up_eta);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::optional<api::RideEvent> decode_event(std::string_view line, CodecError* error) {
+  obs::StageTimer timer(obs::Stage::kCodec);
+  std::string parse_error;
+  const std::optional<JsonValue> root = JsonParser(line).parse(&parse_error);
+  if (!root || root->type != JsonValue::Type::kObject) {
+    set_error(error, parse_error.empty() ? "event line must be a JSON object"
+                                         : std::move(parse_error));
+    return std::nullopt;
+  }
+  if (!check_version(*root, error)) return std::nullopt;
+  const JsonValue* kind = root->find("event");
+  if (kind == nullptr || kind->type != JsonValue::Type::kString) {
+    set_error(error, "missing string field 'event'");
+    return std::nullopt;
+  }
+
+  api::RideEvent event;
+  if (kind->text == "order") {
+    event.kind = api::RideEvent::Kind::kOrder;
+    if (!decode_order(*root, event.order, error)) return std::nullopt;
+    return event;
+  }
+  if (kind->text == "driver") {
+    event.kind = api::RideEvent::Kind::kDriver;
+    if (!decode_driver(*root, event.driver, error)) return std::nullopt;
+    return event;
+  }
+  if (kind->text == "end_frame") {
+    event.kind = api::RideEvent::Kind::kEndFrame;
+    if (!read_u64(*root, "frame", event.frame, error) ||
+        !read_double(*root, "timestamp", event.timestamp, error)) {
+      return std::nullopt;
+    }
+    return event;
+  }
+  set_error(error, "unknown event kind '" + kind->text + "'");
+  return std::nullopt;
+}
+
+std::optional<api::FrameResponse> decode_response(std::string_view line,
+                                                  CodecError* error) {
+  obs::StageTimer timer(obs::Stage::kCodec);
+  std::string parse_error;
+  const std::optional<JsonValue> root = JsonParser(line).parse(&parse_error);
+  if (!root || root->type != JsonValue::Type::kObject) {
+    set_error(error, parse_error.empty() ? "response line must be a JSON object"
+                                         : std::move(parse_error));
+    return std::nullopt;
+  }
+  if (!check_version(*root, error)) return std::nullopt;
+  const JsonValue* kind = root->find("event");
+  if (kind == nullptr || kind->type != JsonValue::Type::kString ||
+      kind->text != "frame_response") {
+    set_error(error, "expected event kind 'frame_response'");
+    return std::nullopt;
+  }
+
+  api::FrameResponse response;
+  if (!read_u64(*root, "frame", response.frame, error) ||
+      !read_double(*root, "timestamp", response.timestamp, error)) {
+    return std::nullopt;
+  }
+  const JsonValue* assignments = root->find("assignments");
+  if (assignments == nullptr || assignments->type != JsonValue::Type::kArray) {
+    set_error(error, "field 'assignments' must be an array");
+    return std::nullopt;
+  }
+  response.assignments.reserve(assignments->items.size());
+  for (const JsonValue& item : assignments->items) {
+    if (item.type != JsonValue::Type::kObject) {
+      set_error(error, "assignments must be objects");
+      return std::nullopt;
+    }
+    api::Assignment assignment;
+    if (!read_i32(item, "driver_id", assignment.driver_id, error) ||
+        !read_id_list(item, "order_ids", assignment.order_ids, error) ||
+        !read_point(item, "start", assignment.start, error) ||
+        !read_stops(item, "route", assignment.route, error) ||
+        !read_double(item, "pick_up_eta", assignment.pick_up_eta, error)) {
+      return std::nullopt;
+    }
+    response.assignments.push_back(std::move(assignment));
+  }
+  return response;
+}
+
+}  // namespace o2o::service

@@ -1,0 +1,46 @@
+// Wire codecs for the o2o::api frame contract: one JSON object per line
+// (ndjson). Every line carries the API major version in "v"; decoding
+// rejects lines from a different major version with a typed error.
+//
+// Doubles are emitted with %.17g, which round-trips IEEE-754 binary64
+// exactly through strtod — the byte stream is deterministic for a given
+// frame and decodes to bit-identical values, which is what lets the
+// streamed replay reproduce the batch simulator bit for bit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/api.h"
+
+namespace o2o::service {
+
+/// What went wrong decoding a line (empty message means success).
+struct CodecError {
+  std::string message;
+
+  explicit operator bool() const noexcept { return !message.empty(); }
+};
+
+/// One event -> one JSON line (no trailing newline).
+std::string encode_event(const api::RideEvent& event);
+
+/// One complete frame -> its event lines: every order, every driver,
+/// then the end_frame barrier. Concatenating these (newline-separated)
+/// is the canonical ndjson encoding of the frame.
+std::vector<std::string> encode_frame_events(const api::FrameRequest& request);
+
+/// One response -> one JSON line (no trailing newline).
+std::string encode_response(const api::FrameResponse& response);
+
+/// Parses one event line. Returns nullopt and fills `error` on malformed
+/// JSON, unknown event kind, missing fields, or a major-version mismatch.
+std::optional<api::RideEvent> decode_event(std::string_view line, CodecError* error = nullptr);
+
+/// Parses one frame_response line (same error contract as decode_event).
+std::optional<api::FrameResponse> decode_response(std::string_view line,
+                                                  CodecError* error = nullptr);
+
+}  // namespace o2o::service

@@ -1,0 +1,121 @@
+#include "service/replay.h"
+
+#include <utility>
+
+#include "service/codec.h"
+#include "util/contracts.h"
+
+namespace o2o::service {
+
+api::FrameRequest snapshot_to_request(const sim::DispatchContext& context,
+                                      std::uint64_t frame) {
+  api::FrameRequest request;
+  request.frame = frame;
+  request.timestamp = context.now_seconds;
+
+  request.orders.reserve(context.pending.size());
+  for (const trace::Request& pending : context.pending) {
+    api::Order order;
+    order.order_id = pending.id;
+    order.timestamp = pending.time_seconds;
+    order.start = pending.pickup;
+    order.finish = pending.dropoff;
+    order.seats = pending.seats;
+    request.orders.push_back(order);
+  }
+
+  request.drivers.reserve(context.idle_taxis.size() + context.busy_taxis.size());
+  for (const trace::Taxi& taxi : context.idle_taxis) {
+    api::Driver driver;
+    driver.driver_id = taxi.id;
+    driver.location = taxi.location;
+    driver.seats = taxi.seats;
+    request.drivers.push_back(std::move(driver));
+  }
+  for (const sim::BusyTaxiView& view : context.busy_taxis) {
+    api::Driver driver;
+    driver.driver_id = view.taxi.id;
+    driver.location = view.taxi.location;
+    driver.seats = view.taxi.seats;
+    driver.seats_in_use = view.seats_in_use;
+    driver.onboard = view.onboard;
+    driver.route.reserve(view.remaining_stops.size());
+    for (const routing::Stop& stop : view.remaining_stops) {
+      driver.route.push_back(api::DriverStop{stop.request, stop.is_pickup, stop.point});
+    }
+    driver.route_seats = view.route_request_seats;
+    request.drivers.push_back(std::move(driver));
+  }
+  return request;
+}
+
+std::vector<sim::DispatchAssignment> response_to_assignments(
+    const api::FrameResponse& response) {
+  std::vector<sim::DispatchAssignment> assignments;
+  assignments.reserve(response.assignments.size());
+  for (const api::Assignment& assignment : response.assignments) {
+    sim::DispatchAssignment converted;
+    converted.taxi = assignment.driver_id;
+    converted.requests = assignment.order_ids;
+    converted.route.start = assignment.start;
+    converted.route.stops.reserve(assignment.route.size());
+    for (const api::DriverStop& stop : assignment.route) {
+      converted.route.stops.push_back(
+          routing::Stop{stop.order_id, stop.is_pickup, stop.point});
+    }
+    assignments.push_back(std::move(converted));
+  }
+  return assignments;
+}
+
+ServeFrameFn codec_round_trip_server(DispatchSession& session) {
+  return [&session](const api::FrameRequest& request) {
+    api::FrameRequest decoded_request;
+    bool saw_barrier = false;
+    for (const std::string& line : encode_frame_events(request)) {
+      CodecError error;
+      const std::optional<api::RideEvent> event = decode_event(line, &error);
+      O2O_EXPECTS(event.has_value());
+      switch (event->kind) {
+        case api::RideEvent::Kind::kOrder:
+          decoded_request.orders.push_back(event->order);
+          break;
+        case api::RideEvent::Kind::kDriver:
+          decoded_request.drivers.push_back(event->driver);
+          break;
+        case api::RideEvent::Kind::kEndFrame:
+          decoded_request.frame = event->frame;
+          decoded_request.timestamp = event->timestamp;
+          saw_barrier = true;
+          break;
+      }
+    }
+    O2O_EXPECTS(saw_barrier);
+
+    const api::FrameResponse response = session.dispatch(decoded_request);
+
+    CodecError error;
+    const std::optional<api::FrameResponse> decoded_response =
+        decode_response(encode_response(response), &error);
+    O2O_EXPECTS(decoded_response.has_value());
+    return *decoded_response;
+  };
+}
+
+ReplayResult replay_day(const trace::Trace& trace, std::vector<trace::Taxi> fleet,
+                        const geo::DistanceOracle& oracle, const DispatchConfig& config,
+                        const ServeFrameFn& serve_fn, std::string_view name) {
+  O2O_EXPECTS(config.validate().empty());
+  sim::Simulator simulator(trace, std::move(fleet), oracle, config.simulation());
+  ReplayResult result;
+  result.report = simulator.run_streamed(
+      [&serve_fn, &result](const sim::DispatchContext& context, std::uint64_t frame) {
+        ++result.frames_served;
+        return response_to_assignments(
+            serve_fn(snapshot_to_request(context, frame)));
+      },
+      name);
+  return result;
+}
+
+}  // namespace o2o::service

@@ -1,0 +1,62 @@
+// Replay driver: feeds a recorded simulator day through the streaming
+// service frame by frame and returns the resulting SimulationReport —
+// the instrument that proves the streamed path bit-identical to the
+// batch Simulator under the same DispatchConfig.
+//
+// The simulator's kinematics (arrivals, cancellations, driving, pickup
+// and drop-off bookkeeping) run unchanged via Simulator::run_streamed;
+// only the per-frame dispatch call is routed through the caller's
+// serve_fn, which typically encodes the frame to the wire, feeds a
+// DispatchSession (in process or across a socket), and decodes the
+// response.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "core/dispatch_config.h"
+#include "geo/distance_oracle.h"
+#include "service/api.h"
+#include "service/session.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "trace/fleet.h"
+#include "trace/trace.h"
+
+namespace o2o::service {
+
+/// Answers one frame: the service being replayed against.
+using ServeFrameFn = std::function<api::FrameResponse(const api::FrameRequest&)>;
+
+/// Converts one frame's DispatchContext into the api contract: pending
+/// requests become orders, idle and busy taxis become drivers (with
+/// routes, onboard lists, and route seat demands for the busy ones).
+api::FrameRequest snapshot_to_request(const sim::DispatchContext& context,
+                                      std::uint64_t frame);
+
+/// Converts a response back into simulator assignments (route anchored
+/// at the assignment's start point).
+std::vector<sim::DispatchAssignment> response_to_assignments(
+    const api::FrameResponse& response);
+
+/// A ServeFrameFn that round-trips every frame through the full wire
+/// codec — encode to ndjson event lines, decode each, match via
+/// `session`, encode the response, decode it back — exercising exactly
+/// the bytes a remote client would exchange. Aborts (O2O_EXPECTS) on any
+/// codec error: a lossy codec must never look like a matching bug.
+ServeFrameFn codec_round_trip_server(DispatchSession& session);
+
+struct ReplayResult {
+  sim::SimulationReport report;
+  std::uint64_t frames_served = 0;  ///< frames routed through serve_fn
+};
+
+/// Replays `trace` against `serve_fn` under `config` (simulation section
+/// + dispatcher knobs). `name` labels the report like a dispatcher name.
+ReplayResult replay_day(const trace::Trace& trace, std::vector<trace::Taxi> fleet,
+                        const geo::DistanceOracle& oracle, const DispatchConfig& config,
+                        const ServeFrameFn& serve_fn, std::string_view name);
+
+}  // namespace o2o::service

@@ -1,0 +1,115 @@
+#include "service/service.h"
+
+#include <thread>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace o2o::service {
+
+StreamingService::StreamingService(std::string_view kind, DispatchConfig config,
+                                   const geo::DistanceOracle& oracle)
+    : session_(kind, config, oracle),
+      queue_(config.service().ingest_capacity),
+      pipeline_depth_(config.service().pipeline_depth) {}
+
+bool StreamingService::push_with_backpressure(const api::RideEvent& event,
+                                              bool blocking) {
+  // A barrier closes a frame: hold it back while pipeline_depth complete
+  // frames already sit in the ring unmatched, so producers can't run
+  // arbitrarily far ahead of the matcher.
+  if (event.kind == api::RideEvent::Kind::kEndFrame) {
+    while (frames_in_flight_.load(std::memory_order_acquire) >= pipeline_depth_) {
+      if (!blocking) return false;
+      obs::add(obs::Counter::kIngestBackpressure);
+      std::this_thread::yield();
+    }
+  }
+  while (!queue_.try_push(event)) {
+    if (!blocking) return false;
+    obs::add(obs::Counter::kIngestBackpressure);
+    std::this_thread::yield();
+  }
+  if (event.kind == api::RideEvent::Kind::kEndFrame) {
+    frames_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return true;
+}
+
+void StreamingService::submit(const api::RideEvent& event) {
+  push_with_backpressure(event, /*blocking=*/true);
+}
+
+bool StreamingService::try_submit(const api::RideEvent& event) {
+  return push_with_backpressure(event, /*blocking=*/false);
+}
+
+void StreamingService::close() { closed_.store(true, std::memory_order_release); }
+
+std::optional<api::FrameResponse> StreamingService::next_response() {
+  obs::TraceSink* sink = obs::active_sink();
+  std::optional<api::FrameRequest> request;
+  // Ingest metrics are buffered locally and reported only after
+  // begin_frame: the sink zeroes every thread's cells at frame start, so
+  // anything recorded before the barrier would be wiped.
+  std::uint64_t ingest_ns = 0;
+  std::uint64_t events_drained = 0;
+  std::size_t depth_peak = queue_.approx_depth();
+  {
+    obs::ScopedTimer timer(ingest_ns);
+    api::RideEvent event;
+    while (!request) {
+      if (!queue_.try_pop(event)) {
+        // Empty ring: either the stream ended mid-frame (drop the
+        // partial frame — no barrier, no snapshot) or the producers are
+        // just slower than the matcher.
+        if (closed_.load(std::memory_order_acquire) && !queue_.try_pop(event)) {
+          return std::nullopt;
+        }
+        std::this_thread::yield();
+        continue;
+      }
+      ++events_drained;
+      switch (event.kind) {
+        case api::RideEvent::Kind::kOrder:
+          open_orders_.push_back(std::move(event.order));
+          break;
+        case api::RideEvent::Kind::kDriver:
+          open_drivers_.push_back(std::move(event.driver));
+          break;
+        case api::RideEvent::Kind::kEndFrame:
+          request.emplace();
+          request->frame = event.frame;
+          request->timestamp = event.timestamp;
+          request->orders = std::move(open_orders_);
+          request->drivers = std::move(open_drivers_);
+          open_orders_.clear();
+          open_drivers_.clear();
+          break;
+      }
+    }
+  }
+
+  // The frame left the ring: producers may push the next barrier.
+  frames_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+
+  if (sink != nullptr) sink->begin_frame(request->frame, request->timestamp);
+  obs::add_stage_ns(obs::Stage::kIngest, ingest_ns);
+  obs::add(obs::Counter::kEventsIngested, events_drained);
+  obs::gauge_max(obs::Gauge::kQueueDepthPeak, depth_peak);
+  api::FrameResponse response = session_.dispatch(*request);
+  obs::add(obs::Counter::kFramesStreamed);
+  if (sink != nullptr) {
+    std::uint64_t idle = 0;
+    for (const api::Driver& driver : request->drivers) idle += driver.idle() ? 1 : 0;
+    sink->set_frame_context(idle, request->drivers.size() - idle,
+                            request->orders.size());
+    std::uint64_t assigned = 0;
+    for (const api::Assignment& a : response.assignments) assigned += a.order_ids.size();
+    sink->add_assignments(assigned);
+    sink->end_frame();
+  }
+  return response;
+}
+
+}  // namespace o2o::service

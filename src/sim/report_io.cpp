@@ -138,6 +138,38 @@ class TraceJsonParser {
   explicit TraceJsonParser(std::string text) : text_(std::move(text)) {}
 
   std::vector<obs::FrameTrace> parse() {
+    skip_ws();
+    if (peek() != '{') return parse_frames_array();
+    // Config-wrapped form: {"config": {...}, "frames": [...]}. The
+    // config block is provenance for humans and external tools; it is
+    // skipped on read.
+    std::vector<obs::FrameTrace> frames;
+    ++pos_;  // '{'
+    bool saw_frames = false;
+    while (true) {
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "frames") {
+        frames = parse_frames_array();
+        saw_frames = true;
+      } else if (peek() == '{') {
+        skip_string_map();
+      } else {
+        fail("expected object value for key '" + key + "'");
+      }
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in wrapper object");
+    }
+    if (!saw_frames) fail("wrapper object has no \"frames\" array");
+    return frames;
+  }
+
+ private:
+  std::vector<obs::FrameTrace> parse_frames_array() {
     std::vector<obs::FrameTrace> frames;
     skip_ws();
     expect('[');
@@ -156,7 +188,27 @@ class TraceJsonParser {
     return frames;
   }
 
- private:
+  /// Consumes a flat {"key": "value", ...} map without keeping it.
+  void skip_string_map() {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      parse_string();
+      skip_ws();
+      expect(':');
+      parse_string();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in string map");
+    }
+  }
+
   [[noreturn]] void fail(const std::string& what) const {
     throw std::runtime_error("frame-trace JSON: " + what + " at offset " +
                              std::to_string(pos_));
@@ -313,6 +365,19 @@ void write_frame_traces_json(std::ostream& out,
     out << "  }" << (f + 1 < frames.size() ? "," : "") << '\n';
   }
   out << "]\n";
+}
+
+void write_frame_traces_json(
+    std::ostream& out, const std::vector<obs::FrameTrace>& frames,
+    const std::vector<std::pair<std::string, std::string>>& config_kv) {
+  out << "{\n  \"config\": {";
+  for (std::size_t i = 0; i < config_kv.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "\n    \"" << config_kv[i].first << "\": \"" << config_kv[i].second << '"';
+  }
+  out << (config_kv.empty() ? "" : "\n  ") << "},\n  \"frames\": ";
+  write_frame_traces_json(out, frames);
+  out << "}\n";
 }
 
 std::vector<obs::FrameTrace> read_frame_traces_json(std::istream& in) {

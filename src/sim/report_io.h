@@ -4,6 +4,8 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/obs.h"
@@ -28,9 +30,19 @@ void write_cdfs_csv(std::ostream& out, const SimulationReport& report);
 void write_frame_traces_json(std::ostream& out,
                              const std::vector<obs::FrameTrace>& frames);
 
-/// Reads traces written by write_frame_traces_json. Unknown keys are
-/// ignored (forward compatibility); throws std::runtime_error on
-/// malformed JSON.
+/// Same as above, wrapped in an object that also records the
+/// configuration the run was produced under:
+/// `{"config": {"key": "value", ...}, "frames": [...]}`. Pass the
+/// key/value pairs from DispatchConfig::describe(); values are emitted
+/// as JSON strings verbatim.
+void write_frame_traces_json(std::ostream& out,
+                             const std::vector<obs::FrameTrace>& frames,
+                             const std::vector<std::pair<std::string, std::string>>& config_kv);
+
+/// Reads traces written by write_frame_traces_json — either the bare
+/// array form or the config-wrapped object form (the config block is
+/// skipped on read). Unknown keys are ignored (forward compatibility);
+/// throws std::runtime_error on malformed JSON.
 std::vector<obs::FrameTrace> read_frame_traces_json(std::istream& in);
 
 /// Flat CSV: one row per frame, one column per context field, stage,

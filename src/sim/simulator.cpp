@@ -5,14 +5,17 @@
 #include <optional>
 #include <unordered_set>
 
-#include "index/spatial_grid.h"
 #include "util/contracts.h"
 
 namespace o2o::sim {
 
 Simulator::Simulator(const trace::Trace& trace, std::vector<trace::Taxi> fleet,
                      const geo::DistanceOracle& oracle, SimulatorConfig config)
-    : trace_(trace), initial_fleet_(std::move(fleet)), oracle_(oracle), config_(config) {
+    : trace_(trace),
+      initial_fleet_(std::move(fleet)),
+      oracle_(oracle),
+      config_(config),
+      snapshotter_(oracle_, config_) {
   O2O_EXPECTS(config_.frame_seconds > 0.0);
   O2O_EXPECTS(config_.speed_kmh > 0.0);
   O2O_EXPECTS(config_.cancel_timeout_seconds > 0.0);
@@ -30,71 +33,9 @@ void Simulator::reset() {
   }
   pending_.clear();
   active_requests_.clear();
-  group_cache_ = std::make_unique<packing::GroupCache>();
-  idle_pool_.clear();
-  idle_slot_of_.clear();
-  idle_pool_grid_.reset();
+  snapshotter_.reset();
   report_ = SimulationReport{};
   record_index_.clear();
-}
-
-void Simulator::refresh_idle_pool() {
-  obs::StageTimer timer(obs::Stage::kGridPatch);
-  if (!idle_pool_grid_) {
-    // First dispatch frame of the run: seed the pool from the current
-    // idle set and bulk-build the grid (which also fixes the bounds the
-    // patched entries clamp to until the next auto-compaction).
-    for (const TaxiState& state : taxis_) {
-      if (!state.idle()) continue;
-      trace::Taxi snapshot = state.spec;
-      snapshot.location = state.position;
-      idle_slot_of_.emplace(snapshot.id, idle_pool_.size());
-      idle_pool_.push_back(snapshot);
-    }
-    idle_pool_grid_.emplace(std::span<const trace::Taxi>(idle_pool_),
-                            config_.idle_grid_cell_km);
-    return;
-  }
-
-  // Departures (taxi dispatched since the last frame): swap-removal
-  // keeps the span dense; the displaced last entry is re-keyed to the
-  // freed slot so grid ids stay equal to pool positions.
-  std::vector<trace::TaxiId> departed;
-  for (const trace::Taxi& pooled : idle_pool_) {
-    if (!taxis_[taxi_index_.at(pooled.id)].idle()) departed.push_back(pooled.id);
-  }
-  for (const trace::TaxiId id : departed) {
-    const std::size_t slot = idle_slot_of_.at(id);
-    const std::size_t last = idle_pool_.size() - 1;
-    idle_pool_grid_->remove(static_cast<std::int32_t>(slot));
-    if (slot != last) {
-      idle_pool_grid_->remove(static_cast<std::int32_t>(last));
-      idle_pool_[slot] = idle_pool_[last];
-      idle_slot_of_[idle_pool_[slot].id] = slot;
-      idle_pool_grid_->insert(static_cast<std::int32_t>(slot), idle_pool_[slot].location);
-    }
-    idle_pool_.pop_back();
-    idle_slot_of_.erase(id);
-  }
-
-  // Arrivals (taxi finished its route) and position refreshes (taxi was
-  // dispatched *and* completed the whole route between two dispatch
-  // frames: idle in both snapshots, standing somewhere new).
-  for (const TaxiState& state : taxis_) {
-    if (!state.idle()) continue;
-    const auto slot_it = idle_slot_of_.find(state.spec.id);
-    if (slot_it == idle_slot_of_.end()) {
-      trace::Taxi snapshot = state.spec;
-      snapshot.location = state.position;
-      idle_slot_of_.emplace(snapshot.id, idle_pool_.size());
-      idle_pool_grid_->insert(static_cast<std::int32_t>(idle_pool_.size()),
-                              snapshot.location);
-      idle_pool_.push_back(snapshot);
-    } else if (!(idle_pool_[slot_it->second].location == state.position)) {
-      idle_pool_[slot_it->second].location = state.position;
-      idle_pool_grid_->move(static_cast<std::int32_t>(slot_it->second), state.position);
-    }
-  }
 }
 
 RequestRecord& Simulator::record_of(trace::RequestId id) {
@@ -130,73 +71,6 @@ void Simulator::cancel_stale(double now) {
     }
   }
   pending_.swap(kept);
-}
-
-std::vector<DispatchAssignment> Simulator::invoke_dispatcher(Dispatcher& dispatcher,
-                                                             double now) {
-  std::vector<trace::Taxi> idle;
-  std::vector<BusyTaxiView> busy;
-  for (const TaxiState& taxi : taxis_) {
-    if (taxi.idle()) {
-      if (config_.incremental_grid) continue;  // snapshot lives in idle_pool_
-      trace::Taxi snapshot = taxi.spec;
-      snapshot.location = taxi.position;
-      idle.push_back(snapshot);
-    } else {
-      BusyTaxiView view;
-      view.taxi = taxi.spec;
-      view.taxi.location = taxi.position;
-      view.remaining_stops.assign(taxi.stops.begin(), taxi.stops.end());
-      view.onboard = taxi.onboard;
-      view.seats_in_use = taxi.seats_in_use;
-      std::unordered_set<trace::RequestId> seen;
-      for (const routing::Stop& stop : taxi.stops) {
-        if (seen.insert(stop.request).second) {
-          view.route_request_seats.emplace_back(stop.request,
-                                                active_requests_.at(stop.request).seats);
-        }
-      }
-      busy.push_back(std::move(view));
-    }
-  }
-  std::vector<trace::Request> pending(pending_.begin(), pending_.end());
-
-  // Index the idle snapshot so dispatchers can prune candidate taxis by
-  // radius instead of scanning the whole fleet — patched across frames
-  // in incremental mode, rebuilt from scratch otherwise.
-  std::optional<index::SpatialGrid> idle_grid;
-  std::span<const trace::Taxi> idle_span;
-  const index::SpatialGrid* grid_ptr = nullptr;
-  if (config_.incremental_grid) {
-    refresh_idle_pool();
-    idle_span = idle_pool_;
-    if (!idle_pool_.empty()) grid_ptr = &*idle_pool_grid_;
-  } else {
-    idle_span = idle;
-    if (!idle.empty()) {
-      idle_grid.emplace(std::span<const trace::Taxi>(idle), config_.idle_grid_cell_km);
-      grid_ptr = &*idle_grid;
-    }
-  }
-
-  // Warm the oracle for this frame's snapshot: the network oracle
-  // resolves every idle-taxi endpoint once up front so each dispatch
-  // query hits its snap memo instead of re-running a nearest-node search.
-  std::vector<geo::Point> frame_points;
-  frame_points.reserve(idle_span.size());
-  for (const trace::Taxi& taxi : idle_span) frame_points.push_back(taxi.location);
-  oracle_.prepare_frame(frame_points);
-
-  DispatchContext context;
-  context.now_seconds = now;
-  context.idle_taxis = idle_span;
-  context.busy_taxis = busy;
-  context.pending = pending;
-  context.oracle = &oracle_;
-  context.idle_grid = grid_ptr;
-  context.trace = config_.trace_sink;
-  context.group_cache = group_cache_.get();
-  return dispatcher.dispatch(context);
 }
 
 void Simulator::validate_assignment(const DispatchAssignment& assignment,
@@ -401,8 +275,17 @@ void Simulator::move_taxis(double now, double dt) {
 }
 
 SimulationReport Simulator::run(Dispatcher& dispatcher) {
+  return run_streamed(
+      [&dispatcher](const DispatchContext& context, std::uint64_t) {
+        return dispatcher.dispatch(context);
+      },
+      dispatcher.name());
+}
+
+SimulationReport Simulator::run_streamed(const FrameDispatchFn& dispatch_fn,
+                                         std::string_view dispatcher_name) {
   reset();
-  report_.dispatcher_name = dispatcher.name();
+  report_.dispatcher_name = std::string(dispatcher_name);
 
   // Install the configured sink for the duration of the run; frames are
   // closed after move_taxis so oracle work in apply/move is attributed
@@ -421,7 +304,9 @@ SimulationReport Simulator::run(Dispatcher& dispatcher) {
     cancel_stale(now);
     if (!pending_.empty()) {
       obs::gauge_max(obs::Gauge::kPendingPeak, pending_.size());
-      for (const DispatchAssignment& assignment : invoke_dispatcher(dispatcher, now)) {
+      const DispatchContext context =
+          snapshotter_.snapshot(taxis_, taxi_index_, pending_, active_requests_, now);
+      for (const DispatchAssignment& assignment : dispatch_fn(context, frame_index)) {
         if (sink != nullptr) sink->add_assignments(assignment.requests.size());
         apply_assignment(assignment, now);
       }

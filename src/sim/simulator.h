@@ -5,76 +5,30 @@
 // off passengers.
 #pragma once
 
+#include <cstdint>
 #include <deque>
-#include <memory>
-#include <optional>
+#include <functional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "geo/distance_oracle.h"
-#include "geo/road_network.h"
-#include "index/spatial_grid.h"
-#include "obs/obs.h"
-#include "packing/group_enum.h"
 #include "sim/dispatcher.h"
+#include "sim/frame_state.h"
 #include "sim/report.h"
 #include "trace/fleet.h"
 #include "trace/trace.h"
 
 namespace o2o::sim {
 
-struct SimulatorConfig {
-  double frame_seconds = 60.0;
-  double speed_kmh = 20.0;
-  /// Pending requests older than this give up (cancelled). The paper's
-  /// stable dispatch deliberately leaves some requests waiting for a
-  /// nearby busy taxi instead of dispatching a distant idle one.
-  double cancel_timeout_seconds = 3600.0;
-  /// Extra time simulated past the last request so trailing rides finish.
-  double drain_seconds = 1800.0;
-  /// α / β used for the dissatisfaction metrics (the paper sets both 1).
-  double alpha = 1.0;
-  double beta = 1.0;
-  /// Optional kinematic substrate: when set, taxis drive along this
-  /// network's shortest paths between stops instead of straight lines
-  /// (pair it with a NetworkOracle over the same network for a fully
-  /// road-consistent experiment). The network must be laid out in the
-  /// same coordinate frame as the trace.
-  const geo::RoadNetwork* road_network = nullptr;
-  /// Cell size of the per-frame spatial index over idle taxis handed to
-  /// dispatchers via DispatchContext::idle_grid.
-  double idle_grid_cell_km = 1.0;
-  /// Incremental-frame mode (DESIGN.md "Incremental frame engine"): keep
-  /// the idle-taxi snapshot and its spatial index alive across frames
-  /// and patch them on idle/busy transitions instead of rebuilding both
-  /// every frame. The snapshot is maintained with swap-removal, so the
-  /// idle span dispatchers see is a *permutation* of the rebuilt one —
-  /// assignments are identical except when two taxis score exactly equal
-  /// for a request (index tie-breaks may then pick the other one), which
-  /// has measure zero on real traces. Off by default so the rebuilt path
-  /// stays the differential reference.
-  bool incremental_grid = false;
-  /// When set, run() installs the sink as the process-active trace sink
-  /// and drives its frame lifecycle (begin/end around every frame).
-  obs::TraceSink* trace_sink = nullptr;
-};
-
-/// Runtime state of one taxi.
-struct TaxiState {
-  trace::Taxi spec;                      ///< id, seats (location = initial)
-  geo::Point position;
-  std::deque<routing::Stop> stops;       ///< remaining route
-  std::vector<trace::RequestId> onboard; ///< picked up
-  std::vector<trace::RequestId> committed;  ///< dispatched, not yet picked up
-  int seats_in_use = 0;
-  double distance_driven_km = 0.0;
-  /// Current leg's drivable polyline (network mode); rebuilt per leg and
-  /// discarded whenever the route changes.
-  std::vector<geo::Point> leg_waypoints;
-  std::size_t next_waypoint = 0;
-
-  bool idle() const noexcept { return stops.empty(); }
-};
+/// Per-frame dispatch hook for run_streamed: receives the assembled
+/// frame context (and the frame index) and returns the assignments to
+/// apply — exactly what Dispatcher::dispatch returns, but the callee
+/// may route the frame anywhere first (e.g. through the streaming
+/// service's wire codec) as long as the returned assignments are valid
+/// for the context.
+using FrameDispatchFn = std::function<std::vector<DispatchAssignment>(
+    const DispatchContext&, std::uint64_t frame)>;
 
 /// Runs `dispatcher` over `trace` with the given fleet and returns the
 /// full report. Deterministic for a fixed trace/fleet/dispatcher.
@@ -85,36 +39,33 @@ class Simulator {
 
   SimulationReport run(Dispatcher& dispatcher);
 
+  /// The frame loop with the dispatcher call abstracted out: the
+  /// streaming service's replay driver uses this to push every frame
+  /// through the wire codec and a DispatchSession, then feed the decoded
+  /// assignments back — proving streamed output bit-identical to run().
+  SimulationReport run_streamed(const FrameDispatchFn& dispatch_fn,
+                                std::string_view dispatcher_name);
+
  private:
   const trace::Trace& trace_;
   std::vector<trace::Taxi> initial_fleet_;
   const geo::DistanceOracle& oracle_;
   SimulatorConfig config_;
 
-  // Per-run state (reset by run()).
+  // Per-run state (reset by run()/run_streamed()).
   std::vector<TaxiState> taxis_;
   std::unordered_map<trace::TaxiId, std::size_t> taxi_index_;
   std::deque<trace::Request> pending_;
   std::unordered_map<trace::RequestId, trace::Request> active_requests_;
   SimulationReport report_;
   std::unordered_map<trace::RequestId, std::size_t> record_index_;
-  /// Cross-frame share-group verdict cache handed to dispatchers via
-  /// DispatchContext::group_cache. Fresh per run, so repeated runs of
-  /// the same simulator stay deterministic and independent.
-  std::unique_ptr<packing::GroupCache> group_cache_;
-  /// Incremental-grid state (config_.incremental_grid): a persistent
-  /// idle-taxi snapshot in swap-removal order plus its spatial index,
-  /// both patched per frame in refresh_idle_pool. Grid ids are pool
-  /// slots, so within_radius results index straight into the span.
-  std::vector<trace::Taxi> idle_pool_;
-  std::unordered_map<trace::TaxiId, std::size_t> idle_slot_of_;
-  std::optional<index::SpatialGrid> idle_pool_grid_;
+  /// Assembles each frame's DispatchContext and owns the cross-frame
+  /// acceleration state (GroupCache, incremental idle pool + grid).
+  FrameSnapshotter snapshotter_;
 
   void reset();
-  void refresh_idle_pool();
   void ingest_arrivals(std::size_t& next_request, double now);
   void cancel_stale(double now);
-  std::vector<DispatchAssignment> invoke_dispatcher(Dispatcher& dispatcher, double now);
   void apply_assignment(const DispatchAssignment& assignment, double now);
   void validate_assignment(const DispatchAssignment& assignment,
                            const TaxiState& taxi) const;

@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
+#include <string>
 
 namespace o2o {
 namespace {
@@ -202,6 +204,64 @@ TEST(DispatchConfigFactories, FourDispatchersWithPinnedSides) {
 
   // The en-route extension shows up in the sharing dispatcher's name.
   EXPECT_EQ(make_std_p(DispatchConfig{}.with_enroute_extension(true))->name(), "STD-P+");
+}
+
+TEST(DispatchConfig, ServiceKnobsValidate) {
+  EXPECT_TRUE(DispatchConfig{}.with_pipeline_depth(1).validate().empty());
+  EXPECT_TRUE(DispatchConfig{}.with_pipeline_depth(1024).validate().empty());
+  EXPECT_FALSE(DispatchConfig{}.with_pipeline_depth(0).validate().empty());
+  EXPECT_FALSE(DispatchConfig{}.with_pipeline_depth(1025).validate().empty());
+
+  EXPECT_TRUE(DispatchConfig{}.with_ingest_capacity(2).validate().empty());
+  EXPECT_TRUE(DispatchConfig{}.with_ingest_capacity(1u << 20).validate().empty());
+  // Capacity must be a power of two: the ring masks positions.
+  EXPECT_FALSE(DispatchConfig{}.with_ingest_capacity(3).validate().empty());
+  EXPECT_FALSE(DispatchConfig{}.with_ingest_capacity(1000).validate().empty());
+  EXPECT_FALSE(DispatchConfig{}.with_ingest_capacity(1).validate().empty());
+  EXPECT_FALSE(DispatchConfig{}.with_ingest_capacity(1u << 21).validate().empty());
+}
+
+TEST(DispatchConfig, DescribeIsAStableCompleteSnapshot) {
+  const auto described = DispatchConfig{}.describe();
+  ASSERT_FALSE(described.empty());
+  EXPECT_EQ(described.front().first, "alpha");
+
+  std::set<std::string> keys;
+  for (const auto& [key, value] : described) {
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate key " << key;
+    EXPECT_FALSE(value.empty()) << key;
+  }
+  for (const char* expected :
+       {"passenger_threshold_km", "detour_threshold_km", "packing_solver",
+        "frame_seconds", "incremental_grid", "road_network", "trace_enabled",
+        "pipeline_depth", "ingest_capacity"}) {
+    EXPECT_TRUE(keys.count(expected) != 0) << expected;
+  }
+
+  // Two identical configs describe identically; order included.
+  EXPECT_EQ(described, DispatchConfig{}.describe());
+}
+
+TEST(DispatchConfig, DescribeReflectsTheConfiguredValues) {
+  const auto described = DispatchConfig{}
+                             .with_passenger_threshold_km(7.5)
+                             .with_packing_solver(core::PackingSolver::kGreedy)
+                             .with_incremental_grid(true)
+                             .with_pipeline_depth(8)
+                             .with_ingest_capacity(256)
+                             .describe();
+  const auto value_of = [&described](std::string_view key) -> std::string {
+    for (const auto& [k, v] : described) {
+      if (k == key) return v;
+    }
+    return "<missing>";
+  };
+  EXPECT_EQ(value_of("passenger_threshold_km"), "7.5");
+  EXPECT_EQ(value_of("packing_solver"), "greedy");
+  EXPECT_EQ(value_of("incremental_grid"), "true");
+  EXPECT_EQ(value_of("pipeline_depth"), "8");
+  EXPECT_EQ(value_of("ingest_capacity"), "256");
+  EXPECT_EQ(value_of("road_network"), "none");
 }
 
 TEST(DispatchConfigFactories, NameBasedLookup) {

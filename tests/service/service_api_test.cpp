@@ -1,0 +1,223 @@
+// The o2o::api frame contract and its ndjson codec: every struct must
+// survive an encode/decode round trip bit for bit (doubles included),
+// wrong API major versions must be rejected, malformed lines must fail
+// with a message instead of crashing, and optional fields must default.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "service/api.h"
+#include "service/codec.h"
+
+namespace o2o::service {
+namespace {
+
+api::Order sample_order() {
+  api::Order order;
+  order.order_id = 42;
+  order.timestamp = 64800.125;
+  order.start = {0.1, -0.2};
+  order.finish = {1.0 / 3.0, 2.0 / 7.0};
+  order.seats = 2;
+  order.reward_units = 12.75;
+  return order;
+}
+
+api::Driver sample_busy_driver() {
+  api::Driver driver;
+  driver.driver_id = 7;
+  driver.location = {3.25, -4.5};
+  driver.seats = 4;
+  driver.seats_in_use = 3;
+  driver.onboard = {11, 19};
+  driver.route = {
+      api::DriverStop{23, true, {5.0, 5.0}},
+      api::DriverStop{11, false, {6.0, -1.0}},
+      api::DriverStop{19, false, {0.0, 0.0}},
+      api::DriverStop{23, false, {2.0, 2.0}},
+  };
+  driver.route_seats = {{11, 1}, {19, 2}, {23, 1}};
+  return driver;
+}
+
+TEST(ServiceApi, VersionConstantsAreFrozen) {
+  EXPECT_EQ(api::kApiVersionMajor, 1);
+  EXPECT_EQ(api::kApiVersionMinor, 0);
+}
+
+TEST(ServiceApi, OrderEventRoundTrips) {
+  const api::RideEvent event = api::RideEvent::make_order(sample_order());
+  const auto decoded = decode_event(encode_event(event));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, event);
+}
+
+TEST(ServiceApi, BusyDriverEventRoundTrips) {
+  const api::RideEvent event = api::RideEvent::make_driver(sample_busy_driver());
+  const auto decoded = decode_event(encode_event(event));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, event);
+}
+
+TEST(ServiceApi, BarrierEventRoundTrips) {
+  const api::RideEvent event =
+      api::RideEvent::make_end_frame(std::uint64_t{1} << 53, 86399.9375);
+  const auto decoded = decode_event(encode_event(event));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, api::RideEvent::Kind::kEndFrame);
+  EXPECT_EQ(decoded->frame, std::uint64_t{1} << 53);
+  EXPECT_EQ(decoded->timestamp, 86399.9375);
+}
+
+TEST(ServiceApi, AwkwardDoublesRoundTripBitForBit) {
+  // %.17g must reproduce the exact IEEE-754 bits: repeating fractions,
+  // huge and denormal magnitudes, and negative zero.
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          1e300,
+                          -1e-300,
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(),
+                          -0.0,
+                          123456.78901234567};
+  for (const double value : cases) {
+    api::Order order = sample_order();
+    order.timestamp = value;
+    order.start.x = value;
+    const auto decoded = decode_event(encode_event(api::RideEvent::make_order(order)));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded->order.timestamp),
+              std::bit_cast<std::uint64_t>(value))
+        << value;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded->order.start.x),
+              std::bit_cast<std::uint64_t>(value))
+        << value;
+  }
+}
+
+TEST(ServiceApi, ResponseRoundTrips) {
+  api::FrameResponse response;
+  response.frame = 17;
+  response.timestamp = 1020.0;
+  api::Assignment assignment;
+  assignment.driver_id = 3;
+  assignment.order_ids = {42, 43};
+  assignment.start = {0.5, 0.25};
+  assignment.route = {api::DriverStop{42, true, {1.0, 1.0}},
+                      api::DriverStop{43, true, {1.5, 1.0}},
+                      api::DriverStop{42, false, {2.0, 2.0}},
+                      api::DriverStop{43, false, {3.0, 2.0}}};
+  assignment.pick_up_eta = 90.5;
+  response.assignments = {assignment};
+
+  const auto decoded = decode_response(encode_response(response));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, response);
+}
+
+TEST(ServiceApi, EmptyResponseRoundTrips) {
+  api::FrameResponse response;
+  response.frame = 0;
+  response.timestamp = 60.0;
+  const auto decoded = decode_response(encode_response(response));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, response);
+}
+
+TEST(ServiceApi, FrameEventsEndWithTheBarrier) {
+  api::FrameRequest request;
+  request.frame = 9;
+  request.timestamp = 540.0;
+  request.orders = {sample_order()};
+  request.drivers = {sample_busy_driver()};
+
+  const auto lines = encode_frame_events(request);
+  ASSERT_EQ(lines.size(), 3u);  // orders, drivers, barrier
+
+  api::FrameRequest rebuilt;
+  for (const std::string& line : lines) {
+    const auto event = decode_event(line);
+    ASSERT_TRUE(event.has_value()) << line;
+    switch (event->kind) {
+      case api::RideEvent::Kind::kOrder: rebuilt.orders.push_back(event->order); break;
+      case api::RideEvent::Kind::kDriver:
+        rebuilt.drivers.push_back(event->driver);
+        break;
+      case api::RideEvent::Kind::kEndFrame:
+        rebuilt.frame = event->frame;
+        rebuilt.timestamp = event->timestamp;
+        break;
+    }
+  }
+  const auto barrier = decode_event(lines.back());
+  ASSERT_TRUE(barrier.has_value());
+  EXPECT_EQ(barrier->kind, api::RideEvent::Kind::kEndFrame);
+  EXPECT_EQ(rebuilt, request);
+}
+
+TEST(ServiceApi, WrongMajorVersionIsRejected) {
+  CodecError error;
+  const auto decoded = decode_event(
+      R"({"v":2,"event":"end_frame","frame":0,"timestamp":0})", &error);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_NE(error.message.find("version"), std::string::npos) << error.message;
+}
+
+TEST(ServiceApi, MissingVersionIsRejected) {
+  CodecError error;
+  const auto decoded =
+      decode_event(R"({"event":"end_frame","frame":0,"timestamp":0})", &error);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(ServiceApi, MalformedLinesFailWithAMessage) {
+  const char* bad[] = {
+      "",
+      "not json",
+      "{",
+      R"({"v":1})",
+      R"({"v":1,"event":"unknown"})",
+      R"({"v":1,"event":"order","order_id":1})",
+      R"({"v":1,"event":"order","order_id":1,"timestamp":0,"start":[0],"finish":[1,1]})",
+  };
+  for (const char* line : bad) {
+    CodecError error;
+    const auto decoded = decode_event(line, &error);
+    EXPECT_FALSE(decoded.has_value()) << line;
+    EXPECT_FALSE(error.message.empty()) << line;
+  }
+}
+
+TEST(ServiceApi, OptionalFieldsDefault) {
+  const auto order = decode_event(
+      R"({"v":1,"event":"order","order_id":5,"timestamp":30,"start":[0,0],"finish":[1,1]})");
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->order.seats, 1);
+  EXPECT_EQ(order->order.reward_units, 0.0);
+
+  const auto driver =
+      decode_event(R"({"v":1,"event":"driver","driver_id":9,"location":[2,3]})");
+  ASSERT_TRUE(driver.has_value());
+  EXPECT_EQ(driver->driver.seats, 4);
+  EXPECT_EQ(driver->driver.seats_in_use, 0);
+  EXPECT_TRUE(driver->driver.onboard.empty());
+  EXPECT_TRUE(driver->driver.route.empty());
+  EXPECT_TRUE(driver->driver.route_seats.empty());
+  EXPECT_TRUE(driver->driver.idle());
+}
+
+TEST(ServiceApi, PresentButMalformedOptionalFieldsAreRejected) {
+  CodecError error;
+  const auto decoded = decode_event(
+      R"({"v":1,"event":"driver","driver_id":9,"location":[2,3],"route":"nope"})",
+      &error);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_FALSE(error.message.empty());
+}
+
+}  // namespace
+}  // namespace o2o::service

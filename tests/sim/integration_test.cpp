@@ -56,15 +56,15 @@ std::vector<std::unique_ptr<Dispatcher>> all_dispatchers() {
 
   core::StableDispatcherOptions nstd;
   nstd.preference = tuned_preferences();
-  dispatchers.push_back(std::make_unique<core::StableDispatcher>(nstd));
+  dispatchers.push_back(std::make_unique<core::StableDispatcher>(nstd, core::FromConfig{}));
   nstd.side = core::ProposalSide::kTaxis;
-  dispatchers.push_back(std::make_unique<core::StableDispatcher>(nstd));
+  dispatchers.push_back(std::make_unique<core::StableDispatcher>(nstd, core::FromConfig{}));
 
   core::SharingStableDispatcherOptions std_options;
   std_options.params.preference = tuned_preferences();
-  dispatchers.push_back(std::make_unique<core::SharingStableDispatcher>(std_options));
+  dispatchers.push_back(std::make_unique<core::SharingStableDispatcher>(std_options, core::FromConfig{}));
   std_options.params.side = core::ProposalSide::kTaxis;
-  dispatchers.push_back(std::make_unique<core::SharingStableDispatcher>(std_options));
+  dispatchers.push_back(std::make_unique<core::SharingStableDispatcher>(std_options, core::FromConfig{}));
 
   dispatchers.push_back(std::make_unique<baselines::NonSharingBaseline>(
       baselines::NonSharingPolicy::kGreedy));
