@@ -164,7 +164,8 @@ ArmResult bench_session(const std::string& kind, const api::FrameRequest& frame,
   service::DispatchSession session(kind, bench_config(), kOracle);
   return run_arm(frames, [&] {
     std::size_t assigned = 0;
-    for (const auto& assignment : session.dispatch(frame).assignments) {
+    const auto response = session.dispatch(frame);
+    for (const auto& assignment : response->assignments) {
       assigned += assignment.order_ids.size();
     }
     return assigned;

@@ -24,9 +24,12 @@
 //   -> {"v":1,"event":"end_frame","frame":F,"timestamp":S}
 //   <- {"v":1,"event":"frame_response","frame":F,"timestamp":S,
 //       "assignments":[...]}
-// The end_frame barrier closes a frame; the matcher replies with exactly
-// one frame_response per barrier. Clients resend the full pending-order
+// The end_frame barrier closes a frame; the matcher replies with one
+// frame_response per valid barrier. Clients resend the full pending-order
 // and fleet state every frame (the protocol is stateless per frame).
+// Malformed input is never fatal: undecodable lines are dropped with a
+// stderr note, and a frame with duplicate order/driver ids is discarded
+// whole (no frame_response; counted as frames_rejected).
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>

@@ -80,6 +80,7 @@ std::string_view counter_name(Counter counter) noexcept {
     case Counter::kEventsIngested: return "events_ingested";
     case Counter::kFramesStreamed: return "frames_streamed";
     case Counter::kIngestBackpressure: return "ingest_backpressure";
+    case Counter::kFramesRejected: return "frames_rejected";
   }
   return "unknown";
 }

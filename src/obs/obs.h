@@ -87,8 +87,9 @@ enum class Counter : std::uint8_t {
   kEventsIngested,       ///< ride events accepted by the service ingestion ring
   kFramesStreamed,       ///< frame barriers matched by the streaming service
   kIngestBackpressure,   ///< producer spins on a full ingestion ring
+  kFramesRejected,       ///< frames dropped for violating the api contract
 };
-inline constexpr std::size_t kCounterCount = 33;
+inline constexpr std::size_t kCounterCount = 34;
 
 /// Peak working-set sizes, merged by maximum (within a frame and across
 /// frames in the aggregate view).

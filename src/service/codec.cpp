@@ -1,8 +1,10 @@
 #include "service/codec.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <utility>
 
 #include "obs/obs.h"
@@ -185,10 +187,12 @@ class JsonParser {
 
   bool parse_object(JsonValue& out) {
     out.type = JsonValue::Type::kObject;
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
     if (!consume('{')) return false;
     skip_space();
     if (pos_ < input_.size() && input_[pos_] == '}') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -206,6 +210,7 @@ class JsonParser {
       }
       if (input_[pos_] == '}') {
         ++pos_;
+        --depth_;
         return true;
       }
       return fail("expected ',' or '}' in object");
@@ -214,10 +219,12 @@ class JsonParser {
 
   bool parse_array(JsonValue& out) {
     out.type = JsonValue::Type::kArray;
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
     if (!consume('[')) return false;
     skip_space();
     if (pos_ < input_.size() && input_[pos_] == ']') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -232,6 +239,7 @@ class JsonParser {
       }
       if (input_[pos_] == ']') {
         ++pos_;
+        --depth_;
         return true;
       }
       return fail("expected ',' or ']' in array");
@@ -312,8 +320,13 @@ class JsonParser {
     return true;
   }
 
+  // The schema needs ~4 levels of nesting; a small cap keeps a hostile
+  // '[[[[...' line from overflowing the stack of this recursive parser.
+  static constexpr int kMaxDepth = 16;
+
   std::string_view input_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 
@@ -324,6 +337,40 @@ class JsonParser {
 bool set_error(CodecError* error, std::string message) {
   if (error != nullptr) error->message = std::move(message);
   return false;
+}
+
+/// Integer tokens must be pure decimal integers in range: '1.9' must not
+/// silently truncate to 1, nor may an out-of-range id clamp/wrap into a
+/// different valid id.
+bool is_integer_token(const std::string& raw, bool allow_negative) {
+  std::size_t i = allow_negative && !raw.empty() && raw[0] == '-' ? 1 : 0;
+  if (i == raw.size()) return false;
+  for (; i < raw.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(raw[i]))) return false;
+  }
+  return true;
+}
+
+bool token_to_i32(const std::string& raw, std::int32_t& out) {
+  if (!is_integer_token(raw, /*allow_negative=*/true)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long wide = std::strtoll(raw.c_str(), &end, 10);
+  if (errno == ERANGE || end != raw.c_str() + raw.size()) return false;
+  if (wide < std::numeric_limits<std::int32_t>::min() ||
+      wide > std::numeric_limits<std::int32_t>::max()) {
+    return false;
+  }
+  out = static_cast<std::int32_t>(wide);
+  return true;
+}
+
+bool token_to_u64(const std::string& raw, std::uint64_t& out) {
+  if (!is_integer_token(raw, /*allow_negative=*/false)) return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(raw.c_str(), &end, 10);
+  return errno != ERANGE && end == raw.c_str() + raw.size();
 }
 
 bool read_double(const JsonValue& object, std::string_view key, double& out,
@@ -342,7 +389,10 @@ bool read_i32(const JsonValue& object, std::string_view key, std::int32_t& out,
   if (value == nullptr || value->type != JsonValue::Type::kNumber) {
     return set_error(error, "missing integer field '" + std::string(key) + "'");
   }
-  out = static_cast<std::int32_t>(std::strtol(value->raw.c_str(), nullptr, 10));
+  if (!token_to_i32(value->raw, out)) {
+    return set_error(error, "field '" + std::string(key) +
+                                "' must be a 32-bit integer, got '" + value->raw + "'");
+  }
   return true;
 }
 
@@ -352,7 +402,10 @@ bool read_u64(const JsonValue& object, std::string_view key, std::uint64_t& out,
   if (value == nullptr || value->type != JsonValue::Type::kNumber) {
     return set_error(error, "missing integer field '" + std::string(key) + "'");
   }
-  out = std::strtoull(value->raw.c_str(), nullptr, 10);
+  if (!token_to_u64(value->raw, out)) {
+    return set_error(error, "field '" + std::string(key) +
+                                "' must be an unsigned integer, got '" + value->raw + "'");
+  }
   return true;
 }
 
@@ -404,20 +457,22 @@ bool read_id_list(const JsonValue& object, std::string_view key,
   out.clear();
   out.reserve(value->items.size());
   for (const JsonValue& item : value->items) {
-    if (item.type != JsonValue::Type::kNumber) {
-      return set_error(error, "id lists must hold integers");
+    std::int32_t id = 0;
+    if (item.type != JsonValue::Type::kNumber || !token_to_i32(item.raw, id)) {
+      return set_error(error, "id lists must hold 32-bit integers");
     }
-    out.push_back(static_cast<std::int32_t>(std::strtol(item.raw.c_str(), nullptr, 10)));
+    out.push_back(id);
   }
   return true;
 }
 
 bool check_version(const JsonValue& object, CodecError* error) {
   const JsonValue* version = object.find("v");
-  if (version == nullptr || version->type != JsonValue::Type::kNumber) {
-    return set_error(error, "missing API version field 'v'");
+  std::int32_t major = 0;
+  if (version == nullptr || version->type != JsonValue::Type::kNumber ||
+      !token_to_i32(version->raw, major)) {
+    return set_error(error, "missing integer API version field 'v'");
   }
-  const int major = static_cast<int>(version->number);
   if (major != api::kApiVersionMajor) {
     return set_error(error, "unsupported API major version " + std::to_string(major) +
                                 " (this build speaks " +
@@ -462,14 +517,16 @@ bool decode_driver(const JsonValue& object, api::Driver& out, CodecError* error)
   out.route_seats.clear();
   out.route_seats.reserve(seats->items.size());
   for (const JsonValue& item : seats->items) {
+    std::int32_t order_id = 0;
+    std::int32_t seat_count = 0;
     if (item.type != JsonValue::Type::kArray || item.items.size() != 2 ||
         item.items[0].type != JsonValue::Type::kNumber ||
-        item.items[1].type != JsonValue::Type::kNumber) {
+        item.items[1].type != JsonValue::Type::kNumber ||
+        !token_to_i32(item.items[0].raw, order_id) ||
+        !token_to_i32(item.items[1].raw, seat_count)) {
       return set_error(error, "route_seats entries must be [order_id, seats]");
     }
-    out.route_seats.emplace_back(
-        static_cast<std::int32_t>(std::strtol(item.items[0].raw.c_str(), nullptr, 10)),
-        static_cast<int>(std::strtol(item.items[1].raw.c_str(), nullptr, 10)));
+    out.route_seats.emplace_back(order_id, static_cast<int>(seat_count));
   }
   return true;
 }

@@ -92,11 +92,12 @@ ServeFrameFn codec_round_trip_server(DispatchSession& session) {
     }
     O2O_EXPECTS(saw_barrier);
 
-    const api::FrameResponse response = session.dispatch(decoded_request);
+    const std::optional<api::FrameResponse> response = session.dispatch(decoded_request);
+    O2O_EXPECTS(response.has_value());  // simulator frames carry unique ids
 
     CodecError error;
     const std::optional<api::FrameResponse> decoded_response =
-        decode_response(encode_response(response), &error);
+        decode_response(encode_response(*response), &error);
     O2O_EXPECTS(decoded_response.has_value());
     return *decoded_response;
   };

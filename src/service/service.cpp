@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -17,21 +18,28 @@ bool StreamingService::push_with_backpressure(const api::RideEvent& event,
                                               bool blocking) {
   // A barrier closes a frame: hold it back while pipeline_depth complete
   // frames already sit in the ring unmatched, so producers can't run
-  // arbitrarily far ahead of the matcher.
-  if (event.kind == api::RideEvent::Kind::kEndFrame) {
-    while (frames_in_flight_.load(std::memory_order_acquire) >= pipeline_depth_) {
+  // arbitrarily far ahead of the matcher. The slot is reserved with
+  // fetch_add *before* the push (undone on overshoot) so concurrent
+  // producers can never jointly exceed the window.
+  const bool is_barrier = event.kind == api::RideEvent::Kind::kEndFrame;
+  if (is_barrier) {
+    for (;;) {
+      const std::size_t in_flight =
+          frames_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      if (in_flight < pipeline_depth_) break;
+      frames_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       if (!blocking) return false;
       obs::add(obs::Counter::kIngestBackpressure);
       std::this_thread::yield();
     }
   }
   while (!queue_.try_push(event)) {
-    if (!blocking) return false;
+    if (!blocking) {
+      if (is_barrier) frames_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
     obs::add(obs::Counter::kIngestBackpressure);
     std::this_thread::yield();
-  }
-  if (event.kind == api::RideEvent::Kind::kEndFrame) {
-    frames_in_flight_.fetch_add(1, std::memory_order_acq_rel);
   }
   return true;
 }
@@ -48,68 +56,87 @@ void StreamingService::close() { closed_.store(true, std::memory_order_release);
 
 std::optional<api::FrameResponse> StreamingService::next_response() {
   obs::TraceSink* sink = obs::active_sink();
-  std::optional<api::FrameRequest> request;
   // Ingest metrics are buffered locally and reported only after
   // begin_frame: the sink zeroes every thread's cells at frame start, so
-  // anything recorded before the barrier would be wiped.
+  // anything recorded before the barrier would be wiped. The buffers
+  // accumulate across rejected frames so no ingest work goes uncounted.
   std::uint64_t ingest_ns = 0;
   std::uint64_t events_drained = 0;
+  std::uint64_t frames_rejected = 0;
   std::size_t depth_peak = queue_.approx_depth();
-  {
-    obs::ScopedTimer timer(ingest_ns);
-    api::RideEvent event;
-    while (!request) {
-      if (!queue_.try_pop(event)) {
-        // Empty ring: either the stream ended mid-frame (drop the
-        // partial frame — no barrier, no snapshot) or the producers are
-        // just slower than the matcher.
-        if (closed_.load(std::memory_order_acquire) && !queue_.try_pop(event)) {
-          return std::nullopt;
+  for (;;) {
+    std::optional<api::FrameRequest> request;
+    {
+      obs::ScopedTimer timer(ingest_ns);
+      api::RideEvent event;
+      while (!request) {
+        if (!queue_.try_pop(event)) {
+          if (!closed_.load(std::memory_order_acquire)) {
+            // Empty ring, stream still open: producers are just slower
+            // than the matcher.
+            std::this_thread::yield();
+            continue;
+          }
+          // Closed. Events pushed between the failed pop and the close
+          // flag must still be drained — only an empty ring ends the
+          // stream (a partial frame with no barrier is dropped: no
+          // barrier, no snapshot).
+          if (!queue_.try_pop(event)) return std::nullopt;
         }
-        std::this_thread::yield();
-        continue;
-      }
-      ++events_drained;
-      switch (event.kind) {
-        case api::RideEvent::Kind::kOrder:
-          open_orders_.push_back(std::move(event.order));
-          break;
-        case api::RideEvent::Kind::kDriver:
-          open_drivers_.push_back(std::move(event.driver));
-          break;
-        case api::RideEvent::Kind::kEndFrame:
-          request.emplace();
-          request->frame = event.frame;
-          request->timestamp = event.timestamp;
-          request->orders = std::move(open_orders_);
-          request->drivers = std::move(open_drivers_);
-          open_orders_.clear();
-          open_drivers_.clear();
-          break;
+        ++events_drained;
+        switch (event.kind) {
+          case api::RideEvent::Kind::kOrder:
+            open_orders_.push_back(std::move(event.order));
+            break;
+          case api::RideEvent::Kind::kDriver:
+            open_drivers_.push_back(std::move(event.driver));
+            break;
+          case api::RideEvent::Kind::kEndFrame:
+            request.emplace();
+            request->frame = event.frame;
+            request->timestamp = event.timestamp;
+            request->orders = std::move(open_orders_);
+            request->drivers = std::move(open_drivers_);
+            open_orders_.clear();
+            open_drivers_.clear();
+            break;
+        }
       }
     }
-  }
 
-  // The frame left the ring: producers may push the next barrier.
-  frames_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    // The frame left the ring: producers may push the next barrier.
+    frames_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
 
-  if (sink != nullptr) sink->begin_frame(request->frame, request->timestamp);
-  obs::add_stage_ns(obs::Stage::kIngest, ingest_ns);
-  obs::add(obs::Counter::kEventsIngested, events_drained);
-  obs::gauge_max(obs::Gauge::kQueueDepthPeak, depth_peak);
-  api::FrameResponse response = session_.dispatch(*request);
-  obs::add(obs::Counter::kFramesStreamed);
-  if (sink != nullptr) {
-    std::uint64_t idle = 0;
-    for (const api::Driver& driver : request->drivers) idle += driver.idle() ? 1 : 0;
-    sink->set_frame_context(idle, request->drivers.size() - idle,
-                            request->orders.size());
-    std::uint64_t assigned = 0;
-    for (const api::Assignment& a : response.assignments) assigned += a.order_ids.size();
-    sink->add_assignments(assigned);
-    sink->end_frame();
+    // Frames that violate the api contract (duplicate order/driver ids)
+    // cross a trust boundary in --stdio/--tcp mode: drop them here,
+    // before the trace sink opens the frame, and keep serving.
+    std::string reject_reason;
+    if (!DispatchSession::validate(*request, &reject_reason)) {
+      ++frames_rejected;
+      continue;
+    }
+
+    if (sink != nullptr) sink->begin_frame(request->frame, request->timestamp);
+    obs::add_stage_ns(obs::Stage::kIngest, ingest_ns);
+    obs::add(obs::Counter::kEventsIngested, events_drained);
+    if (frames_rejected != 0) obs::add(obs::Counter::kFramesRejected, frames_rejected);
+    obs::gauge_max(obs::Gauge::kQueueDepthPeak, depth_peak);
+    std::optional<api::FrameResponse> response = session_.dispatch(*request);
+    obs::add(obs::Counter::kFramesStreamed);
+    if (sink != nullptr) {
+      std::uint64_t idle = 0;
+      for (const api::Driver& driver : request->drivers) idle += driver.idle() ? 1 : 0;
+      sink->set_frame_context(idle, request->drivers.size() - idle,
+                              request->orders.size());
+      std::uint64_t assigned = 0;
+      for (const api::Assignment& a : response->assignments) {
+        assigned += a.order_ids.size();
+      }
+      sink->add_assignments(assigned);
+      sink->end_frame();
+    }
+    return response;
   }
-  return response;
 }
 
 }  // namespace o2o::service

@@ -26,7 +26,38 @@ void DispatchSession::reset() {
   group_cache_ = std::make_unique<packing::GroupCache>();
 }
 
-api::FrameResponse DispatchSession::dispatch(const api::FrameRequest& request) {
+bool DispatchSession::validate(const api::FrameRequest& request, std::string* error) {
+  // Sort id copies rather than scanning adjacency of the barrier order:
+  // orders sort by (timestamp, id), so equal ids with distinct
+  // timestamps would not be adjacent there.
+  std::vector<std::int32_t> ids;
+  ids.reserve(std::max(request.orders.size(), request.drivers.size()));
+  for (const api::Order& order : request.orders) ids.push_back(order.order_id);
+  std::sort(ids.begin(), ids.end());
+  auto dup = std::adjacent_find(ids.begin(), ids.end());
+  if (dup != ids.end()) {
+    if (error != nullptr) {
+      *error = "duplicate order_id " + std::to_string(*dup) + " in frame";
+    }
+    return false;
+  }
+  ids.clear();
+  for (const api::Driver& driver : request.drivers) ids.push_back(driver.driver_id);
+  std::sort(ids.begin(), ids.end());
+  dup = std::adjacent_find(ids.begin(), ids.end());
+  if (dup != ids.end()) {
+    if (error != nullptr) {
+      *error = "duplicate driver_id " + std::to_string(*dup) + " in frame";
+    }
+    return false;
+  }
+  return true;
+}
+
+std::optional<api::FrameResponse> DispatchSession::dispatch(
+    const api::FrameRequest& request, std::string* error) {
+  if (!validate(request, error)) return std::nullopt;
+
   obs::StageTimer timer(obs::Stage::kServiceFrame);
 
   // Canonical barrier order. Trace request ids are assigned in time
@@ -49,10 +80,6 @@ api::FrameResponse DispatchSession::dispatch(const api::FrameRequest& request) {
               return a.time_seconds != b.time_seconds ? a.time_seconds < b.time_seconds
                                                       : a.id < b.id;
             });
-  for (std::size_t i = 1; i < pending_.size(); ++i) {
-    O2O_EXPECTS(pending_[i - 1].id != pending_[i].id);
-  }
-
   std::vector<const api::Driver*> drivers;
   drivers.reserve(request.drivers.size());
   for (const api::Driver& driver : request.drivers) drivers.push_back(&driver);
@@ -60,10 +87,6 @@ api::FrameResponse DispatchSession::dispatch(const api::FrameRequest& request) {
             [](const api::Driver* a, const api::Driver* b) {
               return a->driver_id < b->driver_id;
             });
-  for (std::size_t i = 1; i < drivers.size(); ++i) {
-    O2O_EXPECTS(drivers[i - 1]->driver_id != drivers[i]->driver_id);
-  }
-
   idle_.clear();
   busy_.clear();
   for (const api::Driver* driver : drivers) {

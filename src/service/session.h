@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,11 +34,18 @@ class DispatchSession {
   const DispatchConfig& config() const noexcept { return config_; }
   const std::string& dispatcher_name() const noexcept { return dispatcher_name_; }
 
+  /// Checks the api contract on a frame that crossed a trust boundary:
+  /// duplicate order ids or duplicate driver ids fail it. Returns false
+  /// and sets `error` (when non-null) on the first violation.
+  static bool validate(const api::FrameRequest& request, std::string* error = nullptr);
+
   /// Matches one frame. Orders and drivers are (re)sorted to the
   /// canonical barrier order — orders by (timestamp, order_id), drivers
-  /// by driver_id — so producers need not pre-sort; duplicate ids are a
-  /// contract violation (O2O_EXPECTS).
-  api::FrameResponse dispatch(const api::FrameRequest& request);
+  /// by driver_id — so producers need not pre-sort. Frames that fail
+  /// validate() come back as nullopt with `error` set (when non-null):
+  /// remote input must never abort the process.
+  std::optional<api::FrameResponse> dispatch(const api::FrameRequest& request,
+                                             std::string* error = nullptr);
 
   /// Drops all cross-frame state (GroupCache, dispatcher warm starts) by
   /// rebuilding the dispatcher — the next frame runs cold.

@@ -219,5 +219,49 @@ TEST(ServiceApi, PresentButMalformedOptionalFieldsAreRejected) {
   EXPECT_FALSE(error.message.empty());
 }
 
+TEST(ServiceApi, DeepNestingFailsInsteadOfOverflowingTheStack) {
+  std::string hostile(100000, '[');
+  CodecError error;
+  const auto decoded = decode_event(hostile, &error);
+  EXPECT_FALSE(decoded.has_value());
+  EXPECT_NE(error.message.find("nesting"), std::string::npos) << error.message;
+}
+
+TEST(ServiceApi, NonIntegerIdsAreRejectedNotTruncated) {
+  const char* bad[] = {
+      // 1.9 must not silently become order 1.
+      R"({"v":1,"event":"order","order_id":1.9,"timestamp":0,"start":[0,0],"finish":[1,1]})",
+      // Exponent notation is not an id either.
+      R"({"v":1,"event":"order","order_id":1e2,"timestamp":0,"start":[0,0],"finish":[1,1]})",
+      // Out of int32 range must not wrap into a different valid id.
+      R"({"v":1,"event":"order","order_id":99999999999,"timestamp":0,"start":[0,0],"finish":[1,1]})",
+      // Frame numbers are unsigned.
+      R"({"v":1,"event":"end_frame","frame":-1,"timestamp":0})",
+      // Onboard id lists go through the same strict path.
+      R"({"v":1,"event":"driver","driver_id":9,"location":[2,3],"onboard":[1.5]})",
+      // So do route_seats pairs.
+      R"({"v":1,"event":"driver","driver_id":9,"location":[2,3],"route_seats":[[1,2.5]]})",
+  };
+  for (const char* line : bad) {
+    CodecError error;
+    const auto decoded = decode_event(line, &error);
+    EXPECT_FALSE(decoded.has_value()) << line;
+    EXPECT_FALSE(error.message.empty()) << line;
+  }
+}
+
+TEST(ServiceApi, BoundaryIdsStillDecodeExactly) {
+  const auto decoded = decode_event(
+      R"({"v":1,"event":"order","order_id":-2147483648,"timestamp":0,)"
+      R"("start":[0,0],"finish":[1,1],"seats":1})");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->order.order_id, std::numeric_limits<std::int32_t>::min());
+
+  const auto barrier = decode_event(
+      R"({"v":1,"event":"end_frame","frame":18446744073709551615,"timestamp":0})");
+  ASSERT_TRUE(barrier.has_value());
+  EXPECT_EQ(barrier->frame, std::numeric_limits<std::uint64_t>::max());
+}
+
 }  // namespace
 }  // namespace o2o::service

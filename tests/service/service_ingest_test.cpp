@@ -209,6 +209,39 @@ TEST(StreamingService, CloseDrainsBufferedFramesThenEnds) {
   EXPECT_FALSE(service.next_response().has_value());
 }
 
+// Duplicate ids arrive over the wire in --stdio/--tcp mode: the frame
+// must be dropped and the service must keep answering later frames, not
+// abort the process.
+TEST(StreamingService, DuplicateIdFramesAreDroppedNotFatal) {
+  const DispatchConfig config = DispatchConfig{}
+                                    .with_passenger_threshold_km(10.0)
+                                    .with_taxi_threshold_score(1.0)
+                                    .with_pipeline_depth(4);
+  StreamingService service("nstd-p", config, kOracle);
+
+  // Frame 0: the same order_id twice (different timestamps/locations).
+  service.submit(order_event(1, 0.0, 0.0));
+  service.submit(order_event(1, 3.0, 3.0));
+  service.submit(driver_event(10, 0.5, 0.5));
+  service.submit(api::RideEvent::make_end_frame(0, 60.0));
+  // Frame 1: duplicate driver_id.
+  service.submit(order_event(2, 0.0, 0.0));
+  service.submit(driver_event(10, 0.5, 0.5));
+  service.submit(driver_event(10, 4.0, 4.0));
+  service.submit(api::RideEvent::make_end_frame(1, 120.0));
+  // Frame 2 is clean and must still be served.
+  service.submit(order_event(3, 0.0, 0.0));
+  service.submit(driver_event(11, 0.5, 0.5));
+  service.submit(api::RideEvent::make_end_frame(2, 180.0));
+  service.close();
+
+  const auto response = service.next_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->frame, 2u);
+  EXPECT_EQ(response->assignments.size(), 1u);
+  EXPECT_FALSE(service.next_response().has_value());
+}
+
 // A producer thread streams frames while the matcher answers them —
 // pipelined ingest under TSan exercises the full submit/drain protocol.
 TEST(StreamingService, ThreadedProducerAndMatcherAgree) {

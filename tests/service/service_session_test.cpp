@@ -5,6 +5,7 @@
 // candidates, warm-started DA, incremental grid) all off and all on.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -164,6 +165,46 @@ TEST(StreamingSession, SessionNamesTheDispatcher) {
   const DispatchSession session("nstd-t", tuned_config(false), kOracle);
   EXPECT_FALSE(session.dispatcher_name().empty());
   EXPECT_EQ(session.config().service().pipeline_depth, 1u);
+}
+
+TEST(StreamingSession, DuplicateIdsFailValidationInsteadOfAborting) {
+  api::FrameRequest request;
+  request.frame = 0;
+  request.timestamp = 60.0;
+  // Same order id at *different* timestamps: the ids are not adjacent in
+  // the canonical (timestamp, id) barrier order, so a naive adjacency
+  // scan would miss them.
+  api::Order a;
+  a.order_id = 7;
+  a.timestamp = 10.0;
+  api::Order b;
+  b.order_id = 8;
+  b.timestamp = 15.0;
+  api::Order c = a;
+  c.timestamp = 20.0;
+  request.orders = {a, b, c};
+  api::Driver driver;
+  driver.driver_id = 1;
+  request.drivers = {driver};
+
+  std::string error;
+  EXPECT_FALSE(DispatchSession::validate(request, &error));
+  EXPECT_NE(error.find("order_id 7"), std::string::npos) << error;
+
+  DispatchSession session("nstd-p", tuned_config(false), kOracle);
+  error.clear();
+  EXPECT_FALSE(session.dispatch(request, &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  request.orders = {a, b};
+  request.drivers = {driver, driver};
+  EXPECT_FALSE(DispatchSession::validate(request, &error));
+  EXPECT_NE(error.find("driver_id 1"), std::string::npos) << error;
+
+  // With the duplicates gone the same session serves the frame.
+  request.drivers = {driver};
+  EXPECT_TRUE(DispatchSession::validate(request));
+  EXPECT_TRUE(session.dispatch(request).has_value());
 }
 
 }  // namespace
