@@ -14,6 +14,7 @@
 #include "baselines/sarp.h"
 #include "core/dispatch_config.h"
 #include "core/dispatchers.h"
+#include "geo/backend.h"
 #include "sim/simulator.h"
 #include "trace/fleet.h"
 #include "trace/synthetic.h"
@@ -112,11 +113,14 @@ inline sim::SimulatorConfig simulator_config(const PaperParams& p) {
   return dispatch_config(p).simulation();
 }
 
-/// The Euclidean-surface distance oracle used by all figure benches
-/// (matching the paper's city model).
+/// The distance oracle used by all figure benches, resolved through the
+/// pluggable backend factory. The default spec is the Euclidean surface
+/// (matching the paper's city model); benches that take a --backend flag
+/// resolve their own geo::DistanceBackend instead.
 inline const geo::DistanceOracle& oracle() {
-  static const geo::EuclideanOracle instance;
-  return instance;
+  static const geo::DistanceBackend backend =
+      geo::make_distance_oracle(geo::DistanceBackendSpec{});
+  return *backend.oracle;
 }
 
 /// Runs every dispatcher in `roster` over the same trace and fleet.

@@ -9,6 +9,7 @@
 #include "core/all_stable.h"
 #include "core/dispatchers.h"
 #include "core/selectors.h"
+#include "geo/backend.h"
 #include "index/spatial_grid.h"
 #include "matching/bottleneck.h"
 #include "matching/greedy.h"
@@ -19,7 +20,10 @@ namespace {
 
 using namespace o2o;
 
-const geo::EuclideanOracle kOracle;
+// Resolved through the backend factory; the default spec is the paper's
+// Euclidean surface. kBackend owns the oracle kOracle refers to.
+const geo::DistanceBackend kBackend = geo::make_distance_oracle({});
+const geo::DistanceOracle& kOracle = *kBackend.oracle;
 
 struct Instance {
   std::vector<trace::Taxi> taxis;

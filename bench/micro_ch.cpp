@@ -1,0 +1,131 @@
+// Plain-timer harness for the contraction-hierarchy backend: CH
+// preprocessing cost, cold point-query latency vs the Dijkstra-tree
+// NetworkOracle on the same graph, and warm many-to-many row throughput.
+// The headline number is the cold point-query speedup -- a CH upward
+// search settles a sliver of the graph where a cold NetworkOracle query
+// must run a full Dijkstra to build its source tree. DESIGN.md's
+// acceptance bar is >= 10x at city scale.
+//
+//   ./build/bench/micro_ch [--quick]
+//
+// --quick shrinks the graph and the query counts so CI can run the
+// harness as a smoke test in a few seconds.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "geo/ch/ch_oracle.h"
+#include "geo/ch/contraction_hierarchy.h"
+#include "geo/road_network.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+using namespace o2o;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::vector<geo::Point> random_points(std::size_t count, double extent_km,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back({rng.uniform(0.0, extent_km), rng.uniform(0.0, extent_km)});
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: micro_ch [--quick]\n");
+      return 2;
+    }
+  }
+
+  // A city-scale jittered street grid with closures (the same generator
+  // the ablations use). 100x100 = 10k intersections; --quick trims to
+  // 30x30 so the smoke run finishes in seconds.
+  const int side = quick ? 30 : 100;
+  const std::size_t cold_queries = quick ? 64 : 256;
+  const std::size_t m2m_rows = quick ? 32 : 128;
+  const std::size_t m2m_targets = 64;
+  const double cell_km = 0.4;
+  const geo::RoadNetwork network =
+      geo::RoadNetwork::make_grid_city(side, side, cell_km, 0.15, 0.15, 7, {0.0, 0.0});
+  const double extent_km = cell_km * (side - 1);
+  std::printf("micro_ch: %zu nodes / %zu edges (%dx%d grid)\n", network.node_count(),
+              network.edge_count(), side, side);
+
+  // --- Preprocessing -------------------------------------------------------
+  const auto build_start = std::chrono::steady_clock::now();
+  geo::ContractionHierarchy ch = geo::ContractionHierarchy::build(network);
+  const double build_seconds = seconds_since(build_start);
+  std::printf("preprocess: %.3f s, %zu shortcuts, %zu upward edges\n", build_seconds,
+              ch.shortcut_count(), ch.upward_edge_count());
+
+  // --- Cold point queries --------------------------------------------------
+  // Distinct random endpoints per query, fresh oracles: every query
+  // misses the tree/space caches, so this is the latency a frame pays
+  // the first time it prices a new source.
+  const auto sources = random_points(cold_queries, extent_km, 11);
+  const auto targets = random_points(cold_queries, extent_km, 12);
+
+  const geo::NetworkOracle dijkstra(network, network.node_count());
+  const auto dijkstra_start = std::chrono::steady_clock::now();
+  double dijkstra_sum = 0.0;
+  for (std::size_t i = 0; i < cold_queries; ++i) {
+    dijkstra_sum += dijkstra.distance(sources[i], targets[i]);
+  }
+  const double dijkstra_cold_us = seconds_since(dijkstra_start) * 1e6 / cold_queries;
+
+  const geo::CHOracle ch_oracle(network, std::move(ch), network.node_count());
+  const auto ch_start = std::chrono::steady_clock::now();
+  double ch_sum = 0.0;
+  for (std::size_t i = 0; i < cold_queries; ++i) {
+    ch_sum += ch_oracle.distance(sources[i], targets[i]);
+  }
+  const double ch_cold_us = seconds_since(ch_start) * 1e6 / cold_queries;
+
+  // The two engines price the same metric; a disagreement here means a
+  // broken hierarchy, not a slow one.
+  O2O_ENSURES(std::abs(dijkstra_sum - ch_sum) <= 1e-6 * std::abs(dijkstra_sum));
+
+  std::printf("cold point query: dijkstra %.1f us, ch %.1f us  (speedup %.1fx)\n",
+              dijkstra_cold_us, ch_cold_us, dijkstra_cold_us / ch_cold_us);
+
+  // --- Warm many-to-many rows ----------------------------------------------
+  // One distances_from row per source against a fixed target set, after
+  // the caches have seen every endpoint once -- the steady-state shape
+  // of a dispatch frame's cost-matrix fill.
+  const auto row_sources = random_points(m2m_rows, extent_km, 21);
+  const auto row_targets = random_points(m2m_targets, extent_km, 22);
+  std::vector<double> row(m2m_targets);
+
+  const auto run_rows = [&](const geo::DistanceOracle& oracle) {
+    for (const geo::Point& s : row_sources) {
+      oracle.distances_from_into(s, row_targets, row.data());  // warm-up pass
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (const geo::Point& s : row_sources) {
+      oracle.distances_from_into(s, row_targets, row.data());
+    }
+    return seconds_since(start) * 1e6 / m2m_rows;
+  };
+  const double dijkstra_row_us = run_rows(dijkstra);
+  const double ch_row_us = run_rows(ch_oracle);
+  std::printf("warm %zu-target row: dijkstra %.1f us, ch %.1f us\n", m2m_targets,
+              dijkstra_row_us, ch_row_us);
+  return 0;
+}

@@ -8,7 +8,7 @@
 //   * the headline: network-backed 1k x 10k preference-profile
 //     construction through the engine vs the pre-PR serial oracle
 //     (unsharded forward-tree cache, no snap memo, no bulk calls,
-//     concurrent_queries_safe() == false).
+//     capabilities().concurrent_queries == false).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
@@ -84,7 +84,9 @@ class LegacyNetworkOracle final : public geo::DistanceOracle {
     return snap_a + network_leg + snap_b;
   }
 
-  bool concurrent_queries_safe() const noexcept override { return false; }
+  Capabilities capabilities() const noexcept override {
+    return {.concurrent_queries = false, .symmetric_distances = false};
+  }
 
  private:
   const std::vector<double>& tree_for(geo::NodeId source) const {

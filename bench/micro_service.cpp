@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/dispatch_config.h"
+#include "geo/backend.h"
 #include "index/spatial_grid.h"
 #include "service/api.h"
 #include "service/codec.h"
@@ -35,7 +36,10 @@ namespace {
 
 using namespace o2o;
 
-const geo::EuclideanOracle kOracle;
+// Resolved through the backend factory; the default spec is the paper's
+// Euclidean surface. kBackend owns the oracle kOracle refers to.
+const geo::DistanceBackend kBackend = geo::make_distance_oracle({});
+const geo::DistanceOracle& kOracle = *kBackend.oracle;
 
 constexpr double kExtentKm = 40.0;
 

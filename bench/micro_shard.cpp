@@ -29,13 +29,17 @@
 
 #include "core/preferences.h"
 #include "core/shard_engine.h"
+#include "geo/backend.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace o2o;
 
-const geo::EuclideanOracle kOracle;
+// Resolved through the backend factory; the default spec is the paper's
+// Euclidean surface. kBackend owns the oracle kOracle refers to.
+const geo::DistanceBackend kBackend = geo::make_distance_oracle({});
+const geo::DistanceOracle& kOracle = *kBackend.oracle;
 
 struct CityFrame {
   std::vector<trace::Taxi> taxis;

@@ -22,6 +22,7 @@
 
 #include "core/dispatch_config.h"
 #include "core/sharing.h"
+#include "geo/backend.h"
 #include "obs/obs.h"
 #include "sim/report_io.h"
 #include "util/rng.h"
@@ -32,7 +33,10 @@ namespace {
 
 using namespace o2o;
 
-const geo::EuclideanOracle kOracle;
+// Resolved through the backend factory; the default spec is the paper's
+// Euclidean surface. kBackend owns the oracle kOracle refers to.
+const geo::DistanceBackend kBackend = geo::make_distance_oracle({});
+const geo::DistanceOracle& kOracle = *kBackend.oracle;
 
 std::vector<trace::Request> make_city_requests(std::size_t count, std::uint64_t seed) {
   constexpr double kExtentKm = 40.0;

@@ -3,7 +3,15 @@
 // cancellation-timeout ablations DESIGN.md calls out.
 //
 //   ./build/examples/city_day [taxis] [rate_scale] [seed] \
-//       [--trace-json=FILE] [--trace-csv=FILE] [--trace-summary] [--sharing]
+//       [--trace-json=FILE] [--trace-csv=FILE] [--trace-summary] [--sharing] \
+//       [--backend=SPEC]
+//
+// `--backend=` selects the distance backend through the pluggable
+// factory grammar (see geo/backend.h): euclid (default), manhattan,
+// circuity[:F], dijkstra:CITY.gr,CITY.co, ch:CITY.gr,CITY.co[,HIER.o2och],
+// or the .osm variants. Network-backed runs price every leg on the
+// imported road graph, and exported traces carry the graph fingerprint /
+// CH artifact hash in their config snapshot.
 //
 // The trace flags run the headline stable dispatch with a TraceSink
 // attached and export the per-frame observability records (stage
@@ -26,6 +34,7 @@
 
 #include "baselines/nonsharing.h"
 #include "core/dispatch_config.h"
+#include "geo/backend.h"
 #include "sim/report_io.h"
 #include "sim/simulator.h"
 #include "trace/fleet.h"
@@ -35,14 +44,13 @@ using namespace o2o;
 
 namespace {
 
-const geo::EuclideanOracle kOracle;
-
 DispatchConfig tuned_config() {
   return DispatchConfig{}.with_passenger_threshold_km(10.0).with_taxi_threshold_score(1.0);
 }
 
 sim::SimulationReport run_once(const trace::Trace& city,
                                const std::vector<trace::Taxi>& fleet,
+                               const geo::DistanceOracle& oracle,
                                sim::Dispatcher& dispatcher, double frame_seconds,
                                double timeout_seconds,
                                obs::TraceSink* sink = nullptr) {
@@ -50,7 +58,7 @@ sim::SimulationReport run_once(const trace::Trace& city,
                                     .with_frame_seconds(frame_seconds)
                                     .with_cancel_timeout_seconds(timeout_seconds)
                                     .with_trace_sink(sink);
-  sim::Simulator simulator(city, fleet, kOracle, config.simulation());
+  sim::Simulator simulator(city, fleet, oracle, config.simulation());
   return simulator.run(dispatcher);
 }
 
@@ -78,6 +86,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1234;
   std::string trace_json_path;
   std::string trace_csv_path;
+  std::string backend_text;
   bool trace_summary = false;
   bool sharing = false;
 
@@ -86,6 +95,7 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (parse_option(arg, "--trace-json", trace_json_path)) continue;
     if (parse_option(arg, "--trace-csv", trace_csv_path)) continue;
+    if (parse_option(arg, "--backend", backend_text)) continue;
     if (std::strcmp(arg, "--trace-summary") == 0) {
       trace_summary = true;
       continue;
@@ -105,6 +115,20 @@ int main(int argc, char** argv) {
   }
   const bool tracing = trace_summary || !trace_json_path.empty() || !trace_csv_path.empty();
 
+  geo::DistanceBackendSpec backend_spec;
+  if (!backend_text.empty() &&
+      !geo::parse_distance_backend(backend_text, &backend_spec)) {
+    std::fprintf(stderr, "unrecognized --backend spec: %s\n", backend_text.c_str());
+    return 2;
+  }
+  geo::DistanceBackend backend;
+  try {
+    backend = geo::make_distance_oracle(backend_spec);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "cannot resolve --backend: %s\n", error.what());
+    return 2;
+  }
+
   trace::CityModel model = trace::CityModel::boston();
   trace::GenerationOptions gen;
   gen.duration_seconds = 24.0 * 3600.0;
@@ -116,9 +140,17 @@ int main(int argc, char** argv) {
   fleet_options.taxi_count = taxis;
   const auto fleet = trace::make_fleet(model.region, fleet_options);
 
-  std::printf("city_day: %zu requests over 24 h, %d taxis (rate x%.2f, seed %llu)\n\n",
+  std::printf("city_day: %zu requests over 24 h, %d taxis (rate x%.2f, seed %llu)\n",
               city.size(), taxis, rate_scale,
               static_cast<unsigned long long>(seed));
+  std::printf("distance backend: %s",
+              std::string(geo::distance_backend_name(backend.spec.kind)).c_str());
+  if (backend.graph_fingerprint != 0) {
+    std::printf(" (graph %016llx, %zu nodes)",
+                static_cast<unsigned long long>(backend.graph_fingerprint),
+                backend.network->node_count());
+  }
+  std::printf("\n\n");
 
   const DispatchConfig config = tuned_config();
   const auto stable = sharing ? make_std_p(config) : make_nstd_p(config);
@@ -131,9 +163,9 @@ int main(int argc, char** argv) {
   obs::TraceSink* headline_sink = tracing ? &sink : nullptr;
 
   std::printf("one-minute frames, 30-minute passenger patience:\n");
-  const auto stable_report = run_once(city, fleet, *stable, 60.0, 1800.0, headline_sink);
-  const auto greedy_report = run_once(city, fleet, greedy, 60.0, 1800.0);
-  const auto mincost_report = run_once(city, fleet, min_cost, 60.0, 1800.0);
+  const auto stable_report = run_once(city, fleet, *backend.oracle, *stable, 60.0, 1800.0, headline_sink);
+  const auto greedy_report = run_once(city, fleet, *backend.oracle, greedy, 60.0, 1800.0);
+  const auto mincost_report = run_once(city, fleet, *backend.oracle, min_cost, 60.0, 1800.0);
   print_report_line(stable_report);
   print_report_line(greedy_report);
   print_report_line(mincost_report);
@@ -146,9 +178,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       // Wrapped form: the full DispatchConfig::describe() snapshot rides
-      // along so archived traces carry their provenance.
-      const DispatchConfig headline =
-          tuned_config().with_frame_seconds(60.0).with_cancel_timeout_seconds(1800.0);
+      // along so archived traces carry their provenance, including the
+      // distance backend and its graph fingerprint / CH artifact hash.
+      const DispatchConfig headline = tuned_config()
+                                          .with_frame_seconds(60.0)
+                                          .with_cancel_timeout_seconds(1800.0)
+                                          .with_distance_backend(backend);
       sim::write_frame_traces_json(out, headline_sink->frames(), headline.describe());
       std::printf("\nwrote %zu frame traces to %s\n", headline_sink->frames().size(),
                   trace_json_path.c_str());
@@ -183,14 +218,14 @@ int main(int argc, char** argv) {
 
   std::printf("\n\nablation -- batching interval (stable dispatch):\n");
   for (const double frame : {30.0, 60.0, 120.0, 300.0}) {
-    const auto report = run_once(city, fleet, *stable, frame, 1800.0);
+    const auto report = run_once(city, fleet, *backend.oracle, *stable, frame, 1800.0);
     std::printf("  frame=%5.0fs  served=%5zu  delay=%6.2f min  taxi=%6.2f km\n", frame,
                 report.served, report.delay_stats.mean(), report.taxi_stats.mean());
   }
 
   std::printf("\nablation -- passenger patience (stable dispatch):\n");
   for (const double timeout : {600.0, 1800.0, 3600.0}) {
-    const auto report = run_once(city, fleet, *stable, 60.0, timeout);
+    const auto report = run_once(city, fleet, *backend.oracle, *stable, 60.0, timeout);
     std::printf("  patience=%5.0fs  served=%5zu  cancelled=%5zu  delay=%6.2f min\n",
                 timeout, report.served, report.cancelled, report.delay_stats.mean());
   }

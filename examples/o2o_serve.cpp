@@ -1,7 +1,15 @@
 // o2o_serve: the streaming dispatch service as a process.
 //
 //   ./build/examples/o2o_serve [mode] [--dispatcher=KIND] [--sharing]
-//       [--pipeline-depth=N] [--ingest-capacity=N] [taxis rate_scale seed]
+//       [--pipeline-depth=N] [--ingest-capacity=N]
+//       [--distance-backend=SPEC] [taxis rate_scale seed]
+//
+// `--distance-backend=` picks the distance function through the pluggable
+// backend factory (geo/backend.h): euclid (default), manhattan,
+// circuity[:F], dijkstra:CITY.gr,CITY.co, ch:CITY.gr,CITY.co[,HIER.o2och],
+// or the .osm variants. `--print-config` echoes the resolved backend kind
+// plus its graph fingerprint and CH artifact hash, so a deployment's
+// distance function is auditable from the config snapshot alone.
 //
 // Modes (pick one):
 //   --stdio            serve ndjson frames on stdin/stdout (default)
@@ -44,6 +52,7 @@
 #include <unistd.h>
 
 #include "core/dispatch_config.h"
+#include "geo/backend.h"
 #include "service/api.h"
 #include "service/codec.h"
 #include "service/replay.h"
@@ -56,8 +65,6 @@
 using namespace o2o;
 
 namespace {
-
-const geo::EuclideanOracle kOracle;
 
 DispatchConfig tuned_config() {
   return DispatchConfig{}.with_passenger_threshold_km(10.0).with_taxi_threshold_score(1.0);
@@ -138,8 +145,8 @@ class LineChannel {
 // ---------------------------------------------------------------------------
 
 int run_server(LineChannel& channel, const std::string& kind,
-               const DispatchConfig& config) {
-  service::StreamingService svc(kind, config, kOracle);
+               const DispatchConfig& config, const geo::DistanceOracle& oracle) {
+  service::StreamingService svc(kind, config, oracle);
 
   std::thread reader([&svc, &channel] {
     std::string line;
@@ -171,7 +178,8 @@ int run_server(LineChannel& channel, const std::string& kind,
   return 0;
 }
 
-int run_tcp(int port, const std::string& kind, const DispatchConfig& config) {
+int run_tcp(int port, const std::string& kind, const DispatchConfig& config,
+            const geo::DistanceOracle& oracle) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("o2o_serve: socket");
@@ -201,7 +209,7 @@ int run_tcp(int port, const std::string& kind, const DispatchConfig& config) {
     return 1;
   }
   LineChannel channel(client, client);
-  const int rc = run_server(channel, kind, config);
+  const int rc = run_server(channel, kind, config, oracle);
   ::close(client);
   return rc;
 }
@@ -324,25 +332,26 @@ ReplayDay make_day(int taxis, double rate_scale, std::uint64_t seed) {
                    trace::make_fleet(model.region, fleet_options)};
 }
 
-int run_replay(const std::string& kind, const DispatchConfig& config, int taxis,
-               double rate_scale, std::uint64_t seed, LineChannel* remote) {
+int run_replay(const std::string& kind, const DispatchConfig& config,
+               const geo::DistanceOracle& oracle, int taxis, double rate_scale,
+               std::uint64_t seed, LineChannel* remote) {
   const ReplayDay day = make_day(taxis, rate_scale, seed);
   std::fprintf(stderr,
                "o2o_serve: replaying %zu requests / %d taxis through %s (%s)\n",
                day.city.size(), taxis, remote ? "remote server" : "in-process service",
                kind.c_str());
 
-  sim::Simulator batch_sim(day.city, day.fleet, kOracle, config.simulation());
+  sim::Simulator batch_sim(day.city, day.fleet, oracle, config.simulation());
   const auto dispatcher = make_dispatcher(kind, config);
   const sim::SimulationReport batch = batch_sim.run(*dispatcher);
 
   service::ReplayResult streamed;
   if (remote != nullptr) {
-    streamed = service::replay_day(day.city, day.fleet, kOracle, config,
+    streamed = service::replay_day(day.city, day.fleet, oracle, config,
                                    remote_server(*remote), kind);
   } else {
-    service::StreamingService svc(kind, config, kOracle);
-    streamed = service::replay_day(day.city, day.fleet, kOracle, config,
+    service::StreamingService svc(kind, config, oracle);
+    streamed = service::replay_day(day.city, day.fleet, oracle, config,
                                    streamed_codec_server(svc), kind);
   }
 
@@ -374,6 +383,7 @@ int main(int argc, char** argv) {
   double rate_scale = 0.5;
   std::uint64_t seed = 4242;
   DispatchConfig config = tuned_config();
+  geo::DistanceBackendSpec backend_spec;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -399,6 +409,12 @@ int main(int argc, char** argv) {
       config = config.with_pipeline_depth(static_cast<std::size_t>(std::atoll(value.c_str())));
     } else if (parse_option(arg, "--ingest-capacity", value)) {
       config = config.with_ingest_capacity(static_cast<std::size_t>(std::atoll(value.c_str())));
+    } else if (parse_option(arg, "--distance-backend", value)) {
+      if (!geo::parse_distance_backend(value, &backend_spec)) {
+        std::fprintf(stderr, "o2o_serve: unrecognized --distance-backend spec: %s\n",
+                     value.c_str());
+        return 2;
+      }
     } else {
       switch (positional++) {
         case 0: taxis = std::atoi(arg); break;
@@ -410,6 +426,18 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  // Resolve the distance backend up front: --print-config then reports
+  // the graph fingerprint / CH artifact hash the server would serve with.
+  geo::DistanceBackend backend;
+  try {
+    backend = geo::make_distance_oracle(backend_spec);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "o2o_serve: cannot resolve --distance-backend: %s\n",
+                 error.what());
+    return 2;
+  }
+  config = config.with_distance_backend(backend);
 
   const auto errors = config.validate();
   if (!errors.empty()) {
@@ -425,12 +453,13 @@ int main(int argc, char** argv) {
       return 0;
     case Mode::kStdio: {
       LineChannel channel(STDIN_FILENO, STDOUT_FILENO);
-      return run_server(channel, kind, config);
+      return run_server(channel, kind, config, *backend.oracle);
     }
     case Mode::kTcp:
-      return run_tcp(tcp_port, kind, config);
+      return run_tcp(tcp_port, kind, config, *backend.oracle);
     case Mode::kReplay:
-      return run_replay(kind, config, taxis, rate_scale, seed, nullptr);
+      return run_replay(kind, config, *backend.oracle, taxis, rate_scale, seed,
+                        nullptr);
     case Mode::kReplayConnect: {
       const std::size_t comma = connect_paths.find(',');
       if (comma == std::string::npos) {
@@ -453,7 +482,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       LineChannel channel(rfd, wfd);
-      const int rc = run_replay(kind, config, taxis, rate_scale, seed, &channel);
+      const int rc = run_replay(kind, config, *backend.oracle, taxis, rate_scale,
+                                seed, &channel);
       ::close(wfd);
       ::close(rfd);
       return rc;

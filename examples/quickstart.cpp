@@ -11,6 +11,7 @@
 
 #include "core/all_stable.h"
 #include "core/selectors.h"
+#include "geo/backend.h"
 #include "geo/distance_oracle.h"
 #include "matching/hungarian.h"
 
@@ -35,8 +36,10 @@ void print_schedule(const char* label, const core::Matching& schedule) {
 int main() {
   std::printf("O2O stable taxi dispatch -- quickstart (Fig. 1 of the paper)\n\n");
 
-  // The city: two requests and two taxis on the Euclidean plane.
-  const geo::EuclideanOracle oracle;
+  // The city: two requests and two taxis on the Euclidean plane (the
+  // default spec of the pluggable distance-backend factory).
+  const geo::DistanceBackend backend = geo::make_distance_oracle({});
+  const geo::DistanceOracle& oracle = *backend.oracle;
   std::vector<trace::Taxi> taxis(2);
   taxis[0] = {0, {2.0, 0.0}, 4};   // t0
   taxis[1] = {1, {-3.0, 0.0}, 4};  // t1

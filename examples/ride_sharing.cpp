@@ -8,6 +8,7 @@
 
 #include "baselines/sarp.h"
 #include "core/sharing.h"
+#include "geo/backend.h"
 #include "packing/groups.h"
 #include "routing/route.h"
 
@@ -15,7 +16,10 @@ using namespace o2o;
 
 namespace {
 
-const geo::EuclideanOracle kOracle;
+// Resolved through the backend factory; the default spec is the paper's
+// Euclidean surface. kBackend owns the oracle kOracle refers to.
+const geo::DistanceBackend kBackend = geo::make_distance_oracle({});
+const geo::DistanceOracle& kOracle = *kBackend.oracle;
 
 void print_route(const routing::Route& route) {
   if (route.start.has_value()) {

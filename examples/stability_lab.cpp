@@ -18,13 +18,17 @@
 #include "core/median.h"
 #include "core/selectors.h"
 #include "core/ties.h"
+#include "geo/backend.h"
 #include "util/rng.h"
 
 using namespace o2o;
 
 namespace {
 
-const geo::EuclideanOracle kOracle;
+// Resolved through the backend factory; the default spec is the paper's
+// Euclidean surface. kBackend owns the oracle kOracle refers to.
+const geo::DistanceBackend kBackend = geo::make_distance_oracle({});
+const geo::DistanceOracle& kOracle = *kBackend.oracle;
 
 /// The classic maximal-lattice construction: request r's best taxi is r,
 /// then r+1, ...; taxi t's best request is t+1, then t+2, ... Every

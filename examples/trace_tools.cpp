@@ -12,6 +12,7 @@
 
 #include <cmath>
 
+#include "geo/backend.h"
 #include "geo/distance_oracle.h"
 #include "metrics/histogram.h"
 #include "metrics/summary.h"
@@ -52,7 +53,8 @@ int cmd_stats(int, char**) {
   std::printf("region: [%.1f, %.1f] x [%.1f, %.1f] km\n", city.region().lo.x,
               city.region().hi.x, city.region().lo.y, city.region().hi.y);
 
-  const geo::EuclideanOracle oracle;
+  const geo::DistanceBackend backend = geo::make_distance_oracle({});
+  const geo::DistanceOracle& oracle = *backend.oracle;
   metrics::StreamingStats trips;
   for (const trace::Request& r : city.requests()) {
     trips.add(oracle.distance(r.pickup, r.dropoff));

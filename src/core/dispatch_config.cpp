@@ -34,6 +34,7 @@ std::string_view config_field_name(ConfigField field) noexcept {
     case ConfigField::kDeterministicMerge: return "deterministic_merge";
     case ConfigField::kPipelineDepth: return "pipeline_depth";
     case ConfigField::kIngestCapacity: return "ingest_capacity";
+    case ConfigField::kDistanceBackend: return "distance_backend";
   }
   return "unknown";
 }
@@ -235,6 +236,21 @@ DispatchConfig& DispatchConfig::with_trace_sink(obs::TraceSink* sink) {
   return *this;
 }
 
+DispatchConfig& DispatchConfig::with_distance_backend(geo::DistanceBackendSpec spec) {
+  backend_ = std::move(spec);
+  // The spec alone carries no resolved provenance.
+  backend_graph_fingerprint_ = 0;
+  backend_ch_artifact_hash_ = 0;
+  return *this;
+}
+
+DispatchConfig& DispatchConfig::with_distance_backend(const geo::DistanceBackend& backend) {
+  backend_ = backend.spec;
+  backend_graph_fingerprint_ = backend.graph_fingerprint;
+  backend_ch_artifact_hash_ = backend.ch_artifact_hash;
+  return *this;
+}
+
 DispatchConfig& DispatchConfig::with_tracing(obs::TraceOptions options) {
   trace_ = options;
   return *this;
@@ -366,6 +382,30 @@ std::vector<ConfigError> DispatchConfig::validate() const {
          "ingest_capacity must be a power of two in [2, 2^20] (the ring masks "
          "sequence numbers instead of dividing)");
   }
+
+  if (backend_.kind == geo::DistanceBackendKind::kCircuity &&
+      (!std::isfinite(backend_.circuity_factor) || backend_.circuity_factor < 1.0)) {
+    fail(ConfigField::kDistanceBackend,
+         "distance backend circuity_factor must be finite and >= 1");
+  }
+  if (backend_.kind == geo::DistanceBackendKind::kDijkstra ||
+      backend_.kind == geo::DistanceBackendKind::kContractionHierarchy) {
+    const bool dimacs_pair = !backend_.dimacs_gr.empty() && !backend_.dimacs_co.empty();
+    const bool dimacs_any = !backend_.dimacs_gr.empty() || !backend_.dimacs_co.empty();
+    const int sources = (backend_.network != nullptr ? 1 : 0) + (dimacs_any ? 1 : 0) +
+                        (!backend_.osm_xml.empty() ? 1 : 0);
+    if (sources != 1 || (dimacs_any && !dimacs_pair)) {
+      fail(ConfigField::kDistanceBackend,
+           "a network-backed distance backend needs exactly one graph source: a "
+           "programmatic network, a DIMACS .gr/.co pair (both paths), or an OSM "
+           "XML extract");
+    }
+  }
+  if (!backend_.ch_artifact.empty() &&
+      backend_.kind != geo::DistanceBackendKind::kContractionHierarchy) {
+    fail(ConfigField::kDistanceBackend,
+         "ch_artifact is only meaningful for the ch backend");
+  }
   return errors;
 }
 
@@ -378,6 +418,15 @@ std::string describe_double(double value) {
 }
 
 std::string describe_bool(bool value) { return value ? "true" : "false"; }
+
+/// 64-bit provenance hashes print as fixed-width hex; 0 = not resolved.
+std::string describe_hash(std::uint64_t value) {
+  if (value == 0) return "none";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
 
 std::string_view describe_side(core::ProposalSide side) {
   return side == core::ProposalSide::kPassengers ? "passengers" : "taxis";
@@ -458,6 +507,14 @@ std::vector<std::pair<std::string, std::string>> DispatchConfig::describe() cons
   put("idle_grid_cell_km", describe_double(sim_.idle_grid_cell_km));
   put("incremental_grid", describe_bool(sim_.incremental_grid));
   put("road_network", sim_.road_network != nullptr ? "set" : "none");
+
+  // Distance backend. The fingerprint/artifact hash are only non-"none"
+  // after recording a *resolved* backend (the geo::DistanceBackend
+  // overload), which is what pins a deployment to its exact graph.
+  put("distance_backend", std::string(geo::distance_backend_name(backend_.kind)));
+  put("distance_circuity_factor", describe_double(backend_.circuity_factor));
+  put("distance_graph_fingerprint", describe_hash(backend_graph_fingerprint_));
+  put("ch_artifact_hash", describe_hash(backend_ch_artifact_hash_));
 
   // Observability.
   put("trace_enabled", describe_bool(trace_.enabled));

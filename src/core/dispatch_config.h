@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/dispatchers.h"
+#include "geo/backend.h"
 #include "obs/obs.h"
 #include "sim/simulator.h"
 
@@ -77,6 +78,7 @@ enum class ConfigField : std::uint8_t {
   kDeterministicMerge,
   kPipelineDepth,
   kIngestCapacity,
+  kDistanceBackend,
 };
 
 /// Stable snake_case name of a field (mirrors the builder setters).
@@ -169,6 +171,18 @@ class DispatchConfig {
   DispatchConfig& with_road_network(const geo::RoadNetwork* network);
   DispatchConfig& with_trace_sink(obs::TraceSink* sink);
 
+  // --- distance backend (geo/backend.h) ---------------------------------
+  /// Declares the distance function of the run. The config only carries
+  /// the spec (validate() checks it; describe() names it); resolve it
+  /// with geo::make_distance_oracle and hand the oracle to the simulator
+  /// / service as before.
+  DispatchConfig& with_distance_backend(geo::DistanceBackendSpec spec);
+  /// Overload recording a *resolved* backend: same spec, plus the graph
+  /// fingerprint and CH artifact hash, so describe() (and therefore
+  /// `o2o_serve --print-config` and the FrameTrace export) pins the run
+  /// to the exact graph and preprocessing artifact it used.
+  DispatchConfig& with_distance_backend(const geo::DistanceBackend& backend);
+
   // --- observability ---------------------------------------------------
   DispatchConfig& with_tracing(obs::TraceOptions options);
   /// Shorthand: enable tracing with default retention.
@@ -192,6 +206,12 @@ class DispatchConfig {
   bool taxi_side_via_enumeration() const noexcept { return taxi_side_via_enumeration_; }
   std::size_t enumeration_cap() const noexcept { return enumeration_cap_; }
   bool enroute_extension() const noexcept { return enroute_extension_; }
+  const geo::DistanceBackendSpec& distance_backend() const noexcept { return backend_; }
+  /// 0 until a resolved backend was recorded (or for metric backends).
+  std::uint64_t distance_graph_fingerprint() const noexcept {
+    return backend_graph_fingerprint_;
+  }
+  std::uint64_t ch_artifact_hash() const noexcept { return backend_ch_artifact_hash_; }
 
   /// Checks the whole bundle; empty result means valid. Never throws --
   /// CLIs print the errors, tests assert on the fields.
@@ -218,6 +238,9 @@ class DispatchConfig {
   sim::SimulatorConfig sim_;  ///< alpha/beta mirror the preference knobs
   ServiceOptions service_;
   bool road_mode_ = false;    ///< with_road_network was called (null ⇒ error)
+  geo::DistanceBackendSpec backend_;
+  std::uint64_t backend_graph_fingerprint_ = 0;  ///< set by the resolved overload
+  std::uint64_t backend_ch_artifact_hash_ = 0;
 };
 
 // Factories for the paper's four dispatchers. Each pins the proposal

@@ -56,7 +56,7 @@ void for_each_row(std::size_t count, const geo::DistanceOracle& oracle,
   // Below this, fan-out overhead dominates the oracle calls saved.
   constexpr std::size_t kSerialCutoff = 16;
   ThreadPool& pool = ThreadPool::shared();
-  if (count < kSerialCutoff || pool.worker_count() == 0 || !oracle.concurrent_queries_safe()) {
+  if (count < kSerialCutoff || pool.worker_count() == 0 || !oracle.capabilities().concurrent_queries) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }

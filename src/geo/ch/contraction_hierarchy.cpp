@@ -1,0 +1,490 @@
+#include "geo/ch/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace o2o::geo {
+
+namespace {
+
+/// Mutable adjacency during contraction. Parallel edges are kept
+/// deduplicated to the minimum weight (distances are unchanged and the
+/// witness searches stay small).
+struct DynEdge {
+  NodeId to = kInvalidNode;
+  double weight = 0.0;
+};
+
+using DynGraph = std::vector<std::vector<DynEdge>>;
+
+/// Inserts u -> v with `weight`, keeping the minimum over parallel
+/// edges. Returns true when the edge is new (not an update).
+bool add_edge_min(DynGraph& graph, NodeId from, NodeId to, double weight) {
+  for (DynEdge& edge : graph[static_cast<std::size_t>(from)]) {
+    if (edge.to == to) {
+      if (weight < edge.weight) edge.weight = weight;
+      return false;
+    }
+  }
+  graph[static_cast<std::size_t>(from)].push_back(DynEdge{to, weight});
+  return true;
+}
+
+/// Bounded Dijkstra used for witness searches, with stamped labels so
+/// consecutive searches skip the O(n) reinitialization. Labels are true
+/// path lengths, so `distance(w) <= shortcut` certifies a witness even
+/// when the search stopped before settling w exactly.
+class WitnessSearch {
+ public:
+  explicit WitnessSearch(std::size_t n) : dist_(n, 0.0), stamp_(n, 0) {}
+
+  void run(const DynGraph& graph, const std::vector<char>& contracted, NodeId source,
+           NodeId excluded, double limit, std::size_t settle_limit) {
+    ++round_;
+    frontier_ = {};
+    label(source, 0.0);
+    frontier_.emplace(0.0, source);
+    std::size_t settled = 0;
+    while (!frontier_.empty()) {
+      const auto [d, node] = frontier_.top();
+      if (d > limit || settled >= settle_limit) break;
+      frontier_.pop();
+      if (d > distance(node)) continue;  // stale heap entry
+      ++settled;
+      for (const DynEdge& edge : graph[static_cast<std::size_t>(node)]) {
+        if (edge.to == excluded || contracted[static_cast<std::size_t>(edge.to)] != 0) {
+          continue;
+        }
+        const double candidate = d + edge.weight;
+        if (candidate < distance(edge.to)) {
+          label(edge.to, candidate);
+          frontier_.emplace(candidate, edge.to);
+        }
+      }
+    }
+  }
+
+  double distance(NodeId node) const {
+    return stamp_[static_cast<std::size_t>(node)] == round_
+               ? dist_[static_cast<std::size_t>(node)]
+               : kInfiniteDistance;
+  }
+
+ private:
+  void label(NodeId node, double d) {
+    dist_[static_cast<std::size_t>(node)] = d;
+    stamp_[static_cast<std::size_t>(node)] = round_;
+  }
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier_;
+  std::vector<double> dist_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t round_ = 0;
+};
+
+/// Shared contraction pass: iterates the (u, w) pairs around `v` that
+/// need a shortcut and hands each to `emit`. Used both to price a node
+/// (count only) and to actually contract it (insert).
+template <typename Emit>
+void for_each_needed_shortcut(const DynGraph& fwd, const DynGraph& bwd,
+                              const std::vector<char>& contracted, WitnessSearch& witness,
+                              NodeId v, std::size_t settle_limit, Emit&& emit) {
+  const auto& in_edges = bwd[static_cast<std::size_t>(v)];
+  const auto& out_edges = fwd[static_cast<std::size_t>(v)];
+  for (const DynEdge& in : in_edges) {
+    const NodeId u = in.to;
+    if (u == v || contracted[static_cast<std::size_t>(u)] != 0) continue;
+    double max_out = -1.0;
+    for (const DynEdge& out : out_edges) {
+      if (out.to == v || out.to == u || contracted[static_cast<std::size_t>(out.to)] != 0) {
+        continue;
+      }
+      max_out = std::max(max_out, out.weight);
+    }
+    if (max_out < 0.0) continue;  // no out-neighbour to bridge to
+    witness.run(fwd, contracted, u, v, in.weight + max_out, settle_limit);
+    for (const DynEdge& out : out_edges) {
+      const NodeId w = out.to;
+      if (w == v || w == u || contracted[static_cast<std::size_t>(w)] != 0) continue;
+      const double via = in.weight + out.weight;
+      if (witness.distance(w) <= via) continue;  // a real path avoids v
+      emit(u, w, via);
+    }
+  }
+}
+
+/// Lazy-update priority: edge difference (shortcuts the contraction would
+/// add minus edges it removes) plus the deleted-neighbour term that
+/// spreads contraction evenly across the graph.
+int node_priority(const DynGraph& fwd, const DynGraph& bwd,
+                  const std::vector<char>& contracted, WitnessSearch& witness, NodeId v,
+                  std::size_t settle_limit, const std::vector<int>& deleted_neighbours) {
+  int shortcuts = 0;
+  for_each_needed_shortcut(fwd, bwd, contracted, witness, v, settle_limit,
+                           [&shortcuts](NodeId, NodeId, double) { ++shortcuts; });
+  int removed = 0;
+  for (const DynEdge& edge : fwd[static_cast<std::size_t>(v)]) {
+    if (edge.to != v && contracted[static_cast<std::size_t>(edge.to)] == 0) ++removed;
+  }
+  for (const DynEdge& edge : bwd[static_cast<std::size_t>(v)]) {
+    if (edge.to != v && contracted[static_cast<std::size_t>(edge.to)] == 0) ++removed;
+  }
+  return 2 * (shortcuts - removed) + deleted_neighbours[static_cast<std::size_t>(v)];
+}
+
+/// Reusable scratch for upward searches: a full-size stamped distance
+/// array plus the list of touched nodes, so one search costs O(space
+/// size) heap work with O(1) array label probes -- no hashing on the
+/// query path. Thread-local (queries are concurrent), lazily sized to
+/// the largest hierarchy the thread has served.
+struct UpwardScratch {
+  std::vector<double> dist;
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> stall_stamp;
+  std::vector<NodeId> touched;
+  std::uint32_t current = 0;
+
+  void begin(std::size_t nodes) {
+    if (dist.size() < nodes) {
+      dist.resize(nodes);
+      stamp.resize(nodes, 0);
+      stall_stamp.resize(nodes, 0);
+    }
+    if (++current == 0) {  // stamp wrapped: invalidate everything once
+      std::fill(stamp.begin(), stamp.end(), 0);
+      std::fill(stall_stamp.begin(), stall_stamp.end(), 0);
+      current = 1;
+    }
+    touched.clear();
+  }
+
+  bool labelled(NodeId node) const {
+    return stamp[static_cast<std::size_t>(node)] == current;
+  }
+
+  bool stalled(NodeId node) const {
+    return stall_stamp[static_cast<std::size_t>(node)] == current;
+  }
+};
+
+thread_local UpwardScratch forward_scratch;
+thread_local UpwardScratch backward_scratch;
+
+/// Read-only view of one CSR direction of the hierarchy.
+struct CsrView {
+  const std::vector<std::uint32_t>& offsets;
+  const std::vector<NodeId>& edges_to;
+  const std::vector<double>& edges_weight;
+};
+
+/// Upward Dijkstra over a CSR graph, run to exhaustion (upward search
+/// spaces are tiny), with stall-on-demand: a node whose label a
+/// higher-ranked *opposite-direction* upward edge can undercut lies on
+/// no shortest up-down path, so its edges are not relaxed and it is
+/// marked stalled (excluded from extracted search spaces). The apex of
+/// a shortest path always carries its true distance and therefore never
+/// stalls, so queries and space joins stay exact. Afterwards
+/// scratch.touched lists the settled nodes and scratch.dist their final
+/// labels.
+void upward_search(const CsrView& up, const CsrView& opposite, NodeId source,
+                   UpwardScratch& scratch) {
+  scratch.begin(up.offsets.size() - 1);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  scratch.dist[static_cast<std::size_t>(source)] = 0.0;
+  scratch.stamp[static_cast<std::size_t>(source)] = scratch.current;
+  scratch.touched.push_back(source);
+  frontier.emplace(0.0, source);
+  while (!frontier.empty()) {
+    const auto [d, node] = frontier.top();
+    frontier.pop();
+    if (d > scratch.dist[static_cast<std::size_t>(node)]) continue;
+    // Lazy deletion pops each node at its final (smallest) label first;
+    // later, larger copies are skipped above. So the stall decision made
+    // here is the node's final state.
+    bool stall = false;
+    const std::uint32_t stall_begin = opposite.offsets[static_cast<std::size_t>(node)];
+    const std::uint32_t stall_end = opposite.offsets[static_cast<std::size_t>(node) + 1];
+    for (std::uint32_t i = stall_begin; i < stall_end; ++i) {
+      const NodeId via = opposite.edges_to[i];
+      if (scratch.labelled(via) &&
+          scratch.dist[static_cast<std::size_t>(via)] + opposite.edges_weight[i] < d) {
+        stall = true;
+        break;
+      }
+    }
+    if (stall) {
+      scratch.stall_stamp[static_cast<std::size_t>(node)] = scratch.current;
+      continue;
+    }
+    const std::uint32_t begin = up.offsets[static_cast<std::size_t>(node)];
+    const std::uint32_t end = up.offsets[static_cast<std::size_t>(node) + 1];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const NodeId to = up.edges_to[i];
+      const double candidate = d + up.edges_weight[i];
+      if (scratch.labelled(to)) {
+        if (candidate >= scratch.dist[static_cast<std::size_t>(to)]) continue;
+      } else {
+        scratch.stamp[static_cast<std::size_t>(to)] = scratch.current;
+        scratch.touched.push_back(to);
+      }
+      scratch.dist[static_cast<std::size_t>(to)] = candidate;
+      frontier.emplace(candidate, to);
+    }
+  }
+}
+
+// --- binary artifact helpers ----------------------------------------------
+
+constexpr std::uint64_t kMagic = 0x31305F48434F324FULL;  // "O2OCH_01" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& values) {
+  write_pod(out, static_cast<std::uint64_t>(values.size()));
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  O2O_EXPECTS(in.good());
+  return value;
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  const std::uint64_t count = read_pod<std::uint64_t>(in);
+  // Refuse absurd counts before allocating (a corrupt header must not
+  // become a bad_alloc).
+  O2O_EXPECTS(count <= (std::uint64_t{1} << 32));
+  std::vector<T> values(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(T)));
+  O2O_EXPECTS(in.good() || (values.empty() && !in.bad()));
+  return values;
+}
+
+}  // namespace
+
+ContractionHierarchy ContractionHierarchy::build(const RoadNetwork& network,
+                                                 BuildOptions options) {
+  O2O_EXPECTS(network.node_count() > 0);
+  O2O_EXPECTS(network.node_count() <= static_cast<std::size_t>(
+                                          std::numeric_limits<NodeId>::max()));
+  O2O_EXPECTS(options.witness_settle_limit >= 1);
+  const std::size_t n = network.node_count();
+
+  // Dynamic graph, parallel edges deduplicated to the minimum weight.
+  DynGraph fwd(n);
+  DynGraph bwd(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const RoadNetwork::Edge& edge : network.edges_from(static_cast<NodeId>(u))) {
+      if (edge.to == static_cast<NodeId>(u)) continue;  // self-loops never help
+      if (add_edge_min(fwd, static_cast<NodeId>(u), edge.to, edge.length_km)) {
+        add_edge_min(bwd, edge.to, static_cast<NodeId>(u), edge.length_km);
+      } else {
+        add_edge_min(bwd, edge.to, static_cast<NodeId>(u), edge.length_km);
+      }
+    }
+  }
+
+  std::vector<char> contracted(n, 0);
+  std::vector<int> deleted_neighbours(n, 0);
+  WitnessSearch witness(n);
+  ContractionHierarchy ch;
+  ch.rank_.assign(n, 0);
+  ch.fingerprint_ = network.fingerprint();
+
+  // Lazy-update minimum priority queue over (priority, node); the node id
+  // tie-break keeps the contraction order deterministic.
+  using PqItem = std::pair<int, NodeId>;
+  std::priority_queue<PqItem, std::vector<PqItem>, std::greater<>> queue;
+  for (std::size_t v = 0; v < n; ++v) {
+    queue.emplace(node_priority(fwd, bwd, contracted, witness, static_cast<NodeId>(v),
+                                options.witness_settle_limit, deleted_neighbours),
+                  static_cast<NodeId>(v));
+  }
+
+  std::uint32_t next_rank = 0;
+  while (!queue.empty()) {
+    const auto [stale_priority, v] = queue.top();
+    queue.pop();
+    if (contracted[static_cast<std::size_t>(v)] != 0) continue;
+    const int current = node_priority(fwd, bwd, contracted, witness, v,
+                                      options.witness_settle_limit, deleted_neighbours);
+    if (!queue.empty() && current > queue.top().first) {
+      queue.emplace(current, v);  // priority went stale; re-rank and retry
+      continue;
+    }
+    for_each_needed_shortcut(fwd, bwd, contracted, witness, v,
+                             options.witness_settle_limit,
+                             [&](NodeId u, NodeId w, double via) {
+                               if (add_edge_min(fwd, u, w, via)) ++ch.shortcut_count_;
+                               add_edge_min(bwd, w, u, via);
+                             });
+    contracted[static_cast<std::size_t>(v)] = 1;
+    ch.rank_[static_cast<std::size_t>(v)] = next_rank++;
+    for (const DynEdge& edge : fwd[static_cast<std::size_t>(v)]) {
+      if (contracted[static_cast<std::size_t>(edge.to)] == 0) {
+        ++deleted_neighbours[static_cast<std::size_t>(edge.to)];
+      }
+    }
+    for (const DynEdge& edge : bwd[static_cast<std::size_t>(v)]) {
+      if (contracted[static_cast<std::size_t>(edge.to)] == 0) {
+        ++deleted_neighbours[static_cast<std::size_t>(edge.to)];
+      }
+    }
+  }
+  O2O_ENSURES(next_rank == n);
+
+  // Freeze the upward CSR graphs: an edge u -> v survives into the
+  // forward graph when v outranks u; its reverse twin lives in bwd[v]
+  // and survives there when u outranks v — so every edge is kept exactly
+  // once, in the direction its head outranks its tail.
+  const auto freeze = [&ch](const DynGraph& dyn, std::vector<std::uint32_t>& offsets,
+                            std::vector<NodeId>& edges_to,
+                            std::vector<double>& edges_weight) {
+    const std::size_t n_nodes = dyn.size();
+    offsets.assign(n_nodes + 1, 0);
+    std::size_t total = 0;
+    for (std::size_t u = 0; u < n_nodes; ++u) {
+      offsets[u] = static_cast<std::uint32_t>(total);
+      for (const DynEdge& edge : dyn[u]) {
+        if (ch.rank_[static_cast<std::size_t>(edge.to)] > ch.rank_[u]) ++total;
+      }
+    }
+    offsets[n_nodes] = static_cast<std::uint32_t>(total);
+    edges_to.resize(total);
+    edges_weight.resize(total);
+    std::size_t cursor = 0;
+    for (std::size_t u = 0; u < n_nodes; ++u) {
+      for (const DynEdge& edge : dyn[u]) {
+        if (ch.rank_[static_cast<std::size_t>(edge.to)] <= ch.rank_[u]) continue;
+        edges_to[cursor] = edge.to;
+        edges_weight[cursor] = edge.weight;
+        ++cursor;
+      }
+    }
+  };
+  freeze(fwd, ch.fwd_offsets_, ch.fwd_edges_to_, ch.fwd_edges_weight_);
+  freeze(bwd, ch.bwd_offsets_, ch.bwd_edges_to_, ch.bwd_edges_weight_);
+  return ch;
+}
+
+double ContractionHierarchy::query(NodeId source, NodeId target) const {
+  O2O_EXPECTS(source >= 0 && static_cast<std::size_t>(source) < rank_.size());
+  O2O_EXPECTS(target >= 0 && static_cast<std::size_t>(target) < rank_.size());
+  if (source == target) return 0.0;
+  const CsrView fwd{fwd_offsets_, fwd_edges_to_, fwd_edges_weight_};
+  const CsrView bwd{bwd_offsets_, bwd_edges_to_, bwd_edges_weight_};
+  upward_search(fwd, bwd, source, forward_scratch);
+  upward_search(bwd, fwd, target, backward_scratch);
+  double best = kInfiniteDistance;
+  for (const NodeId node : backward_scratch.touched) {
+    if (backward_scratch.stalled(node)) continue;
+    if (!forward_scratch.labelled(node) || forward_scratch.stalled(node)) continue;
+    const double through = forward_scratch.dist[static_cast<std::size_t>(node)] +
+                           backward_scratch.dist[static_cast<std::size_t>(node)];
+    if (through < best) best = through;
+  }
+  return best;
+}
+
+ContractionHierarchy::SearchSpace ContractionHierarchy::search_space(NodeId node,
+                                                                     bool backward) const {
+  O2O_EXPECTS(node >= 0 && static_cast<std::size_t>(node) < rank_.size());
+  UpwardScratch& scratch = backward ? backward_scratch : forward_scratch;
+  const CsrView fwd{fwd_offsets_, fwd_edges_to_, fwd_edges_weight_};
+  const CsrView bwd{bwd_offsets_, bwd_edges_to_, bwd_edges_weight_};
+  if (backward) {
+    upward_search(bwd, fwd, node, scratch);
+  } else {
+    upward_search(fwd, bwd, node, scratch);
+  }
+  SearchSpace space;
+  space.reserve(scratch.touched.size());
+  for (const NodeId settled : scratch.touched) {
+    if (scratch.stalled(settled)) continue;
+    space.push_back(SpaceEntry{settled, scratch.dist[static_cast<std::size_t>(settled)]});
+  }
+  std::sort(space.begin(), space.end(),
+            [](const SpaceEntry& a, const SpaceEntry& b) { return a.node < b.node; });
+  return space;
+}
+
+void ContractionHierarchy::save(std::ostream& out) const {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, fingerprint_);
+  write_pod(out, static_cast<std::uint64_t>(shortcut_count_));
+  write_vec(out, rank_);
+  write_vec(out, fwd_offsets_);
+  write_vec(out, fwd_edges_to_);
+  write_vec(out, fwd_edges_weight_);
+  write_vec(out, bwd_offsets_);
+  write_vec(out, bwd_edges_to_);
+  write_vec(out, bwd_edges_weight_);
+}
+
+ContractionHierarchy ContractionHierarchy::load(std::istream& in,
+                                                std::uint64_t expected_fingerprint) {
+  O2O_EXPECTS(read_pod<std::uint64_t>(in) == kMagic);
+  O2O_EXPECTS(read_pod<std::uint32_t>(in) == kVersion);
+  ContractionHierarchy ch;
+  ch.fingerprint_ = read_pod<std::uint64_t>(in);
+  O2O_EXPECTS(expected_fingerprint == 0 || ch.fingerprint_ == expected_fingerprint);
+  ch.shortcut_count_ = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  ch.rank_ = read_vec<std::uint32_t>(in);
+  ch.fwd_offsets_ = read_vec<std::uint32_t>(in);
+  ch.fwd_edges_to_ = read_vec<NodeId>(in);
+  ch.fwd_edges_weight_ = read_vec<double>(in);
+  ch.bwd_offsets_ = read_vec<std::uint32_t>(in);
+  ch.bwd_edges_to_ = read_vec<NodeId>(in);
+  ch.bwd_edges_weight_ = read_vec<double>(in);
+  const std::size_t n = ch.rank_.size();
+  O2O_EXPECTS(n > 0);
+  O2O_EXPECTS(ch.fwd_offsets_.size() == n + 1 && ch.bwd_offsets_.size() == n + 1);
+  O2O_EXPECTS(ch.fwd_edges_to_.size() == ch.fwd_edges_weight_.size());
+  O2O_EXPECTS(ch.bwd_edges_to_.size() == ch.bwd_edges_weight_.size());
+  O2O_EXPECTS(ch.fwd_offsets_.back() == ch.fwd_edges_to_.size());
+  O2O_EXPECTS(ch.bwd_offsets_.back() == ch.bwd_edges_to_.size());
+  for (NodeId to : ch.fwd_edges_to_) {
+    O2O_EXPECTS(to >= 0 && static_cast<std::size_t>(to) < n);
+  }
+  for (NodeId to : ch.bwd_edges_to_) {
+    O2O_EXPECTS(to >= 0 && static_cast<std::size_t>(to) < n);
+  }
+  return ch;
+}
+
+bool ContractionHierarchy::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  save(out);
+  return out.good();
+}
+
+ContractionHierarchy ContractionHierarchy::load_file(const std::string& path,
+                                                     std::uint64_t expected_fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  O2O_EXPECTS(in.good());
+  return load(in, expected_fingerprint);
+}
+
+}  // namespace o2o::geo

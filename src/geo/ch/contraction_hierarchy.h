@@ -1,0 +1,121 @@
+// Contraction hierarchies (Geisberger et al.) over a RoadNetwork: a
+// preprocessing pass orders the nodes bottom-up by edge difference and
+// inserts shortcuts, after which an s-t query is a pair of tiny *upward*
+// Dijkstra searches instead of a city-wide one -- microseconds on graphs
+// where a full Dijkstra tree costs milliseconds. The upward search space
+// of a node is small and reusable, which is what makes the bucket-style
+// many-to-many rows of CHOracle (ch_oracle.h) cheap: one search per
+// endpoint per frame, merged per row.
+//
+// The preprocessed structure serializes to/from a binary `.o2och`
+// artifact stamped with the source graph's fingerprint, so city-scale
+// preprocessing is paid once per imported graph, not once per run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geo/road_network.h"
+
+namespace o2o::geo {
+
+/// A preprocessed contraction hierarchy: the contraction order plus the
+/// two upward search graphs (original edges and shortcuts whose head
+/// outranks their tail). Immutable once built/loaded; every const query
+/// touches only local state and is safe to call concurrently.
+class ContractionHierarchy {
+ public:
+  struct BuildOptions {
+    /// A witness search settles at most this many nodes. An exhausted
+    /// search conservatively inserts the shortcut, so the limit trades
+    /// preprocessing time and hierarchy size against nothing else --
+    /// query results stay exact. 256 keeps spurious shortcuts rare
+    /// (sub-100-node pruned search spaces on city-scale grids) at a
+    /// preprocessing cost within noise of smaller limits.
+    std::size_t witness_settle_limit = 256;
+
+    friend bool operator==(const BuildOptions&, const BuildOptions&) = default;
+  };
+
+  /// One settled node of an upward search: `distance` is the length of
+  /// the best upward path from (or, backward, to) the search root.
+  struct SpaceEntry {
+    NodeId node = kInvalidNode;
+    double distance = 0.0;
+
+    friend bool operator==(const SpaceEntry&, const SpaceEntry&) = default;
+  };
+  /// A whole upward search space, sorted by node id (deterministic merge
+  /// order for the many-to-many joins).
+  using SearchSpace = std::vector<SpaceEntry>;
+
+  /// Preprocesses `network`: bottom-up node ordering by edge difference
+  /// (+ contracted-neighbour tie-breaking, lazy priority updates) with
+  /// bounded witness searches deciding shortcut insertion.
+  static ContractionHierarchy build(const RoadNetwork& network, BuildOptions options);
+  static ContractionHierarchy build(const RoadNetwork& network) {
+    return build(network, BuildOptions{});
+  }
+
+  /// Exact shortest-path length over the original directed graph
+  /// (bidirectional upward search); +inf when unreachable. Values match
+  /// RoadNetwork::shortest_path exactly on integer weights and up to
+  /// floating-point summation order on float weights (the shortcut
+  /// weight pre-aggregates path segments; see DESIGN.md "Distance
+  /// backends" for the ulp policy).
+  double query(NodeId source, NodeId target) const;
+
+  /// The upward search space of `node`: forward (toward targets) when
+  /// `backward` is false, reverse (toward sources) when true. The rows
+  /// of ch_oracle.h cache these per frame and merge them per query.
+  SearchSpace search_space(NodeId node, bool backward) const;
+
+  // --- artifact serialization (.o2och) ---------------------------------
+  /// Binary format: magic + version + graph fingerprint + rank array +
+  /// both upward CSR graphs, all little-endian plain-old-data.
+  void save(std::ostream& out) const;
+  /// Loads an artifact. `expected_fingerprint` != 0 additionally pins
+  /// the artifact to a specific source graph; a magic/version/
+  /// fingerprint mismatch or truncated stream throws ContractViolation.
+  static ContractionHierarchy load(std::istream& in,
+                                   std::uint64_t expected_fingerprint = 0);
+  bool save_file(const std::string& path) const;
+  /// Returns an empty optional-like signal via throwing; use
+  /// try_load_file for the non-throwing "stale artifact" path.
+  static ContractionHierarchy load_file(const std::string& path,
+                                        std::uint64_t expected_fingerprint = 0);
+
+  // --- introspection ---------------------------------------------------
+  std::size_t node_count() const noexcept { return rank_.size(); }
+  /// Upward edges, forward + backward (original edges appear once in
+  /// each direction; shortcuts likewise).
+  std::size_t upward_edge_count() const noexcept {
+    return fwd_edges_to_.size() + bwd_edges_to_.size();
+  }
+  std::size_t shortcut_count() const noexcept { return shortcut_count_; }
+  /// Fingerprint of the RoadNetwork this hierarchy was built from.
+  std::uint64_t graph_fingerprint() const noexcept { return fingerprint_; }
+  /// Contraction order of `node` (0 = contracted first / least
+  /// important).
+  std::uint32_t rank(NodeId node) const { return rank_[static_cast<std::size_t>(node)]; }
+
+ private:
+  ContractionHierarchy() = default;
+
+  // Upward graphs in CSR form. `fwd` holds edges u -> v (original
+  // direction) with rank(v) > rank(u); `bwd` holds reverse-graph edges
+  // u -> v (v -> u originally) with rank(v) > rank(u).
+  std::vector<std::uint32_t> rank_;
+  std::vector<std::uint32_t> fwd_offsets_;  // size n+1
+  std::vector<std::uint32_t> bwd_offsets_;  // size n+1
+  std::vector<NodeId> fwd_edges_to_;
+  std::vector<double> fwd_edges_weight_;
+  std::vector<NodeId> bwd_edges_to_;
+  std::vector<double> bwd_edges_weight_;
+  std::size_t shortcut_count_ = 0;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace o2o::geo

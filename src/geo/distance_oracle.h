@@ -72,19 +72,31 @@ class DistanceOracle {
 
   /// Frame-level hint: the given points (typically the frame's idle-taxi
   /// snapshot) are about to appear as endpoints of many queries. Default
-  /// no-op; the network oracle warms its snap memo so per-query endpoint
-  /// resolution becomes a hash hit for the rest of the frame.
+  /// no-op; the network-backed oracles warm their snap memos (and the CH
+  /// oracle its per-node search spaces) so per-query endpoint resolution
+  /// becomes a hash hit for the rest of the frame.
   virtual void prepare_frame(std::span<const Point> points) const { (void)points; }
 
-  /// Whether distance() may be called from several threads at once.
-  /// Oracles with unsynchronized internal caches must return false.
-  virtual bool concurrent_queries_safe() const noexcept { return true; }
+  /// Static properties of an oracle, stated in one place. Consumers that
+  /// branch on a property (the parallel profile fan-out, the share-group
+  /// reverse-row reuse) read the struct instead of per-property virtuals,
+  /// so a new backend declares everything with one override.
+  struct Capabilities {
+    /// distance() and the bulk rows may be called from several threads at
+    /// once. Oracles with unsynchronized internal caches must clear this.
+    bool concurrent_queries = true;
+    /// D(a, b) == D(b, a) bitwise for every pair, letting bulk consumers
+    /// (the share-group leg gather) serve a reverse row from the forward
+    /// one. Metric oracles are symmetric; the network-backed oracles are
+    /// not (one-way streets, directed snapping).
+    bool symmetric_distances = true;
 
-  /// Whether D(a, b) == D(b, a) bitwise for every pair, letting bulk
-  /// consumers (the share-group leg gather) serve a reverse row from the
-  /// forward one. Metric oracles are symmetric; the network oracle is
-  /// not (one-way streets, directed snapping).
-  virtual bool symmetric_distances() const noexcept { return true; }
+    friend bool operator==(const Capabilities&, const Capabilities&) = default;
+  };
+
+  /// The default claims the safest metric-oracle combination: concurrent
+  /// and symmetric. Stateful or directed backends override.
+  virtual Capabilities capabilities() const noexcept { return {}; }
 };
 
 /// Straight-line distance (the paper's Euclidean surface).

@@ -1,0 +1,178 @@
+#include "geo/import/dimacs.h"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "geo/projection.h"
+#include "util/contracts.h"
+
+namespace o2o::geo {
+
+namespace {
+
+/// Reads the `.co` stream: `p aux sp co <n>` header (the trailing token
+/// is the node count), then `v <id> <x> <y>` lines, ids 1..n.
+struct Coordinates {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+Coordinates read_coordinates(std::istream& co) {
+  Coordinates coords;
+  std::size_t expected = 0;
+  bool header_seen = false;
+  std::vector<char> present;
+  std::string line;
+  while (std::getline(co, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream fields(line);
+    char kind = 0;
+    fields >> kind;
+    if (kind == 'p') {
+      // Header tokens vary ("p aux sp co n" per the challenge tools);
+      // the node count is always the last numeric token.
+      std::string token;
+      std::size_t n = 0;
+      bool got = false;
+      while (fields >> token) {
+        std::istringstream maybe(token);
+        std::size_t value = 0;
+        if (maybe >> value && maybe.eof()) {
+          n = value;
+          got = true;
+        }
+      }
+      O2O_EXPECTS(got && n > 0);
+      expected = n;
+      coords.x.assign(n, 0.0);
+      coords.y.assign(n, 0.0);
+      present.assign(n, 0);
+      header_seen = true;
+    } else if (kind == 'v') {
+      O2O_EXPECTS(header_seen);
+      std::int64_t id = 0;
+      double x = 0.0;
+      double y = 0.0;
+      fields >> id >> x >> y;
+      O2O_EXPECTS(!fields.fail());
+      O2O_EXPECTS(id >= 1 && static_cast<std::size_t>(id) <= expected);
+      const std::size_t index = static_cast<std::size_t>(id - 1);
+      coords.x[index] = x;
+      coords.y[index] = y;
+      present[index] = 1;
+    }
+    // Unknown line kinds are skipped (the format reserves them).
+  }
+  O2O_EXPECTS(header_seen);
+  for (char seen : present) O2O_EXPECTS(seen != 0);
+  return coords;
+}
+
+}  // namespace
+
+RoadNetwork read_dimacs(std::istream& gr, std::istream& co, const DimacsOptions& options) {
+  O2O_EXPECTS(options.weight_scale > 0.0);
+  const Coordinates coords = read_coordinates(co);
+  const std::size_t n = coords.x.size();
+
+  RoadNetwork network;
+  if (options.project_coordinates) {
+    // Micro-degree lon/lat (x = lon, y = lat per the road instances),
+    // projected about the first node for a deterministic frame.
+    const Projection projection(
+        LatLon{.lat = coords.y[0] * 1e-6, .lon = coords.x[0] * 1e-6});
+    for (std::size_t i = 0; i < n; ++i) {
+      network.add_node(projection.to_plane(
+          LatLon{.lat = coords.y[i] * 1e-6, .lon = coords.x[i] * 1e-6}));
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      network.add_node(Point{coords.x[i] * options.coordinate_scale,
+                             coords.y[i] * options.coordinate_scale});
+    }
+  }
+
+  std::size_t declared_arcs = 0;
+  std::size_t seen_arcs = 0;
+  bool header_seen = false;
+  std::string line;
+  while (std::getline(gr, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream fields(line);
+    char kind = 0;
+    fields >> kind;
+    if (kind == 'p') {
+      std::string problem;
+      std::size_t header_n = 0;
+      fields >> problem >> header_n >> declared_arcs;
+      O2O_EXPECTS(!fields.fail());
+      O2O_EXPECTS(problem == "sp");
+      O2O_EXPECTS(header_n == n);
+      header_seen = true;
+    } else if (kind == 'a') {
+      O2O_EXPECTS(header_seen);
+      std::int64_t from = 0;
+      std::int64_t to = 0;
+      double weight = 0.0;
+      fields >> from >> to >> weight;
+      O2O_EXPECTS(!fields.fail());
+      O2O_EXPECTS(from >= 1 && static_cast<std::size_t>(from) <= n);
+      O2O_EXPECTS(to >= 1 && static_cast<std::size_t>(to) <= n);
+      O2O_EXPECTS(weight >= 0.0);
+      network.add_edge(static_cast<NodeId>(from - 1), static_cast<NodeId>(to - 1),
+                       weight * options.weight_scale);
+      ++seen_arcs;
+    }
+  }
+  O2O_EXPECTS(header_seen);
+  O2O_EXPECTS(seen_arcs == declared_arcs);
+  return network;
+}
+
+RoadNetwork read_dimacs_files(const std::string& gr_path, const std::string& co_path,
+                              const DimacsOptions& options) {
+  std::ifstream gr(gr_path);
+  O2O_EXPECTS(gr.good());
+  std::ifstream co(co_path);
+  O2O_EXPECTS(co.good());
+  return read_dimacs(gr, co, options);
+}
+
+void write_dimacs(const RoadNetwork& network, std::ostream& gr, std::ostream& co,
+                  double weight_scale) {
+  O2O_EXPECTS(weight_scale > 0.0);
+  const std::size_t n = network.node_count();
+  co << "c o2o RoadNetwork export (plane km * 1e6)\n";
+  co << "p aux sp co " << n << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& p = network.node_position(static_cast<NodeId>(i));
+    co << "v " << (i + 1) << ' ' << std::llround(p.x * 1e6) << ' '
+       << std::llround(p.y * 1e6) << "\n";
+  }
+  gr << "c o2o RoadNetwork export\n";
+  gr << "p sp " << n << ' ' << network.edge_count() << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const RoadNetwork::Edge& edge : network.edges_from(static_cast<NodeId>(i))) {
+      gr << "a " << (i + 1) << ' ' << (edge.to + 1) << ' '
+         << std::llround(edge.length_km * weight_scale) << "\n";
+    }
+  }
+}
+
+bool write_dimacs_files(const RoadNetwork& network, const std::string& gr_path,
+                        const std::string& co_path, double weight_scale) {
+  std::ofstream gr(gr_path);
+  if (!gr) return false;
+  std::ofstream co(co_path);
+  if (!co) return false;
+  write_dimacs(network, gr, co, weight_scale);
+  return gr.good() && co.good();
+}
+
+}  // namespace o2o::geo

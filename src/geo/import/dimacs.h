@@ -1,0 +1,61 @@
+// DIMACS shortest-path challenge importer/exporter: the `.gr` arc list
+// (`p sp n m` header, `a u v w` arcs, 1-based ids, integer weights) plus
+// the `.co` coordinate file (`v id x y`, micro-degree longitude/latitude
+// in the road instances). The canonical public format for real city road
+// graphs (the 9th DIMACS USA-road instances), and the repo's fixture
+// format: write_dimacs exports any RoadNetwork, so tests and CI build
+// city-scale fixtures from make_grid_city and round-trip them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "geo/road_network.h"
+
+namespace o2o::geo {
+
+struct DimacsOptions {
+  /// Multiplies every arc weight on import. The road instances carry
+  /// integer weights in unit systems that vary per instance (distance
+  /// instances are ~decametres); pick the factor that lands in km. The
+  /// default 1.0 keeps weights bit-exact — what the CH differential
+  /// tests rely on (integer weights sum exactly in doubles).
+  double weight_scale = 1.0;
+
+  /// When true, `.co` x/y are micro-degree longitude/latitude (the road
+  /// instances' convention) and are projected to the km plane with an
+  /// equirectangular projection referenced at the first node. When
+  /// false, x/y are plane coordinates scaled by `coordinate_scale`.
+  bool project_coordinates = false;
+
+  /// Plane-coordinate multiplier when not projecting (e.g. 1e-6 to read
+  /// back write_dimacs output, which stores km * 1e6 for integrality).
+  double coordinate_scale = 1.0;
+
+  friend bool operator==(const DimacsOptions&, const DimacsOptions&) = default;
+};
+
+/// Parses a graph from a `.gr` arc stream and `.co` coordinate stream.
+/// Node ids are compacted to 0-based in file order; every node must have
+/// a coordinate. Malformed input (missing header, id out of range,
+/// negative weight, arc/node count mismatch) throws ContractViolation.
+RoadNetwork read_dimacs(std::istream& gr, std::istream& co, const DimacsOptions& options = {});
+
+/// File variant of read_dimacs; throws ContractViolation when either
+/// file cannot be opened.
+RoadNetwork read_dimacs_files(const std::string& gr_path, const std::string& co_path,
+                              const DimacsOptions& options = {});
+
+/// Exports `network` in DIMACS form: arcs as llround(length * weight_scale)
+/// (use a scale that makes lengths integral for lossless round-trips),
+/// coordinates as llround(coord * 1e6) read back with
+/// coordinate_scale = 1e-6.
+void write_dimacs(const RoadNetwork& network, std::ostream& gr, std::ostream& co,
+                  double weight_scale = 1.0);
+
+/// File variant of write_dimacs; returns false when either file cannot
+/// be opened or a write fails.
+bool write_dimacs_files(const RoadNetwork& network, const std::string& gr_path,
+                        const std::string& co_path, double weight_scale = 1.0);
+
+}  // namespace o2o::geo

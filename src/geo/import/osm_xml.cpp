@@ -1,0 +1,180 @@
+#include "geo/import/osm_xml.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/projection.h"
+#include "util/contracts.h"
+
+namespace o2o::geo {
+
+namespace {
+
+/// Value of `key="..."` (or single-quoted) inside one element's text;
+/// empty when absent. Enough XML for OSM attribute soup — values in OSM
+/// exports never contain unescaped quotes.
+std::string_view attribute(std::string_view element, std::string_view key) {
+  std::size_t pos = 0;
+  while ((pos = element.find(key, pos)) != std::string_view::npos) {
+    std::size_t cursor = pos + key.size();
+    // Demand a real attribute: preceded by whitespace, followed by '='.
+    if (pos == 0 || (element[pos - 1] != ' ' && element[pos - 1] != '\t' &&
+                     element[pos - 1] != '\n')) {
+      pos = cursor;
+      continue;
+    }
+    while (cursor < element.size() && element[cursor] == ' ') ++cursor;
+    if (cursor >= element.size() || element[cursor] != '=') {
+      pos = cursor;
+      continue;
+    }
+    ++cursor;
+    while (cursor < element.size() && element[cursor] == ' ') ++cursor;
+    if (cursor >= element.size() || (element[cursor] != '"' && element[cursor] != '\'')) {
+      pos = cursor;
+      continue;
+    }
+    const char quote = element[cursor];
+    ++cursor;
+    const std::size_t close = element.find(quote, cursor);
+    if (close == std::string_view::npos) return {};
+    return element.substr(cursor, close - cursor);
+  }
+  return {};
+}
+
+double to_double(std::string_view text) {
+  O2O_EXPECTS(!text.empty());
+  return std::stod(std::string(text));
+}
+
+std::int64_t to_int(std::string_view text) {
+  O2O_EXPECTS(!text.empty());
+  return std::stoll(std::string(text));
+}
+
+struct Way {
+  std::vector<std::int64_t> refs;
+  bool forward = true;
+  bool backward = true;
+};
+
+}  // namespace
+
+RoadNetwork read_osm_xml(std::istream& in, const OsmOptions& options) {
+  O2O_EXPECTS(options.length_factor >= 1.0);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  // Pass 1: every <node id lat lon>. OSM puts nodes before ways, but the
+  // two-pass scan doesn't rely on it.
+  std::unordered_map<std::int64_t, LatLon> node_coords;
+  // Pass 2 state: highway ways with their nd refs and direction.
+  std::vector<Way> ways;
+
+  const auto for_each_element = [&content](auto&& handle) {
+    std::size_t pos = 0;
+    while ((pos = content.find('<', pos)) != std::string::npos) {
+      const std::size_t close = content.find('>', pos);
+      if (close == std::string::npos) break;
+      handle(std::string_view(content).substr(pos + 1, close - pos - 1));
+      pos = close + 1;
+    }
+  };
+
+  for_each_element([&](std::string_view element) {
+    if (!element.starts_with("node") ||
+        (element.size() > 4 && element[4] != ' ' && element[4] != '\t' &&
+         element[4] != '\n' && element[4] != '/')) {
+      return;
+    }
+    const std::string_view id = attribute(element, "id");
+    const std::string_view lat = attribute(element, "lat");
+    const std::string_view lon = attribute(element, "lon");
+    O2O_EXPECTS(!id.empty() && !lat.empty() && !lon.empty());
+    node_coords.emplace(to_int(id), LatLon{.lat = to_double(lat), .lon = to_double(lon)});
+  });
+
+  bool in_way = false;
+  Way current;
+  bool is_highway = false;
+  for_each_element([&](std::string_view element) {
+    if (element.starts_with("way")) {
+      in_way = true;
+      current = Way{};
+      is_highway = false;
+      return;
+    }
+    if (element.starts_with("/way")) {
+      if (in_way && is_highway && current.refs.size() >= 2) ways.push_back(current);
+      in_way = false;
+      return;
+    }
+    if (!in_way) return;
+    if (element.starts_with("nd")) {
+      const std::string_view ref = attribute(element, "ref");
+      O2O_EXPECTS(!ref.empty());
+      current.refs.push_back(to_int(ref));
+    } else if (element.starts_with("tag")) {
+      const std::string_view key = attribute(element, "k");
+      const std::string_view value = attribute(element, "v");
+      if (key == "highway") {
+        is_highway = true;
+      } else if (key == "oneway") {
+        if (value == "yes" || value == "1" || value == "true") {
+          current.backward = false;
+        } else if (value == "-1" || value == "reverse") {
+          current.forward = false;
+        }
+      }
+    }
+  });
+
+  RoadNetwork network;
+  if (ways.empty()) return network;
+
+  // Compact: only nodes referenced by kept ways become graph nodes, in
+  // first-reference order; projection referenced at the first of them.
+  const auto first_it = node_coords.find(ways.front().refs.front());
+  O2O_EXPECTS(first_it != node_coords.end());
+  const Projection projection(first_it->second);
+  std::unordered_map<std::int64_t, NodeId> compact;
+  const auto node_of = [&](std::int64_t ref) {
+    const auto existing = compact.find(ref);
+    if (existing != compact.end()) return existing->second;
+    const auto coord = node_coords.find(ref);
+    O2O_EXPECTS(coord != node_coords.end());
+    const NodeId id = network.add_node(projection.to_plane(coord->second));
+    compact.emplace(ref, id);
+    return id;
+  };
+
+  for (const Way& way : ways) {
+    for (std::size_t i = 0; i + 1 < way.refs.size(); ++i) {
+      const NodeId a = node_of(way.refs[i]);
+      const NodeId b = node_of(way.refs[i + 1]);
+      if (a == b) continue;  // duplicate consecutive refs happen in extracts
+      const double length =
+          options.length_factor *
+          euclidean_distance(network.node_position(a), network.node_position(b));
+      if (way.forward) network.add_edge(a, b, length);
+      if (way.backward) network.add_edge(b, a, length);
+    }
+  }
+  return network;
+}
+
+RoadNetwork read_osm_xml_file(const std::string& path, const OsmOptions& options) {
+  std::ifstream in(path);
+  O2O_EXPECTS(in.good());
+  return read_osm_xml(in, options);
+}
+
+}  // namespace o2o::geo

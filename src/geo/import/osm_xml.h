@@ -1,0 +1,36 @@
+// OpenStreetMap XML importer: turns a raw `.osm` extract (the format
+// every city snapshot ships in) into a RoadNetwork. A deliberately
+// minimal hand-rolled scanner — no XML library dependency — that reads
+// `<node id lat lon>` elements and `<way>` elements carrying a `highway`
+// tag, honouring `oneway`. Way geometry nodes are compacted (only nodes
+// referenced by kept ways become graph nodes) and lat/lon is projected
+// to the km plane about the first kept node.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "geo/road_network.h"
+
+namespace o2o::geo {
+
+struct OsmOptions {
+  /// Edge length: straight-line projected distance between consecutive
+  /// way nodes, multiplied by this circuity allowance (1.0 = pure
+  /// geometry; segments are short, so geometry is already near-exact).
+  double length_factor = 1.0;
+
+  friend bool operator==(const OsmOptions&, const OsmOptions&) = default;
+};
+
+/// Parses an OSM XML stream. Ways without a `highway` tag are ignored;
+/// `oneway=yes/1/true` keeps the nd order, `oneway=-1/reverse` flips it,
+/// anything else (or absent) is bidirectional. Returns an empty network
+/// when the extract has no highway ways. Malformed node/way elements
+/// (missing id/lat/lon, unknown nd refs) throw ContractViolation.
+RoadNetwork read_osm_xml(std::istream& in, const OsmOptions& options = {});
+
+/// File variant; throws ContractViolation when the file cannot be opened.
+RoadNetwork read_osm_xml_file(const std::string& path, const OsmOptions& options = {});
+
+}  // namespace o2o::geo

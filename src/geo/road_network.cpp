@@ -409,6 +409,22 @@ RoadNetwork RoadNetwork::make_grid_city(int cols, int rows, double spacing_km,
   return network;
 }
 
+std::uint64_t RoadNetwork::fingerprint() const {
+  std::uint64_t h = mix64(nodes_.size() ^ (static_cast<std::uint64_t>(edge_count_) << 32));
+  for (const Point& p : nodes_) {
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(p.x));
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(p.y));
+  }
+  for (const std::vector<Edge>& edges : adjacency_) {
+    for (const Edge& edge : edges) {
+      h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(edge.to)));
+      h = mix64(h ^ std::bit_cast<std::uint64_t>(edge.length_km));
+    }
+  }
+  // 0 means "don't pin" to ContractionHierarchy::load; never emit it.
+  return h == 0 ? 1 : h;
+}
+
 // ---------------------------------------------------------------------------
 // NetworkOracle
 // ---------------------------------------------------------------------------

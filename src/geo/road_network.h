@@ -113,6 +113,14 @@ class RoadNetwork {
                                     double jitter_km = 0.0, double closure_fraction = 0.0,
                                     std::uint64_t seed = 1, Point origin = {0.0, 0.0});
 
+  /// Order-sensitive structural hash: node coordinate bit patterns plus
+  /// every directed edge (from, to, weight bits), chained through a
+  /// 64-bit mixer. Two networks built by the same construction sequence
+  /// hash equal; any divergence (a reordered import, a changed weight)
+  /// hashes different. Pins CH artifacts (.o2och) to the graph they were
+  /// preprocessed from. O(n + m), computed on demand; never 0.
+  std::uint64_t fingerprint() const;
+
  private:
   std::vector<Point> nodes_;
   std::vector<std::vector<Edge>> adjacency_;
@@ -148,8 +156,8 @@ class RoadNetwork {
 /// construction happens outside the shard lock, so a miss never blocks
 /// other shards or readers of the same shard's unrelated entries, and
 /// every query is safe to issue from any number of threads —
-/// concurrent_queries_safe() is true, which lets the parallel preference
-/// build apply to road-network runs.
+/// capabilities().concurrent_queries is true, which lets the parallel
+/// preference build apply to road-network runs.
 class NetworkOracle final : public DistanceOracle {
  public:
   /// `cache_capacity` kAutoCapacity (0) sizes the tree cache to the
@@ -196,11 +204,11 @@ class NetworkOracle final : public DistanceOracle {
   /// frame already warmed them (test/bench probe).
   std::size_t last_prepare_carried() const noexcept { return last_prepare_carried_; }
 
-  /// Every internal cache is sharded and locked.
-  bool concurrent_queries_safe() const noexcept override { return true; }
-
-  /// Directed graph: forward and reverse shortest paths may differ.
-  bool symmetric_distances() const noexcept override { return false; }
+  /// Every internal cache is sharded and locked (concurrent), but the
+  /// graph is directed: forward and reverse shortest paths may differ.
+  Capabilities capabilities() const noexcept override {
+    return {.concurrent_queries = true, .symmetric_distances = false};
+  }
 
   /// Total cached trees across shards (forward + reverse). Always
   /// <= cache_capacity(); shards evict their own LRU tail independently.

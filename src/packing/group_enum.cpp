@@ -437,7 +437,7 @@ FilterStats simd_prefilter_pairs(std::span<const trace::Request> requests,
 
   std::vector<double> a(count), a2(count), b(count), b2(count), c(count), c2(count),
       direct_i(count), direct_j(count);
-  const bool symmetric = oracle.symmetric_distances();
+  const bool symmetric = oracle.capabilities().symmetric_distances;
   std::vector<geo::Point> targets_p;
   std::vector<geo::Point> targets_d;
 

@@ -32,7 +32,7 @@ bool parallel_eval(std::size_t count, const geo::DistanceOracle& oracle,
   constexpr std::size_t kSerialCutoff = 16;
   ThreadPool& pool = ThreadPool::shared();
   if (!allow_parallel || count < kSerialCutoff || pool.worker_count() == 0 ||
-      !oracle.concurrent_queries_safe()) {
+      !oracle.capabilities().concurrent_queries) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return false;
   }

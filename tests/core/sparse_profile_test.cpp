@@ -143,7 +143,7 @@ TEST(SparseProfile, NetworkOracleStillPrunesExactly) {
       geo::RoadNetwork::make_grid_city(6, 6, 2.0, /*jitter_km=*/0.2,
                                        /*closure_fraction=*/0.1, /*seed=*/5);
   const geo::NetworkOracle oracle(network);
-  ASSERT_TRUE(oracle.concurrent_queries_safe());
+  ASSERT_TRUE(oracle.capabilities().concurrent_queries);
   Rng rng(214);
   for (int trial = 0; trial < 3; ++trial) {
     const auto instance = random_instance(rng, 8, 12);
@@ -178,7 +178,11 @@ class SerialOnlyOracle final : public geo::DistanceOracle {
                                    const geo::Point& target) const override {
     return inner_.distances_to(sources, target);
   }
-  bool concurrent_queries_safe() const noexcept override { return false; }
+  geo::DistanceOracle::Capabilities capabilities() const noexcept override {
+    auto caps = inner_.capabilities();
+    caps.concurrent_queries = false;
+    return caps;
+  }
 
  private:
   const geo::DistanceOracle& inner_;
@@ -192,7 +196,7 @@ TEST(SparseProfile, NetworkParallelBuildMatchesSerialDenseBuild) {
       geo::RoadNetwork::make_grid_city(12, 12, 1.5, /*jitter_km=*/0.3,
                                        /*closure_fraction=*/0.15, /*seed=*/9);
   const geo::NetworkOracle oracle(network, /*cache_capacity=*/2048);
-  ASSERT_TRUE(oracle.concurrent_queries_safe());
+  ASSERT_TRUE(oracle.capabilities().concurrent_queries);
   const SerialOnlyOracle serial(oracle);
 
   Rng rng(218);

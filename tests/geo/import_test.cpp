@@ -1,0 +1,224 @@
+// Importer suite: DIMACS .gr/.co parsing (inline and from the checked-in
+// fixture), export/import round-trips down to the graph fingerprint, and
+// the minimal OSM XML reader (highway filtering, oneway handling,
+// node compaction).
+#include "geo/import/dimacs.h"
+#include "geo/import/osm_xml.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "geo/road_network.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+#ifndef O2O_FIXTURE_DIR
+#define O2O_FIXTURE_DIR "tests/geo/fixtures"
+#endif
+
+namespace o2o::geo {
+namespace {
+
+// --- DIMACS ----------------------------------------------------------------
+
+TEST(Dimacs, ParsesStreams) {
+  std::istringstream gr(
+      "c comment\n"
+      "p sp 3 3\n"
+      "a 1 2 5\n"
+      "a 2 3 7\n"
+      "a 3 1 1\n");
+  std::istringstream co(
+      "p aux sp co 3\n"
+      "v 1 0 0\n"
+      "v 2 3 0\n"
+      "v 3 3 4\n");
+  const RoadNetwork network = read_dimacs(gr, co);
+  ASSERT_EQ(network.node_count(), 3u);
+  EXPECT_EQ(network.edge_count(), 3u);
+  EXPECT_DOUBLE_EQ(network.node_position(1).x, 3.0);
+  EXPECT_DOUBLE_EQ(network.node_position(2).y, 4.0);
+  EXPECT_DOUBLE_EQ(network.shortest_path(0, 2), 12.0);  // 5 + 7, one-way ring
+  EXPECT_DOUBLE_EQ(network.shortest_path(2, 0), 1.0);
+}
+
+TEST(Dimacs, WeightScaleApplies) {
+  std::istringstream gr("p sp 2 1\na 1 2 1500\n");
+  std::istringstream co("p aux sp co 2\nv 1 0 0\nv 2 1 0\n");
+  DimacsOptions options;
+  options.weight_scale = 1e-3;  // metres -> km
+  const RoadNetwork network = read_dimacs(gr, co, options);
+  EXPECT_DOUBLE_EQ(network.edges_from(0)[0].length_km, 1.5);
+}
+
+TEST(Dimacs, ProjectsMicroDegreeCoordinates) {
+  std::istringstream gr("p sp 2 1\na 1 2 1\n");
+  // ~New York: 1 milli-degree of latitude apart (~0.111 km).
+  std::istringstream co(
+      "p aux sp co 2\n"
+      "v 1 -74000000 40700000\n"
+      "v 2 -74000000 40701000\n");
+  DimacsOptions options;
+  options.project_coordinates = true;
+  const RoadNetwork network = read_dimacs(gr, co, options);
+  EXPECT_DOUBLE_EQ(network.node_position(0).x, 0.0);  // projection reference
+  EXPECT_DOUBLE_EQ(network.node_position(0).y, 0.0);
+  EXPECT_NEAR(euclidean_distance(network.node_position(0), network.node_position(1)),
+              0.1112, 1e-3);
+}
+
+TEST(Dimacs, ReadsCheckedInFixture) {
+  const RoadNetwork network =
+      read_dimacs_files(O2O_FIXTURE_DIR "/mini.gr", O2O_FIXTURE_DIR "/mini.co");
+  ASSERT_EQ(network.node_count(), 6u);
+  EXPECT_EQ(network.edge_count(), 14u);
+  // Spine 1 -> 5 beats the 1 -> 2 -> 5 one-way jumper (3+9).
+  EXPECT_DOUBLE_EQ(network.shortest_path(0, 4), 10.0);
+  // The one-way jumpers only exist forward.
+  EXPECT_DOUBLE_EQ(network.shortest_path(2, 5), 7.0);   // 3 -> 6 direct
+  EXPECT_DOUBLE_EQ(network.shortest_path(5, 2), 7.0);   // back over the spine
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  {
+    std::istringstream gr("a 1 2 5\n");  // arc before header
+    std::istringstream co("p aux sp co 2\nv 1 0 0\nv 2 1 0\n");
+    EXPECT_THROW(read_dimacs(gr, co), ContractViolation);
+  }
+  {
+    std::istringstream gr("p sp 2 1\na 1 3 5\n");  // id out of range
+    std::istringstream co("p aux sp co 2\nv 1 0 0\nv 2 1 0\n");
+    EXPECT_THROW(read_dimacs(gr, co), ContractViolation);
+  }
+  {
+    std::istringstream gr("p sp 2 2\na 1 2 5\n");  // fewer arcs than declared
+    std::istringstream co("p aux sp co 2\nv 1 0 0\nv 2 1 0\n");
+    EXPECT_THROW(read_dimacs(gr, co), ContractViolation);
+  }
+  {
+    std::istringstream gr("p sp 2 1\na 1 2 5\n");
+    std::istringstream co("p aux sp co 2\nv 1 0 0\n");  // node 2 uncovered
+    EXPECT_THROW(read_dimacs(gr, co), ContractViolation);
+  }
+}
+
+TEST(Dimacs, ExportImportRoundTripsTheFingerprint) {
+  // Integer coordinates and integer weights survive the llround()
+  // encoding exactly, so the re-import is the identical graph.
+  Rng rng(5);
+  RoadNetwork network;
+  for (int i = 0; i < 30; ++i) {
+    network.add_node(Point{static_cast<double>(rng.uniform_int(0, 20)),
+                           static_cast<double>(rng.uniform_int(0, 20))});
+  }
+  for (int e = 0; e < 90; ++e) {
+    const NodeId from = static_cast<NodeId>(rng.uniform_index(30));
+    const NodeId to = static_cast<NodeId>(rng.uniform_index(30));
+    if (from == to) continue;
+    network.add_edge(from, to, static_cast<double>(rng.uniform_int(1, 9)));
+  }
+  std::stringstream gr;
+  std::stringstream co;
+  write_dimacs(network, gr, co);
+  DimacsOptions options;
+  options.coordinate_scale = 1e-6;
+  const RoadNetwork reread = read_dimacs(gr, co, options);
+  EXPECT_EQ(reread.node_count(), network.node_count());
+  EXPECT_EQ(reread.edge_count(), network.edge_count());
+  EXPECT_EQ(reread.fingerprint(), network.fingerprint());
+  // Bitwise-identical graphs price bitwise-identically.
+  EXPECT_EQ(reread.shortest_path(0, 29), network.shortest_path(0, 29));
+}
+
+// --- OSM XML ---------------------------------------------------------------
+
+constexpr const char* kOsmExtract = R"(<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <node id="101" lat="40.7000" lon="-74.0000"/>
+  <node id="102" lat="40.7010" lon="-74.0000"/>
+  <node id="103" lat="40.7010" lon="-73.9990"/>
+  <node id="104" lat="40.7500" lon="-74.0500"/>
+  <way id="7">
+    <nd ref="101"/>
+    <nd ref="102"/>
+    <tag k="highway" v="residential"/>
+  </way>
+  <way id="8">
+    <nd ref="102"/>
+    <nd ref="103"/>
+    <tag k="highway" v="primary"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <way id="9">
+    <nd ref="103"/>
+    <nd ref="101"/>
+    <tag k="building" v="yes"/>
+  </way>
+</osm>
+)";
+
+TEST(OsmXml, ImportsHighwaysAndCompactsNodes) {
+  std::istringstream in(kOsmExtract);
+  const RoadNetwork network = read_osm_xml(in);
+  // Node 104 is never referenced by a highway way; way 9 is a building.
+  ASSERT_EQ(network.node_count(), 3u);
+  EXPECT_EQ(network.edge_count(), 3u);  // 101<->102 both ways, 102->103 one way
+  // ~0.111 km per milli-degree of latitude.
+  EXPECT_NEAR(network.shortest_path(0, 1), 0.1112, 1e-3);
+  EXPECT_LT(network.shortest_path(1, 2), kInfiniteDistance);
+  EXPECT_EQ(network.shortest_path(2, 1), kInfiniteDistance);  // oneway=yes
+}
+
+TEST(OsmXml, ReverseOnewayFlipsDirection) {
+  std::istringstream in(R"(<osm>
+    <node id="1" lat="40.0" lon="-74.0"/>
+    <node id="2" lat="40.001" lon="-74.0"/>
+    <way id="1"><nd ref="1"/><nd ref="2"/>
+      <tag k="highway" v="primary"/><tag k="oneway" v="-1"/></way>
+  </osm>)");
+  const RoadNetwork network = read_osm_xml(in);
+  ASSERT_EQ(network.node_count(), 2u);
+  EXPECT_EQ(network.shortest_path(0, 1), kInfiniteDistance);
+  EXPECT_LT(network.shortest_path(1, 0), kInfiniteDistance);
+}
+
+TEST(OsmXml, EmptyWithoutHighways) {
+  std::istringstream in(R"(<osm>
+    <node id="1" lat="40.0" lon="-74.0"/>
+    <way id="1"><nd ref="1"/><tag k="waterway" v="river"/></way>
+  </osm>)");
+  EXPECT_EQ(read_osm_xml(in).node_count(), 0u);
+}
+
+TEST(OsmXml, LengthFactorInflatesEdges) {
+  std::istringstream plain(R"(<osm>
+    <node id="1" lat="40.0" lon="-74.0"/>
+    <node id="2" lat="40.001" lon="-74.0"/>
+    <way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="primary"/></way>
+  </osm>)");
+  std::istringstream inflated(R"(<osm>
+    <node id="1" lat="40.0" lon="-74.0"/>
+    <node id="2" lat="40.001" lon="-74.0"/>
+    <way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="primary"/></way>
+  </osm>)");
+  const RoadNetwork base = read_osm_xml(plain);
+  OsmOptions options;
+  options.length_factor = 1.3;
+  const RoadNetwork curvy = read_osm_xml(inflated, options);
+  EXPECT_DOUBLE_EQ(curvy.edges_from(0)[0].length_km,
+                   1.3 * base.edges_from(0)[0].length_km);
+}
+
+TEST(OsmXml, RejectsWayWithUnknownNodeRef) {
+  std::istringstream in(R"(<osm>
+    <node id="1" lat="40.0" lon="-74.0"/>
+    <way id="1"><nd ref="1"/><nd ref="999"/><tag k="highway" v="primary"/></way>
+  </osm>)");
+  EXPECT_THROW(read_osm_xml(in), ContractViolation);
+}
+
+}  // namespace
+}  // namespace o2o::geo

@@ -396,7 +396,7 @@ TEST(NetworkOracle, ConcurrentQueriesMatchSerialAnswers) {
   const RoadNetwork city = RoadNetwork::make_grid_city(10, 10, 1.0, 0.25, 0.2, 71);
   // Small cache so the threads churn evictions while racing.
   const NetworkOracle oracle(city, /*cache_capacity=*/8, /*shard_count=*/4);
-  ASSERT_TRUE(oracle.concurrent_queries_safe());
+  ASSERT_TRUE(oracle.capabilities().concurrent_queries);
 
   constexpr int kThreads = 4;
   constexpr int kQueries = 200;

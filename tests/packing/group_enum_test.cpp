@@ -435,7 +435,7 @@ TEST(KnobMatrix, NetworkOracleMatchesSerial) {
   // Asymmetric oracle: the leg gather must take the reverse-row path.
   const geo::RoadNetwork city = geo::RoadNetwork::make_grid_city(10, 10, 1.0, 0.15, 0.1, 7);
   const geo::NetworkOracle oracle(city);
-  ASSERT_FALSE(oracle.symmetric_distances());
+  ASSERT_FALSE(oracle.capabilities().symmetric_distances);
   Rng rng(23);
   std::vector<trace::Request> requests;
   for (int i = 0; i < 32; ++i) {
